@@ -1,0 +1,117 @@
+//! ECMP — Equal-Cost Multi-Path flow hashing (RFC 2992), the paper's
+//! baseline (§IV): "all packets belonging to a distinct flow are hashed to
+//! the same output port … resembling a random load-unaware flow allocation
+//! scheme. Our current ECMP implementation uses the five-tuple … and
+//! assigns a path based on a modulus computation on the flow hash value
+//! and the number of available paths."
+//!
+//! The hash is salted with the switch id: every switch hashes locally and
+//! independently, as real ECMP fabrics do.
+
+use pythia_des::{fnv1a64, splitmix64};
+use pythia_netsim::{FiveTuple, LinkId, NodeId};
+use pythia_openflow::DefaultForwarding;
+
+/// Load-unaware 5-tuple hashing over equal-cost candidates.
+#[derive(Debug, Clone, Copy)]
+pub struct EcmpForwarding {
+    /// Fabric-wide hash salt; vary per run to model different hash-seed
+    /// deployments (the source of run-to-run ECMP variance).
+    pub salt: u64,
+}
+
+impl EcmpForwarding {
+    /// A fabric-wide ECMP policy with the given hash salt.
+    pub fn new(salt: u64) -> Self {
+        EcmpForwarding { salt }
+    }
+
+    /// The hash value this switch computes for a tuple.
+    pub fn hash_at(&self, node: NodeId, tuple: &FiveTuple) -> u64 {
+        let h = fnv1a64(&tuple.to_bytes());
+        splitmix64(h ^ self.salt ^ ((node.0 as u64) << 32))
+    }
+}
+
+impl DefaultForwarding for EcmpForwarding {
+    fn choose(&self, node: NodeId, tuple: &FiveTuple, candidates: &[LinkId]) -> LinkId {
+        debug_assert!(!candidates.is_empty());
+        let h = self.hash_at(node, tuple);
+        candidates[(h % candidates.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(sp: u16) -> FiveTuple {
+        FiveTuple::tcp(NodeId(1), NodeId(2), sp, 50060)
+    }
+
+    #[test]
+    fn deterministic_per_tuple() {
+        let e = EcmpForwarding::new(7);
+        let c = [LinkId(0), LinkId(1)];
+        let a = e.choose(NodeId(5), &tuple(40000), &c);
+        let b = e.choose(NodeId(5), &tuple(40000), &c);
+        assert_eq!(a, b, "same flow must always take the same path");
+    }
+
+    #[test]
+    fn different_switches_hash_independently() {
+        let e = EcmpForwarding::new(7);
+        let c = [LinkId(0), LinkId(1)];
+        // Over many tuples, the per-switch choices must not be identical
+        // functions (local hashing).
+        let mut differs = 0;
+        for sp in 0..200u16 {
+            let a = e.choose(NodeId(5), &tuple(40000 + sp), &c);
+            let b = e.choose(NodeId(6), &tuple(40000 + sp), &c);
+            if a != b {
+                differs += 1;
+            }
+        }
+        assert!(differs > 50, "switch salt has no effect ({differs})");
+    }
+
+    #[test]
+    fn roughly_uniform_over_candidates() {
+        let e = EcmpForwarding::new(42);
+        let c = [LinkId(0), LinkId(1), LinkId(2), LinkId(3)];
+        let mut counts = [0usize; 4];
+        let n = 4000;
+        for sp in 0..n {
+            let l = e.choose(NodeId(0), &tuple(sp as u16), &c);
+            counts[l.0 as usize] += 1;
+        }
+        for &cnt in &counts {
+            let frac = cnt as f64 / n as f64;
+            assert!(
+                (0.2..0.3).contains(&frac),
+                "candidate share {frac} far from 0.25: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_candidate_trivial() {
+        let e = EcmpForwarding::new(0);
+        let c = [LinkId(9)];
+        assert_eq!(e.choose(NodeId(0), &tuple(1), &c), LinkId(9));
+    }
+
+    #[test]
+    fn salt_changes_allocation() {
+        let c = [LinkId(0), LinkId(1)];
+        let mut differs = 0;
+        for sp in 0..200u16 {
+            let a = EcmpForwarding::new(1).choose(NodeId(0), &tuple(sp), &c);
+            let b = EcmpForwarding::new(2).choose(NodeId(0), &tuple(sp), &c);
+            if a != b {
+                differs += 1;
+            }
+        }
+        assert!(differs > 50);
+    }
+}

@@ -1,0 +1,288 @@
+//! Hedera-like reactive flow scheduling (Al-Fares et al., NSDI 2010).
+//!
+//! The paper argues (§II) that "replacing ECMP with a load-aware flow
+//! scheduling scheme, e.g. Hedera, would to some extent avoid such
+//! adversarial flow allocations, however still not manage to unleash the
+//! entire optimization potential" — Hedera reacts only *after* elephants
+//! are observable and knows nothing about application semantics. This
+//! module implements that middle ground as an ablation baseline:
+//!
+//! * every `period`, flows whose measured rate exceeds
+//!   `elephant_threshold_frac` of their source NIC are classified as
+//!   elephants;
+//! * their *natural demand* is estimated (the max-min share they would
+//!   get on an idle fabric, computed from NIC contention alone);
+//! * elephants are globally re-placed, largest demand first, onto the
+//!   k-shortest path minimizing bottleneck utilization (first fit);
+//! * re-placements are returned as reroutes for the engine to apply.
+
+use std::collections::BTreeMap;
+
+use pythia_des::SimDuration;
+use pythia_netsim::{FlowId, FlowKind, FlowNet, LinkId, NodeId, Path};
+use pythia_openflow::Controller;
+
+/// Hedera-style scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct HederaConfig {
+    /// Re-scheduling period (Hedera's control loop ran at ~5 s).
+    pub period: SimDuration,
+    /// A flow is an elephant if its measured rate exceeds this fraction
+    /// of its source NIC capacity (Hedera used 10%).
+    pub elephant_threshold_frac: f64,
+}
+
+impl Default for HederaConfig {
+    fn default() -> Self {
+        HederaConfig {
+            period: SimDuration::from_secs(5),
+            elephant_threshold_frac: 0.10,
+        }
+    }
+}
+
+/// A reroute decision for the engine to apply.
+#[derive(Debug, Clone)]
+pub struct Reroute {
+    /// The flow to move.
+    pub flow: FlowId,
+    /// Its new path.
+    pub path: Path,
+}
+
+/// The reactive scheduler.
+#[derive(Debug)]
+pub struct HederaScheduler {
+    /// Configuration in force.
+    pub cfg: HederaConfig,
+    /// Control rounds executed.
+    pub rounds: u64,
+    /// Reroute decisions issued across all rounds.
+    pub reroutes_issued: u64,
+}
+
+impl HederaScheduler {
+    /// A scheduler with the given configuration.
+    pub fn new(cfg: HederaConfig) -> Self {
+        HederaScheduler {
+            cfg,
+            rounds: 0,
+            reroutes_issued: 0,
+        }
+    }
+
+    /// One control round: detect elephants from current rates and
+    /// re-place them. `background_bps(link)` is the measured non-TCP load
+    /// (Hedera polls switch counters; CBR background is plainly visible
+    /// there).
+    pub fn rebalance(
+        &mut self,
+        net: &FlowNet,
+        controller: &Controller,
+        background_bps: &dyn Fn(LinkId) -> f64,
+    ) -> Vec<Reroute> {
+        self.rounds += 1;
+        let topo = net.topology();
+
+        // NIC capacity per server = capacity of its first outgoing link.
+        let nic_cap = |node: NodeId| -> f64 {
+            topo.out_links(node)
+                .first()
+                .map(|&l| topo.link(l).capacity_bps)
+                .unwrap_or(f64::INFINITY)
+        };
+
+        // --- Demand estimation & elephant detection ----------------------
+        // Hedera estimates every TCP flow's *natural demand* — the rate it
+        // would reach if only host NICs constrained it — precisely because
+        // a congested fabric throttles elephants below any current-rate
+        // threshold. Flows whose natural demand exceeds the threshold are
+        // elephants.
+        let mut tcp_flows: Vec<(FlowId, NodeId, NodeId)> = Vec::new();
+        let mut flows_per_src: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut flows_per_dst: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (id, f) in net.flows() {
+            if !matches!(f.spec.kind, FlowKind::Adaptive) || f.is_complete() {
+                continue;
+            }
+            let src = f.spec.tuple.src;
+            let dst = f.spec.tuple.dst;
+            *flows_per_src.entry(src).or_insert(0) += 1;
+            *flows_per_dst.entry(dst).or_insert(0) += 1;
+            tcp_flows.push((id, src, dst));
+        }
+        let mut demands: Vec<(FlowId, NodeId, NodeId, f64)> = tcp_flows
+            .into_iter()
+            .filter_map(|(id, src, dst)| {
+                let d = (nic_cap(src) / flows_per_src[&src] as f64)
+                    .min(nic_cap(dst) / flows_per_dst[&dst] as f64);
+                if d >= self.cfg.elephant_threshold_frac * nic_cap(src) {
+                    Some((id, src, dst, d))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        demands.sort_by(|a, b| b.3.total_cmp(&a.3).then(a.0.cmp(&b.0)));
+
+        // --- Global first fit --------------------------------------------
+        // Planned load starts from measured background.
+        let mut planned: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for (l, _) in topo.links() {
+            planned.insert(l, background_bps(l));
+        }
+        let mut out = Vec::new();
+        for (id, src, dst, demand) in demands {
+            let candidates = controller.paths(src, dst);
+            if candidates.is_empty() {
+                continue;
+            }
+            // Links shared by every candidate (the NIC legs) carry the
+            // demand regardless of the choice — score only the links the
+            // decision actually controls, or ties on a saturated NIC mask
+            // the core-path difference entirely.
+            let common: Vec<LinkId> = candidates[0]
+                .links()
+                .iter()
+                .copied()
+                .filter(|l| candidates.iter().all(|p| p.contains_link(*l)))
+                .collect();
+            // Pick the path minimizing the worst post-placement utilization
+            // over its distinctive links.
+            let mut best: Option<(f64, usize)> = None;
+            for (i, p) in candidates.iter().enumerate() {
+                let worst = p
+                    .links()
+                    .iter()
+                    .filter(|l| !common.contains(l))
+                    .map(|&l| (planned[&l] + demand) / topo.link(l).capacity_bps)
+                    .fold(0.0f64, f64::max);
+                if best.map(|(b, _)| worst < b).unwrap_or(true) {
+                    best = Some((worst, i));
+                }
+            }
+            let (_, idx) = best.unwrap();
+            let chosen = &candidates[idx];
+            for &l in chosen.links() {
+                *planned.get_mut(&l).unwrap() += demand;
+            }
+            let current = &net.flow(id).unwrap().path;
+            if current.links() != chosen.links() {
+                self.reroutes_issued += 1;
+                out.push(Reroute {
+                    flow: id,
+                    path: chosen.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_des::RngFactory;
+    use pythia_netsim::{
+        build_multi_rack, FiveTuple, FlowSpec, MultiRack, MultiRackParams, Path,
+    };
+    use pythia_openflow::ControllerConfig;
+
+    fn setup() -> (MultiRack, FlowNet, Controller) {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let net = FlowNet::new(mr.topology.clone());
+        let ctl = Controller::new(
+            mr.topology.clone(),
+            ControllerConfig::default(),
+            &RngFactory::new(1),
+        );
+        (mr, net, ctl)
+    }
+
+    fn cross_path(mr: &MultiRack, s: usize, d: usize, trunk: usize) -> Path {
+        let t = &mr.topology;
+        let up = t.find_link(mr.servers[s], mr.tors[0], 0).unwrap();
+        let tr = t.find_link(mr.tors[0], mr.tors[1], trunk).unwrap();
+        let down = t.find_link(mr.tors[1], mr.servers[d], 0).unwrap();
+        Path::new(t, vec![up, tr, down]).unwrap()
+    }
+
+    #[test]
+    fn colliding_elephants_are_spread() {
+        let (mr, mut net, ctl) = setup();
+        // Two 1 Gb/s-class flows crammed onto trunk 0.
+        let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
+        let t2 = FiveTuple::tcp(mr.servers[1], mr.servers[6], 2, 50060);
+        let f1 = net.start_flow(FlowSpec::tcp_transfer(t1, 10_000_000_000), cross_path(&mr, 0, 5, 0));
+        let f2 = net.start_flow(FlowSpec::tcp_transfer(t2, 10_000_000_000), cross_path(&mr, 1, 6, 0));
+        net.recompute();
+        let mut hedera = HederaScheduler::new(HederaConfig::default());
+        let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
+        // At 10 Gb/s trunks the NICs bottleneck: both flows run at 1 Gb/s,
+        // well over the 10% elephant threshold. First fit must separate
+        // them: exactly one gets moved to the other trunk.
+        assert_eq!(reroutes.len(), 1, "{reroutes:?}");
+        let moved = &reroutes[0];
+        assert!(moved.flow == f1 || moved.flow == f2);
+        let old_trunk = cross_path(&mr, 0, 5, 0).links()[1];
+        assert_ne!(moved.path.links()[1], old_trunk);
+    }
+
+    #[test]
+    fn mice_are_left_alone() {
+        let (mr, mut net, ctl) = setup();
+        // Mice: 12 flows share server0's NIC, so each flow's *natural
+        // demand* is 1G/12 ≈ 8% of the NIC — below the 10% elephant
+        // threshold. Hedera must not touch them even though they all sit
+        // on trunk 0.
+        for i in 0..12u16 {
+            let dst = 5 + (i as usize % 5);
+            let t = FiveTuple::tcp(mr.servers[0], mr.servers[dst], 100 + i, 50060);
+            net.start_flow(
+                FlowSpec::tcp_transfer(t, 1_000_000_000),
+                cross_path(&mr, 0, dst, 0),
+            );
+        }
+        net.recompute();
+        let mut hedera = HederaScheduler::new(HederaConfig::default());
+        let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
+        assert!(reroutes.is_empty(), "mice must not be rerouted: {reroutes:?}");
+    }
+
+    #[test]
+    fn throttled_elephant_detected_by_demand_not_rate() {
+        let (mr, mut net, ctl) = setup();
+        // Hedera's defining trick: a lone flow crushed to 50 Mb/s by UDP
+        // on trunk 0 still has natural demand of a full NIC — it must be
+        // recognized and moved to the free trunk.
+        let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        let bg_tuple = FiveTuple::udp(mr.tors[0], mr.tors[1], 1, 2);
+        net.start_flow(
+            FlowSpec::cbr(bg_tuple, 9.95e9),
+            Path::new(&mr.topology, vec![trunk0]).unwrap(),
+        );
+        let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
+        let f =
+            net.start_flow(FlowSpec::tcp_transfer(t1, 1_000_000_000), cross_path(&mr, 0, 5, 0));
+        net.recompute();
+        assert!(net.flow(f).unwrap().rate_bps < 0.1e9, "flow must be throttled");
+        let mut hedera = HederaScheduler::new(HederaConfig::default());
+        let reroutes =
+            hedera.rebalance(&net, &ctl, &|l| if l == trunk0 { 9.95e9 } else { 0.0 });
+        assert_eq!(reroutes.len(), 1);
+        assert!(!reroutes[0].path.contains_link(trunk0));
+    }
+
+    #[test]
+    fn well_placed_elephants_stay_put() {
+        let (mr, mut net, ctl) = setup();
+        let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
+        let t2 = FiveTuple::tcp(mr.servers[1], mr.servers[6], 2, 50060);
+        net.start_flow(FlowSpec::tcp_transfer(t1, 10_000_000_000), cross_path(&mr, 0, 5, 0));
+        net.start_flow(FlowSpec::tcp_transfer(t2, 10_000_000_000), cross_path(&mr, 1, 6, 1));
+        net.recompute();
+        let mut hedera = HederaScheduler::new(HederaConfig::default());
+        let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
+        assert!(reroutes.is_empty(), "already balanced: {reroutes:?}");
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! `pythia-baselines` — the flow schedulers Pythia is compared against.
+//!
+//! * [`ecmp`] — random load-unaware 5-tuple hashing, the paper's baseline
+//!   and the de-facto datacenter default (§IV, RFC 2992);
+//! * [`hedera`] — a Hedera-like *reactive* load-aware scheduler, the
+//!   middle ground the paper argues is still insufficient (§II);
+//! * [`roundrobin`] — arrival-order spreading, for ablations.
+
+pub mod ecmp;
+pub mod hedera;
+pub mod roundrobin;
+
+pub use ecmp::EcmpForwarding;
+pub use hedera::{HederaConfig, HederaScheduler, Reroute};
+pub use roundrobin::RoundRobinForwarding;

@@ -1,0 +1,43 @@
+//! Round-robin default forwarding — a simple load-oblivious-but-spreading
+//! alternative to ECMP hashing, used in ablations. Unlike ECMP it is not
+//! sticky per flow *hash* but per flow *arrival order*: the n-th flow
+//! resolved at a switch takes candidate `n % k`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pythia_netsim::{FiveTuple, LinkId, NodeId};
+use pythia_openflow::DefaultForwarding;
+
+/// Arrival-order round-robin spreading.
+#[derive(Debug, Default)]
+pub struct RoundRobinForwarding {
+    counter: AtomicU64,
+}
+
+impl RoundRobinForwarding {
+    /// A fresh policy with its counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DefaultForwarding for RoundRobinForwarding {
+    fn choose(&self, _node: NodeId, _tuple: &FiveTuple, candidates: &[LinkId]) -> LinkId {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        candidates[(n % candidates.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_through_candidates() {
+        let rr = RoundRobinForwarding::new();
+        let c = [LinkId(0), LinkId(1), LinkId(2)];
+        let t = FiveTuple::tcp(NodeId(0), NodeId(1), 1, 2);
+        let picks: Vec<LinkId> = (0..6).map(|_| rr.choose(NodeId(0), &t, &c)).collect();
+        assert_eq!(picks, vec![LinkId(0), LinkId(1), LinkId(2), LinkId(0), LinkId(1), LinkId(2)]);
+    }
+}

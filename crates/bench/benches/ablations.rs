@@ -1,0 +1,33 @@
+//! Ablation benches: regenerates the scheduler ladder, rule-install
+//! latency sensitivity and path-diversity tables once, then times a
+//! Hedera run (the most machinery-heavy scheduler loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_bench::{bench_cfg, bench_scale};
+use pythia_cluster::{run_scenario, SchedulerKind};
+use pythia_experiments::{ablation, fig4};
+use pythia_workloads::Workload;
+
+fn ablation_bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    eprintln!("\n{}", ablation::run_scheduler_ladder(&scale).render());
+    eprintln!("{}", ablation::run_latency_sensitivity(&scale).render());
+    eprintln!("{}", ablation::run_path_diversity(&scale).render());
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("hedera_sort_run@1:20", |b| {
+        b.iter(|| {
+            let w = fig4::sort_at_scale(0.02);
+            let cfg = bench_cfg()
+                .with_scheduler(SchedulerKind::Hedera)
+                .with_oversubscription(20)
+                .with_seed(1);
+            run_scenario(w.job(), &cfg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ablation_bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 1 bench: regenerates the motivation artifacts (sequence diagram
+//! and adversarial-allocation statistics) once, then times the toy runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_experiments::fig1;
+
+fn fig1_bench(c: &mut Criterion) {
+    let f1a = fig1::run_fig1a();
+    eprintln!("\n{}", f1a.diagram);
+    eprintln!(
+        "reducer skew {:.1}x, shuffle {:.0}% of job\n",
+        f1a.reducer_byte_ratio,
+        f1a.shuffle_fraction_of_job * 100.0
+    );
+    let f1b = fig1::run_fig1b(6);
+    eprintln!("{}", f1b.render());
+
+    let mut g = c.benchmark_group("fig1_motivation");
+    g.sample_size(20);
+    g.bench_function("fig1a_toy_sort", |b| b.iter(fig1::run_fig1a));
+    g.bench_function("fig1b_collision_stats", |b| b.iter(|| fig1::run_fig1b(2)));
+    g.finish();
+}
+
+criterion_group!(benches, fig1_bench);
+criterion_main!(benches);

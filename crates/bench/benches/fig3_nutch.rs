@@ -1,0 +1,33 @@
+//! Figure 3 bench: regenerates the Nutch Pythia-vs-ECMP rows once, then
+//! times single Nutch runs under each scheduler at the blocking ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_bench::{bench_cfg, bench_scale};
+use pythia_cluster::{run_scenario, SchedulerKind};
+use pythia_experiments::fig3;
+use pythia_workloads::Workload;
+
+fn fig3_bench(c: &mut Criterion) {
+    // Regenerate the figure rows (paper series) once.
+    let fig = fig3::run(&bench_scale());
+    eprintln!("\n{}", fig.render());
+
+    let mut g = c.benchmark_group("fig3_nutch");
+    g.sample_size(10);
+    for scheduler in [SchedulerKind::Ecmp, SchedulerKind::Pythia] {
+        g.bench_function(format!("{}@1:20", scheduler.label()), |b| {
+            b.iter(|| {
+                let w = fig3::nutch_at_scale(0.05);
+                let cfg = bench_cfg()
+                    .with_scheduler(scheduler)
+                    .with_oversubscription(20)
+                    .with_seed(1);
+                run_scenario(w.job(), &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig3_bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4 bench: regenerates the Sort Pythia-vs-ECMP rows once, then
+//! times single sort runs under each scheduler and ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_bench::{bench_cfg, bench_scale};
+use pythia_cluster::{run_scenario, SchedulerKind};
+use pythia_experiments::fig4;
+use pythia_workloads::Workload;
+
+fn fig4_bench(c: &mut Criterion) {
+    let fig = fig4::run(&bench_scale());
+    eprintln!("\n{}", fig.render());
+
+    let mut g = c.benchmark_group("fig4_sort");
+    g.sample_size(10);
+    for scheduler in [SchedulerKind::Ecmp, SchedulerKind::Pythia] {
+        for ratio in [1u32, 20] {
+            g.bench_function(format!("{}@1:{ratio}", scheduler.label()), |b| {
+                b.iter(|| {
+                    let w = fig4::sort_at_scale(0.02);
+                    let cfg = bench_cfg()
+                        .with_scheduler(scheduler)
+                        .with_oversubscription(ratio)
+                        .with_seed(1);
+                    run_scenario(w.job(), &cfg)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4_bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 5 bench: regenerates the prediction promptness/accuracy table
+//! once, then times the full prediction pipeline (instrumented sort run +
+//! curve evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_bench::bench_scale;
+use pythia_experiments::fig5;
+use pythia_metrics::evaluate_prediction;
+
+fn fig5_bench(c: &mut Criterion) {
+    let r = fig5::run(&bench_scale());
+    eprintln!("\n{}", r.render());
+
+    let mut g = c.benchmark_group("fig5_prediction");
+    g.sample_size(10);
+    g.bench_function("instrumented_sort_run", |b| {
+        b.iter(|| fig5::run(&bench_scale()))
+    });
+    // Curve evaluation alone, on the curves from the run above.
+    let node = r.sample_server;
+    let predicted = r.report.predicted_curves[&node].clone();
+    let measured = r.report.measured_curves[&node].clone();
+    g.bench_function("curve_evaluation", |b| {
+        b.iter(|| evaluate_prediction(&predicted, &measured, 20))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5_bench);
+criterion_main!(benches);

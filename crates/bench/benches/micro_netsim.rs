@@ -1,0 +1,93 @@
+//! Microbenchmarks of the network substrate: max-min fair allocation at
+//! various flow counts, FlowNet event-loop primitives, topology builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pythia_des::SimTime;
+use pythia_netsim::fairshare::{max_min_fair, FlowPath};
+use pythia_netsim::{
+    build_multi_rack, FiveTuple, FlowNet, FlowSpec, MultiRackParams, Path,
+};
+
+fn fairshare_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fairshare");
+    for &n_flows in &[10usize, 100, 1000] {
+        // A 2-trunk fabric: every flow crosses a NIC link + one of two
+        // shared trunks, approximating the shuffle's real structure.
+        let n_links = n_flows + 2;
+        let caps: Vec<f64> = (0..n_links)
+            .map(|l| if l < 2 { 10e9 } else { 1e9 })
+            .collect();
+        let link_lists: Vec<[usize; 2]> = (0..n_flows).map(|i| [i % 2, 2 + i]).collect();
+        let flows: Vec<FlowPath<'_>> = link_lists
+            .iter()
+            .map(|l| FlowPath {
+                links: l,
+                cbr_rate_bps: None,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("max_min_fair", n_flows), &flows, |b, f| {
+            b.iter(|| max_min_fair(&caps, f))
+        });
+    }
+    g.finish();
+}
+
+fn flownet_ops(c: &mut Criterion) {
+    let mr = build_multi_rack(&MultiRackParams::default());
+    let topo = &mr.topology;
+    let cross_path = |s: usize, d: usize, trunk: usize| {
+        let up = topo.find_link(mr.servers[s], mr.tors[0], 0).unwrap();
+        let tr = topo.find_link(mr.tors[0], mr.tors[1], trunk).unwrap();
+        let down = topo.find_link(mr.tors[1], mr.servers[d], 0).unwrap();
+        Path::new(topo, vec![up, tr, down]).unwrap()
+    };
+    let mut g = c.benchmark_group("flownet");
+    g.bench_function("start_recompute_advance_100_flows", |b| {
+        b.iter(|| {
+            let mut net = FlowNet::new(mr.topology.clone());
+            for i in 0..100u16 {
+                let s = (i as usize) % 5;
+                let d = 5 + (i as usize) % 5;
+                let t = FiveTuple::tcp(mr.servers[s], mr.servers[d], 40000 + i, 50060);
+                net.start_flow(
+                    FlowSpec::tcp_transfer(t, 10_000_000),
+                    cross_path(s, d, (i % 2) as usize),
+                );
+            }
+            net.recompute();
+            net.advance_to(SimTime::from_millis(10));
+            net.next_completion()
+        })
+    });
+    g.bench_function("recompute_steady_state", |b| {
+        let mut net = FlowNet::new(mr.topology.clone());
+        for i in 0..100u16 {
+            let s = (i as usize) % 5;
+            let d = 5 + (i as usize) % 5;
+            let t = FiveTuple::tcp(mr.servers[s], mr.servers[d], 40000 + i, 50060);
+            net.start_flow(
+                FlowSpec::tcp_transfer(t, 10_000_000_000),
+                cross_path(s, d, (i % 2) as usize),
+            );
+        }
+        b.iter(|| net.recompute())
+    });
+    g.finish();
+}
+
+fn topology_build(c: &mut Criterion) {
+    c.bench_function("build_multi_rack_8x16", |b| {
+        b.iter(|| {
+            build_multi_rack(&MultiRackParams {
+                racks: 8,
+                servers_per_rack: 16,
+                nic_bps: 10e9,
+                trunk_count: 4,
+                trunk_bps: 40e9,
+            })
+        })
+    });
+}
+
+criterion_group!(benches, fairshare_scaling, flownet_ops, topology_build);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the Pythia control loop: instrumentation decode,
+//! collector aggregation, predictive allocator placement, and the §V-C
+//! spike cost path (index encode/decode round trip).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pythia_core::{FlowAllocator, Instrumentation, PathChoice};
+use pythia_core::collector::Collector;
+use pythia_des::SimTime;
+use pythia_hadoop::{IndexFile, JobId, MapTaskId, ReducerId, ServerId};
+use pythia_netsim::{build_multi_rack, MultiRackParams, Path};
+
+fn instrumentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instrumentation");
+    for &parts in &[2usize, 20, 200] {
+        let sizes: Vec<u64> = (0..parts as u64).map(|r| 1_000_000 + r * 1000).collect();
+        let data = IndexFile::from_partition_sizes(&sizes, 1.0).encode();
+        g.bench_with_input(BenchmarkId::new("spill_to_prediction", parts), &data, |b, d| {
+            let mut inst = Instrumentation::new(ServerId(0));
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                inst.on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(i), d).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn collector_aggregation(c: &mut Criterion) {
+    let mr = build_multi_rack(&MultiRackParams::default());
+    let mut g = c.benchmark_group("collector");
+    g.bench_function("prediction_fanout_20_reducers", |b| {
+        b.iter(|| {
+            let mut col = Collector::new(mr.servers.clone());
+            for r in 0..20u32 {
+                col.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(r), ServerId(r % 10));
+            }
+            let mut inst = Instrumentation::new(ServerId(0));
+            let sizes = vec![1_000_000u64; 20];
+            let data = IndexFile::from_partition_sizes(&sizes, 1.0).encode();
+            for m in 0..50u32 {
+                let msg = inst.on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(m), &data).unwrap();
+                let _ = col.on_prediction(SimTime::from_secs(1), &msg);
+            }
+            col
+        })
+    });
+    g.finish();
+}
+
+fn allocator_placement(c: &mut Criterion) {
+    let mr = build_multi_rack(&MultiRackParams::default());
+    let topo = &mr.topology;
+    let mk_path = |s: usize, d: usize, trunk: usize| {
+        let up = topo.find_link(mr.servers[s], mr.tors[0], 0).unwrap();
+        let tr = topo.find_link(mr.tors[0], mr.tors[1], trunk).unwrap();
+        let down = topo.find_link(mr.tors[1], mr.servers[d], 0).unwrap();
+        Path::new(topo, vec![up, tr, down]).unwrap()
+    };
+    let mut g = c.benchmark_group("allocator");
+    g.bench_function("place_25_pairs_over_2_trunks", |b| {
+        b.iter(|| {
+            let mut a = FlowAllocator::new();
+            for s in 0..5 {
+                for d in 5..10 {
+                    let cands = vec![
+                        PathChoice { path: mk_path(s, d, 0), resid_bps: 1e9 },
+                        PathChoice { path: mk_path(s, d, 1), resid_bps: 1e9 },
+                    ];
+                    a.place((mr.servers[s], mr.servers[d]), 100_000_000, &cands);
+                }
+            }
+            a
+        })
+    });
+    g.bench_function("reassign_under_background_shift", |b| {
+        let mut a = FlowAllocator::new();
+        let pair = (mr.servers[0], mr.servers[5]);
+        let cands_even = vec![
+            PathChoice { path: mk_path(0, 5, 0), resid_bps: 1e9 },
+            PathChoice { path: mk_path(0, 5, 1), resid_bps: 1e9 },
+        ];
+        a.place(pair, 100_000_000, &cands_even);
+        let cands_skew = vec![
+            PathChoice { path: mk_path(0, 5, 0), resid_bps: 0.05e9 },
+            PathChoice { path: mk_path(0, 5, 1), resid_bps: 0.95e9 },
+        ];
+        b.iter(|| {
+            // Alternate so the reassign actually evaluates both ways.
+            a.reassign(pair, &cands_skew, 1.5);
+            a.reassign(pair, &cands_even, 1.5)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, instrumentation, collector_aggregation, allocator_placement);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Microbenchmarks of the SDN substrate: routing algorithms, flow-table
+//! lookups under rule pressure, ECMP hashing, dataplane path resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pythia_baselines::EcmpForwarding;
+use pythia_des::RngFactory;
+use pythia_netsim::{build_multi_rack, FiveTuple, MultiRackParams, NodeId};
+use pythia_openflow::{
+    k_shortest_paths, Controller, ControllerConfig, Dataplane, DefaultForwarding, EcmpNextHops,
+    FlowMatch, FlowRule, FlowTable,
+};
+
+fn routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for &(racks, trunks) in &[(2u32, 2u32), (4, 4), (8, 4)] {
+        let mr = build_multi_rack(&MultiRackParams {
+            racks,
+            servers_per_rack: 8,
+            nic_bps: 10e9,
+            trunk_count: trunks,
+            trunk_bps: 40e9,
+        });
+        let src = mr.servers[0];
+        let dst = *mr.servers.last().unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("yen_k4", format!("{racks}racks_{trunks}trunks")),
+            &mr,
+            |b, mr| b.iter(|| k_shortest_paths(&mr.topology, src, dst, 4)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("ecmp_next_hops", format!("{racks}racks_{trunks}trunks")),
+            &mr,
+            |b, mr| b.iter(|| EcmpNextHops::compute(&mr.topology)),
+        );
+    }
+    // Full controller startup: all-pairs path cache (what OpenDaylight's
+    // topology service pays on every change event).
+    let mr = build_multi_rack(&MultiRackParams::default());
+    g.bench_function("controller_startup_path_cache", |b| {
+        b.iter(|| {
+            Controller::new(
+                mr.topology.clone(),
+                ControllerConfig::default(),
+                &RngFactory::new(1),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn flow_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_table");
+    for &rules in &[10usize, 100, 1000] {
+        let mut t = FlowTable::new(rules + 1);
+        for i in 0..rules {
+            t.install(FlowRule {
+                matcher: FlowMatch::server_pair(NodeId(i as u32), NodeId(1000)),
+                priority: 100,
+                out_link: pythia_netsim::LinkId(0),
+            })
+            .unwrap();
+        }
+        let hit = FiveTuple::tcp(NodeId(rules as u32 / 2), NodeId(1000), 40000, 50060);
+        let miss = FiveTuple::tcp(NodeId(9999), NodeId(1000), 40000, 50060);
+        g.bench_with_input(BenchmarkId::new("lookup_hit", rules), &hit, |b, tu| {
+            let mut t = t.clone();
+            b.iter(|| t.lookup(tu))
+        });
+        g.bench_with_input(BenchmarkId::new("lookup_miss", rules), &miss, |b, tu| {
+            let mut t = t.clone();
+            b.iter(|| t.lookup(tu))
+        });
+    }
+    g.finish();
+}
+
+fn dataplane_resolution(c: &mut Criterion) {
+    let mr = build_multi_rack(&MultiRackParams::default());
+    let mut dp = Dataplane::new(&mr.topology, 2000);
+    let nh = EcmpNextHops::compute(&mr.topology);
+    let ecmp = EcmpForwarding::new(42);
+    // Install rules for half the server pairs.
+    let mut ctl = Controller::new(
+        mr.topology.clone(),
+        ControllerConfig::default(),
+        &RngFactory::new(1),
+    );
+    for (i, &s) in mr.servers.iter().enumerate() {
+        for (j, &d) in mr.servers.iter().enumerate() {
+            if s == d || (i + j) % 2 == 0 {
+                continue;
+            }
+            let path = ctl.paths(s, d)[0].clone();
+            for p in ctl.install_path(FlowMatch::server_pair(s, d), &path, 100) {
+                dp.install(p.switch, p.rule).unwrap();
+            }
+        }
+    }
+    let mut g = c.benchmark_group("dataplane");
+    let ruled = FiveTuple::tcp(mr.servers[0], mr.servers[5], 40000, 50060);
+    let unruled = FiveTuple::tcp(mr.servers[0], mr.servers[6], 40000, 50060);
+    let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
+    g.bench_function("resolve_ruled_path", |b| {
+        b.iter(|| dp.resolve_path(&mr.topology, &ruled, &ecmp, &cands).unwrap())
+    });
+    g.bench_function("resolve_default_ecmp_path", |b| {
+        b.iter(|| dp.resolve_path(&mr.topology, &unruled, &ecmp, &cands).unwrap())
+    });
+    g.bench_function("ecmp_hash_choose", |b| {
+        let candidates = nh.candidates(mr.tors[0], mr.servers[5]).to_vec();
+        b.iter(|| ecmp.choose(mr.tors[0], &ruled, &candidates))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, routing, flow_tables, dataplane_resolution);
+criterion_main!(benches);

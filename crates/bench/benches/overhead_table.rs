@@ -1,0 +1,31 @@
+//! Section V-C bench: regenerates the instrumentation-overhead table
+//! once, then times the overhead-model evaluation and the index decode
+//! path that produces the "spike" cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_bench::bench_scale;
+use pythia_core::MiddlewareCostModel;
+use pythia_des::SimDuration;
+use pythia_experiments::overhead;
+use pythia_hadoop::IndexFile;
+
+fn overhead_bench(c: &mut Criterion) {
+    let table = overhead::run(&bench_scale());
+    eprintln!("\n{}", table.render());
+
+    let mut g = c.benchmark_group("overhead");
+    let model = MiddlewareCostModel::default();
+    g.bench_function("cost_model_eval", |b| {
+        b.iter(|| model.overhead_fraction(94, 256_000_000, SimDuration::from_secs(535)))
+    });
+    // The per-spill work the middleware actually does: decode the index.
+    let sizes: Vec<u64> = (0..20).map(|r| 10_000_000 + r * 123_456).collect();
+    let encoded = IndexFile::from_partition_sizes(&sizes, 1.0).encode();
+    g.bench_function("index_decode_20_partitions", |b| {
+        b.iter(|| IndexFile::decode(&encoded).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, overhead_bench);
+criterion_main!(benches);

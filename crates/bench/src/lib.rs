@@ -1,0 +1,28 @@
+//! `pythia-bench` — Criterion benchmark harness.
+//!
+//! One bench per paper figure/table (each prints the regenerated
+//! paper-style rows once, then times the underlying simulation runs) plus
+//! microbenchmarks of the performance-critical components (max-min fair
+//! allocation, k-shortest paths, flow tables, the predictive allocator).
+//!
+//! Run with `cargo bench --workspace`; see EXPERIMENTS.md for recorded
+//! output.
+
+use pythia_cluster::ScenarioConfig;
+use pythia_experiments::FigureScale;
+
+/// The scale benches run scenarios at: small enough for Criterion's
+/// repeated sampling, large enough to exercise the real machinery.
+pub fn bench_scale() -> FigureScale {
+    FigureScale {
+        input_frac: 0.05,
+        seeds: vec![1, 2],
+        ratios: vec![1, 20],
+        threads: pythia_experiments::default_threads(),
+    }
+}
+
+/// Base scenario config for single-run timing benches.
+pub fn bench_cfg() -> ScenarioConfig {
+    ScenarioConfig::default()
+}

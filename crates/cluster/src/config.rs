@@ -1,0 +1,144 @@
+//! Scenario configuration: everything needed to reproduce one run.
+
+use pythia_des::SimDuration;
+use pythia_hadoop::HadoopConfig;
+use pythia_netsim::{BackgroundProfile, MultiRackParams, OverSubscription};
+use pythia_openflow::ControllerConfig;
+use pythia_baselines::HederaConfig;
+use pythia_core::PythiaConfig;
+
+/// Which flow scheduler manages shuffle traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Random load-unaware 5-tuple hashing (the paper's baseline).
+    Ecmp,
+    /// The full Pythia system: prediction + SDN path installation.
+    Pythia,
+    /// Hedera-like reactive elephant rerouting (ablation).
+    Hedera,
+}
+
+impl SchedulerKind {
+    /// Short lower-case label used in reports and CSVs.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Ecmp => "ecmp",
+            SchedulerKind::Pythia => "pythia",
+            SchedulerKind::Hedera => "hedera",
+        }
+    }
+}
+
+/// A scheduled trunk-cable fault (fails both directions of the cable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Which trunk cable (duplex pair index) fails.
+    pub trunk_cable: usize,
+    /// When it fails, relative to job start.
+    pub fail_at: SimDuration,
+    /// When it comes back, if ever.
+    pub restore_at: Option<SimDuration>,
+}
+
+/// A complete, reproducible scenario description.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Cluster/network shape.
+    pub topology: MultiRackParams,
+    /// Over-subscription ratio 1:N emulated by background traffic.
+    pub oversubscription: OverSubscription,
+    /// How the background load moves across parallel trunks over time.
+    pub background: BackgroundProfile,
+    /// The flow scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Hadoop framework knobs.
+    pub hadoop: HadoopConfig,
+    /// Pythia knobs (used when `scheduler` is Pythia).
+    pub pythia: PythiaConfig,
+    /// SDN controller knobs.
+    pub controller: ControllerConfig,
+    /// Hedera knobs (used when `scheduler` is Hedera).
+    pub hedera: HederaConfig,
+    /// Wildcard TCAM capacity per switch.
+    pub tcam_capacity: usize,
+    /// NetFlow probe sampling period.
+    pub probe_period: SimDuration,
+    /// Controller link-load update period.
+    pub link_load_period: SimDuration,
+    /// Scheduled trunk-cable faults (fault-tolerance experiments; §IV's
+    /// "the routing graph is updated at the event of link or switch
+    /// failure").
+    pub link_faults: Vec<LinkFault>,
+    /// Master seed: drives task jitter, ECMP hash salt, install latencies,
+    /// wire-overhead sampling.
+    pub seed: u64,
+    /// Watchdog: abort if simulated time exceeds this.
+    pub max_sim_time: SimDuration,
+    /// Watchdog: abort if event count exceeds this.
+    pub max_events: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            topology: MultiRackParams::default(),
+            oversubscription: OverSubscription::NONE,
+            background: BackgroundProfile::default(),
+            scheduler: SchedulerKind::Ecmp,
+            hadoop: HadoopConfig::default(),
+            pythia: PythiaConfig::default(),
+            controller: ControllerConfig::default(),
+            hedera: HederaConfig::default(),
+            tcam_capacity: 2000,
+            probe_period: SimDuration::from_millis(500),
+            link_load_period: SimDuration::from_secs(1),
+            link_faults: Vec::new(),
+            seed: 1,
+            max_sim_time: SimDuration::from_secs(24 * 3600),
+            max_events: 50_000_000,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Set the flow scheduler.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Set the over-subscription ratio to 1:`n`.
+    pub fn with_oversubscription(mut self, n: u32) -> Self {
+        self.oversubscription = OverSubscription(n);
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = ScenarioConfig::default()
+            .with_scheduler(SchedulerKind::Pythia)
+            .with_oversubscription(20)
+            .with_seed(7);
+        assert_eq!(c.scheduler, SchedulerKind::Pythia);
+        assert_eq!(c.oversubscription, OverSubscription(20));
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulerKind::Ecmp.label(), "ecmp");
+        assert_eq!(SchedulerKind::Pythia.label(), "pythia");
+        assert_eq!(SchedulerKind::Hedera.label(), "hedera");
+    }
+}

@@ -1,0 +1,785 @@
+//! The discrete-event engine: Hadoop × network × SDN control × Pythia.
+//!
+//! This is the only place in the workspace where simulated time actually
+//! advances. The engine owns the event queue and drives the pure state
+//! machines of the domain crates according to their contracts:
+//!
+//! * [`pythia_netsim::FlowNet`] — advance → mutate → recompute → schedule
+//!   the single next-completion event;
+//! * [`pythia_hadoop::MapReduceSim`] — feed timer/fetch inputs, act on the
+//!   returned [`HadoopEvent`]s;
+//! * [`pythia_core::PythiaSystem`] — spill/prediction/reducer/fetch hooks,
+//!   returned rules scheduled with their hardware install latency;
+//! * [`pythia_baselines::HederaScheduler`] — periodic rebalance ticks.
+//!
+//! Forwarding fidelity: every shuffle flow's path is resolved by walking
+//! the switch flow tables ([`pythia_openflow::Dataplane`]), falling back
+//! to ECMP hashing where no rule matches. A rule that becomes active
+//! mid-flow re-resolves and reroutes the matching in-flight flows, exactly
+//! like hardware that matches packets, not flows.
+
+use std::collections::BTreeMap;
+
+use pythia_baselines::{EcmpForwarding, HederaScheduler};
+use pythia_core::{overhead, PredictionMsg, PythiaSystem};
+use pythia_des::{EventId, EventQueue, RngFactory, SimTime};
+use pythia_hadoop::{
+    FetchId, HadoopEvent, JobId, MapReduceSim, MapTaskId, ReducerId, ServerId,
+};
+use pythia_metrics::{FlowTrace, ShuffleFlowRecord};
+use pythia_netsim::{
+    background_flows, build_multi_rack, redraw_group_rates, BackgroundProfile, FiveTuple, FlowId,
+    FlowNet, FlowSpec, LinkId, MultiRack, NetFlowProbe, NodeId, Path,
+};
+use pythia_openflow::{Controller, Dataplane, EcmpNextHops, FlowRule};
+
+use crate::config::{ScenarioConfig, SchedulerKind};
+use crate::report::{JobOutcome, MultiRunReport, RunReport};
+
+/// Engine events.
+#[derive(Debug)]
+enum Event {
+    JobStart(JobId),
+    MapFinish(JobId, MapTaskId),
+    ReducerStart(JobId, ReducerId),
+    SortFinish(JobId, ReducerId),
+    ReducerFinish(JobId, ReducerId),
+    /// The projected earliest flow completion (content-free: the top-of-
+    /// loop advance does the work).
+    FlowCheck,
+    PredictionDeliver(PredictionMsg),
+    RuleActive { switch: NodeId, rule: FlowRule },
+    HederaTick,
+    LinkLoadSample,
+    ProbeSample,
+    /// Redraw the background split across parallel trunks (the
+    /// fluctuating-background profile).
+    BackgroundChange,
+    /// A trunk cable fails or recovers.
+    LinkState { trunk_cable: usize, up: bool },
+}
+
+/// Metadata the engine keeps per in-flight fetch (Hadoop drops its own
+/// copy when the fetch completes, but Pythia's drain needs it after).
+#[derive(Debug, Clone, Copy)]
+struct FetchInfo {
+    map: MapTaskId,
+    reducer: ReducerId,
+    src: ServerId,
+    dst: ServerId,
+}
+
+/// Run one scenario to job completion.
+pub fn run_scenario(job: pythia_hadoop::JobSpec, cfg: &ScenarioConfig) -> RunReport {
+    let multi = run_multi_scenario(vec![(job, pythia_des::SimDuration::ZERO)], cfg);
+    multi.into_single()
+}
+
+/// Run several jobs concurrently (each submitted at its start offset).
+/// Pythia's collector aggregates predictions across all of them — two
+/// jobs shuffling between the same server pair share one aggregated
+/// transfer and one rule, exactly as the §IV aggregation implies.
+pub fn run_multi_scenario(
+    jobs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+    cfg: &ScenarioConfig,
+) -> MultiRunReport {
+    Engine::new(jobs, cfg).run()
+}
+
+/// One job being driven by the engine.
+struct JobSlot {
+    sim: MapReduceSim,
+    name: String,
+    start_at: SimTime,
+    started: bool,
+}
+
+struct Engine<'a> {
+    cfg: &'a ScenarioConfig,
+    mr: MultiRack,
+    net: FlowNet,
+    dataplane: Dataplane,
+    controller: Controller,
+    nexthops: EcmpNextHops,
+    ecmp: EcmpForwarding,
+    jobs: Vec<JobSlot>,
+    pythia: Option<PythiaSystem>,
+    hedera: Option<HederaScheduler>,
+    /// Static CBR background per link (bits/sec) — what the link-load
+    /// service would report net of Pythia's own shuffle traffic.
+    background_bps: Vec<f64>,
+    queue: EventQueue<Event>,
+    flowcheck: Option<EventId>,
+    fetch_of_flow: BTreeMap<FlowId, (JobId, FetchId)>,
+    info_of_fetch: BTreeMap<(JobId, FetchId), FetchInfo>,
+    probe: NetFlowProbe,
+    trace: FlowTrace,
+    /// Per trunk direction group: (capacity, member CBR flow ids ordered
+    /// like the group's links).
+    bg_groups: Vec<(f64, Vec<(LinkId, FlowId)>)>,
+    bg_rng: rand::rngs::SmallRng,
+    /// Directed links currently down (both directions of failed cables).
+    down_links: std::collections::HashSet<LinkId>,
+    /// Original capacities, for restoration.
+    orig_capacity: Vec<f64>,
+    wire_seed: u64,
+    events_processed: u64,
+    rules_installed: u64,
+    net_dirty: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        job_specs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+        cfg: &'a ScenarioConfig,
+    ) -> Engine<'a> {
+        assert!(!job_specs.is_empty(), "need at least one job");
+        let mr = build_multi_rack(&cfg.topology);
+        let rngs = RngFactory::new(cfg.seed);
+        let mut net = FlowNet::new(mr.topology.clone());
+
+        // Background load emulating over-subscription (§V-A): one CBR
+        // stream per trunk cable, grouped by direction so the fluctuating
+        // profile can redistribute load within each group.
+        let mut background_bps = vec![0.0; mr.topology.num_links()];
+        let mut group_map: BTreeMap<(NodeId, NodeId), (f64, Vec<(LinkId, FlowId)>)> =
+            BTreeMap::new();
+        for (spec, links) in background_flows(&mr.topology, &mr.trunk_links, cfg.oversubscription)
+        {
+            if let pythia_netsim::FlowKind::Cbr { rate_bps } = spec.kind {
+                for &l in &links {
+                    background_bps[l.0 as usize] += rate_bps;
+                }
+            }
+            let link = links[0];
+            let (src, dst, cap) = {
+                let l = mr.topology.link(link);
+                (l.src, l.dst, l.capacity_bps)
+            };
+            let path = Path::new(&mr.topology, links).expect("bad background path");
+            let fid = net.start_flow(spec, path);
+            group_map
+                .entry((src, dst))
+                .or_insert((cap, Vec::new()))
+                .1
+                .push((link, fid));
+        }
+        let bg_groups: Vec<(f64, Vec<(LinkId, FlowId)>)> = group_map.into_values().collect();
+        net.recompute();
+
+        let dataplane = Dataplane::new(&mr.topology, cfg.tcam_capacity);
+        let controller = Controller::new(mr.topology.clone(), cfg.controller.clone(), &rngs);
+        let nexthops = EcmpNextHops::compute(&mr.topology);
+        let ecmp = EcmpForwarding::new(pythia_des::splitmix64(cfg.seed ^ 0xec3b));
+
+        let servers: Vec<ServerId> = (0..mr.servers.len() as u32).map(ServerId).collect();
+        let jobs: Vec<JobSlot> = job_specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (spec, offset))| JobSlot {
+                name: spec.name.clone(),
+                sim: MapReduceSim::new(
+                    cfg.hadoop.clone(),
+                    spec,
+                    servers.clone(),
+                    &RngFactory::new(pythia_des::splitmix64(cfg.seed ^ (i as u64) << 17)),
+                ),
+                start_at: SimTime::ZERO + offset,
+                started: false,
+            })
+            .collect();
+
+        let pythia = match cfg.scheduler {
+            SchedulerKind::Pythia => Some(PythiaSystem::new(
+                cfg.pythia.clone(),
+                mr.servers.clone(),
+            )),
+            _ => None,
+        };
+        let hedera = match cfg.scheduler {
+            SchedulerKind::Hedera => Some(HederaScheduler::new(cfg.hedera.clone())),
+            _ => None,
+        };
+
+        let probe = NetFlowProbe::new(mr.servers.clone());
+
+        Engine {
+            cfg,
+            net,
+            dataplane,
+            controller,
+            nexthops,
+            ecmp,
+            jobs,
+            pythia,
+            hedera,
+            background_bps,
+            queue: EventQueue::new(),
+            flowcheck: None,
+            fetch_of_flow: BTreeMap::new(),
+            info_of_fetch: BTreeMap::new(),
+            probe,
+            trace: FlowTrace::default(),
+            bg_groups,
+            bg_rng: rngs.stream("background-fluctuation"),
+            down_links: std::collections::HashSet::new(),
+            orig_capacity: (0..mr.topology.num_links())
+                .map(|l| mr.topology.link(LinkId(l as u32)).capacity_bps)
+                .collect(),
+            wire_seed: pythia_des::splitmix64(cfg.seed ^ 0x31f3),
+            events_processed: 0,
+            rules_installed: 0,
+            net_dirty: false,
+            mr,
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.jobs.iter().all(|j| j.sim.is_done())
+    }
+
+    fn node_of(&self, s: ServerId) -> NodeId {
+        self.mr.servers[s.0 as usize]
+    }
+
+    fn run(mut self) -> MultiRunReport {
+        // Kick off: periodic samplers, Hedera ticks, the job itself.
+        self.probe.sample(&self.net);
+        self.queue
+            .push(SimTime::ZERO + self.cfg.probe_period, Event::ProbeSample);
+        self.queue.push(
+            SimTime::ZERO + self.cfg.link_load_period,
+            Event::LinkLoadSample,
+        );
+        if self.hedera.is_some() {
+            self.queue
+                .push(SimTime::ZERO + self.cfg.hedera.period, Event::HederaTick);
+        }
+        for fault in &self.cfg.link_faults {
+            self.queue.push(
+                SimTime::ZERO + fault.fail_at,
+                Event::LinkState { trunk_cable: fault.trunk_cable, up: false },
+            );
+            if let Some(at) = fault.restore_at {
+                self.queue.push(
+                    SimTime::ZERO + at,
+                    Event::LinkState { trunk_cable: fault.trunk_cable, up: true },
+                );
+            }
+        }
+        if let BackgroundProfile::Fluctuating { .. } = self.cfg.background {
+            if !self.bg_groups.is_empty() {
+                // First draw at t=0 so runs start asymmetric already.
+                self.on_background_change(SimTime::ZERO);
+            }
+        }
+        for i in 0..self.jobs.len() {
+            let job = JobId(i as u32);
+            let at = self.jobs[i].start_at;
+            self.queue.push(at, Event::JobStart(job));
+        }
+        self.finish_round();
+
+        while let Some((now, _, ev)) = self.queue.pop() {
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.cfg.max_events,
+                "watchdog: event budget exhausted ({})",
+                self.cfg.max_events
+            );
+            assert!(
+                now.saturating_since(SimTime::ZERO) <= self.cfg.max_sim_time,
+                "watchdog: simulated time budget exhausted at {now}"
+            );
+            // 1. Integrate the network up to now; handle completions.
+            let completed = self.net.advance_to(now);
+            for fid in completed {
+                self.on_flow_complete(now, fid);
+            }
+            // 2. The event itself.
+            match ev {
+                Event::JobStart(j) => {
+                    let slot = &mut self.jobs[j.0 as usize];
+                    debug_assert!(!slot.started);
+                    slot.started = true;
+                    let evts = slot.sim.start(now);
+                    self.apply_hadoop_events(now, j, evts);
+                }
+                Event::MapFinish(j, m) => {
+                    let evts = self.jobs[j.0 as usize].sim.map_finished(now, m);
+                    self.apply_hadoop_events(now, j, evts);
+                }
+                Event::ReducerStart(j, r) => {
+                    let evts = self.jobs[j.0 as usize].sim.reducer_started(now, r);
+                    self.apply_hadoop_events(now, j, evts);
+                }
+                Event::SortFinish(j, r) => {
+                    let evts = self.jobs[j.0 as usize].sim.sort_finished(now, r);
+                    self.apply_hadoop_events(now, j, evts);
+                }
+                Event::ReducerFinish(j, r) => {
+                    let evts = self.jobs[j.0 as usize].sim.reducer_finished(now, r);
+                    self.apply_hadoop_events(now, j, evts);
+                }
+                Event::FlowCheck => {
+                    // Work done by the advance above.
+                    self.flowcheck = None;
+                }
+                Event::PredictionDeliver(msg) => self.on_prediction(now, &msg),
+                Event::RuleActive { switch, rule } => self.on_rule_active(switch, rule),
+                Event::HederaTick => self.on_hedera_tick(now),
+                Event::LinkLoadSample => self.on_link_load_sample(now),
+                Event::ProbeSample => {
+                    self.probe.sample(&self.net);
+                    if !self.all_done() {
+                        self.queue
+                            .push(now + self.cfg.probe_period, Event::ProbeSample);
+                    }
+                }
+                Event::BackgroundChange => self.on_background_change(now),
+                Event::LinkState { trunk_cable, up } => self.on_link_state(now, trunk_cable, up),
+            }
+            if self.all_done() {
+                // Final probe point at job end, then stop: only unbounded
+                // background flows remain.
+                if self.net_dirty {
+                    self.net.recompute();
+                }
+                self.probe.sample(&self.net);
+                break;
+            }
+            self.finish_round();
+        }
+
+        assert!(
+            self.all_done(),
+            "event queue drained before job completion — lost event?"
+        );
+        self.build_report()
+    }
+
+    /// Recompute rates and reschedule the completion probe after any flow
+    /// mutation.
+    fn finish_round(&mut self) {
+        if self.net_dirty {
+            self.net.recompute();
+            self.net_dirty = false;
+            if let Some(h) = self.flowcheck.take() {
+                self.queue.cancel(h);
+            }
+            if let Some((t, _)) = self.net.next_completion() {
+                self.flowcheck = Some(self.queue.push(t, Event::FlowCheck));
+            }
+        } else if self.flowcheck.is_none() {
+            if let Some((t, _)) = self.net.next_completion() {
+                self.flowcheck = Some(self.queue.push(t, Event::FlowCheck));
+            }
+        }
+    }
+
+    fn apply_hadoop_events(&mut self, now: SimTime, job: JobId, evts: Vec<HadoopEvent>) {
+        for e in evts {
+            match e {
+                HadoopEvent::MapFinishAt { map, at } => {
+                    self.queue.push(at, Event::MapFinish(job, map));
+                }
+                HadoopEvent::SpillIndex { map, server, data } => {
+                    if let Some(py) = self.pythia.as_mut() {
+                        if let Some((msg, deliver_at)) = py.on_spill(now, job, map, server, &data)
+                        {
+                            self.queue.push(deliver_at, Event::PredictionDeliver(msg));
+                        }
+                    }
+                }
+                HadoopEvent::ReducerLaunchAt { reducer, at } => {
+                    self.queue.push(at, Event::ReducerStart(job, reducer));
+                }
+                HadoopEvent::ReducerLaunched { reducer, server } => {
+                    if let Some(mut py) = self.pythia.take() {
+                        let bg = self.background_bps.clone();
+                        let rules = py.on_reducer_launched(
+                            now,
+                            job,
+                            reducer,
+                            server,
+                            &mut self.controller,
+                            &move |l: LinkId| bg[l.0 as usize],
+                        );
+                        self.pythia = Some(py);
+                        self.schedule_rules(now, rules);
+                    }
+                }
+                HadoopEvent::FetchStart {
+                    fetch,
+                    map,
+                    reducer,
+                    src,
+                    dst,
+                    bytes,
+                    src_port,
+                    dst_port,
+                } => {
+                    self.start_fetch_flow(
+                        now, job, fetch, map, reducer, src, dst, bytes, src_port, dst_port,
+                    );
+                }
+                HadoopEvent::SortFinishAt { reducer, at } => {
+                    self.queue.push(at, Event::SortFinish(job, reducer));
+                }
+                HadoopEvent::ReducerFinishAt { reducer, at } => {
+                    self.queue.push(at, Event::ReducerFinish(job, reducer));
+                }
+                HadoopEvent::JobCompleted { .. } => {}
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_fetch_flow(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        fetch: FetchId,
+        map: MapTaskId,
+        reducer: ReducerId,
+        src: ServerId,
+        dst: ServerId,
+        app_bytes: u64,
+        src_port: u16,
+        dst_port: u16,
+    ) {
+        let src_node = self.node_of(src);
+        let dst_node = self.node_of(dst);
+        debug_assert_ne!(src_node, dst_node, "local fetches bypass the network");
+        // What actually crosses the wire: payload + real protocol overhead.
+        let wire_bytes = overhead::actual_wire_bytes(
+            app_bytes,
+            map.0,
+            reducer.0,
+            self.wire_seed ^ pythia_des::splitmix64(job.0 as u64),
+        );
+        let tuple = FiveTuple::tcp(src_node, dst_node, src_port, dst_port);
+        let nh = &self.nexthops;
+        let path = self
+            .dataplane
+            .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
+                nh.candidates(n, d).to_vec()
+            })
+            .expect("shuffle flow unroutable");
+        let fid = self
+            .net
+            .start_flow(FlowSpec::tcp_transfer(tuple, wire_bytes), path);
+        self.net_dirty = true;
+        self.fetch_of_flow.insert(fid, (job, fetch));
+        self.info_of_fetch.insert(
+            (job, fetch),
+            FetchInfo {
+                map,
+                reducer,
+                src,
+                dst,
+            },
+        );
+        let _ = now;
+    }
+
+    fn on_flow_complete(&mut self, now: SimTime, fid: FlowId) {
+        let report = self.net.remove_flow(fid);
+        self.net_dirty = true;
+        self.trace
+            .push(ShuffleFlowRecord::from_report(&report, &self.mr.trunk_links));
+        // Crisp measured curves: sample at every completion.
+        self.probe.sample(&self.net);
+        let (job, fetch) = self
+            .fetch_of_flow
+            .remove(&fid)
+            .expect("completed flow is not a fetch");
+        let info = self
+            .info_of_fetch
+            .remove(&(job, fetch))
+            .expect("unknown fetch");
+        if let Some(py) = self.pythia.as_mut() {
+            py.on_fetch_completed(job, info.map, info.reducer, info.src, info.dst);
+        }
+        let evts = self.jobs[job.0 as usize].sim.fetch_completed(now, fetch);
+        self.apply_hadoop_events(now, job, evts);
+    }
+
+    fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) {
+        if let Some(mut py) = self.pythia.take() {
+            let bg = self.background_bps.clone();
+            let rules = py.on_prediction_delivered(
+                now,
+                msg,
+                &mut self.controller,
+                &move |l: LinkId| bg[l.0 as usize],
+            );
+            self.pythia = Some(py);
+            self.schedule_rules(now, rules);
+        }
+    }
+
+    fn schedule_rules(&mut self, now: SimTime, rules: Vec<pythia_openflow::PendingRule>) {
+        for p in rules {
+            self.queue.push(
+                now + p.delay,
+                Event::RuleActive {
+                    switch: p.switch,
+                    rule: p.rule,
+                },
+            );
+        }
+    }
+
+    fn on_rule_active(&mut self, switch: NodeId, rule: FlowRule) {
+        // TCAM overflow: the rule is simply not installed; traffic keeps
+        // using the default path. Counted via dataplane occupancy.
+        if self.dataplane.install(switch, rule).is_ok() {
+            self.rules_installed += 1;
+        }
+        // A newly active rule redirects matching *in-flight* flows too —
+        // hardware matches packets, not flows.
+        let matching: Vec<(FlowId, FiveTuple)> = self
+            .net
+            .flows()
+            .filter(|(_, f)| {
+                f.spec.size_bytes.is_some()
+                    && !f.is_complete()
+                    && rule.matcher.matches(&f.spec.tuple)
+            })
+            .map(|(id, f)| (id, f.spec.tuple))
+            .collect();
+        for (fid, tuple) in matching {
+            let nh = &self.nexthops;
+            if let Ok(path) =
+                self.dataplane
+                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
+                        nh.candidates(n, d).to_vec()
+                    })
+            {
+                if path.links() != self.net.flow(fid).unwrap().path.links() {
+                    self.net.reroute_flow(fid, path);
+                    self.net_dirty = true;
+                }
+            }
+        }
+    }
+
+    fn on_hedera_tick(&mut self, now: SimTime) {
+        if let Some(mut hedera) = self.hedera.take() {
+            let bg = self.background_bps.clone();
+            let reroutes =
+                hedera.rebalance(&self.net, &self.controller, &move |l: LinkId| {
+                    bg[l.0 as usize]
+                });
+            for r in reroutes {
+                // Skip flows that completed during this tick's planning.
+                if self.net.flow(r.flow).is_some() {
+                    self.net.reroute_flow(r.flow, r.path);
+                    self.net_dirty = true;
+                }
+            }
+            self.hedera = Some(hedera);
+            if !self.all_done() {
+                self.queue.push(now + self.cfg.hedera.period, Event::HederaTick);
+            }
+        }
+    }
+
+    /// Redraw the background split within each trunk direction group and
+    /// notify the Pythia control loop (whose link-load view just changed).
+    fn on_background_change(&mut self, now: SimTime) {
+        let BackgroundProfile::Fluctuating { period_secs, spread } = self.cfg.background else {
+            return;
+        };
+        let frac = self.cfg.oversubscription.background_fraction();
+        if frac > 0.0 {
+            for (cap, members) in &self.bg_groups {
+                let alive: Vec<&(LinkId, FlowId)> = members
+                    .iter()
+                    .filter(|(l, _)| !self.down_links.contains(l))
+                    .collect();
+                if alive.is_empty() {
+                    continue;
+                }
+                // The direction's total background squeezes onto the
+                // surviving cables (scaled down to what they can carry).
+                let frac_alive =
+                    (frac * members.len() as f64 / alive.len() as f64).min(0.995);
+                let rates =
+                    redraw_group_rates(*cap, alive.len(), frac_alive, spread, &mut self.bg_rng);
+                for (&&(link, fid), rate) in alive.iter().zip(rates) {
+                    self.net.set_cbr_rate(fid, rate.max(1.0));
+                    self.background_bps[link.0 as usize] = rate;
+                }
+            }
+            self.net_dirty = true;
+            // Pythia's link-load service sees the shift; re-place active
+            // pairs whose path collapsed.
+            if let Some(mut py) = self.pythia.take() {
+                let bg = self.background_bps.clone();
+                let rules = py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
+                    bg[l.0 as usize]
+                });
+                self.pythia = Some(py);
+                self.schedule_rules(now, rules);
+            }
+        }
+        if !self.all_done() {
+            self.queue.push(
+                now + pythia_des::SimDuration::from_secs_f64(period_secs),
+                Event::BackgroundChange,
+            );
+        }
+    }
+
+    /// A trunk cable failed or recovered: degrade/restore both directed
+    /// links, update the controller's routing graph, flush dead rules,
+    /// reconverge ECMP, reroute affected in-flight flows, and let Pythia
+    /// re-place its active pairs.
+    fn on_link_state(&mut self, now: SimTime, trunk_cable: usize, up: bool) {
+        // trunk_links holds duplex pairs consecutively: cable i is
+        // entries 2i and 2i+1.
+        let a = self.mr.trunk_links[2 * trunk_cable];
+        let bdir = self.mr.trunk_links[2 * trunk_cable + 1];
+        for l in [a, bdir] {
+            if up {
+                self.down_links.remove(&l);
+                self.net
+                    .set_link_capacity(l, self.orig_capacity[l.0 as usize]);
+            } else {
+                self.down_links.insert(l);
+                // A dead cable carries (effectively) nothing; 1 bps keeps
+                // the fair-share arithmetic well-defined.
+                self.net.set_link_capacity(l, 1.0);
+                // The iperf endpoint on the cable loses carrier too.
+                for (_, members) in &self.bg_groups {
+                    for &(link, fid) in members {
+                        if link == l {
+                            self.net.set_cbr_rate(fid, 1.0);
+                            self.background_bps[l.0 as usize] = 0.0;
+                        }
+                    }
+                }
+                self.dataplane.remove_rules_via(l);
+            }
+            self.controller.on_link_state(l, up);
+        }
+        self.net_dirty = true;
+        // Routing protocol reconvergence for default (ECMP) forwarding.
+        self.nexthops = EcmpNextHops::compute_avoiding(&self.mr.topology, &self.down_links);
+        // Re-resolve in-flight flows touching a changed link (on failure)
+        // or all flows (on recovery ECMP may spread them back).
+        let affected: Vec<(FlowId, FiveTuple)> = self
+            .net
+            .flows()
+            .filter(|(_, f)| f.spec.size_bytes.is_some() && !f.is_complete())
+            .filter(|(_, f)| up || f.path.links().iter().any(|l| self.down_links.contains(l)))
+            .map(|(id, f)| (id, f.spec.tuple))
+            .collect();
+        for (fid, tuple) in affected {
+            let nh = &self.nexthops;
+            if let Ok(path) =
+                self.dataplane
+                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
+                        nh.candidates(n, d).to_vec()
+                    })
+            {
+                if path.links() != self.net.flow(fid).unwrap().path.links() {
+                    self.net.reroute_flow(fid, path);
+                }
+            }
+        }
+        // Pythia re-places active pairs on the updated path cache.
+        if let Some(mut py) = self.pythia.take() {
+            let bg = self.background_bps.clone();
+            let rules =
+                py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
+                    bg[l.0 as usize]
+                });
+            self.pythia = Some(py);
+            self.schedule_rules(now, rules);
+        }
+        // On restore, the fluctuating profile re-populates the cable on
+        // its next redraw; static profiles restore immediately.
+        if up {
+            if let BackgroundProfile::Static = self.cfg.background {
+                let frac = self.cfg.oversubscription.background_fraction();
+                for (cap, members) in &self.bg_groups {
+                    for &(link, fid) in members {
+                        if link == a || link == bdir {
+                            self.net.set_cbr_rate(fid, (frac * cap).max(1.0));
+                            self.background_bps[link.0 as usize] = frac * cap;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_link_load_sample(&mut self, now: SimTime) {
+        for (l, _) in self.mr.topology.links() {
+            self.controller.observe_link_load(l, self.net.link_load_bps(l));
+        }
+        if !self.all_done() {
+            self.queue
+                .push(now + self.cfg.link_load_period, Event::LinkLoadSample);
+        }
+    }
+
+    fn build_report(self) -> MultiRunReport {
+        // Group parallel trunk cables by direction for balance metrics.
+        let mut trunk_groups: BTreeMap<(NodeId, NodeId), Vec<LinkId>> = BTreeMap::new();
+        for &l in &self.mr.trunk_links {
+            let link = self.mr.topology.link(l);
+            trunk_groups.entry((link.src, link.dst)).or_default().push(l);
+        }
+        let trunk_groups: Vec<Vec<LinkId>> = trunk_groups.into_values().collect();
+        let measured_curves = self
+            .probe
+            .curves()
+            .map(|(n, c)| (n, c.clone()))
+            .collect();
+        let predicted_curves = match &self.pythia {
+            Some(py) => self
+                .mr
+                .servers
+                .iter()
+                .filter_map(|&n| py.predicted_curve(n).map(|c| (n, c.clone())))
+                .collect(),
+            None => BTreeMap::new(),
+        };
+        let spills_per_server = match &self.pythia {
+            Some(py) => (0..self.mr.servers.len() as u32)
+                .map(|i| py.spills_decoded(ServerId(i)))
+                .collect(),
+            None => vec![0; self.mr.servers.len()],
+        };
+        let jobs = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| JobOutcome {
+                job: JobId(i as u32),
+                name: j.name.clone(),
+                started_at: j.start_at,
+                timeline: j.sim.timeline.clone(),
+            })
+            .collect();
+        MultiRunReport {
+            scheduler: self.cfg.scheduler.label().to_string(),
+            oversubscription: self.cfg.oversubscription.0,
+            seed: self.cfg.seed,
+            jobs,
+            flow_trace: self.trace,
+            measured_curves,
+            predicted_curves,
+            spills_per_server,
+            events_processed: self.events_processed,
+            rules_installed: self.rules_installed,
+            hedera_reroutes: self.hedera.as_ref().map(|h| h.reroutes_issued).unwrap_or(0),
+            trunk_links: self.mr.trunk_links.clone(),
+            trunk_groups,
+        }
+    }
+}

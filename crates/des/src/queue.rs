@@ -1,0 +1,236 @@
+//! Deterministic pending-event set.
+//!
+//! The queue is a binary heap keyed by `(time, sequence)`. The sequence
+//! number is assigned at push time, so events scheduled for the same instant
+//! fire in FIFO order — a requirement for bit-reproducible runs.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] marks the handle dead and
+//! the entry is discarded when it reaches the top of the heap. This keeps
+//! both `push` and `cancel` O(log n) / O(1) and is the standard technique
+//! for DES engines where most cancelled events are "stale completion
+//! estimates" (see the flow simulator).
+
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event set.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    /// Live event ids. Removed on pop or cancel.
+    live: HashMap<EventId, SimTime>,
+    next_seq: u64,
+    cancelled: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_seq: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Returns a handle for
+    /// cancellation.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            id,
+            payload,
+        });
+        self.live.insert(id, time);
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not fired and had not already been
+    /// cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.live.entry(id) {
+            Entry::Occupied(e) => {
+                e.remove();
+                self.cancelled += 1;
+                true
+            }
+            Entry::Vacant(_) => false,
+        }
+    }
+
+    /// True if `id` is scheduled and not cancelled.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.live.contains_key(&id)
+    }
+
+    /// Remove and return the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.id).is_some() {
+                return Some((entry.time, entry.id, entry.payload));
+            }
+            self.cancelled -= 1;
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop dead entries from the top so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.live.contains_key(&entry.id) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+            self.cancelled -= 1;
+        }
+        None
+    }
+
+    /// Number of live (not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of entries physically in the heap, including dead ones.
+    /// Exposed for engine-health assertions in tests.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop().unwrap().2, "a");
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert_eq!(q.pop().unwrap().2, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().2, i);
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must report false");
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(10), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(10), "a");
+        q.push(t(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), ());
+        q.push(t(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn is_pending_reflects_state() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), ());
+        assert!(q.is_pending(a));
+        q.cancel(a);
+        assert!(!q.is_pending(a));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the event queue: ordering, FIFO tie-break, and
+//! cancellation semantics under arbitrary interleavings.
+
+use proptest::prelude::*;
+use pythia_des::{EventQueue, SimTime};
+
+proptest! {
+    /// Popped times are monotone non-decreasing regardless of push order.
+    #[test]
+    fn pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Events at the same instant pop in push order (FIFO).
+    #[test]
+    fn equal_times_fifo(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().2, i);
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exactly_subset(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.push(SimTime::from_nanos(t), i))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, _, p)) = q.pop() {
+            got.push(p);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `peek_time` always equals the time of the next pop.
+    #[test]
+    fn peek_matches_pop(times in proptest::collection::vec(0u64..1_000, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        while let Some(peek) = q.peek_time() {
+            let (t, _, _) = q.pop().unwrap();
+            prop_assert_eq!(peek, t);
+        }
+        prop_assert!(q.is_empty());
+    }
+}

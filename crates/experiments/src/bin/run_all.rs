@@ -1,0 +1,100 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p pythia-experiments --bin run_all           # paper scale
+//! cargo run --release -p pythia-experiments --bin run_all -- quick  # CI-sized
+//! ```
+//!
+//! Prints paper-style tables to stdout and writes CSVs under `results/`.
+
+use std::path::Path;
+
+use pythia_experiments::{ablation, fig1, fig3, fig4, fig5, multijob, overhead, spectrum, timeliness, FigureScale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("quick") => FigureScale::quick(),
+        Some("bench") => FigureScale::bench(),
+        _ => FigureScale::default(),
+    };
+    let out = Path::new("results");
+
+    println!("== Figure 1a: toy sort sequence diagram ==");
+    let f1a = fig1::run_fig1a();
+    println!("{}", f1a.diagram);
+    println!(
+        "reducer byte skew: {:.1}x   shuffle fraction of job: {:.0}%\n",
+        f1a.reducer_byte_ratio,
+        f1a.shuffle_fraction_of_job * 100.0
+    );
+
+    println!("== Figure 1b: adversarial ECMP allocation ==");
+    let f1b = fig1::run_fig1b(10);
+    println!("{}", f1b.render());
+    f1b.csv().write_to(&out.join("fig1b_trunk_balance.csv")).unwrap();
+
+    println!("== Figure 3: Nutch indexing, Pythia vs ECMP ==");
+    let f3 = fig3::run(&scale);
+    println!("{}", f3.render());
+    f3.csv().write_to(&out.join("fig3_nutch.csv")).unwrap();
+
+    println!("== Figure 4: Sort 240GB, Pythia vs ECMP ==");
+    let f4 = fig4::run(&scale);
+    println!("{}", f4.render());
+    f4.csv().write_to(&out.join("fig4_sort.csv")).unwrap();
+
+    println!("== Figure 5: prediction promptness/accuracy ==");
+    let f5 = fig5::run(&scale);
+    println!("{}", f5.render());
+    f5.rows_csv().write_to(&out.join("fig5_prediction_rows.csv")).unwrap();
+    f5.sample_csv().write_to(&out.join("fig5_sample_curves.csv")).unwrap();
+
+    println!("== Section V-C: instrumentation overhead ==");
+    let ov = overhead::run(&scale);
+    println!("{}", ov.render());
+    ov.csv().write_to(&out.join("overhead.csv")).unwrap();
+
+    println!("== Ablation: scheduler ladder ==");
+    let ladder = ablation::run_scheduler_ladder(&scale);
+    println!("{}", ladder.render());
+    ladder.csv().write_to(&out.join("ablation_ladder.csv")).unwrap();
+
+    println!("== Ablation: rule-install latency ==");
+    let lat = ablation::run_latency_sensitivity(&scale);
+    println!("{}", lat.render());
+    lat.csv().write_to(&out.join("ablation_latency.csv")).unwrap();
+
+    println!("== Extension: workload spectrum ==");
+    let sp = spectrum::run(&scale);
+    println!("{}", sp.render());
+    sp.csv().write_to(&out.join("spectrum.csv")).unwrap();
+
+    println!("== Extension: prediction timeliness vs Hadoop config (paper's ongoing work) ==");
+    let tl = timeliness::run(&scale);
+    println!("{}", tl.render());
+    let (lo, hi) = tl.min_lead_spread();
+    println!("min-lead spread over standard configs: {lo:.2}s .. {hi:.2}s\n");
+    tl.csv().write_to(&out.join("timeliness.csv")).unwrap();
+
+    println!("== Extension: concurrent jobs ==");
+    let mj = multijob::run(&scale);
+    println!("{}", mj.render());
+    mj.csv().write_to(&out.join("multijob.csv")).unwrap();
+
+    println!("== Ablation: background profile ==");
+    let bg = ablation::run_background_ablation(&scale);
+    println!("{}", bg.render());
+    bg.csv().write_to(&out.join("ablation_background.csv")).unwrap();
+
+    println!("== Ablation: design variants ==");
+    let dv = ablation::run_design_variants(&scale);
+    println!("{}", dv.render());
+    dv.csv().write_to(&out.join("ablation_design_variants.csv")).unwrap();
+
+    println!("== Ablation: path diversity ==");
+    let pd = ablation::run_path_diversity(&scale);
+    println!("{}", pd.render());
+    pd.csv().write_to(&out.join("ablation_paths.csv")).unwrap();
+
+    println!("CSV results written to {}/", out.display());
+}

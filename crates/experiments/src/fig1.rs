@@ -1,0 +1,232 @@
+//! Figure 1 — the motivational analysis.
+//!
+//! * **Figure 1a**: sequence diagram of a toy sort job (3 map slots, 2
+//!   reducers) on a non-blocking 1 Gbps network, annotated with map /
+//!   shuffle / reduce phases. Two observations drive the paper: the
+//!   shuffle takes a substantial fraction of job time, and reducer-0
+//!   receives 5× the data of reducer-1 (key skew).
+//! * **Figure 1b**: the adversarial allocation — load-unaware ECMP can
+//!   hash a large shuffle flow onto an already highly-loaded inter-rack
+//!   path while the alternative sits idle. We reproduce the effect
+//!   statistically: across ECMP hash seeds, measure how often concurrent
+//!   cross-rack transfers collide on one trunk, and show Pythia's
+//!   allocation never does.
+
+use pythia_cluster::{run_scenario, RunReport, ScenarioConfig, SchedulerKind};
+use pythia_des::SimDuration;
+use pythia_hadoop::{DurationModel, HadoopConfig, JobSpec};
+use pythia_metrics::{render_seqdiag, CsvTable, SeqDiagramOptions};
+use pythia_netsim::{BackgroundProfile, MultiRackParams};
+use pythia_workloads::SkewModel;
+
+const MB: u64 = 1_000_000;
+
+/// The toy job of Figure 1a: 3 maps, 2 reducers, 5:1 skew.
+pub fn toy_sort_job() -> JobSpec {
+    JobSpec {
+        name: "toy-sort".into(),
+        num_maps: 3,
+        num_reducers: 2,
+        input_bytes: 3 * 256 * MB,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.05),
+        sort_duration: DurationModel::rate(SimDuration::from_millis(500), 500.0 * MB as f64, 0.0),
+        reduce_duration: DurationModel::rate(SimDuration::from_millis(500), 200.0 * MB as f64, 0.0),
+        partitioner: SkewModel::Weights(vec![5.0, 1.0]).partitioner(2, 0.0, 0),
+    }
+}
+
+/// Figure 1a scenario: non-blocking 1 Gbps network, tiny cluster.
+fn toy_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default();
+    cfg.topology = MultiRackParams {
+        racks: 2,
+        servers_per_rack: 3,
+        nic_bps: 1e9,
+        trunk_count: 2,
+        trunk_bps: 10e9,
+    };
+    cfg.hadoop = HadoopConfig {
+        map_slots_per_server: 1,
+        reduce_slots_per_server: 1,
+        ..Default::default()
+    };
+    // Symmetric static background: with both trunks equally loaded, the
+    // optimal allocation is a balanced split, so trunk-byte balance is the
+    // right quality metric for this figure.
+    cfg.background = BackgroundProfile::Static;
+    cfg
+}
+
+/// Figure 1a result: the run plus its rendered diagram.
+pub struct Fig1a {
+    /// The rendered ASCII sequence diagram.
+    pub diagram: String,
+    /// Max/min reducer input bytes (the 5:1 skew).
+    pub reducer_byte_ratio: f64,
+    /// Shuffle span as a fraction of job completion time.
+    pub shuffle_fraction_of_job: f64,
+    /// The underlying run.
+    pub report: RunReport,
+}
+
+/// Run Figure 1a.
+pub fn run_fig1a() -> Fig1a {
+    let report = run_scenario(toy_sort_job(), &toy_cfg().with_seed(4));
+    let diagram = render_seqdiag(&report.timeline, &SeqDiagramOptions::default());
+    let mut bytes: Vec<u64> = report
+        .timeline
+        .reducers
+        .values()
+        .map(|r| r.local_bytes + r.remote_bytes)
+        .collect();
+    bytes.sort_unstable();
+    let ratio = bytes[bytes.len() - 1] as f64 / bytes[0].max(1) as f64;
+    let job = report.completion().as_secs_f64();
+    let shuffle = report.job_report().shuffle_secs();
+    Fig1a {
+        diagram,
+        reducer_byte_ratio: ratio,
+        shuffle_fraction_of_job: shuffle / job,
+        report,
+    }
+}
+
+/// One hash-seed trial of the Figure 1b experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1bTrial {
+    /// Hash/run seed of the trial.
+    pub seed: u64,
+    /// Scheduler label.
+    pub scheduler: &'static str,
+    /// max/mean shuffle bytes across the two trunks (1.0 = balanced,
+    /// 2.0 = everything on one trunk).
+    pub trunk_imbalance: f64,
+}
+
+/// Figure 1b result: collision statistics across ECMP hash seeds.
+#[derive(Debug)]
+pub struct Fig1b {
+    /// One trial per (seed, scheduler).
+    pub trials: Vec<Fig1bTrial>,
+}
+
+impl Fig1b {
+    /// Mean imbalance over one scheduler's trials.
+    pub fn mean_imbalance(&self, scheduler: &str) -> f64 {
+        let xs: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.scheduler == scheduler)
+            .map(|t| t.trunk_imbalance)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    /// Paper-style text summary.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 1b — trunk balance of concurrent cross-rack shuffle transfers\n\
+             mean trunk imbalance (max/mean bytes; 1.0 = perfect, 2.0 = total collision)\n\
+             ECMP:   {:.3}\n\
+             Pythia: {:.3}\n",
+            self.mean_imbalance("ecmp"),
+            self.mean_imbalance("pythia")
+        )
+    }
+
+    /// Per-trial CSV table.
+    pub fn csv(&self) -> CsvTable {
+        let mut t = CsvTable::new(vec!["seed", "scheduler", "trunk_imbalance"]);
+        for tr in &self.trials {
+            t.push_row(vec![
+                tr.seed.to_string(),
+                tr.scheduler.to_string(),
+                format!("{:.4}", tr.trunk_imbalance),
+            ]);
+        }
+        t
+    }
+}
+
+/// A job generating a handful of large concurrent cross-rack flows —
+/// the setting where per-flow hashing goes adversarial.
+fn collision_job() -> JobSpec {
+    JobSpec {
+        name: "collision-probe".into(),
+        num_maps: 6,
+        num_reducers: 2,
+        input_bytes: 6 * 256 * MB,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.05),
+        sort_duration: DurationModel::rate(SimDuration::from_millis(500), 500.0 * MB as f64, 0.0),
+        reduce_duration: DurationModel::rate(SimDuration::from_millis(500), 200.0 * MB as f64, 0.0),
+        partitioner: SkewModel::Uniform.partitioner(2, 0.0, 0),
+    }
+}
+
+/// Expose internals for the debug example.
+pub fn debug_toy_cfg() -> ScenarioConfig {
+    toy_cfg()
+}
+
+/// Expose internals for the debug example.
+pub fn debug_collision_job() -> JobSpec {
+    collision_job()
+}
+
+/// Run Figure 1b across `n_seeds` hash seeds.
+pub fn run_fig1b(n_seeds: u64) -> Fig1b {
+    let mut trials = Vec::new();
+    for seed in 1..=n_seeds {
+        for (kind, label) in [
+            (SchedulerKind::Ecmp, "ecmp"),
+            (SchedulerKind::Pythia, "pythia"),
+        ] {
+            let cfg = toy_cfg()
+                .with_scheduler(kind)
+                .with_oversubscription(10)
+                .with_seed(seed);
+            let report = run_scenario(collision_job(), &cfg);
+            trials.push(Fig1bTrial {
+                seed,
+                scheduler: label,
+                trunk_imbalance: report.trunk_imbalance(),
+            });
+        }
+    }
+    Fig1b { trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_shows_skew_and_long_shuffle() {
+        let f = run_fig1a();
+        assert!(
+            (4.0..6.5).contains(&f.reducer_byte_ratio),
+            "reducer skew {} not ≈5×",
+            f.reducer_byte_ratio
+        );
+        assert!(
+            f.shuffle_fraction_of_job > 0.2,
+            "shuffle only {:.0}% of job",
+            f.shuffle_fraction_of_job * 100.0
+        );
+        assert!(f.diagram.contains('~'), "diagram must show shuffle lanes");
+    }
+
+    #[test]
+    fn fig1b_pythia_balances_better_than_ecmp() {
+        let f = run_fig1b(6);
+        let ecmp = f.mean_imbalance("ecmp");
+        let pythia = f.mean_imbalance("pythia");
+        assert!(
+            pythia < ecmp,
+            "Pythia imbalance {pythia:.3} must beat ECMP {ecmp:.3}"
+        );
+        assert!(pythia < 1.3, "Pythia should be near-balanced: {pythia:.3}");
+    }
+}

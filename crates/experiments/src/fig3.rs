@@ -1,0 +1,55 @@
+//! Figure 3 — Nutch indexing job completion times using Pythia vs ECMP,
+//! and the relative speedup, across network over-subscription ratios.
+//!
+//! Paper findings to reproduce in *shape*:
+//! * Pythia outperforms ECMP at every ratio;
+//! * maximum speedup at 1:20 (paper: 46%);
+//! * Pythia's completion time stays roughly flat across ratios,
+//!   comparable to the non-blocking time (paper: ≈242 s) — Nutch's many
+//!   small flows fit in the residual capacity when placed well.
+
+use pythia_cluster::ScenarioConfig;
+use pythia_workloads::{NutchWorkload, Workload};
+
+use crate::figures::{completion_figure, CompletionFigure, FigureScale};
+
+/// Scale the paper's Nutch configuration.
+pub fn nutch_at_scale(input_frac: f64) -> NutchWorkload {
+    let mut w = NutchWorkload::paper_5m_pages();
+    w.input_bytes = (w.input_bytes as f64 * input_frac).max(64e6) as u64;
+    w.pages = (w.pages as f64 * input_frac).max(1.0) as u64;
+    w
+}
+
+/// Run Figure 3.
+pub fn run(scale: &FigureScale) -> CompletionFigure {
+    let w = nutch_at_scale(scale.input_frac);
+    let cfg = ScenarioConfig::default();
+    let (fig, _) = completion_figure(
+        "Figure 3",
+        "Nutch indexing",
+        &move || w.job(),
+        &cfg,
+        scale,
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_shape() {
+        let fig = run(&FigureScale::quick());
+        assert_eq!(fig.rows.len(), 2);
+        // Pythia never slower at the blocking ratio.
+        let r20 = fig.rows.iter().find(|r| r.ratio == 20).unwrap();
+        assert!(
+            r20.pythia_secs <= r20.ecmp_secs,
+            "Pythia {:.1}s vs ECMP {:.1}s at 1:20",
+            r20.pythia_secs,
+            r20.ecmp_secs
+        );
+    }
+}

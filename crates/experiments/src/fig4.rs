@@ -1,0 +1,55 @@
+//! Figure 4 — Sort (240 GB) job completion times using Pythia vs ECMP,
+//! and the relative speedup, across network over-subscription ratios.
+//!
+//! Paper findings to reproduce in *shape*:
+//! * Pythia outperforms ECMP at every ratio (paper: up to 43%);
+//! * unlike Nutch, Sort's completion under Pythia *grows* with the
+//!   over-subscription ratio — the shuffle is bandwidth-bound even when
+//!   optimally placed ("sort jobs running over Pythia are not able to
+//!   maintain similar job completion times over different
+//!   over-subscription ratios", §V-B).
+
+use pythia_cluster::ScenarioConfig;
+use pythia_workloads::{SortWorkload, Workload};
+
+use crate::figures::{completion_figure, CompletionFigure, FigureScale};
+
+/// Scale the paper's 240 GB sort.
+pub fn sort_at_scale(input_frac: f64) -> SortWorkload {
+    let mut w = SortWorkload::paper_240gb();
+    w.input_bytes = (w.input_bytes as f64 * input_frac).max(512e6) as u64;
+    w
+}
+
+/// Run Figure 4.
+pub fn run(scale: &FigureScale) -> CompletionFigure {
+    let w = sort_at_scale(scale.input_frac);
+    let cfg = ScenarioConfig::default();
+    let (fig, _) = completion_figure("Figure 4", "Sort", &move || w.job(), &cfg, scale);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig4_shape() {
+        let fig = run(&FigureScale::quick());
+        let r20 = fig.rows.iter().find(|r| r.ratio == 20).unwrap();
+        assert!(
+            r20.pythia_secs <= r20.ecmp_secs,
+            "Pythia {:.1}s vs ECMP {:.1}s at 1:20",
+            r20.pythia_secs,
+            r20.ecmp_secs
+        );
+        // Sort under Pythia is NOT flat: 1:20 is slower than 1:1.
+        let r1 = fig.rows.iter().find(|r| r.ratio == 1).unwrap();
+        assert!(
+            r20.pythia_secs > r1.pythia_secs,
+            "sort must be bandwidth-bound: {:.1}s vs {:.1}s",
+            r20.pythia_secs,
+            r1.pythia_secs
+        );
+    }
+}

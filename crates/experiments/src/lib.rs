@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! `pythia-experiments` — the harness regenerating every table and figure
+//! of the paper's evaluation (see DESIGN.md for the experiment index):
+//!
+//! * [`fig1`] — motivation: toy-sort sequence diagram (1a) and the
+//!   adversarial ECMP allocation statistics (1b);
+//! * [`fig3`] — Nutch indexing completion, Pythia vs ECMP vs ratio;
+//! * [`fig4`] — Sort (240 GB) completion, Pythia vs ECMP vs ratio;
+//! * [`fig5`] — prediction promptness/accuracy curves;
+//! * [`overhead`] — §V-C instrumentation overhead table;
+//! * [`ablation`] — scheduler ladder, rule-latency sensitivity, path
+//!   diversity.
+//!
+//! Each module exposes `run(&FigureScale)`; `FigureScale::default()` is
+//! paper scale, `::quick()` a CI-sized smoke, `::bench()` the Criterion
+//! size. The `run_all` binary executes everything and writes CSVs under
+//! `results/`.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod figures;
+pub mod multijob;
+pub mod overhead;
+pub mod runner;
+pub mod spectrum;
+pub mod timeliness;
+
+pub use figures::{completion_figure, CompletionFigure, CompletionRow, FigureScale};
+pub use runner::{default_threads, grid, mean_completion, run_sweep, SweepPoint};

@@ -1,0 +1,151 @@
+//! Multi-tenant extension: two jobs sharing the cluster.
+//!
+//! The paper deploys Pythia for a single job at a time, but its collector
+//! design ("ingests on a per job basis future shuffle communication
+//! intent events", §III) implies multi-job operation: predictions from
+//! concurrent jobs that shuffle between the same server pair merge into
+//! one aggregated transfer and one rule. This experiment runs a staggered
+//! pair of sort jobs and compares ECMP against Pythia on per-job
+//! completion and combined makespan.
+
+use pythia_cluster::{run_multi_scenario, MultiRunReport, ScenarioConfig, SchedulerKind};
+use pythia_des::SimDuration;
+use pythia_hadoop::JobSpec;
+use pythia_metrics::{speedup_fraction, CsvTable};
+use pythia_workloads::{SortWorkload, Workload};
+
+use crate::figures::FigureScale;
+
+/// Per-scheduler outcome.
+#[derive(Debug, Clone)]
+pub struct MultiJobRow {
+    /// Scheduler label.
+    pub scheduler: &'static str,
+    /// Mean per-job completion seconds, submission order.
+    pub job_completions_secs: Vec<f64>,
+    /// Mean combined makespan, seconds.
+    pub makespan_secs: f64,
+}
+
+/// The experiment result.
+#[derive(Debug)]
+pub struct MultiJobResult {
+    /// One row per scheduler.
+    pub rows: Vec<MultiJobRow>,
+    /// Submission stagger between the two jobs, seconds.
+    pub stagger_secs: f64,
+}
+
+impl MultiJobResult {
+    /// Paper-style text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Extension — two concurrent sort jobs (second submitted {:.0}s later), 1:10\n\
+             scheduler   job-1 [s]   job-2 [s]   makespan [s]\n",
+            self.stagger_secs
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<9}  {:>9.1}  {:>9.1}  {:>12.1}\n",
+                r.scheduler,
+                r.job_completions_secs[0],
+                r.job_completions_secs[1],
+                r.makespan_secs
+            ));
+        }
+        let ecmp = self.row("ecmp").makespan_secs;
+        let pythia = self.row("pythia").makespan_secs;
+        out.push_str(&format!(
+            "combined-makespan speedup: {:.1}%\n",
+            speedup_fraction(ecmp, pythia) * 100.0
+        ));
+        out
+    }
+
+    /// The row for one scheduler label.
+    pub fn row(&self, scheduler: &str) -> &MultiJobRow {
+        self.rows.iter().find(|r| r.scheduler == scheduler).unwrap()
+    }
+
+    /// The experiment as a CSV table.
+    pub fn csv(&self) -> CsvTable {
+        let mut t = CsvTable::new(vec!["scheduler", "job1_secs", "job2_secs", "makespan_secs"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.scheduler.to_string(),
+                format!("{:.3}", r.job_completions_secs[0]),
+                format!("{:.3}", r.job_completions_secs[1]),
+                format!("{:.3}", r.makespan_secs),
+            ]);
+        }
+        t
+    }
+}
+
+fn jobs(input_frac: f64, stagger: SimDuration) -> Vec<(JobSpec, SimDuration)> {
+    let mk = |seed: u64| {
+        let mut w = SortWorkload::paper_240gb();
+        // Each job takes half the sweep's input so the pair is comparable
+        // to one Figure 4 job.
+        w.input_bytes = (w.input_bytes as f64 * input_frac / 2.0).max(512e6) as u64;
+        w.seed = seed;
+        let mut spec = w.job();
+        spec.name = format!("sort-tenant-{seed}");
+        spec
+    };
+    vec![(mk(1), SimDuration::ZERO), (mk(2), stagger)]
+}
+
+/// Run the experiment at 1:10, averaging over the scale's seeds.
+pub fn run(scale: &FigureScale) -> MultiJobResult {
+    let stagger = SimDuration::from_secs(30);
+    let mut rows = Vec::new();
+    for (scheduler, label) in [
+        (SchedulerKind::Ecmp, "ecmp"),
+        (SchedulerKind::Pythia, "pythia"),
+    ] {
+        let mut job_secs = vec![0.0f64; 2];
+        let mut makespan = 0.0f64;
+        for &seed in &scale.seeds {
+            let cfg = ScenarioConfig::default()
+                .with_scheduler(scheduler)
+                .with_oversubscription(10)
+                .with_seed(seed);
+            let r: MultiRunReport = run_multi_scenario(jobs(scale.input_frac, stagger), &cfg);
+            for (i, j) in r.jobs.iter().enumerate() {
+                job_secs[i] += j.completion().as_secs_f64();
+            }
+            makespan += r.makespan().as_secs_f64();
+        }
+        let n = scale.seeds.len() as f64;
+        rows.push(MultiJobRow {
+            scheduler: label,
+            job_completions_secs: job_secs.into_iter().map(|s| s / n).collect(),
+            makespan_secs: makespan / n,
+        });
+    }
+    MultiJobResult {
+        rows,
+        stagger_secs: stagger.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_multijob_sanity() {
+        let r = run(&FigureScale::quick());
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert!(row.makespan_secs >= row.job_completions_secs[0]);
+            // Makespan covers job 2's stagger + completion.
+            assert!(row.makespan_secs + 1.0 >= 30.0);
+        }
+        // Pythia must not lose materially on the combined workload.
+        let ecmp = r.row("ecmp").makespan_secs;
+        let pythia = r.row("pythia").makespan_secs;
+        assert!(pythia <= ecmp * 1.05, "pythia {pythia:.1} vs ecmp {ecmp:.1}");
+    }
+}

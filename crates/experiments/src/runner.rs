@@ -1,0 +1,126 @@
+//! Sweep execution helpers: run (scheduler × over-subscription × seed)
+//! grids, in parallel across OS threads, deterministically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use pythia_cluster::{run_scenario, RunReport, ScenarioConfig, SchedulerKind};
+use pythia_hadoop::JobSpec;
+
+/// One cell of a sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// The flow scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Over-subscription N (of 1:N).
+    pub oversubscription: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Build the full grid.
+pub fn grid(
+    schedulers: &[SchedulerKind],
+    ratios: &[u32],
+    seeds: &[u64],
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &scheduler in schedulers {
+        for &oversubscription in ratios {
+            for &seed in seeds {
+                out.push(SweepPoint {
+                    scheduler,
+                    oversubscription,
+                    seed,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run every point of a sweep. `job_factory` mints a fresh [`JobSpec`]
+/// per run (specs are not clonable: they own a partitioner), and
+/// `base_cfg` supplies everything the point does not override.
+///
+/// Runs are distributed over `threads` OS threads; results come back in
+/// grid order regardless of scheduling (deterministic output).
+pub fn run_sweep(
+    points: &[SweepPoint],
+    base_cfg: &ScenarioConfig,
+    job_factory: &(dyn Fn() -> JobSpec + Sync),
+    threads: usize,
+) -> Vec<RunReport> {
+    assert!(threads >= 1);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunReport>>> =
+        Mutex::new((0..points.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(points.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let p = points[i];
+                let cfg = base_cfg
+                    .clone()
+                    .with_scheduler(p.scheduler)
+                    .with_oversubscription(p.oversubscription)
+                    .with_seed(p.seed);
+                let report = run_scenario(job_factory(), &cfg);
+                results.lock()[i] = Some(report);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("sweep point not executed"))
+        .collect()
+}
+
+/// Mean completion seconds over the runs matching a predicate.
+pub fn mean_completion(
+    reports: &[RunReport],
+    scheduler: SchedulerKind,
+    ratio: u32,
+) -> Option<f64> {
+    let xs: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.scheduler == scheduler.label() && r.oversubscription == ratio)
+        .map(|r| r.completion().as_secs_f64())
+        .collect();
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Number of worker threads to use by default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_cartesian_in_order() {
+        let g = grid(
+            &[SchedulerKind::Ecmp, SchedulerKind::Pythia],
+            &[1, 10],
+            &[7],
+        );
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0].scheduler, SchedulerKind::Ecmp);
+        assert_eq!(g[0].oversubscription, 1);
+        assert_eq!(g[3].scheduler, SchedulerKind::Pythia);
+        assert_eq!(g[3].oversubscription, 10);
+    }
+}

@@ -1,0 +1,169 @@
+//! Workload-spectrum extension: Pythia's benefit as a function of shuffle
+//! intensity.
+//!
+//! The paper evaluates two network-intensive benchmarks; HiBench contains
+//! more. Sweeping the spectrum — WordCount (combiner-crushed shuffle),
+//! TeraSort (uniform keys), Sort (mild skew), Nutch (strong skew, small
+//! flows) — shows where predictive network scheduling pays off and
+//! provides the negative control the paper lacks: a job that barely
+//! shuffles should see ≈ no speedup.
+
+use pythia_cluster::{ScenarioConfig, SchedulerKind};
+use pythia_hadoop::JobSpec;
+use pythia_metrics::{speedup_fraction, CsvTable};
+use pythia_workloads::{
+    NutchWorkload, SortWorkload, TeraSortWorkload, WordCountWorkload, Workload,
+};
+
+use crate::figures::FigureScale;
+use crate::runner::{grid, mean_completion, run_sweep};
+
+/// One workload's row.
+#[derive(Debug, Clone)]
+pub struct SpectrumRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Shuffle bytes / input bytes — the intensity axis.
+    pub shuffle_ratio: f64,
+    /// Mean ECMP completion, seconds.
+    pub ecmp_secs: f64,
+    /// Mean Pythia completion, seconds.
+    pub pythia_secs: f64,
+    /// Relative improvement (paper convention).
+    pub speedup_frac: f64,
+}
+
+/// The spectrum table.
+#[derive(Debug)]
+pub struct SpectrumTable {
+    /// One row per workload, ascending shuffle intensity.
+    pub rows: Vec<SpectrumRow>,
+}
+
+impl SpectrumTable {
+    /// Paper-style text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Workload spectrum at 1:10 (extension)\n\
+             workload          shuffle/input   ECMP [s]   Pythia [s]   speedup\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16}  {:>13.2}  {:>9.1}  {:>10.1}  {:>7.1}%\n",
+                r.workload,
+                r.shuffle_ratio,
+                r.ecmp_secs,
+                r.pythia_secs,
+                r.speedup_frac * 100.0
+            ));
+        }
+        out
+    }
+
+    /// The table as CSV.
+    pub fn csv(&self) -> CsvTable {
+        let mut t = CsvTable::new(vec![
+            "workload",
+            "shuffle_ratio",
+            "ecmp_secs",
+            "pythia_secs",
+            "speedup_frac",
+        ]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.workload.clone(),
+                format!("{:.3}", r.shuffle_ratio),
+                format!("{:.3}", r.ecmp_secs),
+                format!("{:.3}", r.pythia_secs),
+                format!("{:.4}", r.speedup_frac),
+            ]);
+        }
+        t
+    }
+
+    /// The row for one workload name.
+    pub fn row(&self, workload: &str) -> Option<&SpectrumRow> {
+        self.rows.iter().find(|r| r.workload == workload)
+    }
+}
+
+/// Run the spectrum at 1:10.
+pub fn run(scale: &FigureScale) -> SpectrumTable {
+    let f = scale.input_frac;
+    let mk: Vec<(&str, Box<dyn Fn() -> JobSpec + Sync>)> = vec![
+        (
+            "wordcount",
+            Box::new(move || {
+                let mut w = WordCountWorkload::default();
+                w.input_bytes = (w.input_bytes as f64 * f).max(512e6) as u64;
+                w.job()
+            }),
+        ),
+        (
+            "terasort",
+            Box::new(move || {
+                let mut w = TeraSortWorkload::default();
+                w.input_bytes = (w.input_bytes as f64 * f).max(512e6) as u64;
+                w.job()
+            }),
+        ),
+        (
+            "sort",
+            Box::new(move || {
+                let mut w = SortWorkload::paper_240gb();
+                w.input_bytes = (w.input_bytes as f64 * f).max(512e6) as u64;
+                w.job()
+            }),
+        ),
+        (
+            "nutch-indexing",
+            Box::new(move || {
+                let mut w = NutchWorkload::paper_5m_pages();
+                w.input_bytes = (w.input_bytes as f64 * f).max(64e6) as u64;
+                w.job()
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, factory) in mk {
+        let spec = factory();
+        let shuffle_ratio = spec.total_shuffle_bytes() as f64 / spec.input_bytes as f64;
+        let points = grid(
+            &[SchedulerKind::Ecmp, SchedulerKind::Pythia],
+            &[10],
+            &scale.seeds,
+        );
+        let reports = run_sweep(&points, &ScenarioConfig::default(), &*factory, scale.threads);
+        let ecmp = mean_completion(&reports, SchedulerKind::Ecmp, 10).unwrap();
+        let pythia = mean_completion(&reports, SchedulerKind::Pythia, 10).unwrap();
+        rows.push(SpectrumRow {
+            workload: name.to_string(),
+            shuffle_ratio,
+            ecmp_secs: ecmp,
+            pythia_secs: pythia,
+            speedup_frac: speedup_fraction(ecmp, pythia),
+        });
+    }
+    SpectrumTable { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_spectrum_negative_control() {
+        let t = run(&FigureScale::quick());
+        assert_eq!(t.rows.len(), 4);
+        let wc = t.row("wordcount").unwrap();
+        let sort = t.row("sort").unwrap();
+        // The combiner-heavy job gives Pythia almost nothing to work with.
+        assert!(
+            wc.speedup_frac.abs() < 0.08,
+            "wordcount speedup {:.3} should be ≈0",
+            wc.speedup_frac
+        );
+        // And it shuffles an order of magnitude less per input byte.
+        assert!(wc.shuffle_ratio < sort.shuffle_ratio / 5.0);
+    }
+}

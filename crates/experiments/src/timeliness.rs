@@ -1,0 +1,164 @@
+//! Prediction-timeliness sensitivity to Hadoop configuration.
+//!
+//! This is the paper's stated *ongoing work* (§V-C): "Given that Hadoop
+//! limits the number of parallel transfers that each reducer can initiate
+//! …, we expect the above time gap affecting prediction timeliness not to
+//! be sensitive to Hadoop configuration parameter setup. We are currently
+//! working on modeling the problem using relevant Hadoop parameters as
+//! input and designing experiments to confirm this insensitivity."
+//!
+//! We run those experiments: sweep `mapred.reduce.parallel.copies` and the
+//! reducer slow-start fraction, and measure the prediction lead. The
+//! mechanism: the copier cap bounds how fast fetches can chase spills, so
+//! prediction (which fires at spill time) keeps its lead regardless of the
+//! knobs; only *pathological* settings (slow-start ≈ 1.0, serializing the
+//! whole shuffle behind the map phase) stretch it further.
+
+use pythia_cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_metrics::{evaluate_prediction, CsvTable};
+use pythia_workloads::{SortWorkload, Workload};
+
+use crate::figures::FigureScale;
+
+/// One configuration cell.
+#[derive(Debug, Clone)]
+pub struct TimelinessRow {
+    /// `mapred.reduce.parallel.copies` in force.
+    pub parallel_copies: usize,
+    /// Reducer slow-start fraction in force.
+    pub slowstart: f64,
+    /// Worst-case prediction lead across servers, seconds.
+    pub min_lead_secs: f64,
+    /// Mean prediction lead across servers, seconds.
+    pub mean_lead_secs: f64,
+    /// Prediction never lagged measurement anywhere.
+    pub never_lags: bool,
+    /// Job completion, seconds.
+    pub completion_secs: f64,
+}
+
+/// The sweep result.
+#[derive(Debug)]
+pub struct TimelinessTable {
+    /// One row per configuration cell.
+    pub rows: Vec<TimelinessRow>,
+}
+
+impl TimelinessTable {
+    /// Paper-style text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Timeliness vs Hadoop configuration (paper §V-C ongoing work)\n\
+             parallel_copies  slowstart   min lead   mean lead   never-lags\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>15}  {:>9.2}  {:>8.2}s  {:>9.2}s   {}\n",
+                r.parallel_copies, r.slowstart, r.min_lead_secs, r.mean_lead_secs, r.never_lags
+            ));
+        }
+        out
+    }
+
+    /// The sweep as CSV.
+    pub fn csv(&self) -> CsvTable {
+        let mut t = CsvTable::new(vec![
+            "parallel_copies",
+            "slowstart",
+            "min_lead_secs",
+            "mean_lead_secs",
+            "never_lags",
+            "completion_secs",
+        ]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.parallel_copies.to_string(),
+                format!("{:.2}", r.slowstart),
+                format!("{:.3}", r.min_lead_secs),
+                format!("{:.3}", r.mean_lead_secs),
+                r.never_lags.to_string(),
+                format!("{:.3}", r.completion_secs),
+            ]);
+        }
+        t
+    }
+
+    /// Spread of the minimum lead across all standard (slow-start ≤ 0.5)
+    /// configurations — the paper's insensitivity claim quantified.
+    pub fn min_lead_spread(&self) -> (f64, f64) {
+        let leads: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.slowstart <= 0.5)
+            .map(|r| r.min_lead_secs)
+            .collect();
+        (
+            leads.iter().copied().fold(f64::INFINITY, f64::min),
+            leads.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+}
+
+/// Run the sweep (60 GB sort under Pythia, 1:5, like Figure 5).
+pub fn run(scale: &FigureScale) -> TimelinessTable {
+    let mut rows = Vec::new();
+    for &parallel_copies in &[2usize, 5, 10, 20] {
+        for &slowstart in &[0.05f64, 0.25, 0.5] {
+            let mut w = SortWorkload::paper_60gb();
+            w.input_bytes = (w.input_bytes as f64 * scale.input_frac).max(512e6) as u64;
+            let mut cfg = ScenarioConfig::default()
+                .with_scheduler(SchedulerKind::Pythia)
+                .with_oversubscription(5)
+                .with_seed(*scale.seeds.first().unwrap_or(&1));
+            cfg.hadoop.parallel_copies = parallel_copies;
+            cfg.hadoop.slowstart_completed_maps = slowstart;
+            let report = run_scenario(w.job(), &cfg);
+            // Aggregate lead over all servers, worst case (min).
+            let mut min_lead = f64::INFINITY;
+            let mut mean_leads = Vec::new();
+            let mut never_lags = true;
+            for (node, measured) in &report.measured_curves {
+                if measured.total() <= 0.0 {
+                    continue;
+                }
+                let Some(predicted) = report.predicted_curves.get(node) else {
+                    continue;
+                };
+                if let Some(eval) = evaluate_prediction(predicted, measured, 20) {
+                    min_lead = min_lead.min(eval.min_lead.as_secs_f64());
+                    mean_leads.push(eval.mean_lead.as_secs_f64());
+                    never_lags &= eval.never_lags;
+                }
+            }
+            rows.push(TimelinessRow {
+                parallel_copies,
+                slowstart,
+                min_lead_secs: min_lead,
+                mean_lead_secs: mean_leads.iter().sum::<f64>() / mean_leads.len().max(1) as f64,
+                never_lags,
+                completion_secs: report.completion().as_secs_f64(),
+            });
+        }
+    }
+    TimelinessTable { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_timeliness_always_leads() {
+        let t = run(&FigureScale::quick());
+        assert_eq!(t.rows.len(), 12);
+        for r in &t.rows {
+            assert!(r.never_lags, "lagged at pc={} ss={}", r.parallel_copies, r.slowstart);
+            assert!(
+                r.min_lead_secs > 0.0,
+                "no lead at pc={} ss={}",
+                r.parallel_copies,
+                r.slowstart
+            );
+        }
+    }
+}

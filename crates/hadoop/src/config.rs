@@ -1,0 +1,102 @@
+//! Hadoop 1.x framework configuration.
+//!
+//! Field names follow the classic `mapred-site.xml` properties so the
+//! mapping to a real deployment is obvious. Defaults match Hadoop 1.1.2 —
+//! the version the paper's testbed ran.
+
+use pythia_des::SimDuration;
+
+/// Hadoop 1.x framework knobs (field names follow `mapred-site.xml`).
+#[derive(Debug, Clone)]
+pub struct HadoopConfig {
+    /// `mapred.tasktracker.map.tasks.maximum` — concurrent map tasks per
+    /// tasktracker.
+    pub map_slots_per_server: usize,
+    /// `mapred.tasktracker.reduce.tasks.maximum` — concurrent reduce tasks
+    /// per tasktracker.
+    pub reduce_slots_per_server: usize,
+    /// `mapred.reduce.parallel.copies` — concurrent shuffle fetches each
+    /// reducer's copier may run (Hadoop default 5; the paper leans on this
+    /// limit when arguing prediction timeliness, §V-C).
+    pub parallel_copies: usize,
+    /// `mapred.reduce.slowstart.completed.maps` — fraction of maps that
+    /// must finish before reducers are scheduled (default 0.05; the paper
+    /// cites "after a few mappers have been completed, by default 5%" as
+    /// the source of initially-unknown reducer locations, §III).
+    pub slowstart_completed_maps: f64,
+    /// `mapred.task.tracker.http.address` port — the tasktracker HTTP port
+    /// that serves map output (50060; the paper filters NetFlow traces on
+    /// it, §V-C).
+    pub shuffle_port: u16,
+    /// Control-plane latency between a state change and dependent task
+    /// actions (heartbeat/RPC granularity). Real jobtrackers batch state
+    /// through periodic heartbeats; we use a small constant lag.
+    pub control_latency: SimDuration,
+    /// Time between a reduce task being scheduled on a tasktracker and its
+    /// copier issuing the first fetch: JVM spawn plus task setup. Hadoop
+    /// 1.x launched a fresh JVM per task (seconds) — one ingredient of the
+    /// multi-second prediction lead the paper measures (Figure 5).
+    pub reducer_launch_overhead: SimDuration,
+}
+
+impl Default for HadoopConfig {
+    fn default() -> Self {
+        HadoopConfig {
+            map_slots_per_server: 8,
+            reduce_slots_per_server: 2,
+            parallel_copies: 5,
+            slowstart_completed_maps: 0.05,
+            shuffle_port: 50060,
+            control_latency: SimDuration::from_millis(100),
+            reducer_launch_overhead: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl HadoopConfig {
+    /// Validate invariants; call after hand-constructing configs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.map_slots_per_server == 0 {
+            return Err("map_slots_per_server must be > 0".into());
+        }
+        if self.reduce_slots_per_server == 0 {
+            return Err("reduce_slots_per_server must be > 0".into());
+        }
+        if self.parallel_copies == 0 {
+            return Err("parallel_copies must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.slowstart_completed_maps) {
+            return Err(format!(
+                "slowstart_completed_maps must be in [0,1], got {}",
+                self.slowstart_completed_maps
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        HadoopConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = HadoopConfig::default();
+        c.parallel_copies = 0;
+        assert!(c.validate().is_err());
+        let mut c = HadoopConfig::default();
+        c.slowstart_completed_maps = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = HadoopConfig::default();
+        c.map_slots_per_server = 0;
+        assert!(c.validate().is_err());
+        let mut c = HadoopConfig::default();
+        c.reduce_slots_per_server = 0;
+        assert!(c.validate().is_err());
+    }
+}

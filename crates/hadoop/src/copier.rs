@@ -1,0 +1,249 @@
+//! The reduce-side shuffle **copier**.
+//!
+//! Hadoop 1.x semantics: each reduce task runs a copier that fetches map
+//! outputs over HTTP, with at most `mapred.reduce.parallel.copies`
+//! concurrent fetches and **at most one concurrent fetch per source
+//! host**. The copier is the mechanism behind the paper's prediction lead
+//! time: a map output becomes known (and predictable) the moment it is
+//! spilled, but its fetch starts only when the reducer is running, a
+//! copier slot is free, and the source host is not busy — seconds later.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::ids::{MapTaskId, ServerId};
+
+/// A fetch the copier wants to start now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchRequest {
+    /// The map task whose output to fetch.
+    pub map: MapTaskId,
+    /// The server holding that output.
+    pub src_server: ServerId,
+    /// Partition bytes to transfer.
+    pub bytes: u64,
+}
+
+/// Per-reducer copier state machine.
+#[derive(Debug)]
+pub struct Copier {
+    parallel_copies: usize,
+    own_server: ServerId,
+    /// Announced map outputs not yet started, in announcement order.
+    pending: VecDeque<FetchRequest>,
+    /// Every map announced so far (duplicate-announcement guard).
+    announced: BTreeSet<MapTaskId>,
+    /// Source hosts with a fetch currently in flight from this copier.
+    busy_hosts: BTreeSet<ServerId>,
+    in_flight: usize,
+    fetched_maps: usize,
+    total_maps: usize,
+    /// Bytes fetched from the local server (no network traversal).
+    pub local_bytes: u64,
+    /// Bytes fetched over the network.
+    pub remote_bytes: u64,
+}
+
+impl Copier {
+    /// A copier for a reducer on `own_server` expecting `total_maps`
+    /// outputs, fetching at most `parallel_copies` concurrently.
+    pub fn new(own_server: ServerId, total_maps: usize, parallel_copies: usize) -> Self {
+        assert!(parallel_copies > 0);
+        assert!(total_maps > 0);
+        Copier {
+            parallel_copies,
+            own_server,
+            pending: VecDeque::new(),
+            announced: BTreeSet::new(),
+            busy_hosts: BTreeSet::new(),
+            in_flight: 0,
+            fetched_maps: 0,
+            total_maps,
+            local_bytes: 0,
+            remote_bytes: 0,
+        }
+    }
+
+    /// A map output became available. Zero-byte partitions and
+    /// server-local outputs complete instantly (no network flow); others
+    /// join the fetch queue. Returns fetches to start now.
+    ///
+    /// # Panics
+    /// Panics if the same map output is announced twice — that corrupts
+    /// the shuffle-barrier count.
+    pub fn announce_map_output(
+        &mut self,
+        map: MapTaskId,
+        src_server: ServerId,
+        bytes: u64,
+    ) -> Vec<FetchRequest> {
+        assert!(
+            self.announced.insert(map),
+            "map output {map} announced twice"
+        );
+        if bytes == 0 {
+            self.fetched_maps += 1;
+        } else if src_server == self.own_server {
+            self.fetched_maps += 1;
+            self.local_bytes += bytes;
+        } else {
+            self.pending.push_back(FetchRequest {
+                map,
+                src_server,
+                bytes,
+            });
+        }
+        self.try_start()
+    }
+
+    /// A network fetch finished. Returns fetches to start now.
+    pub fn fetch_completed(&mut self, src_server: ServerId, bytes: u64) -> Vec<FetchRequest> {
+        assert!(self.in_flight > 0, "completion without in-flight fetch");
+        assert!(
+            self.busy_hosts.remove(&src_server),
+            "completion from non-busy host {src_server}"
+        );
+        self.in_flight -= 1;
+        self.fetched_maps += 1;
+        self.remote_bytes += bytes;
+        self.try_start()
+    }
+
+    /// Start as many queued fetches as the limits allow. Skips (but keeps)
+    /// entries whose source host is busy.
+    fn try_start(&mut self) -> Vec<FetchRequest> {
+        let mut started = Vec::new();
+        let mut skipped: VecDeque<FetchRequest> = VecDeque::new();
+        while self.in_flight < self.parallel_copies {
+            let Some(req) = self.pending.pop_front() else {
+                break;
+            };
+            if self.busy_hosts.contains(&req.src_server) {
+                skipped.push_back(req);
+                continue;
+            }
+            self.busy_hosts.insert(req.src_server);
+            self.in_flight += 1;
+            started.push(req);
+        }
+        // Re-queue skipped entries at the front, preserving order.
+        while let Some(req) = skipped.pop_back() {
+            self.pending.push_front(req);
+        }
+        started
+    }
+
+    /// All map outputs fetched — the shuffle barrier has lifted for this
+    /// reducer.
+    pub fn all_fetched(&self) -> bool {
+        self.fetched_maps == self.total_maps
+    }
+
+    /// Map outputs fetched so far (local, remote and empty combined).
+    pub fn fetched_maps(&self) -> usize {
+        self.fetched_maps
+    }
+
+    /// Fetches currently on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Announced outputs waiting for a slot or a free host.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srv(i: u32) -> ServerId {
+        ServerId(i)
+    }
+
+    fn map(i: u32) -> MapTaskId {
+        MapTaskId(i)
+    }
+
+    #[test]
+    fn parallel_copies_limit_enforced() {
+        let mut c = Copier::new(srv(0), 10, 3);
+        let mut started = Vec::new();
+        for i in 0..10 {
+            started.extend(c.announce_map_output(map(i), srv(i + 1), 100));
+        }
+        assert_eq!(started.len(), 3);
+        assert_eq!(c.in_flight(), 3);
+        assert_eq!(c.queued(), 7);
+    }
+
+    #[test]
+    fn one_fetch_per_host() {
+        let mut c = Copier::new(srv(0), 4, 5);
+        // Two outputs on the same host: only one fetch starts.
+        let s1 = c.announce_map_output(map(0), srv(1), 100);
+        assert_eq!(s1.len(), 1);
+        let s2 = c.announce_map_output(map(1), srv(1), 100);
+        assert!(s2.is_empty(), "host busy, must queue");
+        // Different host: starts immediately.
+        let s3 = c.announce_map_output(map(2), srv(2), 100);
+        assert_eq!(s3.len(), 1);
+        // Completing host 1's fetch releases the queued one.
+        let s4 = c.fetch_completed(srv(1), 100);
+        assert_eq!(s4.len(), 1);
+        assert_eq!(s4[0].map, map(1));
+    }
+
+    #[test]
+    fn zero_byte_partitions_complete_instantly() {
+        let mut c = Copier::new(srv(0), 2, 5);
+        assert!(c.announce_map_output(map(0), srv(1), 0).is_empty());
+        assert!(c.announce_map_output(map(1), srv(2), 0).is_empty());
+        assert!(c.all_fetched());
+    }
+
+    #[test]
+    fn local_outputs_bypass_network() {
+        let mut c = Copier::new(srv(0), 2, 5);
+        assert!(c.announce_map_output(map(0), srv(0), 500).is_empty());
+        assert_eq!(c.local_bytes, 500);
+        let started = c.announce_map_output(map(1), srv(1), 300);
+        assert_eq!(started.len(), 1);
+        c.fetch_completed(srv(1), 300);
+        assert!(c.all_fetched());
+        assert_eq!(c.remote_bytes, 300);
+    }
+
+    #[test]
+    fn barrier_requires_every_map() {
+        let mut c = Copier::new(srv(0), 3, 5);
+        c.announce_map_output(map(0), srv(1), 10);
+        c.announce_map_output(map(1), srv(2), 10);
+        c.fetch_completed(srv(1), 10);
+        c.fetch_completed(srv(2), 10);
+        assert!(!c.all_fetched(), "map 2 not yet announced");
+        c.announce_map_output(map(2), srv(3), 0);
+        assert!(c.all_fetched());
+    }
+
+    #[test]
+    fn fifo_order_preserved_across_busy_skips() {
+        let mut c = Copier::new(srv(0), 5, 1);
+        c.announce_map_output(map(0), srv(1), 10);
+        c.announce_map_output(map(1), srv(1), 10);
+        c.announce_map_output(map(2), srv(2), 10);
+        // One slot: fetch of map0 in flight; map1 (busy host) and map2 wait.
+        let started = c.fetch_completed(srv(1), 10);
+        // Next by FIFO is map1 (host now free).
+        assert_eq!(started[0].map, map(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-busy host")]
+    fn completion_from_wrong_host_panics() {
+        let mut c = Copier::new(srv(0), 2, 5);
+        c.announce_map_output(map(0), srv(1), 10);
+        c.fetch_completed(srv(9), 10);
+    }
+}

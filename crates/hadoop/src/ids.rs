@@ -1,0 +1,57 @@
+//! Identifier newtypes for the MapReduce domain.
+
+use std::fmt;
+
+/// A MapReduce job. The runtime simulator handles one job per instance;
+/// the cluster engine (and Pythia's collector) qualify task ids with the
+/// job when several run concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+/// A Hadoop slave server (hosts one tasktracker). The cluster layer maps
+/// this to a network node — Hadoop itself only knows opaque locations,
+/// mirroring the paper's "mapper/reducer ID → IP address" resolution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u32);
+
+/// A map task within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MapTaskId(pub u32);
+
+/// A reduce task within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReducerId(pub u32);
+
+/// One shuffle fetch: a (map output partition → reducer) transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FetchId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{:04}", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slave{}", self.0)
+    }
+}
+
+impl fmt::Display for MapTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{:06}", self.0)
+    }
+}
+
+impl fmt::Display for ReducerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{:06}", self.0)
+    }
+}
+
+impl fmt::Display for FetchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fetch{}", self.0)
+    }
+}

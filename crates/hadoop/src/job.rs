@@ -1,0 +1,377 @@
+//! Job specifications: sizes, compute-time models, and the partitioner
+//! that shapes per-reducer intermediate output.
+
+use pythia_des::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Compute-time model for a task phase: `base + bytes × per_byte`, with a
+/// multiplicative uniform jitter of ±`jitter_frac`, and an optional
+/// straggler tail (with probability `straggler_prob`, the task takes
+/// `straggler_factor ×` its nominal duration — slow disks, bad JVMs, noisy
+/// neighbours; the classic MapReduce outlier).
+#[derive(Debug, Clone)]
+pub struct DurationModel {
+    /// Fixed startup/teardown cost.
+    pub base: SimDuration,
+    /// Seconds of compute per byte processed.
+    pub secs_per_byte: f64,
+    /// Uniform jitter fraction in `[0, 1)`; 0 = deterministic.
+    pub jitter_frac: f64,
+    /// Probability that a task is a straggler.
+    pub straggler_prob: f64,
+    /// Slowdown factor applied to stragglers (≥ 1).
+    pub straggler_factor: f64,
+}
+
+impl DurationModel {
+    /// A constant duration, independent of bytes processed.
+    pub fn fixed(d: SimDuration) -> Self {
+        DurationModel {
+            base: d,
+            secs_per_byte: 0.0,
+            jitter_frac: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        }
+    }
+
+    /// Throughput-style constructor: `bytes_per_sec` processing rate.
+    pub fn rate(base: SimDuration, bytes_per_sec: f64, jitter_frac: f64) -> Self {
+        assert!(bytes_per_sec > 0.0);
+        DurationModel {
+            base,
+            secs_per_byte: 1.0 / bytes_per_sec,
+            jitter_frac,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        }
+    }
+
+    /// Add a straggler tail to this model.
+    pub fn with_stragglers(mut self, prob: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob));
+        assert!(factor >= 1.0);
+        self.straggler_prob = prob;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Draw one task duration for `bytes` of input.
+    pub fn sample(&self, bytes: u64, rng: &mut SmallRng) -> SimDuration {
+        assert!(
+            (0.0..1.0).contains(&self.jitter_frac),
+            "jitter_frac must be in [0,1)"
+        );
+        let mean = self.base.as_secs_f64() + bytes as f64 * self.secs_per_byte;
+        let mut k = if self.jitter_frac > 0.0 {
+            1.0 + rng.random_range(-self.jitter_frac..self.jitter_frac)
+        } else {
+            1.0
+        };
+        if self.straggler_prob > 0.0 && rng.random_range(0.0..1.0f64) < self.straggler_prob {
+            k *= self.straggler_factor;
+        }
+        SimDuration::from_secs_f64(mean * k)
+    }
+}
+
+/// How a map task's output is split across reducers.
+///
+/// Implementations must be deterministic functions of `(map_index,
+/// map_output_bytes, num_reducers)` — the same map output always hashes the
+/// same way — and must return exactly `num_reducers` entries summing to
+/// `map_output_bytes`.
+pub trait Partitioner: Send + Sync {
+    /// Split `map_output_bytes` of map `map_index`'s output into exactly
+    /// `num_reducers` per-reducer byte counts summing to the input.
+    fn partition(&self, map_index: usize, map_output_bytes: u64, num_reducers: usize) -> Vec<u64>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Uniform hash partitioning: each reducer gets `1/R` of every map output
+/// (± integer rounding), the ideal no-skew baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformPartitioner;
+
+impl Partitioner for UniformPartitioner {
+    fn partition(&self, _map_index: usize, bytes: u64, r: usize) -> Vec<u64> {
+        assert!(r > 0);
+        let per = bytes / r as u64;
+        let mut out = vec![per; r];
+        // Remainder to the first reducers, one byte each.
+        let rem = (bytes - per * r as u64) as usize;
+        for slot in out.iter_mut().take(rem) {
+            *slot += 1;
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+/// Weighted partitioning from fixed per-reducer weights — the direct way
+/// to model the paper's 5:1 skew example (Figure 1a) and any measured key
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct WeightedPartitioner {
+    weights: Vec<f64>,
+    name: String,
+}
+
+impl WeightedPartitioner {
+    /// A partitioner assigning reducer `i` a share proportional to
+    /// `weights[i]`.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty());
+        assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        WeightedPartitioner {
+            weights,
+            name: "weighted".to_string(),
+        }
+    }
+
+    /// Set the name shown in reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Partitioner for WeightedPartitioner {
+    fn partition(&self, _map_index: usize, bytes: u64, r: usize) -> Vec<u64> {
+        assert_eq!(
+            r,
+            self.weights.len(),
+            "reducer count {} != weight count {}",
+            r,
+            self.weights.len()
+        );
+        let total: f64 = self.weights.iter().sum();
+        let mut out: Vec<u64> = self
+            .weights
+            .iter()
+            .map(|w| ((w / total) * bytes as f64).floor() as u64)
+            .collect();
+        // Distribute rounding remainder deterministically.
+        let mut assigned: u64 = out.iter().sum();
+        let mut i = 0;
+        while assigned < bytes {
+            out[i % r] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A complete MapReduce job description.
+pub struct JobSpec {
+    /// Human-readable job name for reports.
+    pub name: String,
+    /// Number of map tasks.
+    pub num_maps: usize,
+    /// Number of reduce tasks.
+    pub num_reducers: usize,
+    /// Total job input bytes; each map ingests `input_bytes / num_maps`.
+    pub input_bytes: u64,
+    /// Intermediate (map output) bytes = `input_bytes × map_output_ratio`.
+    /// Sort-like jobs ≈ 1.0; aggregation-heavy jobs ≪ 1.
+    pub map_output_ratio: f64,
+    /// Map compute time per task.
+    pub map_duration: DurationModel,
+    /// Merge-sort time at the reducer, over its fetched bytes.
+    pub sort_duration: DurationModel,
+    /// Reduce-function + HDFS-write time, over its fetched bytes.
+    pub reduce_duration: DurationModel,
+    /// How map output is split across reducers (the skew source).
+    pub partitioner: Box<dyn Partitioner>,
+}
+
+impl JobSpec {
+    /// Input bytes per map task (the split size).
+    pub fn split_bytes(&self) -> u64 {
+        (self.input_bytes as f64 / self.num_maps as f64).round() as u64
+    }
+
+    /// Intermediate output bytes per map task.
+    pub fn map_output_bytes(&self) -> u64 {
+        (self.split_bytes() as f64 * self.map_output_ratio).round() as u64
+    }
+
+    /// Total bytes crossing the shuffle (before subtracting server-local
+    /// transfers).
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.map_output_bytes() * self.num_maps as u64
+    }
+
+    /// Check internal consistency (positive task counts, byte-conserving
+    /// partitioner).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_maps == 0 || self.num_reducers == 0 {
+            return Err("num_maps and num_reducers must be > 0".into());
+        }
+        if self.map_output_ratio < 0.0 || !self.map_output_ratio.is_finite() {
+            return Err("map_output_ratio must be finite and >= 0".into());
+        }
+        let parts = self
+            .partitioner
+            .partition(0, self.map_output_bytes(), self.num_reducers);
+        if parts.len() != self.num_reducers {
+            return Err("partitioner returned wrong number of partitions".into());
+        }
+        if parts.iter().sum::<u64>() != self.map_output_bytes() {
+            return Err("partitioner does not conserve bytes".into());
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("num_maps", &self.num_maps)
+            .field("num_reducers", &self.num_reducers)
+            .field("input_bytes", &self.input_bytes)
+            .field("map_output_ratio", &self.map_output_ratio)
+            .field("partitioner", &self.partitioner.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn duration_fixed() {
+        let m = DurationModel::fixed(SimDuration::from_secs(3));
+        assert_eq!(m.sample(1_000_000, &mut rng()), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn duration_rate_scales_with_bytes() {
+        let m = DurationModel::rate(SimDuration::ZERO, 100.0, 0.0);
+        assert_eq!(m.sample(200, &mut rng()), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn duration_jitter_bounded() {
+        let m = DurationModel::rate(SimDuration::ZERO, 1.0, 0.2);
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = m.sample(100, &mut r).as_secs_f64();
+            assert!((80.0..120.0).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn stragglers_stretch_the_tail() {
+        let m = DurationModel::rate(SimDuration::ZERO, 1.0, 0.0).with_stragglers(0.2, 5.0);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..1000).map(|_| m.sample(100, &mut r).as_secs_f64()).collect();
+        let stragglers = samples.iter().filter(|&&d| d > 400.0).count();
+        // ~20% of tasks should take 5x (=500s); the rest exactly 100s.
+        assert!((120..280).contains(&stragglers), "{stragglers} stragglers");
+        assert!(samples.iter().all(|&d| (d - 100.0).abs() < 1.0 || (d - 500.0).abs() < 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn straggler_factor_below_one_rejected() {
+        DurationModel::fixed(SimDuration::from_secs(1)).with_stragglers(0.1, 0.5);
+    }
+
+    #[test]
+    fn uniform_partitioner_conserves_bytes() {
+        let p = UniformPartitioner;
+        for bytes in [0u64, 1, 7, 1000, 12345] {
+            for r in [1usize, 2, 3, 10] {
+                let parts = p.partition(0, bytes, r);
+                assert_eq!(parts.len(), r);
+                assert_eq!(parts.iter().sum::<u64>(), bytes);
+                let min = *parts.iter().min().unwrap();
+                let max = *parts.iter().max().unwrap();
+                assert!(max - min <= 1, "uniform split too uneven");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_partitioner_matches_figure_1a_skew() {
+        // Figure 1a: reducer-0 receives 5× reducer-1.
+        let p = WeightedPartitioner::new(vec![5.0, 1.0]);
+        let parts = p.partition(0, 600, 2);
+        assert_eq!(parts.iter().sum::<u64>(), 600);
+        assert_eq!(parts[0], 500);
+        assert_eq!(parts[1], 100);
+    }
+
+    #[test]
+    fn weighted_partitioner_handles_rounding() {
+        let p = WeightedPartitioner::new(vec![1.0, 1.0, 1.0]);
+        let parts = p.partition(0, 100, 3);
+        assert_eq!(parts.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_partitioner_rejects_zero_weights() {
+        WeightedPartitioner::new(vec![0.0, 0.0]);
+    }
+
+    fn toy_spec() -> JobSpec {
+        JobSpec {
+            name: "toy".into(),
+            num_maps: 3,
+            num_reducers: 2,
+            input_bytes: 300,
+            map_output_ratio: 1.0,
+            map_duration: DurationModel::fixed(SimDuration::from_secs(1)),
+            sort_duration: DurationModel::fixed(SimDuration::from_secs(1)),
+            reduce_duration: DurationModel::fixed(SimDuration::from_secs(1)),
+            partitioner: Box::new(UniformPartitioner),
+        }
+    }
+
+    #[test]
+    fn spec_sizes() {
+        let s = toy_spec();
+        assert_eq!(s.split_bytes(), 100);
+        assert_eq!(s.map_output_bytes(), 100);
+        assert_eq!(s.total_shuffle_bytes(), 300);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_validation_catches_bad_partitioner() {
+        struct Bad;
+        impl Partitioner for Bad {
+            fn partition(&self, _: usize, b: u64, r: usize) -> Vec<u64> {
+                vec![b; r] // over-counts
+            }
+            fn name(&self) -> &str {
+                "bad"
+            }
+        }
+        let mut s = toy_spec();
+        s.partitioner = Box::new(Bad);
+        assert!(s.validate().is_err());
+    }
+}

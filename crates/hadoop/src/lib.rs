@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! `pythia-hadoop` — Hadoop 1.x MapReduce runtime simulator.
+//!
+//! Substrate replacing the paper's Hadoop 1.1.2 deployment. The pieces
+//! Pythia observes and exploits are modelled explicitly:
+//!
+//! * [`config`] — `mapred-site.xml`-style knobs (slots, `parallel_copies`,
+//!   reducer slow-start, shuffle port 50060);
+//! * [`job`] — job specs, compute-time models, and partitioners (the
+//!   skew source);
+//! * [`index_file`] — the binary spill index written at map completion,
+//!   which Pythia's instrumentation decodes to predict shuffle volumes;
+//! * [`copier`] — the reduce-side fetch scheduler (the shuffle barrier);
+//! * [`sim`] — [`sim::MapReduceSim`], the jobtracker/tasktracker state
+//!   machine driven by the cluster engine.
+
+pub mod config;
+pub mod copier;
+pub mod ids;
+pub mod index_file;
+pub mod job;
+pub mod sim;
+
+pub use config::HadoopConfig;
+pub use copier::{Copier, FetchRequest};
+pub use ids::{FetchId, JobId, MapTaskId, ReducerId, ServerId};
+pub use index_file::{IndexError, IndexFile, IndexRecord};
+pub use job::{DurationModel, JobSpec, Partitioner, UniformPartitioner, WeightedPartitioner};
+pub use sim::{FetchMeta, HadoopEvent, MapReduceSim, ReducerTimeline, TaskSpan, Timeline};

@@ -1,0 +1,255 @@
+//! Property tests for the MapReduce state machine: byte conservation,
+//! barrier correctness, slot limits and determinism under randomized
+//! jobs, cluster shapes and fetch timings.
+
+use proptest::prelude::*;
+use pythia_des::{EventQueue, RngFactory, SimDuration, SimTime};
+use pythia_hadoop::{
+    DurationModel, FetchId, HadoopConfig, HadoopEvent, JobSpec, MapReduceSim, MapTaskId,
+    ReducerId, ServerId, Timeline, UniformPartitioner, WeightedPartitioner,
+};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    servers: u32,
+    map_slots: usize,
+    reduce_slots: usize,
+    parallel_copies: usize,
+    slowstart: f64,
+    maps: usize,
+    reducers: usize,
+    bytes_per_map: u64,
+    weights: Vec<f64>,
+    fetch_delay_ms: u64,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1u32..6,
+        1usize..4,
+        1usize..4,
+        1usize..8,
+        0.0f64..1.0,
+        1usize..30,
+        1usize..6,
+        1u64..10_000_000,
+        0u64..500,
+        0u64..1000,
+    )
+        .prop_flat_map(
+            |(servers, map_slots, reduce_slots, pc, ss, maps, reducers, bpm, delay, seed)| {
+                // Reducers must fit the reduce slots.
+                let reducers = reducers.min(servers as usize * reduce_slots).max(1);
+                let weights =
+                    proptest::collection::vec(0.1f64..10.0, reducers..=reducers);
+                (Just((servers, map_slots, reduce_slots, pc, ss, maps, reducers, bpm, delay, seed)), weights)
+            },
+        )
+        .prop_map(
+            |((servers, map_slots, reduce_slots, parallel_copies, slowstart, maps, reducers, bytes_per_map, fetch_delay_ms, seed), weights)| {
+                Scenario {
+                    servers,
+                    map_slots,
+                    reduce_slots,
+                    parallel_copies,
+                    slowstart,
+                    maps,
+                    reducers,
+                    bytes_per_map,
+                    weights,
+                    fetch_delay_ms,
+                    seed,
+                }
+            },
+        )
+}
+
+/// Drive a sim to completion with a fixed fetch delay; returns (timeline,
+/// number of network fetches, total fetched bytes).
+fn drive(s: &Scenario) -> (Timeline, usize, u64) {
+    let cfg = HadoopConfig {
+        map_slots_per_server: s.map_slots,
+        reduce_slots_per_server: s.reduce_slots,
+        parallel_copies: s.parallel_copies,
+        slowstart_completed_maps: s.slowstart,
+        reducer_launch_overhead: SimDuration::from_millis(s.seed % 3000),
+        ..Default::default()
+    };
+    let spec = JobSpec {
+        name: "prop".into(),
+        num_maps: s.maps,
+        num_reducers: s.reducers,
+        input_bytes: s.maps as u64 * s.bytes_per_map,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_millis(100), 1e6, 0.3),
+        sort_duration: DurationModel::fixed(SimDuration::from_millis(50)),
+        reduce_duration: DurationModel::fixed(SimDuration::from_millis(50)),
+        partitioner: Box::new(WeightedPartitioner::new(s.weights.clone())),
+    };
+    let servers: Vec<ServerId> = (0..s.servers).map(ServerId).collect();
+    let mut sim = MapReduceSim::new(cfg, spec, servers, &RngFactory::new(s.seed));
+
+    #[derive(Debug)]
+    enum Ev {
+        MapDone(MapTaskId),
+        RedStart(ReducerId),
+        FetchDone(FetchId),
+        SortDone(ReducerId),
+        RedDone(ReducerId),
+    }
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut fetches = 0usize;
+    let mut fetched_bytes = 0u64;
+    let delay = SimDuration::from_millis(s.fetch_delay_ms);
+    let mut handle = |evts: Vec<HadoopEvent>, q: &mut EventQueue<Ev>, now: SimTime| {
+        for e in evts {
+            match e {
+                HadoopEvent::MapFinishAt { map, at } => {
+                    q.push(at, Ev::MapDone(map));
+                }
+                HadoopEvent::ReducerLaunchAt { reducer, at } => {
+                    q.push(at, Ev::RedStart(reducer));
+                }
+                HadoopEvent::FetchStart { fetch, bytes, src, dst, .. } => {
+                    assert_ne!(src, dst, "local fetch leaked to the network");
+                    assert!(bytes > 0, "zero-byte fetch leaked to the network");
+                    fetches += 1;
+                    fetched_bytes += bytes;
+                    q.push(now + delay, Ev::FetchDone(fetch));
+                }
+                HadoopEvent::SortFinishAt { reducer, at } => {
+                    q.push(at, Ev::SortDone(reducer));
+                }
+                HadoopEvent::ReducerFinishAt { reducer, at } => {
+                    q.push(at, Ev::RedDone(reducer));
+                }
+                HadoopEvent::SpillIndex { .. }
+                | HadoopEvent::ReducerLaunched { .. }
+                | HadoopEvent::JobCompleted { .. } => {}
+            }
+        }
+    };
+    let evts = sim.start(SimTime::ZERO);
+    handle(evts, &mut q, SimTime::ZERO);
+    let mut guard = 0u64;
+    while let Some((now, _, ev)) = q.pop() {
+        guard += 1;
+        assert!(guard < 2_000_000, "runaway simulation");
+        let evts = match ev {
+            Ev::MapDone(m) => sim.map_finished(now, m),
+            Ev::RedStart(r) => sim.reducer_started(now, r),
+            Ev::FetchDone(f) => sim.fetch_completed(now, f),
+            Ev::SortDone(r) => sim.sort_finished(now, r),
+            Ev::RedDone(r) => sim.reducer_finished(now, r),
+        };
+        handle(evts, &mut q, now);
+    }
+    assert!(sim.is_done(), "job wedged");
+    (sim.timeline.clone(), fetches, fetched_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every job completes and conserves bytes: local + remote reducer
+    /// input equals total map output.
+    #[test]
+    fn conservation_and_completion(s in scenario()) {
+        let (tl, _, fetched) = drive(&s);
+        prop_assert!(tl.job_end.is_some());
+        let spec_output = {
+            // Reconstruct: per-map output = round(input/maps) * ratio 1.0.
+            let split = (s.maps as u64 * s.bytes_per_map) as f64 / s.maps as f64;
+            (split.round() as u64) * s.maps as u64
+        };
+        let local: u64 = tl.reducers.values().map(|r| r.local_bytes).sum();
+        let remote: u64 = tl.reducers.values().map(|r| r.remote_bytes).sum();
+        prop_assert_eq!(local + remote, spec_output, "bytes lost or duplicated");
+        prop_assert_eq!(remote, fetched, "network fetches disagree with reducer accounting");
+    }
+
+    /// The shuffle barrier: every reducer's sort starts only after the
+    /// last map finished and after its own last fetch.
+    #[test]
+    fn barrier_ordering(s in scenario()) {
+        let (tl, _, _) = drive(&s);
+        let last_map = tl.maps.values().map(|&(_, sp)| sp.end).max().unwrap();
+        for (r, rt) in &tl.reducers {
+            let shuffle_end = rt.shuffle_end.unwrap();
+            prop_assert!(shuffle_end >= last_map, "{r} sorted before maps finished");
+            prop_assert!(rt.sort_end.unwrap() >= shuffle_end);
+            prop_assert!(rt.finished_at.unwrap() >= rt.sort_end.unwrap());
+        }
+        prop_assert_eq!(tl.reducers.len(), s.reducers);
+        prop_assert_eq!(tl.maps.len(), s.maps);
+    }
+
+    /// Map concurrency never exceeds the cluster's slot capacity: at any
+    /// instant, overlapping map spans per server <= map_slots.
+    #[test]
+    fn slot_capacity_respected(s in scenario()) {
+        let (tl, _, _) = drive(&s);
+        // Check per server at every span start.
+        for (_, &(srv, span)) in &tl.maps {
+            let overlapping = tl
+                .maps
+                .values()
+                .filter(|&&(s2, sp2)| s2 == srv && sp2.start <= span.start && sp2.end > span.start)
+                .count();
+            prop_assert!(
+                overlapping <= s.map_slots,
+                "server {srv} ran {overlapping} maps > {} slots",
+                s.map_slots
+            );
+        }
+    }
+
+    /// Determinism: identical scenario ⇒ identical timeline.
+    #[test]
+    fn deterministic(s in scenario()) {
+        let (a, fa, ba) = drive(&s);
+        let (b, fb, bb) = drive(&s);
+        prop_assert_eq!(a.job_end, b.job_end);
+        prop_assert_eq!(fa, fb);
+        prop_assert_eq!(ba, bb);
+    }
+
+    /// Faster networks never make the job slower (monotonicity in fetch
+    /// latency).
+    #[test]
+    fn monotone_in_network_speed(mut s in scenario()) {
+        s.fetch_delay_ms = s.fetch_delay_ms.max(100);
+        let (slow, _, _) = drive(&s);
+        let mut fast_s = s.clone();
+        fast_s.fetch_delay_ms = 1;
+        let (fast, _, _) = drive(&fast_s);
+        prop_assert!(
+            fast.job_end.unwrap() <= slow.job_end.unwrap(),
+            "faster network made the job slower"
+        );
+    }
+}
+
+/// Non-proptest sanity anchor so a pathological strategy regression shows
+/// up as a plain failure too.
+#[test]
+fn anchor_case() {
+    let s = Scenario {
+        servers: 3,
+        map_slots: 2,
+        reduce_slots: 2,
+        parallel_copies: 5,
+        slowstart: 0.05,
+        maps: 10,
+        reducers: 4,
+        bytes_per_map: 1_000_000,
+        weights: vec![5.0, 1.0, 1.0, 1.0],
+        fetch_delay_ms: 20,
+        seed: 7,
+    };
+    let (tl, fetches, _) = drive(&s);
+    assert!(tl.job_end.is_some());
+    assert!(fetches > 0);
+    let _ = UniformPartitioner; // keep the import honest
+}

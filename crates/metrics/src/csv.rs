@@ -1,0 +1,128 @@
+//! Minimal CSV emission for experiment results.
+//!
+//! Each experiment writes one CSV per figure/table under `results/`, so
+//! the paper plots can be regenerated with any plotting tool. Quoting
+//! follows RFC 4180.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A typed CSV table: fixed header, rows of equal arity.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        CsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Panics if the arity does not match the header.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render to a CSV string.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        Self::write_line(&mut out, &self.header);
+        for row in &self.rows {
+            Self::write_line(&mut out, row);
+        }
+        out
+    }
+
+    /// Write to a file, creating parent directories as needed.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_string())
+    }
+
+    fn write_line(out: &mut String, fields: &[String]) {
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{}", escape(f)).unwrap();
+        }
+        out.push('\n');
+    }
+}
+
+/// RFC 4180 field escaping.
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Convenience for numeric cells.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_table() {
+        let mut t = CsvTable::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["x", "y"]);
+        assert_eq!(t.to_string(), "a,b\n1,2\nx,y\n");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_rejected() {
+        let mut t = CsvTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn writes_file_with_parents() {
+        let dir = std::env::temp_dir().join("pythia-csv-test");
+        let path = dir.join("nested/out.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = CsvTable::new(vec!["v"]);
+        t.push_row(vec![fmt_f64(1.5)]);
+        t.write_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "v\n1.500000\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

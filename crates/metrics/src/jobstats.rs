@@ -1,0 +1,169 @@
+//! Per-run job statistics, distilled from the Hadoop timeline.
+
+use pythia_hadoop::Timeline;
+use serde::Serialize;
+
+/// The flattened, serializable record of one job run — what each
+/// experiment stores per (workload, scheduler, over-subscription) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// Benchmark name.
+    pub workload: String,
+    /// Flow scheduler label ("ecmp", "pythia", "hedera").
+    pub scheduler: String,
+    /// `1:N` over-subscription ratio (N).
+    pub oversubscription: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Job completion time, seconds.
+    pub completion_secs: f64,
+    /// End of the last map task, seconds from job start.
+    pub map_phase_end_secs: f64,
+    /// Shuffle start (first fetch), seconds from job start.
+    pub shuffle_start_secs: f64,
+    /// Shuffle end (last fetch), seconds from job start.
+    pub shuffle_end_secs: f64,
+    /// Bytes shuffled over the network (excludes server-local copies).
+    pub remote_shuffle_bytes: u64,
+    /// Bytes copied server-locally (never touch the network).
+    pub local_shuffle_bytes: u64,
+    /// Skew indicator: max/min total bytes over reducers.
+    pub reducer_skew_ratio: f64,
+}
+
+impl JobReport {
+    /// Build a report from a completed timeline.
+    ///
+    /// # Panics
+    /// Panics if the job has not finished.
+    pub fn from_timeline(
+        workload: &str,
+        scheduler: &str,
+        oversubscription: u32,
+        seed: u64,
+        tl: &Timeline,
+    ) -> JobReport {
+        let job_end = tl.job_end.expect("job not finished");
+        let start = tl.job_start;
+        let map_end = tl
+            .maps
+            .values()
+            .map(|&(_, span)| span.end)
+            .max()
+            .expect("no map tasks");
+        let shuffle = tl.shuffle_span();
+        let remote: u64 = tl.reducers.values().map(|r| r.remote_bytes).sum();
+        let local: u64 = tl.reducers.values().map(|r| r.local_bytes).sum();
+        let totals: Vec<u64> = tl
+            .reducers
+            .values()
+            .map(|r| r.remote_bytes + r.local_bytes)
+            .collect();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let min = totals.iter().copied().min().unwrap_or(0);
+        JobReport {
+            workload: workload.to_string(),
+            scheduler: scheduler.to_string(),
+            oversubscription,
+            seed,
+            completion_secs: job_end.saturating_since(start).as_secs_f64(),
+            map_phase_end_secs: map_end.saturating_since(start).as_secs_f64(),
+            shuffle_start_secs: shuffle
+                .map(|s| s.start.saturating_since(start).as_secs_f64())
+                .unwrap_or(0.0),
+            shuffle_end_secs: shuffle
+                .map(|s| s.end.saturating_since(start).as_secs_f64())
+                .unwrap_or(0.0),
+            remote_shuffle_bytes: remote,
+            local_shuffle_bytes: local,
+            reducer_skew_ratio: if min > 0 { max as f64 / min as f64 } else { f64::NAN },
+        }
+    }
+
+    /// Duration of the shuffle span, seconds.
+    pub fn shuffle_secs(&self) -> f64 {
+        self.shuffle_end_secs - self.shuffle_start_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_des::SimTime;
+    use pythia_hadoop::{MapTaskId, ReducerId, ReducerTimeline, ServerId, TaskSpan};
+
+    fn timeline() -> Timeline {
+        let mut tl = Timeline::default();
+        tl.job_start = SimTime::from_secs(0);
+        tl.job_end = Some(SimTime::from_secs(100));
+        tl.maps.insert(
+            MapTaskId(0),
+            (
+                ServerId(0),
+                TaskSpan {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(30),
+                },
+            ),
+        );
+        tl.maps.insert(
+            MapTaskId(1),
+            (
+                ServerId(1),
+                TaskSpan {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(40),
+                },
+            ),
+        );
+        tl.first_fetch_at = Some(SimTime::from_secs(32));
+        tl.last_fetch_end = Some(SimTime::from_secs(90));
+        tl.reducers.insert(
+            ReducerId(0),
+            ReducerTimeline {
+                server: ServerId(0),
+                launched_at: SimTime::from_secs(31),
+                shuffle_end: Some(SimTime::from_secs(90)),
+                sort_end: Some(SimTime::from_secs(95)),
+                finished_at: Some(SimTime::from_secs(100)),
+                local_bytes: 100,
+                remote_bytes: 900,
+            },
+        );
+        tl.reducers.insert(
+            ReducerId(1),
+            ReducerTimeline {
+                server: ServerId(1),
+                launched_at: SimTime::from_secs(31),
+                shuffle_end: Some(SimTime::from_secs(80)),
+                sort_end: Some(SimTime::from_secs(85)),
+                finished_at: Some(SimTime::from_secs(92)),
+                local_bytes: 50,
+                remote_bytes: 150,
+            },
+        );
+        tl
+    }
+
+    #[test]
+    fn report_extracts_phases() {
+        let r = JobReport::from_timeline("sort", "pythia", 10, 1, &timeline());
+        assert_eq!(r.completion_secs, 100.0);
+        assert_eq!(r.map_phase_end_secs, 40.0);
+        assert_eq!(r.shuffle_start_secs, 32.0);
+        assert_eq!(r.shuffle_end_secs, 90.0);
+        assert_eq!(r.shuffle_secs(), 58.0);
+        assert_eq!(r.remote_shuffle_bytes, 1050);
+        assert_eq!(r.local_shuffle_bytes, 150);
+        // Reducer totals: 1000 vs 200 → skew 5.
+        assert!((r.reducer_skew_ratio - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finished")]
+    fn unfinished_job_rejected() {
+        let mut tl = timeline();
+        tl.job_end = None;
+        JobReport::from_timeline("sort", "pythia", 1, 1, &tl);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! `pythia-metrics` — measurement and reporting substrate.
+//!
+//! * [`jobstats`] — per-run job reports (phase timing, shuffle volumes,
+//!   skew) distilled from the Hadoop timeline;
+//! * [`flowtrace`] — NetFlow-style per-flow records and trunk-balance
+//!   aggregations (§V-C methodology);
+//! * [`prediction_eval`] — Figure 5 analysis: prediction promptness
+//!   (horizontal lead) and accuracy (over-estimation, never-lags);
+//! * [`seqdiag`] — ASCII sequence diagrams (Figure 1a);
+//! * [`summary`] / [`csv`] — statistics and result emission.
+
+pub mod csv;
+pub mod flowtrace;
+pub mod jobstats;
+pub mod prediction_eval;
+pub mod seqdiag;
+pub mod summary;
+
+pub use csv::CsvTable;
+pub use flowtrace::{FlowTrace, ShuffleFlowRecord};
+pub use jobstats::JobReport;
+pub use prediction_eval::{evaluate as evaluate_prediction, PredictionEval};
+pub use seqdiag::{render as render_seqdiag, SeqDiagramOptions};
+pub use summary::{percentile_sorted, speedup_fraction, Summary};

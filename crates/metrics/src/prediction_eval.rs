@@ -1,0 +1,137 @@
+//! Prediction efficacy analysis (Figure 5, §V-C).
+//!
+//! The paper's methodology: for each server, plot the **cumulative
+//! predicted** traffic volume (from Pythia's collector) against the
+//! **cumulative measured** volume (from NetFlow), then read off
+//!
+//! * *promptness* — the horizontal distance between the curves ("there is
+//!   a substantial distance … approximately 9 sec at minimum"), i.e. how
+//!   far in advance traffic is predicted;
+//! * *accuracy* — the vertical relationship ("Pythia is over-estimating
+//!   traffic volume by a factor of 3%-7%") and the safety property that
+//!   prediction **never lags** measurement.
+
+use pythia_des::SimDuration;
+#[cfg(test)]
+use pythia_des::SimTime;
+use pythia_netsim::CumulativeCurve;
+
+/// Result of comparing a predicted curve against a measured one.
+#[derive(Debug, Clone)]
+pub struct PredictionEval {
+    /// Minimum horizontal lead over the probed volume levels: how long
+    /// before the traffic materialized was it predicted, at worst.
+    pub min_lead: SimDuration,
+    /// Mean horizontal lead over the probed levels.
+    pub mean_lead: SimDuration,
+    /// Final over-estimation fraction: predicted_total/measured_total − 1.
+    pub overestimate_frac: f64,
+    /// True iff at every measured sample instant, cumulative prediction ≥
+    /// cumulative measurement (the paper's "never lags" property).
+    pub never_lags: bool,
+    /// Number of volume levels probed for the lead-time statistics.
+    pub levels: usize,
+}
+
+/// Compare curves at `levels` evenly spaced volume levels (excluding 0,
+/// including the measured total).
+///
+/// Returns `None` if either curve is empty or the measured total is zero.
+pub fn evaluate(
+    predicted: &CumulativeCurve,
+    measured: &CumulativeCurve,
+    levels: usize,
+) -> Option<PredictionEval> {
+    assert!(levels > 0);
+    if predicted.is_empty() || measured.is_empty() || measured.total() <= 0.0 {
+        return None;
+    }
+    let total = measured.total();
+    let mut leads: Vec<SimDuration> = Vec::with_capacity(levels);
+    for i in 1..=levels {
+        let level = total * i as f64 / levels as f64;
+        let t_measured = measured.time_to_reach(level)?;
+        // Prediction may never reach `level` only if it under-predicts the
+        // total; treat as zero lead (worst case).
+        let lead = match predicted.time_to_reach(level) {
+            Some(t_pred) => t_measured.saturating_since(t_pred),
+            None => SimDuration::ZERO,
+        };
+        leads.push(lead);
+    }
+    let min_lead = leads.iter().copied().min().unwrap();
+    let sum_ns: u64 = leads.iter().map(|d| d.as_nanos()).sum();
+    let mean_lead = SimDuration::from_nanos(sum_ns / leads.len() as u64);
+    let never_lags = measured
+        .points()
+        .iter()
+        .all(|&(t, v)| predicted.value_at(t) + 1e-6 >= v);
+    Some(PredictionEval {
+        min_lead,
+        mean_lead,
+        overestimate_frac: predicted.total() / total - 1.0,
+        never_lags,
+        levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(u64, f64)]) -> CumulativeCurve {
+        let mut c = CumulativeCurve::default();
+        for &(s, v) in points {
+            c.push(SimTime::from_secs(s), v);
+        }
+        c
+    }
+
+    #[test]
+    fn constant_lead_detected() {
+        // Prediction is the measurement shifted 9 s earlier and 5% higher.
+        let predicted = curve(&[(1, 105.0), (11, 210.0), (21, 315.0)]);
+        let measured = curve(&[(10, 100.0), (20, 200.0), (30, 300.0)]);
+        let e = evaluate(&predicted, &measured, 3).unwrap();
+        assert!(e.min_lead >= SimDuration::from_secs(9), "{:?}", e.min_lead);
+        assert!(e.never_lags);
+        assert!((e.overestimate_frac - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lagging_prediction_flagged() {
+        let predicted = curve(&[(50, 300.0)]);
+        let measured = curve(&[(10, 100.0), (20, 200.0), (30, 300.0)]);
+        let e = evaluate(&predicted, &measured, 3).unwrap();
+        assert!(!e.never_lags);
+        assert_eq!(e.min_lead, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn underpredicting_total_gives_zero_lead_at_top_level() {
+        let predicted = curve(&[(1, 150.0)]);
+        let measured = curve(&[(10, 100.0), (20, 200.0)]);
+        let e = evaluate(&predicted, &measured, 2).unwrap();
+        // Level 200 never reached by prediction → lead 0 at that level.
+        assert_eq!(e.min_lead, SimDuration::ZERO);
+        assert!(e.overestimate_frac < 0.0);
+    }
+
+    #[test]
+    fn empty_curves_give_none() {
+        let empty = CumulativeCurve::default();
+        let m = curve(&[(1, 10.0)]);
+        assert!(evaluate(&empty, &m, 3).is_none());
+        assert!(evaluate(&m, &empty, 3).is_none());
+    }
+
+    #[test]
+    fn mean_lead_averages_levels() {
+        // Lead 10 s at every level.
+        let predicted = curve(&[(0, 100.0), (10, 200.0)]);
+        let measured = curve(&[(10, 100.0), (20, 200.0)]);
+        let e = evaluate(&predicted, &measured, 2).unwrap();
+        assert_eq!(e.mean_lead, SimDuration::from_secs(10));
+        assert_eq!(e.min_lead, SimDuration::from_secs(10));
+    }
+}

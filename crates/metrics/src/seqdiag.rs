@@ -1,0 +1,201 @@
+//! ASCII sequence diagrams of job executions.
+//!
+//! Reproduces the paper's Figure 1a — "the sequence diagram of the
+//! execution of a toy-sized sort job … obtained by a custom visualization
+//! tool we have developed" — as terminal art. One lane per map task and
+//! per reducer; reducer lanes show the three phases:
+//!
+//! ```text
+//! m000000 |=========                               |
+//! m000001 |==========                              |
+//! m000002 |=========                               |
+//! r000000 |         ~~~~~~~~~~~~~~~~~~~ssss rrrr   |
+//! r000001 |         ~~~~~~~~ss rr                  |
+//! ```
+//!
+//! `=` map compute, `~` shuffle, `s` sort, `r` reduce+write.
+
+use pythia_des::SimTime;
+use pythia_hadoop::Timeline;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SeqDiagramOptions {
+    /// Width of the time axis in characters.
+    pub width: usize,
+    /// Cap on the number of map lanes shown (large jobs collapse the rest
+    /// into a single "…" line).
+    pub max_map_lanes: usize,
+}
+
+impl Default for SeqDiagramOptions {
+    fn default() -> Self {
+        SeqDiagramOptions {
+            width: 60,
+            max_map_lanes: 12,
+        }
+    }
+}
+
+/// Render the timeline as an ASCII diagram.
+pub fn render(tl: &Timeline, opts: &SeqDiagramOptions) -> String {
+    let start = tl.job_start;
+    let end = tl
+        .job_end
+        .or(tl.last_fetch_end)
+        .unwrap_or_else(|| {
+            tl.maps
+                .values()
+                .map(|&(_, s)| s.end)
+                .max()
+                .unwrap_or(start)
+        });
+    let span = end.saturating_since(start).as_secs_f64().max(1e-9);
+    let w = opts.width;
+    let col = |t: SimTime| -> usize {
+        let f = t.saturating_since(start).as_secs_f64() / span;
+        ((f * w as f64) as usize).min(w.saturating_sub(1))
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time axis: 0s .. {:.1}s ({} cols)\n",
+        span, w
+    ));
+
+    let lane = |label: &str, segments: &[(SimTime, SimTime, char)], out: &mut String| {
+        let mut row = vec![' '; w];
+        for &(s, e, ch) in segments {
+            let (a, b) = (col(s), col(e));
+            for cell in row.iter_mut().take(b.max(a) + 1).skip(a) {
+                *cell = ch;
+            }
+        }
+        out.push_str(&format!("{label:>8} |{}|\n", row.iter().collect::<String>()));
+    };
+
+    let mut shown = 0usize;
+    for (m, &(_, span_m)) in &tl.maps {
+        if shown >= opts.max_map_lanes {
+            out.push_str(&format!(
+                "         … {} more map lanes elided …\n",
+                tl.maps.len() - shown
+            ));
+            break;
+        }
+        lane(&m.to_string(), &[(span_m.start, span_m.end, '=')], &mut out);
+        shown += 1;
+    }
+    for (r, rt) in &tl.reducers {
+        let mut segs: Vec<(SimTime, SimTime, char)> = Vec::new();
+        if let Some(se) = rt.shuffle_end {
+            segs.push((rt.launched_at, se, '~'));
+            if let Some(so) = rt.sort_end {
+                segs.push((se, so, 's'));
+                if let Some(fin) = rt.finished_at {
+                    segs.push((so, fin, 'r'));
+                }
+            }
+        }
+        lane(&r.to_string(), &segs, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_hadoop::{MapTaskId, ReducerId, ReducerTimeline, ServerId, TaskSpan};
+
+    fn toy_timeline() -> Timeline {
+        let mut tl = Timeline::default();
+        tl.job_start = SimTime::ZERO;
+        tl.job_end = Some(SimTime::from_secs(100));
+        for i in 0..3 {
+            tl.maps.insert(
+                MapTaskId(i),
+                (
+                    ServerId(i),
+                    TaskSpan {
+                        start: SimTime::ZERO,
+                        end: SimTime::from_secs(30),
+                    },
+                ),
+            );
+        }
+        for i in 0..2 {
+            tl.reducers.insert(
+                ReducerId(i),
+                ReducerTimeline {
+                    server: ServerId(i),
+                    launched_at: SimTime::from_secs(10),
+                    shuffle_end: Some(SimTime::from_secs(70)),
+                    sort_end: Some(SimTime::from_secs(80)),
+                    finished_at: Some(SimTime::from_secs(100 - i as u64 * 10)),
+                    local_bytes: 0,
+                    remote_bytes: 1000,
+                },
+            );
+        }
+        tl
+    }
+
+    #[test]
+    fn renders_all_lanes() {
+        let s = render(&toy_timeline(), &SeqDiagramOptions::default());
+        assert_eq!(s.matches('\n').count(), 6, "header + 3 maps + 2 reducers:\n{s}");
+        assert!(s.contains("m000000"));
+        assert!(s.contains("r000001"));
+        assert!(s.contains('='));
+        assert!(s.contains('~'));
+        assert!(s.contains('s'));
+        assert!(s.contains('r'));
+    }
+
+    #[test]
+    fn map_lane_cap_elides() {
+        let mut tl = toy_timeline();
+        for i in 3..30 {
+            tl.maps.insert(
+                MapTaskId(i),
+                (
+                    ServerId(0),
+                    TaskSpan {
+                        start: SimTime::ZERO,
+                        end: SimTime::from_secs(30),
+                    },
+                ),
+            );
+        }
+        let s = render(
+            &tl,
+            &SeqDiagramOptions {
+                width: 40,
+                max_map_lanes: 5,
+            },
+        );
+        assert!(s.contains("more map lanes elided"));
+    }
+
+    #[test]
+    fn rows_have_requested_width() {
+        let s = render(&toy_timeline(), &SeqDiagramOptions { width: 40, max_map_lanes: 12 });
+        for line in s.lines().skip(1) {
+            if line.contains('|') {
+                let body = line.split('|').nth(1).unwrap();
+                assert_eq!(body.chars().count(), 40, "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_dominates_in_toy_job() {
+        // The Figure 1a observation: the reducer's shuffle segment is far
+        // longer than its sort+reduce tail.
+        let s = render(&toy_timeline(), &SeqDiagramOptions::default());
+        let r0_line = s.lines().find(|l| l.contains("r000000")).unwrap();
+        let shuffle_cells = r0_line.matches('~').count();
+        let sort_cells = r0_line.matches('s').count();
+        assert!(shuffle_cells > 3 * sort_cells);
+    }
+}

@@ -1,0 +1,105 @@
+//! Descriptive statistics over run samples.
+
+/// Summary of a sample set (completion times across repeats, etc.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Compute a summary. Panics on an empty or non-finite sample set.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "empty sample set");
+        assert!(
+            samples.iter().all(|s| s.is_finite()),
+            "non-finite sample in {samples:?}"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+        }
+    }
+}
+
+/// Nearest-rank percentile on a pre-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// Relative speedup of `faster` over `slower` as the paper reports it:
+/// `(t_slower - t_faster) / t_slower` (so 0.46 ⇒ "46% improvement").
+pub fn speedup_fraction(t_baseline: f64, t_optimized: f64) -> f64 {
+    assert!(t_baseline > 0.0);
+    (t_baseline - t_optimized) / t_baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 51.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.p95, 3.5);
+    }
+
+    #[test]
+    fn speedup_matches_paper_convention() {
+        // ECMP 100 s, Pythia 54 s → 46% improvement.
+        assert!((speedup_fraction(100.0, 54.0) - 0.46).abs() < 1e-12);
+        // Slower "optimization" is negative.
+        assert!(speedup_fraction(100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Background (over-subscription) traffic.
+//!
+//! The paper emulates network over-subscription by loading the inter-rack
+//! links with iperf-generated **constant-bit-rate UDP** streams (§V-A).
+//! An over-subscription ratio of `1:N` means the bandwidth left for the
+//! application is `1/N` of the nominal trunk capacity, so the background
+//! stream on each trunk link runs at `(1 - 1/N) × capacity`.
+
+use crate::flow::{FiveTuple, FlowSpec};
+use crate::topology::{LinkId, Topology};
+
+/// Over-subscription ratio `1:N`. `OverSubscription::NONE` (1:1) injects no
+/// background traffic at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OverSubscription(pub u32);
+
+impl OverSubscription {
+    /// No over-subscription (1:1): the full bisection is available.
+    pub const NONE: OverSubscription = OverSubscription(1);
+
+    /// Fraction of each trunk link consumed by background traffic.
+    pub fn background_fraction(self) -> f64 {
+        assert!(self.0 >= 1, "over-subscription ratio must be >= 1");
+        1.0 - 1.0 / self.0 as f64
+    }
+
+    /// Fraction of each trunk link left for the application.
+    pub fn available_fraction(self) -> f64 {
+        1.0 / self.0 as f64
+    }
+
+    /// The conventional "1:N" label.
+    pub fn label(self) -> String {
+        format!("1:{}", self.0)
+    }
+}
+
+/// UDP port used by the synthetic iperf streams.
+pub const IPERF_PORT: u16 = 5001;
+
+/// How the background load is distributed over parallel trunk cables.
+///
+/// The paper's motivating example (Figure 1b) is explicitly *asymmetric*:
+/// "Path-1" at 95% buffer occupancy while "Path-2" is lightly loaded —
+/// real datacenter background traffic is bursty and unevenly hashed.
+/// [`BackgroundProfile::Fluctuating`] models that: the total background
+/// volume per trunk direction stays at `(1 − 1/N) × aggregate capacity`,
+/// but its split across the parallel cables is redrawn every `period`.
+/// With a load-unaware scheduler, flows randomly land on the
+/// currently-congested cable; a load-aware scheduler steers around it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackgroundProfile {
+    /// Every cable carries exactly `(1 − 1/N)` of its capacity, forever.
+    Static,
+    /// The per-direction total is redrawn across cables periodically.
+    Fluctuating {
+        /// Redraw period in simulated seconds.
+        period_secs: f64,
+        /// How lopsided the split may get: 0 = static, 1 = as asymmetric
+        /// as the per-cable CBR cap allows.
+        spread: f64,
+    },
+}
+
+impl Default for BackgroundProfile {
+    fn default() -> Self {
+        BackgroundProfile::Fluctuating {
+            period_secs: 10.0,
+            spread: 0.3,
+        }
+    }
+}
+
+/// Redraw the background rates for one direction group of parallel cables
+/// of equal capacity `cap_bps`. The sum of returned rates is
+/// `frac × k × cap_bps` (the nominal symmetric total), each clamped to
+/// `CBR_SHARE_LIMIT × cap_bps`, with the clamp remainder redistributed.
+pub fn redraw_group_rates(
+    cap_bps: f64,
+    k: usize,
+    frac: f64,
+    spread: f64,
+    rng: &mut impl rand::Rng,
+) -> Vec<f64> {
+    assert!(k >= 1);
+    assert!((0.0..=1.0).contains(&frac));
+    assert!((0.0..=1.0).contains(&spread));
+    let total = frac * k as f64 * cap_bps;
+    if k == 1 || frac == 0.0 || spread == 0.0 {
+        return vec![frac * cap_bps; k];
+    }
+    // Random weights, spread-scaled around uniform.
+    let raw: Vec<f64> = (0..k)
+        .map(|_| 1.0 + spread * rng.random_range(-1.0..1.0f64))
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    let mut rates: Vec<f64> = raw.iter().map(|w| total * w / sum).collect();
+    // Clamp to the CBR share limit, redistributing the excess among the
+    // unclamped cables (a few passes converge for equal capacities).
+    let cap = crate::fairshare::CBR_SHARE_LIMIT * cap_bps;
+    for _ in 0..k {
+        let excess: f64 = rates.iter().map(|&r| (r - cap).max(0.0)).sum();
+        if excess <= 1e-9 {
+            break;
+        }
+        let room: Vec<f64> = rates.iter().map(|&r| (cap - r).max(0.0)).collect();
+        let room_total: f64 = room.iter().sum();
+        for (r, rm) in rates.iter_mut().zip(room.iter()) {
+            if *r > cap {
+                *r = cap;
+            } else if room_total > 0.0 {
+                *r += excess * rm / room_total;
+            }
+        }
+    }
+    for r in rates.iter_mut() {
+        *r = r.min(cap).max(0.0);
+    }
+    rates
+}
+
+/// Build one unbounded CBR flow per trunk link, sized for `ratio`.
+///
+/// Each flow's "path" is the single trunk link, and its endpoints are the
+/// switches at the two ends — mirroring iperf endpoints placed so that each
+/// stream congests exactly one inter-rack cable.
+pub fn background_flows(
+    topo: &Topology,
+    trunk_links: &[LinkId],
+    ratio: OverSubscription,
+) -> Vec<(FlowSpec, Vec<LinkId>)> {
+    let frac = ratio.background_fraction();
+    if frac <= 0.0 {
+        return Vec::new();
+    }
+    trunk_links
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let link = topo.link(l);
+            let tuple = FiveTuple::udp(link.src, link.dst, 10_000 + i as u16, IPERF_PORT);
+            let spec = FlowSpec::cbr(tuple, frac * link.capacity_bps);
+            (spec, vec![l])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{build_multi_rack, MultiRackParams};
+
+    #[test]
+    fn fractions() {
+        assert_eq!(OverSubscription::NONE.background_fraction(), 0.0);
+        assert_eq!(OverSubscription(2).background_fraction(), 0.5);
+        assert!((OverSubscription(20).background_fraction() - 0.95).abs() < 1e-12);
+        assert!((OverSubscription(20).available_fraction() - 0.05).abs() < 1e-12);
+        assert_eq!(OverSubscription(10).label(), "1:10");
+    }
+
+    #[test]
+    fn one_flow_per_trunk_link_with_correct_rate() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let flows = background_flows(&mr.topology, &mr.trunk_links, OverSubscription(10));
+        assert_eq!(flows.len(), mr.trunk_links.len());
+        for ((spec, links), &trunk) in flows.iter().zip(mr.trunk_links.iter()) {
+            assert_eq!(links, &vec![trunk]);
+            match spec.kind {
+                crate::flow::FlowKind::Cbr { rate_bps } => {
+                    let cap = mr.topology.link(trunk).capacity_bps;
+                    assert!((rate_bps - 0.9 * cap).abs() < 1.0);
+                }
+                _ => panic!("background must be CBR"),
+            }
+            assert!(spec.size_bytes.is_none(), "background is unbounded");
+        }
+    }
+
+    #[test]
+    fn redraw_preserves_total_and_caps() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        for &frac in &[0.5, 0.9, 0.95] {
+            for &k in &[2usize, 4] {
+                for _ in 0..50 {
+                    let rates = redraw_group_rates(10e9, k, frac, 1.0, &mut rng);
+                    assert_eq!(rates.len(), k);
+                    let total: f64 = rates.iter().sum();
+                    assert!(
+                        (total - frac * k as f64 * 10e9).abs() < 1e7 || rates.iter().all(|&r| r > 0.99 * 0.995 * 10e9),
+                        "total {total} for frac {frac} k {k}"
+                    );
+                    for &r in &rates {
+                        assert!(r <= 0.995 * 10e9 + 1.0, "rate {r} over cap");
+                        assert!(r >= 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn redraw_zero_spread_is_symmetric() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let rates = redraw_group_rates(10e9, 2, 0.9, 0.0, &mut rng);
+        assert_eq!(rates, vec![9e9, 9e9]);
+    }
+
+    #[test]
+    fn redraw_with_spread_is_asymmetric_sometimes() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut max_gap: f64 = 0.0;
+        for _ in 0..30 {
+            let rates = redraw_group_rates(10e9, 2, 0.95, 1.0, &mut rng);
+            max_gap = max_gap.max((rates[0] - rates[1]).abs());
+        }
+        // At 1:20-like load, the per-cable available bandwidth must swing
+        // substantially between draws.
+        assert!(max_gap > 0.3e9, "gap only {max_gap}");
+    }
+
+    #[test]
+    fn no_background_at_ratio_one() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let flows = background_flows(&mr.topology, &mr.trunk_links, OverSubscription::NONE);
+        assert!(flows.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Flow descriptors.
+//!
+//! The simulator is *flow-level*: the unit of network activity is a flow
+//! with a byte count and a path, not individual packets. TCP flows adapt
+//! their rate (max-min fair share, computed in [`crate::fairshare`]); CBR
+//! flows (the iperf UDP background traffic of the paper's evaluation) hold
+//! a fixed rate regardless of congestion, exactly like unreactive UDP.
+
+use std::fmt;
+
+use crate::topology::NodeId;
+
+/// Identifier of a flow inside a [`crate::net::FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Transport protocol, part of the classic 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Protocol {
+    /// Rate-adaptive transport.
+    Tcp,
+    /// Unreactive datagram transport.
+    Udp,
+}
+
+/// The classic 5-tuple identifying an application flow. Addresses are node
+/// ids — the simulator's stand-in for IP addresses (one address per host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FiveTuple {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FiveTuple {
+    /// A TCP 5-tuple.
+    pub fn tcp(src: NodeId, dst: NodeId, src_port: u16, dst_port: u16) -> Self {
+        FiveTuple {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    /// A UDP 5-tuple.
+    pub fn udp(src: NodeId, dst: NodeId, src_port: u16, dst_port: u16) -> Self {
+        FiveTuple {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto: Protocol::Udp,
+        }
+    }
+
+    /// Canonical byte encoding used for hashing (ECMP) — field order is
+    /// fixed and endianness explicit so hash values are platform-stable.
+    pub fn to_bytes(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0..4].copy_from_slice(&self.src.0.to_be_bytes());
+        out[4..8].copy_from_slice(&self.dst.0.to_be_bytes());
+        out[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        out[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[12] = match self.proto {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        };
+        out
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.proto {
+            Protocol::Tcp => "tcp",
+            Protocol::Udp => "udp",
+        };
+        write!(
+            f,
+            "{p} {}:{} -> {}:{}",
+            self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+/// How a flow consumes bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowKind {
+    /// Rate-adaptive (TCP): receives a max-min fair share.
+    Adaptive,
+    /// Constant bit rate (unreactive UDP).
+    Cbr {
+        /// The requested constant rate, clamped only by link capacity.
+        rate_bps: f64,
+    },
+}
+
+/// Everything needed to start a flow.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// The flow's 5-tuple identity.
+    pub tuple: FiveTuple,
+    /// Total bytes to transfer; `None` for unbounded flows (background CBR
+    /// runs until explicitly removed).
+    pub size_bytes: Option<u64>,
+    /// How the flow consumes bandwidth.
+    pub kind: FlowKind,
+}
+
+impl FlowSpec {
+    /// A size-bounded TCP transfer.
+    pub fn tcp_transfer(tuple: FiveTuple, size_bytes: u64) -> Self {
+        FlowSpec {
+            tuple,
+            size_bytes: Some(size_bytes),
+            kind: FlowKind::Adaptive,
+        }
+    }
+
+    /// An unbounded constant-bit-rate stream (iperf-style UDP).
+    pub fn cbr(tuple: FiveTuple, rate_bps: f64) -> Self {
+        assert!(rate_bps.is_finite() && rate_bps > 0.0);
+        FlowSpec {
+            tuple,
+            size_bytes: None,
+            kind: FlowKind::Cbr { rate_bps },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_bytes_are_stable_and_injective_enough() {
+        let a = FiveTuple::tcp(NodeId(1), NodeId(2), 40000, 50060);
+        let b = FiveTuple::tcp(NodeId(1), NodeId(2), 40001, 50060);
+        let c = FiveTuple::udp(NodeId(1), NodeId(2), 40000, 50060);
+        assert_eq!(a.to_bytes(), a.to_bytes());
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = FiveTuple::tcp(NodeId(1), NodeId(2), 40000, 50060);
+        assert_eq!(format!("{t}"), "tcp n1:40000 -> n2:50060");
+    }
+
+    #[test]
+    #[should_panic]
+    fn cbr_requires_positive_rate() {
+        FlowSpec::cbr(FiveTuple::udp(NodeId(0), NodeId(1), 1, 2), 0.0);
+    }
+}

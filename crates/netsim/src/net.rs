@@ -1,0 +1,493 @@
+//! The live network state: active flows, their rates, and byte accounting.
+//!
+//! [`FlowNet`] is a *pure state machine* — it never schedules events. The
+//! simulation engine drives it with this contract:
+//!
+//! 1. call [`FlowNet::advance_to`] to integrate transferred bytes up to the
+//!    current instant;
+//! 2. mutate the flow set ([`FlowNet::start_flow`] / [`FlowNet::remove_flow`]);
+//! 3. call [`FlowNet::recompute`] to refresh max-min fair rates;
+//! 4. ask [`FlowNet::next_completion`] for the earliest projected flow
+//!    completion and schedule a single event there (re-doing steps 1–4 when
+//!    it fires or whenever the flow set changes).
+
+use std::collections::BTreeMap;
+
+use pythia_des::{SimDuration, SimTime};
+
+use crate::fairshare::{max_min_fair, FlowPath};
+use crate::flow::{FlowId, FlowKind, FlowSpec};
+use crate::routing::Path;
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// A flow currently in the network.
+#[derive(Debug, Clone)]
+pub struct ActiveFlow {
+    /// The flow's descriptor (5-tuple, size, kind).
+    pub spec: FlowSpec,
+    /// The path it currently rides.
+    pub path: Path,
+    /// Bytes still to transfer (`None` ⇒ unbounded).
+    pub remaining_bytes: Option<f64>,
+    /// Bytes moved so far.
+    pub transferred_bytes: f64,
+    /// Current allocated rate (bits/sec); valid as of the last `recompute`.
+    pub rate_bps: f64,
+    /// When the flow entered the network.
+    pub started_at: SimTime,
+}
+
+impl ActiveFlow {
+    /// A bounded flow whose byte count has reached zero.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.remaining_bytes, Some(r) if r <= 0.0)
+    }
+}
+
+/// Final accounting for a removed flow.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The removed flow's id.
+    pub id: FlowId,
+    /// Its descriptor.
+    pub spec: FlowSpec,
+    /// The path it was on at removal.
+    pub path: Path,
+    /// Total bytes it moved.
+    pub transferred_bytes: f64,
+    /// When it entered the network.
+    pub started_at: SimTime,
+    /// When it was removed.
+    pub ended_at: SimTime,
+}
+
+/// The live network. See module docs for the driving contract.
+pub struct FlowNet {
+    topo: Topology,
+    flows: BTreeMap<FlowId, ActiveFlow>,
+    next_id: u64,
+    now: SimTime,
+    /// Bumped on every rate recomputation; lets engines detect stale
+    /// completion projections.
+    epoch: u64,
+    /// Committed rate per link as of the last recompute (bits/sec).
+    link_load_bps: Vec<f64>,
+    /// Cumulative bytes sourced per node since the start of the run —
+    /// exactly what a NetFlow exporter on the host would report.
+    cum_tx_bytes: BTreeMap<NodeId, f64>,
+    rates_dirty: bool,
+}
+
+impl FlowNet {
+    /// An empty network over `topo`, at time zero.
+    pub fn new(topo: Topology) -> Self {
+        let n_links = topo.num_links();
+        FlowNet {
+            topo,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+            epoch: 0,
+            link_load_bps: vec![0.0; n_links],
+            cum_tx_bytes: BTreeMap::new(),
+            rates_dirty: false,
+        }
+    }
+
+    /// This network's topology view (capacities reflect degradations).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The instant byte counters are integrated up to.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Rate-recompute epoch; changes whenever rates may have changed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of flows in the network (including completed-not-removed).
+    pub fn num_active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Look up one flow.
+    pub fn flow(&self, id: FlowId) -> Option<&ActiveFlow> {
+        self.flows.get(&id)
+    }
+
+    /// All flows, in id order.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowId, &ActiveFlow)> {
+        self.flows.iter().map(|(&id, f)| (id, f))
+    }
+
+    /// Integrate byte counters up to `t`. Returns the bounded flows that
+    /// reached zero remaining bytes during this advance (they stay in the
+    /// network until [`FlowNet::remove_flow`]).
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past or if rates are stale (a flow was added
+    /// or removed without a subsequent [`FlowNet::recompute`]).
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowId> {
+        assert!(t >= self.now, "advance_to({t}) before now ({})", self.now);
+        assert!(
+            !self.rates_dirty || self.flows.is_empty(),
+            "advance_to with stale rates: call recompute() after mutating flows"
+        );
+        let dt = (t - self.now).as_secs_f64();
+        let mut completed = Vec::new();
+        if dt > 0.0 {
+            for (&id, f) in self.flows.iter_mut() {
+                if f.rate_bps <= 0.0 {
+                    continue;
+                }
+                let delta_bytes = f.rate_bps * dt / 8.0;
+                let moved = match &mut f.remaining_bytes {
+                    Some(rem) if *rem <= 0.0 => 0.0,
+                    Some(rem) => {
+                        let moved = delta_bytes.min(*rem);
+                        *rem -= moved;
+                        if *rem <= 0.0 {
+                            *rem = 0.0;
+                            completed.push(id);
+                        }
+                        moved
+                    }
+                    None => delta_bytes,
+                };
+                f.transferred_bytes += moved;
+                *self.cum_tx_bytes.entry(f.spec.tuple.src).or_insert(0.0) += moved;
+            }
+        }
+        self.now = t;
+        completed
+    }
+
+    /// Inject a flow on `path`. The path must match the spec's endpoints.
+    /// Rates become stale; call [`FlowNet::recompute`] before advancing.
+    pub fn start_flow(&mut self, spec: FlowSpec, path: Path) -> FlowId {
+        assert_eq!(path.src(), spec.tuple.src, "path/spec source mismatch");
+        assert_eq!(path.dst(), spec.tuple.dst, "path/spec destination mismatch");
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            ActiveFlow {
+                remaining_bytes: spec.size_bytes.map(|b| b as f64),
+                transferred_bytes: 0.0,
+                rate_bps: 0.0,
+                started_at: self.now,
+                spec,
+                path,
+            },
+        );
+        self.rates_dirty = true;
+        id
+    }
+
+    /// Move a live flow onto a new path (SDN re-route). Bytes already
+    /// transferred are kept; rates become stale.
+    pub fn reroute_flow(&mut self, id: FlowId, path: Path) {
+        let f = self.flows.get_mut(&id).expect("reroute of unknown flow");
+        assert_eq!(path.src(), f.spec.tuple.src, "path/spec source mismatch");
+        assert_eq!(path.dst(), f.spec.tuple.dst, "path/spec destination mismatch");
+        f.path = path;
+        self.rates_dirty = true;
+    }
+
+    /// Degrade or restore a link in this network's topology view (cable
+    /// fault model). Rates become stale.
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) {
+        self.topo.set_link_capacity(link, capacity_bps);
+        self.rates_dirty = true;
+    }
+
+    /// Change the requested rate of a CBR flow (time-varying background
+    /// traffic). Rates become stale.
+    ///
+    /// # Panics
+    /// Panics if the flow is not CBR.
+    pub fn set_cbr_rate(&mut self, id: FlowId, rate_bps: f64) {
+        assert!(rate_bps.is_finite() && rate_bps >= 0.0);
+        let f = self.flows.get_mut(&id).expect("set_cbr_rate: unknown flow");
+        match &mut f.spec.kind {
+            FlowKind::Cbr { rate_bps: r } => *r = rate_bps.max(1.0),
+            FlowKind::Adaptive => panic!("set_cbr_rate on adaptive flow"),
+        }
+        self.rates_dirty = true;
+    }
+
+    /// Remove a flow (completed or aborted) and return its accounting.
+    pub fn remove_flow(&mut self, id: FlowId) -> FlowReport {
+        let f = self.flows.remove(&id).expect("remove of unknown flow");
+        self.rates_dirty = true;
+        FlowReport {
+            id,
+            spec: f.spec,
+            path: f.path,
+            transferred_bytes: f.transferred_bytes,
+            started_at: f.started_at,
+            ended_at: self.now,
+        }
+    }
+
+    /// Recompute max-min fair rates for the current flow set.
+    pub fn recompute(&mut self) {
+        let caps: Vec<f64> = (0..self.topo.num_links())
+            .map(|l| self.topo.link(LinkId(l as u32)).capacity_bps)
+            .collect();
+        // Borrow-friendly staging: collect link index lists first. A
+        // finished-but-not-yet-removed flow is given an empty link list,
+        // which the allocator treats as "consumes nothing".
+        let link_lists: Vec<Vec<usize>> = self
+            .flows
+            .values()
+            .map(|f| {
+                if f.is_complete() {
+                    Vec::new()
+                } else {
+                    f.path.links().iter().map(|l| l.0 as usize).collect()
+                }
+            })
+            .collect();
+        let flow_paths: Vec<FlowPath<'_>> = self
+            .flows
+            .values()
+            .zip(link_lists.iter())
+            .map(|(f, links)| FlowPath {
+                links,
+                cbr_rate_bps: match f.spec.kind {
+                    _ if f.is_complete() => None,
+                    FlowKind::Adaptive => None,
+                    FlowKind::Cbr { rate_bps } => Some(rate_bps),
+                },
+            })
+            .collect();
+        let alloc = max_min_fair(&caps, &flow_paths);
+        for ((_, f), &rate) in self.flows.iter_mut().zip(alloc.rates_bps.iter()) {
+            f.rate_bps = if f.is_complete() { 0.0 } else { rate };
+        }
+        self.link_load_bps = alloc.link_load_bps;
+        self.epoch += 1;
+        self.rates_dirty = false;
+    }
+
+    /// Earliest projected completion among bounded, progressing flows.
+    ///
+    /// # Panics
+    /// Panics if rates are stale.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        assert!(!self.rates_dirty, "next_completion with stale rates");
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            if let Some(rem) = f.remaining_bytes {
+                if rem > 0.0 && f.rate_bps > 0.0 {
+                    let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, f.rate_bps);
+                    let t = self.now + d;
+                    if best.map(|(bt, _)| t < bt).unwrap_or(true) {
+                        best = Some((t, id));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Committed rate on `link` (bits/sec) as of the last recompute.
+    pub fn link_load_bps(&self, link: LinkId) -> f64 {
+        self.link_load_bps[link.0 as usize]
+    }
+
+    /// Load / capacity for `link`, in `[0, 1]`.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        self.link_load_bps(link) / self.topo.link(link).capacity_bps
+    }
+
+    /// Cumulative bytes sourced by `node` since the start of the run.
+    pub fn cum_tx_bytes(&self, node: NodeId) -> f64 {
+        self.cum_tx_bytes.get(&node).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FiveTuple;
+    use crate::topology::{build_multi_rack, MultiRack, MultiRackParams};
+
+    fn small() -> MultiRack {
+        build_multi_rack(&MultiRackParams {
+            racks: 2,
+            servers_per_rack: 2,
+            nic_bps: 1e9,
+            trunk_count: 2,
+            trunk_bps: 1e9,
+            ..Default::default()
+        })
+    }
+
+    fn cross_rack_path(mr: &MultiRack, s: usize, d: usize, trunk: usize) -> Path {
+        let t = &mr.topology;
+        let src = mr.servers[s];
+        let dst = mr.servers[d];
+        let sr = t.node(src).rack().unwrap() as usize;
+        let dr = t.node(dst).rack().unwrap() as usize;
+        let up = t.find_link(src, mr.tors[sr], 0).unwrap();
+        let tr = t.find_link(mr.tors[sr], mr.tors[dr], trunk).unwrap();
+        let down = t.find_link(mr.tors[dr], dst, 0).unwrap();
+        Path::new(t, vec![up, tr, down]).unwrap()
+    }
+
+    #[test]
+    fn single_flow_runs_at_bottleneck_and_completes_on_time() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        // 1 Gb/s bottleneck; 125 MB should take exactly 1 s.
+        let path = cross_rack_path(&mr, 0, 2, 0);
+        let id = net.start_flow(FlowSpec::tcp_transfer(tuple, 125_000_000), path);
+        net.recompute();
+        let (t, fid) = net.next_completion().unwrap();
+        assert_eq!(fid, id);
+        assert_eq!(t, SimTime::from_secs(1));
+        let done = net.advance_to(t);
+        assert_eq!(done, vec![id]);
+        let rep = net.remove_flow(id);
+        assert!((rep.transferred_bytes - 125_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_same_nic_share_then_speed_up() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        // Both flows leave server0 → its NIC (1 Gb/s) is the bottleneck.
+        let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        let t2 = FiveTuple::tcp(mr.servers[0], mr.servers[3], 40001, 50060);
+        let f1 = net.start_flow(
+            FlowSpec::tcp_transfer(t1, 62_500_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        let f2 = net.start_flow(
+            FlowSpec::tcp_transfer(t2, 125_000_000),
+            cross_rack_path(&mr, 0, 3, 1),
+        );
+        net.recompute();
+        assert!((net.flow(f1).unwrap().rate_bps - 0.5e9).abs() < 1.0);
+        // f1 finishes at 1 s (62.5 MB at 500 Mb/s).
+        let (t, fid) = net.next_completion().unwrap();
+        assert_eq!(fid, f1);
+        assert_eq!(t, SimTime::from_secs(1));
+        net.advance_to(t);
+        net.remove_flow(f1);
+        net.recompute();
+        // f2 now gets the full NIC: 62.5 MB left at 1 Gb/s = 0.5 s more.
+        let (t2c, fid2) = net.next_completion().unwrap();
+        assert_eq!(fid2, f2);
+        assert_eq!(t2c, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn cbr_background_squeezes_tcp() {
+        let mr = small();
+        let t = &mr.topology;
+        let mut net = FlowNet::new(t.clone());
+        // CBR filling 80% of trunk 0.
+        let trunk = t.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        let bg_tuple = FiveTuple::udp(mr.tors[0], mr.tors[1], 1, 2);
+        let bg_path = Path::new(t, vec![trunk]).unwrap();
+        net.start_flow(FlowSpec::cbr(bg_tuple, 0.8e9), bg_path);
+        let ft = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        let f = net.start_flow(
+            FlowSpec::tcp_transfer(ft, 100_000_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        net.recompute();
+        assert!((net.flow(f).unwrap().rate_bps - 0.2e9).abs() < 1e3);
+        assert!(net.link_utilization(trunk) > 0.99);
+    }
+
+    #[test]
+    fn cum_tx_bytes_tracks_source() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        net.start_flow(
+            FlowSpec::tcp_transfer(tuple, 125_000_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        net.recompute();
+        net.advance_to(SimTime::from_millis(500));
+        let got = net.cum_tx_bytes(mr.servers[0]);
+        assert!((got - 62_500_000.0).abs() < 1.0, "got {got}");
+        assert_eq!(net.cum_tx_bytes(mr.servers[1]), 0.0);
+    }
+
+    #[test]
+    fn reroute_preserves_progress() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        let f = net.start_flow(
+            FlowSpec::tcp_transfer(tuple, 125_000_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        net.recompute();
+        net.advance_to(SimTime::from_millis(400));
+        net.reroute_flow(f, cross_rack_path(&mr, 0, 2, 1));
+        net.recompute();
+        let af = net.flow(f).unwrap();
+        assert!((af.transferred_bytes - 50_000_000.0).abs() < 1.0);
+        // Completion still at exactly 1 s: same bottleneck rate.
+        assert_eq!(net.next_completion().unwrap().0, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale rates")]
+    fn stale_rates_detected() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        net.start_flow(
+            FlowSpec::tcp_transfer(tuple, 1000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        // recompute() deliberately skipped.
+        net.advance_to(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn epoch_bumps_on_recompute() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let e0 = net.epoch();
+        net.recompute();
+        assert_eq!(net.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn completed_flow_stops_consuming() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        let t2 = FiveTuple::tcp(mr.servers[1], mr.servers[2], 40001, 50060);
+        let f1 = net.start_flow(
+            FlowSpec::tcp_transfer(t1, 1_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        let f2 = net.start_flow(
+            FlowSpec::tcp_transfer(t2, 1_000_000_000),
+            cross_rack_path(&mr, 1, 2, 0),
+        );
+        net.recompute();
+        let (t, _) = net.next_completion().unwrap();
+        net.advance_to(t);
+        // f1 done but not yet removed; recompute must hand everything to f2.
+        net.recompute();
+        assert_eq!(net.flow(f1).unwrap().rate_bps, 0.0);
+        // Destination NIC is the shared bottleneck (1 Gb/s).
+        assert!((net.flow(f2).unwrap().rate_bps - 1e9).abs() < 1e3);
+    }
+}

@@ -1,0 +1,173 @@
+//! NetFlow-style measurement probes.
+//!
+//! The paper's Figure 5 methodology: NetFlow probes on every server export
+//! per-flow byte counts to a collector; post-processing produces the
+//! **cumulative shuffle-traffic volume sourced by each server over time**,
+//! which is then compared against Pythia's predictions.
+//!
+//! [`NetFlowProbe`] reproduces that pipeline: the engine calls
+//! [`NetFlowProbe::sample`] periodically (and at flow events), and the
+//! probe appends `(t, cumulative bytes)` points per source node.
+
+use std::collections::BTreeMap;
+
+use pythia_des::SimTime;
+
+use crate::net::FlowNet;
+use crate::topology::NodeId;
+
+/// A `(time, cumulative bytes)` step curve for one traffic source.
+#[derive(Debug, Clone, Default)]
+pub struct CumulativeCurve {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl CumulativeCurve {
+    /// Append a sample; time and value must be monotone.
+    pub fn push(&mut self, t: SimTime, bytes: f64) {
+        if let Some(&(lt, lb)) = self.points.last() {
+            debug_assert!(t >= lt, "curve points must be time-ordered");
+            debug_assert!(bytes + 1e-6 >= lb, "cumulative curve must be monotone");
+        }
+        self.points.push((t, bytes));
+    }
+
+    /// The raw `(time, cumulative bytes)` samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final cumulative value.
+    pub fn total(&self) -> f64 {
+        self.points.last().map(|&(_, b)| b).unwrap_or(0.0)
+    }
+
+    /// Value of the step curve at time `t` (last sample at or before `t`).
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => {
+                // Several samples can share a timestamp; take the last.
+                let mut j = i;
+                while j + 1 < self.points.len() && self.points[j + 1].0 == t {
+                    j += 1;
+                }
+                self.points[j].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Earliest time at which the curve reaches `level` (linear within the
+    /// step is not interpolated — this is the conservative step semantics a
+    /// NetFlow collector sees). Returns `None` if never reached.
+    pub fn time_to_reach(&self, level: f64) -> Option<SimTime> {
+        self.points
+            .iter()
+            .find(|&&(_, b)| b + 1e-6 >= level)
+            .map(|&(t, _)| t)
+    }
+}
+
+/// Collector of per-source cumulative traffic curves.
+#[derive(Debug, Default)]
+pub struct NetFlowProbe {
+    curves: BTreeMap<NodeId, CumulativeCurve>,
+    watched: Vec<NodeId>,
+}
+
+impl NetFlowProbe {
+    /// Probe the given source nodes (typically all Hadoop servers).
+    pub fn new(watched: Vec<NodeId>) -> Self {
+        NetFlowProbe {
+            curves: BTreeMap::new(),
+            watched,
+        }
+    }
+
+    /// Record the current cumulative tx counters of every watched node.
+    pub fn sample(&mut self, net: &FlowNet) {
+        let t = net.now();
+        for &node in &self.watched {
+            let bytes = net.cum_tx_bytes(node);
+            self.curves.entry(node).or_default().push(t, bytes);
+        }
+    }
+
+    /// The curve recorded for `node`, if it was watched and sampled.
+    pub fn curve(&self, node: NodeId) -> Option<&CumulativeCurve> {
+        self.curves.get(&node)
+    }
+
+    /// All recorded curves, in node order.
+    pub fn curves(&self) -> impl Iterator<Item = (NodeId, &CumulativeCurve)> {
+        self.curves.iter().map(|(&n, c)| (n, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FiveTuple, FlowSpec};
+    use crate::routing::Path;
+    use crate::topology::{build_multi_rack, MultiRackParams};
+
+    #[test]
+    fn curve_value_and_reach() {
+        let mut c = CumulativeCurve::default();
+        c.push(SimTime::from_secs(1), 100.0);
+        c.push(SimTime::from_secs(2), 250.0);
+        c.push(SimTime::from_secs(4), 250.0);
+        assert_eq!(c.value_at(SimTime::ZERO), 0.0);
+        assert_eq!(c.value_at(SimTime::from_secs(1)), 100.0);
+        assert_eq!(c.value_at(SimTime::from_millis(1500)), 100.0);
+        assert_eq!(c.value_at(SimTime::from_secs(5)), 250.0);
+        assert_eq!(c.time_to_reach(100.0), Some(SimTime::from_secs(1)));
+        assert_eq!(c.time_to_reach(101.0), Some(SimTime::from_secs(2)));
+        assert_eq!(c.time_to_reach(251.0), None);
+        assert_eq!(c.total(), 250.0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_take_last() {
+        let mut c = CumulativeCurve::default();
+        c.push(SimTime::from_secs(1), 10.0);
+        c.push(SimTime::from_secs(1), 20.0);
+        assert_eq!(c.value_at(SimTime::from_secs(1)), 20.0);
+    }
+
+    #[test]
+    fn probe_tracks_flow_progress() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let t = &mr.topology;
+        let mut net = crate::net::FlowNet::new(t.clone());
+        let s0 = mr.servers[0];
+        let s5 = mr.servers[5];
+        let up = t.find_link(s0, mr.tors[0], 0).unwrap();
+        let tr = t.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        let down = t.find_link(mr.tors[1], s5, 0).unwrap();
+        let path = Path::new(t, vec![up, tr, down]).unwrap();
+        let tuple = FiveTuple::tcp(s0, s5, 40000, 50060);
+        net.start_flow(FlowSpec::tcp_transfer(tuple, 125_000_000), path);
+        net.recompute();
+
+        let mut probe = NetFlowProbe::new(vec![s0, s5]);
+        probe.sample(&net);
+        net.advance_to(SimTime::from_millis(500));
+        probe.sample(&net);
+        net.advance_to(SimTime::from_secs(1));
+        probe.sample(&net);
+
+        let curve = probe.curve(s0).unwrap();
+        assert_eq!(curve.points().len(), 3);
+        assert!((curve.total() - 125_000_000.0).abs() < 1.0);
+        assert!((curve.value_at(SimTime::from_millis(500)) - 62_500_000.0).abs() < 1.0);
+        // The destination sources nothing.
+        assert_eq!(probe.curve(s5).unwrap().total(), 0.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Datacenter topology graph.
+//!
+//! Nodes are servers or switches; links are **directed** capacitated edges
+//! (a physical full-duplex cable is two directed links). Directed links
+//! keep bandwidth accounting exact: a shuffle fetch loads only the
+//! mapper→reducer direction, as on real hardware.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a node (server or switch) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Index of a directed link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// What a node is. Rack ids let the builders and the flow-aggregation
+/// policies reason about locality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A Hadoop slave (or any end host).
+    Server {
+        /// The rack the server sits in.
+        rack: u32,
+    },
+    /// A network switch.
+    Switch {
+        /// `Some` for ToR switches, `None` for core/aggregation.
+        rack: Option<u32>,
+    },
+}
+
+/// A node with a human-readable name for traces and diagrams.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Human-readable name for traces ("server3", "tor1").
+    pub name: String,
+    /// Server vs switch, with rack placement.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// True for end hosts (servers), false for switches.
+    pub fn is_server(&self) -> bool {
+        matches!(self.kind, NodeKind::Server { .. })
+    }
+
+    /// The rack this node belongs to, if any.
+    pub fn rack(&self) -> Option<u32> {
+        match self.kind {
+            NodeKind::Server { rack } => Some(rack),
+            NodeKind::Switch { rack } => rack,
+        }
+    }
+}
+
+/// A directed capacitated edge.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Transmitting end.
+    pub src: NodeId,
+    /// Receiving end.
+    pub dst: NodeId,
+    /// Nominal capacity in bits per second.
+    pub capacity_bps: f64,
+}
+
+/// An immutable topology graph.
+///
+/// Built once via [`TopologyBuilder`]; the simulation never mutates it
+/// (link failures are modelled as controller-visible state on top, not by
+/// editing the graph).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// Outgoing links per node, in insertion order (deterministic).
+    out_links: BTreeMap<NodeId, Vec<LinkId>>,
+}
+
+impl Topology {
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The directed link with the given id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Directed-link count.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All nodes with their ids, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All directed links with their ids, in id order.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// All server nodes, in id order.
+    pub fn servers(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.is_server())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Outgoing links of `node`, in insertion order.
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        self.out_links.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The directed link from `src` to `dst` with the given parallel-link
+    /// index (0 for the first cable between the pair).
+    pub fn find_link(&self, src: NodeId, dst: NodeId, parallel_index: usize) -> Option<LinkId> {
+        self.out_links(src)
+            .iter()
+            .copied()
+            .filter(|&l| self.link(l).dst == dst)
+            .nth(parallel_index)
+    }
+
+    /// Change a link's capacity in place. Intended for failure/degradation
+    /// modelling by the owner of a topology copy (e.g. the live network's
+    /// view after a cable fault); structural shape never changes.
+    pub fn set_link_capacity(&mut self, id: LinkId, capacity_bps: f64) {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "capacity must stay positive; model failure as ~1 bps"
+        );
+        self.links[id.0 as usize].capacity_bps = capacity_bps;
+    }
+
+    /// Look up a node by name (O(n); for tests and builders only).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes()
+            .find(|(_, n)| n.name == name)
+            .map(|(id, _)| id)
+    }
+}
+
+/// Incremental topology construction.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an end host in `rack`.
+    pub fn add_server(&mut self, name: impl Into<String>, rack: u32) -> NodeId {
+        self.add_node(Node {
+            name: name.into(),
+            kind: NodeKind::Server { rack },
+        })
+    }
+
+    /// Add a top-of-rack switch for `rack`.
+    pub fn add_tor_switch(&mut self, name: impl Into<String>, rack: u32) -> NodeId {
+        self.add_node(Node {
+            name: name.into(),
+            kind: NodeKind::Switch { rack: Some(rack) },
+        })
+    }
+
+    /// Add a core/aggregation switch (no rack).
+    pub fn add_core_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(Node {
+            name: name.into(),
+            kind: NodeKind::Switch { rack: None },
+        })
+    }
+
+    fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add one directed link.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, capacity_bps: f64) -> LinkId {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be positive, got {capacity_bps}"
+        );
+        assert_ne!(src, dst, "self-links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            src,
+            dst,
+            capacity_bps,
+        });
+        id
+    }
+
+    /// Add a full-duplex cable: two directed links of equal capacity.
+    /// Returns `(src→dst, dst→src)`.
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, capacity_bps: f64) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, capacity_bps);
+        let ba = self.add_link(b, a, capacity_bps);
+        (ab, ba)
+    }
+
+    /// Freeze the builder into an immutable topology.
+    pub fn build(self) -> Topology {
+        let mut out_links: BTreeMap<NodeId, Vec<LinkId>> = BTreeMap::new();
+        for (i, l) in self.links.iter().enumerate() {
+            out_links.entry(l.src).or_default().push(LinkId(i as u32));
+        }
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            out_links,
+        }
+    }
+}
+
+/// Parameters for the paper's reference topology: `racks` racks of
+/// `servers_per_rack` servers, each server attached to its ToR switch with
+/// a `nic_bps` duplex cable, and every pair of ToR switches joined by
+/// `trunk_count` parallel duplex cables of `trunk_bps` each (the paper's
+/// testbed: 2 racks × 5 servers, 2 inter-rack links).
+#[derive(Debug, Clone)]
+pub struct MultiRackParams {
+    /// Number of racks.
+    pub racks: u32,
+    /// Servers per rack.
+    pub servers_per_rack: u32,
+    /// Server NIC speed (bits/sec).
+    pub nic_bps: f64,
+    /// Parallel cables between each ToR pair.
+    pub trunk_count: u32,
+    /// Capacity of each trunk cable (bits/sec).
+    pub trunk_bps: f64,
+}
+
+impl Default for MultiRackParams {
+    fn default() -> Self {
+        // The paper's testbed shape with 1 GbE NICs and two 10 GbE trunks.
+        MultiRackParams {
+            racks: 2,
+            servers_per_rack: 5,
+            nic_bps: 1e9,
+            trunk_count: 2,
+            trunk_bps: 10e9,
+        }
+    }
+}
+
+/// The built reference topology plus handles the rest of the stack needs.
+#[derive(Debug, Clone)]
+pub struct MultiRack {
+    /// The built graph.
+    pub topology: Topology,
+    /// Server nodes, rack-major order.
+    pub servers: Vec<NodeId>,
+    /// One ToR switch per rack.
+    pub tors: Vec<NodeId>,
+    /// Directed inter-rack trunk links (both directions), i.e. the links
+    /// background over-subscription traffic is injected on.
+    pub trunk_links: Vec<LinkId>,
+}
+
+/// Build the paper's multi-rack leaf topology.
+pub fn build_multi_rack(p: &MultiRackParams) -> MultiRack {
+    assert!(p.racks >= 1, "need at least one rack");
+    assert!(p.servers_per_rack >= 1, "need at least one server per rack");
+    let mut b = TopologyBuilder::new();
+    let mut servers = Vec::new();
+    let mut tors = Vec::new();
+    for r in 0..p.racks {
+        let tor = b.add_tor_switch(format!("tor{r}"), r);
+        tors.push(tor);
+        for s in 0..p.servers_per_rack {
+            let srv = b.add_server(format!("server{}", r * p.servers_per_rack + s), r);
+            b.add_duplex(srv, tor, p.nic_bps);
+            servers.push(srv);
+        }
+    }
+    let mut trunk_links = Vec::new();
+    for i in 0..tors.len() {
+        for j in (i + 1)..tors.len() {
+            for _ in 0..p.trunk_count {
+                let (ab, ba) = b.add_duplex(tors[i], tors[j], p.trunk_bps);
+                trunk_links.push(ab);
+                trunk_links.push(ba);
+            }
+        }
+    }
+    MultiRack {
+        topology: b.build(),
+        servers,
+        tors,
+        trunk_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_adjacency() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_server("a", 0);
+        let s = b.add_tor_switch("t", 0);
+        let (ab, ba) = b.add_duplex(a, s, 1e9);
+        let t = b.build();
+        assert_eq!(t.out_links(a), &[ab]);
+        assert_eq!(t.out_links(s), &[ba]);
+        assert_eq!(t.link(ab).src, a);
+        assert_eq!(t.link(ab).dst, s);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_links(), 2);
+    }
+
+    #[test]
+    fn multi_rack_reference_shape() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        assert_eq!(mr.servers.len(), 10);
+        assert_eq!(mr.tors.len(), 2);
+        // 10 duplex NIC cables + 2 duplex trunks = 24 directed links.
+        assert_eq!(mr.topology.num_links(), 24);
+        assert_eq!(mr.trunk_links.len(), 4);
+        // Each ToR has 5 server-facing + 2 trunk-facing outgoing links.
+        assert_eq!(mr.topology.out_links(mr.tors[0]).len(), 7);
+    }
+
+    #[test]
+    fn racks_recorded_on_servers() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let racks: Vec<_> = mr
+            .servers
+            .iter()
+            .map(|&s| mr.topology.node(s).rack().unwrap())
+            .collect();
+        assert_eq!(racks, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn find_link_picks_parallel_index() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let a = mr.tors[0];
+        let bb = mr.tors[1];
+        let l0 = mr.topology.find_link(a, bb, 0).unwrap();
+        let l1 = mr.topology.find_link(a, bb, 1).unwrap();
+        assert_ne!(l0, l1);
+        assert!(mr.topology.find_link(a, bb, 2).is_none());
+    }
+
+    #[test]
+    fn node_by_name() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        assert_eq!(mr.topology.node_by_name("server0"), Some(mr.servers[0]));
+        assert_eq!(mr.topology.node_by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_server("a", 0);
+        let c = b.add_server("b", 0);
+        b.add_link(a, c, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_server("a", 0);
+        b.add_link(a, a, 1e9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the max-min fair allocator: capacity feasibility,
+//! work conservation / Pareto optimality, and CBR priority, on random
+//! topologies and flow sets.
+
+use proptest::prelude::*;
+use pythia_netsim::fairshare::{max_min_fair, FlowPath, CBR_SHARE_LIMIT};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    caps: Vec<f64>,
+    /// For each flow: (links, optional CBR rate).
+    flows: Vec<(Vec<usize>, Option<f64>)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..10).prop_flat_map(|n_links| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, n_links..=n_links);
+        let flow = (
+            proptest::collection::btree_set(0..n_links, 1..=n_links.min(4)),
+            proptest::option::weighted(0.25, 1.0f64..500.0),
+        )
+            .prop_map(|(links, cbr)| (links.into_iter().collect::<Vec<_>>(), cbr));
+        let flows = proptest::collection::vec(flow, 1..20);
+        (caps, flows).prop_map(|(caps, flows)| Scenario { caps, flows })
+    })
+}
+
+fn run(s: &Scenario) -> (Vec<f64>, Vec<f64>) {
+    let paths: Vec<FlowPath<'_>> = s
+        .flows
+        .iter()
+        .map(|(links, cbr)| FlowPath {
+            links,
+            cbr_rate_bps: *cbr,
+        })
+        .collect();
+    let a = max_min_fair(&s.caps, &paths);
+    (a.rates_bps, a.link_load_bps)
+}
+
+proptest! {
+    /// No link ever carries more than its capacity.
+    #[test]
+    fn feasibility(s in scenario()) {
+        let (rates, load) = run(&s);
+        // Reconstruct per-link load from the flow rates and compare.
+        let mut check = vec![0.0f64; s.caps.len()];
+        for ((links, _), &r) in s.flows.iter().zip(rates.iter()) {
+            for &l in links {
+                check[l] += r;
+            }
+        }
+        for l in 0..s.caps.len() {
+            prop_assert!(check[l] <= s.caps[l] * (1.0 + 1e-6) + 1e-6,
+                "link {l}: load {} > cap {}", check[l], s.caps[l]);
+            prop_assert!((check[l] - load[l]).abs() < 1e-3 + check[l] * 1e-6,
+                "reported load disagrees: {} vs {}", load[l], check[l]);
+        }
+    }
+
+    /// Pareto optimality: every adaptive flow is blocked by at least one
+    /// saturated link on its path (otherwise its rate could grow — the
+    /// allocation would not be max-min fair, or even work-conserving).
+    #[test]
+    fn adaptive_flows_hit_a_saturated_link(s in scenario()) {
+        let (rates, load) = run(&s);
+        for ((links, cbr), &r) in s.flows.iter().zip(rates.iter()) {
+            if cbr.is_some() {
+                continue;
+            }
+            prop_assert!(r > 0.0, "adaptive flow starved entirely");
+            let blocked = links.iter().any(|&l| {
+                load[l] >= s.caps[l] * (1.0 - 1e-6) - 1e-3
+            });
+            prop_assert!(blocked, "flow with rate {r} could still grow");
+        }
+    }
+
+    /// CBR flows obey their requested rate and the per-link CBR cap.
+    #[test]
+    fn cbr_rates_bounded(s in scenario()) {
+        let (rates, _) = run(&s);
+        for ((links, cbr), &r) in s.flows.iter().zip(rates.iter()) {
+            if let Some(req) = cbr {
+                prop_assert!(r <= req * (1.0 + 1e-9));
+                prop_assert!(r > 0.0);
+                for &l in links {
+                    prop_assert!(r <= CBR_SHARE_LIMIT * s.caps[l] * (1.0 + 1e-9));
+                }
+            }
+        }
+    }
+
+    /// Determinism: the allocator is a pure function of its input.
+    #[test]
+    fn deterministic(s in scenario()) {
+        prop_assert_eq!(run(&s), run(&s));
+    }
+
+    /// Max-min fairness property: if flow i's rate is lower than flow j's,
+    /// then i is constrained by some link where giving it more would
+    /// require taking from a flow with rate <= i's. Weak form checked:
+    /// on every shared bottleneck link of two adaptive single-link flow
+    /// sets, rates of flows constrained there are equal.
+    #[test]
+    fn equal_share_on_common_bottleneck(cap in 10.0f64..1000.0, n in 2usize..8) {
+        let caps = vec![cap];
+        let links = vec![0usize];
+        let flows: Vec<FlowPath<'_>> = (0..n)
+            .map(|_| FlowPath { links: &links, cbr_rate_bps: None })
+            .collect();
+        let a = max_min_fair(&caps, &flows);
+        for &r in &a.rates_bps {
+            prop_assert!((r - cap / n as f64).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the live network state machine: byte conservation,
+//! completion-time consistency and rate feasibility under random flow
+//! workloads driven through the advance/mutate/recompute contract.
+
+use proptest::prelude::*;
+use pythia_des::{SimDuration, SimTime};
+use pythia_netsim::{
+    build_multi_rack, FiveTuple, FlowNet, FlowSpec, MultiRack, MultiRackParams, Path,
+};
+
+#[derive(Debug, Clone)]
+struct FlowPlan {
+    src: usize,
+    dst: usize,
+    trunk: usize,
+    bytes: u64,
+    start_ms: u64,
+}
+
+fn plans() -> impl Strategy<Value = Vec<FlowPlan>> {
+    proptest::collection::vec(
+        (0usize..5, 5usize..10, 0usize..2, 1u64..50_000_000, 0u64..2000).prop_map(
+            |(src, dst, trunk, bytes, start_ms)| FlowPlan {
+                src,
+                dst,
+                trunk,
+                bytes,
+                start_ms,
+            },
+        ),
+        1..25,
+    )
+}
+
+fn cross_path(mr: &MultiRack, p: &FlowPlan) -> Path {
+    let t = &mr.topology;
+    let up = t.find_link(mr.servers[p.src], mr.tors[0], 0).unwrap();
+    let tr = t.find_link(mr.tors[0], mr.tors[1], p.trunk).unwrap();
+    let down = t.find_link(mr.tors[1], mr.servers[p.dst], 0).unwrap();
+    Path::new(t, vec![up, tr, down]).unwrap()
+}
+
+/// Run the plan through the engine contract; return per-flow
+/// (transferred, start, end) plus the final cumulative tx counters.
+fn execute(plans: &[FlowPlan]) -> (Vec<(f64, SimTime, SimTime)>, f64) {
+    let mr = build_multi_rack(&MultiRackParams::default());
+    let mut net = FlowNet::new(mr.topology.clone());
+    let mut sorted: Vec<(usize, &FlowPlan)> = plans.iter().enumerate().collect();
+    sorted.sort_by_key(|(i, p)| (p.start_ms, *i));
+    let mut results: Vec<Option<(f64, SimTime, SimTime)>> = vec![None; plans.len()];
+    let mut id_of = std::collections::BTreeMap::new();
+
+    let mut pending = sorted.into_iter().peekable();
+    loop {
+        // Next event: flow arrival or earliest completion.
+        let next_arrival = pending.peek().map(|(_, p)| SimTime::from_millis(p.start_ms));
+        let next_done = net.next_completion();
+        let (t, is_arrival) = match (next_arrival, next_done) {
+            (Some(a), Some((d, _))) if a <= d => (a, true),
+            (Some(a), None) => (a, true),
+            (_, Some((d, _))) => (d, false),
+            (None, None) => break,
+        };
+        let completed = net.advance_to(t);
+        for fid in completed {
+            let rep = net.remove_flow(fid);
+            let idx = id_of[&fid];
+            results[idx] = Some((rep.transferred_bytes, rep.started_at, rep.ended_at));
+        }
+        if is_arrival {
+            // Start every flow arriving at t.
+            while let Some((_, p)) = pending.peek() {
+                if SimTime::from_millis(p.start_ms) != t {
+                    break;
+                }
+                let (idx, p) = pending.next().unwrap();
+                let tuple = FiveTuple::tcp(
+                    mr.servers[p.src],
+                    mr.servers[p.dst],
+                    40000 + idx as u16,
+                    50060,
+                );
+                let fid = net.start_flow(FlowSpec::tcp_transfer(tuple, p.bytes), cross_path(&mr, p));
+                id_of.insert(fid, idx);
+            }
+        }
+        net.recompute();
+    }
+    let total_tx: f64 = mr.servers.iter().map(|&s| net.cum_tx_bytes(s)).sum();
+    (
+        results.into_iter().map(|r| r.expect("flow never completed")).collect(),
+        total_tx,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every flow completes with exactly its requested bytes, and the
+    /// cumulative tx counters agree with the per-flow sums.
+    #[test]
+    fn conservation(plans in plans()) {
+        let (results, total_tx) = execute(&plans);
+        let mut sum = 0.0;
+        for (p, (transferred, start, end)) in plans.iter().zip(results.iter()) {
+            prop_assert!((transferred - p.bytes as f64).abs() < 1.0,
+                "moved {transferred} of {}", p.bytes);
+            prop_assert_eq!(*start, SimTime::from_millis(p.start_ms));
+            prop_assert!(*end > *start);
+            sum += transferred;
+        }
+        prop_assert!((total_tx - sum).abs() < 1.0, "{total_tx} vs {sum}");
+    }
+
+    /// No flow beats the physics: completion time ≥ bytes / bottleneck
+    /// capacity (1 Gb/s NICs), and ≥ the time it would take if it had the
+    /// whole network to itself.
+    #[test]
+    fn no_superluminal_transfers(plans in plans()) {
+        let (results, _) = execute(&plans);
+        for (p, (_, start, end)) in plans.iter().zip(results.iter()) {
+            // 1 µs slack for f64 byte-count rounding at completion.
+            let min_d = SimDuration::for_bytes_at_rate(p.bytes, 1e9)
+                .saturating_sub(SimDuration::from_micros(1));
+            prop_assert!(
+                end.saturating_since(*start) >= min_d,
+                "flow of {} B finished in {} < {}",
+                p.bytes,
+                end.saturating_since(*start),
+                min_d
+            );
+        }
+    }
+
+    /// Max-min isolation floor: every flow's rate is at least the equal
+    /// split of its tightest link, so with at most N concurrent flows on
+    /// 1 Gb/s NICs no flow can take longer than `bytes / (1 Gb/s ÷ N)`
+    /// after its start.
+    ///
+    /// (Note: the *stronger* property "removing a flow never slows the
+    /// rest" is FALSE for max-min fairness — removing a flow can
+    /// unthrottle a multi-bottleneck competitor, which then takes more of
+    /// a link it shares with a third flow. Proptest found the
+    /// counterexample; see git history.)
+    #[test]
+    fn isolation_floor(plans in plans()) {
+        let n = plans.len() as u64;
+        let (results, _) = execute(&plans);
+        for (p, (_, start, end)) in plans.iter().zip(results.iter()) {
+            // Floor rate: 1 Gb/s NIC equally split among at most n flows
+            // (trunks are 10 Gb/s, never tighter per flow).
+            let max_d = SimDuration::for_bytes_at_rate(p.bytes * n, 1e9)
+                + SimDuration::from_millis(1);
+            prop_assert!(
+                end.saturating_since(*start) <= max_d,
+                "flow starved below the max-min floor: took {} (bound {})",
+                end.saturating_since(*start),
+                max_d
+            );
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The SDN controller (OpenDaylight stand-in).
+//!
+//! Hosts the services the paper's flow-allocation plugin consumes (§IV):
+//!
+//! * **Topology service** — the routing graph, with per-server-pair
+//!   k-shortest paths computed at startup (hop-count Dijkstra/Yen) and
+//!   recomputed only on topology-change (link up/down) events, keeping
+//!   routing off the data path and giving fault tolerance;
+//! * **Link-load update service** — EWMA-smoothed per-link utilization fed
+//!   by dataplane samples;
+//! * **Rule installation** — producing per-switch rules for a path, each
+//!   with a hardware programming latency in the 3–5 ms/flow budget the
+//!   paper measures for contemporary switches (§V-C).
+
+use std::collections::{BTreeMap, HashSet};
+
+use pythia_des::{RngFactory, SimDuration};
+use pythia_netsim::{LinkId, NodeId, Path, Topology};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::flow_table::FlowRule;
+use crate::ksp::k_shortest_paths_avoiding;
+use crate::match_fields::FlowMatch;
+
+/// Controller tunables.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// How many paths to precompute per server pair.
+    pub k_paths: usize,
+    /// Lower bound of the hardware rule-programming latency (uniform).
+    pub rule_install_min: SimDuration,
+    /// Upper bound of the hardware rule-programming latency (uniform).
+    pub rule_install_max: SimDuration,
+    /// EWMA smoothing factor for link-load samples (0 < α ≤ 1).
+    pub load_ewma_alpha: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            k_paths: 4,
+            rule_install_min: SimDuration::from_millis(3),
+            rule_install_max: SimDuration::from_millis(5),
+            load_ewma_alpha: 0.3,
+        }
+    }
+}
+
+/// A rule the controller has decided to program, with the hardware latency
+/// until it becomes active. The engine applies it to the [`crate::Dataplane`]
+/// after `delay`.
+#[derive(Debug, Clone)]
+pub struct PendingRule {
+    /// The switch to program.
+    pub switch: NodeId,
+    /// The rule to install there.
+    pub rule: FlowRule,
+    /// Hardware programming latency before it takes effect.
+    pub delay: SimDuration,
+}
+
+/// Controller bookkeeping for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerStats {
+    /// Rules handed to switches for installation.
+    pub rules_issued: u64,
+    /// Topology-change-triggered path cache rebuilds.
+    pub path_cache_recomputes: u64,
+    /// Link-load samples ingested.
+    pub load_updates: u64,
+}
+
+/// The central controller.
+pub struct Controller {
+    cfg: ControllerConfig,
+    topo: Topology,
+    servers: Vec<NodeId>,
+    path_cache: BTreeMap<(NodeId, NodeId), Vec<Path>>,
+    down_links: HashSet<LinkId>,
+    load_ewma_bps: Vec<f64>,
+    rng: SmallRng,
+    /// Bookkeeping for reports.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// Build the controller and precompute the path cache for every
+    /// ordered server pair.
+    pub fn new(topo: Topology, cfg: ControllerConfig, rngs: &RngFactory) -> Self {
+        assert!(cfg.k_paths >= 1);
+        assert!(cfg.load_ewma_alpha > 0.0 && cfg.load_ewma_alpha <= 1.0);
+        assert!(cfg.rule_install_min <= cfg.rule_install_max);
+        let servers = topo.servers();
+        let n_links = topo.num_links();
+        let mut c = Controller {
+            cfg,
+            topo,
+            servers,
+            path_cache: BTreeMap::new(),
+            down_links: HashSet::new(),
+            load_ewma_bps: vec![0.0; n_links],
+            rng: rngs.stream("controller-install-latency"),
+            stats: ControllerStats::default(),
+        };
+        c.recompute_paths();
+        c
+    }
+
+    /// The controller's (nominal) topology view.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    fn recompute_paths(&mut self) {
+        self.path_cache.clear();
+        for &s in &self.servers {
+            for &d in &self.servers {
+                if s == d {
+                    continue;
+                }
+                let paths =
+                    k_shortest_paths_avoiding(&self.topo, s, d, self.cfg.k_paths, &self.down_links);
+                self.path_cache.insert((s, d), paths);
+            }
+        }
+        self.stats.path_cache_recomputes += 1;
+    }
+
+    /// The precomputed k shortest paths from `src` to `dst` (may be fewer
+    /// than k, or empty if partitioned).
+    pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Path] {
+        self.path_cache
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Topology-change event: link went down/up. Triggers a path-cache
+    /// recompute, exactly like OpenDaylight's topology update service.
+    pub fn on_link_state(&mut self, link: LinkId, up: bool) {
+        let changed = if up {
+            self.down_links.remove(&link)
+        } else {
+            self.down_links.insert(link)
+        };
+        if changed {
+            self.recompute_paths();
+        }
+    }
+
+    /// Links currently marked down by topology events.
+    pub fn down_links(&self) -> &HashSet<LinkId> {
+        &self.down_links
+    }
+
+    /// Link-load update service: feed a measured committed rate.
+    pub fn observe_link_load(&mut self, link: LinkId, load_bps: f64) {
+        let a = self.cfg.load_ewma_alpha;
+        let cell = &mut self.load_ewma_bps[link.0 as usize];
+        *cell = a * load_bps + (1.0 - a) * *cell;
+        self.stats.load_updates += 1;
+    }
+
+    /// Smoothed load estimate for `link` (bits/sec).
+    pub fn link_load_bps(&self, link: LinkId) -> f64 {
+        self.load_ewma_bps[link.0 as usize]
+    }
+
+    /// Smoothed *available* bandwidth on `path`: min over links of
+    /// (capacity − EWMA load), floored at zero.
+    pub fn path_available_bps(&self, path: &Path) -> f64 {
+        path.links()
+            .iter()
+            .map(|&l| (self.topo.link(l).capacity_bps - self.link_load_bps(l)).max(0.0))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Produce the per-switch rules that pin `matcher` onto `path`. One
+    /// rule per switch the path traverses; each with an independent
+    /// hardware install latency sample.
+    pub fn install_path(
+        &mut self,
+        matcher: FlowMatch,
+        path: &Path,
+        priority: u16,
+    ) -> Vec<PendingRule> {
+        let mut out = Vec::new();
+        for &l in path.links() {
+            let node = self.topo.link(l).src;
+            if self.topo.node(node).is_server() {
+                continue; // hosts have no flow tables
+            }
+            let span = (self.cfg.rule_install_max - self.cfg.rule_install_min).as_nanos();
+            let jitter = if span == 0 {
+                0
+            } else {
+                self.rng.random_range(0..=span)
+            };
+            out.push(PendingRule {
+                switch: node,
+                rule: FlowRule {
+                    matcher,
+                    priority,
+                    out_link: l,
+                },
+                delay: self.cfg.rule_install_min + SimDuration::from_nanos(jitter),
+            });
+            self.stats.rules_issued += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_netsim::{build_multi_rack, MultiRackParams};
+
+    fn controller() -> (pythia_netsim::MultiRack, Controller) {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let c = Controller::new(
+            mr.topology.clone(),
+            ControllerConfig::default(),
+            &RngFactory::new(7),
+        );
+        (mr, c)
+    }
+
+    #[test]
+    fn path_cache_covers_all_pairs() {
+        let (mr, c) = controller();
+        for &s in &mr.servers {
+            for &d in &mr.servers {
+                if s == d {
+                    continue;
+                }
+                let paths = c.paths(s, d);
+                assert!(!paths.is_empty(), "no path {s}->{d}");
+                let same_rack = mr.topology.node(s).rack() == mr.topology.node(d).rack();
+                let expect = if same_rack { 1 } else { 2 };
+                assert_eq!(paths.len(), expect, "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn install_path_emits_one_rule_per_switch() {
+        let (mr, mut c) = controller();
+        let path = c.paths(mr.servers[0], mr.servers[5])[0].clone();
+        let m = FlowMatch::server_pair(mr.servers[0], mr.servers[5]);
+        let pending = c.install_path(m, &path, 10);
+        // 3-hop path: server→tor0 (rule at... server skipped), tor0→tor1,
+        // tor1→server: rules at tor0 and tor1.
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].switch, mr.tors[0]);
+        assert_eq!(pending[1].switch, mr.tors[1]);
+        for p in &pending {
+            assert!(p.delay >= SimDuration::from_millis(3));
+            assert!(p.delay <= SimDuration::from_millis(5));
+            assert_eq!(p.rule.matcher, m);
+        }
+        assert_eq!(c.stats.rules_issued, 2);
+    }
+
+    #[test]
+    fn link_failure_removes_paths_and_recovers() {
+        let (mr, mut c) = controller();
+        let trunk0 = mr
+            .topology
+            .find_link(mr.tors[0], mr.tors[1], 0)
+            .unwrap();
+        c.on_link_state(trunk0, false);
+        let paths = c.paths(mr.servers[0], mr.servers[5]);
+        assert_eq!(paths.len(), 1, "one trunk left");
+        assert!(!paths[0].contains_link(trunk0));
+        c.on_link_state(trunk0, true);
+        assert_eq!(c.paths(mr.servers[0], mr.servers[5]).len(), 2);
+        // Redundant event does not recompute.
+        let recomputes = c.stats.path_cache_recomputes;
+        c.on_link_state(trunk0, true);
+        assert_eq!(c.stats.path_cache_recomputes, recomputes);
+    }
+
+    #[test]
+    fn ewma_converges_toward_samples() {
+        let (mr, mut c) = controller();
+        let l = mr.trunk_links[0];
+        for _ in 0..50 {
+            c.observe_link_load(l, 5e9);
+        }
+        assert!((c.link_load_bps(l) - 5e9).abs() < 1e7);
+        // One zero sample pulls it down by α.
+        c.observe_link_load(l, 0.0);
+        assert!((c.link_load_bps(l) - 0.7 * 5e9).abs() < 1e7);
+    }
+
+    #[test]
+    fn path_available_uses_bottleneck() {
+        let (mr, mut c) = controller();
+        let path = c.paths(mr.servers[0], mr.servers[5])[0].clone();
+        // Unloaded: available = NIC capacity (1 Gb/s bottleneck).
+        assert!((c.path_available_bps(&path) - 1e9).abs() < 1.0);
+        // Load the trunk link with 9.5 Gb/s: available drops to 0.5 Gb/s.
+        let trunk = path.links()[1];
+        for _ in 0..200 {
+            c.observe_link_load(trunk, 9.5e9);
+        }
+        assert!((c.path_available_bps(&path) - 0.5e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn deterministic_install_latencies() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let mk = || {
+            Controller::new(
+                mr.topology.clone(),
+                ControllerConfig::default(),
+                &RngFactory::new(99),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let path = a.paths(mr.servers[0], mr.servers[5])[0].clone();
+        let m = FlowMatch::server_pair(mr.servers[0], mr.servers[5]);
+        let da: Vec<_> = a.install_path(m, &path, 1).iter().map(|p| p.delay).collect();
+        let db: Vec<_> = b.install_path(m, &path, 1).iter().map(|p| p.delay).collect();
+        assert_eq!(da, db);
+    }
+}

@@ -1,0 +1,305 @@
+//! The forwarding plane: per-switch flow tables plus a default forwarding
+//! policy, resolved hop by hop into the path a flow actually takes.
+//!
+//! Resolving paths by *walking the tables* (rather than trusting whatever
+//! the controller intended) models real SDN behaviour faithfully: if only
+//! some of a path's rules have been installed when a flow arrives, the
+//! flow takes a hybrid route — matched where rules exist, default-forwarded
+//! (ECMP) elsewhere. Pythia's prediction lead time is what makes this case
+//! rare; the rule-latency ablation makes it common on purpose.
+
+use std::collections::BTreeMap;
+
+use pythia_netsim::{FiveTuple, LinkId, NodeId, Path, Topology};
+
+use crate::flow_table::{FlowRule, FlowTable, TableError};
+use crate::match_fields::FlowMatch;
+
+/// Chooses an output link when no flow-table rule matches — the fabric's
+/// default behaviour (ECMP in this paper). Implementations live in
+/// `pythia-baselines`.
+pub trait DefaultForwarding {
+    /// Pick one of `candidates` (guaranteed non-empty, all equal-cost
+    /// toward the destination) for `tuple` at `node`.
+    fn choose(&self, node: NodeId, tuple: &FiveTuple, candidates: &[LinkId]) -> LinkId;
+}
+
+/// Why a flow could not be routed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No rule matched and the default policy had no candidates (node has
+    /// no route toward the destination).
+    NoRoute {
+        /// Where forwarding dead-ended.
+        at: NodeId,
+    },
+    /// A rule chain or default choices formed a loop.
+    ForwardingLoop {
+        /// Where the walk exceeded the hop budget.
+        at: NodeId,
+    },
+}
+
+/// The set of switch flow tables.
+#[derive(Debug)]
+pub struct Dataplane {
+    tables: BTreeMap<NodeId, FlowTable>,
+}
+
+impl Dataplane {
+    /// Create a flow table of `tcam_capacity` rules on every switch.
+    pub fn new(topo: &Topology, tcam_capacity: usize) -> Self {
+        let tables = topo
+            .nodes()
+            .filter(|(_, n)| !n.is_server())
+            .map(|(id, _)| (id, FlowTable::new(tcam_capacity)))
+            .collect();
+        Dataplane { tables }
+    }
+
+    /// The flow table of `switch`, if it is a switch.
+    pub fn table(&self, switch: NodeId) -> Option<&FlowTable> {
+        self.tables.get(&switch)
+    }
+
+    /// Mutable access to a switch's flow table.
+    pub fn table_mut(&mut self, switch: NodeId) -> Option<&mut FlowTable> {
+        self.tables.get_mut(&switch)
+    }
+
+    /// Install `rule` on `switch`.
+    pub fn install(&mut self, switch: NodeId, rule: FlowRule) -> Result<(), TableError> {
+        self.tables
+            .get_mut(&switch)
+            .expect("install on non-switch node")
+            .install(rule)
+    }
+
+    /// Remove rules matching `matcher` from every switch. Returns the
+    /// total number removed.
+    pub fn remove_everywhere(&mut self, matcher: &FlowMatch) -> usize {
+        self.tables.values_mut().map(|t| t.remove(matcher)).sum()
+    }
+
+    /// Remove every rule whose action outputs to `link` (after a link
+    /// failure the controller flushes now-dead forwarding state). Returns
+    /// the number removed.
+    pub fn remove_rules_via(&mut self, link: LinkId) -> usize {
+        let mut removed = 0;
+        for t in self.tables.values_mut() {
+            let dead: Vec<crate::match_fields::FlowMatch> = t
+                .rules()
+                .filter(|r| r.out_link == link)
+                .map(|r| r.matcher)
+                .collect();
+            for m in dead {
+                removed += t.remove(&m);
+            }
+        }
+        removed
+    }
+
+    /// Total rules installed across all switches.
+    pub fn total_rules(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// Resolve the path `tuple` takes from its source host to its
+    /// destination host, consulting flow tables first and falling back to
+    /// `default` (with `candidates_for` supplying the equal-cost next hops
+    /// at each node).
+    pub fn resolve_path<D, C>(
+        &mut self,
+        topo: &Topology,
+        tuple: &FiveTuple,
+        default: &D,
+        candidates_for: &C,
+    ) -> Result<Path, ResolveError>
+    where
+        D: DefaultForwarding + ?Sized,
+        C: Fn(NodeId, NodeId) -> Vec<LinkId>,
+    {
+        let mut links = Vec::new();
+        let mut node = tuple.src;
+        let mut hops = 0usize;
+        let max_hops = topo.num_nodes(); // any simple path is shorter
+        while node != tuple.dst {
+            if hops >= max_hops {
+                return Err(ResolveError::ForwardingLoop { at: node });
+            }
+            hops += 1;
+            let out = if let Some(table) = self.tables.get_mut(&node) {
+                match table.lookup(tuple) {
+                    Some(rule) => rule.out_link,
+                    None => {
+                        self.default_choice(node, tuple, default, candidates_for)?
+                    }
+                }
+            } else {
+                // Hosts have no tables; they default-forward (single NIC in
+                // our topologies, but the policy decides if multi-homed).
+                self.default_choice(node, tuple, default, candidates_for)?
+            };
+            debug_assert_eq!(topo.link(out).src, node, "rule outputs a foreign link");
+            links.push(out);
+            node = topo.link(out).dst;
+        }
+        Ok(Path::new_unchecked(topo, links))
+    }
+
+    fn default_choice<D, C>(
+        &self,
+        node: NodeId,
+        tuple: &FiveTuple,
+        default: &D,
+        candidates_for: &C,
+    ) -> Result<LinkId, ResolveError>
+    where
+        D: DefaultForwarding + ?Sized,
+        C: Fn(NodeId, NodeId) -> Vec<LinkId>,
+    {
+        let cands = candidates_for(node, tuple.dst);
+        if cands.is_empty() {
+            return Err(ResolveError::NoRoute { at: node });
+        }
+        Ok(default.choose(node, tuple, &cands))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ksp::EcmpNextHops;
+    use pythia_netsim::{build_multi_rack, MultiRackParams, Protocol};
+
+    /// Deterministic "always the first candidate" policy for tests.
+    struct FirstCandidate;
+    impl DefaultForwarding for FirstCandidate {
+        fn choose(&self, _n: NodeId, _t: &FiveTuple, c: &[LinkId]) -> LinkId {
+            c[0]
+        }
+    }
+
+    fn setup() -> (
+        pythia_netsim::MultiRack,
+        Dataplane,
+        EcmpNextHops,
+    ) {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let dp = Dataplane::new(&mr.topology, 1000);
+        let nh = EcmpNextHops::compute(&mr.topology);
+        (mr, dp, nh)
+    }
+
+    #[test]
+    fn default_forwarding_resolves_cross_rack() {
+        let (mr, mut dp, nh) = setup();
+        let t = FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060);
+        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
+        let p = dp
+            .resolve_path(&mr.topology, &t, &FirstCandidate, &cands)
+            .unwrap();
+        assert_eq!(p.src(), mr.servers[0]);
+        assert_eq!(p.dst(), mr.servers[7]);
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn installed_rule_overrides_default() {
+        let (mr, mut dp, nh) = setup();
+        let topo = &mr.topology;
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060);
+        // Default (first candidate) picks trunk 0; install a rule at ToR0
+        // steering the pair onto trunk 1.
+        let trunk1 = topo.find_link(mr.tors[0], mr.tors[1], 1).unwrap();
+        dp.install(
+            mr.tors[0],
+            FlowRule {
+                matcher: FlowMatch::server_pair(mr.servers[0], mr.servers[7]),
+                priority: 10,
+                out_link: trunk1,
+            },
+        )
+        .unwrap();
+        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
+        let p = dp
+            .resolve_path(topo, &tuple, &FirstCandidate, &cands)
+            .unwrap();
+        assert!(p.contains_link(trunk1));
+        // A different pair still takes the default trunk.
+        let other = FiveTuple::tcp(mr.servers[1], mr.servers[7], 40000, 50060);
+        let p2 = dp
+            .resolve_path(topo, &other, &FirstCandidate, &cands)
+            .unwrap();
+        assert!(!p2.contains_link(trunk1));
+    }
+
+    #[test]
+    fn udp_not_matched_by_server_pair_rule() {
+        let (mr, mut dp, nh) = setup();
+        let topo = &mr.topology;
+        let trunk1 = topo.find_link(mr.tors[0], mr.tors[1], 1).unwrap();
+        dp.install(
+            mr.tors[0],
+            FlowRule {
+                matcher: FlowMatch::server_pair(mr.servers[0], mr.servers[7]),
+                priority: 10,
+                out_link: trunk1,
+            },
+        )
+        .unwrap();
+        let udp = FiveTuple {
+            proto: Protocol::Udp,
+            ..FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060)
+        };
+        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
+        let p = dp.resolve_path(topo, &udp, &FirstCandidate, &cands).unwrap();
+        assert!(!p.contains_link(trunk1));
+    }
+
+    #[test]
+    fn loop_detected() {
+        let (mr, mut dp, nh) = setup();
+        let topo = &mr.topology;
+        // Install a rule at ToR1 bouncing traffic for server7 back to ToR0.
+        let back = topo.find_link(mr.tors[1], mr.tors[0], 0).unwrap();
+        dp.install(
+            mr.tors[1],
+            FlowRule {
+                matcher: FlowMatch::server_pair(mr.servers[0], mr.servers[7]),
+                priority: 10,
+                out_link: back,
+            },
+        )
+        .unwrap();
+        let forward = topo.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        dp.install(
+            mr.tors[0],
+            FlowRule {
+                matcher: FlowMatch::server_pair(mr.servers[0], mr.servers[7]),
+                priority: 10,
+                out_link: forward,
+            },
+        )
+        .unwrap();
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060);
+        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
+        let err = dp
+            .resolve_path(topo, &tuple, &FirstCandidate, &cands)
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::ForwardingLoop { .. }));
+    }
+
+    #[test]
+    fn remove_everywhere_counts() {
+        let (mr, mut dp, _) = setup();
+        let m = FlowMatch::server_pair(mr.servers[0], mr.servers[7]);
+        let l0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        let l1 = mr.topology.find_link(mr.tors[1], mr.servers[7], 0).unwrap();
+        dp.install(mr.tors[0], FlowRule { matcher: m, priority: 1, out_link: l0 }).unwrap();
+        dp.install(mr.tors[1], FlowRule { matcher: m, priority: 1, out_link: l1 }).unwrap();
+        assert_eq!(dp.total_rules(), 2);
+        assert_eq!(dp.remove_everywhere(&m), 2);
+        assert_eq!(dp.total_rules(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! A switch's flow table.
+//!
+//! Rules carry a priority; lookup returns the highest-priority matching
+//! rule, with insertion order as the deterministic tie-break (matching
+//! OpenFlow's "the switch may pick any overlapping rule of equal priority"
+//! by pinning one reproducible choice).
+//!
+//! The table has finite capacity, modelling the scarce TCAM the paper's
+//! flow-aggregation design is motivated by (§IV).
+
+use pythia_netsim::{FiveTuple, LinkId};
+
+use crate::match_fields::FlowMatch;
+
+/// A forwarding rule: match → output link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRule {
+    /// What traffic the rule matches.
+    pub matcher: FlowMatch,
+    /// OpenFlow priority; higher wins.
+    pub priority: u16,
+    /// The action: forward out this link.
+    pub out_link: LinkId,
+}
+
+/// Errors from table mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The TCAM is full.
+    TableFull {
+        /// The table's rule capacity.
+        capacity: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    rule: FlowRule,
+    seq: u64,
+}
+
+/// A finite-capacity, priority-ordered flow table.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    entries: Vec<Entry>,
+    capacity: usize,
+    next_seq: u64,
+    /// Total lookups served (for occupancy/telemetry reporting).
+    pub lookups: u64,
+    /// Lookups that matched no rule.
+    pub misses: u64,
+}
+
+impl FlowTable {
+    /// A table holding at most `capacity` rules. Hardware wildcard TCAMs
+    /// of the paper's era held O(1000) entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        FlowTable {
+            entries: Vec::new(),
+            capacity,
+            next_seq: 0,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Rules currently installed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum rules the TCAM holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupancy fraction, for TCAM-pressure reporting.
+    pub fn occupancy(&self) -> f64 {
+        self.entries.len() as f64 / self.capacity as f64
+    }
+
+    /// Install a rule. If a rule with an identical matcher and priority
+    /// exists it is **replaced** (OpenFlow modify semantics); otherwise the
+    /// rule is added, failing if the table is full.
+    pub fn install(&mut self, rule: FlowRule) -> Result<(), TableError> {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.rule.matcher == rule.matcher && e.rule.priority == rule.priority)
+        {
+            e.rule = rule;
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(TableError::TableFull {
+                capacity: self.capacity,
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(Entry { rule, seq });
+        Ok(())
+    }
+
+    /// Remove all rules with the given matcher. Returns how many were
+    /// removed.
+    pub fn remove(&mut self, matcher: &FlowMatch) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.rule.matcher != *matcher);
+        before - self.entries.len()
+    }
+
+    /// Highest-priority rule matching `tuple` (ties broken by earliest
+    /// installation).
+    pub fn lookup(&mut self, tuple: &FiveTuple) -> Option<FlowRule> {
+        self.lookups += 1;
+        let hit = self
+            .entries
+            .iter()
+            .filter(|e| e.rule.matcher.matches(tuple))
+            .max_by(|a, b| {
+                a.rule
+                    .priority
+                    .cmp(&b.rule.priority)
+                    .then(b.seq.cmp(&a.seq)) // lower seq wins on priority tie
+            })
+            .map(|e| e.rule);
+        if hit.is_none() {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Iterate over installed rules (no particular order guarantees).
+    pub fn rules(&self) -> impl Iterator<Item = &FlowRule> {
+        self.entries.iter().map(|e| &e.rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_netsim::NodeId;
+
+    fn tuple(sp: u16) -> FiveTuple {
+        FiveTuple::tcp(NodeId(1), NodeId(2), sp, 50060)
+    }
+
+    fn rule(m: FlowMatch, prio: u16, link: u32) -> FlowRule {
+        FlowRule {
+            matcher: m,
+            priority: prio,
+            out_link: LinkId(link),
+        }
+    }
+
+    #[test]
+    fn priority_wins() {
+        let mut t = FlowTable::new(8);
+        t.install(rule(FlowMatch::ANY, 0, 0)).unwrap();
+        t.install(rule(FlowMatch::server_pair(NodeId(1), NodeId(2)), 10, 1))
+            .unwrap();
+        assert_eq!(t.lookup(&tuple(40000)).unwrap().out_link, LinkId(1));
+        // A tuple not matching the pair rule falls through to ANY.
+        let other = FiveTuple::tcp(NodeId(9), NodeId(2), 1, 2);
+        assert_eq!(t.lookup(&other).unwrap().out_link, LinkId(0));
+    }
+
+    #[test]
+    fn equal_priority_first_installed_wins() {
+        let mut t = FlowTable::new(8);
+        let m1 = FlowMatch::server_pair(NodeId(1), NodeId(2));
+        let mut m2 = FlowMatch::ANY;
+        m2.proto = Some(pythia_netsim::Protocol::Tcp);
+        t.install(rule(m1, 5, 1)).unwrap();
+        t.install(rule(m2, 5, 2)).unwrap();
+        assert_eq!(t.lookup(&tuple(1)).unwrap().out_link, LinkId(1));
+    }
+
+    #[test]
+    fn install_replaces_same_matcher_and_priority() {
+        let mut t = FlowTable::new(1);
+        let m = FlowMatch::server_pair(NodeId(1), NodeId(2));
+        t.install(rule(m, 5, 1)).unwrap();
+        t.install(rule(m, 5, 2)).unwrap(); // replace, not TableFull
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&tuple(1)).unwrap().out_link, LinkId(2));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = FlowTable::new(1);
+        t.install(rule(FlowMatch::server_pair(NodeId(1), NodeId(2)), 5, 1))
+            .unwrap();
+        let err = t
+            .install(rule(FlowMatch::server_pair(NodeId(1), NodeId(3)), 5, 1))
+            .unwrap_err();
+        assert_eq!(err, TableError::TableFull { capacity: 1 });
+        assert_eq!(t.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn remove_by_matcher() {
+        let mut t = FlowTable::new(8);
+        let m = FlowMatch::server_pair(NodeId(1), NodeId(2));
+        t.install(rule(m, 5, 1)).unwrap();
+        assert_eq!(t.remove(&m), 1);
+        assert!(t.lookup(&tuple(1)).is_none());
+        assert_eq!(t.remove(&m), 0);
+    }
+
+    #[test]
+    fn miss_counting() {
+        let mut t = FlowTable::new(8);
+        t.lookup(&tuple(1));
+        t.install(rule(FlowMatch::ANY, 0, 0)).unwrap();
+        t.lookup(&tuple(1));
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.misses, 1);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! `pythia-openflow` — OpenFlow-style software-defined networking substrate.
+//!
+//! Replaces the paper's hardware OpenFlow switches (IBM G8264) and the
+//! OpenDaylight controller:
+//!
+//! * [`match_fields`] — 5-tuple matches with per-field wildcards (the
+//!   server-pair aggregate rule Pythia installs);
+//! * [`flow_table`] — finite-capacity (TCAM) priority flow tables;
+//! * [`dataplane`] — hop-by-hop path resolution through the tables with a
+//!   pluggable default-forwarding (ECMP) fallback;
+//! * [`ksp`] — hop-count Dijkstra, Yen's k-shortest paths, and ECMP
+//!   next-hop sets;
+//! * [`controller`] — topology service + link-load EWMA service + rule
+//!   installation with the 3–5 ms/flow hardware programming latency the
+//!   paper budgets against (§V-C).
+
+pub mod controller;
+pub mod dataplane;
+pub mod flow_table;
+pub mod ksp;
+pub mod match_fields;
+
+pub use controller::{Controller, ControllerConfig, ControllerStats, PendingRule};
+pub use dataplane::{Dataplane, DefaultForwarding, ResolveError};
+pub use flow_table::{FlowRule, FlowTable, TableError};
+pub use ksp::{k_shortest_paths, k_shortest_paths_avoiding, shortest_path, EcmpNextHops};
+pub use match_fields::FlowMatch;

@@ -1,0 +1,125 @@
+//! OpenFlow 1.0-style match structures.
+//!
+//! Pythia cannot know a shuffle flow's TCP source/destination ports ahead
+//! of time (the port is bound when the copier opens its socket), so it
+//! installs **wildcard rules** at server-pair granularity (§IV). Wildcard
+//! support is therefore the essential feature of this module; exact-match
+//! 5-tuple rules are the degenerate case with every field set.
+
+use pythia_netsim::{FiveTuple, NodeId, Protocol};
+
+/// A match over the 5-tuple; `None` fields are wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowMatch {
+    /// Source host to match, or wildcard.
+    pub src: Option<NodeId>,
+    /// Destination host to match, or wildcard.
+    pub dst: Option<NodeId>,
+    /// Source port to match, or wildcard.
+    pub src_port: Option<u16>,
+    /// Destination port to match, or wildcard.
+    pub dst_port: Option<u16>,
+    /// Protocol to match, or wildcard.
+    pub proto: Option<Protocol>,
+}
+
+impl FlowMatch {
+    /// Match anything.
+    pub const ANY: FlowMatch = FlowMatch {
+        src: None,
+        dst: None,
+        src_port: None,
+        dst_port: None,
+        proto: None,
+    };
+
+    /// Exact 5-tuple match.
+    pub fn exact(t: FiveTuple) -> Self {
+        FlowMatch {
+            src: Some(t.src),
+            dst: Some(t.dst),
+            src_port: Some(t.src_port),
+            dst_port: Some(t.dst_port),
+            proto: Some(t.proto),
+        }
+    }
+
+    /// Pythia's aggregated rule: all TCP traffic between a server pair.
+    pub fn server_pair(src: NodeId, dst: NodeId) -> Self {
+        FlowMatch {
+            src: Some(src),
+            dst: Some(dst),
+            src_port: None,
+            dst_port: None,
+            proto: Some(Protocol::Tcp),
+        }
+    }
+
+    /// True if `t` satisfies every non-wildcard field.
+    pub fn matches(&self, t: &FiveTuple) -> bool {
+        self.src.map_or(true, |v| v == t.src)
+            && self.dst.map_or(true, |v| v == t.dst)
+            && self.src_port.map_or(true, |v| v == t.src_port)
+            && self.dst_port.map_or(true, |v| v == t.dst_port)
+            && self.proto.map_or(true, |v| v == t.proto)
+    }
+
+    /// Number of wildcarded fields (0 = exact match). Wider rules consume
+    /// the scarce wildcard-capable TCAM the paper worries about in §IV.
+    pub fn wildcard_count(&self) -> u32 {
+        self.src.is_none() as u32
+            + self.dst.is_none() as u32
+            + self.src_port.is_none() as u32
+            + self.dst_port.is_none() as u32
+            + self.proto.is_none() as u32
+    }
+
+    /// True when no field is wildcarded.
+    pub fn is_exact(&self) -> bool {
+        self.wildcard_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::tcp(NodeId(3), NodeId(7), 41000, 50060)
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(FlowMatch::ANY.matches(&tuple()));
+        assert_eq!(FlowMatch::ANY.wildcard_count(), 5);
+    }
+
+    #[test]
+    fn exact_matches_only_same_tuple() {
+        let m = FlowMatch::exact(tuple());
+        assert!(m.matches(&tuple()));
+        assert!(m.is_exact());
+        let other = FiveTuple::tcp(NodeId(3), NodeId(7), 41001, 50060);
+        assert!(!m.matches(&other));
+    }
+
+    #[test]
+    fn server_pair_wildcards_ports() {
+        let m = FlowMatch::server_pair(NodeId(3), NodeId(7));
+        assert!(m.matches(&tuple()));
+        assert!(m.matches(&FiveTuple::tcp(NodeId(3), NodeId(7), 9999, 1)));
+        // Different pair: no.
+        assert!(!m.matches(&FiveTuple::tcp(NodeId(3), NodeId(8), 41000, 50060)));
+        // UDP between the pair: no (shuffle rules are TCP-only).
+        assert!(!m.matches(&FiveTuple::udp(NodeId(3), NodeId(7), 41000, 50060)));
+        assert_eq!(m.wildcard_count(), 2);
+    }
+
+    #[test]
+    fn per_field_wildcards() {
+        let mut m = FlowMatch::exact(tuple());
+        m.src_port = None;
+        assert!(m.matches(&FiveTuple::tcp(NodeId(3), NodeId(7), 12345, 50060)));
+        assert!(!m.matches(&FiveTuple::tcp(NodeId(3), NodeId(7), 12345, 50061)));
+    }
+}

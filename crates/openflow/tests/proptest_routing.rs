@@ -1,0 +1,194 @@
+//! Property tests for the routing algorithms on randomized multi-rack
+//! topologies, and for the flow table against a naive reference model.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use pythia_netsim::{build_multi_rack, FiveTuple, LinkId, MultiRackParams, NodeId, Protocol};
+use pythia_openflow::{
+    k_shortest_paths, k_shortest_paths_avoiding, shortest_path, EcmpNextHops, FlowMatch,
+    FlowRule, FlowTable,
+};
+
+fn params() -> impl Strategy<Value = MultiRackParams> {
+    (2u32..5, 1u32..6, 1u32..5).prop_map(|(racks, spr, trunks)| MultiRackParams {
+        racks,
+        servers_per_rack: spr,
+        nic_bps: 1e9,
+        trunk_count: trunks,
+        trunk_bps: 10e9,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen's paths: loop-free, valid, unique, sorted by hops, and the
+    /// count matches the topology (for cross-rack pairs in a full mesh of
+    /// ToRs, k' = min(k, trunk_count) shortest paths of 3 hops exist).
+    #[test]
+    fn yen_properties(p in params(), k in 1usize..6) {
+        let mr = build_multi_rack(&p);
+        let src = mr.servers[0];
+        let dst = *mr.servers.last().unwrap();
+        let paths = k_shortest_paths(&mr.topology, src, dst, k);
+        prop_assert!(!paths.is_empty());
+        let expected_direct = (p.trunk_count as usize).min(k);
+        prop_assert!(paths.len() >= expected_direct, "{} < {expected_direct}", paths.len());
+        let mut seen = HashSet::new();
+        let mut last_hops = 0;
+        for path in &paths {
+            prop_assert_eq!(path.src(), src);
+            prop_assert_eq!(path.dst(), dst);
+            // Validity & loop-freedom via the validating constructor.
+            let revalidated =
+                pythia_netsim::Path::new(&mr.topology, path.links().to_vec());
+            prop_assert!(revalidated.is_ok());
+            prop_assert!(seen.insert(path.links().to_vec()), "duplicate path");
+            prop_assert!(path.hops() >= last_hops, "not sorted by hops");
+            last_hops = path.hops();
+        }
+    }
+
+    /// Avoiding a set of links really avoids them.
+    #[test]
+    fn avoidance_is_respected(p in params(), k in 1usize..5, banned_trunk in 0usize..4) {
+        let mr = build_multi_rack(&p);
+        let src = mr.servers[0];
+        let dst = *mr.servers.last().unwrap();
+        let banned_trunk = banned_trunk % mr.trunk_links.len();
+        let mut banned = HashSet::new();
+        banned.insert(mr.trunk_links[banned_trunk]);
+        for path in k_shortest_paths_avoiding(&mr.topology, src, dst, k, &banned) {
+            for l in path.links() {
+                prop_assert!(!banned.contains(l), "banned link used");
+            }
+        }
+    }
+
+    /// Dijkstra distance is minimal: no Yen path is shorter than the
+    /// shortest path, and the shortest path matches the topology's
+    /// structural distance (2 hops same rack, 3 cross rack).
+    #[test]
+    fn dijkstra_minimality(p in params()) {
+        let mr = build_multi_rack(&p);
+        for &dst in mr.servers.iter().skip(1).take(4) {
+            let src = mr.servers[0];
+            let sp = shortest_path(&mr.topology, src, dst, &HashSet::new(), &HashSet::new())
+                .unwrap();
+            let same_rack =
+                mr.topology.node(src).rack() == mr.topology.node(dst).rack();
+            prop_assert_eq!(sp.hops(), if same_rack { 2 } else { 3 });
+            for path in k_shortest_paths(&mr.topology, src, dst, 4) {
+                prop_assert!(path.hops() >= sp.hops());
+            }
+        }
+    }
+
+    /// ECMP next-hop candidates always make strict forward progress: from
+    /// any node, following any candidate toward dst must reach dst.
+    #[test]
+    fn ecmp_candidates_reach_destination(p in params()) {
+        let mr = build_multi_rack(&p);
+        let nh = EcmpNextHops::compute(&mr.topology);
+        let dst = *mr.servers.last().unwrap();
+        for (node, _) in mr.topology.nodes() {
+            if node == dst {
+                continue;
+            }
+            let cands = nh.candidates(node, dst);
+            prop_assert!(!cands.is_empty(), "no route from {node}");
+            for &c in cands {
+                // Walk greedily via first candidates; must terminate.
+                let mut cur = mr.topology.link(c).dst;
+                let mut hops = 1;
+                while cur != dst {
+                    hops += 1;
+                    prop_assert!(hops <= mr.topology.num_nodes(), "walk does not terminate");
+                    let next = nh.candidates(cur, dst);
+                    prop_assert!(!next.is_empty(), "dead end at {cur}");
+                    cur = mr.topology.link(next[0]).dst;
+                }
+            }
+        }
+    }
+}
+
+/// Naive reference flow table: a Vec scanned for the best match.
+struct RefTable {
+    rules: Vec<(FlowRule, u64)>,
+    seq: u64,
+}
+
+impl RefTable {
+    fn lookup(&self, t: &FiveTuple) -> Option<FlowRule> {
+        self.rules
+            .iter()
+            .filter(|(r, _)| r.matcher.matches(t))
+            .max_by(|(a, sa), (b, sb)| a.priority.cmp(&b.priority).then(sb.cmp(sa)))
+            .map(|(r, _)| *r)
+    }
+}
+
+fn arb_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(0u32..4),
+        proptest::option::of(0u32..4),
+        proptest::option::of(0u16..3),
+        proptest::option::of(0u16..3),
+        proptest::option::of(prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp)]),
+    )
+        .prop_map(|(s, d, sp, dp, pr)| FlowMatch {
+            src: s.map(NodeId),
+            dst: d.map(NodeId),
+            src_port: sp,
+            dst_port: dp,
+            proto: pr,
+        })
+}
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (0u32..4, 0u32..4, 0u16..3, 0u16..3, any::<bool>()).prop_map(|(s, d, sp, dp, tcp)| {
+        FiveTuple {
+            src: NodeId(s),
+            dst: NodeId(d),
+            src_port: sp,
+            dst_port: dp,
+            proto: if tcp { Protocol::Tcp } else { Protocol::Udp },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The flow table agrees with the naive reference on random rule sets
+    /// and lookups (same matcher+priority replacement semantics).
+    #[test]
+    fn flow_table_matches_reference(
+        rules in proptest::collection::vec((arb_match(), 0u16..4, 0u32..8), 0..20),
+        lookups in proptest::collection::vec(arb_tuple(), 1..20),
+    ) {
+        let mut table = FlowTable::new(1000);
+        let mut reference = RefTable { rules: Vec::new(), seq: 0 };
+        for (m, prio, link) in rules {
+            let rule = FlowRule { matcher: m, priority: prio, out_link: LinkId(link) };
+            table.install(rule).unwrap();
+            // Reference replacement semantics.
+            if let Some(e) = reference
+                .rules
+                .iter_mut()
+                .find(|(r, _)| r.matcher == m && r.priority == prio)
+            {
+                e.0 = rule;
+            } else {
+                let s = reference.seq;
+                reference.seq += 1;
+                reference.rules.push((rule, s));
+            }
+        }
+        for t in &lookups {
+            prop_assert_eq!(table.lookup(t), reference.lookup(t), "tuple {}", t);
+        }
+    }
+}

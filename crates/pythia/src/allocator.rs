@@ -1,0 +1,582 @@
+//! The predictive flow-allocation module (§IV).
+//!
+//! Multi-commodity flow is NP-complete for unsplittable flows, so the
+//! paper uses a **first-fit bin-packing heuristic**: aggregated predicted
+//! transfers are assigned, largest-demand-first, to the k-shortest path
+//! with the **highest available bandwidth**, where "available" subtracts
+//! the *background* load (known from the link-load service, with Pythia's
+//! own shuffle traffic differentiated out using application knowledge)
+//! and the predicted shuffle volume already planned onto the path.
+//!
+//! Our concrete realization of "highest available bandwidth" for a
+//! size-aware packer: place the transfer where its **estimated completion
+//! time** — `(bytes already planned across the path's bottleneck + this
+//! transfer) / residual bandwidth` — is smallest. With an empty plan this
+//! degenerates to exactly "the path with the highest residual bandwidth";
+//! with a non-empty plan it is greedy makespan (LPT) packing, which is
+//! what first-fit-decreasing achieves on bins.
+//!
+//! Flow *criticality* (the differentiator the paper claims over FlowComb,
+//! §VI) enters through the demand volumes themselves: pairs feeding
+//! heavily-loaded reducers carry more outstanding bytes, and the packer
+//! sizes their share of the fabric accordingly.
+
+use std::collections::BTreeMap;
+
+use pythia_netsim::{LinkId, NodeId, Path};
+
+/// A candidate path with its residual (background-free) bandwidth.
+#[derive(Debug, Clone)]
+pub struct PathChoice {
+    /// The candidate path.
+    pub path: Path,
+    /// min over links of (capacity − background traffic), bits/sec.
+    pub resid_bps: f64,
+}
+
+/// Result of placing demand for a pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// The pair was idle (or new): it is now assigned to this path and
+    /// rules must be (re)installed.
+    Assign(Path),
+    /// The pair already had outstanding bytes on an installed path; the
+    /// new demand joins it, no rule churn.
+    Keep,
+    /// No candidate paths were offered (disconnected pair).
+    NoPath,
+}
+
+#[derive(Debug, Clone)]
+struct Assignment {
+    path: Path,
+    outstanding: u64,
+}
+
+/// The allocator: pair → path assignments plus per-link planned volume.
+#[derive(Debug, Default)]
+pub struct FlowAllocator {
+    assignments: BTreeMap<(NodeId, NodeId), Assignment>,
+    /// Outstanding predicted bytes planned per link.
+    planned_link_bytes: BTreeMap<LinkId, u64>,
+    /// Active pairs assigned per link (the size-blind load signal).
+    planned_link_pairs: BTreeMap<LinkId, u64>,
+    /// When false, placement ignores predicted volumes (FlowComb-like
+    /// mode): load is counted in *pairs*, not bytes.
+    size_blind: bool,
+    /// New path assignments made (rule installs triggered).
+    pub placements: u64,
+    /// Demands stacked onto an already-active pair (no rule churn).
+    pub keeps: u64,
+}
+
+impl FlowAllocator {
+    /// A size-aware (full Pythia) allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A FlowComb-like allocator: sees that transfers exist, not how big
+    /// they are.
+    pub fn new_size_blind() -> Self {
+        FlowAllocator {
+            size_blind: true,
+            ..Self::default()
+        }
+    }
+
+    /// The load metric on one link, in the allocator's current units
+    /// (bytes when size-aware, active-pair count scaled to a nominal
+    /// transfer size when size-blind).
+    fn link_load_metric(&self, l: LinkId) -> u64 {
+        if self.size_blind {
+            self.planned_link_pairs.get(&l).copied().unwrap_or(0)
+        } else {
+            self.planned_link_bytes.get(&l).copied().unwrap_or(0)
+        }
+    }
+
+    /// The weight a new transfer contributes to the load metric.
+    fn demand_metric(&self, bytes: u64) -> u64 {
+        if self.size_blind {
+            1
+        } else {
+            bytes
+        }
+    }
+
+    /// Add `bytes` of predicted demand for `pair`, choosing a path if the
+    /// pair is idle.
+    pub fn place(
+        &mut self,
+        pair: (NodeId, NodeId),
+        bytes: u64,
+        candidates: &[PathChoice],
+    ) -> Placement {
+        if bytes == 0 {
+            return Placement::Keep;
+        }
+        if let Some(a) = self.assignments.get_mut(&pair) {
+            if a.outstanding > 0 {
+                // Active pair: stack the demand on the installed path.
+                a.outstanding += bytes;
+                let path = a.path.clone();
+                self.add_planned(&path, bytes);
+                self.keeps += 1;
+                return Placement::Keep;
+            }
+        }
+        if candidates.is_empty() {
+            return Placement::NoPath;
+        }
+        // Links shared by every candidate (the NIC access legs) carry the
+        // transfer no matter what we choose; only the distinctive links
+        // (the trunk choice) may enter the score, or a loaded shared leg
+        // masks the difference and every tie falls onto the first trunk.
+        let common: Vec<LinkId> = candidates[0]
+            .path
+            .links()
+            .iter()
+            .copied()
+            .filter(|&l| candidates.iter().all(|c| c.path.contains_link(l)))
+            .collect();
+        // Pick the path finishing this transfer earliest over the links
+        // the decision actually controls.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            if c.resid_bps <= 0.0 {
+                continue;
+            }
+            let planned = c
+                .path
+                .links()
+                .iter()
+                .filter(|l| !common.contains(l))
+                .map(|l| self.link_load_metric(*l))
+                .max()
+                .unwrap_or(0);
+            let eta = (planned + self.demand_metric(bytes)) as f64 * 8.0 / c.resid_bps;
+            if best.map(|(b, _)| eta < b).unwrap_or(true) {
+                best = Some((eta, i));
+            }
+        }
+        // All candidates fully saturated by background: fall back to the
+        // raw highest-residual path (index 0 if every residual is zero).
+        let idx = match best {
+            Some((_, i)) => i,
+            None => candidates
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.resid_bps.total_cmp(&b.1.resid_bps))
+                .map(|(i, _)| i)
+                .unwrap(),
+        };
+        let path = candidates[idx].path.clone();
+        self.add_planned(&path, bytes);
+        self.add_pair_count(&path);
+        self.assignments.insert(
+            pair,
+            Assignment {
+                path: path.clone(),
+                outstanding: bytes,
+            },
+        );
+        self.placements += 1;
+        Placement::Assign(path)
+    }
+
+    /// Re-evaluate an *active* pair after network conditions changed
+    /// (background shift, link failure). Moves the pair — returning the
+    /// new path — only when the best alternative finishes its remaining
+    /// bytes at least `improvement` times faster than the current path
+    /// would; hysteresis keeps rule churn bounded.
+    pub fn reassign(
+        &mut self,
+        pair: (NodeId, NodeId),
+        candidates: &[PathChoice],
+        improvement: f64,
+    ) -> Option<Path> {
+        assert!(improvement >= 1.0);
+        let (current, outstanding) = {
+            let a = self.assignments.get(&pair)?;
+            if a.outstanding == 0 {
+                return None;
+            }
+            (a.path.clone(), a.outstanding)
+        };
+        // Score without this pair's own planned bytes.
+        self.remove_planned(&current, outstanding);
+        let common: Vec<LinkId> = if candidates.is_empty() {
+            Vec::new()
+        } else {
+            candidates[0]
+                .path
+                .links()
+                .iter()
+                .copied()
+                .filter(|&l| candidates.iter().all(|c| c.path.contains_link(l)))
+                .collect()
+        };
+        let eta = |path: &Path, resid: f64| -> f64 {
+            if resid <= 0.0 {
+                return f64::INFINITY;
+            }
+            let planned = path
+                .links()
+                .iter()
+                .filter(|l| !common.contains(l))
+                .map(|l| self.link_load_metric(*l))
+                .max()
+                .unwrap_or(0);
+            (planned + self.demand_metric(outstanding)) as f64 * 8.0 / resid
+        };
+        let current_eta = candidates
+            .iter()
+            .find(|c| c.path.links() == current.links())
+            .map(|c| eta(&current, c.resid_bps))
+            .unwrap_or(f64::INFINITY);
+        let best = candidates
+            .iter()
+            .map(|c| (eta(&c.path, c.resid_bps), c))
+            .min_by(|a, b| a.0.total_cmp(&b.0));
+        let moved = match best {
+            Some((best_eta, c))
+                if c.path.links() != current.links()
+                    && best_eta.is_finite()
+                    && best_eta * improvement < current_eta =>
+            {
+                Some(c.path.clone())
+            }
+            _ => None,
+        };
+        match &moved {
+            Some(path) => {
+                self.add_planned(path, outstanding);
+                self.remove_pair_count(&current);
+                self.add_pair_count(path);
+                self.assignments.insert(
+                    pair,
+                    Assignment {
+                        path: path.clone(),
+                        outstanding,
+                    },
+                );
+                self.placements += 1;
+            }
+            None => {
+                self.add_planned(&current, outstanding);
+            }
+        }
+        moved
+    }
+
+    /// Active pairs (outstanding > 0), in deterministic order.
+    pub fn active_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.assignments
+            .iter()
+            .filter(|(_, a)| a.outstanding > 0)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// A fetch belonging to `pair` completed; remove its predicted bytes
+    /// from the plan.
+    pub fn drain(&mut self, pair: (NodeId, NodeId), bytes: u64) {
+        if let Some(a) = self.assignments.get_mut(&pair) {
+            let drained = bytes.min(a.outstanding);
+            a.outstanding -= drained;
+            let went_idle = a.outstanding == 0;
+            let path = a.path.clone();
+            self.remove_planned(&path, drained);
+            if went_idle {
+                self.remove_pair_count(&path);
+            }
+        }
+    }
+
+    /// Forget a pair entirely (job teardown).
+    pub fn remove_pair(&mut self, pair: (NodeId, NodeId)) {
+        if let Some(a) = self.assignments.remove(&pair) {
+            let path = a.path.clone();
+            self.remove_planned(&path, a.outstanding);
+            if a.outstanding > 0 {
+                self.remove_pair_count(&path);
+            }
+        }
+    }
+
+    /// Current path assignment of a pair, if any.
+    pub fn assigned_path(&self, pair: (NodeId, NodeId)) -> Option<&Path> {
+        self.assignments.get(&pair).map(|a| &a.path)
+    }
+
+    /// Outstanding planned bytes for a pair.
+    pub fn outstanding(&self, pair: (NodeId, NodeId)) -> u64 {
+        self.assignments.get(&pair).map(|a| a.outstanding).unwrap_or(0)
+    }
+
+    /// Planned bytes at the path's most-loaded link.
+    pub fn path_planned_bytes(&self, path: &Path) -> u64 {
+        path.links()
+            .iter()
+            .map(|l| self.planned_link_bytes.get(l).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Outstanding predicted bytes currently planned across `link`.
+    pub fn planned_bytes_on_link(&self, link: LinkId) -> u64 {
+        self.planned_link_bytes.get(&link).copied().unwrap_or(0)
+    }
+
+    fn add_planned(&mut self, path: &Path, bytes: u64) {
+        for &l in path.links() {
+            *self.planned_link_bytes.entry(l).or_insert(0) += bytes;
+        }
+    }
+
+    fn remove_planned(&mut self, path: &Path, bytes: u64) {
+        for &l in path.links() {
+            let v = self.planned_link_bytes.entry(l).or_insert(0);
+            *v = v.saturating_sub(bytes);
+        }
+    }
+
+    fn add_pair_count(&mut self, path: &Path) {
+        for &l in path.links() {
+            *self.planned_link_pairs.entry(l).or_insert(0) += 1;
+        }
+    }
+
+    fn remove_pair_count(&mut self, path: &Path) {
+        for &l in path.links() {
+            let v = self.planned_link_pairs.entry(l).or_insert(0);
+            *v = v.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_netsim::{build_multi_rack, MultiRack, MultiRackParams};
+
+    /// Two candidate cross-rack paths (one per trunk) for a server pair.
+    fn pair_candidates(
+        mr: &MultiRack,
+        src: usize,
+        dst: usize,
+        resid0: f64,
+        resid1: f64,
+    ) -> Vec<PathChoice> {
+        let t = &mr.topology;
+        let mk = |trunk: usize| {
+            let up = t.find_link(mr.servers[src], mr.tors[0], 0).unwrap();
+            let tr = t.find_link(mr.tors[0], mr.tors[1], trunk).unwrap();
+            let down = t.find_link(mr.tors[1], mr.servers[dst], 0).unwrap();
+            Path::new(t, vec![up, tr, down]).unwrap()
+        };
+        vec![
+            PathChoice { path: mk(0), resid_bps: resid0 },
+            PathChoice { path: mk(1), resid_bps: resid1 },
+        ]
+    }
+
+    fn candidates(mr: &MultiRack, resid0: f64, resid1: f64) -> Vec<PathChoice> {
+        pair_candidates(mr, 0, 5, resid0, resid1)
+    }
+
+    fn mr() -> MultiRack {
+        build_multi_rack(&MultiRackParams::default())
+    }
+
+    fn pair(mr: &MultiRack) -> (NodeId, NodeId) {
+        (mr.servers[0], mr.servers[5])
+    }
+
+    #[test]
+    fn picks_highest_available_bandwidth_when_plan_empty() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let cands = candidates(&mr, 1e9, 5e9);
+        match a.place(pair(&mr), 1_000_000, &cands) {
+            Placement::Assign(p) => assert_eq!(p.links(), cands[1].path.links()),
+            other => panic!("expected Assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn balances_load_across_equal_paths() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        // First pair goes somewhere; second pair must take the other trunk
+        // (each pair has its own NIC legs; only the trunks are shared).
+        let p1 = (mr.servers[0], mr.servers[5]);
+        let p2 = (mr.servers[1], mr.servers[6]);
+        let Placement::Assign(path1) = a.place(p1, 100_000_000, &pair_candidates(&mr, 0, 5, 1e9, 1e9)) else {
+            panic!()
+        };
+        let Placement::Assign(path2) = a.place(p2, 100_000_000, &pair_candidates(&mr, 1, 6, 1e9, 1e9)) else {
+            panic!()
+        };
+        assert_ne!(
+            path1.links()[1],
+            path2.links()[1],
+            "equal-size transfers must spread across trunks"
+        );
+    }
+
+    #[test]
+    fn size_aware_packing_prefers_emptier_trunk() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        // Big transfer lands on some trunk.
+        a.place(
+            (mr.servers[0], mr.servers[5]),
+            800_000_000,
+            &pair_candidates(&mr, 0, 5, 1e9, 1e9),
+        );
+        // Two small ones should both prefer the other trunk (planned load
+        // 800 MB vs 0/100 MB at the shared bottleneck).
+        let Placement::Assign(p2) = a.place(
+            (mr.servers[1], mr.servers[6]),
+            100_000_000,
+            &pair_candidates(&mr, 1, 6, 1e9, 1e9),
+        ) else {
+            panic!()
+        };
+        let Placement::Assign(p3) = a.place(
+            (mr.servers[2], mr.servers[7]),
+            100_000_000,
+            &pair_candidates(&mr, 2, 7, 1e9, 1e9),
+        ) else {
+            panic!()
+        };
+        assert_eq!(p2.links()[1], p3.links()[1]);
+        assert_ne!(p2.links()[1], a.assigned_path((mr.servers[0], mr.servers[5])).unwrap().links()[1]);
+    }
+
+    #[test]
+    fn active_pair_keeps_its_path() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let cands = candidates(&mr, 1e9, 1e9);
+        let p = pair(&mr);
+        assert!(matches!(a.place(p, 100, &cands), Placement::Assign(_)));
+        assert_eq!(a.place(p, 200, &cands), Placement::Keep);
+        assert_eq!(a.outstanding(p), 300);
+    }
+
+    #[test]
+    fn drained_pair_can_be_reassigned() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let cands = candidates(&mr, 1e9, 1e9);
+        let p = pair(&mr);
+        a.place(p, 100, &cands);
+        a.drain(p, 100);
+        assert_eq!(a.outstanding(p), 0);
+        // Now idle: a new demand re-places (possibly on a new path).
+        assert!(matches!(a.place(p, 50, &cands), Placement::Assign(_)));
+    }
+
+    #[test]
+    fn drain_clears_planned_link_bytes() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let cands = candidates(&mr, 1e9, 1e9);
+        let p = pair(&mr);
+        let Placement::Assign(path) = a.place(p, 500, &cands) else {
+            panic!()
+        };
+        let trunk = path.links()[1];
+        assert_eq!(a.planned_bytes_on_link(trunk), 500);
+        a.drain(p, 500);
+        assert_eq!(a.planned_bytes_on_link(trunk), 0);
+    }
+
+    #[test]
+    fn zero_residual_falls_back_not_crashes() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let cands = candidates(&mr, 0.0, 0.0);
+        assert!(matches!(
+            a.place(pair(&mr), 100, &cands),
+            Placement::Assign(_)
+        ));
+    }
+
+    #[test]
+    fn no_candidates_reports_no_path() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        assert_eq!(a.place(pair(&mr), 100, &[]), Placement::NoPath);
+    }
+
+    #[test]
+    fn reassign_moves_pair_off_congested_path() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let p = pair(&mr);
+        // Placed when both trunks were free; trunk of the chosen path then
+        // collapses to 50 Mb/s while the other has 950 Mb/s.
+        let Placement::Assign(path0) = a.place(p, 1_000_000, &candidates(&mr, 1e9, 1e9)) else {
+            panic!()
+        };
+        let on_first = path0.links() == candidates(&mr, 1.0, 2.0)[0].path.links();
+        let cands = if on_first {
+            candidates(&mr, 0.05e9, 0.95e9)
+        } else {
+            candidates(&mr, 0.95e9, 0.05e9)
+        };
+        let moved = a.reassign(p, &cands, 1.5).expect("must move");
+        assert_ne!(moved.links()[1], path0.links()[1]);
+        // Planned bytes follow the move.
+        assert_eq!(a.planned_bytes_on_link(path0.links()[1]), 0);
+        assert_eq!(a.planned_bytes_on_link(moved.links()[1]), 1_000_000);
+    }
+
+    #[test]
+    fn reassign_hysteresis_keeps_minor_differences() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let p = pair(&mr);
+        a.place(p, 1_000_000, &candidates(&mr, 1e9, 1e9));
+        // 20% better alternative: below the 1.5x bar, stay put.
+        let moved = a.reassign(p, &candidates(&mr, 1e9, 1.2e9), 1.5);
+        let moved2 = a.reassign(p, &candidates(&mr, 1.2e9, 1e9), 1.5);
+        assert!(moved.is_none() || moved2.is_none());
+    }
+
+    #[test]
+    fn reassign_ignores_idle_and_unknown_pairs() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let p = pair(&mr);
+        assert!(a.reassign(p, &candidates(&mr, 1e9, 1e9), 1.5).is_none());
+        a.place(p, 100, &candidates(&mr, 1e9, 1e9));
+        a.drain(p, 100);
+        assert!(a.reassign(p, &candidates(&mr, 0.01e9, 1e9), 1.5).is_none());
+    }
+
+    #[test]
+    fn active_pairs_lists_only_outstanding() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let p1 = (mr.servers[0], mr.servers[5]);
+        let p2 = (mr.servers[1], mr.servers[6]);
+        a.place(p1, 100, &pair_candidates(&mr, 0, 5, 1e9, 1e9));
+        a.place(p2, 100, &pair_candidates(&mr, 1, 6, 1e9, 1e9));
+        a.drain(p2, 100);
+        assert_eq!(a.active_pairs(), vec![p1]);
+    }
+
+    #[test]
+    fn zero_bytes_is_a_noop() {
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let cands = candidates(&mr, 1e9, 1e9);
+        assert_eq!(a.place(pair(&mr), 0, &cands), Placement::Keep);
+        assert_eq!(a.outstanding(pair(&mr)), 0);
+    }
+}

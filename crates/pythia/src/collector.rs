@@ -1,0 +1,340 @@
+//! The central prediction collector.
+//!
+//! Receives [`PredictionMsg`]s from every server's instrumentation (over
+//! the management network) and turns them into **aggregated server-pair
+//! transfers** (§IV): all flows from one mapper server to one reducer
+//! server are summed into a single entry, because a shuffle flow's TCP
+//! port cannot be known at prediction time — rules must be installable at
+//! server-pair granularity.
+//!
+//! Two Hadoop realities the collector absorbs (§III):
+//! * **Unknown reducer destinations** — reducers are scheduled only after
+//!   the slow-start threshold, so early predictions carry reducer indices
+//!   with no location yet. Those entries are parked and completed by the
+//!   collector thread the moment the reducer-launch event arrives.
+//! * **Mapper/reducer → network location resolution** — Hadoop task ids
+//!   are translated to network node ids via the server map given at
+//!   construction.
+
+use std::collections::BTreeMap;
+
+use pythia_des::SimTime;
+use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
+use pythia_netsim::{CumulativeCurve, NodeId};
+
+use crate::instrument::PredictionMsg;
+
+/// An increment of predicted demand on one server pair, ready for the
+/// flow allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregatedDemand {
+    /// Mapper-side network node.
+    pub src: NodeId,
+    /// Reducer-side network node.
+    pub dst: NodeId,
+    /// Newly predicted wire bytes for this pair.
+    pub added_bytes: u64,
+}
+
+/// One parked per-reducer prediction entry awaiting reducer location.
+#[derive(Debug, Clone, Copy)]
+struct PendingEntry {
+    job: JobId,
+    map: MapTaskId,
+    src: ServerId,
+    reducer: ReducerId,
+    bytes: u64,
+}
+
+/// The collector state machine.
+pub struct Collector {
+    /// Hadoop server id → network node.
+    server_nodes: Vec<NodeId>,
+    /// Known reducer locations (hadoop server ids), per job.
+    reducer_loc: BTreeMap<(JobId, ReducerId), ServerId>,
+    /// Predictions whose reducer location is not yet known.
+    pending: Vec<PendingEntry>,
+    /// Predicted wire bytes per (job, map, reducer), for exact draining
+    /// when a fetch completes.
+    predicted_fetch: BTreeMap<(JobId, MapTaskId, ReducerId), u64>,
+    /// Outstanding predicted bytes per (src node, dst node), remote only.
+    outstanding: BTreeMap<(NodeId, NodeId), u64>,
+    /// Cumulative predicted remote traffic per source node over time —
+    /// Pythia's side of the Figure 5 comparison.
+    predicted_curves: BTreeMap<NodeId, (f64, CumulativeCurve)>,
+    /// Prediction messages ingested.
+    pub predictions_received: u64,
+    /// Per-reducer entries parked for unknown destinations.
+    pub entries_parked: u64,
+}
+
+impl Collector {
+    /// A collector where Hadoop server `i` lives on `server_nodes[i]`.
+    pub fn new(server_nodes: Vec<NodeId>) -> Self {
+        Collector {
+            server_nodes,
+            reducer_loc: BTreeMap::new(),
+            pending: Vec::new(),
+            predicted_fetch: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            predicted_curves: BTreeMap::new(),
+            predictions_received: 0,
+            entries_parked: 0,
+        }
+    }
+
+    /// Resolve a Hadoop server id to its network node.
+    pub fn node_of(&self, s: ServerId) -> NodeId {
+        self.server_nodes[s.0 as usize]
+    }
+
+    /// A prediction message arrived (management-network latency already
+    /// applied by the caller). Returns newly aggregated demands for every
+    /// reducer whose location is known; parks the rest.
+    pub fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) -> Vec<AggregatedDemand> {
+        self.predictions_received += 1;
+        let mut out = Vec::new();
+        for (r_idx, &bytes) in msg.per_reducer_bytes.iter().enumerate() {
+            let reducer = ReducerId(r_idx as u32);
+            let entry = PendingEntry {
+                job: msg.job,
+                map: msg.map,
+                src: msg.src_server,
+                reducer,
+                bytes,
+            };
+            match self.reducer_loc.get(&(msg.job, reducer)).copied() {
+                Some(loc) => {
+                    if let Some(d) = self.commit(now, entry, loc) {
+                        out.push(d);
+                    }
+                }
+                None => {
+                    self.pending.push(entry);
+                    self.entries_parked += 1;
+                }
+            }
+        }
+        Self::coalesce(out)
+    }
+
+    /// Reducer-launch event observed: fill in every parked entry for this
+    /// reducer.
+    pub fn on_reducer_location(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        reducer: ReducerId,
+        server: ServerId,
+    ) -> Vec<AggregatedDemand> {
+        self.reducer_loc.insert((job, reducer), server);
+        let mut out = Vec::new();
+        let mut still = Vec::with_capacity(self.pending.len());
+        for entry in std::mem::take(&mut self.pending) {
+            if entry.job == job && entry.reducer == reducer {
+                if let Some(d) = self.commit(now, entry, server) {
+                    out.push(d);
+                }
+            } else {
+                still.push(entry);
+            }
+        }
+        self.pending = still;
+        Self::coalesce(out)
+    }
+
+    /// Fold one resolved entry into the aggregates. Local transfers
+    /// (mapper and reducer on the same server) never touch the network:
+    /// recorded for exactness but produce no demand.
+    fn commit(
+        &mut self,
+        now: SimTime,
+        entry: PendingEntry,
+        reducer_server: ServerId,
+    ) -> Option<AggregatedDemand> {
+        self.predicted_fetch
+            .insert((entry.job, entry.map, entry.reducer), entry.bytes);
+        let src = self.node_of(entry.src);
+        let dst = self.node_of(reducer_server);
+        if src == dst || entry.bytes == 0 {
+            return None;
+        }
+        *self.outstanding.entry((src, dst)).or_insert(0) += entry.bytes;
+        let (total, curve) = self
+            .predicted_curves
+            .entry(src)
+            .or_insert_with(|| (0.0, CumulativeCurve::default()));
+        *total += entry.bytes as f64;
+        let t = *total;
+        curve.push(now, t);
+        Some(AggregatedDemand {
+            src,
+            dst,
+            added_bytes: entry.bytes,
+        })
+    }
+
+    /// Merge demands that share a server pair (one message can carry
+    /// several reducers living on the same server).
+    fn coalesce(demands: Vec<AggregatedDemand>) -> Vec<AggregatedDemand> {
+        let mut merged: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+        for d in demands {
+            *merged.entry((d.src, d.dst)).or_insert(0) += d.added_bytes;
+        }
+        merged
+            .into_iter()
+            .map(|((src, dst), added_bytes)| AggregatedDemand {
+                src,
+                dst,
+                added_bytes,
+            })
+            .collect()
+    }
+
+    /// A fetch completed: drain its predicted contribution from the pair's
+    /// outstanding volume. Returns the (pair, drained bytes) if the fetch
+    /// was remote and predicted.
+    pub fn on_fetch_completed(
+        &mut self,
+        job: JobId,
+        map: MapTaskId,
+        reducer: ReducerId,
+        src: ServerId,
+        dst: ServerId,
+    ) -> Option<((NodeId, NodeId), u64)> {
+        let bytes = self.predicted_fetch.remove(&(job, map, reducer))?;
+        let pair = (self.node_of(src), self.node_of(dst));
+        if pair.0 == pair.1 || bytes == 0 {
+            return None;
+        }
+        let o = self.outstanding.entry(pair).or_insert(0);
+        *o = o.saturating_sub(bytes);
+        Some((pair, bytes))
+    }
+
+    /// Outstanding predicted bytes for a pair.
+    pub fn outstanding(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.outstanding.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Number of parked (unknown-destination) entries.
+    pub fn parked(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Predicted cumulative remote-traffic curve for `node` (Figure 5).
+    pub fn predicted_curve(&self, node: NodeId) -> Option<&CumulativeCurve> {
+        self.predicted_curves.get(&node).map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(map: u32, src: u32, bytes: Vec<u64>, at_secs: u64) -> PredictionMsg {
+        PredictionMsg {
+            job: JobId(0),
+            map: MapTaskId(map),
+            src_server: ServerId(src),
+            per_reducer_bytes: bytes,
+            predicted_at: SimTime::from_secs(at_secs),
+        }
+    }
+
+    fn collector() -> Collector {
+        // server i lives on node 10+i.
+        Collector::new((0..4).map(|i| NodeId(10 + i)).collect())
+    }
+
+    #[test]
+    fn known_reducer_aggregates_immediately() {
+        let mut c = collector();
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        let d = c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
+        assert_eq!(
+            d,
+            vec![AggregatedDemand {
+                src: NodeId(10),
+                dst: NodeId(11),
+                added_bytes: 500
+            }]
+        );
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 500);
+    }
+
+    #[test]
+    fn unknown_reducer_parks_until_launch() {
+        let mut c = collector();
+        let d = c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
+        assert!(d.is_empty());
+        assert_eq!(c.parked(), 1);
+        // Launch fills the parked entry.
+        let d2 = c.on_reducer_location(SimTime::from_secs(2), JobId(0), ReducerId(0), ServerId(2));
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].dst, NodeId(12));
+        assert_eq!(c.parked(), 0);
+        assert_eq!(c.outstanding(NodeId(10), NodeId(12)), 500);
+    }
+
+    #[test]
+    fn local_transfers_produce_no_demand() {
+        let mut c = collector();
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(0));
+        let d = c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
+        assert!(d.is_empty(), "mapper and reducer co-located");
+        assert_eq!(c.outstanding(NodeId(10), NodeId(10)), 0);
+    }
+
+    #[test]
+    fn same_pair_reducers_coalesce() {
+        let mut c = collector();
+        // Reducers 0 and 1 both on server 1.
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(1), ServerId(1));
+        let d = c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![300, 200], 0));
+        assert_eq!(d.len(), 1, "one aggregated entry per server pair");
+        assert_eq!(d[0].added_bytes, 500);
+    }
+
+    #[test]
+    fn fetch_completion_drains_exactly() {
+        let mut c = collector();
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
+        c.on_prediction(SimTime::ZERO, &msg(1, 0, vec![300], 0));
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 800);
+        let drained = c
+            .on_fetch_completed(JobId(0), MapTaskId(0), ReducerId(0), ServerId(0), ServerId(1))
+            .unwrap();
+        assert_eq!(drained, ((NodeId(10), NodeId(11)), 500));
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 300);
+        // Unknown fetch: None.
+        assert!(c
+            .on_fetch_completed(JobId(0), MapTaskId(9), ReducerId(0), ServerId(0), ServerId(1))
+            .is_none());
+    }
+
+    #[test]
+    fn predicted_curve_steps_at_commit_times() {
+        let mut c = collector();
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![100], 1));
+        c.on_prediction(SimTime::from_secs(3), &msg(1, 0, vec![200], 3));
+        let curve = c.predicted_curve(NodeId(10)).unwrap();
+        assert_eq!(curve.value_at(SimTime::from_secs(1)), 100.0);
+        assert_eq!(curve.value_at(SimTime::from_secs(2)), 100.0);
+        assert_eq!(curve.value_at(SimTime::from_secs(3)), 300.0);
+    }
+
+    #[test]
+    fn park_then_resolve_timestamps_curve_at_resolution() {
+        let mut c = collector();
+        c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![100], 1));
+        assert!(c.predicted_curve(NodeId(10)).is_none());
+        c.on_reducer_location(SimTime::from_secs(5), JobId(0), ReducerId(0), ServerId(1));
+        let curve = c.predicted_curve(NodeId(10)).unwrap();
+        assert_eq!(curve.value_at(SimTime::from_secs(4)), 0.0);
+        assert_eq!(curve.value_at(SimTime::from_secs(5)), 100.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The per-server instrumentation middleware.
+//!
+//! Runs on every Hadoop slave, fully transparent to Hadoop and the
+//! application (§III): it subscribes to filesystem notifications on the
+//! tasktracker's intermediate-output directory, and whenever a spill index
+//! file appears (i.e. a map task just finished) it decodes the file,
+//! converts per-reducer payload sizes to predicted wire volumes, and ships
+//! a [`PredictionMsg`] to the central collector over the management
+//! network.
+//!
+//! In the simulation, the "filesystem notification" is the engine calling
+//! [`Instrumentation::on_spill`] with the encoded index file produced by
+//! the Hadoop simulator — the same bytes a real middleware would read off
+//! disk.
+
+use pythia_des::SimTime;
+use pythia_hadoop::{IndexError, IndexFile, JobId, MapTaskId, ServerId};
+
+use crate::overhead::predicted_wire_bytes;
+
+/// A shuffle-intent prediction, as serialized to the collector: which map
+/// task finished, where it ran, and how many wire bytes each reducer will
+/// eventually fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictionMsg {
+    /// The job the finished map belongs to.
+    pub job: JobId,
+    /// The finished map task.
+    pub map: MapTaskId,
+    /// The server that produced the output.
+    pub src_server: ServerId,
+    /// Predicted wire bytes per reducer index.
+    pub per_reducer_bytes: Vec<u64>,
+    /// When the middleware produced the prediction (spill time).
+    pub predicted_at: SimTime,
+}
+
+impl PredictionMsg {
+    /// Total predicted wire bytes across all reducers.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_reducer_bytes.iter().sum()
+    }
+}
+
+/// Per-server middleware state: decode spills, count work done (for the
+/// §V-C overhead model).
+#[derive(Debug)]
+pub struct Instrumentation {
+    server: ServerId,
+    /// Spills decoded so far (drives the overhead spike model).
+    pub spills_decoded: u64,
+    /// Total bytes of index files parsed.
+    pub index_bytes_parsed: u64,
+}
+
+impl Instrumentation {
+    /// Middleware instance for one tasktracker server.
+    pub fn new(server: ServerId) -> Self {
+        Instrumentation {
+            server,
+            spills_decoded: 0,
+            index_bytes_parsed: 0,
+        }
+    }
+
+    /// The server this middleware watches.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// Filesystem notification: a spill index for `map` appeared. Decode
+    /// it and emit the prediction.
+    pub fn on_spill(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        map: MapTaskId,
+        data: &[u8],
+    ) -> Result<PredictionMsg, IndexError> {
+        let index = IndexFile::decode(data)?;
+        self.spills_decoded += 1;
+        self.index_bytes_parsed += data.len() as u64;
+        let per_reducer_bytes = (0..index.num_partitions())
+            .map(|r| predicted_wire_bytes(index.partition_bytes(r)))
+            .collect();
+        Ok(PredictionMsg {
+            job,
+            map,
+            src_server: self.server,
+            per_reducer_bytes,
+            predicted_at: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overhead::predictor_factor;
+
+    #[test]
+    fn decodes_spill_and_applies_overhead() {
+        let mut inst = Instrumentation::new(ServerId(3));
+        let index = IndexFile::from_partition_sizes(&[1_000_000, 0, 250_000], 1.0);
+        let msg = inst
+            .on_spill(SimTime::from_secs(5), JobId(0), MapTaskId(7), &index.encode())
+            .unwrap();
+        assert_eq!(msg.map, MapTaskId(7));
+        assert_eq!(msg.src_server, ServerId(3));
+        assert_eq!(msg.predicted_at, SimTime::from_secs(5));
+        assert_eq!(msg.per_reducer_bytes.len(), 3);
+        // Prediction = payload × predictor factor, per reducer.
+        let f = predictor_factor();
+        assert_eq!(msg.per_reducer_bytes[0], (1_000_000.0 * f).ceil() as u64);
+        assert_eq!(msg.per_reducer_bytes[1], 0);
+        assert_eq!(msg.per_reducer_bytes[2], (250_000.0 * f).ceil() as u64);
+        assert_eq!(inst.spills_decoded, 1);
+    }
+
+    #[test]
+    fn corrupt_index_is_an_error_not_a_prediction() {
+        let mut inst = Instrumentation::new(ServerId(0));
+        let mut data = IndexFile::from_partition_sizes(&[100], 1.0).encode().to_vec();
+        data[15] ^= 0xff;
+        assert!(inst.on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), &data).is_err());
+        assert_eq!(inst.spills_decoded, 0, "failed decode must not count");
+    }
+
+    #[test]
+    fn total_bytes_sums_reducers() {
+        let mut inst = Instrumentation::new(ServerId(0));
+        let index = IndexFile::from_partition_sizes(&[10_000, 20_000], 1.0);
+        let msg = inst
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), &index.encode())
+            .unwrap();
+        assert_eq!(
+            msg.total_bytes(),
+            msg.per_reducer_bytes[0] + msg.per_reducer_bytes[1]
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Instrumentation overhead model (§V-C).
+//!
+//! The paper reports per-server middleware overhead of **2–5% CPU/IO**
+//! with insignificant memory, decomposed into "a constant dc factor
+//! stemming from continuous monitoring of MapReduce task progress and a
+//! spike factor stemming from index file analysis at the event of a map
+//! task finish". Lacking their hardware, we model (not measure) exactly
+//! that decomposition; the overhead experiment reproduces the reported
+//! band from observed spill counts, spill sizes and job duration.
+//!
+//! The spike cost scales with the amount of intermediate output analysed:
+//! Pythia performs "deep Hadoop index/sequence file analysis" (§VI), so a
+//! 256 MB sort spill costs more than a 38 MB Nutch spill.
+
+use pythia_des::SimDuration;
+
+/// The dc + spike overhead model.
+#[derive(Debug, Clone)]
+pub struct MiddlewareCostModel {
+    /// Constant monitoring cost as a CPU fraction (the "dc factor").
+    pub monitor_dc_frac: f64,
+    /// Fixed CPU time per spill event (notification handling, index
+    /// decode — the index itself is tiny).
+    pub decode_base: SimDuration,
+    /// CPU seconds per byte of intermediate output analysed (sequence-file
+    /// scan). 0.4 s/GB ≈ a single-core pass at 2.5 GB/s.
+    pub analysis_secs_per_byte: f64,
+}
+
+impl Default for MiddlewareCostModel {
+    fn default() -> Self {
+        MiddlewareCostModel {
+            monitor_dc_frac: 0.02,
+            decode_base: SimDuration::from_millis(20),
+            analysis_secs_per_byte: 0.4e-9,
+        }
+    }
+}
+
+impl MiddlewareCostModel {
+    /// Average CPU overhead fraction on a server that processed `spills`
+    /// map finishes of `avg_spill_bytes` intermediate output each, over a
+    /// `window` of wall-clock time.
+    pub fn overhead_fraction(
+        &self,
+        spills: u64,
+        avg_spill_bytes: u64,
+        window: SimDuration,
+    ) -> f64 {
+        assert!(window > SimDuration::ZERO, "empty observation window");
+        let per_spill =
+            self.decode_base.as_secs_f64() + avg_spill_bytes as f64 * self.analysis_secs_per_byte;
+        let spike = spills as f64 * per_spill / window.as_secs_f64();
+        self.monitor_dc_frac + spike
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_pays_only_dc() {
+        let m = MiddlewareCostModel::default();
+        let f = m.overhead_fraction(0, 0, SimDuration::from_secs(100));
+        assert_eq!(f, 0.02);
+    }
+
+    #[test]
+    fn sort_scale_lands_in_paper_band() {
+        let m = MiddlewareCostModel::default();
+        // ≈94 spills of 256 MB each, over a ≈535 s sort job.
+        let f = m.overhead_fraction(94, 256_000_000, SimDuration::from_secs(535));
+        assert!((0.02..=0.05).contains(&f), "overhead {f}");
+    }
+
+    #[test]
+    fn nutch_scale_lands_in_paper_band() {
+        let m = MiddlewareCostModel::default();
+        // ≈25 small spills (38 MB) over a ≈42 s job.
+        let f = m.overhead_fraction(25, 38_000_000, SimDuration::from_secs(42));
+        assert!((0.02..=0.05).contains(&f), "overhead {f}");
+    }
+
+    #[test]
+    fn overhead_scales_with_spill_rate_and_size() {
+        let m = MiddlewareCostModel::default();
+        let w = SimDuration::from_secs(1000);
+        assert!(m.overhead_fraction(100, 1_000_000, w) > m.overhead_fraction(10, 1_000_000, w));
+        assert!(
+            m.overhead_fraction(10, 100_000_000, w) > m.overhead_fraction(10, 1_000_000, w)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        MiddlewareCostModel::default().overhead_fraction(1, 1, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,618 @@
+//! The Pythia system facade: instrumentation → collector → allocator →
+//! controller, wired end to end.
+//!
+//! [`PythiaSystem`] is what the cluster engine talks to. The driving
+//! contract (all methods are pure state transitions; the engine owns
+//! simulated time):
+//!
+//! 1. Hadoop spills a map output → engine calls [`PythiaSystem::on_spill`]
+//!    with the raw index-file bytes; gets back the prediction message and
+//!    its management-network **delivery time**, and schedules it.
+//! 2. At delivery time → [`PythiaSystem::on_prediction_delivered`]; Pythia
+//!    aggregates, allocates paths for newly active server pairs, and
+//!    returns the OpenFlow rules to program (each with its hardware
+//!    install latency).
+//! 3. A reducer launches → [`PythiaSystem::on_reducer_launched`]; parked
+//!    predictions resolve, possibly producing more rules.
+//! 4. A shuffle fetch completes → [`PythiaSystem::on_fetch_completed`];
+//!    the pair's outstanding volume drains, freeing planned capacity.
+
+use pythia_des::{SimDuration, SimTime};
+use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
+use pythia_netsim::{CumulativeCurve, LinkId, NodeId};
+use pythia_openflow::{Controller, FlowMatch, PendingRule};
+
+use crate::allocator::{FlowAllocator, PathChoice, Placement};
+use crate::collector::{AggregatedDemand, Collector};
+use crate::instrument::{Instrumentation, PredictionMsg};
+
+/// Granularity at which predicted transfers are aggregated and rules are
+/// installed (§IV: "large-scale future SDN network setups may force
+/// routing at the level of server aggregations, e.g. racks or sets of
+/// racks-PODs. Pythia can easily respond to such a requirement by
+/// populating the flow aggregation module with server location-awareness
+/// and an appropriate aggregation policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationPolicy {
+    /// One aggregate (and one path decision) per mapper-server →
+    /// reducer-server pair — the paper's deployed configuration.
+    ServerPair,
+    /// One path decision per rack pair: all server pairs between two
+    /// racks ride the same trunk. Conserves forwarding state (in hardware
+    /// this is a pair of IP-prefix rules per ToR) at the cost of
+    /// load-balancing freedom.
+    RackPair,
+}
+
+/// How the allocator weighs transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationMode {
+    /// Full Pythia: size-aware first-fit-decreasing, where heavier pairs
+    /// (the barrier-critical ones) get the better placements.
+    SizeAware,
+    /// FlowComb-like (§VI): uses the *existence* of predicted transfers
+    /// but "does not leverage application intelligence except from
+    /// predicted flow volumes"'s criticality — modelled by erasing the
+    /// volume signal: every demand is placed as if it were the same size.
+    SizeBlind,
+}
+
+/// Pythia tunables.
+#[derive(Debug, Clone)]
+pub struct PythiaConfig {
+    /// One-way latency of a prediction message over the management
+    /// network (server → collector → allocation logic). The paper keeps
+    /// all Pythia control traffic off the data network (§III).
+    pub mgmt_latency: SimDuration,
+    /// OpenFlow priority of installed shuffle rules (above the default
+    /// ECMP behaviour, below nothing else we install).
+    pub rule_priority: u16,
+    /// Aggregation granularity for path decisions.
+    pub aggregation: AggregationPolicy,
+    /// Size-aware (Pythia) vs size-blind (FlowComb-like) placement.
+    pub allocation: AllocationMode,
+}
+
+impl Default for PythiaConfig {
+    fn default() -> Self {
+        PythiaConfig {
+            mgmt_latency: SimDuration::from_millis(1),
+            rule_priority: 100,
+            aggregation: AggregationPolicy::ServerPair,
+            allocation: AllocationMode::SizeAware,
+        }
+    }
+}
+
+/// Aggregate statistics for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PythiaStats {
+    /// Prediction messages emitted by the instrumentation.
+    pub predictions_sent: u64,
+    /// Aggregated server-pair demand increments processed.
+    pub demands_aggregated: u64,
+    /// Path (re)assignments made by the allocator.
+    pub paths_assigned: u64,
+    /// OpenFlow rules issued to the controller.
+    pub rules_issued: u64,
+}
+
+/// The complete Pythia deployment over one cluster.
+pub struct PythiaSystem {
+    cfg: PythiaConfig,
+    instruments: Vec<Instrumentation>,
+    collector: Collector,
+    allocator: FlowAllocator,
+    /// Rack-aggregation state: per rack pair, the pinned inter-switch
+    /// trunk link and how many active server pairs ride it.
+    rack_trunk: std::collections::BTreeMap<(u32, u32), (LinkId, u64)>,
+    /// Server pairs currently counted against a rack pin.
+    rack_counted: std::collections::BTreeMap<(NodeId, NodeId), (u32, u32)>,
+    /// Aggregate statistics for reporting.
+    pub stats: PythiaStats,
+}
+
+impl PythiaSystem {
+    /// `server_nodes[i]` is the network node hosting Hadoop server `i`.
+    pub fn new(cfg: PythiaConfig, server_nodes: Vec<NodeId>) -> Self {
+        let instruments = (0..server_nodes.len() as u32)
+            .map(|i| Instrumentation::new(ServerId(i)))
+            .collect();
+        let allocator = match cfg.allocation {
+            AllocationMode::SizeAware => FlowAllocator::new(),
+            AllocationMode::SizeBlind => FlowAllocator::new_size_blind(),
+        };
+        PythiaSystem {
+            cfg,
+            instruments,
+            collector: Collector::new(server_nodes),
+            allocator,
+            rack_trunk: std::collections::BTreeMap::new(),
+            rack_counted: std::collections::BTreeMap::new(),
+            stats: PythiaStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PythiaConfig {
+        &self.cfg
+    }
+
+    /// Instrumentation hook: the spill index for `map` appeared on
+    /// `server`. Returns the prediction and the time it reaches the
+    /// collector. Corrupt index files are dropped (and would be logged in
+    /// a real deployment) — prediction is best-effort, Hadoop is not.
+    pub fn on_spill(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        map: MapTaskId,
+        server: ServerId,
+        data: &[u8],
+    ) -> Option<(PredictionMsg, SimTime)> {
+        let inst = &mut self.instruments[server.0 as usize];
+        match inst.on_spill(now, job, map, data) {
+            Ok(msg) => {
+                self.stats.predictions_sent += 1;
+                Some((msg, now + self.cfg.mgmt_latency))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The collector received a prediction. `background_bps(link)` must
+    /// return the link's **non-shuffle** load (Pythia differentiates its
+    /// own traffic from background using application knowledge, §IV).
+    pub fn on_prediction_delivered(
+        &mut self,
+        now: SimTime,
+        msg: &PredictionMsg,
+        controller: &mut Controller,
+        background_bps: &dyn Fn(LinkId) -> f64,
+    ) -> Vec<PendingRule> {
+        let demands = self.collector.on_prediction(now, msg);
+        self.handle_demands(&demands, controller, background_bps)
+    }
+
+    /// A reducer launched: resolve parked predictions.
+    pub fn on_reducer_launched(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        reducer: ReducerId,
+        server: ServerId,
+        controller: &mut Controller,
+        background_bps: &dyn Fn(LinkId) -> f64,
+    ) -> Vec<PendingRule> {
+        let demands = self.collector.on_reducer_location(now, job, reducer, server);
+        self.handle_demands(&demands, controller, background_bps)
+    }
+
+    /// Network conditions changed (the link-load service reports a shifted
+    /// background distribution): re-evaluate every active pair and move
+    /// the ones whose path went bad. Returns the rules to (re)install.
+    pub fn on_background_update(
+        &mut self,
+        now: SimTime,
+        controller: &mut Controller,
+        background_bps: &dyn Fn(LinkId) -> f64,
+    ) -> Vec<PendingRule> {
+        let _ = now;
+        let mut rules = Vec::new();
+        for pair in self.allocator.active_pairs() {
+            let candidates: Vec<PathChoice> = controller
+                .paths(pair.0, pair.1)
+                .iter()
+                .map(|p| {
+                    let resid = p
+                        .links()
+                        .iter()
+                        .map(|&l| {
+                            (controller.topology().link(l).capacity_bps - background_bps(l))
+                                .max(0.0)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    PathChoice {
+                        path: p.clone(),
+                        resid_bps: resid,
+                    }
+                })
+                .collect();
+            // 1.5× hysteresis: move only for a clear win.
+            if let Some(path) = self.allocator.reassign(pair, &candidates, 1.5) {
+                self.stats.paths_assigned += 1;
+                let matcher = FlowMatch::server_pair(pair.0, pair.1);
+                let pending = controller.install_path(matcher, &path, self.cfg.rule_priority);
+                self.stats.rules_issued += pending.len() as u64;
+                rules.extend(pending);
+            }
+        }
+        rules
+    }
+
+    /// A shuffle fetch completed: drain the pair's predicted volume.
+    pub fn on_fetch_completed(
+        &mut self,
+        job: JobId,
+        map: MapTaskId,
+        reducer: ReducerId,
+        src: ServerId,
+        dst: ServerId,
+    ) {
+        if let Some((pair, bytes)) = self.collector.on_fetch_completed(job, map, reducer, src, dst) {
+            self.allocator.drain(pair, bytes);
+            if self.cfg.aggregation == AggregationPolicy::RackPair {
+                self.unpin_rack_if_idle(pair);
+            }
+        }
+    }
+
+    fn handle_demands(
+        &mut self,
+        demands: &[AggregatedDemand],
+        controller: &mut Controller,
+        background_bps: &dyn Fn(LinkId) -> f64,
+    ) -> Vec<PendingRule> {
+        let mut rules = Vec::new();
+        // Largest demand first: first-fit-decreasing.
+        let mut sorted: Vec<&AggregatedDemand> = demands.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.added_bytes
+                .cmp(&a.added_bytes)
+                .then_with(|| (a.src, a.dst).cmp(&(b.src, b.dst)))
+        });
+        for d in sorted {
+            self.stats.demands_aggregated += 1;
+            let mut candidates: Vec<PathChoice> = controller
+                .paths(d.src, d.dst)
+                .iter()
+                .map(|p| {
+                    let resid = p
+                        .links()
+                        .iter()
+                        .map(|&l| {
+                            (controller.topology().link(l).capacity_bps - background_bps(l))
+                                .max(0.0)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    PathChoice {
+                        path: p.clone(),
+                        resid_bps: resid,
+                    }
+                })
+                .collect();
+            // Rack aggregation: once a trunk is pinned for this rack pair,
+            // every further server pair between the racks must follow it.
+            let rack_key = self.rack_key(controller, d.src, d.dst);
+            if self.cfg.aggregation == AggregationPolicy::RackPair {
+                if let Some(&(trunk, _)) = rack_key.and_then(|k| self.rack_trunk.get(&k)) {
+                    let pinned: Vec<PathChoice> = candidates
+                        .iter()
+                        .filter(|c| c.path.contains_link(trunk))
+                        .cloned()
+                        .collect();
+                    if !pinned.is_empty() {
+                        candidates = pinned;
+                    }
+                }
+            }
+            match self.allocator.place((d.src, d.dst), d.added_bytes, &candidates) {
+                Placement::Assign(path) => {
+                    self.stats.paths_assigned += 1;
+                    if self.cfg.aggregation == AggregationPolicy::RackPair {
+                        self.pin_rack(rack_key, (d.src, d.dst), &path, controller);
+                    }
+                    let matcher = FlowMatch::server_pair(d.src, d.dst);
+                    let pending = controller.install_path(matcher, &path, self.cfg.rule_priority);
+                    self.stats.rules_issued += pending.len() as u64;
+                    rules.extend(pending);
+                }
+                Placement::Keep | Placement::NoPath => {}
+            }
+        }
+        rules
+    }
+
+    /// The rack pair of a server pair, if both ends have rack labels.
+    fn rack_key(
+        &self,
+        controller: &Controller,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<(u32, u32)> {
+        let topo = controller.topology();
+        Some((topo.node(src).rack()?, topo.node(dst).rack()?))
+    }
+
+    /// Record that `pair` rides `path`'s inter-switch trunk for its rack
+    /// pair.
+    fn pin_rack(
+        &mut self,
+        rack_key: Option<(u32, u32)>,
+        pair: (NodeId, NodeId),
+        path: &pythia_netsim::Path,
+        controller: &Controller,
+    ) {
+        let Some(key) = rack_key else { return };
+        let topo = controller.topology();
+        // The trunk is the link whose endpoints are both switches.
+        let trunk = path.links().iter().copied().find(|&l| {
+            let link = topo.link(l);
+            !topo.node(link.src).is_server() && !topo.node(link.dst).is_server()
+        });
+        let Some(trunk) = trunk else { return }; // intra-rack path
+        let entry = self.rack_trunk.entry(key).or_insert((trunk, 0));
+        entry.0 = trunk;
+        entry.1 += 1;
+        self.rack_counted.insert(pair, key);
+    }
+
+    /// Release `pair`'s rack pin if its outstanding volume drained.
+    fn unpin_rack_if_idle(&mut self, pair: (NodeId, NodeId)) {
+        if self.allocator.outstanding(pair) > 0 {
+            return;
+        }
+        if let Some(key) = self.rack_counted.remove(&pair) {
+            if let Some(entry) = self.rack_trunk.get_mut(&key) {
+                entry.1 = entry.1.saturating_sub(1);
+                if entry.1 == 0 {
+                    self.rack_trunk.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Predicted cumulative remote-traffic curve per source node
+    /// (Figure 5's prediction side).
+    pub fn predicted_curve(&self, node: NodeId) -> Option<&CumulativeCurve> {
+        self.collector.predicted_curve(node)
+    }
+
+    /// Outstanding predicted bytes on a server pair.
+    pub fn outstanding(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.collector.outstanding(src, dst)
+    }
+
+    /// Parked (unknown-reducer) prediction entries.
+    pub fn parked_predictions(&self) -> usize {
+        self.collector.parked()
+    }
+
+    /// Per-server spill-decode counts, for the §V-C overhead model.
+    pub fn spills_decoded(&self, server: ServerId) -> u64 {
+        self.instruments[server.0 as usize].spills_decoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_des::RngFactory;
+    use pythia_hadoop::IndexFile;
+    use pythia_netsim::{build_multi_rack, MultiRack, MultiRackParams};
+    use pythia_openflow::ControllerConfig;
+
+    fn setup() -> (MultiRack, Controller, PythiaSystem) {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let controller = Controller::new(
+            mr.topology.clone(),
+            ControllerConfig::default(),
+            &RngFactory::new(3),
+        );
+        let pythia = PythiaSystem::new(PythiaConfig::default(), mr.servers.clone());
+        (mr, controller, pythia)
+    }
+
+    fn no_background(_: LinkId) -> f64 {
+        0.0
+    }
+
+    #[test]
+    fn spill_to_rules_end_to_end() {
+        let (mr, mut ctl, mut py) = setup();
+        // Reducer 0 lives on server 5 (other rack from server 0).
+        py.on_reducer_launched(
+            SimTime::ZERO,
+            JobId(0),
+            ReducerId(0),
+            ServerId(5),
+            &mut ctl,
+            &no_background,
+        );
+        let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
+        let (msg, deliver_at) = py
+            .on_spill(SimTime::from_secs(10), JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .unwrap();
+        assert_eq!(deliver_at, SimTime::from_secs(10) + SimDuration::from_millis(1));
+        let rules = py.on_prediction_delivered(deliver_at, &msg, &mut ctl, &no_background);
+        // Cross-rack path: rules at both ToRs.
+        assert_eq!(rules.len(), 2);
+        for r in &rules {
+            assert_eq!(
+                r.rule.matcher,
+                FlowMatch::server_pair(mr.servers[0], mr.servers[5])
+            );
+            assert_eq!(r.rule.priority, 100);
+        }
+        assert!(py.outstanding(mr.servers[0], mr.servers[5]) > 50_000_000);
+    }
+
+    #[test]
+    fn unknown_reducer_defers_rules_until_launch() {
+        let (mr, mut ctl, mut py) = setup();
+        let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
+        let (msg, at) = py
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .unwrap();
+        let rules = py.on_prediction_delivered(at, &msg, &mut ctl, &no_background);
+        assert!(rules.is_empty());
+        assert_eq!(py.parked_predictions(), 1);
+        let rules2 = py.on_reducer_launched(
+            SimTime::from_secs(1),
+            JobId(0),
+            ReducerId(0),
+            ServerId(5),
+            &mut ctl,
+            &no_background,
+        );
+        assert_eq!(rules2.len(), 2);
+        assert_eq!(py.parked_predictions(), 0);
+        let _ = mr;
+    }
+
+    #[test]
+    fn local_pair_installs_nothing() {
+        let (_mr, mut ctl, mut py) = setup();
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(0), &mut ctl, &no_background);
+        let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
+        let (msg, at) = py
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .unwrap();
+        let rules = py.on_prediction_delivered(at, &msg, &mut ctl, &no_background);
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn second_prediction_on_active_pair_reuses_path() {
+        let (mr, mut ctl, mut py) = setup();
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
+        let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
+        let (m1, a1) = py
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .unwrap();
+        let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
+        assert_eq!(r1.len(), 2);
+        let (m2, a2) = py
+            .on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(1), ServerId(0), &index.encode())
+            .unwrap();
+        let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl, &no_background);
+        assert!(r2.is_empty(), "active pair must not churn rules");
+        let _ = mr;
+    }
+
+    #[test]
+    fn fetch_completion_drains_outstanding() {
+        let (mr, mut ctl, mut py) = setup();
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
+        let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
+        let (m1, a1) = py
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .unwrap();
+        py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
+        let before = py.outstanding(mr.servers[0], mr.servers[5]);
+        assert!(before > 0);
+        py.on_fetch_completed(JobId(0), MapTaskId(0), ReducerId(0), ServerId(0), ServerId(5));
+        assert_eq!(py.outstanding(mr.servers[0], mr.servers[5]), 0);
+    }
+
+    #[test]
+    fn rack_aggregation_pins_all_pairs_to_one_trunk() {
+        let (mr, mut ctl, _) = setup();
+        let mut cfg = PythiaConfig::default();
+        cfg.aggregation = AggregationPolicy::RackPair;
+        let mut py = PythiaSystem::new(cfg, mr.servers.clone());
+        // Reducers 0..3 on rack-1 servers 5..8.
+        for r in 0..4u32 {
+            py.on_reducer_launched(
+                SimTime::ZERO,
+                JobId(0),
+                ReducerId(r),
+                ServerId(5 + r),
+                &mut ctl,
+                &no_background,
+            );
+        }
+        // Spills from four rack-0 servers, all four reducers each.
+        let index = IndexFile::from_partition_sizes(&[10_000_000; 4], 1.0);
+        let mut trunks = std::collections::BTreeSet::new();
+        for srv in 0..4u32 {
+            let (msg, at) = py
+                .on_spill(SimTime::ZERO, JobId(0), MapTaskId(srv), ServerId(srv), &index.encode())
+                .unwrap();
+            for rule in py.on_prediction_delivered(at, &msg, &mut ctl, &no_background) {
+                if rule.switch == mr.tors[0] {
+                    trunks.insert(rule.rule.out_link);
+                }
+            }
+        }
+        assert_eq!(
+            trunks.len(),
+            1,
+            "rack aggregation must pin one trunk, got {trunks:?}"
+        );
+    }
+
+    #[test]
+    fn server_pair_aggregation_uses_both_trunks() {
+        let (mr, mut ctl, mut py) = setup();
+        for r in 0..4u32 {
+            py.on_reducer_launched(
+                SimTime::ZERO,
+                JobId(0),
+                ReducerId(r),
+                ServerId(5 + r),
+                &mut ctl,
+                &no_background,
+            );
+        }
+        let index = IndexFile::from_partition_sizes(&[10_000_000; 4], 1.0);
+        let mut trunks = std::collections::BTreeSet::new();
+        for srv in 0..4u32 {
+            let (msg, at) = py
+                .on_spill(SimTime::ZERO, JobId(0), MapTaskId(srv), ServerId(srv), &index.encode())
+                .unwrap();
+            for rule in py.on_prediction_delivered(at, &msg, &mut ctl, &no_background) {
+                if rule.switch == mr.tors[0] {
+                    trunks.insert(rule.rule.out_link);
+                }
+            }
+        }
+        assert_eq!(trunks.len(), 2, "server-pair mode must balance trunks");
+    }
+
+    #[test]
+    fn size_blind_mode_places_by_count_not_volume() {
+        let (mr, mut ctl, _) = setup();
+        let mut cfg = PythiaConfig::default();
+        cfg.allocation = AllocationMode::SizeBlind;
+        let mut py = PythiaSystem::new(cfg, mr.servers.clone());
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(1), ServerId(6), &mut ctl, &no_background);
+        // One huge transfer, then two tiny ones. Size-blind counts 1 pair
+        // per trunk: the huge one lands alone on trunk A, tiny #1 on B,
+        // tiny #2 back on A (count tie ...) — crucially it does NOT weigh
+        // the huge transfer as heavier.
+        let huge = IndexFile::from_partition_sizes(&[1_000_000_000, 0], 1.0);
+        let tiny = IndexFile::from_partition_sizes(&[0, 1_000], 1.0);
+        let (m1, a1) = py
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &huge.encode())
+            .unwrap();
+        let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
+        let (m2, a2) = py
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(1), ServerId(1), &tiny.encode())
+            .unwrap();
+        let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl, &no_background);
+        // Both placements happen; the tiny pair takes the other trunk
+        // despite the byte imbalance being irrelevant to it.
+        let t1 = r1.iter().find(|r| r.switch == mr.tors[0]).unwrap().rule.out_link;
+        let t2 = r2.iter().find(|r| r.switch == mr.tors[0]).unwrap().rule.out_link;
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn background_steers_placement() {
+        let (mr, mut ctl, mut py) = setup();
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
+        // Trunk 0 (first cable tor0→tor1) carries 9.9 Gb/s of background.
+        let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        let bg = move |l: LinkId| if l == trunk0 { 9.9e9 } else { 0.0 };
+        let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
+        let (m1, a1) = py
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .unwrap();
+        let rules = py.on_prediction_delivered(a1, &m1, &mut ctl, &bg);
+        // The rule at tor0 must avoid the loaded trunk.
+        let tor0_rule = rules.iter().find(|r| r.switch == mr.tors[0]).unwrap();
+        assert_ne!(tor0_rule.rule.out_link, trunk0);
+    }
+}

@@ -1,0 +1,387 @@
+//! HiBench-style workload definitions.
+//!
+//! The paper evaluates two network-intensive HiBench benchmarks (§V):
+//! **Sort** (240 GB input — "representative of a large subset of
+//! real-world MapReduce applications, e.g. data transformation") and
+//! **Nutch indexing** (5 M pages, 8 GB input — "representative of
+//! large-scale search indexing"). A 60 GB integer sort drives the
+//! prediction-accuracy experiment (Figure 5). TeraSort and WordCount are
+//! included as extensions (both are HiBench members).
+//!
+//! Compute-time constants are calibrated for the paper's regime: Hadoop
+//! stores intermediate data in memory, so jobs are **network-bound during
+//! shuffle** rather than disk-bound (§V-A).
+
+use pythia_des::SimDuration;
+use pythia_hadoop::{DurationModel, JobSpec};
+
+use crate::skew::SkewModel;
+
+const MB: u64 = 1_000_000;
+const GB: u64 = 1_000_000_000;
+
+/// Common tuning for all workloads.
+#[derive(Debug, Clone)]
+pub struct ComputeProfile {
+    /// Map-side processing throughput per slot (bytes/sec).
+    pub map_bytes_per_sec: f64,
+    /// Fixed map-task startup cost (JVM spawn, split open).
+    pub map_base: SimDuration,
+    /// Reducer merge-sort throughput (bytes/sec).
+    pub sort_bytes_per_sec: f64,
+    /// Reduce-function + output-write throughput (bytes/sec).
+    pub reduce_bytes_per_sec: f64,
+    /// Multiplicative jitter on every task duration.
+    pub jitter_frac: f64,
+    /// Probability that a map task straggles (slow disk, bad JVM…).
+    pub straggler_prob: f64,
+    /// Straggler slowdown factor.
+    pub straggler_factor: f64,
+}
+
+impl Default for ComputeProfile {
+    fn default() -> Self {
+        ComputeProfile {
+            map_bytes_per_sec: 50.0 * MB as f64,
+            map_base: SimDuration::from_secs(1),
+            sort_bytes_per_sec: 500.0 * MB as f64,
+            reduce_bytes_per_sec: 200.0 * MB as f64,
+            jitter_frac: 0.15,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        }
+    }
+}
+
+impl ComputeProfile {
+    fn map_model(&self) -> DurationModel {
+        DurationModel::rate(self.map_base, self.map_bytes_per_sec, self.jitter_frac)
+            .with_stragglers(self.straggler_prob, self.straggler_factor)
+    }
+
+    fn sort_model(&self) -> DurationModel {
+        DurationModel::rate(
+            SimDuration::from_millis(500),
+            self.sort_bytes_per_sec,
+            self.jitter_frac,
+        )
+    }
+
+    fn reduce_model(&self) -> DurationModel {
+        DurationModel::rate(
+            SimDuration::from_millis(500),
+            self.reduce_bytes_per_sec,
+            self.jitter_frac,
+        )
+    }
+}
+
+/// A named, parameterized benchmark that can mint [`JobSpec`]s.
+pub trait Workload {
+    /// Benchmark name for reports.
+    fn name(&self) -> &str;
+    /// Mint a fresh job specification.
+    fn job(&self) -> JobSpec;
+}
+
+/// HiBench Sort. Map output ≈ input (pure data movement), mild natural
+/// skew. The paper runs it at 240 GB (Figure 4) and 60 GB (Figure 5).
+#[derive(Debug, Clone)]
+pub struct SortWorkload {
+    /// Total job input (paper: 240 GB / 60 GB).
+    pub input_bytes: u64,
+    /// HDFS split (block) size per map task.
+    pub split_bytes: u64,
+    /// Reduce task count.
+    pub num_reducers: usize,
+    /// Key-space skew shaping per-reducer volumes.
+    pub skew: SkewModel,
+    /// Per-map multiplicative noise on partition sizes.
+    pub map_jitter: f64,
+    /// Compute-time constants.
+    pub compute: ComputeProfile,
+    /// Seed for the partitioner's deterministic jitter.
+    pub seed: u64,
+}
+
+impl SortWorkload {
+    /// The paper's Figure 4 configuration: 240 GB.
+    pub fn paper_240gb() -> Self {
+        SortWorkload {
+            input_bytes: 240 * GB,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's Figure 5 configuration: 60 GB integer sort.
+    pub fn paper_60gb() -> Self {
+        SortWorkload {
+            input_bytes: 60 * GB,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for SortWorkload {
+    fn default() -> Self {
+        SortWorkload {
+            input_bytes: 240 * GB,
+            split_bytes: 256 * MB,
+            num_reducers: 20,
+            // Random binary keys hash near-uniformly, but real runs always
+            // carry residual imbalance.
+            skew: SkewModel::Zipf { s: 0.5 },
+            map_jitter: 0.1,
+            compute: ComputeProfile::default(),
+            seed: 0x5027,
+        }
+    }
+}
+
+impl Workload for SortWorkload {
+    fn name(&self) -> &str {
+        "sort"
+    }
+
+    fn job(&self) -> JobSpec {
+        let num_maps = (self.input_bytes / self.split_bytes).max(1) as usize;
+        JobSpec {
+            name: format!("sort-{}gb", self.input_bytes / GB),
+            num_maps,
+            num_reducers: self.num_reducers,
+            input_bytes: self.input_bytes,
+            map_output_ratio: 1.0,
+            map_duration: self.compute.map_model(),
+            sort_duration: self.compute.sort_model(),
+            reduce_duration: self.compute.reduce_model(),
+            partitioner: self.skew.partitioner(self.num_reducers, self.map_jitter, self.seed),
+        }
+    }
+}
+
+/// Nutch indexing: 5 M crawled pages, 8 GB input. Inverted-index build:
+/// intermediate output is larger than the input (postings + metadata) and
+/// term/URL frequencies are strongly Zipfian. Many reducers ⇒ many smaller
+/// flows, which the paper credits for Nutch's larger optimization headroom
+/// ("the smaller flows created by Nutch increase the opportunity for
+/// optimization", §V-B).
+#[derive(Debug, Clone)]
+pub struct NutchWorkload {
+    /// Crawled pages indexed (paper: 5 M).
+    pub pages: u64,
+    /// Total job input (paper: 8 GB).
+    pub input_bytes: u64,
+    /// Split size per map (Nutch segments are small part-files).
+    pub split_bytes: u64,
+    /// Reduce task count.
+    pub num_reducers: usize,
+    /// Key-space skew (URL/term frequencies are Zipfian).
+    pub skew: SkewModel,
+    /// Per-map multiplicative noise on partition sizes.
+    pub map_jitter: f64,
+    /// Compute-time constants.
+    pub compute: ComputeProfile,
+    /// Seed for the partitioner's deterministic jitter.
+    pub seed: u64,
+}
+
+impl NutchWorkload {
+    /// The paper's Figure 3 configuration.
+    pub fn paper_5m_pages() -> Self {
+        Self::default()
+    }
+}
+
+impl Default for NutchWorkload {
+    fn default() -> Self {
+        let mut compute = ComputeProfile::default();
+        // Indexing is more CPU-intensive per byte than sort.
+        compute.map_bytes_per_sec = 20.0 * MB as f64;
+        NutchWorkload {
+            pages: 5_000_000,
+            input_bytes: 8 * GB,
+            // Nutch segments are many small part-files, so splits are far
+            // smaller than sort's 256 MB blocks.
+            split_bytes: 32 * MB,
+            num_reducers: 20,
+            skew: SkewModel::Zipf { s: 0.9 },
+            map_jitter: 0.2,
+            compute,
+            seed: 0x4e75,
+        }
+    }
+}
+
+impl Workload for NutchWorkload {
+    fn name(&self) -> &str {
+        "nutch-indexing"
+    }
+
+    fn job(&self) -> JobSpec {
+        let num_maps = (self.input_bytes / self.split_bytes).max(1) as usize;
+        JobSpec {
+            name: format!("nutch-{}m-pages", self.pages / 1_000_000),
+            num_maps,
+            num_reducers: self.num_reducers,
+            input_bytes: self.input_bytes,
+            map_output_ratio: 1.2,
+            map_duration: self.compute.map_model(),
+            sort_duration: self.compute.sort_model(),
+            reduce_duration: self.compute.reduce_model(),
+            partitioner: self.skew.partitioner(self.num_reducers, self.map_jitter, self.seed),
+        }
+    }
+}
+
+/// TeraSort (extension): like Sort but with TeraGen's uniform synthetic
+/// keys — the no-skew control case.
+#[derive(Debug, Clone)]
+pub struct TeraSortWorkload {
+    /// Total job input.
+    pub input_bytes: u64,
+    /// Split size per map task.
+    pub split_bytes: u64,
+    /// Reduce task count.
+    pub num_reducers: usize,
+    /// Compute-time constants.
+    pub compute: ComputeProfile,
+}
+
+impl Default for TeraSortWorkload {
+    fn default() -> Self {
+        TeraSortWorkload {
+            input_bytes: 100 * GB,
+            split_bytes: 256 * MB,
+            num_reducers: 20,
+            compute: ComputeProfile::default(),
+        }
+    }
+}
+
+impl Workload for TeraSortWorkload {
+    fn name(&self) -> &str {
+        "terasort"
+    }
+
+    fn job(&self) -> JobSpec {
+        let num_maps = (self.input_bytes / self.split_bytes).max(1) as usize;
+        JobSpec {
+            name: format!("terasort-{}gb", self.input_bytes / GB),
+            num_maps,
+            num_reducers: self.num_reducers,
+            input_bytes: self.input_bytes,
+            map_output_ratio: 1.0,
+            map_duration: self.compute.map_model(),
+            sort_duration: self.compute.sort_model(),
+            reduce_duration: self.compute.reduce_model(),
+            partitioner: SkewModel::Uniform.partitioner(self.num_reducers, 0.02, 0x7e5a),
+        }
+    }
+}
+
+/// WordCount (extension): aggregation-heavy — tiny intermediate output,
+/// hence a nearly network-free shuffle. The negative control: Pythia
+/// should bring ≈ no speedup here.
+#[derive(Debug, Clone)]
+pub struct WordCountWorkload {
+    /// Total job input.
+    pub input_bytes: u64,
+    /// Split size per map task.
+    pub split_bytes: u64,
+    /// Reduce task count.
+    pub num_reducers: usize,
+    /// Compute-time constants.
+    pub compute: ComputeProfile,
+    /// Seed for the partitioner's deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for WordCountWorkload {
+    fn default() -> Self {
+        let mut compute = ComputeProfile::default();
+        compute.map_bytes_per_sec = 30.0 * MB as f64;
+        WordCountWorkload {
+            input_bytes: 100 * GB,
+            split_bytes: 256 * MB,
+            num_reducers: 10,
+            compute,
+            seed: 0x3c0d,
+        }
+    }
+}
+
+impl Workload for WordCountWorkload {
+    fn name(&self) -> &str {
+        "wordcount"
+    }
+
+    fn job(&self) -> JobSpec {
+        let num_maps = (self.input_bytes / self.split_bytes).max(1) as usize;
+        JobSpec {
+            name: format!("wordcount-{}gb", self.input_bytes / GB),
+            num_maps,
+            num_reducers: self.num_reducers,
+            input_bytes: self.input_bytes,
+            // Combiners crush intermediate volume.
+            map_output_ratio: 0.05,
+            map_duration: self.compute.map_model(),
+            sort_duration: self.compute.sort_model(),
+            reduce_duration: self.compute.reduce_model(),
+            partitioner: SkewModel::Zipf { s: 1.0 }.partitioner(self.num_reducers, 0.2, self.seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_produce_valid_specs() {
+        let jobs: Vec<JobSpec> = vec![
+            SortWorkload::paper_240gb().job(),
+            SortWorkload::paper_60gb().job(),
+            NutchWorkload::paper_5m_pages().job(),
+            TeraSortWorkload::default().job(),
+            WordCountWorkload::default().job(),
+        ];
+        for j in &jobs {
+            j.validate().unwrap_or_else(|e| panic!("{}: {e}", j.name));
+            assert!(j.num_maps >= 1);
+        }
+    }
+
+    #[test]
+    fn sort_240gb_matches_paper_scale() {
+        let j = SortWorkload::paper_240gb().job();
+        assert_eq!(j.input_bytes, 240 * GB);
+        // Intermediate output equals input for sort.
+        let total: u64 = j.total_shuffle_bytes();
+        let err = (total as f64 - 240e9).abs() / 240e9;
+        assert!(err < 0.01, "shuffle bytes {total}");
+    }
+
+    #[test]
+    fn nutch_matches_paper_scale() {
+        let j = NutchWorkload::paper_5m_pages().job();
+        assert_eq!(j.input_bytes, 8 * GB);
+        assert!(j.total_shuffle_bytes() > 8 * GB, "indexing expands data");
+    }
+
+    #[test]
+    fn nutch_flows_smaller_than_sort() {
+        // Per (map, reducer) flow size: the property the paper invokes to
+        // explain Nutch's flatter Pythia curve.
+        let sort = SortWorkload::paper_240gb().job();
+        let nutch = NutchWorkload::paper_5m_pages().job();
+        let sort_flow = sort.map_output_bytes() / sort.num_reducers as u64;
+        let nutch_flow = nutch.map_output_bytes() / nutch.num_reducers as u64;
+        assert!(nutch_flow * 5 < sort_flow, "{nutch_flow} vs {sort_flow}");
+    }
+
+    #[test]
+    fn wordcount_shuffle_is_tiny() {
+        let j = WordCountWorkload::default().job();
+        assert!(j.total_shuffle_bytes() < j.input_bytes / 10);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! `pythia-workloads` — HiBench-style MapReduce workload generators.
+//!
+//! Provides the paper's two evaluation benchmarks (Sort at 240 GB / 60 GB
+//! and Nutch indexing at 5 M pages / 8 GB) plus TeraSort and WordCount as
+//! extensions, together with the key-space [`skew`] models ([`zipf`]
+//! implemented from scratch) that shape per-reducer shuffle volumes.
+//!
+//! ```
+//! use pythia_workloads::{SortWorkload, Workload};
+//!
+//! let job = SortWorkload::paper_240gb().job();
+//! assert_eq!(job.input_bytes, 240_000_000_000);
+//! // Sort moves everything (modulo split-size rounding across 937 maps).
+//! let shuffle = job.total_shuffle_bytes();
+//! assert!((shuffle as i64 - 240_000_000_000i64).abs() < 1_000_000);
+//! job.validate().unwrap();
+//! ```
+
+pub mod hibench;
+pub mod skew;
+pub mod zipf;
+
+pub use hibench::{
+    ComputeProfile, NutchWorkload, SortWorkload, TeraSortWorkload, WordCountWorkload, Workload,
+};
+pub use skew::SkewModel;
+pub use zipf::{harmonic, zipf_weights, ZipfSampler};

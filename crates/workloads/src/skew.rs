@@ -1,0 +1,169 @@
+//! Key-space skew models, expressed as Hadoop partitioners.
+//!
+//! The paper's motivating observation (§II, Figure 1a) is that reducers
+//! commonly receive very different volumes — "reducer-0 receives 5× more
+//! data than reducer-1" — because keys are non-uniformly distributed.
+//! These partitioners inject that behaviour into simulated jobs.
+
+use pythia_des::splitmix64;
+use pythia_hadoop::{Partitioner, WeightedPartitioner};
+
+use crate::zipf::zipf_weights;
+
+/// Declarative skew description, turned into a partitioner per job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkewModel {
+    /// Perfectly uniform key distribution.
+    Uniform,
+    /// Zipf over reducer ranks.
+    Zipf {
+        /// The Zipf exponent (0 = uniform, 1 ≈ web-scale skew).
+        s: f64,
+    },
+    /// One hot reducer; the rest share the remainder evenly (models a
+    /// single hot key range).
+    Hotspot {
+        /// Fraction of all data the hot reducer receives.
+        hot_fraction: f64,
+    },
+    /// Explicit per-reducer weights (e.g. Figure 1a's `[5, 1]`).
+    Weights(Vec<f64>),
+}
+
+impl SkewModel {
+    /// Per-reducer weights for `r` reducers.
+    pub fn weights(&self, r: usize) -> Vec<f64> {
+        assert!(r > 0);
+        match self {
+            SkewModel::Uniform => vec![1.0; r],
+            SkewModel::Zipf { s } => zipf_weights(r, *s),
+            SkewModel::Hotspot { hot_fraction } => {
+                assert!((0.0..1.0).contains(hot_fraction));
+                if r == 1 {
+                    return vec![1.0];
+                }
+                let rest = (1.0 - hot_fraction) / (r - 1) as f64;
+                let mut w = vec![rest; r];
+                w[0] = *hot_fraction;
+                w
+            }
+            SkewModel::Weights(w) => {
+                assert_eq!(w.len(), r, "weight count must equal reducer count");
+                w.clone()
+            }
+        }
+    }
+
+    /// Build a partitioner for `r` reducers. `map_jitter` adds per-map
+    /// multiplicative noise (deterministic in `seed`), so different maps
+    /// produce slightly different splits — as real key sampling does.
+    pub fn partitioner(&self, r: usize, map_jitter: f64, seed: u64) -> Box<dyn Partitioner> {
+        let weights = self.weights(r);
+        if map_jitter == 0.0 {
+            Box::new(WeightedPartitioner::new(weights).with_name(self.name()))
+        } else {
+            Box::new(JitteredPartitioner {
+                weights,
+                jitter: map_jitter,
+                seed,
+                name: format!("{}+jitter{map_jitter}", self.name()),
+            })
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn name(&self) -> String {
+        match self {
+            SkewModel::Uniform => "uniform".into(),
+            SkewModel::Zipf { s } => format!("zipf(s={s})"),
+            SkewModel::Hotspot { hot_fraction } => format!("hotspot({hot_fraction})"),
+            SkewModel::Weights(_) => "weights".into(),
+        }
+    }
+}
+
+/// Weighted partitioner with deterministic per-(map, reducer) jitter.
+struct JitteredPartitioner {
+    weights: Vec<f64>,
+    jitter: f64,
+    seed: u64,
+    name: String,
+}
+
+impl Partitioner for JitteredPartitioner {
+    fn partition(&self, map_index: usize, bytes: u64, r: usize) -> Vec<u64> {
+        assert_eq!(r, self.weights.len());
+        // Deterministic noise in [-jitter, +jitter] per (map, reducer).
+        let noisy: Vec<f64> = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let h = splitmix64(self.seed ^ (map_index as u64) << 20 ^ i as u64);
+                let u = (h as f64 / u64::MAX as f64) * 2.0 - 1.0;
+                (w * (1.0 + self.jitter * u)).max(0.0)
+            })
+            .collect();
+        WeightedPartitioner::new(noisy).partition(map_index, bytes, r)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights() {
+        assert_eq!(SkewModel::Uniform.weights(3), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn hotspot_weights_sum_to_one() {
+        let w = SkewModel::Hotspot { hot_fraction: 0.5 }.weights(5);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(w[0], 0.5);
+        assert!((w[1] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_1a_weights() {
+        let m = SkewModel::Weights(vec![5.0, 1.0]);
+        let p = m.partitioner(2, 0.0, 0);
+        let parts = p.partition(0, 600, 2);
+        assert_eq!(parts, vec![500, 100]);
+    }
+
+    #[test]
+    fn jittered_partitioner_conserves_bytes_and_is_deterministic() {
+        let m = SkewModel::Zipf { s: 1.0 };
+        let p = m.partitioner(8, 0.3, 42);
+        for map in 0..20 {
+            let a = p.partition(map, 1_000_000, 8);
+            let b = p.partition(map, 1_000_000, 8);
+            assert_eq!(a, b, "non-deterministic partition");
+            assert_eq!(a.iter().sum::<u64>(), 1_000_000);
+        }
+        // Different maps differ (that's the point of the jitter).
+        assert_ne!(p.partition(0, 1_000_000, 8), p.partition(1, 1_000_000, 8));
+    }
+
+    #[test]
+    fn zipf_skew_orders_reducers() {
+        let p = SkewModel::Zipf { s: 1.2 }.partitioner(4, 0.0, 0);
+        let parts = p.partition(0, 100_000, 4);
+        for pair in parts.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(parts[0] > 2 * parts[3], "skew too weak: {parts:?}");
+    }
+
+    #[test]
+    fn single_reducer_hotspot() {
+        let w = SkewModel::Hotspot { hot_fraction: 0.9 }.weights(1);
+        assert_eq!(w, vec![1.0]);
+    }
+}

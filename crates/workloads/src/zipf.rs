@@ -1,0 +1,132 @@
+//! Zipf(ian) weights and sampling.
+//!
+//! MapReduce key-space skew — the phenomenon Pythia's flow allocation
+//! exploits — is classically modelled as a Zipf distribution over reducer
+//! ranks (cf. Kwon et al., "A study of skew in MapReduce applications",
+//! cited by the paper). Implemented from scratch: the `rand` crate's
+//! distribution zoo is not among the allowed dependencies.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Normalized Zipf weights for `n` ranks with exponent `s`:
+/// `w_i ∝ 1 / (i+1)^s`. `s = 0` degenerates to uniform.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one rank");
+    assert!(s >= 0.0 && s.is_finite(), "invalid exponent {s}");
+    let raw: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Generalized harmonic number `H(n, s)`.
+pub fn harmonic(n: usize, s: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(s)).sum()
+}
+
+/// Inverse-CDF Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative distribution, cdf[i] = P(rank <= i).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Sampler over ranks `0..n` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let w = zipf_weights(n, s);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for wi in w {
+            acc += wi;
+            cdf.push(acc);
+        }
+        // Guard against floating-point drift.
+        *cdf.last_mut().unwrap() = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_normalized_and_monotone() {
+        for &s in &[0.0, 0.5, 1.0, 2.0] {
+            let w = zipf_weights(10, s);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            for pair in w.windows(2) {
+                assert!(pair[0] >= pair[1], "weights must be non-increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let w = zipf_weights(4, 0.0);
+        for &wi in &w {
+            assert!((wi - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_ratio_s1() {
+        // s=1, n=2: weights 1 and 1/2 → 2/3 and 1/3.
+        let w = zipf_weights(2, 1.0);
+        assert!((w[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_known_values() {
+        assert!((harmonic(1, 1.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4, 1.0) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        assert!((harmonic(3, 0.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_frequencies_match_weights() {
+        let s = 1.0;
+        let n = 5;
+        let sampler = ZipfSampler::new(n, s);
+        let w = zipf_weights(n, s);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let trials = 200_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for i in 0..n {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!(
+                (freq - w[i]).abs() < 0.01,
+                "rank {i}: freq {freq} vs weight {}",
+                w[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_covers_all_ranks() {
+        let sampler = ZipfSampler::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..10_000 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

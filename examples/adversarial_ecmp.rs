@@ -1,0 +1,35 @@
+//! Figure 1 motivation, end to end:
+//!
+//! 1. the toy sort job's sequence diagram (3 maps, 2 reducers, 5:1 key
+//!    skew) showing the shuffle phase and the reducer imbalance;
+//! 2. the adversarial ECMP allocation statistics — how often random
+//!    5-tuple hashing collides concurrent cross-rack transfers onto one
+//!    trunk, versus Pythia's predictive placement.
+//!
+//! ```text
+//! cargo run --release --example adversarial_ecmp
+//! ```
+
+use pythia_repro::experiments::fig1;
+
+fn main() {
+    println!("== Figure 1a: toy sort sequence diagram ==\n");
+    let f1a = fig1::run_fig1a();
+    println!("{}", f1a.diagram);
+    println!(
+        "reducer byte skew: {:.1}x (paper: reducer-0 gets 5x reducer-1)",
+        f1a.reducer_byte_ratio
+    );
+    println!(
+        "shuffle fraction of job completion time: {:.0}%\n",
+        f1a.shuffle_fraction_of_job * 100.0
+    );
+
+    println!("== Figure 1b: adversarial flow allocation ==\n");
+    let f1b = fig1::run_fig1b(10);
+    println!("{}", f1b.render());
+    println!("per-trial detail (imbalance 1.0 = balanced trunks, 2.0 = total collision):");
+    for t in &f1b.trials {
+        println!("  seed {:>2}  {:<7} {:.3}", t.seed, t.scheduler, t.trunk_imbalance);
+    }
+}

@@ -1,0 +1,162 @@
+//! `pythia-sim` — run a single simulated scenario from the command line.
+//!
+//! ```text
+//! cargo run --release --bin pythia-sim -- \
+//!     --workload sort --scheduler pythia --ratio 10 --seed 1 --scale 0.1
+//! ```
+//!
+//! Prints the job report, the trunk balance, and (with `--seqdiag`) the
+//! Figure 1a-style sequence diagram.
+
+use std::process::exit;
+
+use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::hadoop::JobSpec;
+use pythia_repro::metrics::{render_seqdiag, SeqDiagramOptions};
+use pythia_repro::workloads::{
+    NutchWorkload, SortWorkload, TeraSortWorkload, WordCountWorkload, Workload,
+};
+
+struct Args {
+    workload: String,
+    scheduler: SchedulerKind,
+    ratio: u32,
+    seed: u64,
+    scale: f64,
+    seqdiag: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "pythia-sim — simulate one MapReduce job on the Pythia testbed\n\
+         \n\
+         USAGE:\n\
+         \x20 pythia-sim [--workload sort|nutch|terasort|wordcount]\n\
+         \x20            [--scheduler ecmp|pythia|hedera]\n\
+         \x20            [--ratio N]      over-subscription 1:N (default 10)\n\
+         \x20            [--seed S]       master seed (default 1)\n\
+         \x20            [--scale F]      fraction of paper input size (default 0.1)\n\
+         \x20            [--seqdiag]      print the sequence diagram\n"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "sort".into(),
+        scheduler: SchedulerKind::Pythia,
+        ratio: 10,
+        seed: 1,
+        scale: 0.1,
+        seqdiag: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => args.workload = value("--workload"),
+            "--scheduler" | "-s" => {
+                args.scheduler = match value("--scheduler").as_str() {
+                    "ecmp" => SchedulerKind::Ecmp,
+                    "pythia" => SchedulerKind::Pythia,
+                    "hedera" => SchedulerKind::Hedera,
+                    other => {
+                        eprintln!("unknown scheduler {other}");
+                        usage()
+                    }
+                }
+            }
+            "--ratio" | "-r" => {
+                args.ratio = value("--ratio").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--seqdiag" => args.seqdiag = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if !(0.0..=1.0).contains(&args.scale) || args.scale <= 0.0 {
+        eprintln!("--scale must be in (0, 1]");
+        usage();
+    }
+    args
+}
+
+fn job_for(workload: &str, scale: f64) -> JobSpec {
+    match workload {
+        "sort" => {
+            let mut w = SortWorkload::paper_240gb();
+            w.input_bytes = (w.input_bytes as f64 * scale).max(512e6) as u64;
+            w.job()
+        }
+        "nutch" => {
+            let mut w = NutchWorkload::paper_5m_pages();
+            w.input_bytes = (w.input_bytes as f64 * scale).max(64e6) as u64;
+            w.job()
+        }
+        "terasort" => {
+            let mut w = TeraSortWorkload::default();
+            w.input_bytes = (w.input_bytes as f64 * scale).max(512e6) as u64;
+            w.job()
+        }
+        "wordcount" => {
+            let mut w = WordCountWorkload::default();
+            w.input_bytes = (w.input_bytes as f64 * scale).max(512e6) as u64;
+            w.job()
+        }
+        other => {
+            eprintln!("unknown workload {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let job = job_for(&args.workload, args.scale);
+    println!(
+        "running {} ({} maps × {} reducers, {:.1} GB input) under {} at 1:{}  [seed {}]\n",
+        job.name,
+        job.num_maps,
+        job.num_reducers,
+        job.input_bytes as f64 / 1e9,
+        args.scheduler.label(),
+        args.ratio,
+        args.seed
+    );
+    let cfg = ScenarioConfig::default()
+        .with_scheduler(args.scheduler)
+        .with_oversubscription(args.ratio)
+        .with_seed(args.seed);
+    let report = run_scenario(job, &cfg);
+    let jr = report.job_report();
+    println!("completion:        {:>9.1} s", jr.completion_secs);
+    println!("map phase end:     {:>9.1} s", jr.map_phase_end_secs);
+    println!(
+        "shuffle span:      {:>9.1} s  ({:.1} s .. {:.1} s)",
+        jr.shuffle_secs(),
+        jr.shuffle_start_secs,
+        jr.shuffle_end_secs
+    );
+    println!(
+        "remote shuffle:    {:>9.2} GB   local: {:.2} GB",
+        jr.remote_shuffle_bytes as f64 / 1e9,
+        jr.local_shuffle_bytes as f64 / 1e9
+    );
+    println!("reducer skew:      {:>9.2}x", jr.reducer_skew_ratio);
+    println!("rules installed:   {:>9}", report.rules_installed);
+    println!("trunk imbalance:   {:>9.3}  (1.0 = balanced)", report.trunk_imbalance());
+    println!("engine events:     {:>9}", report.events_processed);
+    if args.seqdiag {
+        println!("\n{}", render_seqdiag(&report.timeline, &SeqDiagramOptions::default()));
+    }
+}

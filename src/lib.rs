@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! `pythia-repro` — facade crate for the Pythia (IPDPS 2014) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples,
+//! integration tests, and downstream users can depend on a single package.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use pythia_baselines as baselines;
+pub use pythia_cluster as cluster;
+pub use pythia_core as pythia;
+pub use pythia_des as des;
+pub use pythia_experiments as experiments;
+pub use pythia_hadoop as hadoop;
+pub use pythia_metrics as metrics;
+pub use pythia_netsim as netsim;
+pub use pythia_openflow as openflow;
+pub use pythia_workloads as workloads;

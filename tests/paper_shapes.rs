@@ -1,0 +1,138 @@
+//! Integration tests asserting the paper's headline *shapes* hold on the
+//! reproduced system (DESIGN.md §7). Run at reduced scale to stay fast;
+//! the full-scale numbers live in EXPERIMENTS.md.
+
+use pythia_repro::cluster::SchedulerKind;
+use pythia_repro::experiments::{
+    completion_figure, fig3, fig4, grid, mean_completion, run_sweep, FigureScale,
+};
+use pythia_repro::cluster::ScenarioConfig;
+use pythia_repro::workloads::Workload;
+
+/// A mid-size scale: big enough for the effects, small enough for CI.
+fn shape_scale() -> FigureScale {
+    FigureScale {
+        input_frac: 0.08,
+        seeds: vec![1, 2, 3],
+        ratios: vec![1, 10, 20],
+        threads: pythia_repro::experiments::default_threads(),
+    }
+}
+
+#[test]
+fn shape_1_pythia_never_loses_materially() {
+    // Shape 1: Pythia ≥ ECMP at every ratio (within 3% noise).
+    for fig in [fig3::run(&shape_scale()), fig4::run(&shape_scale())] {
+        for row in &fig.rows {
+            assert!(
+                row.pythia_secs <= row.ecmp_secs * 1.03,
+                "{} 1:{}: pythia {:.1}s vs ecmp {:.1}s",
+                fig.workload,
+                row.ratio,
+                row.pythia_secs,
+                row.ecmp_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn shape_2_speedup_grows_with_oversubscription() {
+    // Shape 2: the blocking end of the sweep shows a much larger gain
+    // than the non-blocking end.
+    let fig = fig4::run(&shape_scale());
+    let at = |r: u32| fig.rows.iter().find(|x| x.ratio == r).unwrap();
+    assert!(
+        at(20).speedup_frac > at(1).speedup_frac + 0.05,
+        "no growth: 1:1 {:.3} vs 1:20 {:.3}",
+        at(1).speedup_frac,
+        at(20).speedup_frac
+    );
+    // And the headline effect is substantial (paper: up to 43%).
+    assert!(
+        at(20).speedup_frac > 0.15,
+        "1:20 speedup only {:.1}%",
+        at(20).speedup_frac * 100.0
+    );
+}
+
+#[test]
+fn shape_3_nutch_flat_sort_grows_under_pythia() {
+    // Shape 3: Nutch's completion under Pythia stays close to the
+    // non-blocking time across ratios, while Sort's grows substantially.
+    let nutch = fig3::run(&shape_scale());
+    let sort = fig4::run(&shape_scale());
+    let rel_growth = |fig: &pythia_repro::experiments::CompletionFigure| {
+        let base = fig.rows.iter().find(|r| r.ratio == 1).unwrap().pythia_secs;
+        let worst = fig
+            .rows
+            .iter()
+            .map(|r| r.pythia_secs)
+            .fold(0.0f64, f64::max);
+        worst / base - 1.0
+    };
+    let nutch_growth = rel_growth(&nutch);
+    let sort_growth = rel_growth(&sort);
+    assert!(
+        sort_growth > nutch_growth + 0.10,
+        "sort growth {:.2} must exceed nutch growth {:.2}",
+        sort_growth,
+        nutch_growth
+    );
+}
+
+#[test]
+fn shape_5_hedera_sits_between_ecmp_and_pythia() {
+    // Shape 5 (the §II claim): reactive load-aware scheduling recovers
+    // part of the gap, application-aware prediction recovers more.
+    let scale = shape_scale();
+    let w = fig4::sort_at_scale(scale.input_frac);
+    let points = grid(
+        &[
+            SchedulerKind::Ecmp,
+            SchedulerKind::Hedera,
+            SchedulerKind::Pythia,
+        ],
+        &[20],
+        &scale.seeds,
+    );
+    let reports = run_sweep(
+        &points,
+        &ScenarioConfig::default(),
+        &move || w.job(),
+        scale.threads,
+    );
+    let ecmp = mean_completion(&reports, SchedulerKind::Ecmp, 20).unwrap();
+    let hedera = mean_completion(&reports, SchedulerKind::Hedera, 20).unwrap();
+    let pythia = mean_completion(&reports, SchedulerKind::Pythia, 20).unwrap();
+    assert!(
+        hedera < ecmp,
+        "hedera {hedera:.1}s must beat ecmp {ecmp:.1}s"
+    );
+    assert!(
+        pythia < hedera * 1.02,
+        "pythia {pythia:.1}s must be at least as good as hedera {hedera:.1}s"
+    );
+}
+
+#[test]
+fn completion_figure_helper_is_consistent() {
+    // The aggregation helper must agree with manual averaging.
+    let scale = FigureScale {
+        input_frac: 0.02,
+        seeds: vec![1, 2],
+        ratios: vec![10],
+        threads: 4,
+    };
+    let w = fig3::nutch_at_scale(scale.input_frac);
+    let (fig, reports) = completion_figure(
+        "test",
+        "nutch",
+        &move || w.job(),
+        &ScenarioConfig::default(),
+        &scale,
+    );
+    let manual = mean_completion(&reports, SchedulerKind::Ecmp, 10).unwrap();
+    assert!((fig.rows[0].ecmp_secs - manual).abs() < 1e-9);
+    assert_eq!(reports.len(), 4);
+}

@@ -1,0 +1,103 @@
+//! Integration tests for the prediction pipeline (Figure 5 / §V-C
+//! properties, shape 4 of DESIGN.md): instrumentation → collector →
+//! allocator → rules → NetFlow ground truth.
+
+use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::des::SimDuration;
+use pythia_repro::experiments::{fig5, FigureScale};
+use pythia_repro::metrics::evaluate_prediction;
+use pythia_repro::workloads::{SortWorkload, Workload};
+
+fn scale() -> FigureScale {
+    FigureScale {
+        input_frac: 0.08,
+        seeds: vec![1],
+        ratios: vec![5],
+        threads: 4,
+    }
+}
+
+#[test]
+fn shape_4_prediction_leads_and_overestimates() {
+    let r = fig5::run(&scale());
+    assert!(r.all_never_lag(), "prediction must never lag measurement");
+    assert!(
+        r.min_lead_secs() > 0.1,
+        "min lead {:.2}s not clearly above zero",
+        r.min_lead_secs()
+    );
+    // Lead must dwarf the 3–5 ms/rule hardware programming budget.
+    assert!(r.min_lead_secs() > 0.1, "lead must be »5ms");
+    for row in &r.rows {
+        assert!(
+            (0.03..=0.07).contains(&row.overestimate_frac),
+            "{}: over-estimate {:.3} outside the paper's 3–7% band",
+            row.server,
+            row.overestimate_frac
+        );
+    }
+}
+
+#[test]
+fn predicted_total_covers_every_remote_byte() {
+    // The collector's predicted volume must account for *all* remote
+    // shuffle traffic (it can only over-estimate).
+    let mut w = SortWorkload::paper_60gb();
+    w.input_bytes = 4_000_000_000;
+    let cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(3);
+    let report = run_scenario(w.job(), &cfg);
+    for (node, measured) in &report.measured_curves {
+        if measured.total() <= 0.0 {
+            continue;
+        }
+        let predicted = report
+            .predicted_curves
+            .get(node)
+            .unwrap_or_else(|| panic!("no prediction for {node}"));
+        assert!(
+            predicted.total() >= measured.total(),
+            "{node}: predicted {:.0} < measured {:.0}",
+            predicted.total(),
+            measured.total()
+        );
+    }
+}
+
+#[test]
+fn rules_installed_before_most_bytes_flow() {
+    // With the paper's 3–5 ms install latency and multi-second leads,
+    // essentially all shuffle traffic should ride installed paths. Proxy
+    // check: Pythia installs at least one rule per active cross-rack
+    // server pair.
+    let mut w = SortWorkload::paper_60gb();
+    w.input_bytes = 4_000_000_000;
+    let cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(1);
+    let report = run_scenario(w.job(), &cfg);
+    // 2 racks × 5 servers: 5×5×2 directions = 50 cross-rack pairs; each
+    // needs 2 rules (one per ToR).
+    assert!(
+        report.rules_installed >= 50,
+        "only {} rules installed",
+        report.rules_installed
+    );
+}
+
+#[test]
+fn evaluation_is_stable_across_sampling_resolution() {
+    let r = fig5::run(&scale());
+    let node = r.sample_server;
+    let predicted = &r.report.predicted_curves[&node];
+    let measured = &r.report.measured_curves[&node];
+    let coarse = evaluate_prediction(predicted, measured, 5).unwrap();
+    let fine = evaluate_prediction(predicted, measured, 50).unwrap();
+    // Finer level grids can only find equal-or-worse minima.
+    assert!(fine.min_lead <= coarse.min_lead + SimDuration::from_millis(1));
+    assert_eq!(coarse.never_lags, fine.never_lags);
+    assert!((coarse.overestimate_frac - fine.overestimate_frac).abs() < 1e-9);
+}

@@ -1,0 +1,170 @@
+//! Robustness and resource-limit integration tests: TCAM pressure, rule
+//! install latency extremes, degenerate topologies and workloads.
+
+use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::des::SimDuration;
+use pythia_repro::hadoop::{DurationModel, HadoopConfig, JobSpec};
+use pythia_repro::netsim::MultiRackParams;
+use pythia_repro::workloads::SkewModel;
+
+const MB: u64 = 1_000_000;
+
+fn job(maps: usize, reducers: usize) -> JobSpec {
+    JobSpec {
+        name: "robustness".into(),
+        num_maps: maps,
+        num_reducers: reducers,
+        input_bytes: maps as u64 * 64 * MB,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1),
+        sort_duration: DurationModel::rate(SimDuration::from_millis(500), 500.0 * MB as f64, 0.1),
+        reduce_duration: DurationModel::rate(SimDuration::from_millis(500), 200.0 * MB as f64, 0.1),
+        partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(reducers, 0.1, 5),
+    }
+}
+
+#[test]
+fn tiny_tcam_degrades_gracefully_to_ecmp() {
+    // With a 1-entry TCAM almost no Pythia rules fit; traffic falls back
+    // to default ECMP forwarding and the job must still complete.
+    let mut cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(1);
+    cfg.tcam_capacity = 1;
+    let tiny = run_scenario(job(30, 6), &cfg);
+    assert!(tiny.timeline.job_end.is_some());
+    assert!(
+        tiny.rules_installed <= 2 * 2, // at most one rule per ToR table
+        "tcam=1 cannot hold {} rules",
+        tiny.rules_installed
+    );
+
+    // A full-size TCAM on the same scenario must do at least as well.
+    let mut cfg_big = cfg.clone();
+    cfg_big.tcam_capacity = 2000;
+    let big = run_scenario(job(30, 6), &cfg_big);
+    assert!(
+        big.completion() <= tiny.completion() + SimDuration::from_secs(1),
+        "more TCAM must not hurt: {} vs {}",
+        big.completion(),
+        tiny.completion()
+    );
+}
+
+#[test]
+fn glacial_rule_installs_do_not_wedge_the_job() {
+    // Rules arriving after the whole shuffle is done must be harmless.
+    let mut cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(2);
+    cfg.controller.rule_install_min = SimDuration::from_secs(300);
+    cfg.controller.rule_install_max = SimDuration::from_secs(600);
+    let r = run_scenario(job(30, 6), &cfg);
+    assert!(r.timeline.job_end.is_some());
+}
+
+#[test]
+fn single_rack_job_needs_no_trunks() {
+    // Everything rack-local: no cross-rack flows, any scheduler works.
+    let mut cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_seed(1);
+    cfg.topology = MultiRackParams {
+        racks: 1,
+        servers_per_rack: 5,
+        nic_bps: 1e9,
+        trunk_count: 2,
+        trunk_bps: 10e9,
+    };
+    let r = run_scenario(job(10, 4), &cfg);
+    assert!(r.timeline.job_end.is_some());
+    // Flows exist (server-to-server inside the rack) but cross no trunk.
+    for rec in r.flow_trace.records() {
+        assert!(rec.trunk_link.is_none(), "intra-rack flow crossed a trunk");
+    }
+}
+
+#[test]
+fn single_reducer_hotspot_completes_everywhere() {
+    // Extreme skew: one reducer takes everything.
+    for scheduler in [SchedulerKind::Ecmp, SchedulerKind::Pythia, SchedulerKind::Hedera] {
+        let mut spec = job(20, 2);
+        spec.partitioner = SkewModel::Hotspot { hot_fraction: 0.95 }.partitioner(2, 0.0, 1);
+        let cfg = ScenarioConfig::default()
+            .with_scheduler(scheduler)
+            .with_oversubscription(10)
+            .with_seed(1);
+        let r = run_scenario(spec, &cfg);
+        assert!(r.timeline.job_end.is_some(), "{scheduler:?} wedged");
+        let jr = r.job_report();
+        assert!(jr.reducer_skew_ratio > 5.0, "hotspot not visible");
+    }
+}
+
+#[test]
+fn pythia_survives_stragglers() {
+    // 10% of maps run 4x slow: the shuffle dribbles in over a long window.
+    // Both schedulers must finish; Pythia must not lose materially.
+    let straggly = |seed: u64| {
+        let mut spec = job(40, 8);
+        spec.map_duration =
+            DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1)
+                .with_stragglers(0.10, 4.0);
+        spec.partitioner = SkewModel::Zipf { s: 0.8 }.partitioner(8, 0.1, seed);
+        spec
+    };
+    let run = |scheduler| {
+        let cfg = ScenarioConfig::default()
+            .with_scheduler(scheduler)
+            .with_oversubscription(10)
+            .with_seed(6);
+        run_scenario(straggly(6), &cfg)
+    };
+    let ecmp = run(SchedulerKind::Ecmp);
+    let pythia = run(SchedulerKind::Pythia);
+    assert!(ecmp.timeline.job_end.is_some());
+    assert!(pythia.timeline.job_end.is_some());
+    assert!(
+        pythia.completion() <= ecmp.completion() + SimDuration::from_secs(2),
+        "stragglers broke Pythia: {} vs {}",
+        pythia.completion(),
+        ecmp.completion()
+    );
+}
+
+#[test]
+fn more_racks_than_two_work() {
+    let mut cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(5)
+        .with_seed(4);
+    cfg.topology = MultiRackParams {
+        racks: 3,
+        servers_per_rack: 3,
+        nic_bps: 1e9,
+        trunk_count: 2,
+        trunk_bps: 10e9,
+    };
+    let r = run_scenario(job(18, 6), &cfg);
+    assert!(r.timeline.job_end.is_some());
+    assert!(r.rules_installed > 0);
+}
+
+#[test]
+fn many_reducers_per_server_share_ports_correctly() {
+    let mut cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Ecmp)
+        .with_seed(9);
+    cfg.hadoop = HadoopConfig {
+        reduce_slots_per_server: 4,
+        ..Default::default()
+    };
+    let r = run_scenario(job(40, 40), &cfg);
+    assert!(r.timeline.job_end.is_some());
+    // Every recorded flow must use the Hadoop shuffle source port.
+    for rec in r.flow_trace.records() {
+        assert_eq!(rec.src_port, 50060);
+    }
+}
