@@ -183,9 +183,7 @@ impl HederaScheduler {
 mod tests {
     use super::*;
     use pythia_des::RngFactory;
-    use pythia_netsim::{
-        build_multi_rack, FiveTuple, FlowSpec, MultiRack, MultiRackParams, Path,
-    };
+    use pythia_netsim::{build_multi_rack, FiveTuple, FlowSpec, MultiRack, MultiRackParams, Path};
     use pythia_openflow::ControllerConfig;
 
     fn setup() -> (MultiRack, FlowNet, Controller) {
@@ -213,8 +211,14 @@ mod tests {
         // Two 1 Gb/s-class flows crammed onto trunk 0.
         let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
         let t2 = FiveTuple::tcp(mr.servers[1], mr.servers[6], 2, 50060);
-        let f1 = net.start_flow(FlowSpec::tcp_transfer(t1, 10_000_000_000), cross_path(&mr, 0, 5, 0));
-        let f2 = net.start_flow(FlowSpec::tcp_transfer(t2, 10_000_000_000), cross_path(&mr, 1, 6, 0));
+        let f1 = net.start_flow(
+            FlowSpec::tcp_transfer(t1, 10_000_000_000),
+            cross_path(&mr, 0, 5, 0),
+        );
+        let f2 = net.start_flow(
+            FlowSpec::tcp_transfer(t2, 10_000_000_000),
+            cross_path(&mr, 1, 6, 0),
+        );
         net.recompute();
         let mut hedera = HederaScheduler::new(HederaConfig::default());
         let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
@@ -246,7 +250,10 @@ mod tests {
         net.recompute();
         let mut hedera = HederaScheduler::new(HederaConfig::default());
         let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
-        assert!(reroutes.is_empty(), "mice must not be rerouted: {reroutes:?}");
+        assert!(
+            reroutes.is_empty(),
+            "mice must not be rerouted: {reroutes:?}"
+        );
     }
 
     #[test]
@@ -262,13 +269,17 @@ mod tests {
             Path::new(&mr.topology, vec![trunk0]).unwrap(),
         );
         let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
-        let f =
-            net.start_flow(FlowSpec::tcp_transfer(t1, 1_000_000_000), cross_path(&mr, 0, 5, 0));
+        let f = net.start_flow(
+            FlowSpec::tcp_transfer(t1, 1_000_000_000),
+            cross_path(&mr, 0, 5, 0),
+        );
         net.recompute();
-        assert!(net.flow(f).unwrap().rate_bps < 0.1e9, "flow must be throttled");
+        assert!(
+            net.flow(f).unwrap().rate_bps < 0.1e9,
+            "flow must be throttled"
+        );
         let mut hedera = HederaScheduler::new(HederaConfig::default());
-        let reroutes =
-            hedera.rebalance(&net, &ctl, &|l| if l == trunk0 { 9.95e9 } else { 0.0 });
+        let reroutes = hedera.rebalance(&net, &ctl, &|l| if l == trunk0 { 9.95e9 } else { 0.0 });
         assert_eq!(reroutes.len(), 1);
         assert!(!reroutes[0].path.contains_link(trunk0));
     }
@@ -278,8 +289,14 @@ mod tests {
         let (mr, mut net, ctl) = setup();
         let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
         let t2 = FiveTuple::tcp(mr.servers[1], mr.servers[6], 2, 50060);
-        net.start_flow(FlowSpec::tcp_transfer(t1, 10_000_000_000), cross_path(&mr, 0, 5, 0));
-        net.start_flow(FlowSpec::tcp_transfer(t2, 10_000_000_000), cross_path(&mr, 1, 6, 1));
+        net.start_flow(
+            FlowSpec::tcp_transfer(t1, 10_000_000_000),
+            cross_path(&mr, 0, 5, 0),
+        );
+        net.start_flow(
+            FlowSpec::tcp_transfer(t2, 10_000_000_000),
+            cross_path(&mr, 1, 6, 1),
+        );
         net.recompute();
         let mut hedera = HederaScheduler::new(HederaConfig::default());
         let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);

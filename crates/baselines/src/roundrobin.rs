@@ -38,6 +38,16 @@ mod tests {
         let c = [LinkId(0), LinkId(1), LinkId(2)];
         let t = FiveTuple::tcp(NodeId(0), NodeId(1), 1, 2);
         let picks: Vec<LinkId> = (0..6).map(|_| rr.choose(NodeId(0), &t, &c)).collect();
-        assert_eq!(picks, vec![LinkId(0), LinkId(1), LinkId(2), LinkId(0), LinkId(1), LinkId(2)]);
+        assert_eq!(
+            picks,
+            vec![
+                LinkId(0),
+                LinkId(1),
+                LinkId(2),
+                LinkId(0),
+                LinkId(1),
+                LinkId(2)
+            ]
+        );
     }
 }

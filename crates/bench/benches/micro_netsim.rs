@@ -1,16 +1,22 @@
 //! Microbenchmarks of the network substrate: max-min fair allocation at
 //! various flow counts, FlowNet event-loop primitives, topology builds.
+//!
+//! The `fairshare` group compares the retained reference allocator
+//! (`max_min_fair`, what the engine ran on every recompute before the
+//! incremental rate engine) against the allocation-free
+//! `FairShareWorkspace` on identical problems. The `flownet` group
+//! measures the engine-facing costs: steady-state recompute, forced full
+//! recompute, and the single-departure perturbation that dominates real
+//! shuffle simulations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pythia_des::SimTime;
-use pythia_netsim::fairshare::{max_min_fair, FlowPath};
-use pythia_netsim::{
-    build_multi_rack, FiveTuple, FlowNet, FlowSpec, MultiRackParams, Path,
-};
+use pythia_netsim::fairshare::{max_min_fair, FairShareWorkspace, FlowPath};
+use pythia_netsim::{build_multi_rack, FiveTuple, FlowNet, FlowSpec, MultiRackParams, Path};
 
 fn fairshare_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("fairshare");
-    for &n_flows in &[10usize, 100, 1000] {
+    for &n_flows in &[10usize, 100, 1000, 10_000] {
         // A 2-trunk fabric: every flow crosses a NIC link + one of two
         // shared trunks, approximating the shuffle's real structure.
         let n_links = n_flows + 2;
@@ -28,6 +34,22 @@ fn fairshare_scaling(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("max_min_fair", n_flows), &flows, |b, f| {
             b.iter(|| max_min_fair(&caps, f))
         });
+        // Same problem through the reusable workspace (restaged each
+        // iteration, as FlowNet does per recompute).
+        g.bench_with_input(BenchmarkId::new("workspace", n_flows), &flows, |b, f| {
+            let mut ws = FairShareWorkspace::new();
+            b.iter(|| {
+                ws.begin(caps.len());
+                for (l, &cap) in caps.iter().enumerate() {
+                    ws.set_link(l, cap, 0.0);
+                }
+                for fp in f.iter() {
+                    ws.add_flow(fp.links.iter().map(|&l| l as u32), fp.cbr_rate_bps);
+                }
+                ws.solve();
+                ws.rate_bps(0)
+            })
+        });
     }
     g.finish();
 }
@@ -40,6 +62,20 @@ fn flownet_ops(c: &mut Criterion) {
         let tr = topo.find_link(mr.tors[0], mr.tors[1], trunk).unwrap();
         let down = topo.find_link(mr.tors[1], mr.servers[d], 0).unwrap();
         Path::new(topo, vec![up, tr, down]).unwrap()
+    };
+    let hundred_flows = || {
+        let mut net = FlowNet::new(mr.topology.clone());
+        for i in 0..100u16 {
+            let s = (i as usize) % 5;
+            let d = 5 + (i as usize) % 5;
+            let t = FiveTuple::tcp(mr.servers[s], mr.servers[d], 40000 + i, 50060);
+            net.start_flow(
+                FlowSpec::tcp_transfer(t, 10_000_000_000),
+                cross_path(s, d, (i % 2) as usize),
+            );
+        }
+        net.recompute();
+        net
     };
     let mut g = c.benchmark_group("flownet");
     g.bench_function("start_recompute_advance_100_flows", |b| {
@@ -59,18 +95,73 @@ fn flownet_ops(c: &mut Criterion) {
             net.next_completion()
         })
     });
+    // Steady state: nothing changed since the last recompute. The
+    // incremental engine proves no rates can have moved and returns in
+    // O(1); the pre-incremental engine re-solved the world here.
     g.bench_function("recompute_steady_state", |b| {
-        let mut net = FlowNet::new(mr.topology.clone());
-        for i in 0..100u16 {
-            let s = (i as usize) % 5;
-            let d = 5 + (i as usize) % 5;
-            let t = FiveTuple::tcp(mr.servers[s], mr.servers[d], 40000 + i, 50060);
-            net.start_flow(
-                FlowSpec::tcp_transfer(t, 10_000_000_000),
-                cross_path(s, d, (i % 2) as usize),
-            );
-        }
+        let mut net = hundred_flows();
         b.iter(|| net.recompute())
+    });
+    // What every steady-state recompute cost before the incremental
+    // engine: a from-scratch solve of the whole network.
+    g.bench_function("reference_full_solve_100_flows", |b| {
+        let net = hundred_flows();
+        b.iter(|| net.reference_allocation())
+    });
+    // Forced global solve through the workspace path (region = world).
+    g.bench_function("full_recompute_100_flows", |b| {
+        let mut net = hundred_flows();
+        b.iter(|| net.full_recompute())
+    });
+    g.finish();
+}
+
+/// 10k rack-local flows, each alone on its server→ToR link: the sharing
+/// graph decomposes into 10k singleton components, so one departure
+/// must cost O(1), independent of the other 9 999 flows.
+fn flownet_departure(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let mr = build_multi_rack(&MultiRackParams {
+        racks: 1,
+        servers_per_rack: N as u32,
+        nic_bps: 1e9,
+        trunk_count: 1,
+        trunk_bps: 10e9,
+    });
+    let topo = &mr.topology;
+    let start_one = |net: &mut FlowNet, i: usize, port: u16| {
+        let up = topo.find_link(mr.servers[i], mr.tors[0], 0).unwrap();
+        let t = FiveTuple::tcp(mr.servers[i], mr.tors[0], port, 50060);
+        net.start_flow(
+            FlowSpec::tcp_transfer(t, 1_000_000_000_000),
+            Path::new(topo, vec![up]).unwrap(),
+        )
+    };
+    let mut net = FlowNet::new(topo.clone());
+    for i in 0..N {
+        start_one(&mut net, i, 40000);
+    }
+    net.recompute();
+
+    let mut g = c.benchmark_group("flownet_10k");
+    g.sample_size(20);
+    // One flow leaves, rates are refreshed, and an identical flow takes
+    // its place (so the network size is invariant across iterations):
+    // two incremental recomputes over a single-link region.
+    let mut victim = start_one(&mut net, 0, 40001);
+    net.recompute();
+    g.bench_function("recompute_after_single_departure", |b| {
+        b.iter(|| {
+            net.remove_flow(victim);
+            net.recompute();
+            victim = start_one(&mut net, 0, 40001);
+            net.recompute();
+        })
+    });
+    // The pre-incremental engine's cost for the same event: re-solve all
+    // 10k flows from scratch.
+    g.bench_function("reference_full_solve_10k_flows", |b| {
+        b.iter(|| net.reference_allocation())
     });
     g.finish();
 }
@@ -89,5 +180,11 @@ fn topology_build(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, fairshare_scaling, flownet_ops, topology_build);
+criterion_group!(
+    benches,
+    fairshare_scaling,
+    flownet_ops,
+    flownet_departure,
+    topology_build
+);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 //! spike cost path (index encode/decode round trip).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pythia_core::{FlowAllocator, Instrumentation, PathChoice};
 use pythia_core::collector::Collector;
+use pythia_core::{FlowAllocator, Instrumentation, PathChoice};
 use pythia_des::SimTime;
 use pythia_hadoop::{IndexFile, JobId, MapTaskId, ReducerId, ServerId};
 use pythia_netsim::{build_multi_rack, MultiRackParams, Path};
@@ -14,14 +14,19 @@ fn instrumentation(c: &mut Criterion) {
     for &parts in &[2usize, 20, 200] {
         let sizes: Vec<u64> = (0..parts as u64).map(|r| 1_000_000 + r * 1000).collect();
         let data = IndexFile::from_partition_sizes(&sizes, 1.0).encode();
-        g.bench_with_input(BenchmarkId::new("spill_to_prediction", parts), &data, |b, d| {
-            let mut inst = Instrumentation::new(ServerId(0));
-            let mut i = 0u32;
-            b.iter(|| {
-                i += 1;
-                inst.on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(i), d).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("spill_to_prediction", parts),
+            &data,
+            |b, d| {
+                let mut inst = Instrumentation::new(ServerId(0));
+                let mut i = 0u32;
+                b.iter(|| {
+                    i += 1;
+                    inst.on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(i), d)
+                        .unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -39,7 +44,9 @@ fn collector_aggregation(c: &mut Criterion) {
             let sizes = vec![1_000_000u64; 20];
             let data = IndexFile::from_partition_sizes(&sizes, 1.0).encode();
             for m in 0..50u32 {
-                let msg = inst.on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(m), &data).unwrap();
+                let msg = inst
+                    .on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(m), &data)
+                    .unwrap();
                 let _ = col.on_prediction(SimTime::from_secs(1), &msg);
             }
             col
@@ -64,8 +71,14 @@ fn allocator_placement(c: &mut Criterion) {
             for s in 0..5 {
                 for d in 5..10 {
                     let cands = vec![
-                        PathChoice { path: mk_path(s, d, 0), resid_bps: 1e9 },
-                        PathChoice { path: mk_path(s, d, 1), resid_bps: 1e9 },
+                        PathChoice {
+                            path: mk_path(s, d, 0),
+                            resid_bps: 1e9,
+                        },
+                        PathChoice {
+                            path: mk_path(s, d, 1),
+                            resid_bps: 1e9,
+                        },
                     ];
                     a.place((mr.servers[s], mr.servers[d]), 100_000_000, &cands);
                 }
@@ -77,13 +90,25 @@ fn allocator_placement(c: &mut Criterion) {
         let mut a = FlowAllocator::new();
         let pair = (mr.servers[0], mr.servers[5]);
         let cands_even = vec![
-            PathChoice { path: mk_path(0, 5, 0), resid_bps: 1e9 },
-            PathChoice { path: mk_path(0, 5, 1), resid_bps: 1e9 },
+            PathChoice {
+                path: mk_path(0, 5, 0),
+                resid_bps: 1e9,
+            },
+            PathChoice {
+                path: mk_path(0, 5, 1),
+                resid_bps: 1e9,
+            },
         ];
         a.place(pair, 100_000_000, &cands_even);
         let cands_skew = vec![
-            PathChoice { path: mk_path(0, 5, 0), resid_bps: 0.05e9 },
-            PathChoice { path: mk_path(0, 5, 1), resid_bps: 0.95e9 },
+            PathChoice {
+                path: mk_path(0, 5, 0),
+                resid_bps: 0.05e9,
+            },
+            PathChoice {
+                path: mk_path(0, 5, 1),
+                resid_bps: 0.95e9,
+            },
         ];
         b.iter(|| {
             // Alternate so the reassign actually evaluates both ways.
@@ -94,5 +119,10 @@ fn allocator_placement(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, instrumentation, collector_aggregation, allocator_placement);
+criterion_group!(
+    benches,
+    instrumentation,
+    collector_aggregation,
+    allocator_placement
+);
 criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Scenario configuration: everything needed to reproduce one run.
 
+use pythia_baselines::HederaConfig;
+use pythia_core::PythiaConfig;
 use pythia_des::SimDuration;
 use pythia_hadoop::HadoopConfig;
 use pythia_netsim::{BackgroundProfile, MultiRackParams, OverSubscription};
 use pythia_openflow::ControllerConfig;
-use pythia_baselines::HederaConfig;
-use pythia_core::PythiaConfig;
 
 /// Which flow scheduler manages shuffle traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -23,9 +23,7 @@ use std::collections::BTreeMap;
 use pythia_baselines::{EcmpForwarding, HederaScheduler};
 use pythia_core::{overhead, PredictionMsg, PythiaSystem};
 use pythia_des::{EventId, EventQueue, RngFactory, SimTime};
-use pythia_hadoop::{
-    FetchId, HadoopEvent, JobId, MapReduceSim, MapTaskId, ReducerId, ServerId,
-};
+use pythia_hadoop::{FetchId, HadoopEvent, JobId, MapReduceSim, MapTaskId, ReducerId, ServerId};
 use pythia_metrics::{FlowTrace, ShuffleFlowRecord};
 use pythia_netsim::{
     background_flows, build_multi_rack, redraw_group_rates, BackgroundProfile, FiveTuple, FlowId,
@@ -48,7 +46,10 @@ enum Event {
     /// loop advance does the work).
     FlowCheck,
     PredictionDeliver(PredictionMsg),
-    RuleActive { switch: NodeId, rule: FlowRule },
+    RuleActive {
+        switch: NodeId,
+        rule: FlowRule,
+    },
     HederaTick,
     LinkLoadSample,
     ProbeSample,
@@ -56,7 +57,10 @@ enum Event {
     /// fluctuating-background profile).
     BackgroundChange,
     /// A trunk cable fails or recovers.
-    LinkState { trunk_cable: usize, up: bool },
+    LinkState {
+        trunk_cable: usize,
+        up: bool,
+    },
 }
 
 /// Metadata the engine keeps per in-flight fetch (Hadoop drops its own
@@ -85,6 +89,10 @@ pub fn run_multi_scenario(
 ) -> MultiRunReport {
     Engine::new(jobs, cfg).run()
 }
+
+/// A trunk-direction background group: (per-cable capacity, member CBR
+/// flow ids ordered like the group's links).
+type BgGroup = (f64, Vec<(LinkId, FlowId)>);
 
 /// One job being driven by the engine.
 struct JobSlot {
@@ -116,7 +124,7 @@ struct Engine<'a> {
     trace: FlowTrace,
     /// Per trunk direction group: (capacity, member CBR flow ids ordered
     /// like the group's links).
-    bg_groups: Vec<(f64, Vec<(LinkId, FlowId)>)>,
+    bg_groups: Vec<BgGroup>,
     bg_rng: rand::rngs::SmallRng,
     /// Directed links currently down (both directions of failed cables).
     down_links: std::collections::HashSet<LinkId>,
@@ -142,10 +150,8 @@ impl<'a> Engine<'a> {
         // stream per trunk cable, grouped by direction so the fluctuating
         // profile can redistribute load within each group.
         let mut background_bps = vec![0.0; mr.topology.num_links()];
-        let mut group_map: BTreeMap<(NodeId, NodeId), (f64, Vec<(LinkId, FlowId)>)> =
-            BTreeMap::new();
-        for (spec, links) in background_flows(&mr.topology, &mr.trunk_links, cfg.oversubscription)
-        {
+        let mut group_map: BTreeMap<(NodeId, NodeId), BgGroup> = BTreeMap::new();
+        for (spec, links) in background_flows(&mr.topology, &mr.trunk_links, cfg.oversubscription) {
             if let pythia_netsim::FlowKind::Cbr { rate_bps } = spec.kind {
                 for &l in &links {
                     background_bps[l.0 as usize] += rate_bps;
@@ -164,7 +170,7 @@ impl<'a> Engine<'a> {
                 .1
                 .push((link, fid));
         }
-        let bg_groups: Vec<(f64, Vec<(LinkId, FlowId)>)> = group_map.into_values().collect();
+        let bg_groups: Vec<BgGroup> = group_map.into_values().collect();
         net.recompute();
 
         let dataplane = Dataplane::new(&mr.topology, cfg.tcam_capacity);
@@ -190,10 +196,9 @@ impl<'a> Engine<'a> {
             .collect();
 
         let pythia = match cfg.scheduler {
-            SchedulerKind::Pythia => Some(PythiaSystem::new(
-                cfg.pythia.clone(),
-                mr.servers.clone(),
-            )),
+            SchedulerKind::Pythia => {
+                Some(PythiaSystem::new(cfg.pythia.clone(), mr.servers.clone()))
+            }
             _ => None,
         };
         let hedera = match cfg.scheduler {
@@ -258,12 +263,18 @@ impl<'a> Engine<'a> {
         for fault in &self.cfg.link_faults {
             self.queue.push(
                 SimTime::ZERO + fault.fail_at,
-                Event::LinkState { trunk_cable: fault.trunk_cable, up: false },
+                Event::LinkState {
+                    trunk_cable: fault.trunk_cable,
+                    up: false,
+                },
             );
             if let Some(at) = fault.restore_at {
                 self.queue.push(
                     SimTime::ZERO + at,
-                    Event::LinkState { trunk_cable: fault.trunk_cable, up: true },
+                    Event::LinkState {
+                        trunk_cable: fault.trunk_cable,
+                        up: true,
+                    },
                 );
             }
         }
@@ -385,8 +396,7 @@ impl<'a> Engine<'a> {
                 }
                 HadoopEvent::SpillIndex { map, server, data } => {
                     if let Some(py) = self.pythia.as_mut() {
-                        if let Some((msg, deliver_at)) = py.on_spill(now, job, map, server, &data)
-                        {
+                        if let Some((msg, deliver_at)) = py.on_spill(now, job, map, server, &data) {
                             self.queue.push(deliver_at, Event::PredictionDeliver(msg));
                         }
                     }
@@ -486,8 +496,10 @@ impl<'a> Engine<'a> {
     fn on_flow_complete(&mut self, now: SimTime, fid: FlowId) {
         let report = self.net.remove_flow(fid);
         self.net_dirty = true;
-        self.trace
-            .push(ShuffleFlowRecord::from_report(&report, &self.mr.trunk_links));
+        self.trace.push(ShuffleFlowRecord::from_report(
+            &report,
+            &self.mr.trunk_links,
+        ));
         // Crisp measured curves: sample at every completion.
         self.probe.sample(&self.net);
         let (job, fetch) = self
@@ -508,12 +520,10 @@ impl<'a> Engine<'a> {
     fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) {
         if let Some(mut py) = self.pythia.take() {
             let bg = self.background_bps.clone();
-            let rules = py.on_prediction_delivered(
-                now,
-                msg,
-                &mut self.controller,
-                &move |l: LinkId| bg[l.0 as usize],
-            );
+            let rules =
+                py.on_prediction_delivered(now, msg, &mut self.controller, &move |l: LinkId| {
+                    bg[l.0 as usize]
+                });
             self.pythia = Some(py);
             self.schedule_rules(now, rules);
         }
@@ -568,10 +578,9 @@ impl<'a> Engine<'a> {
     fn on_hedera_tick(&mut self, now: SimTime) {
         if let Some(mut hedera) = self.hedera.take() {
             let bg = self.background_bps.clone();
-            let reroutes =
-                hedera.rebalance(&self.net, &self.controller, &move |l: LinkId| {
-                    bg[l.0 as usize]
-                });
+            let reroutes = hedera.rebalance(&self.net, &self.controller, &move |l: LinkId| {
+                bg[l.0 as usize]
+            });
             for r in reroutes {
                 // Skip flows that completed during this tick's planning.
                 if self.net.flow(r.flow).is_some() {
@@ -581,7 +590,8 @@ impl<'a> Engine<'a> {
             }
             self.hedera = Some(hedera);
             if !self.all_done() {
-                self.queue.push(now + self.cfg.hedera.period, Event::HederaTick);
+                self.queue
+                    .push(now + self.cfg.hedera.period, Event::HederaTick);
             }
         }
     }
@@ -589,7 +599,11 @@ impl<'a> Engine<'a> {
     /// Redraw the background split within each trunk direction group and
     /// notify the Pythia control loop (whose link-load view just changed).
     fn on_background_change(&mut self, now: SimTime) {
-        let BackgroundProfile::Fluctuating { period_secs, spread } = self.cfg.background else {
+        let BackgroundProfile::Fluctuating {
+            period_secs,
+            spread,
+        } = self.cfg.background
+        else {
             return;
         };
         let frac = self.cfg.oversubscription.background_fraction();
@@ -604,8 +618,7 @@ impl<'a> Engine<'a> {
                 }
                 // The direction's total background squeezes onto the
                 // surviving cables (scaled down to what they can carry).
-                let frac_alive =
-                    (frac * members.len() as f64 / alive.len() as f64).min(0.995);
+                let frac_alive = (frac * members.len() as f64 / alive.len() as f64).min(0.995);
                 let rates =
                     redraw_group_rates(*cap, alive.len(), frac_alive, spread, &mut self.bg_rng);
                 for (&&(link, fid), rate) in alive.iter().zip(rates) {
@@ -618,9 +631,10 @@ impl<'a> Engine<'a> {
             // pairs whose path collapsed.
             if let Some(mut py) = self.pythia.take() {
                 let bg = self.background_bps.clone();
-                let rules = py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
-                    bg[l.0 as usize]
-                });
+                let rules =
+                    py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
+                        bg[l.0 as usize]
+                    });
                 self.pythia = Some(py);
                 self.schedule_rules(now, rules);
             }
@@ -693,10 +707,9 @@ impl<'a> Engine<'a> {
         // Pythia re-places active pairs on the updated path cache.
         if let Some(mut py) = self.pythia.take() {
             let bg = self.background_bps.clone();
-            let rules =
-                py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
-                    bg[l.0 as usize]
-                });
+            let rules = py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
+                bg[l.0 as usize]
+            });
             self.pythia = Some(py);
             self.schedule_rules(now, rules);
         }
@@ -719,7 +732,8 @@ impl<'a> Engine<'a> {
 
     fn on_link_load_sample(&mut self, now: SimTime) {
         for (l, _) in self.mr.topology.links() {
-            self.controller.observe_link_load(l, self.net.link_load_bps(l));
+            self.controller
+                .observe_link_load(l, self.net.link_load_bps(l));
         }
         if !self.all_done() {
             self.queue
@@ -732,14 +746,13 @@ impl<'a> Engine<'a> {
         let mut trunk_groups: BTreeMap<(NodeId, NodeId), Vec<LinkId>> = BTreeMap::new();
         for &l in &self.mr.trunk_links {
             let link = self.mr.topology.link(l);
-            trunk_groups.entry((link.src, link.dst)).or_default().push(l);
+            trunk_groups
+                .entry((link.src, link.dst))
+                .or_default()
+                .push(l);
         }
         let trunk_groups: Vec<Vec<LinkId>> = trunk_groups.into_values().collect();
-        let measured_curves = self
-            .probe
-            .curves()
-            .map(|(n, c)| (n, c.clone()))
-            .collect();
+        let measured_curves = self.probe.curves().map(|(n, c)| (n, c.clone())).collect();
         let predicted_curves = match &self.pythia {
             Some(py) => self
                 .mr

@@ -23,13 +23,14 @@ fn small_job(maps: usize, reducers: usize, bytes_per_map: u64, skew: SkewModel) 
 }
 
 fn base_cfg() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default();
-    cfg.hadoop = HadoopConfig {
-        map_slots_per_server: 2,
-        reduce_slots_per_server: 2,
+    ScenarioConfig {
+        hadoop: HadoopConfig {
+            map_slots_per_server: 2,
+            reduce_slots_per_server: 2,
+            ..Default::default()
+        },
         ..Default::default()
-    };
-    cfg
+    }
 }
 
 fn run(scheduler: SchedulerKind, ratio: u32, seed: u64) -> RunReport {
@@ -56,7 +57,10 @@ fn pythia_job_completes_and_installs_rules() {
     let r = run(SchedulerKind::Pythia, 10, 1);
     assert!(r.timeline.job_end.is_some());
     assert!(r.rules_installed > 0, "Pythia must program the network");
-    assert!(!r.predicted_curves.is_empty(), "predictions must be recorded");
+    assert!(
+        !r.predicted_curves.is_empty(),
+        "predictions must be recorded"
+    );
     assert!(r.spills_per_server.iter().sum::<u64>() > 0);
 }
 

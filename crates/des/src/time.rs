@@ -132,7 +132,10 @@ impl SimDuration {
     /// # Panics
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "invalid SimDuration seconds: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "invalid SimDuration seconds: {s}"
+        );
         SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
     }
 

@@ -48,8 +48,14 @@ impl SchedulerLadder {
     pub fn csv(&self) -> CsvTable {
         let mut t = CsvTable::new(vec!["scheduler", "completion_secs"]);
         t.push_row(vec!["ecmp".to_string(), format!("{:.3}", self.ecmp_secs)]);
-        t.push_row(vec!["hedera".to_string(), format!("{:.3}", self.hedera_secs)]);
-        t.push_row(vec!["pythia".to_string(), format!("{:.3}", self.pythia_secs)]);
+        t.push_row(vec![
+            "hedera".to_string(),
+            format!("{:.3}", self.hedera_secs),
+        ]);
+        t.push_row(vec![
+            "pythia".to_string(),
+            format!("{:.3}", self.pythia_secs),
+        ]);
         t
     }
 }
@@ -95,8 +101,7 @@ pub struct LatencySensitivity {
 impl LatencySensitivity {
     /// Paper-style text summary.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Ablation — Pythia vs rule-install latency (Sort, 1:10)\n");
+        let mut out = String::from("Ablation — Pythia vs rule-install latency (Sort, 1:10)\n");
         for (label, secs) in &self.rows {
             out.push_str(&format!("install {label:>9}: {secs:>8.1}s\n"));
         }
@@ -116,10 +121,26 @@ impl LatencySensitivity {
 /// Run the install-latency sweep.
 pub fn run_latency_sensitivity(scale: &FigureScale) -> LatencySensitivity {
     let latencies: Vec<(String, SimDuration, SimDuration)> = vec![
-        ("3-5ms".into(), SimDuration::from_millis(3), SimDuration::from_millis(5)),
-        ("50-100ms".into(), SimDuration::from_millis(50), SimDuration::from_millis(100)),
-        ("1-2s".into(), SimDuration::from_secs(1), SimDuration::from_secs(2)),
-        ("10-20s".into(), SimDuration::from_secs(10), SimDuration::from_secs(20)),
+        (
+            "3-5ms".into(),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(5),
+        ),
+        (
+            "50-100ms".into(),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(100),
+        ),
+        (
+            "1-2s".into(),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+        ),
+        (
+            "10-20s".into(),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        ),
     ];
     let factory = sort_factory(scale.input_frac);
     let mut rows = Vec::new();
@@ -233,11 +254,17 @@ pub fn run_background_ablation(scale: &FigureScale) -> BackgroundAblation {
         ("static".to_string(), BackgroundProfile::Static),
         (
             "fluct(0.3)".to_string(),
-            BackgroundProfile::Fluctuating { period_secs: 10.0, spread: 0.3 },
+            BackgroundProfile::Fluctuating {
+                period_secs: 10.0,
+                spread: 0.3,
+            },
         ),
         (
             "fluct(1.0)".to_string(),
-            BackgroundProfile::Fluctuating { period_secs: 10.0, spread: 1.0 },
+            BackgroundProfile::Fluctuating {
+                period_secs: 10.0,
+                spread: 1.0,
+            },
         ),
     ];
     let mut rows = Vec::new();
@@ -277,8 +304,10 @@ impl DesignVariants {
              variant                         completion\n",
         );
         for (label, secs) in &self.rows {
-            out.push_str(&format!("{label:<30}  {secs:>8.1}s
-"));
+            out.push_str(&format!(
+                "{label:<30}  {secs:>8.1}s
+"
+            ));
         }
         out
     }

@@ -9,7 +9,9 @@
 
 use std::path::Path;
 
-use pythia_experiments::{ablation, fig1, fig3, fig4, fig5, multijob, overhead, spectrum, timeliness, FigureScale};
+use pythia_experiments::{
+    ablation, fig1, fig3, fig4, fig5, multijob, overhead, spectrum, timeliness, FigureScale,
+};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -31,7 +33,9 @@ fn main() {
     println!("== Figure 1b: adversarial ECMP allocation ==");
     let f1b = fig1::run_fig1b(10);
     println!("{}", f1b.render());
-    f1b.csv().write_to(&out.join("fig1b_trunk_balance.csv")).unwrap();
+    f1b.csv()
+        .write_to(&out.join("fig1b_trunk_balance.csv"))
+        .unwrap();
 
     println!("== Figure 3: Nutch indexing, Pythia vs ECMP ==");
     let f3 = fig3::run(&scale);
@@ -46,8 +50,12 @@ fn main() {
     println!("== Figure 5: prediction promptness/accuracy ==");
     let f5 = fig5::run(&scale);
     println!("{}", f5.render());
-    f5.rows_csv().write_to(&out.join("fig5_prediction_rows.csv")).unwrap();
-    f5.sample_csv().write_to(&out.join("fig5_sample_curves.csv")).unwrap();
+    f5.rows_csv()
+        .write_to(&out.join("fig5_prediction_rows.csv"))
+        .unwrap();
+    f5.sample_csv()
+        .write_to(&out.join("fig5_sample_curves.csv"))
+        .unwrap();
 
     println!("== Section V-C: instrumentation overhead ==");
     let ov = overhead::run(&scale);
@@ -57,12 +65,17 @@ fn main() {
     println!("== Ablation: scheduler ladder ==");
     let ladder = ablation::run_scheduler_ladder(&scale);
     println!("{}", ladder.render());
-    ladder.csv().write_to(&out.join("ablation_ladder.csv")).unwrap();
+    ladder
+        .csv()
+        .write_to(&out.join("ablation_ladder.csv"))
+        .unwrap();
 
     println!("== Ablation: rule-install latency ==");
     let lat = ablation::run_latency_sensitivity(&scale);
     println!("{}", lat.render());
-    lat.csv().write_to(&out.join("ablation_latency.csv")).unwrap();
+    lat.csv()
+        .write_to(&out.join("ablation_latency.csv"))
+        .unwrap();
 
     println!("== Extension: workload spectrum ==");
     let sp = spectrum::run(&scale);
@@ -84,12 +97,16 @@ fn main() {
     println!("== Ablation: background profile ==");
     let bg = ablation::run_background_ablation(&scale);
     println!("{}", bg.render());
-    bg.csv().write_to(&out.join("ablation_background.csv")).unwrap();
+    bg.csv()
+        .write_to(&out.join("ablation_background.csv"))
+        .unwrap();
 
     println!("== Ablation: design variants ==");
     let dv = ablation::run_design_variants(&scale);
     println!("{}", dv.render());
-    dv.csv().write_to(&out.join("ablation_design_variants.csv")).unwrap();
+    dv.csv()
+        .write_to(&out.join("ablation_design_variants.csv"))
+        .unwrap();
 
     println!("== Ablation: path diversity ==");
     let pd = ablation::run_path_diversity(&scale);

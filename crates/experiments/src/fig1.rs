@@ -38,24 +38,25 @@ pub fn toy_sort_job() -> JobSpec {
 
 /// Figure 1a scenario: non-blocking 1 Gbps network, tiny cluster.
 fn toy_cfg() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default();
-    cfg.topology = MultiRackParams {
-        racks: 2,
-        servers_per_rack: 3,
-        nic_bps: 1e9,
-        trunk_count: 2,
-        trunk_bps: 10e9,
-    };
-    cfg.hadoop = HadoopConfig {
-        map_slots_per_server: 1,
-        reduce_slots_per_server: 1,
-        ..Default::default()
-    };
     // Symmetric static background: with both trunks equally loaded, the
     // optimal allocation is a balanced split, so trunk-byte balance is the
     // right quality metric for this figure.
-    cfg.background = BackgroundProfile::Static;
-    cfg
+    ScenarioConfig {
+        topology: MultiRackParams {
+            racks: 2,
+            servers_per_rack: 3,
+            nic_bps: 1e9,
+            trunk_count: 2,
+            trunk_bps: 10e9,
+        },
+        hadoop: HadoopConfig {
+            map_slots_per_server: 1,
+            reduce_slots_per_server: 1,
+            ..Default::default()
+        },
+        background: BackgroundProfile::Static,
+        ..Default::default()
+    }
 }
 
 /// Figure 1a result: the run plus its rendered diagram.

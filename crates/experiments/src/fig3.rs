@@ -25,13 +25,7 @@ pub fn nutch_at_scale(input_frac: f64) -> NutchWorkload {
 pub fn run(scale: &FigureScale) -> CompletionFigure {
     let w = nutch_at_scale(scale.input_frac);
     let cfg = ScenarioConfig::default();
-    let (fig, _) = completion_figure(
-        "Figure 3",
-        "Nutch indexing",
-        &move || w.job(),
-        &cfg,
-        scale,
-    );
+    let (fig, _) = completion_figure("Figure 3", "Nutch indexing", &move || w.job(), &cfg, scale);
     fig
 }
 

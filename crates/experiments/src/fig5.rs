@@ -159,11 +159,7 @@ pub fn run(scale: &FigureScale) -> Fig5Result {
     let sample_curve = (0..=samples)
         .map(|i| {
             let t = SimTime::from_nanos(end.as_nanos() * i as u64 / samples as u64);
-            (
-                t.as_secs_f64(),
-                predicted.value_at(t),
-                measured.value_at(t),
-            )
+            (t.as_secs_f64(), predicted.value_at(t), measured.value_at(t))
         })
         .collect();
 

@@ -144,8 +144,8 @@ pub fn completion_figure(
         .ratios
         .iter()
         .map(|&ratio| {
-            let ecmp = mean_completion(&reports, SchedulerKind::Ecmp, ratio)
-                .expect("missing ECMP cell");
+            let ecmp =
+                mean_completion(&reports, SchedulerKind::Ecmp, ratio).expect("missing ECMP cell");
             let pythia = mean_completion(&reports, SchedulerKind::Pythia, ratio)
                 .expect("missing Pythia cell");
             CompletionRow {

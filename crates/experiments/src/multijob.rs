@@ -47,10 +47,7 @@ impl MultiJobResult {
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<9}  {:>9.1}  {:>9.1}  {:>12.1}\n",
-                r.scheduler,
-                r.job_completions_secs[0],
-                r.job_completions_secs[1],
-                r.makespan_secs
+                r.scheduler, r.job_completions_secs[0], r.job_completions_secs[1], r.makespan_secs
             ));
         }
         let ecmp = self.row("ecmp").makespan_secs;
@@ -146,6 +143,9 @@ mod tests {
         // Pythia must not lose materially on the combined workload.
         let ecmp = r.row("ecmp").makespan_secs;
         let pythia = r.row("pythia").makespan_secs;
-        assert!(pythia <= ecmp * 1.05, "pythia {pythia:.1} vs ecmp {ecmp:.1}");
+        assert!(
+            pythia <= ecmp * 1.05,
+            "pythia {pythia:.1} vs ecmp {ecmp:.1}"
+        );
     }
 }

@@ -56,7 +56,13 @@ impl OverheadTable {
 
     /// The table as CSV.
     pub fn csv(&self) -> CsvTable {
-        let mut t = CsvTable::new(vec!["workload", "mean_frac", "min_frac", "max_frac", "spills"]);
+        let mut t = CsvTable::new(vec![
+            "workload",
+            "mean_frac",
+            "min_frac",
+            "max_frac",
+            "spills",
+        ]);
         for r in &self.rows {
             t.push_row(vec![
                 r.workload.clone(),

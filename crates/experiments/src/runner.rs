@@ -3,9 +3,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
 use pythia_cluster::{run_scenario, RunReport, ScenarioConfig, SchedulerKind};
 use pythia_hadoop::JobSpec;
+use std::sync::Mutex;
 
 /// One cell of a sweep grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,11 +19,7 @@ pub struct SweepPoint {
 }
 
 /// Build the full grid.
-pub fn grid(
-    schedulers: &[SchedulerKind],
-    ratios: &[u32],
-    seeds: &[u64],
-) -> Vec<SweepPoint> {
+pub fn grid(schedulers: &[SchedulerKind], ratios: &[u32], seeds: &[u64]) -> Vec<SweepPoint> {
     let mut out = Vec::new();
     for &scheduler in schedulers {
         for &oversubscription in ratios {
@@ -69,23 +65,20 @@ pub fn run_sweep(
                     .with_oversubscription(p.oversubscription)
                     .with_seed(p.seed);
                 let report = run_scenario(job_factory(), &cfg);
-                results.lock()[i] = Some(report);
+                results.lock().unwrap()[i] = Some(report);
             });
         }
     });
     results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|r| r.expect("sweep point not executed"))
         .collect()
 }
 
 /// Mean completion seconds over the runs matching a predicate.
-pub fn mean_completion(
-    reports: &[RunReport],
-    scheduler: SchedulerKind,
-    ratio: u32,
-) -> Option<f64> {
+pub fn mean_completion(reports: &[RunReport], scheduler: SchedulerKind, ratio: u32) -> Option<f64> {
     let xs: Vec<f64> = reports
         .iter()
         .filter(|r| r.scheduler == scheduler.label() && r.oversubscription == ratio)

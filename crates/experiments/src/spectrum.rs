@@ -87,10 +87,13 @@ impl SpectrumTable {
     }
 }
 
+/// A deferred workload constructor (scaled lazily per run).
+type JobMaker = Box<dyn Fn() -> JobSpec + Sync>;
+
 /// Run the spectrum at 1:10.
 pub fn run(scale: &FigureScale) -> SpectrumTable {
     let f = scale.input_frac;
-    let mk: Vec<(&str, Box<dyn Fn() -> JobSpec + Sync>)> = vec![
+    let mk: Vec<(&str, JobMaker)> = vec![
         (
             "wordcount",
             Box::new(move || {
@@ -133,7 +136,12 @@ pub fn run(scale: &FigureScale) -> SpectrumTable {
             &[10],
             &scale.seeds,
         );
-        let reports = run_sweep(&points, &ScenarioConfig::default(), &*factory, scale.threads);
+        let reports = run_sweep(
+            &points,
+            &ScenarioConfig::default(),
+            &*factory,
+            scale.threads,
+        );
         let ecmp = mean_completion(&reports, SchedulerKind::Ecmp, 10).unwrap();
         let pythia = mean_completion(&reports, SchedulerKind::Pythia, 10).unwrap();
         rows.push(SpectrumRow {

@@ -152,7 +152,11 @@ mod tests {
         let t = run(&FigureScale::quick());
         assert_eq!(t.rows.len(), 12);
         for r in &t.rows {
-            assert!(r.never_lags, "lagged at pc={} ss={}", r.parallel_copies, r.slowstart);
+            assert!(
+                r.never_lags,
+                "lagged at pc={} ss={}",
+                r.parallel_copies, r.slowstart
+            );
             assert!(
                 r.min_lead_secs > 0.0,
                 "no lead at pc={} ss={}",

@@ -86,17 +86,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = HadoopConfig::default();
-        c.parallel_copies = 0;
+        let c = HadoopConfig {
+            parallel_copies: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HadoopConfig::default();
-        c.slowstart_completed_maps = 1.5;
+        let c = HadoopConfig {
+            slowstart_completed_maps: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HadoopConfig::default();
-        c.map_slots_per_server = 0;
+        let c = HadoopConfig {
+            map_slots_per_server: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HadoopConfig::default();
-        c.reduce_slots_per_server = 0;
+        let c = HadoopConfig {
+            reduce_slots_per_server: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -211,7 +211,9 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut enc = IndexFile::from_partition_sizes(&[10], 1.0).encode().to_vec();
+        let mut enc = IndexFile::from_partition_sizes(&[10], 1.0)
+            .encode()
+            .to_vec();
         enc[0] ^= 0xff;
         assert!(matches!(
             IndexFile::decode(&enc),
@@ -221,7 +223,9 @@ mod tests {
 
     #[test]
     fn corrupted_payload_fails_checksum() {
-        let mut enc = IndexFile::from_partition_sizes(&[10, 20], 1.0).encode().to_vec();
+        let mut enc = IndexFile::from_partition_sizes(&[10, 20], 1.0)
+            .encode()
+            .to_vec();
         // Flip a byte inside the first record.
         enc[12] ^= 0x01;
         assert!(matches!(

@@ -285,11 +285,15 @@ mod tests {
     fn stragglers_stretch_the_tail() {
         let m = DurationModel::rate(SimDuration::ZERO, 1.0, 0.0).with_stragglers(0.2, 5.0);
         let mut r = rng();
-        let samples: Vec<f64> = (0..1000).map(|_| m.sample(100, &mut r).as_secs_f64()).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|_| m.sample(100, &mut r).as_secs_f64())
+            .collect();
         let stragglers = samples.iter().filter(|&&d| d > 400.0).count();
         // ~20% of tasks should take 5x (=500s); the rest exactly 100s.
         assert!((120..280).contains(&stragglers), "{stragglers} stragglers");
-        assert!(samples.iter().all(|&d| (d - 100.0).abs() < 1.0 || (d - 500.0).abs() < 1.0));
+        assert!(samples
+            .iter()
+            .all(|&d| (d - 100.0).abs() < 1.0 || (d - 500.0).abs() < 1.0));
     }
 
     #[test]

@@ -240,7 +240,12 @@ pub struct MapReduceSim {
 
 impl MapReduceSim {
     /// Create a job over the given tasktracker servers.
-    pub fn new(cfg: HadoopConfig, spec: JobSpec, servers: Vec<ServerId>, rngs: &RngFactory) -> Self {
+    pub fn new(
+        cfg: HadoopConfig,
+        spec: JobSpec,
+        servers: Vec<ServerId>,
+        rngs: &RngFactory,
+    ) -> Self {
         cfg.validate().expect("invalid HadoopConfig");
         spec.validate().expect("invalid JobSpec");
         assert!(!servers.is_empty(), "need at least one server");
@@ -359,11 +364,21 @@ impl MapReduceSim {
         debug_assert_eq!(self.map_state[idx], MapState::Pending);
         self.map_state[idx] = MapState::Running;
         self.map_server[idx] = s;
-        let dur = self.spec.map_duration.sample(self.spec.split_bytes(), &mut self.rng);
+        let dur = self
+            .spec
+            .map_duration
+            .sample(self.spec.split_bytes(), &mut self.rng);
         let at = now + dur;
-        self.timeline
-            .maps
-            .insert(m, (s, TaskSpan { start: now, end: at }));
+        self.timeline.maps.insert(
+            m,
+            (
+                s,
+                TaskSpan {
+                    start: now,
+                    end: at,
+                },
+            ),
+        );
         out.push(HadoopEvent::MapFinishAt { map: m, at });
     }
 
@@ -372,7 +387,11 @@ impl MapReduceSim {
     /// Input: the map-finish timer fired.
     pub fn map_finished(&mut self, now: SimTime, m: MapTaskId) -> Vec<HadoopEvent> {
         let idx = m.0 as usize;
-        assert_eq!(self.map_state[idx], MapState::Running, "map {m} not running");
+        assert_eq!(
+            self.map_state[idx],
+            MapState::Running,
+            "map {m} not running"
+        );
         self.map_state[idx] = MapState::Done;
         self.completed_maps += 1;
         self.done_order.push(m);
@@ -385,10 +404,11 @@ impl MapReduceSim {
         let mut out = Vec::new();
 
         // Spill: compute partition sizes, write the index file.
-        let parts = self
-            .spec
-            .partitioner
-            .partition(idx, self.spec.map_output_bytes(), self.spec.num_reducers);
+        let parts = self.spec.partitioner.partition(
+            idx,
+            self.spec.map_output_bytes(),
+            self.spec.num_reducers,
+        );
         let index = IndexFile::from_partition_sizes(&parts, 1.0);
         out.push(HadoopEvent::SpillIndex {
             map: m,
@@ -449,7 +469,13 @@ impl MapReduceSim {
 
     /// Reserve the slot and start the task JVM; the copier comes up after
     /// `reducer_launch_overhead`.
-    fn schedule_reducer(&mut self, now: SimTime, r: ReducerId, s: ServerId, out: &mut Vec<HadoopEvent>) {
+    fn schedule_reducer(
+        &mut self,
+        now: SimTime,
+        r: ReducerId,
+        s: ServerId,
+        out: &mut Vec<HadoopEvent>,
+    ) {
         let idx = r.0 as usize;
         debug_assert_eq!(self.reducer_state[idx], ReducerState::NotLaunched);
         self.reducer_state[idx] = ReducerState::Scheduled;
@@ -464,7 +490,11 @@ impl MapReduceSim {
     pub fn reducer_started(&mut self, now: SimTime, r: ReducerId) -> Vec<HadoopEvent> {
         let mut out = Vec::new();
         let idx = r.0 as usize;
-        assert_eq!(self.reducer_state[idx], ReducerState::Scheduled, "reducer {r} not scheduled");
+        assert_eq!(
+            self.reducer_state[idx],
+            ReducerState::Scheduled,
+            "reducer {r} not scheduled"
+        );
         let s = self.reducer_server[idx];
         self.reducer_state[idx] = ReducerState::Shuffling;
         self.timeline.reducers.insert(
@@ -479,7 +509,10 @@ impl MapReduceSim {
                 remote_bytes: 0,
             },
         );
-        out.push(HadoopEvent::ReducerLaunched { reducer: r, server: s });
+        out.push(HadoopEvent::ReducerLaunched {
+            reducer: r,
+            server: s,
+        });
         let mut copier = Copier::new(s, self.spec.num_maps, self.cfg.parallel_copies);
         // Announce everything already spilled, in completion order.
         let mut requests: Vec<(ReducerId, Vec<FetchRequest>)> = Vec::new();
@@ -521,7 +554,13 @@ impl MapReduceSim {
         }
     }
 
-    fn emit_fetch(&mut self, now: SimTime, r: ReducerId, req: FetchRequest, out: &mut Vec<HadoopEvent>) {
+    fn emit_fetch(
+        &mut self,
+        now: SimTime,
+        r: ReducerId,
+        req: FetchRequest,
+        out: &mut Vec<HadoopEvent>,
+    ) {
         let fetch = FetchId(self.next_fetch_id);
         self.next_fetch_id += 1;
         let dst = self.reducer_server[r.0 as usize];
@@ -597,7 +636,10 @@ impl MapReduceSim {
             tl.remote_bytes = copier.remote_bytes;
         }
         let dur = self.spec.sort_duration.sample(total, &mut self.rng);
-        out.push(HadoopEvent::SortFinishAt { reducer: r, at: now + dur });
+        out.push(HadoopEvent::SortFinishAt {
+            reducer: r,
+            at: now + dur,
+        });
     }
 
     // -------------------------------------------------------- sort finished
@@ -611,7 +653,10 @@ impl MapReduceSim {
         tl.sort_end = Some(now);
         let total = tl.local_bytes + tl.remote_bytes;
         let dur = self.spec.reduce_duration.sample(total, &mut self.rng);
-        vec![HadoopEvent::ReducerFinishAt { reducer: r, at: now + dur }]
+        vec![HadoopEvent::ReducerFinishAt {
+            reducer: r,
+            at: now + dur,
+        }]
     }
 
     // ----------------------------------------------------- reducer finished
@@ -685,7 +730,7 @@ mod tests {
             ReduceDone(ReducerId),
         }
         let mut q = EventQueue::new();
-        let mut handle = |evts: Vec<HadoopEvent>, q: &mut EventQueue<Ev>, now: SimTime| {
+        let handle = |evts: Vec<HadoopEvent>, q: &mut EventQueue<Ev>, now: SimTime| {
             for e in evts {
                 match e {
                     HadoopEvent::MapFinishAt { map, at } => {
@@ -735,7 +780,7 @@ mod tests {
         assert_eq!(tl.maps.len(), 3);
         assert_eq!(tl.reducers.len(), 2);
         // Maps run in parallel (3 servers × 2 slots): all end at 10 s.
-        for (_, (_, span)) in &tl.maps {
+        for (_, span) in tl.maps.values() {
             assert_eq!(span.start, SimTime::ZERO);
             assert_eq!(span.end, SimTime::from_secs(10));
         }
@@ -765,7 +810,7 @@ mod tests {
         c.slowstart_completed_maps = 0.5;
         let sim = MapReduceSim::new(c, spec(20, 2), servers(5), &RngFactory::new(1));
         let tl = drive(sim, SimDuration::from_millis(1));
-        for (_, r) in &tl.reducers {
+        for r in tl.reducers.values() {
             assert!(r.launched_at >= SimTime::from_secs(10));
         }
     }
@@ -778,7 +823,7 @@ mod tests {
         let sim = MapReduceSim::new(c, spec(4, 2), servers(2), &RngFactory::new(1));
         let tl = drive(sim, SimDuration::from_millis(1));
         // Reducers scheduled at t=0, copiers up at t=3.
-        for (_, r) in &tl.reducers {
+        for r in tl.reducers.values() {
             assert_eq!(r.launched_at, SimTime::from_secs(3));
         }
         assert!(tl.first_fetch_at.unwrap() >= SimTime::from_secs(3));
@@ -790,7 +835,7 @@ mod tests {
         c.slowstart_completed_maps = 0.0;
         let sim = MapReduceSim::new(c, spec(4, 2), servers(2), &RngFactory::new(1));
         let tl = drive(sim, SimDuration::from_millis(1));
-        for (_, r) in &tl.reducers {
+        for r in tl.reducers.values() {
             assert_eq!(r.launched_at, SimTime::ZERO);
         }
     }
@@ -860,7 +905,12 @@ mod tests {
                     HadoopEvent::ReducerLaunchAt { reducer, at } => {
                         next.extend(sim.reducer_started(at, reducer));
                     }
-                    HadoopEvent::FetchStart { fetch, src_port, dst_port, .. } => {
+                    HadoopEvent::FetchStart {
+                        fetch,
+                        src_port,
+                        dst_port,
+                        ..
+                    } => {
                         assert_eq!(src_port, 50060);
                         assert!(dst_port >= 40000);
                         fetches.push(fetch);

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use pythia_des::{EventQueue, RngFactory, SimDuration, SimTime};
 use pythia_hadoop::{
-    DurationModel, FetchId, HadoopConfig, HadoopEvent, JobSpec, MapReduceSim, MapTaskId,
-    ReducerId, ServerId, Timeline, UniformPartitioner, WeightedPartitioner,
+    DurationModel, FetchId, HadoopConfig, HadoopEvent, JobSpec, MapReduceSim, MapTaskId, ReducerId,
+    ServerId, Timeline, UniformPartitioner, WeightedPartitioner,
 };
 
 #[derive(Debug, Clone)]
@@ -41,13 +41,40 @@ fn scenario() -> impl Strategy<Value = Scenario> {
             |(servers, map_slots, reduce_slots, pc, ss, maps, reducers, bpm, delay, seed)| {
                 // Reducers must fit the reduce slots.
                 let reducers = reducers.min(servers as usize * reduce_slots).max(1);
-                let weights =
-                    proptest::collection::vec(0.1f64..10.0, reducers..=reducers);
-                (Just((servers, map_slots, reduce_slots, pc, ss, maps, reducers, bpm, delay, seed)), weights)
+                let weights = proptest::collection::vec(0.1f64..10.0, reducers..=reducers);
+                (
+                    Just((
+                        servers,
+                        map_slots,
+                        reduce_slots,
+                        pc,
+                        ss,
+                        maps,
+                        reducers,
+                        bpm,
+                        delay,
+                        seed,
+                    )),
+                    weights,
+                )
             },
         )
         .prop_map(
-            |((servers, map_slots, reduce_slots, parallel_copies, slowstart, maps, reducers, bytes_per_map, fetch_delay_ms, seed), weights)| {
+            |(
+                (
+                    servers,
+                    map_slots,
+                    reduce_slots,
+                    parallel_copies,
+                    slowstart,
+                    maps,
+                    reducers,
+                    bytes_per_map,
+                    fetch_delay_ms,
+                    seed,
+                ),
+                weights,
+            )| {
                 Scenario {
                     servers,
                     map_slots,
@@ -111,7 +138,13 @@ fn drive(s: &Scenario) -> (Timeline, usize, u64) {
                 HadoopEvent::ReducerLaunchAt { reducer, at } => {
                     q.push(at, Ev::RedStart(reducer));
                 }
-                HadoopEvent::FetchStart { fetch, bytes, src, dst, .. } => {
+                HadoopEvent::FetchStart {
+                    fetch,
+                    bytes,
+                    src,
+                    dst,
+                    ..
+                } => {
                     assert_ne!(src, dst, "local fetch leaked to the network");
                     assert!(bytes > 0, "zero-byte fetch leaked to the network");
                     fetches += 1;
@@ -191,7 +224,7 @@ proptest! {
     fn slot_capacity_respected(s in scenario()) {
         let (tl, _, _) = drive(&s);
         // Check per server at every span start.
-        for (_, &(srv, span)) in &tl.maps {
+        for &(srv, span) in tl.maps.values() {
             let overlapping = tl
                 .maps
                 .values()

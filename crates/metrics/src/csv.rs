@@ -42,16 +42,6 @@ impl CsvTable {
         self.rows.len()
     }
 
-    /// Render to a CSV string.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        Self::write_line(&mut out, &self.header);
-        for row in &self.rows {
-            Self::write_line(&mut out, row);
-        }
-        out
-    }
-
     /// Write to a file, creating parent directories as needed.
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
         if let Some(parent) = path.parent() {
@@ -68,6 +58,18 @@ impl CsvTable {
             write!(out, "{}", escape(f)).unwrap();
         }
         out.push('\n');
+    }
+}
+
+/// Renders the table as RFC 4180 CSV (header line, then rows).
+impl std::fmt::Display for CsvTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        Self::write_line(&mut out, &self.header);
+        for row in &self.rows {
+            Self::write_line(&mut out, row);
+        }
+        f.write_str(&out)
     }
 }
 

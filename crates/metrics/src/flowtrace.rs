@@ -7,10 +7,9 @@
 
 use pythia_des::SimTime;
 use pythia_netsim::{FlowReport, LinkId, NodeId, Topology};
-use serde::Serialize;
 
 /// One completed shuffle flow.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ShuffleFlowRecord {
     /// Source network node (raw id).
     pub src_node: u32,
@@ -188,9 +187,9 @@ impl FlowTrace {
     /// Check a topology invariant: every record's trunk id is in the set.
     pub fn validate_trunks(&self, topo: &Topology, trunk_links: &[LinkId]) -> bool {
         let _ = topo;
-        self.records
-            .iter()
-            .all(|r| r.trunk_link.is_none() || trunk_links.iter().any(|t| t.0 == r.trunk_link.unwrap()))
+        self.records.iter().all(|r| {
+            r.trunk_link.is_none() || trunk_links.iter().any(|t| t.0 == r.trunk_link.unwrap())
+        })
     }
 }
 

@@ -1,11 +1,10 @@
 //! Per-run job statistics, distilled from the Hadoop timeline.
 
 use pythia_hadoop::Timeline;
-use serde::Serialize;
 
 /// The flattened, serializable record of one job run — what each
 /// experiment stores per (workload, scheduler, over-subscription) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct JobReport {
     /// Benchmark name.
     pub workload: String,
@@ -76,7 +75,11 @@ impl JobReport {
                 .unwrap_or(0.0),
             remote_shuffle_bytes: remote,
             local_shuffle_bytes: local,
-            reducer_skew_ratio: if min > 0 { max as f64 / min as f64 } else { f64::NAN },
+            reducer_skew_ratio: if min > 0 {
+                max as f64 / min as f64
+            } else {
+                f64::NAN
+            },
         }
     }
 
@@ -93,9 +96,11 @@ mod tests {
     use pythia_hadoop::{MapTaskId, ReducerId, ReducerTimeline, ServerId, TaskSpan};
 
     fn timeline() -> Timeline {
-        let mut tl = Timeline::default();
-        tl.job_start = SimTime::from_secs(0);
-        tl.job_end = Some(SimTime::from_secs(100));
+        let mut tl = Timeline {
+            job_start: SimTime::from_secs(0),
+            job_end: Some(SimTime::from_secs(100)),
+            ..Default::default()
+        };
         tl.maps.insert(
             MapTaskId(0),
             (

@@ -43,13 +43,7 @@ pub fn render(tl: &Timeline, opts: &SeqDiagramOptions) -> String {
     let end = tl
         .job_end
         .or(tl.last_fetch_end)
-        .unwrap_or_else(|| {
-            tl.maps
-                .values()
-                .map(|&(_, s)| s.end)
-                .max()
-                .unwrap_or(start)
-        });
+        .unwrap_or_else(|| tl.maps.values().map(|&(_, s)| s.end).max().unwrap_or(start));
     let span = end.saturating_since(start).as_secs_f64().max(1e-9);
     let w = opts.width;
     let col = |t: SimTime| -> usize {
@@ -58,10 +52,7 @@ pub fn render(tl: &Timeline, opts: &SeqDiagramOptions) -> String {
     };
 
     let mut out = String::new();
-    out.push_str(&format!(
-        "time axis: 0s .. {:.1}s ({} cols)\n",
-        span, w
-    ));
+    out.push_str(&format!("time axis: 0s .. {:.1}s ({} cols)\n", span, w));
 
     let lane = |label: &str, segments: &[(SimTime, SimTime, char)], out: &mut String| {
         let mut row = vec![' '; w];
@@ -71,11 +62,13 @@ pub fn render(tl: &Timeline, opts: &SeqDiagramOptions) -> String {
                 *cell = ch;
             }
         }
-        out.push_str(&format!("{label:>8} |{}|\n", row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "{label:>8} |{}|\n",
+            row.iter().collect::<String>()
+        ));
     };
 
-    let mut shown = 0usize;
-    for (m, &(_, span_m)) in &tl.maps {
+    for (shown, (m, &(_, span_m))) in tl.maps.iter().enumerate() {
         if shown >= opts.max_map_lanes {
             out.push_str(&format!(
                 "         … {} more map lanes elided …\n",
@@ -84,7 +77,6 @@ pub fn render(tl: &Timeline, opts: &SeqDiagramOptions) -> String {
             break;
         }
         lane(&m.to_string(), &[(span_m.start, span_m.end, '=')], &mut out);
-        shown += 1;
     }
     for (r, rt) in &tl.reducers {
         let mut segs: Vec<(SimTime, SimTime, char)> = Vec::new();
@@ -108,9 +100,11 @@ mod tests {
     use pythia_hadoop::{MapTaskId, ReducerId, ReducerTimeline, ServerId, TaskSpan};
 
     fn toy_timeline() -> Timeline {
-        let mut tl = Timeline::default();
-        tl.job_start = SimTime::ZERO;
-        tl.job_end = Some(SimTime::from_secs(100));
+        let mut tl = Timeline {
+            job_start: SimTime::ZERO,
+            job_end: Some(SimTime::from_secs(100)),
+            ..Default::default()
+        };
         for i in 0..3 {
             tl.maps.insert(
                 MapTaskId(i),
@@ -143,7 +137,11 @@ mod tests {
     #[test]
     fn renders_all_lanes() {
         let s = render(&toy_timeline(), &SeqDiagramOptions::default());
-        assert_eq!(s.matches('\n').count(), 6, "header + 3 maps + 2 reducers:\n{s}");
+        assert_eq!(
+            s.matches('\n').count(),
+            6,
+            "header + 3 maps + 2 reducers:\n{s}"
+        );
         assert!(s.contains("m000000"));
         assert!(s.contains("r000001"));
         assert!(s.contains('='));
@@ -179,7 +177,13 @@ mod tests {
 
     #[test]
     fn rows_have_requested_width() {
-        let s = render(&toy_timeline(), &SeqDiagramOptions { width: 40, max_map_lanes: 12 });
+        let s = render(
+            &toy_timeline(),
+            &SeqDiagramOptions {
+                width: 40,
+                max_map_lanes: 12,
+            },
+        );
         for line in s.lines().skip(1) {
             if line.contains('|') {
                 let body = line.split('|').nth(1).unwrap();

@@ -188,7 +188,8 @@ mod tests {
                     assert_eq!(rates.len(), k);
                     let total: f64 = rates.iter().sum();
                     assert!(
-                        (total - frac * k as f64 * 10e9).abs() < 1e7 || rates.iter().all(|&r| r > 0.99 * 0.995 * 10e9),
+                        (total - frac * k as f64 * 10e9).abs() < 1e7
+                            || rates.iter().all(|&r| r > 0.99 * 0.995 * 10e9),
                         "total {total} for frac {frac} k {k}"
                     );
                     for &r in &rates {

@@ -10,12 +10,30 @@
 //! 4. ask [`FlowNet::next_completion`] for the earliest projected flow
 //!    completion and schedule a single event there (re-doing steps 1–4 when
 //!    it fires or whenever the flow set changes).
+//!
+//! # Incremental rate engine
+//!
+//! Every mutation marks the links it touches *dirty*. [`FlowNet::recompute`]
+//! then restricts progressive filling to the connected component(s) of the
+//! flow–link sharing graph that contain a dirty link: max-min fair rates of
+//! a component depend only on that component's flows and links, so flows in
+//! untouched components keep their rates verbatim. A single flow departing
+//! from an isolated rack therefore costs `O(component)`, not `O(network)`.
+//! [`FlowNet::full_recompute`] forces the global problem, and in debug
+//! builds every recompute is cross-checked against the retained reference
+//! allocator ([`max_min_fair`]).
+//!
+//! Completion lookup is indexed: a lazy-deletion binary heap keyed by
+//! projected completion time holds one entry per (flow, rate-change), and
+//! entries are invalidated by a per-flow rate epoch. [`FlowNet::advance_to`]
+//! touches only flows with a nonzero allocated rate.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use pythia_des::{SimDuration, SimTime};
 
-use crate::fairshare::{max_min_fair, FlowPath};
+use crate::fairshare::{max_min_fair, Allocation, FairShareWorkspace, FlowPath};
 use crate::flow::{FlowId, FlowKind, FlowSpec};
 use crate::routing::Path;
 use crate::topology::{LinkId, NodeId, Topology};
@@ -61,10 +79,42 @@ pub struct FlowReport {
     pub ended_at: SimTime,
 }
 
+const NONE_U32: u32 = u32::MAX;
+
+/// Engine-internal bookkeeping kept alongside the public [`ActiveFlow`].
+struct FlowSlot {
+    id: FlowId,
+    flow: ActiveFlow,
+    /// Interned link indices of `flow.path`, computed once per (re)route.
+    links: Vec<u32>,
+    /// Position of this flow's entry in `link_flows[links[k]]`; parallel
+    /// to `links`, valid while `linked`.
+    link_pos: Vec<u32>,
+    /// Whether the flow currently contributes load (present in the
+    /// flow–link incidence lists). Completed flows are unlinked.
+    linked: bool,
+    /// Index into `FlowNet::active`, or `NONE_U32`.
+    active_pos: u32,
+    /// Bumped whenever `rate_bps` changes; completion-heap entries carry
+    /// the epoch they were projected under and die with it.
+    rate_epoch: u64,
+}
+
+/// One incidence-list entry: flow `slot` crosses this link as its `k`-th
+/// path hop.
+#[derive(Clone, Copy)]
+struct LinkEntry {
+    slot: u32,
+    k: u32,
+}
+
 /// The live network. See module docs for the driving contract.
 pub struct FlowNet {
     topo: Topology,
-    flows: BTreeMap<FlowId, ActiveFlow>,
+    /// Flow id → slot; iterated for the id-ordered public views.
+    index: BTreeMap<FlowId, u32>,
+    slots: Vec<Option<FlowSlot>>,
+    free_slots: Vec<u32>,
     next_id: u64,
     now: SimTime,
     /// Bumped on every rate recomputation; lets engines detect stale
@@ -74,23 +124,63 @@ pub struct FlowNet {
     link_load_bps: Vec<f64>,
     /// Cumulative bytes sourced per node since the start of the run —
     /// exactly what a NetFlow exporter on the host would report.
-    cum_tx_bytes: BTreeMap<NodeId, f64>,
+    cum_tx_bytes: Vec<f64>,
     rates_dirty: bool,
+
+    // --- incremental rate engine ---
+    /// Links whose allocation inputs changed since the last recompute.
+    dirty_links: Vec<u32>,
+    link_dirty: Vec<bool>,
+    /// Per-link incidence lists of the flows currently consuming it.
+    link_flows: Vec<Vec<LinkEntry>>,
+    /// Aggregate requested CBR rate per link, maintained incrementally so
+    /// background-traffic redraws never re-derive it from the flow set.
+    cbr_requested_bps: Vec<f64>,
+    ws: FairShareWorkspace,
+    // Region-discovery scratch (cleared after each recompute).
+    link_in_region: Vec<bool>,
+    flow_in_region: Vec<bool>,
+    link_local: Vec<u32>,
+    region_links: Vec<u32>,
+    region_slots: Vec<u32>,
+
+    // --- completion tracking ---
+    /// Lazy-deletion min-heap of projected completions:
+    /// `(time, flow id, rate_epoch at projection)`.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    /// Slots with a nonzero allocated rate — the only flows
+    /// [`FlowNet::advance_to`] must integrate.
+    active: Vec<u32>,
 }
 
 impl FlowNet {
     /// An empty network over `topo`, at time zero.
     pub fn new(topo: Topology) -> Self {
         let n_links = topo.num_links();
+        let n_nodes = topo.num_nodes();
         FlowNet {
             topo,
-            flows: BTreeMap::new(),
+            index: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
             next_id: 0,
             now: SimTime::ZERO,
             epoch: 0,
             link_load_bps: vec![0.0; n_links],
-            cum_tx_bytes: BTreeMap::new(),
+            cum_tx_bytes: vec![0.0; n_nodes],
             rates_dirty: false,
+            dirty_links: Vec::new(),
+            link_dirty: vec![false; n_links],
+            link_flows: vec![Vec::new(); n_links],
+            cbr_requested_bps: vec![0.0; n_links],
+            ws: FairShareWorkspace::new(),
+            link_in_region: vec![false; n_links],
+            flow_in_region: Vec::new(),
+            link_local: vec![NONE_U32; n_links],
+            region_links: Vec::new(),
+            region_slots: Vec::new(),
+            heap: BinaryHeap::new(),
+            active: Vec::new(),
         }
     }
 
@@ -111,17 +201,25 @@ impl FlowNet {
 
     /// Number of flows in the network (including completed-not-removed).
     pub fn num_active_flows(&self) -> usize {
-        self.flows.len()
+        self.index.len()
+    }
+
+    fn slot(&self, slot: u32) -> &FlowSlot {
+        self.slots[slot as usize].as_ref().expect("live slot")
+    }
+
+    fn slot_mut(&mut self, slot: u32) -> &mut FlowSlot {
+        self.slots[slot as usize].as_mut().expect("live slot")
     }
 
     /// Look up one flow.
     pub fn flow(&self, id: FlowId) -> Option<&ActiveFlow> {
-        self.flows.get(&id)
+        self.index.get(&id).map(|&s| &self.slot(s).flow)
     }
 
     /// All flows, in id order.
     pub fn flows(&self) -> impl Iterator<Item = (FlowId, &ActiveFlow)> {
-        self.flows.iter().map(|(&id, f)| (id, f))
+        self.index.iter().map(|(&id, &s)| (id, &self.slot(s).flow))
     }
 
     /// Integrate byte counters up to `t`. Returns the bounded flows that
@@ -134,16 +232,16 @@ impl FlowNet {
     pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowId> {
         assert!(t >= self.now, "advance_to({t}) before now ({})", self.now);
         assert!(
-            !self.rates_dirty || self.flows.is_empty(),
+            !self.rates_dirty || self.index.is_empty(),
             "advance_to with stale rates: call recompute() after mutating flows"
         );
         let dt = (t - self.now).as_secs_f64();
-        let mut completed = Vec::new();
+        let mut completed_slots: Vec<u32> = Vec::new();
         if dt > 0.0 {
-            for (&id, f) in self.flows.iter_mut() {
-                if f.rate_bps <= 0.0 {
-                    continue;
-                }
+            for i in 0..self.active.len() {
+                let slot = self.active[i];
+                let st = self.slots[slot as usize].as_mut().expect("live slot");
+                let f = &mut st.flow;
                 let delta_bytes = f.rate_bps * dt / 8.0;
                 let moved = match &mut f.remaining_bytes {
                     Some(rem) if *rem <= 0.0 => 0.0,
@@ -152,18 +250,36 @@ impl FlowNet {
                         *rem -= moved;
                         if *rem <= 0.0 {
                             *rem = 0.0;
-                            completed.push(id);
+                            completed_slots.push(slot);
                         }
                         moved
                     }
                     None => delta_bytes,
                 };
                 f.transferred_bytes += moved;
-                *self.cum_tx_bytes.entry(f.spec.tuple.src).or_insert(0.0) += moved;
+                self.cum_tx_bytes[f.spec.tuple.src.0 as usize] += moved;
             }
         }
         self.now = t;
+        let mut completed: Vec<FlowId> = Vec::with_capacity(completed_slots.len());
+        for slot in completed_slots {
+            completed.push(self.slot(slot).id);
+            self.on_flow_completed(slot);
+        }
+        completed.sort_unstable();
         completed
+    }
+
+    /// A flow just drained its byte budget: it stops consuming bandwidth
+    /// immediately, frees its share for the next recompute, and leaves the
+    /// hot advance/completion structures.
+    fn on_flow_completed(&mut self, slot: u32) {
+        self.mark_flow_links_dirty(slot);
+        self.unlink_flow(slot);
+        self.deactivate(slot);
+        let st = self.slot_mut(slot);
+        st.flow.rate_bps = 0.0;
+        st.rate_epoch += 1;
     }
 
     /// Inject a flow on `path`. The path must match the spec's endpoints.
@@ -173,17 +289,31 @@ impl FlowNet {
         assert_eq!(path.dst(), spec.tuple.dst, "path/spec destination mismatch");
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.flows.insert(
+        let links: Vec<u32> = path.links().iter().map(|l| l.0).collect();
+        let n = links.len();
+        let flow = ActiveFlow {
+            remaining_bytes: spec.size_bytes.map(|b| b as f64),
+            transferred_bytes: 0.0,
+            rate_bps: 0.0,
+            started_at: self.now,
+            spec,
+            path,
+        };
+        let complete = flow.is_complete();
+        let slot = self.alloc_slot(FlowSlot {
             id,
-            ActiveFlow {
-                remaining_bytes: spec.size_bytes.map(|b| b as f64),
-                transferred_bytes: 0.0,
-                rate_bps: 0.0,
-                started_at: self.now,
-                spec,
-                path,
-            },
-        );
+            flow,
+            link_pos: vec![NONE_U32; n],
+            links,
+            linked: false,
+            active_pos: NONE_U32,
+            rate_epoch: 0,
+        });
+        self.index.insert(id, slot);
+        if !complete {
+            self.link_flow(slot);
+            self.mark_flow_links_dirty(slot);
+        }
         self.rates_dirty = true;
         id
     }
@@ -191,10 +321,37 @@ impl FlowNet {
     /// Move a live flow onto a new path (SDN re-route). Bytes already
     /// transferred are kept; rates become stale.
     pub fn reroute_flow(&mut self, id: FlowId, path: Path) {
-        let f = self.flows.get_mut(&id).expect("reroute of unknown flow");
-        assert_eq!(path.src(), f.spec.tuple.src, "path/spec source mismatch");
-        assert_eq!(path.dst(), f.spec.tuple.dst, "path/spec destination mismatch");
-        f.path = path;
+        let slot = *self.index.get(&id).expect("reroute of unknown flow");
+        {
+            let st = self.slot(slot);
+            assert_eq!(
+                path.src(),
+                st.flow.spec.tuple.src,
+                "path/spec source mismatch"
+            );
+            assert_eq!(
+                path.dst(),
+                st.flow.spec.tuple.dst,
+                "path/spec destination mismatch"
+            );
+        }
+        if self.slot(slot).linked {
+            self.mark_flow_links_dirty(slot);
+            self.unlink_flow(slot);
+        }
+        let complete = {
+            let st = self.slot_mut(slot);
+            st.links.clear();
+            st.links.extend(path.links().iter().map(|l| l.0));
+            st.link_pos.clear();
+            st.link_pos.resize(st.links.len(), NONE_U32);
+            st.flow.path = path;
+            st.flow.is_complete()
+        };
+        if !complete {
+            self.link_flow(slot);
+            self.mark_flow_links_dirty(slot);
+        }
         self.rates_dirty = true;
     }
 
@@ -202,6 +359,7 @@ impl FlowNet {
     /// fault model). Rates become stale.
     pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) {
         self.topo.set_link_capacity(link, capacity_bps);
+        self.mark_link_dirty(link.0);
         self.rates_dirty = true;
     }
 
@@ -212,40 +370,380 @@ impl FlowNet {
     /// Panics if the flow is not CBR.
     pub fn set_cbr_rate(&mut self, id: FlowId, rate_bps: f64) {
         assert!(rate_bps.is_finite() && rate_bps >= 0.0);
-        let f = self.flows.get_mut(&id).expect("set_cbr_rate: unknown flow");
-        match &mut f.spec.kind {
-            FlowKind::Cbr { rate_bps: r } => *r = rate_bps.max(1.0),
+        let slot = *self.index.get(&id).expect("set_cbr_rate: unknown flow");
+        let st = self.slot_mut(slot);
+        let new = rate_bps.max(1.0);
+        let old = match &mut st.flow.spec.kind {
+            FlowKind::Cbr { rate_bps: r } => std::mem::replace(r, new),
             FlowKind::Adaptive => panic!("set_cbr_rate on adaptive flow"),
+        };
+        if st.linked {
+            let links = std::mem::take(&mut st.links);
+            for &l in &links {
+                let agg = &mut self.cbr_requested_bps[l as usize];
+                *agg = (*agg - old + new).max(0.0);
+                self.mark_link_dirty(l);
+            }
+            self.slot_mut(slot).links = links;
         }
         self.rates_dirty = true;
     }
 
     /// Remove a flow (completed or aborted) and return its accounting.
     pub fn remove_flow(&mut self, id: FlowId) -> FlowReport {
-        let f = self.flows.remove(&id).expect("remove of unknown flow");
+        let slot = self.index.remove(&id).expect("remove of unknown flow");
+        if self.slot(slot).linked {
+            self.mark_flow_links_dirty(slot);
+            self.unlink_flow(slot);
+        }
+        self.deactivate(slot);
+        let st = self.slots[slot as usize].take().expect("live slot");
+        self.free_slots.push(slot);
         self.rates_dirty = true;
         FlowReport {
             id,
-            spec: f.spec,
-            path: f.path,
-            transferred_bytes: f.transferred_bytes,
-            started_at: f.started_at,
+            spec: st.flow.spec,
+            path: st.flow.path,
+            transferred_bytes: st.flow.transferred_bytes,
+            started_at: st.flow.started_at,
             ended_at: self.now,
         }
     }
 
-    /// Recompute max-min fair rates for the current flow set.
+    /// Recompute max-min fair rates for every flow sharing a component of
+    /// the flow–link graph with a dirtied link. With no dirty links this
+    /// is O(1) (rates cannot have changed).
     pub fn recompute(&mut self) {
+        self.epoch += 1;
+        self.rates_dirty = false;
+        if self.dirty_links.is_empty() {
+            return;
+        }
+
+        // --- Region discovery: BFS over the bipartite flow–link sharing
+        // graph, seeded at the dirty links. Any flow crossing a region
+        // link pulls all of its links into the region, so the region is a
+        // union of whole components and can be solved independently.
+        self.region_links.clear();
+        self.region_slots.clear();
+        for l in self.dirty_links.drain(..) {
+            self.link_dirty[l as usize] = false;
+            if !self.link_in_region[l as usize] {
+                self.link_in_region[l as usize] = true;
+                self.region_links.push(l);
+            }
+        }
+        let mut qi = 0;
+        while qi < self.region_links.len() {
+            let l = self.region_links[qi] as usize;
+            qi += 1;
+            for ei in 0..self.link_flows[l].len() {
+                let slot = self.link_flows[l][ei].slot;
+                if self.flow_in_region[slot as usize] {
+                    continue;
+                }
+                self.flow_in_region[slot as usize] = true;
+                self.region_slots.push(slot);
+                for ki in 0..self.slot(slot).links.len() {
+                    let l2 = self.slot(slot).links[ki];
+                    if !self.link_in_region[l2 as usize] {
+                        self.link_in_region[l2 as usize] = true;
+                        self.region_links.push(l2);
+                    }
+                }
+            }
+        }
+
+        // --- Solve the region in local index space.
+        self.ws.begin(self.region_links.len());
+        for (li, &l) in self.region_links.iter().enumerate() {
+            self.link_local[l as usize] = li as u32;
+            self.ws.set_link(
+                li,
+                self.topo.link(LinkId(l)).capacity_bps,
+                self.cbr_requested_bps[l as usize],
+            );
+        }
+        for &slot in &self.region_slots {
+            let st = self.slots[slot as usize].as_ref().expect("live slot");
+            let cbr = match st.flow.spec.kind {
+                FlowKind::Adaptive => None,
+                FlowKind::Cbr { rate_bps } => Some(rate_bps),
+            };
+            self.ws
+                .add_flow(st.links.iter().map(|&l| self.link_local[l as usize]), cbr);
+        }
+        self.ws.solve();
+
+        // --- Write back rates, link loads, and completion projections.
+        let now = self.now;
+        for fi in 0..self.region_slots.len() {
+            let slot = self.region_slots[fi];
+            let rate = self.ws.rate_bps(fi);
+            let entry = {
+                let st = self.slots[slot as usize].as_mut().expect("live slot");
+                debug_assert!(st.linked && !st.flow.is_complete());
+                if rate == st.flow.rate_bps {
+                    // Unchanged: existing heap entries and active-set
+                    // membership remain valid.
+                    None
+                } else {
+                    st.flow.rate_bps = rate;
+                    st.rate_epoch += 1;
+                    match st.flow.remaining_bytes {
+                        Some(rem) if rem > 0.0 && rate > 0.0 => {
+                            let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, rate);
+                            Some(Some((now + d, st.id.0, st.rate_epoch)))
+                        }
+                        _ => Some(None),
+                    }
+                }
+            };
+            if let Some(entry) = entry {
+                if rate > 0.0 {
+                    self.activate(slot);
+                } else {
+                    self.deactivate(slot);
+                }
+                if let Some(e) = entry {
+                    self.heap.push(Reverse(e));
+                }
+            }
+        }
+        for (li, &l) in self.region_links.iter().enumerate() {
+            self.link_load_bps[l as usize] = self.ws.link_load_bps(li);
+        }
+
+        // --- Reset region marks for the next recompute.
+        for &l in &self.region_links {
+            self.link_in_region[l as usize] = false;
+        }
+        for &slot in &self.region_slots {
+            self.flow_in_region[slot as usize] = false;
+        }
+
+        #[cfg(debug_assertions)]
+        self.assert_matches_reference();
+    }
+
+    /// Recompute rates for the whole network regardless of what is dirty.
+    pub fn full_recompute(&mut self) {
+        for l in 0..self.topo.num_links() as u32 {
+            self.mark_link_dirty(l);
+        }
+        self.recompute();
+    }
+
+    /// Earliest projected completion among bounded, progressing flows.
+    ///
+    /// Pops dead heap entries (rate changed, flow completed or removed)
+    /// lazily; takes `&mut self` for exactly that reason.
+    ///
+    /// # Panics
+    /// Panics if rates are stale.
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        assert!(!self.rates_dirty, "next_completion with stale rates");
+        if self.heap.len() > 64 && self.heap.len() > 4 * self.index.len() {
+            self.compact_heap();
+        }
+        while let Some(&Reverse((t, id, fe))) = self.heap.peek() {
+            let fid = FlowId(id);
+            let proj = self.index.get(&fid).and_then(|&slot| {
+                let st = self.slots[slot as usize].as_ref().expect("live slot");
+                match st.flow.remaining_bytes {
+                    Some(rem) if rem > 0.0 && st.flow.rate_bps > 0.0 && st.rate_epoch == fe => {
+                        Some((rem, st.flow.rate_bps))
+                    }
+                    _ => None,
+                }
+            });
+            let Some((rem, rate)) = proj else {
+                self.heap.pop();
+                continue;
+            };
+            if t <= self.now {
+                // The projection is not in the future, yet the flow still
+                // has bytes left — byte-ceil rounding drifted across an
+                // advance at an unchanged rate. Re-project from the current
+                // state; the new time is strictly later than `now` (a
+                // nonzero byte count never rounds to a zero duration), so
+                // drivers that advance to the returned time always make
+                // progress.
+                self.heap.pop();
+                let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, rate);
+                self.heap.push(Reverse((self.now + d, id, fe)));
+                continue;
+            }
+            return Some((t, fid));
+        }
+        None
+    }
+
+    /// Drop dead heap entries eagerly; keeps the heap O(live flows).
+    fn compact_heap(&mut self) {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|&Reverse((_, id, fe))| {
+            self.index
+                .get(&FlowId(id))
+                .map(|&slot| {
+                    self.slots[slot as usize]
+                        .as_ref()
+                        .expect("live slot")
+                        .rate_epoch
+                        == fe
+                })
+                .unwrap_or(false)
+        });
+        self.heap = BinaryHeap::from(entries);
+    }
+
+    /// Committed rate on `link` (bits/sec) as of the last recompute.
+    pub fn link_load_bps(&self, link: LinkId) -> f64 {
+        self.link_load_bps[link.0 as usize]
+    }
+
+    /// Load / capacity for `link`, in `[0, 1]`. A link degraded to zero
+    /// capacity reports utilization 1.0 — it can carry nothing, and path
+    /// scoring must treat it as saturated rather than divide by zero.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        let cap = self.topo.link(link).capacity_bps;
+        if cap <= 0.0 {
+            return 1.0;
+        }
+        self.link_load_bps(link) / cap
+    }
+
+    /// Cumulative bytes sourced by `node` since the start of the run.
+    pub fn cum_tx_bytes(&self, node: NodeId) -> f64 {
+        self.cum_tx_bytes
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    // --- incidence-list and hot-set maintenance -------------------------
+
+    fn alloc_slot(&mut self, st: FlowSlot) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            self.slots[s as usize] = Some(st);
+            s
+        } else {
+            self.slots.push(Some(st));
+            self.flow_in_region.push(false);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn mark_link_dirty(&mut self, l: u32) {
+        if !self.link_dirty[l as usize] {
+            self.link_dirty[l as usize] = true;
+            self.dirty_links.push(l);
+        }
+    }
+
+    fn mark_flow_links_dirty(&mut self, slot: u32) {
+        let links = std::mem::take(&mut self.slot_mut(slot).links);
+        for &l in &links {
+            self.mark_link_dirty(l);
+        }
+        self.slot_mut(slot).links = links;
+    }
+
+    /// Add the flow to the incidence lists and CBR aggregates.
+    fn link_flow(&mut self, slot: u32) {
+        let st = self.slot_mut(slot);
+        debug_assert!(!st.linked);
+        st.linked = true;
+        let links = std::mem::take(&mut st.links);
+        let mut link_pos = std::mem::take(&mut st.link_pos);
+        let cbr = match st.flow.spec.kind {
+            FlowKind::Cbr { rate_bps } => rate_bps,
+            FlowKind::Adaptive => -1.0,
+        };
+        for (k, &l) in links.iter().enumerate() {
+            let lf = &mut self.link_flows[l as usize];
+            link_pos[k] = lf.len() as u32;
+            lf.push(LinkEntry { slot, k: k as u32 });
+            if cbr >= 0.0 {
+                self.cbr_requested_bps[l as usize] += cbr;
+            }
+        }
+        let st = self.slot_mut(slot);
+        st.links = links;
+        st.link_pos = link_pos;
+    }
+
+    /// Remove the flow from the incidence lists and CBR aggregates.
+    fn unlink_flow(&mut self, slot: u32) {
+        let st = self.slot_mut(slot);
+        debug_assert!(st.linked);
+        st.linked = false;
+        let links = std::mem::take(&mut st.links);
+        let mut link_pos = std::mem::take(&mut st.link_pos);
+        let cbr = match st.flow.spec.kind {
+            FlowKind::Cbr { rate_bps } => rate_bps,
+            FlowKind::Adaptive => -1.0,
+        };
+        for (k, &l) in links.iter().enumerate() {
+            let lf = &mut self.link_flows[l as usize];
+            let pos = link_pos[k] as usize;
+            lf.swap_remove(pos);
+            if pos < lf.len() {
+                let moved = lf[pos];
+                if moved.slot == slot {
+                    // A later hop of this same flow was moved (paths never
+                    // repeat links, but stay safe): its position lives in
+                    // the vector we took out.
+                    link_pos[moved.k as usize] = pos as u32;
+                } else {
+                    self.slots[moved.slot as usize]
+                        .as_mut()
+                        .expect("live slot")
+                        .link_pos[moved.k as usize] = pos as u32;
+                }
+            }
+            if cbr >= 0.0 {
+                let agg = &mut self.cbr_requested_bps[l as usize];
+                *agg = (*agg - cbr).max(0.0);
+            }
+        }
+        let st = self.slot_mut(slot);
+        st.links = links;
+        st.link_pos = link_pos;
+    }
+
+    fn activate(&mut self, slot: u32) {
+        if self.slot(slot).active_pos == NONE_U32 {
+            self.slot_mut(slot).active_pos = self.active.len() as u32;
+            self.active.push(slot);
+        }
+    }
+
+    fn deactivate(&mut self, slot: u32) {
+        let pos = self.slot(slot).active_pos;
+        if pos == NONE_U32 {
+            return;
+        }
+        self.slot_mut(slot).active_pos = NONE_U32;
+        self.active.swap_remove(pos as usize);
+        if (pos as usize) < self.active.len() {
+            let moved = self.active[pos as usize];
+            self.slot_mut(moved).active_pos = pos;
+        }
+    }
+
+    // --- reference cross-check ------------------------------------------
+
+    /// Solve the whole network with the retained reference allocator
+    /// ([`max_min_fair`]), exactly as the pre-incremental engine did on
+    /// every recompute. Kept public for differential tests and benchmarks.
+    pub fn reference_allocation(&self) -> Allocation {
         let caps: Vec<f64> = (0..self.topo.num_links())
             .map(|l| self.topo.link(LinkId(l as u32)).capacity_bps)
             .collect();
-        // Borrow-friendly staging: collect link index lists first. A
-        // finished-but-not-yet-removed flow is given an empty link list,
-        // which the allocator treats as "consumes nothing".
         let link_lists: Vec<Vec<usize>> = self
-            .flows
-            .values()
-            .map(|f| {
+            .flows()
+            .map(|(_, f)| {
                 if f.is_complete() {
                     Vec::new()
                 } else {
@@ -254,10 +752,9 @@ impl FlowNet {
             })
             .collect();
         let flow_paths: Vec<FlowPath<'_>> = self
-            .flows
-            .values()
+            .flows()
             .zip(link_lists.iter())
-            .map(|(f, links)| FlowPath {
+            .map(|((_, f), links)| FlowPath {
                 links,
                 cbr_rate_bps: match f.spec.kind {
                     _ if f.is_complete() => None,
@@ -266,49 +763,30 @@ impl FlowNet {
                 },
             })
             .collect();
-        let alloc = max_min_fair(&caps, &flow_paths);
-        for ((_, f), &rate) in self.flows.iter_mut().zip(alloc.rates_bps.iter()) {
-            f.rate_bps = if f.is_complete() { 0.0 } else { rate };
+        max_min_fair(&caps, &flow_paths)
+    }
+
+    /// Assert that the incremental engine's rates and link loads match a
+    /// from-scratch reference solve to within relative 1e-6. Runs after
+    /// every recompute in debug builds; the differential test suite calls
+    /// it explicitly in release.
+    pub fn assert_matches_reference(&self) {
+        let reference = self.reference_allocation();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+        for ((id, f), &want) in self.flows().zip(reference.rates_bps.iter()) {
+            assert!(
+                close(f.rate_bps, want),
+                "flow {id:?}: incremental rate {} vs reference {want}",
+                f.rate_bps
+            );
         }
-        self.link_load_bps = alloc.link_load_bps;
-        self.epoch += 1;
-        self.rates_dirty = false;
-    }
-
-    /// Earliest projected completion among bounded, progressing flows.
-    ///
-    /// # Panics
-    /// Panics if rates are stale.
-    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
-        assert!(!self.rates_dirty, "next_completion with stale rates");
-        let mut best: Option<(SimTime, FlowId)> = None;
-        for (&id, f) in &self.flows {
-            if let Some(rem) = f.remaining_bytes {
-                if rem > 0.0 && f.rate_bps > 0.0 {
-                    let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, f.rate_bps);
-                    let t = self.now + d;
-                    if best.map(|(bt, _)| t < bt).unwrap_or(true) {
-                        best = Some((t, id));
-                    }
-                }
-            }
+        for (l, &want) in reference.link_load_bps.iter().enumerate() {
+            let got = self.link_load_bps[l];
+            assert!(
+                close(got, want),
+                "link {l}: incremental load {got} vs reference {want}"
+            );
         }
-        best
-    }
-
-    /// Committed rate on `link` (bits/sec) as of the last recompute.
-    pub fn link_load_bps(&self, link: LinkId) -> f64 {
-        self.link_load_bps[link.0 as usize]
-    }
-
-    /// Load / capacity for `link`, in `[0, 1]`.
-    pub fn link_utilization(&self, link: LinkId) -> f64 {
-        self.link_load_bps(link) / self.topo.link(link).capacity_bps
-    }
-
-    /// Cumulative bytes sourced by `node` since the start of the run.
-    pub fn cum_tx_bytes(&self, node: NodeId) -> f64 {
-        self.cum_tx_bytes.get(&node).copied().unwrap_or(0.0)
     }
 }
 
@@ -325,7 +803,6 @@ mod tests {
             nic_bps: 1e9,
             trunk_count: 2,
             trunk_bps: 1e9,
-            ..Default::default()
         })
     }
 
@@ -489,5 +966,79 @@ mod tests {
         assert_eq!(net.flow(f1).unwrap().rate_bps, 0.0);
         // Destination NIC is the shared bottleneck (1 Gb/s).
         assert!((net.flow(f2).unwrap().rate_bps - 1e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn zero_capacity_link_has_finite_utilization() {
+        let mr = small();
+        let t = &mr.topology;
+        let trunk = t.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        let mut net = FlowNet::new(t.clone());
+        net.set_link_capacity(trunk, 0.0);
+        net.recompute();
+        let u = net.link_utilization(trunk);
+        assert!(u.is_finite(), "utilization must not be NaN/inf, got {u}");
+        assert_eq!(u, 1.0, "a dead link reads as saturated");
+    }
+
+    #[test]
+    fn incremental_matches_reference_through_flow_churn() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        let t2 = FiveTuple::tcp(mr.servers[0], mr.servers[3], 40001, 50060);
+        let f1 = net.start_flow(
+            FlowSpec::tcp_transfer(t1, 50_000_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        net.recompute();
+        net.assert_matches_reference();
+        let f2 = net.start_flow(
+            FlowSpec::tcp_transfer(t2, 80_000_000),
+            cross_rack_path(&mr, 0, 3, 1),
+        );
+        net.recompute();
+        net.assert_matches_reference();
+        net.advance_to(SimTime::from_millis(100));
+        net.reroute_flow(f2, cross_rack_path(&mr, 0, 3, 0));
+        net.recompute();
+        net.assert_matches_reference();
+        net.remove_flow(f1);
+        net.recompute();
+        net.assert_matches_reference();
+        net.full_recompute();
+        net.assert_matches_reference();
+    }
+
+    #[test]
+    fn disjoint_components_keep_rates_on_unrelated_churn() {
+        // Two flows in different racks, paths sharing no links. Removing
+        // one must not perturb (or even re-derive) the other's rate.
+        let mr = small();
+        let t = &mr.topology;
+        let mut net = FlowNet::new(t.clone());
+        // Rack-local flows: server -> ToR link only.
+        let up0 = t.find_link(mr.servers[0], mr.tors[0], 0).unwrap();
+        let up2 = t.find_link(mr.servers[2], mr.tors[1], 0).unwrap();
+        let ta = FiveTuple::tcp(mr.servers[0], mr.tors[0], 40000, 50060);
+        let tb = FiveTuple::tcp(mr.servers[2], mr.tors[1], 40001, 50060);
+        let fa = net.start_flow(
+            FlowSpec::tcp_transfer(ta, 500_000_000),
+            Path::new(t, vec![up0]).unwrap(),
+        );
+        let fb = net.start_flow(
+            FlowSpec::tcp_transfer(tb, 500_000_000),
+            Path::new(t, vec![up2]).unwrap(),
+        );
+        net.recompute();
+        let ra = net.flow(fa).unwrap().rate_bps;
+        let eb = net.epoch();
+        net.advance_to(SimTime::from_millis(10));
+        net.remove_flow(fb);
+        net.recompute();
+        assert!(net.epoch() > eb);
+        // fa's component was untouched: identical rate, bit for bit.
+        assert_eq!(net.flow(fa).unwrap().rate_bps, ra);
+        net.assert_matches_reference();
     }
 }

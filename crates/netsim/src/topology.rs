@@ -154,20 +154,21 @@ impl Topology {
 
     /// Change a link's capacity in place. Intended for failure/degradation
     /// modelling by the owner of a topology copy (e.g. the live network's
-    /// view after a cable fault); structural shape never changes.
+    /// view after a cable fault); structural shape never changes. Zero is
+    /// allowed here (a hard-down cable); consumers such as
+    /// [`FlowNet::link_utilization`](crate::FlowNet::link_utilization)
+    /// guard the division.
     pub fn set_link_capacity(&mut self, id: LinkId, capacity_bps: f64) {
         assert!(
-            capacity_bps.is_finite() && capacity_bps > 0.0,
-            "capacity must stay positive; model failure as ~1 bps"
+            capacity_bps.is_finite() && capacity_bps >= 0.0,
+            "capacity must stay finite and non-negative"
         );
         self.links[id.0 as usize].capacity_bps = capacity_bps;
     }
 
     /// Look up a node by name (O(n); for tests and builders only).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes()
-            .find(|(_, n)| n.name == name)
-            .map(|(id, _)| id)
+        self.nodes().find(|(_, n)| n.name == name).map(|(id, _)| id)
     }
 }
 

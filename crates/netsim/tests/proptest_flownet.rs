@@ -19,15 +19,20 @@ struct FlowPlan {
 
 fn plans() -> impl Strategy<Value = Vec<FlowPlan>> {
     proptest::collection::vec(
-        (0usize..5, 5usize..10, 0usize..2, 1u64..50_000_000, 0u64..2000).prop_map(
-            |(src, dst, trunk, bytes, start_ms)| FlowPlan {
+        (
+            0usize..5,
+            5usize..10,
+            0usize..2,
+            1u64..50_000_000,
+            0u64..2000,
+        )
+            .prop_map(|(src, dst, trunk, bytes, start_ms)| FlowPlan {
                 src,
                 dst,
                 trunk,
                 bytes,
                 start_ms,
-            },
-        ),
+            }),
         1..25,
     )
 }
@@ -53,7 +58,9 @@ fn execute(plans: &[FlowPlan]) -> (Vec<(f64, SimTime, SimTime)>, f64) {
     let mut pending = sorted.into_iter().peekable();
     loop {
         // Next event: flow arrival or earliest completion.
-        let next_arrival = pending.peek().map(|(_, p)| SimTime::from_millis(p.start_ms));
+        let next_arrival = pending
+            .peek()
+            .map(|(_, p)| SimTime::from_millis(p.start_ms));
         let next_done = net.next_completion();
         let (t, is_arrival) = match (next_arrival, next_done) {
             (Some(a), Some((d, _))) if a <= d => (a, true),
@@ -80,7 +87,8 @@ fn execute(plans: &[FlowPlan]) -> (Vec<(f64, SimTime, SimTime)>, f64) {
                     40000 + idx as u16,
                     50060,
                 );
-                let fid = net.start_flow(FlowSpec::tcp_transfer(tuple, p.bytes), cross_path(&mr, p));
+                let fid =
+                    net.start_flow(FlowSpec::tcp_transfer(tuple, p.bytes), cross_path(&mr, p));
                 id_of.insert(fid, idx);
             }
         }
@@ -88,7 +96,10 @@ fn execute(plans: &[FlowPlan]) -> (Vec<(f64, SimTime, SimTime)>, f64) {
     }
     let total_tx: f64 = mr.servers.iter().map(|&s| net.cum_tx_bytes(s)).sum();
     (
-        results.into_iter().map(|r| r.expect("flow never completed")).collect(),
+        results
+            .into_iter()
+            .map(|r| r.expect("flow never completed"))
+            .collect(),
         total_tx,
     )
 }

@@ -1,0 +1,289 @@
+//! Differential property tests for the incremental rate engine.
+//!
+//! Random perturbation sequences — flow starts, removals, SDN re-routes,
+//! CBR background redraws, link degradations, and time advances — are
+//! driven through [`FlowNet`]'s contract. After every recompute the
+//! incrementally-maintained rates and link loads must match a
+//! from-scratch solve by the retained reference allocator
+//! ([`FlowNet::reference_allocation`] → `max_min_fair`) to within
+//! relative 1e-6, and at the end every bounded flow must have moved
+//! exactly its byte budget.
+//!
+//! Debug builds already cross-check inside `recompute()`; this suite
+//! asserts explicitly so the property also holds in release builds, and
+//! additionally pins the completion-driver liveness property (the lazy
+//! completion heap must never hand back a time the driver cannot make
+//! progress from).
+
+use proptest::prelude::*;
+use pythia_des::SimTime;
+use pythia_netsim::{
+    build_multi_rack, FiveTuple, FlowId, FlowNet, FlowSpec, LinkId, MultiRack, MultiRackParams,
+    Path,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a bounded TCP flow rack0 → rack1.
+    Start {
+        src: usize,
+        dst: usize,
+        trunk: usize,
+        bytes: u64,
+    },
+    /// Start an unbounded CBR background flow on one trunk.
+    StartCbr { trunk: usize, rate: f64 },
+    /// Remove a live flow (index modulo the live set).
+    Remove { which: usize },
+    /// Re-route a live flow onto a (possibly different) trunk.
+    Reroute { which: usize, trunk: usize },
+    /// Redraw a live CBR flow's rate.
+    SetCbr { which: usize, rate: f64 },
+    /// Degrade or restore a link; `frac = 0` takes it hard down.
+    SetCap { link: usize, frac: f64 },
+    /// Advance simulated time.
+    Advance { ms: u64 },
+    /// Advance exactly to the next projected completion.
+    AdvanceToCompletion,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0usize..4, 0usize..4, 0usize..2, 1u64..200_000_000).prop_map(
+            |(src, dst, trunk, bytes)| Op::Start {
+                src,
+                dst,
+                trunk,
+                bytes
+            }
+        ),
+        (0usize..2, 1e6f64..9e9).prop_map(|(trunk, rate)| Op::StartCbr { trunk, rate }),
+        (0usize..64).prop_map(|which| Op::Remove { which }),
+        (0usize..64, 0usize..2).prop_map(|(which, trunk)| Op::Reroute { which, trunk }),
+        (0usize..64, 0f64..12e9).prop_map(|(which, rate)| Op::SetCbr { which, rate }),
+        (
+            0usize..64,
+            prop_oneof![Just(0.0f64), Just(1.0f64), 0.05f64..1.0]
+        )
+            .prop_map(|(link, frac)| Op::SetCap { link, frac }),
+        (1u64..400).prop_map(|ms| Op::Advance { ms }),
+        Just(Op::AdvanceToCompletion),
+    ];
+    proptest::collection::vec(op, 1..40)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LiveKind {
+    Tcp { src: usize, dst: usize },
+    Cbr,
+}
+
+struct Driver {
+    mr: MultiRack,
+    net: FlowNet,
+    live: Vec<(FlowId, LiveKind)>,
+    /// (expected bytes, transferred) for every removed bounded flow.
+    finished: Vec<(f64, f64)>,
+    base_caps: Vec<f64>,
+}
+
+impl Driver {
+    fn new() -> Self {
+        let mr = build_multi_rack(&MultiRackParams {
+            racks: 2,
+            servers_per_rack: 4,
+            nic_bps: 1e9,
+            trunk_count: 2,
+            trunk_bps: 10e9,
+        });
+        let net = FlowNet::new(mr.topology.clone());
+        let base_caps = mr.topology.links().map(|(_, l)| l.capacity_bps).collect();
+        Driver {
+            mr,
+            net,
+            live: Vec::new(),
+            finished: Vec::new(),
+            base_caps,
+        }
+    }
+
+    fn cross_path(&self, src: usize, dst: usize, trunk: usize) -> Path {
+        let t = &self.mr.topology;
+        let s = self.mr.servers[src];
+        let d = self.mr.servers[4 + dst];
+        let up = t.find_link(s, self.mr.tors[0], 0).unwrap();
+        let tr = t
+            .find_link(self.mr.tors[0], self.mr.tors[1], trunk)
+            .unwrap();
+        let down = t.find_link(self.mr.tors[1], d, 0).unwrap();
+        Path::new(t, vec![up, tr, down]).unwrap()
+    }
+
+    fn trunk_path(&self, trunk: usize) -> Path {
+        let t = &self.mr.topology;
+        let tr = t
+            .find_link(self.mr.tors[0], self.mr.tors[1], trunk)
+            .unwrap();
+        Path::new(t, vec![tr]).unwrap()
+    }
+
+    fn remove(&mut self, id: FlowId) {
+        let pos = self.live.iter().position(|&(f, _)| f == id).unwrap();
+        self.live.remove(pos);
+        let f = self.net.flow(id).unwrap();
+        let expected = f.spec.size_bytes;
+        let completed = f.is_complete();
+        let rep = self.net.remove_flow(id);
+        if let Some(b) = expected {
+            if completed {
+                // Ran to completion: must have moved exactly its budget.
+                self.finished.push((b as f64, rep.transferred_bytes));
+            } else {
+                // Aborted mid-transfer by a Remove op: can only have moved
+                // less than its budget.
+                assert!(
+                    rep.transferred_bytes < b as f64 + 1.0,
+                    "aborted flow moved {} of {b}",
+                    rep.transferred_bytes
+                );
+            }
+        }
+    }
+
+    /// Advance to `t`, removing any flows that complete on the way.
+    fn advance(&mut self, t: SimTime) {
+        for id in self.net.advance_to(t) {
+            self.remove(id);
+        }
+    }
+
+    fn apply(&mut self, op: &Op, next_port: &mut u16) {
+        match *op {
+            Op::Start {
+                src,
+                dst,
+                trunk,
+                bytes,
+            } => {
+                let tuple = FiveTuple::tcp(
+                    self.mr.servers[src],
+                    self.mr.servers[4 + dst],
+                    *next_port,
+                    50060,
+                );
+                *next_port += 1;
+                let id = self.net.start_flow(
+                    FlowSpec::tcp_transfer(tuple, bytes),
+                    self.cross_path(src, dst, trunk),
+                );
+                self.live.push((id, LiveKind::Tcp { src, dst }));
+            }
+            Op::StartCbr { trunk, rate } => {
+                let tuple = FiveTuple::udp(self.mr.tors[0], self.mr.tors[1], *next_port, 9);
+                *next_port += 1;
+                let id = self
+                    .net
+                    .start_flow(FlowSpec::cbr(tuple, rate), self.trunk_path(trunk));
+                self.live.push((id, LiveKind::Cbr));
+            }
+            Op::Remove { which } => {
+                if !self.live.is_empty() {
+                    let id = self.live[which % self.live.len()].0;
+                    self.remove(id);
+                }
+            }
+            Op::Reroute { which, trunk } => {
+                if !self.live.is_empty() {
+                    let (id, kind) = self.live[which % self.live.len()];
+                    let path = match kind {
+                        LiveKind::Tcp { src, dst } => self.cross_path(src, dst, trunk),
+                        LiveKind::Cbr => self.trunk_path(trunk),
+                    };
+                    self.net.reroute_flow(id, path);
+                }
+            }
+            Op::SetCbr { which, rate } => {
+                let cbrs: Vec<FlowId> = self
+                    .live
+                    .iter()
+                    .filter(|(_, k)| matches!(k, LiveKind::Cbr))
+                    .map(|&(id, _)| id)
+                    .collect();
+                if !cbrs.is_empty() {
+                    self.net.set_cbr_rate(cbrs[which % cbrs.len()], rate);
+                }
+            }
+            Op::SetCap { link, frac } => {
+                let l = link % self.base_caps.len();
+                self.net
+                    .set_link_capacity(LinkId(l as u32), self.base_caps[l] * frac);
+            }
+            Op::Advance { ms } => {
+                let t = self.net.now() + pythia_des::SimDuration::from_millis(ms);
+                self.advance(t);
+            }
+            Op::AdvanceToCompletion => {
+                if let Some((t, _)) = self.net.next_completion() {
+                    self.advance(t);
+                }
+            }
+        }
+        self.net.recompute();
+        self.net.assert_matches_reference();
+    }
+
+    /// Restore all links, then run the event loop until every bounded
+    /// flow completes. A stalled driver (next_completion handing back a
+    /// time that makes no progress) trips the iteration guard.
+    fn drain(&mut self) {
+        for l in 0..self.base_caps.len() {
+            self.net
+                .set_link_capacity(LinkId(l as u32), self.base_caps[l]);
+        }
+        self.net.recompute();
+        self.net.assert_matches_reference();
+        let bounded = self
+            .live
+            .iter()
+            .filter(|&&(id, _)| self.net.flow(id).unwrap().spec.size_bytes.is_some())
+            .count();
+        let mut guard = 10 * bounded + 10;
+        while let Some((t, _)) = self.net.next_completion() {
+            assert!(guard > 0, "completion driver stopped making progress");
+            guard -= 1;
+            self.advance(t);
+            self.net.recompute();
+            self.net.assert_matches_reference();
+        }
+        for &(id, _) in &self.live {
+            let f = self.net.flow(id).unwrap();
+            assert!(
+                f.spec.size_bytes.is_none(),
+                "bounded flow {id:?} never completed"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental rates == reference rates after every single recompute,
+    /// across arbitrary interleavings of every mutation the engine
+    /// supports; and byte accounting stays exact through it all.
+    #[test]
+    fn incremental_engine_matches_reference(ops in ops()) {
+        let mut d = Driver::new();
+        let mut next_port = 40000u16;
+        for op in &ops {
+            d.apply(op, &mut next_port);
+        }
+        d.drain();
+        for &(expected, got) in &d.finished {
+            prop_assert!(
+                (expected - got).abs() < 1.0,
+                "flow moved {got} of {expected} bytes"
+            );
+        }
+    }
+}

@@ -271,10 +271,7 @@ mod tests {
     #[test]
     fn link_failure_removes_paths_and_recovers() {
         let (mr, mut c) = controller();
-        let trunk0 = mr
-            .topology
-            .find_link(mr.tors[0], mr.tors[1], 0)
-            .unwrap();
+        let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
         c.on_link_state(trunk0, false);
         let paths = c.paths(mr.servers[0], mr.servers[5]);
         assert_eq!(paths.len(), 1, "one trunk left");
@@ -328,8 +325,16 @@ mod tests {
         let mut b = mk();
         let path = a.paths(mr.servers[0], mr.servers[5])[0].clone();
         let m = FlowMatch::server_pair(mr.servers[0], mr.servers[5]);
-        let da: Vec<_> = a.install_path(m, &path, 1).iter().map(|p| p.delay).collect();
-        let db: Vec<_> = b.install_path(m, &path, 1).iter().map(|p| p.delay).collect();
+        let da: Vec<_> = a
+            .install_path(m, &path, 1)
+            .iter()
+            .map(|p| p.delay)
+            .collect();
+        let db: Vec<_> = b
+            .install_path(m, &path, 1)
+            .iter()
+            .map(|p| p.delay)
+            .collect();
         assert_eq!(da, db);
     }
 }

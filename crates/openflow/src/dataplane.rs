@@ -131,9 +131,7 @@ impl Dataplane {
             let out = if let Some(table) = self.tables.get_mut(&node) {
                 match table.lookup(tuple) {
                     Some(rule) => rule.out_link,
-                    None => {
-                        self.default_choice(node, tuple, default, candidates_for)?
-                    }
+                    None => self.default_choice(node, tuple, default, candidates_for)?,
                 }
             } else {
                 // Hosts have no tables; they default-forward (single NIC in
@@ -180,11 +178,7 @@ mod tests {
         }
     }
 
-    fn setup() -> (
-        pythia_netsim::MultiRack,
-        Dataplane,
-        EcmpNextHops,
-    ) {
+    fn setup() -> (pythia_netsim::MultiRack, Dataplane, EcmpNextHops) {
         let mr = build_multi_rack(&MultiRackParams::default());
         let dp = Dataplane::new(&mr.topology, 1000);
         let nh = EcmpNextHops::compute(&mr.topology);
@@ -253,7 +247,9 @@ mod tests {
             ..FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060)
         };
         let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
-        let p = dp.resolve_path(topo, &udp, &FirstCandidate, &cands).unwrap();
+        let p = dp
+            .resolve_path(topo, &udp, &FirstCandidate, &cands)
+            .unwrap();
         assert!(!p.contains_link(trunk1));
     }
 
@@ -296,8 +292,24 @@ mod tests {
         let m = FlowMatch::server_pair(mr.servers[0], mr.servers[7]);
         let l0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
         let l1 = mr.topology.find_link(mr.tors[1], mr.servers[7], 0).unwrap();
-        dp.install(mr.tors[0], FlowRule { matcher: m, priority: 1, out_link: l0 }).unwrap();
-        dp.install(mr.tors[1], FlowRule { matcher: m, priority: 1, out_link: l1 }).unwrap();
+        dp.install(
+            mr.tors[0],
+            FlowRule {
+                matcher: m,
+                priority: 1,
+                out_link: l0,
+            },
+        )
+        .unwrap();
+        dp.install(
+            mr.tors[1],
+            FlowRule {
+                matcher: m,
+                priority: 1,
+                out_link: l1,
+            },
+        )
+        .unwrap();
         assert_eq!(dp.total_rules(), 2);
         assert_eq!(dp.remove_everywhere(&m), 2);
         assert_eq!(dp.total_rules(), 0);

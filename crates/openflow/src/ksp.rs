@@ -9,7 +9,7 @@
 //! allocator spreads load across.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 use pythia_netsim::{LinkId, NodeId, Path, Topology};
 
@@ -113,9 +113,7 @@ pub fn k_shortest_paths_avoiding(
             }
             // Ban root nodes (except the spur node) to keep paths simple.
             let banned_nodes: HashSet<NodeId> = prev_nodes[..i].iter().copied().collect();
-            if let Some(spur) =
-                shortest_path(topo, spur_node, dst, &banned_links, &banned_nodes)
-            {
+            if let Some(spur) = shortest_path(topo, spur_node, dst, &banned_links, &banned_nodes) {
                 let mut links = root_links.clone();
                 links.extend_from_slice(spur.links());
                 let total = Path::new_unchecked(topo, links);

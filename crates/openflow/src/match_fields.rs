@@ -57,11 +57,11 @@ impl FlowMatch {
 
     /// True if `t` satisfies every non-wildcard field.
     pub fn matches(&self, t: &FiveTuple) -> bool {
-        self.src.map_or(true, |v| v == t.src)
-            && self.dst.map_or(true, |v| v == t.dst)
-            && self.src_port.map_or(true, |v| v == t.src_port)
-            && self.dst_port.map_or(true, |v| v == t.dst_port)
-            && self.proto.map_or(true, |v| v == t.proto)
+        self.src.is_none_or(|v| v == t.src)
+            && self.dst.is_none_or(|v| v == t.dst)
+            && self.src_port.is_none_or(|v| v == t.src_port)
+            && self.dst_port.is_none_or(|v| v == t.dst_port)
+            && self.proto.is_none_or(|v| v == t.proto)
     }
 
     /// Number of wildcarded fields (0 = exact match). Wider rules consume

@@ -6,8 +6,8 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 use pythia_netsim::{build_multi_rack, FiveTuple, LinkId, MultiRackParams, NodeId, Protocol};
 use pythia_openflow::{
-    k_shortest_paths, k_shortest_paths_avoiding, shortest_path, EcmpNextHops, FlowMatch,
-    FlowRule, FlowTable,
+    k_shortest_paths, k_shortest_paths_avoiding, shortest_path, EcmpNextHops, FlowMatch, FlowRule,
+    FlowTable,
 };
 
 fn params() -> impl Strategy<Value = MultiRackParams> {
@@ -148,14 +148,12 @@ fn arb_match() -> impl Strategy<Value = FlowMatch> {
 }
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
-    (0u32..4, 0u32..4, 0u16..3, 0u16..3, any::<bool>()).prop_map(|(s, d, sp, dp, tcp)| {
-        FiveTuple {
-            src: NodeId(s),
-            dst: NodeId(d),
-            src_port: sp,
-            dst_port: dp,
-            proto: if tcp { Protocol::Tcp } else { Protocol::Udp },
-        }
+    (0u32..4, 0u32..4, 0u16..3, 0u16..3, any::<bool>()).prop_map(|(s, d, sp, dp, tcp)| FiveTuple {
+        src: NodeId(s),
+        dst: NodeId(d),
+        src_port: sp,
+        dst_port: dp,
+        proto: if tcp { Protocol::Tcp } else { Protocol::Udp },
     })
 }
 

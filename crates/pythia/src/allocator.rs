@@ -312,7 +312,10 @@ impl FlowAllocator {
 
     /// Outstanding planned bytes for a pair.
     pub fn outstanding(&self, pair: (NodeId, NodeId)) -> u64 {
-        self.assignments.get(&pair).map(|a| a.outstanding).unwrap_or(0)
+        self.assignments
+            .get(&pair)
+            .map(|a| a.outstanding)
+            .unwrap_or(0)
     }
 
     /// Planned bytes at the path's most-loaded link.
@@ -377,8 +380,14 @@ mod tests {
             Path::new(t, vec![up, tr, down]).unwrap()
         };
         vec![
-            PathChoice { path: mk(0), resid_bps: resid0 },
-            PathChoice { path: mk(1), resid_bps: resid1 },
+            PathChoice {
+                path: mk(0),
+                resid_bps: resid0,
+            },
+            PathChoice {
+                path: mk(1),
+                resid_bps: resid1,
+            },
         ]
     }
 
@@ -413,10 +422,14 @@ mod tests {
         // (each pair has its own NIC legs; only the trunks are shared).
         let p1 = (mr.servers[0], mr.servers[5]);
         let p2 = (mr.servers[1], mr.servers[6]);
-        let Placement::Assign(path1) = a.place(p1, 100_000_000, &pair_candidates(&mr, 0, 5, 1e9, 1e9)) else {
+        let Placement::Assign(path1) =
+            a.place(p1, 100_000_000, &pair_candidates(&mr, 0, 5, 1e9, 1e9))
+        else {
             panic!()
         };
-        let Placement::Assign(path2) = a.place(p2, 100_000_000, &pair_candidates(&mr, 1, 6, 1e9, 1e9)) else {
+        let Placement::Assign(path2) =
+            a.place(p2, 100_000_000, &pair_candidates(&mr, 1, 6, 1e9, 1e9))
+        else {
             panic!()
         };
         assert_ne!(
@@ -453,7 +466,12 @@ mod tests {
             panic!()
         };
         assert_eq!(p2.links()[1], p3.links()[1]);
-        assert_ne!(p2.links()[1], a.assigned_path((mr.servers[0], mr.servers[5])).unwrap().links()[1]);
+        assert_ne!(
+            p2.links()[1],
+            a.assigned_path((mr.servers[0], mr.servers[5]))
+                .unwrap()
+                .links()[1]
+        );
     }
 
     #[test]

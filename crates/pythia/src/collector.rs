@@ -305,13 +305,25 @@ mod tests {
         c.on_prediction(SimTime::ZERO, &msg(1, 0, vec![300], 0));
         assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 800);
         let drained = c
-            .on_fetch_completed(JobId(0), MapTaskId(0), ReducerId(0), ServerId(0), ServerId(1))
+            .on_fetch_completed(
+                JobId(0),
+                MapTaskId(0),
+                ReducerId(0),
+                ServerId(0),
+                ServerId(1),
+            )
             .unwrap();
         assert_eq!(drained, ((NodeId(10), NodeId(11)), 500));
         assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 300);
         // Unknown fetch: None.
         assert!(c
-            .on_fetch_completed(JobId(0), MapTaskId(9), ReducerId(0), ServerId(0), ServerId(1))
+            .on_fetch_completed(
+                JobId(0),
+                MapTaskId(9),
+                ReducerId(0),
+                ServerId(0),
+                ServerId(1)
+            )
             .is_none());
     }
 

@@ -103,7 +103,12 @@ mod tests {
         let mut inst = Instrumentation::new(ServerId(3));
         let index = IndexFile::from_partition_sizes(&[1_000_000, 0, 250_000], 1.0);
         let msg = inst
-            .on_spill(SimTime::from_secs(5), JobId(0), MapTaskId(7), &index.encode())
+            .on_spill(
+                SimTime::from_secs(5),
+                JobId(0),
+                MapTaskId(7),
+                &index.encode(),
+            )
             .unwrap();
         assert_eq!(msg.map, MapTaskId(7));
         assert_eq!(msg.src_server, ServerId(3));
@@ -120,9 +125,13 @@ mod tests {
     #[test]
     fn corrupt_index_is_an_error_not_a_prediction() {
         let mut inst = Instrumentation::new(ServerId(0));
-        let mut data = IndexFile::from_partition_sizes(&[100], 1.0).encode().to_vec();
+        let mut data = IndexFile::from_partition_sizes(&[100], 1.0)
+            .encode()
+            .to_vec();
         data[15] ^= 0xff;
-        assert!(inst.on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), &data).is_err());
+        assert!(inst
+            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), &data)
+            .is_err());
         assert_eq!(inst.spills_decoded, 0, "failed decode must not count");
     }
 

@@ -41,12 +41,7 @@ impl MiddlewareCostModel {
     /// Average CPU overhead fraction on a server that processed `spills`
     /// map finishes of `avg_spill_bytes` intermediate output each, over a
     /// `window` of wall-clock time.
-    pub fn overhead_fraction(
-        &self,
-        spills: u64,
-        avg_spill_bytes: u64,
-        window: SimDuration,
-    ) -> f64 {
+    pub fn overhead_fraction(&self, spills: u64, avg_spill_bytes: u64, window: SimDuration) -> f64 {
         assert!(window > SimDuration::ZERO, "empty observation window");
         let per_spill =
             self.decode_base.as_secs_f64() + avg_spill_bytes as f64 * self.analysis_secs_per_byte;
@@ -87,9 +82,7 @@ mod tests {
         let m = MiddlewareCostModel::default();
         let w = SimDuration::from_secs(1000);
         assert!(m.overhead_fraction(100, 1_000_000, w) > m.overhead_fraction(10, 1_000_000, w));
-        assert!(
-            m.overhead_fraction(10, 100_000_000, w) > m.overhead_fraction(10, 1_000_000, w)
-        );
+        assert!(m.overhead_fraction(10, 100_000_000, w) > m.overhead_fraction(10, 1_000_000, w));
     }
 
     #[test]

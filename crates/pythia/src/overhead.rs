@@ -111,7 +111,7 @@ mod tests {
             let a = actual_wire_factor(map, 3, 9);
             let b = actual_wire_factor(map, 3, 9);
             assert_eq!(a, b);
-            assert!(a >= 1.0 + ACTUAL_OVERHEAD_MIN && a <= 1.0 + ACTUAL_OVERHEAD_MAX);
+            assert!((1.0 + ACTUAL_OVERHEAD_MIN..=1.0 + ACTUAL_OVERHEAD_MAX).contains(&a));
         }
         assert_ne!(actual_wire_factor(0, 0, 1), actual_wire_factor(1, 0, 1));
     }

@@ -184,7 +184,9 @@ impl PythiaSystem {
         controller: &mut Controller,
         background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
-        let demands = self.collector.on_reducer_location(now, job, reducer, server);
+        let demands = self
+            .collector
+            .on_reducer_location(now, job, reducer, server);
         self.handle_demands(&demands, controller, background_bps)
     }
 
@@ -239,7 +241,10 @@ impl PythiaSystem {
         src: ServerId,
         dst: ServerId,
     ) {
-        if let Some((pair, bytes)) = self.collector.on_fetch_completed(job, map, reducer, src, dst) {
+        if let Some((pair, bytes)) = self
+            .collector
+            .on_fetch_completed(job, map, reducer, src, dst)
+        {
             self.allocator.drain(pair, bytes);
             if self.cfg.aggregation == AggregationPolicy::RackPair {
                 self.unpin_rack_if_idle(pair);
@@ -296,7 +301,10 @@ impl PythiaSystem {
                     }
                 }
             }
-            match self.allocator.place((d.src, d.dst), d.added_bytes, &candidates) {
+            match self
+                .allocator
+                .place((d.src, d.dst), d.added_bytes, &candidates)
+            {
                 Placement::Assign(path) => {
                     self.stats.paths_assigned += 1;
                     if self.cfg.aggregation == AggregationPolicy::RackPair {
@@ -314,12 +322,7 @@ impl PythiaSystem {
     }
 
     /// The rack pair of a server pair, if both ends have rack labels.
-    fn rack_key(
-        &self,
-        controller: &Controller,
-        src: NodeId,
-        dst: NodeId,
-    ) -> Option<(u32, u32)> {
+    fn rack_key(&self, controller: &Controller, src: NodeId, dst: NodeId) -> Option<(u32, u32)> {
         let topo = controller.topology();
         Some((topo.node(src).rack()?, topo.node(dst).rack()?))
     }
@@ -421,9 +424,18 @@ mod tests {
         );
         let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
         let (msg, deliver_at) = py
-            .on_spill(SimTime::from_secs(10), JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .on_spill(
+                SimTime::from_secs(10),
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &index.encode(),
+            )
             .unwrap();
-        assert_eq!(deliver_at, SimTime::from_secs(10) + SimDuration::from_millis(1));
+        assert_eq!(
+            deliver_at,
+            SimTime::from_secs(10) + SimDuration::from_millis(1)
+        );
         let rules = py.on_prediction_delivered(deliver_at, &msg, &mut ctl, &no_background);
         // Cross-rack path: rules at both ToRs.
         assert_eq!(rules.len(), 2);
@@ -442,7 +454,13 @@ mod tests {
         let (mr, mut ctl, mut py) = setup();
         let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
         let (msg, at) = py
-            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &index.encode(),
+            )
             .unwrap();
         let rules = py.on_prediction_delivered(at, &msg, &mut ctl, &no_background);
         assert!(rules.is_empty());
@@ -463,10 +481,23 @@ mod tests {
     #[test]
     fn local_pair_installs_nothing() {
         let (_mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(0), &mut ctl, &no_background);
+        py.on_reducer_launched(
+            SimTime::ZERO,
+            JobId(0),
+            ReducerId(0),
+            ServerId(0),
+            &mut ctl,
+            &no_background,
+        );
         let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
         let (msg, at) = py
-            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &index.encode(),
+            )
             .unwrap();
         let rules = py.on_prediction_delivered(at, &msg, &mut ctl, &no_background);
         assert!(rules.is_empty());
@@ -475,15 +506,34 @@ mod tests {
     #[test]
     fn second_prediction_on_active_pair_reuses_path() {
         let (mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
+        py.on_reducer_launched(
+            SimTime::ZERO,
+            JobId(0),
+            ReducerId(0),
+            ServerId(5),
+            &mut ctl,
+            &no_background,
+        );
         let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
         let (m1, a1) = py
-            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &index.encode(),
+            )
             .unwrap();
         let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
         assert_eq!(r1.len(), 2);
         let (m2, a2) = py
-            .on_spill(SimTime::from_secs(1), JobId(0), MapTaskId(1), ServerId(0), &index.encode())
+            .on_spill(
+                SimTime::from_secs(1),
+                JobId(0),
+                MapTaskId(1),
+                ServerId(0),
+                &index.encode(),
+            )
             .unwrap();
         let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl, &no_background);
         assert!(r2.is_empty(), "active pair must not churn rules");
@@ -493,23 +543,44 @@ mod tests {
     #[test]
     fn fetch_completion_drains_outstanding() {
         let (mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
+        py.on_reducer_launched(
+            SimTime::ZERO,
+            JobId(0),
+            ReducerId(0),
+            ServerId(5),
+            &mut ctl,
+            &no_background,
+        );
         let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
         let (m1, a1) = py
-            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &index.encode(),
+            )
             .unwrap();
         py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
         let before = py.outstanding(mr.servers[0], mr.servers[5]);
         assert!(before > 0);
-        py.on_fetch_completed(JobId(0), MapTaskId(0), ReducerId(0), ServerId(0), ServerId(5));
+        py.on_fetch_completed(
+            JobId(0),
+            MapTaskId(0),
+            ReducerId(0),
+            ServerId(0),
+            ServerId(5),
+        );
         assert_eq!(py.outstanding(mr.servers[0], mr.servers[5]), 0);
     }
 
     #[test]
     fn rack_aggregation_pins_all_pairs_to_one_trunk() {
         let (mr, mut ctl, _) = setup();
-        let mut cfg = PythiaConfig::default();
-        cfg.aggregation = AggregationPolicy::RackPair;
+        let cfg = PythiaConfig {
+            aggregation: AggregationPolicy::RackPair,
+            ..Default::default()
+        };
         let mut py = PythiaSystem::new(cfg, mr.servers.clone());
         // Reducers 0..3 on rack-1 servers 5..8.
         for r in 0..4u32 {
@@ -527,7 +598,13 @@ mod tests {
         let mut trunks = std::collections::BTreeSet::new();
         for srv in 0..4u32 {
             let (msg, at) = py
-                .on_spill(SimTime::ZERO, JobId(0), MapTaskId(srv), ServerId(srv), &index.encode())
+                .on_spill(
+                    SimTime::ZERO,
+                    JobId(0),
+                    MapTaskId(srv),
+                    ServerId(srv),
+                    &index.encode(),
+                )
                 .unwrap();
             for rule in py.on_prediction_delivered(at, &msg, &mut ctl, &no_background) {
                 if rule.switch == mr.tors[0] {
@@ -559,7 +636,13 @@ mod tests {
         let mut trunks = std::collections::BTreeSet::new();
         for srv in 0..4u32 {
             let (msg, at) = py
-                .on_spill(SimTime::ZERO, JobId(0), MapTaskId(srv), ServerId(srv), &index.encode())
+                .on_spill(
+                    SimTime::ZERO,
+                    JobId(0),
+                    MapTaskId(srv),
+                    ServerId(srv),
+                    &index.encode(),
+                )
                 .unwrap();
             for rule in py.on_prediction_delivered(at, &msg, &mut ctl, &no_background) {
                 if rule.switch == mr.tors[0] {
@@ -573,11 +656,27 @@ mod tests {
     #[test]
     fn size_blind_mode_places_by_count_not_volume() {
         let (mr, mut ctl, _) = setup();
-        let mut cfg = PythiaConfig::default();
-        cfg.allocation = AllocationMode::SizeBlind;
+        let cfg = PythiaConfig {
+            allocation: AllocationMode::SizeBlind,
+            ..Default::default()
+        };
         let mut py = PythiaSystem::new(cfg, mr.servers.clone());
-        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
-        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(1), ServerId(6), &mut ctl, &no_background);
+        py.on_reducer_launched(
+            SimTime::ZERO,
+            JobId(0),
+            ReducerId(0),
+            ServerId(5),
+            &mut ctl,
+            &no_background,
+        );
+        py.on_reducer_launched(
+            SimTime::ZERO,
+            JobId(0),
+            ReducerId(1),
+            ServerId(6),
+            &mut ctl,
+            &no_background,
+        );
         // One huge transfer, then two tiny ones. Size-blind counts 1 pair
         // per trunk: the huge one lands alone on trunk A, tiny #1 on B,
         // tiny #2 back on A (count tie ...) — crucially it does NOT weigh
@@ -585,30 +684,65 @@ mod tests {
         let huge = IndexFile::from_partition_sizes(&[1_000_000_000, 0], 1.0);
         let tiny = IndexFile::from_partition_sizes(&[0, 1_000], 1.0);
         let (m1, a1) = py
-            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &huge.encode())
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &huge.encode(),
+            )
             .unwrap();
         let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
         let (m2, a2) = py
-            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(1), ServerId(1), &tiny.encode())
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(1),
+                ServerId(1),
+                &tiny.encode(),
+            )
             .unwrap();
         let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl, &no_background);
         // Both placements happen; the tiny pair takes the other trunk
         // despite the byte imbalance being irrelevant to it.
-        let t1 = r1.iter().find(|r| r.switch == mr.tors[0]).unwrap().rule.out_link;
-        let t2 = r2.iter().find(|r| r.switch == mr.tors[0]).unwrap().rule.out_link;
+        let t1 = r1
+            .iter()
+            .find(|r| r.switch == mr.tors[0])
+            .unwrap()
+            .rule
+            .out_link;
+        let t2 = r2
+            .iter()
+            .find(|r| r.switch == mr.tors[0])
+            .unwrap()
+            .rule
+            .out_link;
         assert_ne!(t1, t2);
     }
 
     #[test]
     fn background_steers_placement() {
         let (mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl, &no_background);
+        py.on_reducer_launched(
+            SimTime::ZERO,
+            JobId(0),
+            ReducerId(0),
+            ServerId(5),
+            &mut ctl,
+            &no_background,
+        );
         // Trunk 0 (first cable tor0→tor1) carries 9.9 Gb/s of background.
         let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
         let bg = move |l: LinkId| if l == trunk0 { 9.9e9 } else { 0.0 };
         let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
         let (m1, a1) = py
-            .on_spill(SimTime::ZERO, JobId(0), MapTaskId(0), ServerId(0), &index.encode())
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &index.encode(),
+            )
             .unwrap();
         let rules = py.on_prediction_delivered(a1, &m1, &mut ctl, &bg);
         // The rule at tor0 must avoid the loaded trunk.

@@ -154,7 +154,9 @@ impl Workload for SortWorkload {
             map_duration: self.compute.map_model(),
             sort_duration: self.compute.sort_model(),
             reduce_duration: self.compute.reduce_model(),
-            partitioner: self.skew.partitioner(self.num_reducers, self.map_jitter, self.seed),
+            partitioner: self
+                .skew
+                .partitioner(self.num_reducers, self.map_jitter, self.seed),
         }
     }
 }
@@ -194,9 +196,11 @@ impl NutchWorkload {
 
 impl Default for NutchWorkload {
     fn default() -> Self {
-        let mut compute = ComputeProfile::default();
         // Indexing is more CPU-intensive per byte than sort.
-        compute.map_bytes_per_sec = 20.0 * MB as f64;
+        let compute = ComputeProfile {
+            map_bytes_per_sec: 20.0 * MB as f64,
+            ..Default::default()
+        };
         NutchWorkload {
             pages: 5_000_000,
             input_bytes: 8 * GB,
@@ -228,7 +232,9 @@ impl Workload for NutchWorkload {
             map_duration: self.compute.map_model(),
             sort_duration: self.compute.sort_model(),
             reduce_duration: self.compute.reduce_model(),
-            partitioner: self.skew.partitioner(self.num_reducers, self.map_jitter, self.seed),
+            partitioner: self
+                .skew
+                .partitioner(self.num_reducers, self.map_jitter, self.seed),
         }
     }
 }
@@ -298,8 +304,10 @@ pub struct WordCountWorkload {
 
 impl Default for WordCountWorkload {
     fn default() -> Self {
-        let mut compute = ComputeProfile::default();
-        compute.map_bytes_per_sec = 30.0 * MB as f64;
+        let compute = ComputeProfile {
+            map_bytes_per_sec: 30.0 * MB as f64,
+            ..Default::default()
+        };
         WordCountWorkload {
             input_bytes: 100 * GB,
             split_bytes: 256 * MB,

@@ -30,6 +30,9 @@ fn main() {
     println!("{}", f1b.render());
     println!("per-trial detail (imbalance 1.0 = balanced trunks, 2.0 = total collision):");
     for t in &f1b.trials {
-        println!("  seed {:>2}  {:<7} {:.3}", t.seed, t.scheduler, t.trunk_imbalance);
+        println!(
+            "  seed {:>2}  {:<7} {:.3}",
+            t.seed, t.scheduler, t.trunk_imbalance
+        );
     }
 }

@@ -27,7 +27,9 @@ fn main() {
         partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(10, 0.1, 7),
     };
 
-    println!("Pythia quickstart — 16 GB skewed sort, 10 servers / 2 racks, 1:20 over-subscription\n");
+    println!(
+        "Pythia quickstart — 16 GB skewed sort, 10 servers / 2 racks, 1:20 over-subscription\n"
+    );
     let mut completions = Vec::new();
     for scheduler in [SchedulerKind::Ecmp, SchedulerKind::Pythia] {
         let cfg = ScenarioConfig::default()

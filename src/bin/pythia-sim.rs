@@ -71,9 +71,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
-            "--ratio" | "-r" => {
-                args.ratio = value("--ratio").parse().unwrap_or_else(|_| usage())
-            }
+            "--ratio" | "-r" => args.ratio = value("--ratio").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
             "--seqdiag" => args.seqdiag = true,
@@ -154,9 +152,15 @@ fn main() {
     );
     println!("reducer skew:      {:>9.2}x", jr.reducer_skew_ratio);
     println!("rules installed:   {:>9}", report.rules_installed);
-    println!("trunk imbalance:   {:>9.3}  (1.0 = balanced)", report.trunk_imbalance());
+    println!(
+        "trunk imbalance:   {:>9.3}  (1.0 = balanced)",
+        report.trunk_imbalance()
+    );
     println!("engine events:     {:>9}", report.events_processed);
     if args.seqdiag {
-        println!("\n{}", render_seqdiag(&report.timeline, &SeqDiagramOptions::default()));
+        println!(
+            "\n{}",
+            render_seqdiag(&report.timeline, &SeqDiagramOptions::default())
+        );
     }
 }

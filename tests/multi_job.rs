@@ -82,7 +82,9 @@ fn pythia_helps_the_combined_workload() {
                     .with_scheduler(scheduler)
                     .with_oversubscription(20)
                     .with_seed(seed);
-                run_multi_scenario(two_jobs(), &cfg).makespan().as_secs_f64()
+                run_multi_scenario(two_jobs(), &cfg)
+                    .makespan()
+                    .as_secs_f64()
             })
             .sum::<f64>()
             / 3.0

@@ -2,11 +2,11 @@
 //! reproduced system (DESIGN.md §7). Run at reduced scale to stay fast;
 //! the full-scale numbers live in EXPERIMENTS.md.
 
+use pythia_repro::cluster::ScenarioConfig;
 use pythia_repro::cluster::SchedulerKind;
 use pythia_repro::experiments::{
     completion_figure, fig3, fig4, grid, mean_completion, run_sweep, FigureScale,
 };
-use pythia_repro::cluster::ScenarioConfig;
 use pythia_repro::workloads::Workload;
 
 /// A mid-size scale: big enough for the effects, small enough for CI.

@@ -89,7 +89,11 @@ fn single_rack_job_needs_no_trunks() {
 #[test]
 fn single_reducer_hotspot_completes_everywhere() {
     // Extreme skew: one reducer takes everything.
-    for scheduler in [SchedulerKind::Ecmp, SchedulerKind::Pythia, SchedulerKind::Hedera] {
+    for scheduler in [
+        SchedulerKind::Ecmp,
+        SchedulerKind::Pythia,
+        SchedulerKind::Hedera,
+    ] {
         let mut spec = job(20, 2);
         spec.partitioner = SkewModel::Hotspot { hot_fraction: 0.95 }.partitioner(2, 0.0, 1);
         let cfg = ScenarioConfig::default()
@@ -109,9 +113,8 @@ fn pythia_survives_stragglers() {
     // Both schedulers must finish; Pythia must not lose materially.
     let straggly = |seed: u64| {
         let mut spec = job(40, 8);
-        spec.map_duration =
-            DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1)
-                .with_stragglers(0.10, 4.0);
+        spec.map_duration = DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1)
+            .with_stragglers(0.10, 4.0);
         spec.partitioner = SkewModel::Zipf { s: 0.8 }.partitioner(8, 0.1, seed);
         spec
     };

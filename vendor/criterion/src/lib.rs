@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion 0.5's API its benches use. Timing is a
+//! plain wall-clock measurement: after a warm-up, each benchmark runs
+//! batches of iterations until a time budget is spent and reports the
+//! mean per-iteration time. Results print as
+//! `bench: <name> ... <mean> ns/iter (n = <iters>)` and, when the
+//! `BENCH_JSON` environment variable names a file, append JSON lines
+//! `{"name": ..., "ns_per_iter": ...}` for machine consumption.
+//!
+//! Like upstream criterion, running the bench binary *without* the
+//! `--bench` flag (as `cargo test` does for `harness = false` targets)
+//! executes every closure once as a smoke test and skips measurement.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for benches.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry and driver.
+pub struct Criterion {
+    measure: bool,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // cargo bench passes --bench; cargo test does not.
+        let measure = args.iter().any(|a| a == "--bench");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Criterion {
+            measure,
+            sample_size: 100,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measure, self.sample_size, &self.filter, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of measured batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&full, self.parent.measure, n, &self.parent.filter, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Names accepted for a benchmark: a string or a `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// The display form of the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// A function-name/parameter benchmark id.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to the closure; call [`Bencher::iter`] with the measured body.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    /// Mean ns/iter of the last `iter` call (set by the driver).
+    result_ns: Option<f64>,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            self.iters_run = 1;
+            return;
+        }
+        // Warm-up: run for ~50 ms to settle caches/branch predictors and
+        // learn the per-iteration cost.
+        let warmup_budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup_budget {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Measurement: `sample_size` batches sized to ~2 ms each, capped
+        // so the total stays near 0.5 s per benchmark.
+        let batch = ((2_000_000.0 / per_iter.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+        let samples = self.sample_size.clamp(10, 1000) as u64;
+        let mut best = f64::INFINITY;
+        let mut total_ns = 0.0f64;
+        let mut total_iters = 0u64;
+        let budget = Duration::from_millis(500);
+        let run_start = Instant::now();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            total_iters += batch;
+            let mean = ns / batch as f64;
+            if mean < best {
+                best = mean;
+            }
+            if run_start.elapsed() > budget {
+                break;
+            }
+        }
+        self.result_ns = Some(total_ns / total_iters.max(1) as f64);
+        self.iters_run = total_iters;
+    }
+}
+
+fn run_one<F>(name: &str, measure: bool, sample_size: usize, filter: &Option<String>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        measure,
+        sample_size,
+        result_ns: None,
+        iters_run: 0,
+    };
+    f(&mut b);
+    if !measure {
+        return;
+    }
+    match b.result_ns {
+        Some(ns) => {
+            println!("bench: {name:<60} {ns:>14.1} ns/iter (n = {})", b.iters_run);
+            if let Ok(path) = std::env::var("BENCH_JSON") {
+                use std::io::Write;
+                if let Ok(mut fh) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    let _ = writeln!(fh, "{{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}}}");
+                }
+            }
+        }
+        None => println!("bench: {name:<60} (no measurement)"),
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// The bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

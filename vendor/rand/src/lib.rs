@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *subset* of the rand 0.9 API it actually uses, backed by a
+//! deterministic xoshiro256++ generator. Determinism and platform
+//! stability are the only contract the simulator needs from its RNG; the
+//! streams are not the same bit sequences upstream rand would produce.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The subset of rand's `Rng` surface this workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (the `StandardUniform`
+    /// distribution in upstream rand).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSampled,
+        R: IntoUniformRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample_range(self, lo, hi_inclusive)
+    }
+
+    /// An infinite iterator of uniformly random values.
+    fn random_iter<T: Standard>(self) -> RandomIter<Self, T>
+    where
+        Self: Sized,
+    {
+        RandomIter {
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Iterator returned by [`Rng::random_iter`].
+pub struct RandomIter<R, T> {
+    rng: R,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<R: Rng, T: Standard> Iterator for RandomIter<R, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(self.rng.random())
+    }
+}
+
+/// Types drawable uniformly from the generator's raw bits.
+pub trait Standard {
+    /// Draw one value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable uniformly from a bounded range.
+pub trait UniformSampled: Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi]` (inclusive bounds).
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Multiply-shift rejection-free mapping is biased only by
+                // ~2^-64, far below anything the simulator can observe.
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSampled for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        let u: f64 = f64::from_rng(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait IntoUniformRange<T> {
+    /// `(low, high_inclusive)` bounds.
+    fn bounds(self) -> (T, T);
+}
+
+impl IntoUniformRange<f64> for core::ops::Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (self.start, self.end)
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl IntoUniformRange<$t> for core::ops::Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range in random_range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniformRange<$t> for core::ops::RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic small-state generator (xoshiro256++).
+    ///
+    /// Not the upstream `SmallRng` bit stream — only determinism,
+    /// stream independence, and statistical quality are promised.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, the canonical xoshiro seeding.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = SmallRng::seed_from_u64(7).random_iter().take(4).collect();
+        let b: Vec<u64> = SmallRng::seed_from_u64(7).random_iter().take(4).collect();
+        let c: Vec<u64> = SmallRng::seed_from_u64(8).random_iter().take(4).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.random_range(3u32..7);
+            assert!((3..7).contains(&v));
+            let w = r.random_range(0u64..=4);
+            assert!(w <= 4);
+            let f = r.random_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+            let s = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn int_range_hits_all_values() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
