@@ -40,6 +40,19 @@ pub struct LinkFault {
     pub restore_at: Option<SimDuration>,
 }
 
+/// A scheduled SDN-controller outage. While the controller is down no
+/// rules can be installed or modified — in-flight installs are lost and
+/// newly aggregated flows ride default ECMP. Installed dataplane rules
+/// survive (switches keep forwarding without their controller). On
+/// recovery the controller resyncs from collector state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerOutage {
+    /// When the controller crashes, relative to run start.
+    pub down_at: SimDuration,
+    /// When it comes back.
+    pub up_at: SimDuration,
+}
+
 /// A complete, reproducible scenario description.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -69,6 +82,12 @@ pub struct ScenarioConfig {
     /// "the routing graph is updated at the event of link or switch
     /// failure").
     pub link_faults: Vec<LinkFault>,
+    /// Scheduled SDN-controller outages (chaos experiments).
+    pub controller_outages: Vec<ControllerOutage>,
+    /// Instants at which every instrumentation middleware restarts and
+    /// replays the spill indices still on disk (exercises end-to-end
+    /// idempotent delivery).
+    pub agent_respill_at: Vec<SimDuration>,
     /// Master seed: drives task jitter, ECMP hash salt, install latencies,
     /// wire-overhead sampling.
     pub seed: u64,
@@ -93,6 +112,8 @@ impl Default for ScenarioConfig {
             probe_period: SimDuration::from_millis(500),
             link_load_period: SimDuration::from_secs(1),
             link_faults: Vec::new(),
+            controller_outages: Vec::new(),
+            agent_respill_at: Vec::new(),
             seed: 1,
             max_sim_time: SimDuration::from_secs(24 * 3600),
             max_events: 50_000_000,

@@ -21,10 +21,10 @@
 use std::collections::BTreeMap;
 
 use pythia_baselines::{EcmpForwarding, HederaScheduler};
-use pythia_core::{overhead, PredictionMsg, PythiaSystem};
-use pythia_des::{EventId, EventQueue, RngFactory, SimTime};
+use pythia_core::{overhead, MgmtNet, PredictionMsg, PythiaSystem};
+use pythia_des::{EventId, EventQueue, RngFactory, SimDuration, SimTime};
 use pythia_hadoop::{FetchId, HadoopEvent, JobId, MapReduceSim, MapTaskId, ReducerId, ServerId};
-use pythia_metrics::{FlowTrace, ShuffleFlowRecord};
+use pythia_metrics::{DegradationReport, FlowTrace, ShuffleFlowRecord};
 use pythia_netsim::{
     background_flows, build_multi_rack, redraw_group_rates, BackgroundProfile, FiveTuple, FlowId,
     FlowNet, FlowSpec, LinkId, MultiRack, NetFlowProbe, NodeId, Path,
@@ -61,6 +61,15 @@ enum Event {
         trunk_cable: usize,
         up: bool,
     },
+    /// The SDN controller crashes (`up: false`) or restarts (`up: true`).
+    ControllerState {
+        up: bool,
+    },
+    /// Every instrumentation agent restarts and replays the spill indices
+    /// still on disk (end-to-end idempotent-delivery exercise).
+    AgentRespill,
+    /// Periodic TTL sweep over parked collector entries.
+    ParkedSweep,
 }
 
 /// Metadata the engine keeps per in-flight fetch (Hadoop drops its own
@@ -112,6 +121,8 @@ struct Engine<'a> {
     ecmp: EcmpForwarding,
     jobs: Vec<JobSlot>,
     pythia: Option<PythiaSystem>,
+    /// The agent → collector management-network channel (Pythia only).
+    mgmt: Option<MgmtNet>,
     hedera: Option<HederaScheduler>,
     /// Static CBR background per link (bits/sec) — what the link-load
     /// service would report net of Pythia's own shuffle traffic.
@@ -133,6 +144,19 @@ struct Engine<'a> {
     wire_seed: u64,
     events_processed: u64,
     rules_installed: u64,
+    /// Rule installs rejected by a full TCAM (flow degraded to ECMP).
+    tcam_rejected: u64,
+    /// Whether the SDN controller is reachable.
+    controller_up: bool,
+    /// Start of the current outage, if one is in progress.
+    controller_down_since: Option<SimTime>,
+    /// Accumulated downtime over completed outage windows.
+    controller_down_total: SimDuration,
+    /// Controller crash events survived.
+    controller_outages_seen: u64,
+    /// In-flight `RuleActive` events — cancelled when the controller
+    /// crashes (an install that has not landed dies with the connection).
+    pending_rule_events: Vec<EventId>,
     net_dirty: bool,
 }
 
@@ -201,6 +225,13 @@ impl<'a> Engine<'a> {
             }
             _ => None,
         };
+        let mgmt = match cfg.scheduler {
+            SchedulerKind::Pythia => Some(MgmtNet::new(
+                cfg.pythia.mgmtnet.clone(),
+                rngs.stream("mgmtnet"),
+            )),
+            _ => None,
+        };
         let hedera = match cfg.scheduler {
             SchedulerKind::Hedera => Some(HederaScheduler::new(cfg.hedera.clone())),
             _ => None,
@@ -217,6 +248,7 @@ impl<'a> Engine<'a> {
             ecmp,
             jobs,
             pythia,
+            mgmt,
             hedera,
             background_bps,
             queue: EventQueue::new(),
@@ -234,6 +266,12 @@ impl<'a> Engine<'a> {
             wire_seed: pythia_des::splitmix64(cfg.seed ^ 0x31f3),
             events_processed: 0,
             rules_installed: 0,
+            tcam_rejected: 0,
+            controller_up: true,
+            controller_down_since: None,
+            controller_down_total: SimDuration::ZERO,
+            controller_outages_seen: 0,
+            pending_rule_events: Vec::new(),
             net_dirty: false,
             mr,
         }
@@ -276,6 +314,22 @@ impl<'a> Engine<'a> {
                         up: true,
                     },
                 );
+            }
+        }
+        for o in &self.cfg.controller_outages {
+            self.queue.push(
+                SimTime::ZERO + o.down_at,
+                Event::ControllerState { up: false },
+            );
+            self.queue
+                .push(SimTime::ZERO + o.up_at, Event::ControllerState { up: true });
+        }
+        for &at in &self.cfg.agent_respill_at {
+            self.queue.push(SimTime::ZERO + at, Event::AgentRespill);
+        }
+        if self.pythia.is_some() {
+            if let Some(ttl) = self.cfg.pythia.parked_ttl {
+                self.queue.push(SimTime::ZERO + ttl, Event::ParkedSweep);
             }
         }
         if let BackgroundProfile::Fluctuating { .. } = self.cfg.background {
@@ -349,6 +403,9 @@ impl<'a> Engine<'a> {
                 }
                 Event::BackgroundChange => self.on_background_change(now),
                 Event::LinkState { trunk_cable, up } => self.on_link_state(now, trunk_cable, up),
+                Event::ControllerState { up } => self.on_controller_state(now, up),
+                Event::AgentRespill => self.on_agent_respill(now),
+                Event::ParkedSweep => self.on_parked_sweep(now),
             }
             if self.all_done() {
                 // Final probe point at job end, then stop: only unbounded
@@ -395,10 +452,12 @@ impl<'a> Engine<'a> {
                     self.queue.push(at, Event::MapFinish(job, map));
                 }
                 HadoopEvent::SpillIndex { map, server, data } => {
-                    if let Some(py) = self.pythia.as_mut() {
-                        if let Some((msg, deliver_at)) = py.on_spill(now, job, map, server, &data) {
-                            self.queue.push(deliver_at, Event::PredictionDeliver(msg));
-                        }
+                    let sent = self
+                        .pythia
+                        .as_mut()
+                        .and_then(|py| py.on_spill(now, job, map, server, &data));
+                    if let Some((msg, deliver_at)) = sent {
+                        self.send_prediction(now, deliver_at, msg);
                     }
                 }
                 HadoopEvent::ReducerLaunchAt { reducer, at } => {
@@ -529,23 +588,47 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Hand one prediction message to the management network and schedule
+    /// every copy the channel delivers. On the ideal (default) channel this
+    /// is exactly one delivery at `deliver_at` — bit-identical to a direct
+    /// push.
+    fn send_prediction(&mut self, now: SimTime, deliver_at: SimTime, msg: PredictionMsg) {
+        let base = deliver_at.saturating_since(now);
+        let mgmt = self
+            .mgmt
+            .as_mut()
+            .expect("Pythia runs carry a mgmt channel");
+        for at in mgmt.transmit(now, base) {
+            self.queue.push(at, Event::PredictionDeliver(msg.clone()));
+        }
+    }
+
     fn schedule_rules(&mut self, now: SimTime, rules: Vec<pythia_openflow::PendingRule>) {
         for p in rules {
-            self.queue.push(
+            let id = self.queue.push(
                 now + p.delay,
                 Event::RuleActive {
                     switch: p.switch,
                     rule: p.rule,
                 },
             );
+            self.pending_rule_events.push(id);
+        }
+        // Shed handles of installs that already landed.
+        if self.pending_rule_events.len() > 64 {
+            let queue = &self.queue;
+            self.pending_rule_events.retain(|&id| queue.is_pending(id));
         }
     }
 
     fn on_rule_active(&mut self, switch: NodeId, rule: FlowRule) {
         // TCAM overflow: the rule is simply not installed; traffic keeps
-        // using the default path. Counted via dataplane occupancy.
+        // using the default (ECMP) path — graceful degradation, not an
+        // error.
         if self.dataplane.install(switch, rule).is_ok() {
             self.rules_installed += 1;
+        } else {
+            self.tcam_rejected += 1;
         }
         // A newly active rule redirects matching *in-flight* flows too —
         // hardware matches packets, not flows.
@@ -575,7 +658,88 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// The SDN controller crashed or came back. Installed rules survive a
+    /// crash (switches forward autonomously without their controller) but
+    /// in-flight installs are lost and no new rules can land until
+    /// recovery, when the controller resyncs the full rule set from
+    /// Pythia's collector/allocator state.
+    fn on_controller_state(&mut self, now: SimTime, up: bool) {
+        if up == self.controller_up {
+            return;
+        }
+        self.controller_up = up;
+        if up {
+            if let Some(since) = self.controller_down_since.take() {
+                self.controller_down_total += now.saturating_since(since);
+            }
+            if let Some(mut py) = self.pythia.take() {
+                let bg = self.background_bps.clone();
+                let rules =
+                    py.on_controller_restart(now, &mut self.controller, &move |l: LinkId| {
+                        bg[l.0 as usize]
+                    });
+                self.pythia = Some(py);
+                self.schedule_rules(now, rules);
+            }
+        } else {
+            self.controller_outages_seen += 1;
+            self.controller_down_since = Some(now);
+            // An install that has not reached its switch dies with the
+            // controller connection.
+            for id in self.pending_rule_events.drain(..) {
+                self.queue.cancel(id);
+            }
+            if let Some(py) = self.pythia.as_mut() {
+                py.set_controller_down();
+            }
+        }
+    }
+
+    /// Every instrumentation agent restarts and replays the spill indices
+    /// still on disk: the predictions are re-sent end to end and the
+    /// collector's `(job, map)` dedup must absorb every copy.
+    fn on_agent_respill(&mut self, now: SimTime) {
+        if self.pythia.is_none() {
+            return;
+        }
+        for i in 0..self.jobs.len() {
+            let job = JobId(i as u32);
+            for e in self.jobs[i].sim.respill_completed() {
+                if let HadoopEvent::SpillIndex { map, server, data } = e {
+                    let sent = self
+                        .pythia
+                        .as_mut()
+                        .and_then(|py| py.on_spill(now, job, map, server, &data));
+                    if let Some((msg, deliver_at)) = sent {
+                        self.send_prediction(now, deliver_at, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    /// TTL sweep over parked (unknown-reducer) collector entries.
+    fn on_parked_sweep(&mut self, now: SimTime) {
+        if let Some(py) = self.pythia.as_mut() {
+            py.expire_parked(now);
+        }
+        if !self.all_done() {
+            if let Some(ttl) = self.cfg.pythia.parked_ttl {
+                self.queue.push(now + ttl, Event::ParkedSweep);
+            }
+        }
+    }
+
     fn on_hedera_tick(&mut self, now: SimTime) {
+        if !self.controller_up {
+            // Hedera polls flow stats through the controller: a downed
+            // controller means no reroutes this tick.
+            if !self.all_done() {
+                self.queue
+                    .push(now + self.cfg.hedera.period, Event::HederaTick);
+            }
+            return;
+        }
         if let Some(mut hedera) = self.hedera.take() {
             let bg = self.background_bps.clone();
             let reroutes = hedera.rebalance(&self.net, &self.controller, &move |l: LinkId| {
@@ -779,6 +943,29 @@ impl<'a> Engine<'a> {
                 timeline: j.sim.timeline.clone(),
             })
             .collect();
+        let mut degradation = DegradationReport {
+            rules_failed: self.controller.stats.rules_failed,
+            rules_timed_out: self.controller.stats.rules_timed_out,
+            rules_tcam_rejected: self.tcam_rejected,
+            controller_outages: self.controller_outages_seen,
+            controller_down_secs: self.controller_down_total.as_secs_f64(),
+            ..Default::default()
+        };
+        if let Some(m) = &self.mgmt {
+            degradation.predictions_sent = m.stats.messages_sent;
+            degradation.predictions_delivered = m.stats.deliveries;
+            degradation.prediction_transmissions_lost = m.stats.transmissions_lost;
+            degradation.predictions_lost = m.stats.messages_lost;
+        }
+        if let Some(py) = &self.pythia {
+            let c = py.collector();
+            degradation.predictions_deduped = c.duplicates_dropped;
+            degradation.predictions_retracted = c.retractions;
+            degradation.predictions_malformed = c.malformed_dropped;
+            degradation.parked_expired = c.parked_expired;
+            degradation.demands_deferred = py.stats.demands_deferred;
+            degradation.rules_reinstalled = py.stats.rules_reinstalled;
+        }
         MultiRunReport {
             scheduler: self.cfg.scheduler.label().to_string(),
             oversubscription: self.cfg.oversubscription.0,
@@ -791,6 +978,7 @@ impl<'a> Engine<'a> {
             events_processed: self.events_processed,
             rules_installed: self.rules_installed,
             hedera_reroutes: self.hedera.as_ref().map(|h| h.reroutes_issued).unwrap_or(0),
+            degradation,
             trunk_links: self.mr.trunk_links.clone(),
             trunk_groups,
         }

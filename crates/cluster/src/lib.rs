@@ -38,6 +38,6 @@ pub mod config;
 pub mod engine;
 pub mod report;
 
-pub use config::{LinkFault, ScenarioConfig, SchedulerKind};
+pub use config::{ControllerOutage, LinkFault, ScenarioConfig, SchedulerKind};
 pub use engine::{run_multi_scenario, run_scenario};
 pub use report::{JobOutcome, MultiRunReport, RunReport};

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, Timeline};
-use pythia_metrics::{FlowTrace, JobReport};
+use pythia_metrics::{DegradationReport, FlowTrace, JobReport};
 use pythia_netsim::{CumulativeCurve, NodeId};
 
 /// One job's result inside a (possibly multi-job) run.
@@ -54,6 +54,9 @@ pub struct MultiRunReport {
     pub rules_installed: u64,
     /// Reroutes issued by the Hedera baseline (0 otherwise).
     pub hedera_reroutes: u64,
+    /// Control-plane faults absorbed during the run (all-zeros —
+    /// [`DegradationReport::is_clean`] — on a fault-free scenario).
+    pub degradation: DegradationReport,
     /// Trunk links of the topology (for balance analyses).
     pub trunk_links: Vec<pythia_netsim::LinkId>,
     /// Trunk links grouped by direction (parallel cables between the same
@@ -92,6 +95,7 @@ impl MultiRunReport {
             events_processed: self.events_processed,
             rules_installed: self.rules_installed,
             hedera_reroutes: self.hedera_reroutes,
+            degradation: self.degradation,
             trunk_links: self.trunk_links,
             trunk_groups: self.trunk_groups,
         }
@@ -125,6 +129,9 @@ pub struct RunReport {
     pub rules_installed: u64,
     /// Reroutes issued by the Hedera baseline (0 otherwise).
     pub hedera_reroutes: u64,
+    /// Control-plane faults absorbed during the run (all-zeros —
+    /// [`DegradationReport::is_clean`] — on a fault-free scenario).
+    pub degradation: DegradationReport,
     /// Trunk links of the topology (for balance analyses).
     pub trunk_links: Vec<pythia_netsim::LinkId>,
     /// Trunk links grouped by direction (parallel cables between the same

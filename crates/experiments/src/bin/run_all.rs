@@ -10,7 +10,7 @@
 use std::path::Path;
 
 use pythia_experiments::{
-    ablation, fig1, fig3, fig4, fig5, multijob, overhead, spectrum, timeliness, FigureScale,
+    ablation, chaos, fig1, fig3, fig4, fig5, multijob, overhead, spectrum, timeliness, FigureScale,
 };
 
 fn main() {
@@ -107,6 +107,11 @@ fn main() {
     dv.csv()
         .write_to(&out.join("ablation_design_variants.csv"))
         .unwrap();
+
+    println!("== Extension: control-plane chaos ==");
+    let ch = chaos::run(&scale);
+    println!("{}", ch.render());
+    ch.csv().write_to(&out.join("chaos.csv")).unwrap();
 
     println!("== Ablation: path diversity ==");
     let pd = ablation::run_path_diversity(&scale);

@@ -1,0 +1,230 @@
+//! Chaos extension: JCT and degradation accounting under control-plane
+//! faults.
+//!
+//! The paper evaluates Pythia on a healthy control plane. This experiment
+//! measures the robustness claim behind the engineering: with a lossy,
+//! reordering management network, a mid-shuffle controller outage, flaky
+//! rule installs and an agent restart replaying every spill, Pythia must
+//! degrade toward ECMP — never below it — and the run report must account
+//! for every absorbed fault.
+//!
+//! Three conditions at 1:20, averaged over seeds:
+//! * `pythia/clean` — the fault-free reference;
+//! * `pythia/chaos` — the full fault schedule;
+//! * `ecmp/chaos`  — the same schedule against the baseline (which has no
+//!   control plane to break: its JCT is the degradation floor).
+
+use pythia_cluster::{ControllerOutage, ScenarioConfig, SchedulerKind};
+use pythia_core::MgmtNetConfig;
+use pythia_des::SimDuration;
+use pythia_hadoop::JobSpec;
+use pythia_metrics::{CsvTable, DegradationReport};
+use pythia_workloads::{SortWorkload, Workload};
+
+use crate::figures::FigureScale;
+use crate::runner::{grid, mean_completion, run_sweep};
+
+/// One condition's aggregate outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Condition label (`pythia/clean`, `pythia/chaos`, `ecmp/chaos`).
+    pub condition: String,
+    /// Mean completion, seconds.
+    pub jct_secs: f64,
+    /// Degradation counters summed over the seeds.
+    pub degradation: DegradationReport,
+}
+
+/// The chaos table.
+#[derive(Debug)]
+pub struct ChaosTable {
+    /// One row per condition.
+    pub rows: Vec<ChaosRow>,
+    /// The outage window used (seconds, relative to run start).
+    pub outage: (f64, f64),
+}
+
+impl ChaosTable {
+    /// Paper-style text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Chaos at 1:20 (extension): controller down {:.1}s–{:.1}s, \
+             20% prediction loss, dup+jitter, agent respill\n\
+             condition       JCT [s]   pred lost/dedup   deferred   reinstalled\n",
+            self.outage.0, self.outage.1
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14}  {:>7.1}  {:>8}/{:<8}  {:>8}  {:>11}\n",
+                r.condition,
+                r.jct_secs,
+                r.degradation.predictions_lost,
+                r.degradation.predictions_deduped,
+                r.degradation.demands_deferred,
+                r.degradation.rules_reinstalled,
+            ));
+        }
+        out
+    }
+
+    /// The table as CSV.
+    pub fn csv(&self) -> CsvTable {
+        let mut t = CsvTable::new(vec![
+            "condition",
+            "jct_secs",
+            "predictions_sent",
+            "predictions_delivered",
+            "predictions_lost",
+            "predictions_deduped",
+            "predictions_retracted",
+            "demands_deferred",
+            "rules_reinstalled",
+            "rules_failed",
+            "controller_down_secs",
+        ]);
+        for r in &self.rows {
+            let d = &r.degradation;
+            t.push_row(vec![
+                r.condition.clone(),
+                format!("{:.3}", r.jct_secs),
+                d.predictions_sent.to_string(),
+                d.predictions_delivered.to_string(),
+                d.predictions_lost.to_string(),
+                d.predictions_deduped.to_string(),
+                d.predictions_retracted.to_string(),
+                d.demands_deferred.to_string(),
+                d.rules_reinstalled.to_string(),
+                d.rules_failed.to_string(),
+                format!("{:.3}", d.controller_down_secs),
+            ]);
+        }
+        t
+    }
+
+    /// The row for one condition.
+    pub fn row(&self, condition: &str) -> Option<&ChaosRow> {
+        self.rows.iter().find(|r| r.condition == condition)
+    }
+}
+
+fn sum_degradation(
+    reports: &[pythia_cluster::RunReport],
+    scheduler: SchedulerKind,
+) -> DegradationReport {
+    let mut sum = DegradationReport::default();
+    for r in reports.iter().filter(|r| r.scheduler == scheduler.label()) {
+        let d = &r.degradation;
+        sum.predictions_sent += d.predictions_sent;
+        sum.predictions_delivered += d.predictions_delivered;
+        sum.prediction_transmissions_lost += d.prediction_transmissions_lost;
+        sum.predictions_lost += d.predictions_lost;
+        sum.predictions_deduped += d.predictions_deduped;
+        sum.predictions_retracted += d.predictions_retracted;
+        sum.predictions_malformed += d.predictions_malformed;
+        sum.parked_expired += d.parked_expired;
+        sum.rules_failed += d.rules_failed;
+        sum.rules_timed_out += d.rules_timed_out;
+        sum.rules_tcam_rejected += d.rules_tcam_rejected;
+        sum.controller_outages += d.controller_outages;
+        sum.controller_down_secs += d.controller_down_secs;
+        sum.demands_deferred += d.demands_deferred;
+        sum.rules_reinstalled += d.rules_reinstalled;
+    }
+    sum
+}
+
+/// Run the chaos comparison at 1:20.
+pub fn run(scale: &FigureScale) -> ChaosTable {
+    let f = scale.input_frac;
+    let factory = move || -> JobSpec {
+        let mut w = SortWorkload::paper_240gb();
+        w.input_bytes = (w.input_bytes as f64 * f).max(512e6) as u64;
+        w.job()
+    };
+
+    // Fault-free reference first: its mean JCT anchors the fault schedule
+    // so the outage stays mid-shuffle at any scale.
+    let clean_points = grid(&[SchedulerKind::Pythia], &[20], &scale.seeds);
+    let clean = run_sweep(
+        &clean_points,
+        &ScenarioConfig::default(),
+        &factory,
+        scale.threads,
+    );
+    let clean_jct = mean_completion(&clean, SchedulerKind::Pythia, 20).unwrap();
+
+    // Crash early enough to catch first-wave placements (deferral), stay
+    // down long enough that the resync has real work.
+    let down_at = clean_jct * 0.05;
+    let up_at = clean_jct * 0.4;
+    let mut chaos_cfg = ScenarioConfig::default();
+    chaos_cfg.pythia.mgmtnet = MgmtNetConfig {
+        loss_prob: 0.2,
+        dup_prob: 0.1,
+        jitter: SimDuration::from_millis(20),
+        ..Default::default()
+    };
+    chaos_cfg.pythia.parked_ttl = Some(SimDuration::from_secs_f64(clean_jct * 2.0));
+    chaos_cfg.controller.install_fail_prob = 0.1;
+    chaos_cfg.controller_outages = vec![ControllerOutage {
+        down_at: SimDuration::from_secs_f64(down_at),
+        up_at: SimDuration::from_secs_f64(up_at),
+    }];
+    chaos_cfg.agent_respill_at = vec![SimDuration::from_secs_f64(clean_jct * 0.6)];
+
+    let chaos_points = grid(
+        &[SchedulerKind::Ecmp, SchedulerKind::Pythia],
+        &[20],
+        &scale.seeds,
+    );
+    let chaos = run_sweep(&chaos_points, &chaos_cfg, &factory, scale.threads);
+
+    let rows = vec![
+        ChaosRow {
+            condition: "pythia/clean".into(),
+            jct_secs: clean_jct,
+            degradation: sum_degradation(&clean, SchedulerKind::Pythia),
+        },
+        ChaosRow {
+            condition: "pythia/chaos".into(),
+            jct_secs: mean_completion(&chaos, SchedulerKind::Pythia, 20).unwrap(),
+            degradation: sum_degradation(&chaos, SchedulerKind::Pythia),
+        },
+        ChaosRow {
+            condition: "ecmp/chaos".into(),
+            jct_secs: mean_completion(&chaos, SchedulerKind::Ecmp, 20).unwrap(),
+            degradation: sum_degradation(&chaos, SchedulerKind::Ecmp),
+        },
+    ];
+    ChaosTable {
+        rows,
+        outage: (down_at, up_at),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_chaos_stays_between_clean_and_ecmp() {
+        let t = run(&FigureScale::quick());
+        let clean = t.row("pythia/clean").unwrap();
+        let chaos = t.row("pythia/chaos").unwrap();
+        let ecmp = t.row("ecmp/chaos").unwrap();
+        assert!(clean.degradation.is_clean(), "{}", clean.degradation);
+        assert!(!chaos.degradation.is_clean());
+        assert!(
+            chaos.jct_secs <= ecmp.jct_secs,
+            "degraded Pythia ({:.1}s) must still beat ECMP ({:.1}s)",
+            chaos.jct_secs,
+            ecmp.jct_secs
+        );
+        assert!(
+            chaos.jct_secs >= clean.jct_secs * 0.98,
+            "chaos cannot beat the clean run: {:.1}s vs {:.1}s",
+            chaos.jct_secs,
+            clean.jct_secs
+        );
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`fig5`] — prediction promptness/accuracy curves;
 //! * [`overhead`] — §V-C instrumentation overhead table;
 //! * [`ablation`] — scheduler ladder, rule-latency sensitivity, path
-//!   diversity.
+//!   diversity;
+//! * [`chaos`] — control-plane fault tolerance: JCT and degradation
+//!   counters under a lossy management network and controller outage.
 //!
 //! Each module exposes `run(&FigureScale)`; `FigureScale::default()` is
 //! paper scale, `::quick()` a CI-sized smoke, `::bench()` the Criterion
@@ -18,6 +20,7 @@
 //! `results/`.
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;

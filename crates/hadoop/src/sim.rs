@@ -308,6 +308,29 @@ impl MapReduceSim {
         self.reducer_server[r.0 as usize]
     }
 
+    /// A restarted instrumentation middleware re-scans the tasktrackers'
+    /// intermediate-output directories and sees every spill index still
+    /// on disk: re-emit a [`HadoopEvent::SpillIndex`] per completed map,
+    /// in completion order, byte-identical to the originals. Purely
+    /// observational — no Hadoop state changes; downstream consumers must
+    /// deduplicate (the Pythia collector keys by `(job, map)`).
+    pub fn respill_completed(&self) -> Vec<HadoopEvent> {
+        self.done_order
+            .iter()
+            .map(|&m| {
+                let parts = self.map_partitions[m.0 as usize]
+                    .as_ref()
+                    .expect("completed map has partition sizes");
+                let index = IndexFile::from_partition_sizes(parts, 1.0);
+                HadoopEvent::SpillIndex {
+                    map: m,
+                    server: self.map_server[m.0 as usize],
+                    data: index.encode(),
+                }
+            })
+            .collect()
+    }
+
     /// Metadata of an in-flight fetch.
     pub fn fetch_meta(&self, f: FetchId) -> Option<&FetchMeta> {
         self.fetches.get(&f)
@@ -788,6 +811,36 @@ mod tests {
         let end = tl.job_end.unwrap();
         assert!(end > SimTime::from_secs(13), "end {end}");
         assert!(end < SimTime::from_secs(14), "end {end}");
+    }
+
+    #[test]
+    fn respill_replays_identical_spill_indices() {
+        let mut sim = MapReduceSim::new(cfg(), spec(3, 2), servers(3), &RngFactory::new(1));
+        let mut finish: Vec<(SimTime, MapTaskId)> = Vec::new();
+        for e in sim.start(SimTime::ZERO) {
+            if let HadoopEvent::MapFinishAt { map, at } = e {
+                finish.push((at, map));
+            }
+        }
+        assert!(sim.respill_completed().is_empty(), "nothing spilled yet");
+        let mut originals = Vec::new();
+        for (at, m) in finish {
+            for e in sim.map_finished(at, m) {
+                if let HadoopEvent::SpillIndex { map, server, data } = e {
+                    originals.push((map, server, data));
+                }
+            }
+        }
+        assert_eq!(originals.len(), 3);
+        let replay: Vec<_> = sim
+            .respill_completed()
+            .into_iter()
+            .map(|e| match e {
+                HadoopEvent::SpillIndex { map, server, data } => (map, server, data),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(replay, originals, "replay must be byte-identical");
     }
 
     #[test]

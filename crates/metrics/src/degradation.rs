@@ -1,0 +1,154 @@
+//! Control-plane degradation counters.
+//!
+//! One [`DegradationReport`] per run gathers every fault the control
+//! plane absorbed — lossy management network, collector dedup work,
+//! controller outages, rule-install failures — so experiments can state
+//! *how much* chaos a run survived, not just that it completed. A
+//! fault-free run reports all-zeros ([`DegradationReport::is_clean`]).
+
+use std::fmt;
+
+/// Everything the control plane shrugged off during one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DegradationReport {
+    /// Prediction messages handed to the management network.
+    pub predictions_sent: u64,
+    /// Copies that reached the collector (dups inflate this).
+    pub predictions_delivered: u64,
+    /// Individual transmissions lost in flight (retried while budget
+    /// lasted).
+    pub prediction_transmissions_lost: u64,
+    /// Prediction messages lost outright (every retry exhausted).
+    pub predictions_lost: u64,
+    /// Re-sent/duplicated messages the collector deduplicated away.
+    pub predictions_deduped: u64,
+    /// Predictions retracted because their map task re-executed elsewhere.
+    pub predictions_retracted: u64,
+    /// Malformed predictions dropped (unknown server id).
+    pub predictions_malformed: u64,
+    /// Parked (unknown-reducer) entries expired by TTL.
+    pub parked_expired: u64,
+    /// Rule installs lost on the switch control channel.
+    pub rules_failed: u64,
+    /// Rule installs that stalled past their timeout.
+    pub rules_timed_out: u64,
+    /// Rules rejected by a full TCAM (flow degraded to ECMP).
+    pub rules_tcam_rejected: u64,
+    /// Controller crash events survived.
+    pub controller_outages: u64,
+    /// Total simulated seconds with the controller down.
+    pub controller_down_secs: f64,
+    /// Placements deferred to ECMP because the controller was down.
+    pub demands_deferred: u64,
+    /// Rules re-issued by controller-restart resyncs.
+    pub rules_reinstalled: u64,
+}
+
+impl DegradationReport {
+    /// True when the run saw no faults at all — the invariant of every
+    /// default-configured scenario.
+    pub fn is_clean(&self) -> bool {
+        *self
+            == DegradationReport {
+                predictions_sent: self.predictions_sent,
+                predictions_delivered: self.predictions_delivered,
+                ..Default::default()
+            }
+            && self.predictions_sent == self.predictions_delivered
+    }
+}
+
+// Manual Eq: controller_down_secs is f64 but only ever written from
+// integer-nanosecond SimDurations, so bitwise comparison is exact.
+impl Eq for DegradationReport {}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "predictions: {} sent, {} delivered, {} lost ({} transmissions), \
+             {} deduped, {} retracted, {} malformed",
+            self.predictions_sent,
+            self.predictions_delivered,
+            self.predictions_lost,
+            self.prediction_transmissions_lost,
+            self.predictions_deduped,
+            self.predictions_retracted,
+            self.predictions_malformed,
+        )?;
+        writeln!(
+            f,
+            "rules: {} failed, {} timed out, {} tcam-rejected, {} reinstalled",
+            self.rules_failed,
+            self.rules_timed_out,
+            self.rules_tcam_rejected,
+            self.rules_reinstalled,
+        )?;
+        write!(
+            f,
+            "controller: {} outages, {:.3}s down, {} demands deferred; \
+             {} parked entries expired",
+            self.controller_outages,
+            self.controller_down_secs,
+            self.demands_deferred,
+            self.parked_expired,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        assert!(DegradationReport::default().is_clean());
+    }
+
+    #[test]
+    fn fault_free_traffic_is_clean() {
+        let r = DegradationReport {
+            predictions_sent: 40,
+            predictions_delivered: 40,
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn any_fault_marks_dirty() {
+        for r in [
+            DegradationReport {
+                predictions_sent: 40,
+                predictions_delivered: 39,
+                ..Default::default()
+            },
+            DegradationReport {
+                predictions_deduped: 1,
+                ..Default::default()
+            },
+            DegradationReport {
+                rules_failed: 1,
+                ..Default::default()
+            },
+            DegradationReport {
+                controller_outages: 1,
+                ..Default::default()
+            },
+            DegradationReport {
+                controller_down_secs: 3.5,
+                ..Default::default()
+            },
+        ] {
+            assert!(!r.is_clean(), "{r}");
+        }
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let s = format!("{}", DegradationReport::default());
+        assert!(s.contains("predictions:"));
+        assert!(s.contains("rules:"));
+        assert!(s.contains("controller:"));
+    }
+}

@@ -8,10 +8,13 @@
 //!   aggregations (§V-C methodology);
 //! * [`prediction_eval`] — Figure 5 analysis: prediction promptness
 //!   (horizontal lead) and accuracy (over-estimation, never-lags);
+//! * [`degradation`] — control-plane fault and graceful-degradation
+//!   counters (chaos experiments);
 //! * [`seqdiag`] — ASCII sequence diagrams (Figure 1a);
 //! * [`summary`] / [`csv`] — statistics and result emission.
 
 pub mod csv;
+pub mod degradation;
 pub mod flowtrace;
 pub mod jobstats;
 pub mod prediction_eval;
@@ -19,6 +22,7 @@ pub mod seqdiag;
 pub mod summary;
 
 pub use csv::CsvTable;
+pub use degradation::DegradationReport;
 pub use flowtrace::{FlowTrace, ShuffleFlowRecord};
 pub use jobstats::JobReport;
 pub use prediction_eval::{evaluate as evaluate_prediction, PredictionEval};

@@ -34,6 +34,14 @@ pub struct ControllerConfig {
     pub rule_install_max: SimDuration,
     /// EWMA smoothing factor for link-load samples (0 < α ≤ 1).
     pub load_ewma_alpha: f64,
+    /// Probability that a rule install is lost on the switch control
+    /// channel (the rule never lands; traffic stays on default ECMP).
+    pub install_fail_prob: f64,
+    /// Probability that a rule install stalls in the switch's firmware
+    /// queue and lands only after [`ControllerConfig::install_timeout`].
+    pub install_timeout_prob: f64,
+    /// Effective latency of a timed-out install.
+    pub install_timeout: SimDuration,
 }
 
 impl Default for ControllerConfig {
@@ -43,6 +51,9 @@ impl Default for ControllerConfig {
             rule_install_min: SimDuration::from_millis(3),
             rule_install_max: SimDuration::from_millis(5),
             load_ewma_alpha: 0.3,
+            install_fail_prob: 0.0,
+            install_timeout_prob: 0.0,
+            install_timeout: SimDuration::from_millis(500),
         }
     }
 }
@@ -69,6 +80,10 @@ pub struct ControllerStats {
     pub path_cache_recomputes: u64,
     /// Link-load samples ingested.
     pub load_updates: u64,
+    /// Rule installs lost on the switch control channel (never landed).
+    pub rules_failed: u64,
+    /// Rule installs that stalled and landed after the timeout latency.
+    pub rules_timed_out: u64,
 }
 
 /// The central controller.
@@ -93,6 +108,8 @@ impl Controller {
         assert!(cfg.rule_install_min <= cfg.rule_install_max);
         let servers = topo.servers();
         let n_links = topo.num_links();
+        assert!((0.0..1.0).contains(&cfg.install_fail_prob));
+        assert!((0.0..1.0).contains(&cfg.install_timeout_prob));
         let mut c = Controller {
             cfg,
             topo,
@@ -202,6 +219,24 @@ impl Controller {
             } else {
                 self.rng.random_range(0..=span)
             };
+            self.stats.rules_issued += 1;
+            // Control-channel faults. Each probability is gated so the
+            // fault-free configuration draws no extra randomness.
+            if self.cfg.install_fail_prob > 0.0
+                && self.rng.random_range(0.0..1.0) < self.cfg.install_fail_prob
+            {
+                // The install is lost; this hop keeps its default ECMP
+                // forwarding. Path-pinning degrades to a hybrid route.
+                self.stats.rules_failed += 1;
+                continue;
+            }
+            let mut delay = self.cfg.rule_install_min + SimDuration::from_nanos(jitter);
+            if self.cfg.install_timeout_prob > 0.0
+                && self.rng.random_range(0.0..1.0) < self.cfg.install_timeout_prob
+            {
+                self.stats.rules_timed_out += 1;
+                delay = self.cfg.install_timeout;
+            }
             out.push(PendingRule {
                 switch: node,
                 rule: FlowRule {
@@ -209,9 +244,8 @@ impl Controller {
                     priority,
                     out_link: l,
                 },
-                delay: self.cfg.rule_install_min + SimDuration::from_nanos(jitter),
+                delay,
             });
-            self.stats.rules_issued += 1;
         }
         out
     }
@@ -336,5 +370,61 @@ mod tests {
             .map(|p| p.delay)
             .collect();
         assert_eq!(da, db);
+    }
+
+    #[test]
+    fn install_faults_drop_or_delay_rules() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let cfg = ControllerConfig {
+            install_fail_prob: 0.5,
+            install_timeout_prob: 0.5,
+            install_timeout: SimDuration::from_millis(500),
+            ..Default::default()
+        };
+        let mut c = Controller::new(mr.topology.clone(), cfg, &RngFactory::new(5));
+        let path = c.paths(mr.servers[0], mr.servers[5])[0].clone();
+        let m = FlowMatch::server_pair(mr.servers[0], mr.servers[5]);
+        let mut emitted = 0usize;
+        let mut delayed = 0usize;
+        for _ in 0..200 {
+            for p in c.install_path(m, &path, 1) {
+                emitted += 1;
+                if p.delay == SimDuration::from_millis(500) {
+                    delayed += 1;
+                }
+            }
+        }
+        assert_eq!(c.stats.rules_issued, 400, "2 switch hops × 200 installs");
+        assert!(c.stats.rules_failed > 0, "p=0.5 must drop some");
+        assert!(c.stats.rules_timed_out > 0, "p=0.5 must stall some");
+        assert_eq!(emitted, 400 - c.stats.rules_failed as usize);
+        assert_eq!(delayed, c.stats.rules_timed_out as usize);
+    }
+
+    #[test]
+    fn zero_fault_probs_change_nothing() {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let mk = |cfg| Controller::new(mr.topology.clone(), cfg, &RngFactory::new(99));
+        let mut base = mk(ControllerConfig::default());
+        let mut gated = mk(ControllerConfig {
+            install_fail_prob: 0.0,
+            install_timeout_prob: 0.0,
+            ..Default::default()
+        });
+        let path = base.paths(mr.servers[0], mr.servers[5])[0].clone();
+        let m = FlowMatch::server_pair(mr.servers[0], mr.servers[5]);
+        for _ in 0..20 {
+            let da: Vec<_> = base
+                .install_path(m, &path, 1)
+                .iter()
+                .map(|p| p.delay)
+                .collect();
+            let db: Vec<_> = gated
+                .install_path(m, &path, 1)
+                .iter()
+                .map(|p| p.delay)
+                .collect();
+            assert_eq!(da, db, "zero probs must not consume extra randomness");
+        }
     }
 }

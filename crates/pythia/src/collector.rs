@@ -15,10 +15,19 @@
 //! * **Mapper/reducer → network location resolution** — Hadoop task ids
 //!   are translated to network node ids via the server map given at
 //!   construction.
+//!
+//! The management network is a datagram channel ([`crate::mgmtnet`]), so
+//! ingestion must be **idempotent**: predictions are keyed by
+//! `(job, map)`, re-sent or duplicated copies from the same server are
+//! dropped, and a copy from a *different* server means Hadoop re-executed
+//! the map task (failure or speculation) — the old prediction is retracted
+//! before the new one is ingested. Entries parked for a reducer that never
+//! launches can be expired by a TTL sweep.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-use pythia_des::SimTime;
+use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
 use pythia_netsim::{CumulativeCurve, NodeId};
 
@@ -36,6 +45,29 @@ pub struct AggregatedDemand {
     pub added_bytes: u64,
 }
 
+/// A prediction referenced a server id outside the cluster map — a
+/// malformed or corrupted message that must be dropped, not indexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownServer(pub ServerId);
+
+impl fmt::Display for UnknownServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown server id {:?} in prediction", self.0)
+    }
+}
+
+impl std::error::Error for UnknownServer {}
+
+/// Everything one ingested prediction message implies for the allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictionOutcome {
+    /// Newly aggregated demand increments (reducer location known).
+    pub demands: Vec<AggregatedDemand>,
+    /// Volumes withdrawn because a re-executed map task invalidated its
+    /// earlier prediction: the allocator must drain these.
+    pub retracted: Vec<((NodeId, NodeId), u64)>,
+}
+
 /// One parked per-reducer prediction entry awaiting reducer location.
 #[derive(Debug, Clone, Copy)]
 struct PendingEntry {
@@ -44,6 +76,17 @@ struct PendingEntry {
     src: ServerId,
     reducer: ReducerId,
     bytes: u64,
+    /// When the entry was parked, for TTL expiry.
+    parked_at: SimTime,
+}
+
+/// What one committed per-fetch prediction recorded, so drains and
+/// retractions reverse it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CommittedFetch {
+    bytes: u64,
+    src: NodeId,
+    dst: NodeId,
 }
 
 /// The collector state machine.
@@ -54,18 +97,29 @@ pub struct Collector {
     reducer_loc: BTreeMap<(JobId, ReducerId), ServerId>,
     /// Predictions whose reducer location is not yet known.
     pending: Vec<PendingEntry>,
-    /// Predicted wire bytes per (job, map, reducer), for exact draining
-    /// when a fetch completes.
-    predicted_fetch: BTreeMap<(JobId, MapTaskId, ReducerId), u64>,
+    /// Committed prediction per (job, map, reducer), for exact reversal
+    /// when a fetch completes or the map is re-executed.
+    predicted_fetch: BTreeMap<(JobId, MapTaskId, ReducerId), CommittedFetch>,
+    /// The server whose prediction currently represents each map task —
+    /// the idempotency key of the lossy management network.
+    latest_src: BTreeMap<(JobId, MapTaskId), ServerId>,
     /// Outstanding predicted bytes per (src node, dst node), remote only.
     outstanding: BTreeMap<(NodeId, NodeId), u64>,
     /// Cumulative predicted remote traffic per source node over time —
     /// Pythia's side of the Figure 5 comparison.
     predicted_curves: BTreeMap<NodeId, (f64, CumulativeCurve)>,
-    /// Prediction messages ingested.
+    /// Prediction messages ingested (duplicates excluded).
     pub predictions_received: u64,
     /// Per-reducer entries parked for unknown destinations.
     pub entries_parked: u64,
+    /// Re-sent/duplicated messages dropped by the (job, map) key.
+    pub duplicates_dropped: u64,
+    /// Predictions withdrawn because the map task re-executed elsewhere.
+    pub retractions: u64,
+    /// Parked entries removed by TTL expiry.
+    pub parked_expired: u64,
+    /// Messages dropped for referencing an unknown server.
+    pub malformed_dropped: u64,
 }
 
 impl Collector {
@@ -76,22 +130,56 @@ impl Collector {
             reducer_loc: BTreeMap::new(),
             pending: Vec::new(),
             predicted_fetch: BTreeMap::new(),
+            latest_src: BTreeMap::new(),
             outstanding: BTreeMap::new(),
             predicted_curves: BTreeMap::new(),
             predictions_received: 0,
             entries_parked: 0,
+            duplicates_dropped: 0,
+            retractions: 0,
+            parked_expired: 0,
+            malformed_dropped: 0,
         }
     }
 
-    /// Resolve a Hadoop server id to its network node.
-    pub fn node_of(&self, s: ServerId) -> NodeId {
-        self.server_nodes[s.0 as usize]
+    /// Resolve a Hadoop server id to its network node. Out-of-range ids
+    /// (malformed predictions) are an error, not a panic.
+    pub fn node_of(&self, s: ServerId) -> Result<NodeId, UnknownServer> {
+        self.server_nodes
+            .get(s.0 as usize)
+            .copied()
+            .ok_or(UnknownServer(s))
     }
 
     /// A prediction message arrived (management-network latency already
-    /// applied by the caller). Returns newly aggregated demands for every
-    /// reducer whose location is known; parks the rest.
-    pub fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) -> Vec<AggregatedDemand> {
+    /// applied by the caller). Idempotent: re-delivered copies of a
+    /// message already ingested are dropped; a copy from a different
+    /// server retracts the stale prediction (map re-execution) before
+    /// ingesting the new one. Entries for reducers with no known location
+    /// are parked.
+    pub fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) -> PredictionOutcome {
+        if self.node_of(msg.src_server).is_err() {
+            self.malformed_dropped += 1;
+            return PredictionOutcome::default();
+        }
+        let mut outcome = PredictionOutcome::default();
+        match self.latest_src.get(&(msg.job, msg.map)) {
+            Some(&prev_src) if prev_src == msg.src_server => {
+                // Network duplicate or agent retransmission: already
+                // ingested, drop without touching the aggregates.
+                self.duplicates_dropped += 1;
+                return outcome;
+            }
+            Some(_) => {
+                // Same map, different server: Hadoop re-executed the task
+                // (failure or speculation). The old output will never be
+                // fetched — withdraw its predicted volume first.
+                outcome.retracted = self.retract(msg.job, msg.map);
+                self.retractions += 1;
+            }
+            None => {}
+        }
+        self.latest_src.insert((msg.job, msg.map), msg.src_server);
         self.predictions_received += 1;
         let mut out = Vec::new();
         for (r_idx, &bytes) in msg.per_reducer_bytes.iter().enumerate() {
@@ -102,6 +190,7 @@ impl Collector {
                 src: msg.src_server,
                 reducer,
                 bytes,
+                parked_at: now,
             };
             match self.reducer_loc.get(&(msg.job, reducer)).copied() {
                 Some(loc) => {
@@ -115,7 +204,8 @@ impl Collector {
                 }
             }
         }
-        Self::coalesce(out)
+        outcome.demands = Self::coalesce(out);
+        outcome
     }
 
     /// Reducer-launch event observed: fill in every parked entry for this
@@ -127,6 +217,10 @@ impl Collector {
         reducer: ReducerId,
         server: ServerId,
     ) -> Vec<AggregatedDemand> {
+        if self.node_of(server).is_err() {
+            self.malformed_dropped += 1;
+            return Vec::new();
+        }
         self.reducer_loc.insert((job, reducer), server);
         let mut out = Vec::new();
         let mut still = Vec::with_capacity(self.pending.len());
@@ -152,10 +246,28 @@ impl Collector {
         entry: PendingEntry,
         reducer_server: ServerId,
     ) -> Option<AggregatedDemand> {
-        self.predicted_fetch
-            .insert((entry.job, entry.map, entry.reducer), entry.bytes);
-        let src = self.node_of(entry.src);
-        let dst = self.node_of(reducer_server);
+        let src = self.node_of(entry.src).ok()?;
+        let dst = self.node_of(reducer_server).ok()?;
+        let committed = CommittedFetch {
+            bytes: entry.bytes,
+            src,
+            dst,
+        };
+        let prev = self
+            .predicted_fetch
+            .insert((entry.job, entry.map, entry.reducer), committed);
+        if let Some(p) = prev {
+            if p == committed {
+                // Identical re-commit (e.g. a duplicate that was parked
+                // before its twin resolved): a no-op, not extra demand.
+                return None;
+            }
+            // A differing stale commit for the same fetch: reverse it so
+            // every fetch counts toward `outstanding` exactly once.
+            if p.src != p.dst {
+                self.sub_outstanding((p.src, p.dst), p.bytes);
+            }
+        }
         if src == dst || entry.bytes == 0 {
             return None;
         }
@@ -172,6 +284,37 @@ impl Collector {
             dst,
             added_bytes: entry.bytes,
         })
+    }
+
+    /// Withdraw every committed and parked entry of `(job, map)`: its
+    /// earlier execution's output will never be fetched. Returns the
+    /// per-pair volumes removed from `outstanding` (for allocator drains).
+    fn retract(&mut self, job: JobId, map: MapTaskId) -> Vec<((NodeId, NodeId), u64)> {
+        let keys: Vec<(JobId, MapTaskId, ReducerId)> = self
+            .predicted_fetch
+            .range((job, map, ReducerId(0))..=(job, map, ReducerId(u32::MAX)))
+            .map(|(&k, _)| k)
+            .collect();
+        let mut drains: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+        for k in keys {
+            if let Some(c) = self.predicted_fetch.remove(&k) {
+                if c.src != c.dst && c.bytes > 0 {
+                    self.sub_outstanding((c.src, c.dst), c.bytes);
+                    *drains.entry((c.src, c.dst)).or_insert(0) += c.bytes;
+                }
+            }
+        }
+        self.pending.retain(|e| !(e.job == job && e.map == map));
+        drains.into_iter().collect()
+    }
+
+    fn sub_outstanding(&mut self, pair: (NodeId, NodeId), bytes: u64) {
+        if let Some(o) = self.outstanding.get_mut(&pair) {
+            *o = o.saturating_sub(bytes);
+            if *o == 0 {
+                self.outstanding.remove(&pair);
+            }
+        }
     }
 
     /// Merge demands that share a server pair (one message can carry
@@ -193,7 +336,8 @@ impl Collector {
 
     /// A fetch completed: drain its predicted contribution from the pair's
     /// outstanding volume. Returns the (pair, drained bytes) if the fetch
-    /// was remote and predicted.
+    /// was remote and predicted. The pair recorded at commit time is
+    /// authoritative — it reverses exactly what was added.
     pub fn on_fetch_completed(
         &mut self,
         job: JobId,
@@ -202,19 +346,40 @@ impl Collector {
         src: ServerId,
         dst: ServerId,
     ) -> Option<((NodeId, NodeId), u64)> {
-        let bytes = self.predicted_fetch.remove(&(job, map, reducer))?;
-        let pair = (self.node_of(src), self.node_of(dst));
-        if pair.0 == pair.1 || bytes == 0 {
+        let _ = (src, dst);
+        let c = self.predicted_fetch.remove(&(job, map, reducer))?;
+        if c.src == c.dst || c.bytes == 0 {
             return None;
         }
-        let o = self.outstanding.entry(pair).or_insert(0);
-        *o = o.saturating_sub(bytes);
-        Some((pair, bytes))
+        self.sub_outstanding((c.src, c.dst), c.bytes);
+        Some(((c.src, c.dst), c.bytes))
+    }
+
+    /// Drop parked entries older than `ttl` (their reducer never
+    /// launched — stale job, retracted map, or a lost launch event).
+    /// Returns how many were expired.
+    pub fn expire_parked(&mut self, now: SimTime, ttl: SimDuration) -> usize {
+        let before = self.pending.len();
+        self.pending
+            .retain(|e| now.saturating_since(e.parked_at) < ttl);
+        let expired = before - self.pending.len();
+        self.parked_expired += expired as u64;
+        expired
     }
 
     /// Outstanding predicted bytes for a pair.
     pub fn outstanding(&self, src: NodeId, dst: NodeId) -> u64 {
         self.outstanding.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Every pair with outstanding predicted volume, in deterministic
+    /// order — the source of truth a recovering controller resyncs from.
+    pub fn outstanding_pairs(&self) -> Vec<((NodeId, NodeId), u64)> {
+        self.outstanding
+            .iter()
+            .filter(|(_, &v)| v > 0)
+            .map(|(&k, &v)| (k, v))
+            .collect()
     }
 
     /// Number of parked (unknown-destination) entries.
@@ -253,13 +418,14 @@ mod tests {
         c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
         let d = c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
         assert_eq!(
-            d,
+            d.demands,
             vec![AggregatedDemand {
                 src: NodeId(10),
                 dst: NodeId(11),
                 added_bytes: 500
             }]
         );
+        assert!(d.retracted.is_empty());
         assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 500);
     }
 
@@ -267,7 +433,7 @@ mod tests {
     fn unknown_reducer_parks_until_launch() {
         let mut c = collector();
         let d = c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
-        assert!(d.is_empty());
+        assert!(d.demands.is_empty());
         assert_eq!(c.parked(), 1);
         // Launch fills the parked entry.
         let d2 = c.on_reducer_location(SimTime::from_secs(2), JobId(0), ReducerId(0), ServerId(2));
@@ -282,7 +448,7 @@ mod tests {
         let mut c = collector();
         c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(0));
         let d = c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
-        assert!(d.is_empty(), "mapper and reducer co-located");
+        assert!(d.demands.is_empty(), "mapper and reducer co-located");
         assert_eq!(c.outstanding(NodeId(10), NodeId(10)), 0);
     }
 
@@ -293,8 +459,8 @@ mod tests {
         c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
         c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(1), ServerId(1));
         let d = c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![300, 200], 0));
-        assert_eq!(d.len(), 1, "one aggregated entry per server pair");
-        assert_eq!(d[0].added_bytes, 500);
+        assert_eq!(d.demands.len(), 1, "one aggregated entry per server pair");
+        assert_eq!(d.demands[0].added_bytes, 500);
     }
 
     #[test]
@@ -348,5 +514,139 @@ mod tests {
         let curve = c.predicted_curve(NodeId(10)).unwrap();
         assert_eq!(curve.value_at(SimTime::from_secs(4)), 0.0);
         assert_eq!(curve.value_at(SimTime::from_secs(5)), 100.0);
+    }
+
+    /// Regression: a duplicate `PredictionMsg` for the same `(job, map)`
+    /// used to inflate `outstanding` — `predicted_fetch.insert` overwrote
+    /// while `outstanding +=` added again. Duplicates are now dropped.
+    #[test]
+    fn duplicate_prediction_does_not_double_count() {
+        let mut c = collector();
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        let d1 = c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
+        assert_eq!(d1.demands.len(), 1);
+        // The exact same message again — a network dup or agent retry.
+        let d2 = c.on_prediction(SimTime::from_secs(2), &msg(0, 0, vec![500], 1));
+        assert!(d2.demands.is_empty(), "duplicate must add no demand");
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 500, "not 1000");
+        assert_eq!(c.duplicates_dropped, 1);
+        assert_eq!(c.predictions_received, 1);
+        // One fetch drains the pair to exactly zero.
+        c.on_fetch_completed(
+            JobId(0),
+            MapTaskId(0),
+            ReducerId(0),
+            ServerId(0),
+            ServerId(1),
+        );
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 0);
+    }
+
+    #[test]
+    fn duplicate_while_parked_parks_once() {
+        let mut c = collector();
+        c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
+        c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
+        assert_eq!(c.parked(), 1, "duplicate must not park a second entry");
+        let d = c.on_reducer_location(SimTime::from_secs(1), JobId(0), ReducerId(0), ServerId(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 500);
+    }
+
+    #[test]
+    fn reexecuted_map_retracts_old_prediction() {
+        let mut c = collector();
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 500);
+        // Map 0 re-executes on server 2 (speculation / task failure).
+        let d = c.on_prediction(SimTime::from_secs(2), &msg(0, 2, vec![500], 2));
+        assert_eq!(d.retracted, vec![((NodeId(10), NodeId(11)), 500)]);
+        assert_eq!(d.demands.len(), 1);
+        assert_eq!(d.demands[0].src, NodeId(12));
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 0, "old src gone");
+        assert_eq!(c.outstanding(NodeId(12), NodeId(11)), 500);
+        assert_eq!(c.retractions, 1);
+        // The fetch (from the new location) drains to zero.
+        c.on_fetch_completed(
+            JobId(0),
+            MapTaskId(0),
+            ReducerId(0),
+            ServerId(2),
+            ServerId(1),
+        );
+        assert_eq!(c.outstanding(NodeId(12), NodeId(11)), 0);
+    }
+
+    #[test]
+    fn reexecuted_map_drops_parked_entries() {
+        let mut c = collector();
+        // Parked: reducer location unknown.
+        c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
+        assert_eq!(c.parked(), 1);
+        // Re-execution elsewhere replaces the parked entry too.
+        c.on_prediction(SimTime::from_secs(1), &msg(0, 2, vec![500], 1));
+        assert_eq!(c.parked(), 1, "old parked entry replaced, not added");
+        let d = c.on_reducer_location(SimTime::from_secs(2), JobId(0), ReducerId(0), ServerId(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].src, NodeId(12), "resolved from the re-execution");
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 0);
+    }
+
+    #[test]
+    fn malformed_server_id_is_dropped_not_a_panic() {
+        let mut c = collector();
+        // Only servers 0..4 exist; 99 is garbage.
+        let d = c.on_prediction(SimTime::ZERO, &msg(0, 99, vec![500], 0));
+        assert!(d.demands.is_empty() && d.retracted.is_empty());
+        assert_eq!(c.malformed_dropped, 1);
+        assert_eq!(c.predictions_received, 0);
+        assert!(c.node_of(ServerId(99)).is_err());
+        assert_eq!(c.node_of(ServerId(1)), Ok(NodeId(11)));
+        // A malformed reducer location is likewise dropped.
+        let d2 = c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(42));
+        assert!(d2.is_empty());
+        assert_eq!(c.malformed_dropped, 2);
+    }
+
+    #[test]
+    fn parked_entries_expire_after_ttl() {
+        let mut c = collector();
+        c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
+        c.on_prediction(SimTime::from_secs(8), &msg(1, 0, vec![300], 8));
+        assert_eq!(c.parked(), 2);
+        // TTL 5 s at t=10: the t=1 entry dies, the t=8 entry survives.
+        let expired = c.expire_parked(SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(expired, 1);
+        assert_eq!(c.parked(), 1);
+        assert_eq!(c.parked_expired, 1);
+        // The survivor still resolves normally.
+        let d = c.on_reducer_location(SimTime::from_secs(11), JobId(0), ReducerId(0), ServerId(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(c.outstanding(NodeId(10), NodeId(11)), 300);
+    }
+
+    #[test]
+    fn outstanding_pairs_lists_live_volume() {
+        let mut c = collector();
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        assert!(c.outstanding_pairs().is_empty());
+        c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
+        c.on_prediction(SimTime::ZERO, &msg(1, 2, vec![300], 0));
+        assert_eq!(
+            c.outstanding_pairs(),
+            vec![
+                ((NodeId(10), NodeId(11)), 500),
+                ((NodeId(12), NodeId(11)), 300)
+            ]
+        );
+        c.on_fetch_completed(
+            JobId(0),
+            MapTaskId(0),
+            ReducerId(0),
+            ServerId(0),
+            ServerId(1),
+        );
+        assert_eq!(c.outstanding_pairs(), vec![((NodeId(12), NodeId(11)), 300)]);
     }
 }

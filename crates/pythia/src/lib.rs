@@ -10,8 +10,11 @@
 //!   spill index files into per-reducer shuffle predictions;
 //! * [`overhead`] — application-layer → wire-volume conversion (the
 //!   source of the paper's 3–7% conservative over-estimate);
+//! * [`mgmtnet`] — the management-network channel model (loss,
+//!   duplication, jitter) with agent-side retry and exponential backoff;
 //! * [`collector`] — central aggregation into server-pair transfers, with
-//!   parked predictions for not-yet-scheduled reducers;
+//!   parked predictions for not-yet-scheduled reducers, idempotent under
+//!   re-delivery and map re-execution;
 //! * [`allocator`] — the first-fit bin-packing path allocator
 //!   ("assign each aggregated flow to the path with the highest available
 //!   bandwidth", size-aware, background-differentiated);
@@ -41,12 +44,14 @@
 pub mod allocator;
 pub mod collector;
 pub mod instrument;
+pub mod mgmtnet;
 pub mod middleware_cost;
 pub mod overhead;
 pub mod scheduler;
 
 pub use allocator::{FlowAllocator, PathChoice, Placement};
-pub use collector::{AggregatedDemand, Collector};
+pub use collector::{AggregatedDemand, Collector, PredictionOutcome, UnknownServer};
 pub use instrument::{Instrumentation, PredictionMsg};
+pub use mgmtnet::{MgmtNet, MgmtNetConfig, MgmtNetStats};
 pub use middleware_cost::MiddlewareCostModel;
 pub use scheduler::{AggregationPolicy, AllocationMode, PythiaConfig, PythiaStats, PythiaSystem};

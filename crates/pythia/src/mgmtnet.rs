@@ -1,0 +1,299 @@
+//! The management-network channel model.
+//!
+//! The paper keeps all Pythia control traffic — instrumentation agents →
+//! collector — on a dedicated management network (§III) and implicitly
+//! assumes it is lossless and in-order. This module drops that assumption:
+//! a [`MgmtNet`] models a datagram channel with configurable loss,
+//! duplication and latency jitter, and an agent-side reliability layer
+//! (retransmit on missing ack, exponential backoff, bounded retries).
+//!
+//! Delivery is **at-least-zero, at-most-many**: a message can be lost
+//! outright (every retry exhausted), arrive once, or arrive several times
+//! (duplicated by the network, or re-sent after a *delayed* rather than
+//! lost ack). Arrival order across messages is not preserved — jittered
+//! latencies reorder freely. End-to-end safety therefore rests on the
+//! collector's idempotent, keyed ingestion ([`crate::Collector`]
+//! deduplicates by `(job, map)`), mirroring how Hadoop itself survives
+//! re-sent heartbeats.
+//!
+//! With the default (ideal) configuration the channel degenerates to a
+//! fixed one-way latency, consumes **no randomness**, and is bit-identical
+//! to the historical fault-free path.
+
+use pythia_des::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Fault/latency knobs of the management network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgmtNetConfig {
+    /// Probability that any single transmission (first send or retry) is
+    /// lost before reaching the collector.
+    pub loss_prob: f64,
+    /// Probability that a delivered transmission is duplicated by the
+    /// network (a second copy arrives with independent jitter).
+    pub dup_prob: f64,
+    /// Maximum extra one-way latency, sampled uniformly per delivered
+    /// copy on top of the base management latency. Non-zero jitter
+    /// reorders messages.
+    pub jitter: SimDuration,
+    /// Agent-side retransmission timer for the first retry; doubles on
+    /// every further retry (exponential backoff).
+    pub retry_timeout: SimDuration,
+    /// Retransmissions attempted after the initial send before the agent
+    /// gives the message up for lost.
+    pub max_retries: u32,
+}
+
+impl Default for MgmtNetConfig {
+    fn default() -> Self {
+        MgmtNetConfig {
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+            jitter: SimDuration::ZERO,
+            retry_timeout: SimDuration::from_millis(50),
+            max_retries: 4,
+        }
+    }
+}
+
+impl MgmtNetConfig {
+    /// True when the channel is perfect: no loss, no duplication, no
+    /// jitter. The ideal channel consumes no randomness, keeping the
+    /// fault-free path bit-identical to a build without this module.
+    pub fn is_ideal(&self) -> bool {
+        self.loss_prob == 0.0 && self.dup_prob == 0.0 && self.jitter == SimDuration::ZERO
+    }
+
+    /// Panics if probabilities are outside [0, 1).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.loss_prob),
+            "loss_prob must be in [0, 1), got {}",
+            self.loss_prob
+        );
+        assert!(
+            (0.0..1.0).contains(&self.dup_prob),
+            "dup_prob must be in [0, 1), got {}",
+            self.dup_prob
+        );
+    }
+}
+
+/// Channel-level degradation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MgmtNetStats {
+    /// Messages handed to the channel by agents.
+    pub messages_sent: u64,
+    /// Copies that reached the collector (≥ messages delivered, because
+    /// of duplication).
+    pub deliveries: u64,
+    /// Individual transmissions lost in flight (each triggers a retry
+    /// while the budget lasts).
+    pub transmissions_lost: u64,
+    /// Extra copies delivered by network duplication.
+    pub duplicates_delivered: u64,
+    /// Messages lost outright: every retry exhausted.
+    pub messages_lost: u64,
+}
+
+/// The agent → collector channel: loss, duplication, jitter, retries.
+#[derive(Debug)]
+pub struct MgmtNet {
+    cfg: MgmtNetConfig,
+    rng: SmallRng,
+    /// Degradation counters, for the run report.
+    pub stats: MgmtNetStats,
+}
+
+impl MgmtNet {
+    /// A channel with the given fault model, drawing from `rng`.
+    pub fn new(cfg: MgmtNetConfig, rng: SmallRng) -> Self {
+        cfg.validate();
+        MgmtNet {
+            cfg,
+            rng,
+            stats: MgmtNetStats::default(),
+        }
+    }
+
+    /// The fault model in force.
+    pub fn config(&self) -> &MgmtNetConfig {
+        &self.cfg
+    }
+
+    /// One agent sends one message at `now` over a channel whose fault-free
+    /// one-way latency is `base_latency`. Returns every instant at which a
+    /// copy arrives at the collector — empty if the message is lost for
+    /// good after `max_retries` retransmissions.
+    ///
+    /// The reliability layer is stop-and-wait per message: the agent
+    /// retransmits `retry_timeout` after a lost transmission, doubling the
+    /// timer each time. The first successful transmission ends the retry
+    /// loop (its ack stops the timer); the network may still have
+    /// duplicated the copy in flight.
+    pub fn transmit(&mut self, now: SimTime, base_latency: SimDuration) -> Vec<SimTime> {
+        self.stats.messages_sent += 1;
+        if self.cfg.is_ideal() {
+            self.stats.deliveries += 1;
+            return vec![now + base_latency];
+        }
+        let mut arrivals = Vec::new();
+        let mut send_at = now;
+        let mut timeout = self.cfg.retry_timeout;
+        for attempt in 0..=self.cfg.max_retries {
+            let lost = self.cfg.loss_prob > 0.0 && self.bernoulli(self.cfg.loss_prob);
+            if !lost {
+                arrivals.push(send_at + base_latency + self.sample_jitter());
+                self.stats.deliveries += 1;
+                if self.cfg.dup_prob > 0.0 && self.bernoulli(self.cfg.dup_prob) {
+                    arrivals.push(send_at + base_latency + self.sample_jitter());
+                    self.stats.deliveries += 1;
+                    self.stats.duplicates_delivered += 1;
+                }
+                break;
+            }
+            self.stats.transmissions_lost += 1;
+            if attempt == self.cfg.max_retries {
+                self.stats.messages_lost += 1;
+            }
+            send_at += timeout;
+            timeout = timeout + timeout; // exponential backoff
+        }
+        arrivals
+    }
+
+    fn bernoulli(&mut self, p: f64) -> bool {
+        self.rng.random_range(0.0..1.0) < p
+    }
+
+    fn sample_jitter(&mut self) -> SimDuration {
+        if self.cfg.jitter == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            self.cfg.jitter.mul_f64(self.rng.random_range(0.0..1.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_des::RngFactory;
+
+    fn rng(seed: u64) -> SmallRng {
+        RngFactory::new(seed).stream("mgmtnet-test")
+    }
+
+    #[test]
+    fn ideal_channel_is_a_fixed_delay() {
+        let mut net = MgmtNet::new(MgmtNetConfig::default(), rng(1));
+        let base = SimDuration::from_millis(1);
+        for s in 0..50u64 {
+            let t = SimTime::from_secs(s);
+            assert_eq!(net.transmit(t, base), vec![t + base]);
+        }
+        assert_eq!(net.stats.messages_sent, 50);
+        assert_eq!(net.stats.deliveries, 50);
+        assert_eq!(net.stats.transmissions_lost, 0);
+        assert_eq!(net.stats.messages_lost, 0);
+    }
+
+    #[test]
+    fn lossy_channel_retries_with_backoff() {
+        // Certain-ish loss: every arrival must come from a delayed retry.
+        let cfg = MgmtNetConfig {
+            loss_prob: 0.9,
+            retry_timeout: SimDuration::from_millis(50),
+            max_retries: 3,
+            ..Default::default()
+        };
+        let mut net = MgmtNet::new(cfg, rng(2));
+        let base = SimDuration::from_millis(1);
+        let mut delivered = 0u32;
+        for s in 0..200u64 {
+            let t = SimTime::from_millis(s * 10);
+            for at in net.transmit(t, base) {
+                delivered += 1;
+                // Arrivals only at t + backoff-sum + base: 1, 51, 151, 351 ms.
+                let offset = at.since(t);
+                let valid = [1u64, 51, 151, 351]
+                    .iter()
+                    .any(|&ms| offset == SimDuration::from_millis(ms));
+                assert!(valid, "unexpected arrival offset {offset}");
+            }
+        }
+        assert!(net.stats.transmissions_lost > 0, "0.9 loss must drop some");
+        assert!(net.stats.messages_lost > 0, "budget must exhaust sometimes");
+        assert!(delivered > 0, "retries must save some messages");
+        assert_eq!(net.stats.deliveries, u64::from(delivered));
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let cfg = MgmtNetConfig {
+            dup_prob: 0.5,
+            ..Default::default()
+        };
+        let mut net = MgmtNet::new(cfg, rng(3));
+        let mut total = 0;
+        for s in 0..100u64 {
+            total += net
+                .transmit(SimTime::from_secs(s), SimDuration::from_millis(1))
+                .len();
+        }
+        assert!(total > 100, "duplicates must inflate arrivals, got {total}");
+        assert_eq!(net.stats.duplicates_delivered as usize, total - 100);
+    }
+
+    #[test]
+    fn jitter_reorders_messages() {
+        let cfg = MgmtNetConfig {
+            jitter: SimDuration::from_millis(100),
+            ..Default::default()
+        };
+        let mut net = MgmtNet::new(cfg, rng(4));
+        // Two messages 1 ms apart with 100 ms jitter: some pair inverts.
+        let mut inverted = false;
+        for s in 0..100u64 {
+            let t0 = SimTime::from_millis(s * 1000);
+            let t1 = SimTime::from_millis(s * 1000 + 1);
+            let a = net.transmit(t0, SimDuration::from_millis(1))[0];
+            let b = net.transmit(t1, SimDuration::from_millis(1))[0];
+            if b < a {
+                inverted = true;
+            }
+        }
+        assert!(inverted, "jitter must reorder adjacent sends");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let cfg = MgmtNetConfig {
+                loss_prob: 0.3,
+                dup_prob: 0.2,
+                jitter: SimDuration::from_millis(10),
+                ..Default::default()
+            };
+            let mut net = MgmtNet::new(cfg, rng(seed));
+            let mut all = Vec::new();
+            for s in 0..50u64 {
+                all.extend(net.transmit(SimTime::from_secs(s), SimDuration::from_millis(1)));
+            }
+            all
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_prob")]
+    fn certain_loss_is_rejected() {
+        let cfg = MgmtNetConfig {
+            loss_prob: 1.0,
+            ..Default::default()
+        };
+        MgmtNet::new(cfg, rng(1));
+    }
+}

@@ -25,6 +25,7 @@ use pythia_openflow::{Controller, FlowMatch, PendingRule};
 use crate::allocator::{FlowAllocator, PathChoice, Placement};
 use crate::collector::{AggregatedDemand, Collector};
 use crate::instrument::{Instrumentation, PredictionMsg};
+use crate::mgmtnet::MgmtNetConfig;
 
 /// Granularity at which predicted transfers are aggregated and rules are
 /// installed (§IV: "large-scale future SDN network setups may force
@@ -71,6 +72,13 @@ pub struct PythiaConfig {
     pub aggregation: AggregationPolicy,
     /// Size-aware (Pythia) vs size-blind (FlowComb-like) placement.
     pub allocation: AllocationMode,
+    /// Fault model of the management network (default: ideal channel —
+    /// no loss, duplication, or jitter).
+    pub mgmtnet: MgmtNetConfig,
+    /// Expire parked (unknown-reducer) prediction entries older than
+    /// this. `None` (default) keeps them forever — correct when the
+    /// management network is ideal and every reducer launches.
+    pub parked_ttl: Option<SimDuration>,
 }
 
 impl Default for PythiaConfig {
@@ -80,6 +88,8 @@ impl Default for PythiaConfig {
             rule_priority: 100,
             aggregation: AggregationPolicy::ServerPair,
             allocation: AllocationMode::SizeAware,
+            mgmtnet: MgmtNetConfig::default(),
+            parked_ttl: None,
         }
     }
 }
@@ -95,6 +105,13 @@ pub struct PythiaStats {
     pub paths_assigned: u64,
     /// OpenFlow rules issued to the controller.
     pub rules_issued: u64,
+    /// Placements made while the controller was down — the pair runs on
+    /// default ECMP until the restart resync installs its rules.
+    pub demands_deferred: u64,
+    /// Rules re-issued by controller-restart resyncs.
+    pub rules_reinstalled: u64,
+    /// Controller restart resyncs performed.
+    pub controller_resyncs: u64,
 }
 
 /// The complete Pythia deployment over one cluster.
@@ -108,6 +125,11 @@ pub struct PythiaSystem {
     rack_trunk: std::collections::BTreeMap<(u32, u32), (LinkId, u64)>,
     /// Server pairs currently counted against a rack pin.
     rack_counted: std::collections::BTreeMap<(NodeId, NodeId), (u32, u32)>,
+    /// Whether the SDN controller is reachable. While down, placements
+    /// are still decided (the collector/allocator live with Pythia, not
+    /// the controller) but no rules can be installed — new aggregated
+    /// flows ride default ECMP until the restart resync.
+    controller_up: bool,
     /// Aggregate statistics for reporting.
     pub stats: PythiaStats,
 }
@@ -129,6 +151,7 @@ impl PythiaSystem {
             allocator,
             rack_trunk: std::collections::BTreeMap::new(),
             rack_counted: std::collections::BTreeMap::new(),
+            controller_up: true,
             stats: PythiaStats::default(),
         }
     }
@@ -170,8 +193,16 @@ impl PythiaSystem {
         controller: &mut Controller,
         background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
-        let demands = self.collector.on_prediction(now, msg);
-        self.handle_demands(&demands, controller, background_bps)
+        let outcome = self.collector.on_prediction(now, msg);
+        // A re-executed map retracts its stale volumes before the new
+        // prediction is placed.
+        for &(pair, bytes) in &outcome.retracted {
+            self.allocator.drain(pair, bytes);
+            if self.cfg.aggregation == AggregationPolicy::RackPair {
+                self.unpin_rack_if_idle(pair);
+            }
+        }
+        self.handle_demands(&outcome.demands, controller, background_bps)
     }
 
     /// A reducer launched: resolve parked predictions.
@@ -200,6 +231,11 @@ impl PythiaSystem {
         background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
         let _ = now;
+        if !self.controller_up {
+            // No controller: no link-load service, no rule installs. The
+            // restart resync re-evaluates everything.
+            return Vec::new();
+        }
         let mut rules = Vec::new();
         for pair in self.allocator.active_pairs() {
             let candidates: Vec<PathChoice> = controller
@@ -250,6 +286,73 @@ impl PythiaSystem {
                 self.unpin_rack_if_idle(pair);
             }
         }
+    }
+
+    /// The SDN controller crashed: stop issuing rules. Placement state is
+    /// kept — Pythia's collector/allocator run beside Hadoop, not inside
+    /// the controller — so the restart resync can re-derive every rule.
+    pub fn set_controller_down(&mut self) {
+        self.controller_up = false;
+    }
+
+    /// Whether rule installation is currently possible.
+    pub fn controller_is_up(&self) -> bool {
+        self.controller_up
+    }
+
+    /// The controller restarted. Re-derive the full rule set from
+    /// collector/allocator state: re-place pairs that still carry
+    /// predicted volume but lost their assignment, then reinstall rules
+    /// for every active pair (flow-table replace semantics make the
+    /// reinstalls idempotent on switches that kept their TCAM).
+    pub fn on_controller_restart(
+        &mut self,
+        now: SimTime,
+        controller: &mut Controller,
+        background_bps: &dyn Fn(LinkId) -> f64,
+    ) -> Vec<PendingRule> {
+        self.controller_up = true;
+        self.stats.controller_resyncs += 1;
+        // Pairs the collector predicts but the allocator never placed
+        // (NoPath during the outage, e.g. a concurrent link failure).
+        let unplaced: Vec<AggregatedDemand> = self
+            .collector
+            .outstanding_pairs()
+            .into_iter()
+            .filter(|&((src, dst), _)| self.allocator.assigned_path((src, dst)).is_none())
+            .map(|((src, dst), bytes)| AggregatedDemand {
+                src,
+                dst,
+                added_bytes: bytes,
+            })
+            .collect();
+        let mut rules = self.handle_demands(&unplaced, controller, background_bps);
+        for pair in self.allocator.active_pairs() {
+            if let Some(path) = self.allocator.assigned_path(pair).cloned() {
+                let matcher = FlowMatch::server_pair(pair.0, pair.1);
+                let pending = controller.install_path(matcher, &path, self.cfg.rule_priority);
+                self.stats.rules_issued += pending.len() as u64;
+                self.stats.rules_reinstalled += pending.len() as u64;
+                rules.extend(pending);
+            }
+        }
+        let _ = now;
+        rules
+    }
+
+    /// TTL sweep over parked predictions (no-op unless
+    /// [`PythiaConfig::parked_ttl`] is set). Returns entries expired.
+    pub fn expire_parked(&mut self, now: SimTime) -> usize {
+        match self.cfg.parked_ttl {
+            Some(ttl) => self.collector.expire_parked(now, ttl),
+            None => 0,
+        }
+    }
+
+    /// Read access to the collector (degradation counters, outstanding
+    /// volumes).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
     }
 
     fn handle_demands(
@@ -310,10 +413,18 @@ impl PythiaSystem {
                     if self.cfg.aggregation == AggregationPolicy::RackPair {
                         self.pin_rack(rack_key, (d.src, d.dst), &path, controller);
                     }
-                    let matcher = FlowMatch::server_pair(d.src, d.dst);
-                    let pending = controller.install_path(matcher, &path, self.cfg.rule_priority);
-                    self.stats.rules_issued += pending.len() as u64;
-                    rules.extend(pending);
+                    if self.controller_up {
+                        let matcher = FlowMatch::server_pair(d.src, d.dst);
+                        let pending =
+                            controller.install_path(matcher, &path, self.cfg.rule_priority);
+                        self.stats.rules_issued += pending.len() as u64;
+                        rules.extend(pending);
+                    } else {
+                        // Controller outage: the placement is remembered
+                        // but the pair degrades to default ECMP until the
+                        // restart resync installs its rules.
+                        self.stats.demands_deferred += 1;
+                    }
                 }
                 Placement::Keep | Placement::NoPath => {}
             }

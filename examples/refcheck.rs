@@ -1,0 +1,53 @@
+//! Prints fingerprint numbers of a deterministic Pythia run (used to
+//! verify refactors keep the fault-free path bit-identical).
+
+use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::des::SimDuration;
+use pythia_repro::hadoop::{DurationModel, JobSpec};
+use pythia_repro::workloads::SkewModel;
+
+const MB: u64 = 1_000_000;
+
+fn main() {
+    for (kind, ratio, seed) in [
+        (SchedulerKind::Pythia, 20, 42),
+        (SchedulerKind::Pythia, 10, 7),
+        (SchedulerKind::Ecmp, 20, 42),
+        (SchedulerKind::Hedera, 10, 1),
+    ] {
+        let job = JobSpec {
+            name: "ref".into(),
+            num_maps: 40,
+            num_reducers: 8,
+            input_bytes: 40 * 64 * MB,
+            map_output_ratio: 1.0,
+            map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1),
+            sort_duration: DurationModel::rate(
+                SimDuration::from_millis(500),
+                500.0 * MB as f64,
+                0.1,
+            ),
+            reduce_duration: DurationModel::rate(
+                SimDuration::from_millis(500),
+                200.0 * MB as f64,
+                0.1,
+            ),
+            partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(8, 0.1, 99),
+        };
+        let cfg = ScenarioConfig::default()
+            .with_scheduler(kind)
+            .with_oversubscription(ratio)
+            .with_seed(seed);
+        let r = run_scenario(job, &cfg);
+        println!(
+            "{:?} ratio={} seed={} completion={} events={} rules={} flows={}",
+            kind,
+            ratio,
+            seed,
+            r.completion(),
+            r.events_processed,
+            r.rules_installed,
+            r.flow_trace.len()
+        );
+    }
+}

@@ -98,6 +98,52 @@ fn failure_hurts_and_recovery_helps() {
     );
 }
 
+/// The restore path end to end: while the cable is down no flow
+/// finishes on it (everything reroutes off at fail time), and once
+/// restored the ECMP reconvergence spreads in-flight flows back across
+/// it — capacity actually recovers, it doesn't just stop failing.
+/// A flow record's trunk is its *final* path, so end-time windows are
+/// the right lens.
+#[test]
+fn restored_trunk_carries_traffic_again() {
+    let mut cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Ecmp)
+        .with_oversubscription(5)
+        .with_seed(3);
+    cfg.link_faults = vec![LinkFault {
+        trunk_cable: 0,
+        fail_at: SimDuration::from_secs(4),
+        restore_at: Some(SimDuration::from_secs(7)),
+    }];
+    let r = run_scenario(job(), &cfg);
+    assert!(r.timeline.job_end.is_some());
+    let dead: Vec<u32> = r.trunk_links[..2].iter().map(|l| l.0).collect();
+    let mut finished_on_dead_cable = 0u32;
+    let mut back_after_restore = 0u32;
+    for rec in r.flow_trace.records() {
+        let Some(t) = rec.trunk_link else { continue };
+        if !dead.contains(&t) {
+            continue;
+        }
+        if rec.end_secs > 4.1 && rec.end_secs < 7.0 {
+            finished_on_dead_cable += 1;
+        } else if rec.end_secs > 7.2 {
+            back_after_restore += 1;
+        }
+    }
+    assert_eq!(
+        finished_on_dead_cable, 0,
+        "flows must reroute off a dead cable"
+    );
+    assert!(
+        back_after_restore > 0,
+        "restored cable never carried traffic again"
+    );
+    // Link faults are data-plane events: the control-plane degradation
+    // report must stay clean.
+    assert!(r.degradation.is_clean(), "{}", r.degradation);
+}
+
 #[test]
 fn deterministic_with_faults() {
     let a = run_with_fault(SchedulerKind::Pythia, Some(SimDuration::from_secs(25)));
