@@ -78,7 +78,7 @@ impl HederaScheduler {
     pub fn rebalance(
         &mut self,
         net: &FlowNet,
-        controller: &Controller,
+        controller: &mut Controller,
         background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<Reroute> {
         self.rounds += 1;
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn colliding_elephants_are_spread() {
-        let (mr, mut net, ctl) = setup();
+        let (mr, mut net, mut ctl) = setup();
         // Two 1 Gb/s-class flows crammed onto trunk 0.
         let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
         let t2 = FiveTuple::tcp(mr.servers[1], mr.servers[6], 2, 50060);
@@ -221,7 +221,7 @@ mod tests {
         );
         net.recompute();
         let mut hedera = HederaScheduler::new(HederaConfig::default());
-        let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
+        let reroutes = hedera.rebalance(&net, &mut ctl, &|_| 0.0);
         // At 10 Gb/s trunks the NICs bottleneck: both flows run at 1 Gb/s,
         // well over the 10% elephant threshold. First fit must separate
         // them: exactly one gets moved to the other trunk.
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn mice_are_left_alone() {
-        let (mr, mut net, ctl) = setup();
+        let (mr, mut net, mut ctl) = setup();
         // Mice: 12 flows share server0's NIC, so each flow's *natural
         // demand* is 1G/12 ≈ 8% of the NIC — below the 10% elephant
         // threshold. Hedera must not touch them even though they all sit
@@ -249,7 +249,7 @@ mod tests {
         }
         net.recompute();
         let mut hedera = HederaScheduler::new(HederaConfig::default());
-        let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
+        let reroutes = hedera.rebalance(&net, &mut ctl, &|_| 0.0);
         assert!(
             reroutes.is_empty(),
             "mice must not be rerouted: {reroutes:?}"
@@ -258,7 +258,7 @@ mod tests {
 
     #[test]
     fn throttled_elephant_detected_by_demand_not_rate() {
-        let (mr, mut net, ctl) = setup();
+        let (mr, mut net, mut ctl) = setup();
         // Hedera's defining trick: a lone flow crushed to 50 Mb/s by UDP
         // on trunk 0 still has natural demand of a full NIC — it must be
         // recognized and moved to the free trunk.
@@ -279,14 +279,15 @@ mod tests {
             "flow must be throttled"
         );
         let mut hedera = HederaScheduler::new(HederaConfig::default());
-        let reroutes = hedera.rebalance(&net, &ctl, &|l| if l == trunk0 { 9.95e9 } else { 0.0 });
+        let reroutes =
+            hedera.rebalance(&net, &mut ctl, &|l| if l == trunk0 { 9.95e9 } else { 0.0 });
         assert_eq!(reroutes.len(), 1);
         assert!(!reroutes[0].path.contains_link(trunk0));
     }
 
     #[test]
     fn well_placed_elephants_stay_put() {
-        let (mr, mut net, ctl) = setup();
+        let (mr, mut net, mut ctl) = setup();
         let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[5], 1, 50060);
         let t2 = FiveTuple::tcp(mr.servers[1], mr.servers[6], 2, 50060);
         net.start_flow(
@@ -299,7 +300,7 @@ mod tests {
         );
         net.recompute();
         let mut hedera = HederaScheduler::new(HederaConfig::default());
-        let reroutes = hedera.rebalance(&net, &ctl, &|_| 0.0);
+        let reroutes = hedera.rebalance(&net, &mut ctl, &|_| 0.0);
         assert!(reroutes.is_empty(), "already balanced: {reroutes:?}");
     }
 }

@@ -1,0 +1,125 @@
+//! Control-plane scaling benchmarks: path-table construction on Clos
+//! fabrics, structural vs. Yen per-pair enumeration, ECMP next-hop table
+//! builds, and link-event invalidation cost.
+//!
+//! The headline comparison backs `BENCH_ctrlplane.json`: eager all-pairs
+//! Yen (what `Controller::new` used to do at construction) vs. the lazy
+//! controller's structural warm fill on a 128-server fat-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pythia_des::RngFactory;
+use pythia_netsim::{build_fat_tree, build_multi_rack, FatTreeParams, MultiRackParams};
+use pythia_openflow::{
+    clos_paths, k_shortest_paths_avoiding, Controller, ControllerConfig, EcmpNextHops,
+};
+use std::collections::HashSet;
+
+/// The pre-refactor controller startup: Yen for every ordered server
+/// pair, no structural shortcut. Reproduced here as the "before" side.
+fn eager_all_pairs_yen(mr: &pythia_netsim::MultiRack, k: usize) -> usize {
+    let empty = HashSet::new();
+    let mut total = 0;
+    for &s in mr.servers.iter() {
+        for &d in mr.servers.iter() {
+            if s == d {
+                continue;
+            }
+            total += k_shortest_paths_avoiding(&mr.topology, s, d, k, &empty).len();
+        }
+    }
+    total
+}
+
+fn path_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctrlplane");
+    g.sample_size(10);
+    for &k in &[4u32, 8] {
+        let mr = build_fat_tree(&FatTreeParams {
+            k,
+            ..FatTreeParams::default()
+        });
+        let label = format!("fattree_k{k}_{}srv", mr.servers.len());
+        let kp = ControllerConfig::default().k_paths;
+        g.bench_with_input(
+            BenchmarkId::new("full_table_eager_yen", &label),
+            &mr,
+            |b, mr| b.iter(|| eager_all_pairs_yen(mr, kp)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_table_structural", &label),
+            &mr,
+            |b, mr| {
+                b.iter(|| {
+                    let mut ctl = Controller::with_clos(
+                        mr.topology.clone(),
+                        mr.clos.clone(),
+                        ControllerConfig::default(),
+                        &RngFactory::new(1),
+                    );
+                    ctl.warm_all_pairs();
+                    ctl.cached_pairs()
+                })
+            },
+        );
+        let clos = mr.clos.as_ref().unwrap();
+        let (src, dst) = (mr.servers[0], *mr.servers.last().unwrap());
+        g.bench_with_input(BenchmarkId::new("pair_structural", &label), &mr, |b, mr| {
+            b.iter(|| clos_paths(&mr.topology, clos, src, dst, kp))
+        });
+        let empty = HashSet::new();
+        g.bench_with_input(BenchmarkId::new("pair_yen", &label), &mr, |b, mr| {
+            b.iter(|| k_shortest_paths_avoiding(&mr.topology, src, dst, kp, &empty))
+        });
+        g.bench_with_input(BenchmarkId::new("ecmp_next_hops", &label), &mr, |b, mr| {
+            b.iter(|| EcmpNextHops::compute(&mr.topology))
+        });
+    }
+    // Reference fabric for continuity with micro_sdn's startup bench.
+    let mr = build_multi_rack(&MultiRackParams::default());
+    g.bench_function("full_table_eager_yen/multirack_default", |b| {
+        b.iter(|| eager_all_pairs_yen(&mr, ControllerConfig::default().k_paths))
+    });
+    g.bench_function("full_table_lazy_warm/multirack_default", |b| {
+        b.iter(|| {
+            let mut ctl = Controller::with_clos(
+                mr.topology.clone(),
+                mr.clos.clone(),
+                ControllerConfig::default(),
+                &RngFactory::new(1),
+            );
+            ctl.warm_all_pairs();
+            ctl.cached_pairs()
+        })
+    });
+    g.finish();
+}
+
+fn invalidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctrlplane_events");
+    let mr = build_fat_tree(&FatTreeParams {
+        k: 8,
+        ..FatTreeParams::default()
+    });
+    let mut ctl = Controller::with_clos(
+        mr.topology.clone(),
+        mr.clos.clone(),
+        ControllerConfig::default(),
+        &RngFactory::new(1),
+    );
+    ctl.warm_all_pairs();
+    let trunk = mr.trunk_links[mr.trunk_links.len() / 2];
+    // First iteration pays the targeted eviction; later ones measure the
+    // steady-state cost of an event that touches nothing cached — the
+    // case the reverse index makes O(1).
+    g.bench_function("link_down_up_warm_cache/fattree_k8", |b| {
+        b.iter(|| {
+            ctl.on_link_state(trunk, false);
+            ctl.on_link_state(trunk, true);
+            ctl.stats.path_cache_invalidations
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, path_table, invalidation);
+criterion_main!(benches);

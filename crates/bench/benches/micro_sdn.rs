@@ -34,15 +34,18 @@ fn routing(c: &mut Criterion) {
         );
     }
     // Full controller startup: all-pairs path cache (what OpenDaylight's
-    // topology service pays on every change event).
+    // topology service pays on every change event). The controller is
+    // lazy now, so force the full fill to keep the measurement meaningful.
     let mr = build_multi_rack(&MultiRackParams::default());
     g.bench_function("controller_startup_path_cache", |b| {
         b.iter(|| {
-            Controller::new(
+            let mut c = Controller::new(
                 mr.topology.clone(),
                 ControllerConfig::default(),
                 &RngFactory::new(1),
-            )
+            );
+            c.warm_all_pairs();
+            c
         })
     });
     g.finish();

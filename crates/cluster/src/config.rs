@@ -4,7 +4,7 @@ use pythia_baselines::HederaConfig;
 use pythia_core::PythiaConfig;
 use pythia_des::SimDuration;
 use pythia_hadoop::HadoopConfig;
-use pythia_netsim::{BackgroundProfile, MultiRackParams, OverSubscription};
+use pythia_netsim::{BackgroundProfile, OverSubscription, TopologySpec};
 use pythia_openflow::ControllerConfig;
 
 /// Which flow scheduler manages shuffle traffic.
@@ -56,8 +56,9 @@ pub struct ControllerOutage {
 /// A complete, reproducible scenario description.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
-    /// Cluster/network shape.
-    pub topology: MultiRackParams,
+    /// Cluster/network shape — the paper's multi-rack reference fabric
+    /// or a parameterized fat-tree (`TopologySpec::FatTree`).
+    pub topology: TopologySpec,
     /// Over-subscription ratio 1:N emulated by background traffic.
     pub oversubscription: OverSubscription,
     /// How the background load moves across parallel trunks over time.
@@ -100,7 +101,7 @@ pub struct ScenarioConfig {
 impl Default for ScenarioConfig {
     fn default() -> Self {
         ScenarioConfig {
-            topology: MultiRackParams::default(),
+            topology: TopologySpec::default(),
             oversubscription: OverSubscription::NONE,
             background: BackgroundProfile::default(),
             scheduler: SchedulerKind::Ecmp,
@@ -137,6 +138,13 @@ impl ScenarioConfig {
     /// Set the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the fabric (anything convertible into a [`TopologySpec`]:
+    /// `MultiRackParams` or `FatTreeParams`).
+    pub fn with_topology(mut self, spec: impl Into<TopologySpec>) -> Self {
+        self.topology = spec.into();
         self
     }
 }

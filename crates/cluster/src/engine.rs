@@ -26,8 +26,8 @@ use pythia_des::{EventId, EventQueue, RngFactory, SimDuration, SimTime};
 use pythia_hadoop::{FetchId, HadoopEvent, JobId, MapReduceSim, MapTaskId, ReducerId, ServerId};
 use pythia_metrics::{DegradationReport, FlowTrace, ShuffleFlowRecord};
 use pythia_netsim::{
-    background_flows, build_multi_rack, redraw_group_rates, BackgroundProfile, FiveTuple, FlowId,
-    FlowNet, FlowSpec, LinkId, MultiRack, NetFlowProbe, NodeId, Path,
+    background_flows, redraw_group_rates, BackgroundProfile, FiveTuple, FlowId, FlowNet, FlowSpec,
+    LinkId, MultiRack, NetFlowProbe, NodeId, Path,
 };
 use pythia_openflow::{Controller, Dataplane, EcmpNextHops, FlowRule};
 
@@ -166,7 +166,7 @@ impl<'a> Engine<'a> {
         cfg: &'a ScenarioConfig,
     ) -> Engine<'a> {
         assert!(!job_specs.is_empty(), "need at least one job");
-        let mr = build_multi_rack(&cfg.topology);
+        let mr = cfg.topology.build();
         let rngs = RngFactory::new(cfg.seed);
         let mut net = FlowNet::new(mr.topology.clone());
 
@@ -198,7 +198,12 @@ impl<'a> Engine<'a> {
         net.recompute();
 
         let dataplane = Dataplane::new(&mr.topology, cfg.tcam_capacity);
-        let controller = Controller::new(mr.topology.clone(), cfg.controller.clone(), &rngs);
+        let controller = Controller::with_clos(
+            mr.topology.clone(),
+            mr.clos.clone(),
+            cfg.controller.clone(),
+            &rngs,
+        );
         let nexthops = EcmpNextHops::compute(&mr.topology);
         let ecmp = EcmpForwarding::new(pythia_des::splitmix64(cfg.seed ^ 0xec3b));
 
@@ -221,7 +226,11 @@ impl<'a> Engine<'a> {
 
         let pythia = match cfg.scheduler {
             SchedulerKind::Pythia => {
-                Some(PythiaSystem::new(cfg.pythia.clone(), mr.servers.clone()))
+                let mut py =
+                    PythiaSystem::new(cfg.pythia.clone(), &mr.topology, mr.servers.clone());
+                // Seed the residual table with the static CBR background.
+                py.set_background_from(&background_bps);
+                Some(py)
             }
             _ => None,
         };
@@ -465,15 +474,8 @@ impl<'a> Engine<'a> {
                 }
                 HadoopEvent::ReducerLaunched { reducer, server } => {
                     if let Some(mut py) = self.pythia.take() {
-                        let bg = self.background_bps.clone();
-                        let rules = py.on_reducer_launched(
-                            now,
-                            job,
-                            reducer,
-                            server,
-                            &mut self.controller,
-                            &move |l: LinkId| bg[l.0 as usize],
-                        );
+                        let rules =
+                            py.on_reducer_launched(now, job, reducer, server, &mut self.controller);
                         self.pythia = Some(py);
                         self.schedule_rules(now, rules);
                     }
@@ -578,11 +580,7 @@ impl<'a> Engine<'a> {
 
     fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) {
         if let Some(mut py) = self.pythia.take() {
-            let bg = self.background_bps.clone();
-            let rules =
-                py.on_prediction_delivered(now, msg, &mut self.controller, &move |l: LinkId| {
-                    bg[l.0 as usize]
-                });
+            let rules = py.on_prediction_delivered(now, msg, &mut self.controller);
             self.pythia = Some(py);
             self.schedule_rules(now, rules);
         }
@@ -673,11 +671,7 @@ impl<'a> Engine<'a> {
                 self.controller_down_total += now.saturating_since(since);
             }
             if let Some(mut py) = self.pythia.take() {
-                let bg = self.background_bps.clone();
-                let rules =
-                    py.on_controller_restart(now, &mut self.controller, &move |l: LinkId| {
-                        bg[l.0 as usize]
-                    });
+                let rules = py.on_controller_restart(now, &mut self.controller);
                 self.pythia = Some(py);
                 self.schedule_rules(now, rules);
             }
@@ -742,7 +736,7 @@ impl<'a> Engine<'a> {
         }
         if let Some(mut hedera) = self.hedera.take() {
             let bg = self.background_bps.clone();
-            let reroutes = hedera.rebalance(&self.net, &self.controller, &move |l: LinkId| {
+            let reroutes = hedera.rebalance(&self.net, &mut self.controller, &move |l: LinkId| {
                 bg[l.0 as usize]
             });
             for r in reroutes {
@@ -791,14 +785,12 @@ impl<'a> Engine<'a> {
                 }
             }
             self.net_dirty = true;
-            // Pythia's link-load service sees the shift; re-place active
-            // pairs whose path collapsed.
+            // Pythia's link-load service sees the shift: one O(links)
+            // residual refresh, then re-place active pairs whose path
+            // collapsed using table lookups only.
             if let Some(mut py) = self.pythia.take() {
-                let bg = self.background_bps.clone();
-                let rules =
-                    py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
-                        bg[l.0 as usize]
-                    });
+                py.set_background_from(&self.background_bps);
+                let rules = py.on_background_update(now, &mut self.controller);
                 self.pythia = Some(py);
                 self.schedule_rules(now, rules);
             }
@@ -870,10 +862,8 @@ impl<'a> Engine<'a> {
         }
         // Pythia re-places active pairs on the updated path cache.
         if let Some(mut py) = self.pythia.take() {
-            let bg = self.background_bps.clone();
-            let rules = py.on_background_update(now, &mut self.controller, &move |l: LinkId| {
-                bg[l.0 as usize]
-            });
+            py.set_background_from(&self.background_bps);
+            let rules = py.on_background_update(now, &mut self.controller);
             self.pythia = Some(py);
             self.schedule_rules(now, rules);
         }
@@ -889,6 +879,12 @@ impl<'a> Engine<'a> {
                             self.background_bps[link.0 as usize] = frac * cap;
                         }
                     }
+                }
+                // The restore changed background after the re-place above
+                // (kept in that order deliberately); sync the residual
+                // table so later placements see the restored load.
+                if let Some(py) = self.pythia.as_mut() {
+                    py.set_background_from(&self.background_bps);
                 }
             }
         }

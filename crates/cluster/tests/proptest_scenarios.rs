@@ -80,7 +80,8 @@ fn build(s: &Scn) -> (JobSpec, ScenarioConfig) {
         nic_bps: 1e9,
         trunk_count: 2,
         trunk_bps: 10e9,
-    };
+    }
+    .into();
     cfg.hadoop = HadoopConfig {
         map_slots_per_server: 2,
         reduce_slots_per_server: 2,

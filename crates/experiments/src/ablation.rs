@@ -199,7 +199,8 @@ pub fn run_path_diversity(scale: &FigureScale) -> PathDiversity {
             // Same total bisection: 2×10G vs 4×5G.
             trunk_bps: 20e9 / trunks as f64,
             ..Default::default()
-        };
+        }
+        .into();
         cfg.controller.k_paths = trunks as usize;
         let points = grid(
             &[SchedulerKind::Ecmp, SchedulerKind::Pythia],

@@ -10,11 +10,12 @@
 use std::path::Path;
 
 use pythia_experiments::{
-    ablation, chaos, fig1, fig3, fig4, fig5, multijob, overhead, spectrum, timeliness, FigureScale,
+    ablation, chaos, fig1, fig3, fig4, fig5, multijob, overhead, scale, spectrum, timeliness,
+    FigureScale,
 };
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
+    let fig_scale = match std::env::args().nth(1).as_deref() {
         Some("quick") => FigureScale::quick(),
         Some("bench") => FigureScale::bench(),
         _ => FigureScale::default(),
@@ -38,17 +39,17 @@ fn main() {
         .unwrap();
 
     println!("== Figure 3: Nutch indexing, Pythia vs ECMP ==");
-    let f3 = fig3::run(&scale);
+    let f3 = fig3::run(&fig_scale);
     println!("{}", f3.render());
     f3.csv().write_to(&out.join("fig3_nutch.csv")).unwrap();
 
     println!("== Figure 4: Sort 240GB, Pythia vs ECMP ==");
-    let f4 = fig4::run(&scale);
+    let f4 = fig4::run(&fig_scale);
     println!("{}", f4.render());
     f4.csv().write_to(&out.join("fig4_sort.csv")).unwrap();
 
     println!("== Figure 5: prediction promptness/accuracy ==");
-    let f5 = fig5::run(&scale);
+    let f5 = fig5::run(&fig_scale);
     println!("{}", f5.render());
     f5.rows_csv()
         .write_to(&out.join("fig5_prediction_rows.csv"))
@@ -58,12 +59,12 @@ fn main() {
         .unwrap();
 
     println!("== Section V-C: instrumentation overhead ==");
-    let ov = overhead::run(&scale);
+    let ov = overhead::run(&fig_scale);
     println!("{}", ov.render());
     ov.csv().write_to(&out.join("overhead.csv")).unwrap();
 
     println!("== Ablation: scheduler ladder ==");
-    let ladder = ablation::run_scheduler_ladder(&scale);
+    let ladder = ablation::run_scheduler_ladder(&fig_scale);
     println!("{}", ladder.render());
     ladder
         .csv()
@@ -71,50 +72,55 @@ fn main() {
         .unwrap();
 
     println!("== Ablation: rule-install latency ==");
-    let lat = ablation::run_latency_sensitivity(&scale);
+    let lat = ablation::run_latency_sensitivity(&fig_scale);
     println!("{}", lat.render());
     lat.csv()
         .write_to(&out.join("ablation_latency.csv"))
         .unwrap();
 
     println!("== Extension: workload spectrum ==");
-    let sp = spectrum::run(&scale);
+    let sp = spectrum::run(&fig_scale);
     println!("{}", sp.render());
     sp.csv().write_to(&out.join("spectrum.csv")).unwrap();
 
     println!("== Extension: prediction timeliness vs Hadoop config (paper's ongoing work) ==");
-    let tl = timeliness::run(&scale);
+    let tl = timeliness::run(&fig_scale);
     println!("{}", tl.render());
     let (lo, hi) = tl.min_lead_spread();
     println!("min-lead spread over standard configs: {lo:.2}s .. {hi:.2}s\n");
     tl.csv().write_to(&out.join("timeliness.csv")).unwrap();
 
     println!("== Extension: concurrent jobs ==");
-    let mj = multijob::run(&scale);
+    let mj = multijob::run(&fig_scale);
     println!("{}", mj.render());
     mj.csv().write_to(&out.join("multijob.csv")).unwrap();
 
     println!("== Ablation: background profile ==");
-    let bg = ablation::run_background_ablation(&scale);
+    let bg = ablation::run_background_ablation(&fig_scale);
     println!("{}", bg.render());
     bg.csv()
         .write_to(&out.join("ablation_background.csv"))
         .unwrap();
 
     println!("== Ablation: design variants ==");
-    let dv = ablation::run_design_variants(&scale);
+    let dv = ablation::run_design_variants(&fig_scale);
     println!("{}", dv.render());
     dv.csv()
         .write_to(&out.join("ablation_design_variants.csv"))
         .unwrap();
 
     println!("== Extension: control-plane chaos ==");
-    let ch = chaos::run(&scale);
+    let ch = chaos::run(&fig_scale);
     println!("{}", ch.render());
     ch.csv().write_to(&out.join("chaos.csv")).unwrap();
 
+    println!("== Extension: control-plane scale sweep ==");
+    let sc = scale::run(&fig_scale);
+    println!("{}", sc.render());
+    sc.csv().write_to(&out.join("scale.csv")).unwrap();
+
     println!("== Ablation: path diversity ==");
-    let pd = ablation::run_path_diversity(&scale);
+    let pd = ablation::run_path_diversity(&fig_scale);
     println!("{}", pd.render());
     pd.csv().write_to(&out.join("ablation_paths.csv")).unwrap();
 

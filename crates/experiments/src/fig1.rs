@@ -48,7 +48,8 @@ fn toy_cfg() -> ScenarioConfig {
             nic_bps: 1e9,
             trunk_count: 2,
             trunk_bps: 10e9,
-        },
+        }
+        .into(),
         hadoop: HadoopConfig {
             map_slots_per_server: 1,
             reduce_slots_per_server: 1,

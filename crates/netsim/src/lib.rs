@@ -57,6 +57,6 @@ pub use net::{ActiveFlow, FlowNet, FlowReport};
 pub use probe::{CumulativeCurve, NetFlowProbe};
 pub use routing::{Path, PathError};
 pub use topology::{
-    build_multi_rack, Link, LinkId, MultiRack, MultiRackParams, Node, NodeId, NodeKind, Topology,
-    TopologyBuilder,
+    build_fat_tree, build_multi_rack, ClosStructure, FatTreeParams, Link, LinkId, MultiRack,
+    MultiRackParams, Node, NodeId, NodeKind, Topology, TopologyBuilder, TopologySpec,
 };

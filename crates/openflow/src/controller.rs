@@ -3,9 +3,12 @@
 //! Hosts the services the paper's flow-allocation plugin consumes (§IV):
 //!
 //! * **Topology service** — the routing graph, with per-server-pair
-//!   k-shortest paths computed at startup (hop-count Dijkstra/Yen) and
-//!   recomputed only on topology-change (link up/down) events, keeping
-//!   routing off the data path and giving fault tolerance;
+//!   k-shortest paths computed lazily on first use and memoized
+//!   (structural enumeration on Clos fabrics, hop-count Dijkstra/Yen
+//!   elsewhere); topology-change (link up/down) events invalidate only
+//!   the pairs whose cached paths traverse the affected link, via a
+//!   per-link reverse index, keeping routing off the data path and
+//!   giving fault tolerance at 1k-server scale;
 //! * **Link-load update service** — EWMA-smoothed per-link utilization fed
 //!   by dataplane samples;
 //! * **Rule installation** — producing per-switch rules for a path, each
@@ -15,13 +18,14 @@
 use std::collections::{BTreeMap, HashSet};
 
 use pythia_des::{RngFactory, SimDuration};
-use pythia_netsim::{LinkId, NodeId, Path, Topology};
+use pythia_netsim::{ClosStructure, LinkId, NodeId, Path, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::flow_table::FlowRule;
 use crate::ksp::k_shortest_paths_avoiding;
 use crate::match_fields::FlowMatch;
+use crate::structural::clos_paths;
 
 /// Controller tunables.
 #[derive(Debug, Clone)]
@@ -76,8 +80,11 @@ pub struct PendingRule {
 pub struct ControllerStats {
     /// Rules handed to switches for installation.
     pub rules_issued: u64,
-    /// Topology-change-triggered path cache rebuilds.
+    /// Per-pair path computations: lazy first-use fills plus recomputes
+    /// after a topology event invalidated the pair.
     pub path_cache_recomputes: u64,
+    /// Pairs evicted from the cache by topology-change events.
+    pub path_cache_invalidations: u64,
     /// Link-load samples ingested.
     pub load_updates: u64,
     /// Rule installs lost on the switch control channel (never landed).
@@ -91,7 +98,18 @@ pub struct Controller {
     cfg: ControllerConfig,
     topo: Topology,
     servers: Vec<NodeId>,
+    /// Structural metadata when the fabric is a known Clos shape; lets
+    /// path computation skip graph search entirely.
+    clos: Option<ClosStructure>,
     path_cache: BTreeMap<(NodeId, NodeId), Vec<Path>>,
+    /// Reverse index: link → pairs whose cached paths traverse it. May
+    /// hold stale entries (pair since evicted or recomputed around the
+    /// link); invalidation tolerates them. Invariant: a cached pair
+    /// traversing link `l` is always registered under `l`.
+    link_pairs: Vec<Vec<(NodeId, NodeId)>>,
+    /// Pairs computed while at least one link was down. Any link-up may
+    /// expose better paths for them, so they are all invalidated then.
+    avoided_pairs: Vec<(NodeId, NodeId)>,
     down_links: HashSet<LinkId>,
     load_ewma_bps: Vec<f64>,
     rng: SmallRng,
@@ -100,28 +118,41 @@ pub struct Controller {
 }
 
 impl Controller {
-    /// Build the controller and precompute the path cache for every
-    /// ordered server pair.
+    /// Build the controller. Paths are computed lazily per server pair on
+    /// first use and memoized until a topology event touches them.
     pub fn new(topo: Topology, cfg: ControllerConfig, rngs: &RngFactory) -> Self {
+        Self::with_clos(topo, None, cfg, rngs)
+    }
+
+    /// [`Controller::new`] with structural Clos metadata: path queries on
+    /// a fat-tree then enumerate the k equal-length paths by symmetry in
+    /// O(k·hops) instead of running Yen's algorithm.
+    pub fn with_clos(
+        topo: Topology,
+        clos: Option<ClosStructure>,
+        cfg: ControllerConfig,
+        rngs: &RngFactory,
+    ) -> Self {
         assert!(cfg.k_paths >= 1);
         assert!(cfg.load_ewma_alpha > 0.0 && cfg.load_ewma_alpha <= 1.0);
         assert!(cfg.rule_install_min <= cfg.rule_install_max);
-        let servers = topo.servers();
+        let servers = topo.servers().to_vec();
         let n_links = topo.num_links();
         assert!((0.0..1.0).contains(&cfg.install_fail_prob));
         assert!((0.0..1.0).contains(&cfg.install_timeout_prob));
-        let mut c = Controller {
+        Controller {
             cfg,
             topo,
             servers,
+            clos,
             path_cache: BTreeMap::new(),
+            link_pairs: vec![Vec::new(); n_links],
+            avoided_pairs: Vec::new(),
             down_links: HashSet::new(),
             load_ewma_bps: vec![0.0; n_links],
             rng: rngs.stream("controller-install-latency"),
             stats: ControllerStats::default(),
-        };
-        c.recompute_paths();
-        c
+        }
     }
 
     /// The controller's (nominal) topology view.
@@ -134,40 +165,105 @@ impl Controller {
         &self.cfg
     }
 
-    fn recompute_paths(&mut self) {
-        self.path_cache.clear();
-        for &s in &self.servers {
-            for &d in &self.servers {
-                if s == d {
-                    continue;
+    /// Structural Clos metadata, when the fabric has it.
+    pub fn clos(&self) -> Option<&ClosStructure> {
+        self.clos.as_ref()
+    }
+
+    /// Compute (and register) the paths of one pair.
+    fn compute_pair(&mut self, src: NodeId, dst: NodeId) {
+        // Structural enumeration only on the pristine fabric: with links
+        // down, Yen-with-avoidance finds the detours structure can't.
+        let structural = if self.down_links.is_empty() {
+            self.clos
+                .as_ref()
+                .and_then(|c| clos_paths(&self.topo, c, src, dst, self.cfg.k_paths))
+        } else {
+            None
+        };
+        let paths = structural.unwrap_or_else(|| {
+            k_shortest_paths_avoiding(&self.topo, src, dst, self.cfg.k_paths, &self.down_links)
+        });
+        let mut seen: Vec<LinkId> = Vec::new();
+        for p in &paths {
+            for &l in p.links() {
+                if !seen.contains(&l) {
+                    seen.push(l);
+                    self.link_pairs[l.0 as usize].push((src, dst));
                 }
-                let paths =
-                    k_shortest_paths_avoiding(&self.topo, s, d, self.cfg.k_paths, &self.down_links);
-                self.path_cache.insert((s, d), paths);
             }
         }
+        if !self.down_links.is_empty() {
+            self.avoided_pairs.push((src, dst));
+        }
+        self.path_cache.insert((src, dst), paths);
         self.stats.path_cache_recomputes += 1;
     }
 
-    /// The precomputed k shortest paths from `src` to `dst` (may be fewer
-    /// than k, or empty if partitioned).
-    pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Path] {
+    /// The k shortest paths from `src` to `dst` (may be fewer than k, or
+    /// empty if partitioned). Computed on first use, then served from the
+    /// memo until a topology event invalidates the pair.
+    pub fn paths(&mut self, src: NodeId, dst: NodeId) -> &[Path] {
+        if src != dst && !self.path_cache.contains_key(&(src, dst)) {
+            self.compute_pair(src, dst);
+        }
         self.path_cache
             .get(&(src, dst))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
-    /// Topology-change event: link went down/up. Triggers a path-cache
-    /// recompute, exactly like OpenDaylight's topology update service.
+    /// Eagerly fill the cache for every ordered server pair (startup
+    /// warming and benchmarks; the engine itself relies on lazy fills).
+    pub fn warm_all_pairs(&mut self) {
+        let servers = std::mem::take(&mut self.servers);
+        for &s in &servers {
+            for &d in &servers {
+                if s != d && !self.path_cache.contains_key(&(s, d)) {
+                    self.compute_pair(s, d);
+                }
+            }
+        }
+        self.servers = servers;
+    }
+
+    /// Cached pairs right now (diagnostics/tests).
+    pub fn cached_pairs(&self) -> usize {
+        self.path_cache.len()
+    }
+
+    /// Topology-change event: link went down/up. Unlike a full rebuild,
+    /// only the affected pairs are evicted: on link-down, the pairs whose
+    /// cached paths traverse the link (reverse index); on link-up, the
+    /// pairs that were computed under avoidance and may now do better.
     pub fn on_link_state(&mut self, link: LinkId, up: bool) {
         let changed = if up {
             self.down_links.remove(&link)
         } else {
             self.down_links.insert(link)
         };
-        if changed {
-            self.recompute_paths();
+        if !changed {
+            return;
+        }
+        if up {
+            for pair in std::mem::take(&mut self.avoided_pairs) {
+                if self.path_cache.remove(&pair).is_some() {
+                    self.stats.path_cache_invalidations += 1;
+                }
+            }
+        } else {
+            for pair in std::mem::take(&mut self.link_pairs[link.0 as usize]) {
+                // Stale-tolerant: the pair may have been evicted already,
+                // or recomputed via paths that no longer use this link.
+                let traverses = self
+                    .path_cache
+                    .get(&pair)
+                    .is_some_and(|ps| ps.iter().any(|p| p.contains_link(link)));
+                if traverses {
+                    self.path_cache.remove(&pair);
+                    self.stats.path_cache_invalidations += 1;
+                }
+            }
         }
     }
 
@@ -268,7 +364,7 @@ mod tests {
 
     #[test]
     fn path_cache_covers_all_pairs() {
-        let (mr, c) = controller();
+        let (mr, mut c) = controller();
         for &s in &mr.servers {
             for &d in &mr.servers {
                 if s == d {
@@ -281,6 +377,53 @@ mod tests {
                 assert_eq!(paths.len(), expect, "{s}->{d}");
             }
         }
+        // Lazy fill: one computation per ordered pair, each served from
+        // the memo afterwards.
+        assert_eq!(c.stats.path_cache_recomputes, 90);
+        assert_eq!(c.cached_pairs(), 90);
+        let _ = c.paths(mr.servers[0], mr.servers[5]);
+        assert_eq!(c.stats.path_cache_recomputes, 90);
+    }
+
+    #[test]
+    fn warm_all_pairs_fills_cache() {
+        let (_, mut c) = controller();
+        assert_eq!(c.cached_pairs(), 0);
+        c.warm_all_pairs();
+        assert_eq!(c.cached_pairs(), 90);
+        assert_eq!(c.stats.path_cache_recomputes, 90);
+        c.warm_all_pairs(); // idempotent
+        assert_eq!(c.stats.path_cache_recomputes, 90);
+    }
+
+    #[test]
+    fn unrelated_link_event_invalidates_nothing() {
+        let (mr, mut c) = controller();
+        // Same-rack pair: its paths never touch the inter-rack trunks.
+        assert_eq!(c.paths(mr.servers[0], mr.servers[1]).len(), 1);
+        let recomputes = c.stats.path_cache_recomputes;
+        let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        c.on_link_state(trunk0, false);
+        assert_eq!(c.stats.path_cache_invalidations, 0);
+        // Still cached: re-querying recomputes nothing.
+        assert_eq!(c.paths(mr.servers[0], mr.servers[1]).len(), 1);
+        assert_eq!(c.stats.path_cache_recomputes, recomputes);
+        // Restoring the trunk invalidates nothing either — the pair was
+        // computed on the pristine topology.
+        c.on_link_state(trunk0, true);
+        let _ = c.paths(mr.servers[0], mr.servers[1]);
+        assert_eq!(c.stats.path_cache_recomputes, recomputes);
+    }
+
+    #[test]
+    fn link_failure_invalidates_only_traversing_pairs() {
+        let (mr, mut c) = controller();
+        c.warm_all_pairs();
+        let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        c.on_link_state(trunk0, false);
+        // Forward trunk: only rack0→rack1 pairs traverse it (5×5 pairs).
+        assert_eq!(c.stats.path_cache_invalidations, 25);
+        assert_eq!(c.cached_pairs(), 90 - 25);
     }
 
     #[test]

@@ -145,10 +145,20 @@ pub fn k_shortest_paths_avoiding(
 /// server), the outgoing links lying on *some* shortest path. This is the
 /// forwarding state a conventional ECMP fabric computes from its routing
 /// protocol; the ECMP baseline hashes flows across these candidates.
+///
+/// Stored as one CSR row per (destination server, node) slot so lookups
+/// are two array reads and construction is O(servers · (V + E)) — the
+/// previous per-layer link sweep was quadratic in the frontier and
+/// dominated startup on 1k-server fabrics.
 #[derive(Debug, Clone)]
 pub struct EcmpNextHops {
-    /// `hops[node][dst] -> Vec<LinkId>` (BTreeMaps for determinism).
-    table: BTreeMap<NodeId, BTreeMap<NodeId, Vec<LinkId>>>,
+    num_nodes: usize,
+    /// Destination server → dense row index.
+    dst_row: BTreeMap<NodeId, usize>,
+    /// CSR offsets: slot = row · num_nodes + node, length slots + 1.
+    offsets: Vec<u32>,
+    /// Candidate links, grouped by slot, each group in link-id order.
+    links: Vec<LinkId>,
 }
 
 impl EcmpNextHops {
@@ -160,68 +170,73 @@ impl EcmpNextHops {
     /// [`EcmpNextHops::compute`] excluding `down_links` — what a routing
     /// protocol converges to after a link failure.
     pub fn compute_avoiding(topo: &Topology, down_links: &HashSet<LinkId>) -> Self {
-        let mut table: BTreeMap<NodeId, BTreeMap<NodeId, Vec<LinkId>>> = BTreeMap::new();
-        for dst in topo.servers() {
+        let n = topo.num_nodes();
+        // Reverse adjacency once: incoming (src, link) per node, link order.
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (l, link) in topo.links() {
+            if down_links.contains(&l) {
+                continue;
+            }
+            rev[link.dst.0 as usize].push(link.src);
+        }
+        let servers = topo.servers();
+        let mut dst_row = BTreeMap::new();
+        let mut offsets = Vec::with_capacity(servers.len() * n + 1);
+        offsets.push(0u32);
+        let mut links = Vec::new();
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for (row, &dst) in servers.iter().enumerate() {
+            dst_row.insert(dst, row);
             // Reverse BFS from dst: dist[v] = hops from v to dst.
-            let n = topo.num_nodes();
-            let mut dist = vec![u32::MAX; n];
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
             dist[dst.0 as usize] = 0;
-            // Build reverse adjacency on the fly: for BFS from dst we need
-            // incoming links; scan all links once.
-            let mut frontier = vec![dst];
-            let mut d = 0u32;
-            while !frontier.is_empty() {
-                d += 1;
-                let mut next = Vec::new();
-                for (l, link) in topo.links() {
-                    if down_links.contains(&l) {
-                        continue;
-                    }
-                    if frontier.contains(&link.dst) && dist[link.src.0 as usize] == u32::MAX {
-                        // Mark after the sweep to keep BFS layered.
-                        next.push(link.src);
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u.0 as usize];
+                for &v in &rev[u.0 as usize] {
+                    let vi = v.0 as usize;
+                    if dist[vi] == u32::MAX {
+                        dist[vi] = du + 1;
+                        queue.push_back(v);
                     }
                 }
-                next.sort_unstable();
-                next.dedup();
-                for &v in &next {
-                    dist[v.0 as usize] = d;
-                }
-                frontier = next;
             }
             // Candidate links: strictly decreasing distance.
             for (node, _) in topo.nodes() {
-                if dist[node.0 as usize] == u32::MAX || node == dst {
-                    continue;
-                }
-                let cands: Vec<LinkId> = topo
-                    .out_links(node)
-                    .iter()
-                    .copied()
-                    .filter(|&l| {
+                if dist[node.0 as usize] != u32::MAX && node != dst {
+                    for &l in topo.out_links(node) {
                         if down_links.contains(&l) {
-                            return false;
+                            continue;
                         }
                         let v = topo.link(l).dst;
-                        dist[v.0 as usize] != u32::MAX
+                        if dist[v.0 as usize] != u32::MAX
                             && dist[v.0 as usize] + 1 == dist[node.0 as usize]
-                    })
-                    .collect();
-                if !cands.is_empty() {
-                    table.entry(node).or_default().insert(dst, cands);
+                        {
+                            links.push(l);
+                        }
+                    }
                 }
+                offsets.push(links.len() as u32);
             }
         }
-        EcmpNextHops { table }
+        EcmpNextHops {
+            num_nodes: n,
+            dst_row,
+            offsets,
+            links,
+        }
     }
 
     /// Equal-cost candidate out-links at `node` toward `dst`.
     pub fn candidates(&self, node: NodeId, dst: NodeId) -> &[LinkId] {
-        self.table
-            .get(&node)
-            .and_then(|m| m.get(&dst))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let Some(&row) = self.dst_row.get(&dst) else {
+            return &[];
+        };
+        let slot = row * self.num_nodes + node.0 as usize;
+        let (a, b) = (self.offsets[slot] as usize, self.offsets[slot + 1] as usize);
+        &self.links[a..b]
     }
 }
 

@@ -47,6 +47,7 @@ pub mod instrument;
 pub mod mgmtnet;
 pub mod middleware_cost;
 pub mod overhead;
+pub mod residual;
 pub mod scheduler;
 
 pub use allocator::{FlowAllocator, PathChoice, Placement};
@@ -54,4 +55,5 @@ pub use collector::{AggregatedDemand, Collector, PredictionOutcome, UnknownServe
 pub use instrument::{Instrumentation, PredictionMsg};
 pub use mgmtnet::{MgmtNet, MgmtNetConfig, MgmtNetStats};
 pub use middleware_cost::MiddlewareCostModel;
+pub use residual::ResidualTable;
 pub use scheduler::{AggregationPolicy, AllocationMode, PythiaConfig, PythiaStats, PythiaSystem};

@@ -19,13 +19,14 @@
 
 use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
-use pythia_netsim::{CumulativeCurve, LinkId, NodeId};
+use pythia_netsim::{CumulativeCurve, LinkId, NodeId, Topology};
 use pythia_openflow::{Controller, FlowMatch, PendingRule};
 
 use crate::allocator::{FlowAllocator, PathChoice, Placement};
 use crate::collector::{AggregatedDemand, Collector};
 use crate::instrument::{Instrumentation, PredictionMsg};
 use crate::mgmtnet::MgmtNetConfig;
+use crate::residual::ResidualTable;
 
 /// Granularity at which predicted transfers are aggregated and rules are
 /// installed (§IV: "large-scale future SDN network setups may force
@@ -130,13 +131,17 @@ pub struct PythiaSystem {
     /// the controller) but no rules can be installed — new aggregated
     /// flows ride default ECMP until the restart resync.
     controller_up: bool,
+    /// Per-link background/residual capacity, updated incrementally by
+    /// [`PythiaSystem::set_background`] so path scoring is O(1) per link.
+    residuals: ResidualTable,
     /// Aggregate statistics for reporting.
     pub stats: PythiaStats,
 }
 
 impl PythiaSystem {
-    /// `server_nodes[i]` is the network node hosting Hadoop server `i`.
-    pub fn new(cfg: PythiaConfig, server_nodes: Vec<NodeId>) -> Self {
+    /// `server_nodes[i]` is the network node hosting Hadoop server `i`;
+    /// `topo` is the (nominal) fabric the residual table is sized from.
+    pub fn new(cfg: PythiaConfig, topo: &Topology, server_nodes: Vec<NodeId>) -> Self {
         let instruments = (0..server_nodes.len() as u32)
             .map(|i| Instrumentation::new(ServerId(i)))
             .collect();
@@ -152,6 +157,7 @@ impl PythiaSystem {
             rack_trunk: std::collections::BTreeMap::new(),
             rack_counted: std::collections::BTreeMap::new(),
             controller_up: true,
+            residuals: ResidualTable::new(topo),
             stats: PythiaStats::default(),
         }
     }
@@ -159,6 +165,25 @@ impl PythiaSystem {
     /// The configuration in force.
     pub fn config(&self) -> &PythiaConfig {
         &self.cfg
+    }
+
+    /// The link-load service reported `link` carrying `bps` of
+    /// **non-shuffle** load (Pythia differentiates its own traffic from
+    /// background using application knowledge, §IV). Updates the link's
+    /// residual in O(1).
+    pub fn set_background(&mut self, link: LinkId, bps: f64) {
+        self.residuals.set_background(link, bps);
+    }
+
+    /// Bulk background refresh (`loads[l]` per link id) — one O(links)
+    /// pass, after which every path score is table lookups.
+    pub fn set_background_from(&mut self, loads: &[f64]) {
+        self.residuals.set_background_from(loads);
+    }
+
+    /// The residual table in force (diagnostics/tests).
+    pub fn residuals(&self) -> &ResidualTable {
+        &self.residuals
     }
 
     /// Instrumentation hook: the spill index for `map` appeared on
@@ -183,15 +208,14 @@ impl PythiaSystem {
         }
     }
 
-    /// The collector received a prediction. `background_bps(link)` must
-    /// return the link's **non-shuffle** load (Pythia differentiates its
-    /// own traffic from background using application knowledge, §IV).
+    /// The collector received a prediction. Background load is read from
+    /// the residual table — push updates via
+    /// [`PythiaSystem::set_background`] before delivering.
     pub fn on_prediction_delivered(
         &mut self,
         now: SimTime,
         msg: &PredictionMsg,
         controller: &mut Controller,
-        background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
         let outcome = self.collector.on_prediction(now, msg);
         // A re-executed map retracts its stale volumes before the new
@@ -202,7 +226,7 @@ impl PythiaSystem {
                 self.unpin_rack_if_idle(pair);
             }
         }
-        self.handle_demands(&outcome.demands, controller, background_bps)
+        self.handle_demands(&outcome.demands, controller)
     }
 
     /// A reducer launched: resolve parked predictions.
@@ -213,12 +237,11 @@ impl PythiaSystem {
         reducer: ReducerId,
         server: ServerId,
         controller: &mut Controller,
-        background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
         let demands = self
             .collector
             .on_reducer_location(now, job, reducer, server);
-        self.handle_demands(&demands, controller, background_bps)
+        self.handle_demands(&demands, controller)
     }
 
     /// Network conditions changed (the link-load service reports a shifted
@@ -228,7 +251,6 @@ impl PythiaSystem {
         &mut self,
         now: SimTime,
         controller: &mut Controller,
-        background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
         let _ = now;
         if !self.controller_up {
@@ -241,19 +263,9 @@ impl PythiaSystem {
             let candidates: Vec<PathChoice> = controller
                 .paths(pair.0, pair.1)
                 .iter()
-                .map(|p| {
-                    let resid = p
-                        .links()
-                        .iter()
-                        .map(|&l| {
-                            (controller.topology().link(l).capacity_bps - background_bps(l))
-                                .max(0.0)
-                        })
-                        .fold(f64::INFINITY, f64::min);
-                    PathChoice {
-                        path: p.clone(),
-                        resid_bps: resid,
-                    }
+                .map(|p| PathChoice {
+                    path: p.clone(),
+                    resid_bps: self.residuals.path_residual_bps(p),
                 })
                 .collect();
             // 1.5× hysteresis: move only for a clear win.
@@ -309,7 +321,6 @@ impl PythiaSystem {
         &mut self,
         now: SimTime,
         controller: &mut Controller,
-        background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
         self.controller_up = true;
         self.stats.controller_resyncs += 1;
@@ -326,7 +337,7 @@ impl PythiaSystem {
                 added_bytes: bytes,
             })
             .collect();
-        let mut rules = self.handle_demands(&unplaced, controller, background_bps);
+        let mut rules = self.handle_demands(&unplaced, controller);
         for pair in self.allocator.active_pairs() {
             if let Some(path) = self.allocator.assigned_path(pair).cloned() {
                 let matcher = FlowMatch::server_pair(pair.0, pair.1);
@@ -359,7 +370,6 @@ impl PythiaSystem {
         &mut self,
         demands: &[AggregatedDemand],
         controller: &mut Controller,
-        background_bps: &dyn Fn(LinkId) -> f64,
     ) -> Vec<PendingRule> {
         let mut rules = Vec::new();
         // Largest demand first: first-fit-decreasing.
@@ -374,19 +384,9 @@ impl PythiaSystem {
             let mut candidates: Vec<PathChoice> = controller
                 .paths(d.src, d.dst)
                 .iter()
-                .map(|p| {
-                    let resid = p
-                        .links()
-                        .iter()
-                        .map(|&l| {
-                            (controller.topology().link(l).capacity_bps - background_bps(l))
-                                .max(0.0)
-                        })
-                        .fold(f64::INFINITY, f64::min);
-                    PathChoice {
-                        path: p.clone(),
-                        resid_bps: resid,
-                    }
+                .map(|p| PathChoice {
+                    path: p.clone(),
+                    resid_bps: self.residuals.path_residual_bps(p),
                 })
                 .collect();
             // Rack aggregation: once a trunk is pinned for this rack pair,
@@ -513,26 +513,15 @@ mod tests {
             ControllerConfig::default(),
             &RngFactory::new(3),
         );
-        let pythia = PythiaSystem::new(PythiaConfig::default(), mr.servers.clone());
+        let pythia = PythiaSystem::new(PythiaConfig::default(), &mr.topology, mr.servers.clone());
         (mr, controller, pythia)
-    }
-
-    fn no_background(_: LinkId) -> f64 {
-        0.0
     }
 
     #[test]
     fn spill_to_rules_end_to_end() {
         let (mr, mut ctl, mut py) = setup();
         // Reducer 0 lives on server 5 (other rack from server 0).
-        py.on_reducer_launched(
-            SimTime::ZERO,
-            JobId(0),
-            ReducerId(0),
-            ServerId(5),
-            &mut ctl,
-            &no_background,
-        );
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl);
         let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
         let (msg, deliver_at) = py
             .on_spill(
@@ -547,7 +536,7 @@ mod tests {
             deliver_at,
             SimTime::from_secs(10) + SimDuration::from_millis(1)
         );
-        let rules = py.on_prediction_delivered(deliver_at, &msg, &mut ctl, &no_background);
+        let rules = py.on_prediction_delivered(deliver_at, &msg, &mut ctl);
         // Cross-rack path: rules at both ToRs.
         assert_eq!(rules.len(), 2);
         for r in &rules {
@@ -573,7 +562,7 @@ mod tests {
                 &index.encode(),
             )
             .unwrap();
-        let rules = py.on_prediction_delivered(at, &msg, &mut ctl, &no_background);
+        let rules = py.on_prediction_delivered(at, &msg, &mut ctl);
         assert!(rules.is_empty());
         assert_eq!(py.parked_predictions(), 1);
         let rules2 = py.on_reducer_launched(
@@ -582,7 +571,6 @@ mod tests {
             ReducerId(0),
             ServerId(5),
             &mut ctl,
-            &no_background,
         );
         assert_eq!(rules2.len(), 2);
         assert_eq!(py.parked_predictions(), 0);
@@ -592,14 +580,7 @@ mod tests {
     #[test]
     fn local_pair_installs_nothing() {
         let (_mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(
-            SimTime::ZERO,
-            JobId(0),
-            ReducerId(0),
-            ServerId(0),
-            &mut ctl,
-            &no_background,
-        );
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(0), &mut ctl);
         let index = IndexFile::from_partition_sizes(&[50_000_000], 1.0);
         let (msg, at) = py
             .on_spill(
@@ -610,21 +591,14 @@ mod tests {
                 &index.encode(),
             )
             .unwrap();
-        let rules = py.on_prediction_delivered(at, &msg, &mut ctl, &no_background);
+        let rules = py.on_prediction_delivered(at, &msg, &mut ctl);
         assert!(rules.is_empty());
     }
 
     #[test]
     fn second_prediction_on_active_pair_reuses_path() {
         let (mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(
-            SimTime::ZERO,
-            JobId(0),
-            ReducerId(0),
-            ServerId(5),
-            &mut ctl,
-            &no_background,
-        );
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl);
         let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
         let (m1, a1) = py
             .on_spill(
@@ -635,7 +609,7 @@ mod tests {
                 &index.encode(),
             )
             .unwrap();
-        let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
+        let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl);
         assert_eq!(r1.len(), 2);
         let (m2, a2) = py
             .on_spill(
@@ -646,7 +620,7 @@ mod tests {
                 &index.encode(),
             )
             .unwrap();
-        let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl, &no_background);
+        let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl);
         assert!(r2.is_empty(), "active pair must not churn rules");
         let _ = mr;
     }
@@ -654,14 +628,7 @@ mod tests {
     #[test]
     fn fetch_completion_drains_outstanding() {
         let (mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(
-            SimTime::ZERO,
-            JobId(0),
-            ReducerId(0),
-            ServerId(5),
-            &mut ctl,
-            &no_background,
-        );
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl);
         let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
         let (m1, a1) = py
             .on_spill(
@@ -672,7 +639,7 @@ mod tests {
                 &index.encode(),
             )
             .unwrap();
-        py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
+        py.on_prediction_delivered(a1, &m1, &mut ctl);
         let before = py.outstanding(mr.servers[0], mr.servers[5]);
         assert!(before > 0);
         py.on_fetch_completed(
@@ -692,7 +659,7 @@ mod tests {
             aggregation: AggregationPolicy::RackPair,
             ..Default::default()
         };
-        let mut py = PythiaSystem::new(cfg, mr.servers.clone());
+        let mut py = PythiaSystem::new(cfg, &mr.topology, mr.servers.clone());
         // Reducers 0..3 on rack-1 servers 5..8.
         for r in 0..4u32 {
             py.on_reducer_launched(
@@ -701,7 +668,6 @@ mod tests {
                 ReducerId(r),
                 ServerId(5 + r),
                 &mut ctl,
-                &no_background,
             );
         }
         // Spills from four rack-0 servers, all four reducers each.
@@ -717,7 +683,7 @@ mod tests {
                     &index.encode(),
                 )
                 .unwrap();
-            for rule in py.on_prediction_delivered(at, &msg, &mut ctl, &no_background) {
+            for rule in py.on_prediction_delivered(at, &msg, &mut ctl) {
                 if rule.switch == mr.tors[0] {
                     trunks.insert(rule.rule.out_link);
                 }
@@ -740,7 +706,6 @@ mod tests {
                 ReducerId(r),
                 ServerId(5 + r),
                 &mut ctl,
-                &no_background,
             );
         }
         let index = IndexFile::from_partition_sizes(&[10_000_000; 4], 1.0);
@@ -755,7 +720,7 @@ mod tests {
                     &index.encode(),
                 )
                 .unwrap();
-            for rule in py.on_prediction_delivered(at, &msg, &mut ctl, &no_background) {
+            for rule in py.on_prediction_delivered(at, &msg, &mut ctl) {
                 if rule.switch == mr.tors[0] {
                     trunks.insert(rule.rule.out_link);
                 }
@@ -771,23 +736,9 @@ mod tests {
             allocation: AllocationMode::SizeBlind,
             ..Default::default()
         };
-        let mut py = PythiaSystem::new(cfg, mr.servers.clone());
-        py.on_reducer_launched(
-            SimTime::ZERO,
-            JobId(0),
-            ReducerId(0),
-            ServerId(5),
-            &mut ctl,
-            &no_background,
-        );
-        py.on_reducer_launched(
-            SimTime::ZERO,
-            JobId(0),
-            ReducerId(1),
-            ServerId(6),
-            &mut ctl,
-            &no_background,
-        );
+        let mut py = PythiaSystem::new(cfg, &mr.topology, mr.servers.clone());
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl);
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(1), ServerId(6), &mut ctl);
         // One huge transfer, then two tiny ones. Size-blind counts 1 pair
         // per trunk: the huge one lands alone on trunk A, tiny #1 on B,
         // tiny #2 back on A (count tie ...) — crucially it does NOT weigh
@@ -803,7 +754,7 @@ mod tests {
                 &huge.encode(),
             )
             .unwrap();
-        let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl, &no_background);
+        let r1 = py.on_prediction_delivered(a1, &m1, &mut ctl);
         let (m2, a2) = py
             .on_spill(
                 SimTime::ZERO,
@@ -813,7 +764,7 @@ mod tests {
                 &tiny.encode(),
             )
             .unwrap();
-        let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl, &no_background);
+        let r2 = py.on_prediction_delivered(a2, &m2, &mut ctl);
         // Both placements happen; the tiny pair takes the other trunk
         // despite the byte imbalance being irrelevant to it.
         let t1 = r1
@@ -834,17 +785,10 @@ mod tests {
     #[test]
     fn background_steers_placement() {
         let (mr, mut ctl, mut py) = setup();
-        py.on_reducer_launched(
-            SimTime::ZERO,
-            JobId(0),
-            ReducerId(0),
-            ServerId(5),
-            &mut ctl,
-            &no_background,
-        );
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl);
         // Trunk 0 (first cable tor0→tor1) carries 9.9 Gb/s of background.
         let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
-        let bg = move |l: LinkId| if l == trunk0 { 9.9e9 } else { 0.0 };
+        py.set_background(trunk0, 9.9e9);
         let index = IndexFile::from_partition_sizes(&[10_000_000], 1.0);
         let (m1, a1) = py
             .on_spill(
@@ -855,7 +799,7 @@ mod tests {
                 &index.encode(),
             )
             .unwrap();
-        let rules = py.on_prediction_delivered(a1, &m1, &mut ctl, &bg);
+        let rules = py.on_prediction_delivered(a1, &m1, &mut ctl);
         // The rule at tor0 must avoid the loaded trunk.
         let tor0_rule = rules.iter().find(|r| r.switch == mr.tors[0]).unwrap();
         assert_ne!(tor0_rule.rule.out_link, trunk0);

@@ -1,0 +1,22 @@
+//! Standalone runner for the control-plane scale sweep (also wired into
+//! `run_all`). Honors `SCALE_SERVERS` — e.g.:
+//!
+//! ```text
+//! SCALE_SERVERS=1024 cargo run --release --example scale_sweep -- quick
+//! ```
+
+use pythia_repro::experiments::{scale, FigureScale};
+
+fn main() {
+    let fig_scale = match std::env::args().nth(1).as_deref() {
+        Some("quick") => FigureScale::quick(),
+        Some("bench") => FigureScale::bench(),
+        _ => FigureScale::default(),
+    };
+    let t = scale::run(&fig_scale);
+    println!("{}", t.render());
+    t.csv()
+        .write_to(std::path::Path::new("results/scale.csv"))
+        .unwrap();
+    println!("wrote results/scale.csv");
+}

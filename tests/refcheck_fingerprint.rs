@@ -1,0 +1,57 @@
+//! Pins the deterministic reference fingerprints (`examples/refcheck.rs`)
+//! so refactors that are supposed to be behavior-preserving — the lazy
+//! path cache, the residual table, the structural Clos enumerator —
+//! cannot silently drift the fault-free simulation path. These exact
+//! values were produced by the eager pre-refactor control plane; the
+//! lazy one must reproduce them byte-for-byte.
+
+use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::des::SimDuration;
+use pythia_repro::hadoop::{DurationModel, JobSpec};
+use pythia_repro::workloads::SkewModel;
+
+const MB: u64 = 1_000_000;
+
+fn ref_job() -> JobSpec {
+    JobSpec {
+        name: "ref".into(),
+        num_maps: 40,
+        num_reducers: 8,
+        input_bytes: 40 * 64 * MB,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1),
+        sort_duration: DurationModel::rate(SimDuration::from_millis(500), 500.0 * MB as f64, 0.1),
+        reduce_duration: DurationModel::rate(SimDuration::from_millis(500), 200.0 * MB as f64, 0.1),
+        partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(8, 0.1, 99),
+    }
+}
+
+#[test]
+fn reference_fingerprints_are_stable() {
+    let expected = [
+        (
+            SchedulerKind::Pythia,
+            20,
+            42,
+            "19.487058s",
+            567u64,
+            112u64,
+            288usize,
+        ),
+        (SchedulerKind::Pythia, 10, 7, "16.630084s", 571, 112, 288),
+        (SchedulerKind::Ecmp, 20, 42, "46.573418s", 496, 0, 288),
+        (SchedulerKind::Hedera, 10, 1, "17.705975s", 409, 0, 288),
+    ];
+    for (kind, ratio, seed, completion, events, rules, flows) in expected {
+        let cfg = ScenarioConfig::default()
+            .with_scheduler(kind)
+            .with_oversubscription(ratio)
+            .with_seed(seed);
+        let r = run_scenario(ref_job(), &cfg);
+        let label = format!("{kind:?} ratio={ratio} seed={seed}");
+        assert_eq!(format!("{}", r.completion()), completion, "{label}");
+        assert_eq!(r.events_processed, events, "{label}");
+        assert_eq!(r.rules_installed, rules, "{label}");
+        assert_eq!(r.flow_trace.len(), flows, "{label}");
+    }
+}

@@ -77,7 +77,8 @@ fn single_rack_job_needs_no_trunks() {
         nic_bps: 1e9,
         trunk_count: 2,
         trunk_bps: 10e9,
-    };
+    }
+    .into();
     let r = run_scenario(job(10, 4), &cfg);
     assert!(r.timeline.job_end.is_some());
     // Flows exist (server-to-server inside the rack) but cross no trunk.
@@ -149,7 +150,8 @@ fn more_racks_than_two_work() {
         nic_bps: 1e9,
         trunk_count: 2,
         trunk_bps: 10e9,
-    };
+    }
+    .into();
     let r = run_scenario(job(18, 6), &cfg);
     assert!(r.timeline.job_end.is_some());
     assert!(r.rules_installed > 0);

@@ -1,0 +1,90 @@
+//! Scale smoke tests: the whole simulator — lazy control plane,
+//! structural routing, incremental residuals — must complete end-to-end
+//! jobs on fat-tree fabrics, not just on the paper's reference
+//! multi-rack.
+//!
+//! The k=4 (16-server) smoke always runs. Larger fabrics are opt-in via
+//! the `SCALE_SERVERS` environment variable (CI's workflow_dispatch knob):
+//! `SCALE_SERVERS=128` adds k=8, `SCALE_SERVERS=1024` adds k=16.
+
+use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::netsim::FatTreeParams;
+use pythia_repro::workloads::{SortWorkload, Workload};
+
+fn scale_cap() -> usize {
+    std::env::var("SCALE_SERVERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn sort_on_fat_tree(k: u32, input_frac: f64) {
+    let mut w = SortWorkload::paper_240gb();
+    w.input_bytes = (w.input_bytes as f64 * input_frac).max(512e6) as u64;
+    let params = FatTreeParams {
+        k,
+        ..FatTreeParams::default()
+    };
+    for kind in [SchedulerKind::Pythia, SchedulerKind::Ecmp] {
+        let cfg = ScenarioConfig::default()
+            .with_topology(params)
+            .with_scheduler(kind)
+            .with_oversubscription(10)
+            .with_seed(7);
+        let r = run_scenario(w.job(), &cfg);
+        let secs = r.completion().as_secs_f64();
+        assert!(
+            secs > 0.0 && secs.is_finite(),
+            "{kind:?} sort on fat-tree k={k} did not complete: {secs}"
+        );
+        assert!(!r.flow_trace.is_empty(), "no shuffle flows on k={k}");
+    }
+}
+
+#[test]
+fn sort_completes_on_fat_tree_k4() {
+    sort_on_fat_tree(4, 0.02);
+}
+
+#[test]
+fn sort_completes_on_fat_tree_k8_gated() {
+    if scale_cap() < 128 {
+        eprintln!("skipped: set SCALE_SERVERS>=128 to run the 128-server smoke");
+        return;
+    }
+    sort_on_fat_tree(8, 0.02);
+}
+
+#[test]
+fn sort_completes_on_fat_tree_k16_gated() {
+    if scale_cap() < 1024 {
+        eprintln!("skipped: set SCALE_SERVERS>=1024 to run the 1024-server smoke");
+        return;
+    }
+    sort_on_fat_tree(16, 0.02);
+}
+
+/// Pythia must keep beating ECMP when the fabric is a real fat-tree,
+/// not just the reference multi-rack (the structural paths feed the
+/// same placement logic).
+#[test]
+fn pythia_still_helps_on_fat_tree() {
+    let mut w = SortWorkload::paper_240gb();
+    w.input_bytes = (w.input_bytes as f64 * 0.02).max(512e6) as u64;
+    let params = FatTreeParams::default();
+    let mut secs = Vec::new();
+    for kind in [SchedulerKind::Ecmp, SchedulerKind::Pythia] {
+        let cfg = ScenarioConfig::default()
+            .with_topology(params)
+            .with_scheduler(kind)
+            .with_oversubscription(20)
+            .with_seed(3);
+        secs.push(run_scenario(w.job(), &cfg).completion().as_secs_f64());
+    }
+    assert!(
+        secs[1] <= secs[0] * 1.05,
+        "pythia {:.1}s should not lose to ecmp {:.1}s on a fat-tree",
+        secs[1],
+        secs[0]
+    );
+}
