@@ -1,0 +1,87 @@
+//! Flight-recorder overhead: the disabled path must stay one branch.
+//!
+//! The `trace` group measures the recorder primitives with the recorder
+//! off and on — `record` with a disabled handle must cost a `None` check
+//! and nothing else, because every netsim/control-plane hot-path
+//! instrumentation site pays it per event. The `trace_run` group measures
+//! a small end-to-end Sort with tracing disabled vs enabled; the disabled
+//! row is the regression guard for the BENCH_netsim / BENCH_ctrlplane
+//! baselines (run with `--bench trace` and compare the disabled rows
+//! against an unpatched checkout).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pythia_cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_des::SimTime;
+use pythia_netsim::{FlowId, NodeId};
+use pythia_trace::{Component, Trace, TraceConfig, TraceEvent};
+use pythia_workloads::{SortWorkload, Workload};
+
+fn record_one(t: &Trace, i: u64) {
+    t.record(Component::NetSim, || TraceEvent::FlowStart {
+        flow: FlowId(i),
+        src: NodeId(0),
+        dst: NodeId(1),
+        bytes: 1,
+    });
+}
+
+fn recorder_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    let off = Trace::off();
+    let mut i = 0u64;
+    g.bench_function("record_disabled", |b| {
+        b.iter(|| {
+            i += 1;
+            record_one(black_box(&off), i);
+        })
+    });
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _s = black_box(&off).span("path_compute");
+        })
+    });
+    g.bench_function("set_now_disabled", |b| {
+        b.iter(|| black_box(&off).set_now(SimTime::from_nanos(i)))
+    });
+    // Enabled, bounded ring: the steady-state cost once the ring is full
+    // (stamp + push + oldest-drop).
+    let on = Trace::new(&TraceConfig::bounded(4096));
+    g.bench_function("record_enabled_bounded", |b| {
+        b.iter(|| {
+            i += 1;
+            record_one(black_box(&on), i);
+        })
+    });
+    g.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _s = black_box(&on).span("path_compute");
+        })
+    });
+    g.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_run");
+    g.sample_size(10);
+    let mut w = SortWorkload::paper_60gb();
+    w.input_bytes = (w.input_bytes as f64 * 0.01) as u64; // 600 MB
+    let cfg = |trace: TraceConfig| {
+        ScenarioConfig::default()
+            .with_scheduler(SchedulerKind::Pythia)
+            .with_oversubscription(5)
+            .with_seed(1)
+            .with_trace(trace)
+    };
+    g.bench_function("sort_600mb_disabled", |b| {
+        let cfg = cfg(TraceConfig::disabled());
+        b.iter(|| run_scenario(w.job(), &cfg).events_processed)
+    });
+    g.bench_function("sort_600mb_traced", |b| {
+        let cfg = cfg(TraceConfig::enabled());
+        b.iter(|| run_scenario(w.job(), &cfg).events_processed)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, recorder_primitives, end_to_end);
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use pythia_des::SimDuration;
 use pythia_hadoop::HadoopConfig;
 use pythia_netsim::{BackgroundProfile, OverSubscription, TopologySpec};
 use pythia_openflow::ControllerConfig;
+use pythia_trace::TraceConfig;
 
 /// Which flow scheduler manages shuffle traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,9 @@ pub struct ScenarioConfig {
     /// replays the spill indices still on disk (exercises end-to-end
     /// idempotent delivery).
     pub agent_respill_at: Vec<SimDuration>,
+    /// Flight-recorder configuration. Disabled by default — the recorder
+    /// then costs one branch per instrumentation site.
+    pub trace: TraceConfig,
     /// Master seed: drives task jitter, ECMP hash salt, install latencies,
     /// wire-overhead sampling.
     pub seed: u64,
@@ -115,6 +119,7 @@ impl Default for ScenarioConfig {
             link_faults: Vec::new(),
             controller_outages: Vec::new(),
             agent_respill_at: Vec::new(),
+            trace: TraceConfig::disabled(),
             seed: 1,
             max_sim_time: SimDuration::from_secs(24 * 3600),
             max_events: 50_000_000,
@@ -147,6 +152,12 @@ impl ScenarioConfig {
         self.topology = spec.into();
         self
     }
+
+    /// Set the flight-recorder configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -158,10 +169,13 @@ mod tests {
         let c = ScenarioConfig::default()
             .with_scheduler(SchedulerKind::Pythia)
             .with_oversubscription(20)
-            .with_seed(7);
+            .with_seed(7)
+            .with_trace(TraceConfig::enabled());
         assert_eq!(c.scheduler, SchedulerKind::Pythia);
         assert_eq!(c.oversubscription, OverSubscription(20));
         assert_eq!(c.seed, 7);
+        assert!(c.trace.enabled);
+        assert!(!ScenarioConfig::default().trace.enabled);
     }
 
     #[test]

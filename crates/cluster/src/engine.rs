@@ -30,6 +30,7 @@ use pythia_netsim::{
     LinkId, MultiRack, NetFlowProbe, NodeId, Path,
 };
 use pythia_openflow::{Controller, Dataplane, EcmpNextHops, FlowRule};
+use pythia_trace::{Component, Trace, TraceEvent};
 
 use crate::config::{ScenarioConfig, SchedulerKind};
 use crate::report::{JobOutcome, MultiRunReport, RunReport};
@@ -80,6 +81,22 @@ struct FetchInfo {
     reducer: ReducerId,
     src: ServerId,
     dst: ServerId,
+}
+
+/// A shuffle fetch that had no route when it tried to start (degraded
+/// fabric, e.g. every trunk cable down). Parked and retried on the next
+/// topology recovery instead of crashing the run.
+#[derive(Debug, Clone, Copy)]
+struct ParkedFetch {
+    job: JobId,
+    fetch: FetchId,
+    map: MapTaskId,
+    reducer: ReducerId,
+    src: ServerId,
+    dst: ServerId,
+    app_bytes: u64,
+    src_port: u16,
+    dst_port: u16,
 }
 
 /// Run one scenario to job completion.
@@ -146,6 +163,12 @@ struct Engine<'a> {
     rules_installed: u64,
     /// Rule installs rejected by a full TCAM (flow degraded to ECMP).
     tcam_rejected: u64,
+    /// Fetches parked because no route existed at start time.
+    parked_fetches: Vec<ParkedFetch>,
+    /// Total unroutable-fetch parkings over the run.
+    flows_unroutable: u64,
+    /// The flight recorder (off unless the scenario enables it).
+    flight: Trace,
     /// Whether the SDN controller is reachable.
     controller_up: bool,
     /// Start of the current outage, if one is in progress.
@@ -197,13 +220,15 @@ impl<'a> Engine<'a> {
         let bg_groups: Vec<BgGroup> = group_map.into_values().collect();
         net.recompute();
 
+        let flight = Trace::new(&cfg.trace);
         let dataplane = Dataplane::new(&mr.topology, cfg.tcam_capacity);
-        let controller = Controller::with_clos(
+        let mut controller = Controller::with_clos(
             mr.topology.clone(),
             mr.clos.clone(),
             cfg.controller.clone(),
             &rngs,
         );
+        controller.set_trace(flight.clone());
         let nexthops = EcmpNextHops::compute(&mr.topology);
         let ecmp = EcmpForwarding::new(pythia_des::splitmix64(cfg.seed ^ 0xec3b));
 
@@ -228,6 +253,7 @@ impl<'a> Engine<'a> {
             SchedulerKind::Pythia => {
                 let mut py =
                     PythiaSystem::new(cfg.pythia.clone(), &mr.topology, mr.servers.clone());
+                py.set_trace(flight.clone());
                 // Seed the residual table with the static CBR background.
                 py.set_background_from(&background_bps);
                 Some(py)
@@ -276,6 +302,9 @@ impl<'a> Engine<'a> {
             events_processed: 0,
             rules_installed: 0,
             tcam_rejected: 0,
+            parked_fetches: Vec::new(),
+            flows_unroutable: 0,
+            flight,
             controller_up: true,
             controller_down_since: None,
             controller_down_total: SimDuration::ZERO,
@@ -355,6 +384,7 @@ impl<'a> Engine<'a> {
         self.finish_round();
 
         while let Some((now, _, ev)) = self.queue.pop() {
+            self.flight.set_now(now);
             self.events_processed += 1;
             assert!(
                 self.events_processed <= self.cfg.max_events,
@@ -380,6 +410,11 @@ impl<'a> Engine<'a> {
                     self.apply_hadoop_events(now, j, evts);
                 }
                 Event::MapFinish(j, m) => {
+                    self.flight
+                        .record(Component::Hadoop, || TraceEvent::MapFinish {
+                            job: j,
+                            map: m,
+                        });
                     let evts = self.jobs[j.0 as usize].sim.map_finished(now, m);
                     self.apply_hadoop_events(now, j, evts);
                 }
@@ -531,16 +566,46 @@ impl<'a> Engine<'a> {
         );
         let tuple = FiveTuple::tcp(src_node, dst_node, src_port, dst_port);
         let nh = &self.nexthops;
-        let path = self
-            .dataplane
-            .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
-                nh.candidates(n, d).to_vec()
-            })
-            .expect("shuffle flow unroutable");
+        let resolved =
+            self.dataplane
+                .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
+                    nh.candidates(n, d).to_vec()
+                });
+        let Ok(path) = resolved else {
+            // Degraded fabric (e.g. every trunk cable down): no route
+            // exists right now. Parking the fetch and retrying it on the
+            // next topology recovery degrades gracefully where a panic
+            // would kill the whole run.
+            self.flows_unroutable += 1;
+            self.flight
+                .record(Component::NetSim, || TraceEvent::FlowUnroutable {
+                    src: src_node,
+                    dst: dst_node,
+                });
+            self.parked_fetches.push(ParkedFetch {
+                job,
+                fetch,
+                map,
+                reducer,
+                src,
+                dst,
+                app_bytes,
+                src_port,
+                dst_port,
+            });
+            return;
+        };
         let fid = self
             .net
             .start_flow(FlowSpec::tcp_transfer(tuple, wire_bytes), path);
         self.net_dirty = true;
+        self.flight
+            .record(Component::NetSim, || TraceEvent::FlowStart {
+                flow: fid,
+                src: src_node,
+                dst: dst_node,
+                bytes: wire_bytes,
+            });
         self.fetch_of_flow.insert(fid, (job, fetch));
         self.info_of_fetch.insert(
             (job, fetch),
@@ -552,6 +617,31 @@ impl<'a> Engine<'a> {
             },
         );
         let _ = now;
+    }
+
+    /// Retry every parked (unroutable) fetch — called when the topology
+    /// recovers. Fetches that still have no route simply park again.
+    fn retry_parked_fetches(&mut self, now: SimTime) {
+        let parked = std::mem::take(&mut self.parked_fetches);
+        for p in parked {
+            // A retry that parks again does not recount as a new fault.
+            let before = self.flows_unroutable;
+            self.start_fetch_flow(
+                now,
+                p.job,
+                p.fetch,
+                p.map,
+                p.reducer,
+                p.src,
+                p.dst,
+                p.app_bytes,
+                p.src_port,
+                p.dst_port,
+            );
+            if self.flows_unroutable > before {
+                self.flows_unroutable = before;
+            }
+        }
     }
 
     fn on_flow_complete(&mut self, now: SimTime, fid: FlowId) {
@@ -571,6 +661,12 @@ impl<'a> Engine<'a> {
             .info_of_fetch
             .remove(&(job, fetch))
             .expect("unknown fetch");
+        self.flight
+            .record(Component::NetSim, || TraceEvent::FlowFinish {
+                flow: fid,
+                src: self.mr.servers[info.src.0 as usize],
+                dst: self.mr.servers[info.dst.0 as usize],
+            });
         if let Some(py) = self.pythia.as_mut() {
             py.on_fetch_completed(job, info.map, info.reducer, info.src, info.dst);
         }
@@ -596,7 +692,16 @@ impl<'a> Engine<'a> {
             .mgmt
             .as_mut()
             .expect("Pythia runs carry a mgmt channel");
-        for at in mgmt.transmit(now, base) {
+        let lost_before = mgmt.stats.transmissions_lost;
+        let deliveries = mgmt.transmit(now, base);
+        let copies = deliveries.len() as u32;
+        let lost = (mgmt.stats.transmissions_lost - lost_before) as u32;
+        self.flight
+            .record(Component::Instrument, || TraceEvent::PredictionWire {
+                copies,
+                lost,
+            });
+        for at in deliveries {
             self.queue.push(at, Event::PredictionDeliver(msg.clone()));
         }
     }
@@ -625,8 +730,19 @@ impl<'a> Engine<'a> {
         // error.
         if self.dataplane.install(switch, rule).is_ok() {
             self.rules_installed += 1;
+            self.flight
+                .record(Component::Dataplane, || TraceEvent::RuleActive {
+                    switch,
+                    src: rule.matcher.src,
+                    dst: rule.matcher.dst,
+                    out_link: rule.out_link,
+                });
         } else {
             self.tcam_rejected += 1;
+            self.flight
+                .record(Component::Dataplane, || TraceEvent::RuleTcamReject {
+                    switch,
+                });
         }
         // A newly active rule redirects matching *in-flight* flows too —
         // hardware matches packets, not flows.
@@ -666,6 +782,8 @@ impl<'a> Engine<'a> {
             return;
         }
         self.controller_up = up;
+        self.flight
+            .record(Component::Engine, || TraceEvent::ControllerState { up });
         if up {
             if let Some(since) = self.controller_down_since.take() {
                 self.controller_down_total += now.saturating_since(since);
@@ -673,6 +791,10 @@ impl<'a> Engine<'a> {
             if let Some(mut py) = self.pythia.take() {
                 let rules = py.on_controller_restart(now, &mut self.controller);
                 self.pythia = Some(py);
+                self.flight
+                    .record(Component::Engine, || TraceEvent::ControllerResync {
+                        rules: rules.len() as u32,
+                    });
                 self.schedule_rules(now, rules);
             }
         } else {
@@ -813,6 +935,8 @@ impl<'a> Engine<'a> {
         let a = self.mr.trunk_links[2 * trunk_cable];
         let bdir = self.mr.trunk_links[2 * trunk_cable + 1];
         for l in [a, bdir] {
+            self.flight
+                .record(Component::Engine, || TraceEvent::LinkState { link: l, up });
             if up {
                 self.down_links.remove(&l);
                 self.net
@@ -859,6 +983,10 @@ impl<'a> Engine<'a> {
                     self.net.reroute_flow(fid, path);
                 }
             }
+        }
+        // A recovery may give parked (unroutable) fetches a route again.
+        if up && !self.parked_fetches.is_empty() {
+            self.retry_parked_fetches(now);
         }
         // Pythia re-places active pairs on the updated path cache.
         if let Some(mut py) = self.pythia.take() {
@@ -945,6 +1073,7 @@ impl<'a> Engine<'a> {
             rules_tcam_rejected: self.tcam_rejected,
             controller_outages: self.controller_outages_seen,
             controller_down_secs: self.controller_down_total.as_secs_f64(),
+            flows_unroutable: self.flows_unroutable,
             ..Default::default()
         };
         if let Some(m) = &self.mgmt {
@@ -961,7 +1090,10 @@ impl<'a> Engine<'a> {
             degradation.parked_expired = c.parked_expired;
             degradation.demands_deferred = py.stats.demands_deferred;
             degradation.rules_reinstalled = py.stats.rules_reinstalled;
+            degradation.demands_no_path = py.stats.demands_no_path;
         }
+        let trace_stats = self.flight.stats();
+        let trace_events = self.flight.take_events();
         MultiRunReport {
             scheduler: self.cfg.scheduler.label().to_string(),
             oversubscription: self.cfg.oversubscription.0,
@@ -977,6 +1109,8 @@ impl<'a> Engine<'a> {
             degradation,
             trunk_links: self.mr.trunk_links.clone(),
             trunk_groups,
+            trace_events,
+            trace_stats,
         }
     }
 }

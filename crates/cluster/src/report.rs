@@ -6,6 +6,7 @@ use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, Timeline};
 use pythia_metrics::{DegradationReport, FlowTrace, JobReport};
 use pythia_netsim::{CumulativeCurve, NodeId};
+use pythia_trace::{TimedEvent, TraceStats};
 
 /// One job's result inside a (possibly multi-job) run.
 #[derive(Debug)]
@@ -62,6 +63,11 @@ pub struct MultiRunReport {
     /// Trunk links grouped by direction (parallel cables between the same
     /// switch pair form one group).
     pub trunk_groups: Vec<Vec<pythia_netsim::LinkId>>,
+    /// Flight-recorder events of the run (empty unless
+    /// `ScenarioConfig::trace` enabled the recorder).
+    pub trace_events: Vec<TimedEvent>,
+    /// Flight-recorder registry snapshot (counters, span histograms).
+    pub trace_stats: TraceStats,
 }
 
 impl MultiRunReport {
@@ -98,6 +104,8 @@ impl MultiRunReport {
             degradation: self.degradation,
             trunk_links: self.trunk_links,
             trunk_groups: self.trunk_groups,
+            trace_events: self.trace_events,
+            trace_stats: self.trace_stats,
         }
     }
 }
@@ -137,6 +145,11 @@ pub struct RunReport {
     /// Trunk links grouped by direction (parallel cables between the same
     /// switch pair form one group).
     pub trunk_groups: Vec<Vec<pythia_netsim::LinkId>>,
+    /// Flight-recorder events of the run (empty unless
+    /// `ScenarioConfig::trace` enabled the recorder).
+    pub trace_events: Vec<TimedEvent>,
+    /// Flight-recorder registry snapshot (counters, span histograms).
+    pub trace_stats: TraceStats,
 }
 
 impl RunReport {

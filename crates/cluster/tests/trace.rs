@@ -1,0 +1,200 @@
+//! Flight-recorder integration: a traced run must yield a coherent,
+//! schema-valid event stream covering the whole prediction→rule→flow
+//! chain, without perturbing the simulation itself.
+
+use pythia_cluster::{run_scenario, LinkFault, RunReport, ScenarioConfig, SchedulerKind};
+use pythia_core::MgmtNetConfig;
+use pythia_des::SimDuration;
+use pythia_hadoop::{DurationModel, JobSpec};
+use pythia_metrics::LeadTimeReport;
+use pythia_trace::{export, Component, TraceConfig};
+use pythia_workloads::SkewModel;
+
+const MB: u64 = 1_000_000;
+
+fn job(maps: usize, reducers: usize) -> JobSpec {
+    JobSpec {
+        name: "traced".into(),
+        num_maps: maps,
+        num_reducers: reducers,
+        input_bytes: maps as u64 * 64 * MB,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1),
+        sort_duration: DurationModel::rate(SimDuration::from_millis(500), 500.0 * MB as f64, 0.1),
+        reduce_duration: DurationModel::rate(SimDuration::from_millis(500), 200.0 * MB as f64, 0.1),
+        partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(reducers, 0.1, 99),
+    }
+}
+
+fn traced_cfg(trace: TraceConfig) -> ScenarioConfig {
+    ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(42)
+        .with_trace(trace)
+}
+
+fn run_traced(trace: TraceConfig) -> RunReport {
+    run_scenario(job(40, 8), &traced_cfg(trace))
+}
+
+#[test]
+fn traced_run_records_the_full_pipeline_chain() {
+    let r = run_traced(TraceConfig::enabled());
+    assert!(r.timeline.job_end.is_some());
+    assert!(!r.trace_events.is_empty());
+    let has = |name: &str| r.trace_events.iter().any(|te| te.event.name() == name);
+    for stage in [
+        "map_finish",
+        "spill_decode",
+        "prediction_emit",
+        "prediction_wire",
+        "collector_aggregate",
+        "alloc_place",
+        "rule_issue",
+        "rule_active",
+        "flow_start",
+        "flow_finish",
+    ] {
+        assert!(has(stage), "traced run must record {stage}");
+    }
+    // Timestamps and sequence numbers are monotone.
+    for w in r.trace_events.windows(2) {
+        assert!(w[0].t <= w[1].t);
+        assert!(w[0].seq < w[1].seq);
+    }
+    // Span histograms registered for the control-plane hot spots.
+    assert!(r.trace_stats.span("path_compute").is_some());
+    assert!(r.trace_stats.span("first_fit_place").is_some());
+    assert_eq!(r.trace_stats.events_dropped, 0);
+}
+
+#[test]
+fn exports_validate_and_feed_the_leadtime_report() {
+    let r = run_traced(TraceConfig::enabled());
+    let jsonl = export::to_jsonl(&r.trace_events);
+    let n = export::validate_jsonl(&jsonl).expect("JSONL must match schema");
+    assert_eq!(n, r.trace_events.len());
+    let chrome = export::to_chrome_trace(&r.trace_events);
+    assert!(chrome.contains("\"traceEvents\""));
+    // The Fig-5 latency budget: every pair's full demand must be known
+    // before its traffic finishes materializing.
+    let lt = LeadTimeReport::from_events(&r.trace_events);
+    assert!(!lt.pairs.is_empty());
+    let min = lt.min_lead().expect("pairs with traffic must exist");
+    assert!(
+        min > SimDuration::ZERO,
+        "prediction must lead traffic, got {min}"
+    );
+    assert!(lt.mean_lead().unwrap() >= min);
+    assert!(lt.completed_pairs().all(|p| p.predict_to_place().is_some()));
+    let table = lt.render_table();
+    assert!(table.contains("lead over"), "{table}");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let traced = run_traced(TraceConfig::enabled());
+    let plain = run_traced(TraceConfig::disabled());
+    assert_eq!(traced.completion(), plain.completion());
+    assert_eq!(traced.events_processed, plain.events_processed);
+    assert_eq!(traced.rules_installed, plain.rules_installed);
+    assert!(plain.trace_events.is_empty());
+    assert_eq!(plain.trace_stats.events_recorded, 0);
+}
+
+#[test]
+fn bounded_capacity_keeps_memory_bounded() {
+    let r = run_traced(TraceConfig::bounded(100));
+    assert!(r.trace_events.len() <= 100);
+    assert!(
+        r.trace_stats.events_dropped > 0,
+        "a full run must overflow a 100-event ring"
+    );
+    // The survivors are the newest events.
+    assert_eq!(
+        r.trace_events.last().unwrap().seq + 1,
+        r.trace_stats.events_recorded
+    );
+}
+
+#[test]
+fn component_filter_restricts_the_stream() {
+    let r = run_traced(TraceConfig::enabled().with_components(&[Component::NetSim]));
+    assert!(!r.trace_events.is_empty());
+    assert!(r
+        .trace_events
+        .iter()
+        .all(|te| te.event.component() == Component::NetSim));
+    assert!(r.trace_stats.events_filtered > 0);
+}
+
+#[test]
+fn all_trunks_down_parks_fetches_until_recovery() {
+    // Every trunk cable dies before the shuffle and stays down long
+    // enough that fetches must start while the racks are partitioned.
+    // The run must park them (not panic) and finish after recovery.
+    let mut cfg = traced_cfg(TraceConfig::enabled());
+    cfg.link_faults = vec![
+        LinkFault {
+            trunk_cable: 0,
+            fail_at: SimDuration::from_secs(1),
+            restore_at: Some(SimDuration::from_secs(60)),
+        },
+        LinkFault {
+            trunk_cable: 1,
+            fail_at: SimDuration::from_secs(1),
+            restore_at: Some(SimDuration::from_secs(60)),
+        },
+    ];
+    let r = run_scenario(job(16, 4), &cfg);
+    assert!(r.timeline.job_end.is_some(), "partitioned run must finish");
+    assert!(r.completion() >= SimDuration::from_secs(60));
+    let d = &r.degradation;
+    assert!(
+        d.flows_unroutable > 0,
+        "fetches during the partition must park: {d}"
+    );
+    assert!(
+        d.demands_no_path > 0,
+        "placements during the partition must find no path: {d}"
+    );
+    assert!(r
+        .trace_events
+        .iter()
+        .any(|te| te.event.name() == "flow_unroutable"));
+    assert!(r
+        .trace_events
+        .iter()
+        .any(|te| te.event.name() == "link_state"));
+}
+
+#[test]
+fn total_mgmtnet_loss_still_completes_without_predictions() {
+    // 100% management-network loss: no prediction ever reaches the
+    // collector, prediction curves stay empty, and evaluation yields
+    // None instead of a panic — the job itself rides default ECMP.
+    let mut cfg = traced_cfg(TraceConfig::enabled());
+    cfg.pythia.mgmtnet = MgmtNetConfig {
+        loss_prob: 1.0,
+        max_retries: 2,
+        ..Default::default()
+    };
+    let r = run_scenario(job(16, 4), &cfg);
+    assert!(r.timeline.job_end.is_some());
+    let d = &r.degradation;
+    assert!(d.predictions_sent > 0);
+    assert_eq!(d.predictions_delivered, 0, "{d}");
+    assert_eq!(d.predictions_lost, d.predictions_sent, "{d}");
+    assert_eq!(r.rules_installed, 0, "no predictions, no rules");
+    for (node, measured) in &r.measured_curves {
+        let predicted = r.predicted_curves.get(node);
+        assert!(
+            predicted.is_none_or(|p| p.is_empty()),
+            "no prediction may survive total loss on {node}"
+        );
+        if let Some(p) = predicted {
+            assert!(pythia_metrics::evaluate_prediction(p, measured, 10).is_none());
+        }
+    }
+}

@@ -10,8 +10,8 @@
 use std::path::Path;
 
 use pythia_experiments::{
-    ablation, chaos, fig1, fig3, fig4, fig5, multijob, overhead, scale, spectrum, timeliness,
-    FigureScale,
+    ablation, chaos, fig1, fig3, fig4, fig5, leadtime, multijob, overhead, scale, spectrum,
+    timeliness, FigureScale,
 };
 
 fn main() {
@@ -89,6 +89,12 @@ fn main() {
     let (lo, hi) = tl.min_lead_spread();
     println!("min-lead spread over standard configs: {lo:.2}s .. {hi:.2}s\n");
     tl.csv().write_to(&out.join("timeliness.csv")).unwrap();
+
+    println!("== Extension: Fig-5 latency budget (flight recorder) ==");
+    let lt = leadtime::run(&fig_scale);
+    println!("{}", lt.render());
+    std::fs::create_dir_all(out).unwrap();
+    std::fs::write(out.join("leadtime.csv"), lt.csv()).unwrap();
 
     println!("== Extension: concurrent jobs ==");
     let mj = multijob::run(&fig_scale);

@@ -13,6 +13,8 @@
 //!   diversity;
 //! * [`chaos`] — control-plane fault tolerance: JCT and degradation
 //!   counters under a lossy management network and controller outage;
+//! * [`leadtime`] — the Fig-5 latency budget decomposed per server pair
+//!   from a flight-recorded sort (prediction → rule → flow deltas);
 //! * [`scale`] — control-plane scale sweep over fat-tree fabrics:
 //!   eager vs. structural path-table construction plus end-to-end Sort
 //!   runs (cap the fabric size with `SCALE_SERVERS`).
@@ -29,6 +31,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod figures;
+pub mod leadtime;
 pub mod multijob;
 pub mod overhead;
 pub mod runner;

@@ -42,6 +42,12 @@ pub struct DegradationReport {
     pub demands_deferred: u64,
     /// Rules re-issued by controller-restart resyncs.
     pub rules_reinstalled: u64,
+    /// Placement requests that found no candidate path (degraded fabric)
+    /// and fell back to default ECMP.
+    pub demands_no_path: u64,
+    /// Shuffle fetches with no route at start time, parked until the
+    /// next topology recovery instead of crashing the run.
+    pub flows_unroutable: u64,
 }
 
 impl DegradationReport {
@@ -84,7 +90,7 @@ impl fmt::Display for DegradationReport {
             self.rules_tcam_rejected,
             self.rules_reinstalled,
         )?;
-        write!(
+        writeln!(
             f,
             "controller: {} outages, {:.3}s down, {} demands deferred; \
              {} parked entries expired",
@@ -92,6 +98,11 @@ impl fmt::Display for DegradationReport {
             self.controller_down_secs,
             self.demands_deferred,
             self.parked_expired,
+        )?;
+        write!(
+            f,
+            "fabric: {} demands with no path, {} fetches parked unroutable",
+            self.demands_no_path, self.flows_unroutable,
         )
     }
 }
@@ -139,6 +150,14 @@ mod tests {
                 controller_down_secs: 3.5,
                 ..Default::default()
             },
+            DegradationReport {
+                demands_no_path: 1,
+                ..Default::default()
+            },
+            DegradationReport {
+                flows_unroutable: 1,
+                ..Default::default()
+            },
         ] {
             assert!(!r.is_clean(), "{r}");
         }
@@ -150,5 +169,6 @@ mod tests {
         assert!(s.contains("predictions:"));
         assert!(s.contains("rules:"));
         assert!(s.contains("controller:"));
+        assert!(s.contains("fabric:"));
     }
 }

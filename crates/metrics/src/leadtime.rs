@@ -1,0 +1,444 @@
+//! Per-server-pair latency budget from flight-recorder events (Fig. 5).
+//!
+//! The paper's promptness claim — predictions run **≥ 9 s ahead** of the
+//! traffic they describe — is an end-to-end property of the whole
+//! pipeline. This module re-joins a recorded event stream into one row
+//! per server pair:
+//!
+//! ```text
+//! collector_aggregate → alloc_place → rule_active → flow_start → flow_finish
+//! ```
+//!
+//! and reports the stage-to-stage deltas plus the headline **lead time**:
+//! the Fig-5-style *volume lead* — last `collector_aggregate` (demand
+//! fully known) to last `flow_finish` (traffic fully delivered) — i.e.
+//! how far ahead of the materializing traffic the prediction ran at the
+//! pair's full volume. The *first-byte slack* (first `flow_start` minus
+//! first `collector_aggregate`) is reported separately; it is legally
+//! zero when parked predictions unpark at the same instant the reducer
+//! issues its first fetch.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use pythia_des::{SimDuration, SimTime};
+use pythia_netsim::NodeId;
+use pythia_trace::{AllocOutcome, TimedEvent, TraceEvent};
+
+/// The joined pipeline timeline of one server pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairLeadTime {
+    /// Mapper-side node.
+    pub src: NodeId,
+    /// Reducer-side node.
+    pub dst: NodeId,
+    /// First `collector_aggregate` for the pair — the instant the
+    /// control plane learned demand exists.
+    pub predicted_at: SimTime,
+    /// First `alloc_place` with outcome `assign` (None: demand stacked
+    /// on an existing path or never placed).
+    pub placed_at: Option<SimTime>,
+    /// First `rule_active` matching the exact pair (None: wildcard-only
+    /// rules, install lost, or ECMP fallback).
+    pub rule_active_at: Option<SimTime>,
+    /// First `flow_start` for the pair.
+    pub flow_start_at: Option<SimTime>,
+    /// Last `collector_aggregate` — the instant the pair's demand was
+    /// fully known to the control plane.
+    pub demand_final_at: SimTime,
+    /// Last `flow_finish` — the instant the pair's traffic finished
+    /// materializing on the wire.
+    pub traffic_done_at: Option<SimTime>,
+    /// Predicted wire bytes aggregated for the pair (all messages).
+    pub predicted_bytes: u64,
+}
+
+impl PairLeadTime {
+    /// The headline Fig-5 metric: the pair's full demand was known this
+    /// long before its traffic finished materializing (volume lead at
+    /// the 100% level). None until the pair's traffic completed.
+    pub fn lead(&self) -> Option<SimDuration> {
+        Some(self.traffic_done_at?.saturating_since(self.demand_final_at))
+    }
+
+    /// Slack between the first prediction for the pair and its first
+    /// wire byte. Zero when a parked prediction unparks at the same
+    /// instant the reducer fetches.
+    pub fn first_byte_slack(&self) -> Option<SimDuration> {
+        Some(self.flow_start_at?.saturating_since(self.predicted_at))
+    }
+
+    /// prediction → placement delta.
+    pub fn predict_to_place(&self) -> Option<SimDuration> {
+        Some(self.placed_at?.saturating_since(self.predicted_at))
+    }
+
+    /// placement → rule-active delta (hardware install latency).
+    pub fn place_to_rule(&self) -> Option<SimDuration> {
+        Some(self.rule_active_at?.saturating_since(self.placed_at?))
+    }
+
+    /// rule-active → first-flow-arrival delta (slack the installed path
+    /// sat ready before traffic).
+    pub fn rule_to_flow(&self) -> Option<SimDuration> {
+        Some(self.flow_start_at?.saturating_since(self.rule_active_at?))
+    }
+}
+
+/// The per-pair latency budget of one recorded run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LeadTimeReport {
+    /// One row per server pair, ordered by pair id.
+    pub pairs: Vec<PairLeadTime>,
+}
+
+impl LeadTimeReport {
+    /// Join a flight-recorder event stream into per-pair rows.
+    ///
+    /// The stage budget keeps the **first** placement / rule / flow
+    /// event per pair (controller resyncs re-place the same demand; the
+    /// budget measures the original pipeline pass), while the volume
+    /// lead keeps the **last** aggregate and flow-finish — the demand-
+    /// fully-known and traffic-fully-delivered instants.
+    pub fn from_events(events: &[TimedEvent]) -> LeadTimeReport {
+        let mut rows: BTreeMap<(NodeId, NodeId), PairLeadTime> = BTreeMap::new();
+        for te in events {
+            match &te.event {
+                TraceEvent::CollectorAggregate {
+                    src,
+                    dst,
+                    added_bytes,
+                } => {
+                    let row = rows.entry((*src, *dst)).or_insert_with(|| PairLeadTime {
+                        src: *src,
+                        dst: *dst,
+                        predicted_at: te.t,
+                        placed_at: None,
+                        rule_active_at: None,
+                        flow_start_at: None,
+                        demand_final_at: te.t,
+                        traffic_done_at: None,
+                        predicted_bytes: 0,
+                    });
+                    row.predicted_bytes += added_bytes;
+                    row.demand_final_at = te.t;
+                }
+                TraceEvent::AllocPlace {
+                    src, dst, outcome, ..
+                } if *outcome == AllocOutcome::Assign => {
+                    if let Some(row) = rows.get_mut(&(*src, *dst)) {
+                        row.placed_at.get_or_insert(te.t);
+                    }
+                }
+                TraceEvent::RuleActive {
+                    src: Some(src),
+                    dst: Some(dst),
+                    ..
+                } => {
+                    if let Some(row) = rows.get_mut(&(*src, *dst)) {
+                        row.rule_active_at.get_or_insert(te.t);
+                    }
+                }
+                TraceEvent::FlowStart { src, dst, .. } => {
+                    if let Some(row) = rows.get_mut(&(*src, *dst)) {
+                        row.flow_start_at.get_or_insert(te.t);
+                    }
+                }
+                TraceEvent::FlowFinish { src, dst, .. } => {
+                    if let Some(row) = rows.get_mut(&(*src, *dst)) {
+                        row.traffic_done_at = Some(te.t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        LeadTimeReport {
+            pairs: rows.into_values().collect(),
+        }
+    }
+
+    /// Pairs whose traffic fully delivered (lead is defined).
+    pub fn completed_pairs(&self) -> impl Iterator<Item = &PairLeadTime> {
+        self.pairs.iter().filter(|p| p.traffic_done_at.is_some())
+    }
+
+    /// Minimum lead over all pairs with traffic — the paper's "9 sec at
+    /// minimum" number. None when no pair saw traffic.
+    pub fn min_lead(&self) -> Option<SimDuration> {
+        self.completed_pairs().filter_map(PairLeadTime::lead).min()
+    }
+
+    /// Mean lead over all pairs with traffic, rounded to the nearest
+    /// nanosecond.
+    pub fn mean_lead(&self) -> Option<SimDuration> {
+        let leads: Vec<u64> = self
+            .completed_pairs()
+            .filter_map(|p| p.lead())
+            .map(|d| d.as_nanos())
+            .collect();
+        if leads.is_empty() {
+            return None;
+        }
+        let n = leads.len() as u64;
+        let sum: u64 = leads.iter().sum();
+        Some(SimDuration::from_nanos((sum + n / 2) / n))
+    }
+
+    /// Render the latency budget as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "src", "dst", "pred MB", "pred->place", "place->rule", "rule->flow", "slack", "lead"
+        );
+        for p in &self.pairs {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>5} {:>12.1} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                p.src.0,
+                p.dst.0,
+                p.predicted_bytes as f64 / 1e6,
+                fmt_opt(p.predict_to_place()),
+                fmt_opt(p.place_to_rule()),
+                fmt_opt(p.rule_to_flow()),
+                fmt_opt(p.first_byte_slack()),
+                fmt_opt(p.lead()),
+            );
+        }
+        match (self.min_lead(), self.mean_lead()) {
+            (Some(min), Some(mean)) => {
+                let _ = writeln!(
+                    out,
+                    "lead over {} pairs: min {}, mean {}",
+                    self.completed_pairs().count(),
+                    fmt_dur(min),
+                    fmt_dur(mean),
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "no pair saw traffic");
+            }
+        }
+        out
+    }
+
+    /// Flatten to CSV (ns columns; empty cell = stage never reached).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "src,dst,predicted_bytes,predicted_at_ns,placed_at_ns,\
+             rule_active_at_ns,flow_start_at_ns,demand_final_at_ns,\
+             traffic_done_at_ns,lead_ns\n",
+        );
+        for p in &self.pairs {
+            let cell = |t: Option<SimTime>| t.map(|t| t.as_nanos().to_string()).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                p.src.0,
+                p.dst.0,
+                p.predicted_bytes,
+                p.predicted_at.as_nanos(),
+                cell(p.placed_at),
+                cell(p.rule_active_at),
+                cell(p.flow_start_at),
+                p.demand_final_at.as_nanos(),
+                cell(p.traffic_done_at),
+                p.lead()
+                    .map(|d| d.as_nanos().to_string())
+                    .unwrap_or_default(),
+            );
+        }
+        out
+    }
+}
+
+fn fmt_opt(d: Option<SimDuration>) -> String {
+    d.map(fmt_dur).unwrap_or_else(|| "-".into())
+}
+
+fn fmt_dur(d: SimDuration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_netsim::{FlowId, LinkId};
+
+    fn ev(secs: u64, seq: u64, event: TraceEvent) -> TimedEvent {
+        TimedEvent {
+            t: SimTime::from_secs(secs),
+            seq,
+            event,
+        }
+    }
+
+    fn pipeline_events() -> Vec<TimedEvent> {
+        let (s, d) = (NodeId(1), NodeId(6));
+        vec![
+            ev(
+                10,
+                0,
+                TraceEvent::CollectorAggregate {
+                    src: s,
+                    dst: d,
+                    added_bytes: 5_000_000,
+                },
+            ),
+            ev(
+                10,
+                1,
+                TraceEvent::AllocPlace {
+                    src: s,
+                    dst: d,
+                    bytes: 5_000_000,
+                    outcome: AllocOutcome::Assign,
+                    links: vec![LinkId(0)],
+                    resid_bps: 1e9,
+                },
+            ),
+            ev(
+                11,
+                2,
+                TraceEvent::RuleActive {
+                    switch: NodeId(10),
+                    src: Some(s),
+                    dst: Some(d),
+                    out_link: LinkId(0),
+                },
+            ),
+            ev(
+                21,
+                3,
+                TraceEvent::FlowStart {
+                    flow: FlowId(7),
+                    src: s,
+                    dst: d,
+                    bytes: 5_000_000,
+                },
+            ),
+            ev(
+                25,
+                4,
+                TraceEvent::FlowFinish {
+                    flow: FlowId(7),
+                    src: s,
+                    dst: d,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn joins_full_pipeline() {
+        let r = LeadTimeReport::from_events(&pipeline_events());
+        assert_eq!(r.pairs.len(), 1);
+        let p = &r.pairs[0];
+        assert_eq!(p.predicted_bytes, 5_000_000);
+        assert_eq!(p.predict_to_place(), Some(SimDuration::ZERO));
+        assert_eq!(p.place_to_rule(), Some(SimDuration::from_secs(1)));
+        assert_eq!(p.rule_to_flow(), Some(SimDuration::from_secs(10)));
+        assert_eq!(p.first_byte_slack(), Some(SimDuration::from_secs(11)));
+        // Volume lead: demand known at 10 s, traffic done at 25 s.
+        assert_eq!(p.lead(), Some(SimDuration::from_secs(15)));
+        assert_eq!(r.min_lead(), Some(SimDuration::from_secs(15)));
+        assert_eq!(r.mean_lead(), Some(SimDuration::from_secs(15)));
+    }
+
+    #[test]
+    fn later_aggregates_move_the_volume_anchor() {
+        let mut evs = pipeline_events();
+        // A second prediction lands at 20 s: demand fully known only
+        // then, so the volume lead shrinks to 25 − 20 = 5 s.
+        evs.push(ev(
+            20,
+            9,
+            TraceEvent::CollectorAggregate {
+                src: NodeId(1),
+                dst: NodeId(6),
+                added_bytes: 1_000_000,
+            },
+        ));
+        let evs = {
+            let mut e = evs;
+            e.sort_by_key(|te| (te.t, te.seq));
+            e
+        };
+        let r = LeadTimeReport::from_events(&evs);
+        let p = &r.pairs[0];
+        assert_eq!(p.predicted_bytes, 6_000_000);
+        assert_eq!(p.predicted_at, SimTime::from_secs(10));
+        assert_eq!(p.demand_final_at, SimTime::from_secs(20));
+        assert_eq!(p.lead(), Some(SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn first_event_of_each_stage_wins() {
+        let mut evs = pipeline_events();
+        // A resync re-places the pair later; the original pass stands.
+        evs.push(ev(
+            30,
+            5,
+            TraceEvent::AllocPlace {
+                src: NodeId(1),
+                dst: NodeId(6),
+                bytes: 1,
+                outcome: AllocOutcome::Assign,
+                links: vec![],
+                resid_bps: 1e9,
+            },
+        ));
+        let r = LeadTimeReport::from_events(&evs);
+        assert_eq!(r.pairs[0].placed_at, Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn pair_without_traffic_has_no_lead() {
+        let evs = vec![ev(
+            5,
+            0,
+            TraceEvent::CollectorAggregate {
+                src: NodeId(2),
+                dst: NodeId(3),
+                added_bytes: 10,
+            },
+        )];
+        let r = LeadTimeReport::from_events(&evs);
+        assert_eq!(r.pairs.len(), 1);
+        assert_eq!(r.pairs[0].lead(), None);
+        assert_eq!(r.min_lead(), None);
+        assert!(r.render_table().contains("no pair saw traffic"));
+    }
+
+    #[test]
+    fn wildcard_rules_do_not_attribute() {
+        let mut evs = pipeline_events();
+        // A wildcard rule earlier than the pair rule must not win.
+        evs.insert(
+            1,
+            ev(
+                10,
+                9,
+                TraceEvent::RuleActive {
+                    switch: NodeId(10),
+                    src: None,
+                    dst: None,
+                    out_link: LinkId(0),
+                },
+            ),
+        );
+        let r = LeadTimeReport::from_events(&evs);
+        assert_eq!(r.pairs[0].rule_active_at, Some(SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let r = LeadTimeReport::from_events(&pipeline_events());
+        let table = r.render_table();
+        assert!(table.contains("lead over 1 pairs"), "{table}");
+        let csv = r.to_csv();
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("15000000000"), "{csv}");
+    }
+}

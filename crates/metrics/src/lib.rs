@@ -10,6 +10,8 @@
 //!   (horizontal lead) and accuracy (over-estimation, never-lags);
 //! * [`degradation`] — control-plane fault and graceful-degradation
 //!   counters (chaos experiments);
+//! * [`leadtime`] — per-server-pair latency budget joined from
+//!   flight-recorder events (prediction → rule → flow deltas);
 //! * [`seqdiag`] — ASCII sequence diagrams (Figure 1a);
 //! * [`summary`] / [`csv`] — statistics and result emission.
 
@@ -17,6 +19,7 @@ pub mod csv;
 pub mod degradation;
 pub mod flowtrace;
 pub mod jobstats;
+pub mod leadtime;
 pub mod prediction_eval;
 pub mod seqdiag;
 pub mod summary;
@@ -25,6 +28,7 @@ pub use csv::CsvTable;
 pub use degradation::DegradationReport;
 pub use flowtrace::{FlowTrace, ShuffleFlowRecord};
 pub use jobstats::JobReport;
+pub use leadtime::{LeadTimeReport, PairLeadTime};
 pub use prediction_eval::{evaluate as evaluate_prediction, PredictionEval};
 pub use seqdiag::{render as render_seqdiag, SeqDiagramOptions};
 pub use summary::{percentile_sorted, speedup_fraction, Summary};

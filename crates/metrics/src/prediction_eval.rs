@@ -49,8 +49,15 @@ pub fn evaluate(
     let total = measured.total();
     let mut leads: Vec<SimDuration> = Vec::with_capacity(levels);
     for i in 1..=levels {
-        let level = total * i as f64 / levels as f64;
-        let t_measured = measured.time_to_reach(level)?;
+        // Clamp: at i == levels, `total * i / levels` can exceed `total`
+        // by more than time_to_reach's 1e-6 epsilon once totals pass
+        // ~60 GB (f64 ulp there is ~1.5e-5), which used to make the final
+        // probe fail and discard the whole eval.
+        let level = (total * i as f64 / levels as f64).min(total);
+        let Some(t_measured) = measured.time_to_reach(level) else {
+            // Cannot happen after the clamp; skip the level, not the eval.
+            continue;
+        };
         // Prediction may never reach `level` only if it under-predicts the
         // total; treat as zero lead (worst case).
         let lead = match predicted.time_to_reach(level) {
@@ -59,9 +66,11 @@ pub fn evaluate(
         };
         leads.push(lead);
     }
-    let min_lead = leads.iter().copied().min().unwrap();
+    let min_lead = leads.iter().copied().min()?;
     let sum_ns: u64 = leads.iter().map(|d| d.as_nanos()).sum();
-    let mean_lead = SimDuration::from_nanos(sum_ns / leads.len() as u64);
+    let n = leads.len() as u64;
+    // Round to nearest: truncation shaved up to 1 ns off every mean.
+    let mean_lead = SimDuration::from_nanos((sum_ns + n / 2) / n);
     let never_lags = measured
         .points()
         .iter()
@@ -71,7 +80,7 @@ pub fn evaluate(
         mean_lead,
         overestimate_frac: predicted.total() / total - 1.0,
         never_lags,
-        levels,
+        levels: leads.len(),
     })
 }
 
@@ -133,5 +142,74 @@ mod tests {
         let e = evaluate(&predicted, &measured, 2).unwrap();
         assert_eq!(e.mean_lead, SimDuration::from_secs(10));
         assert_eq!(e.min_lead, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn sixty_gb_total_survives_float_overshoot() {
+        // Regression: at this total, `total * 3 / 3` lands 7.6e-6 above
+        // `total` — past time_to_reach's 1e-6 epsilon — so the final
+        // level probe returned None and the `?` discarded the whole eval.
+        let total = 60_000_000_086.55_f64;
+        assert!(
+            total * 3.0 / 3.0 > total + 1e-6,
+            "pinned total no longer reproduces the overshoot"
+        );
+        let predicted = curve_f(&[(1, total * 1.05)]);
+        let measured = curve_f(&[(30, total)]);
+        let e = evaluate(&predicted, &measured, 3)
+            .expect("60 GB eval must not be discarded by float overshoot");
+        assert_eq!(e.levels, 3);
+        assert_eq!(e.min_lead, SimDuration::from_secs(29));
+    }
+
+    fn curve_f(points: &[(u64, f64)]) -> CumulativeCurve {
+        let mut c = CumulativeCurve::default();
+        for &(s, v) in points {
+            c.push(SimTime::from_secs(s), v);
+        }
+        c
+    }
+
+    #[test]
+    fn mean_lead_rounds_to_nearest() {
+        // Leads of 1 s and 2 s → mean 1.5 s. Truncating division pinned
+        // this at 1_499_999_999 ns; rounding pins 1_500_000_000.
+        let predicted = curve(&[(9, 100.0), (18, 200.0)]);
+        let measured = curve(&[(10, 100.0), (20, 200.0)]);
+        let e = evaluate(&predicted, &measured, 2).unwrap();
+        assert_eq!(e.mean_lead.as_nanos(), 1_500_000_000);
+        assert_eq!(e.min_lead, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn single_sample_curves() {
+        // One sample each — every level resolves to the same instant.
+        let predicted = curve(&[(2, 500.0)]);
+        let measured = curve(&[(12, 500.0)]);
+        let e = evaluate(&predicted, &measured, 5).unwrap();
+        assert_eq!(e.levels, 5);
+        assert_eq!(e.min_lead, SimDuration::from_secs(10));
+        assert_eq!(e.mean_lead, SimDuration::from_secs(10));
+        assert!(e.never_lags);
+    }
+
+    #[test]
+    fn one_level_probes_only_the_total() {
+        let predicted = curve(&[(5, 120.0)]);
+        let measured = curve(&[(10, 50.0), (25, 100.0)]);
+        let e = evaluate(&predicted, &measured, 1).unwrap();
+        assert_eq!(e.levels, 1);
+        assert_eq!(e.min_lead, SimDuration::from_secs(20));
+        assert_eq!(e.mean_lead, e.min_lead);
+    }
+
+    #[test]
+    fn zero_measured_total_gives_none() {
+        // A probe that only ever saw zero bytes (e.g. every prediction
+        // lost on a 100%-lossy management network still leaves the
+        // measured side intact, but a dead source measures nothing).
+        let z = curve(&[(10, 0.0)]);
+        let p = curve(&[(1, 10.0)]);
+        assert!(evaluate(&p, &z, 3).is_none());
     }
 }

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use pythia_des::{RngFactory, SimDuration};
 use pythia_netsim::{ClosStructure, LinkId, NodeId, Path, Topology};
+use pythia_trace::{Component, Trace, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -113,6 +114,7 @@ pub struct Controller {
     down_links: HashSet<LinkId>,
     load_ewma_bps: Vec<f64>,
     rng: SmallRng,
+    trace: Trace,
     /// Bookkeeping for reports.
     pub stats: ControllerStats,
 }
@@ -151,8 +153,15 @@ impl Controller {
             down_links: HashSet::new(),
             load_ewma_bps: vec![0.0; n_links],
             rng: rngs.stream("controller-install-latency"),
+            trace: Trace::off(),
             stats: ControllerStats::default(),
         }
+    }
+
+    /// Attach a flight-recorder handle (the engine hands out clones of
+    /// its per-run recorder).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The controller's (nominal) topology view.
@@ -172,6 +181,7 @@ impl Controller {
 
     /// Compute (and register) the paths of one pair.
     fn compute_pair(&mut self, src: NodeId, dst: NodeId) {
+        let _span = self.trace.span("path_compute");
         // Structural enumeration only on the pristine fabric: with links
         // down, Yen-with-avoidance finds the detours structure can't.
         let structural = if self.down_links.is_empty() {
@@ -245,6 +255,7 @@ impl Controller {
         if !changed {
             return;
         }
+        let _span = self.trace.span("cache_invalidate");
         if up {
             for pair in std::mem::take(&mut self.avoided_pairs) {
                 if self.path_cache.remove(&pair).is_some() {
@@ -324,6 +335,10 @@ impl Controller {
                 // The install is lost; this hop keeps its default ECMP
                 // forwarding. Path-pinning degrades to a hybrid route.
                 self.stats.rules_failed += 1;
+                self.trace
+                    .record(Component::Controller, || TraceEvent::RuleFail {
+                        switch: node,
+                    });
                 continue;
             }
             let mut delay = self.cfg.rule_install_min + SimDuration::from_nanos(jitter);
@@ -332,7 +347,18 @@ impl Controller {
             {
                 self.stats.rules_timed_out += 1;
                 delay = self.cfg.install_timeout;
+                self.trace
+                    .record(Component::Controller, || TraceEvent::RuleTimeout {
+                        switch: node,
+                    });
             }
+            self.trace
+                .record(Component::Controller, || TraceEvent::RuleIssue {
+                    switch: node,
+                    src: matcher.src,
+                    dst: matcher.dst,
+                    delay,
+                });
             out.push(PendingRule {
                 switch: node,
                 rule: FlowRule {

@@ -23,7 +23,7 @@
 
 use std::collections::BTreeMap;
 
-use pythia_netsim::{LinkId, NodeId, Path};
+use pythia_netsim::{LinkId, NodeId, Path, Topology};
 
 /// A candidate path with its residual (background-free) bandwidth.
 #[derive(Debug, Clone)]
@@ -32,6 +32,26 @@ pub struct PathChoice {
     pub path: Path,
     /// min over links of (capacity − background traffic), bits/sec.
     pub resid_bps: f64,
+}
+
+impl PathChoice {
+    /// Build a candidate by resolving each `(src, dst, parallel_index)`
+    /// hop against the topology. Returns `None` when any hop has no link
+    /// at the requested index or the sequence is not a valid path — a
+    /// degraded or non-dumbbell fabric then simply offers fewer
+    /// candidates (down to [`Placement::NoPath`]) instead of panicking.
+    pub fn try_new(
+        topo: &Topology,
+        hops: &[(NodeId, NodeId, usize)],
+        resid_bps: f64,
+    ) -> Option<PathChoice> {
+        let links: Option<Vec<LinkId>> = hops
+            .iter()
+            .map(|&(a, b, k)| topo.find_link(a, b, k))
+            .collect();
+        let path = Path::new(topo, links?).ok()?;
+        Some(PathChoice { path, resid_bps })
+    }
 }
 
 /// Result of placing demand for a pair.
@@ -364,7 +384,9 @@ mod tests {
     use super::*;
     use pythia_netsim::{build_multi_rack, MultiRack, MultiRackParams};
 
-    /// Two candidate cross-rack paths (one per trunk) for a server pair.
+    /// Up to two candidate cross-rack paths (one per trunk) for a server
+    /// pair. Trunks absent from the fabric (degraded or single-trunk
+    /// topologies) yield fewer candidates rather than a panic.
     fn pair_candidates(
         mr: &MultiRack,
         src: usize,
@@ -373,22 +395,21 @@ mod tests {
         resid1: f64,
     ) -> Vec<PathChoice> {
         let t = &mr.topology;
-        let mk = |trunk: usize| {
-            let up = t.find_link(mr.servers[src], mr.tors[0], 0).unwrap();
-            let tr = t.find_link(mr.tors[0], mr.tors[1], trunk).unwrap();
-            let down = t.find_link(mr.tors[1], mr.servers[dst], 0).unwrap();
-            Path::new(t, vec![up, tr, down]).unwrap()
+        let mk = |trunk: usize, resid: f64| {
+            PathChoice::try_new(
+                t,
+                &[
+                    (mr.servers[src], mr.tors[0], 0),
+                    (mr.tors[0], mr.tors[1], trunk),
+                    (mr.tors[1], mr.servers[dst], 0),
+                ],
+                resid,
+            )
         };
-        vec![
-            PathChoice {
-                path: mk(0),
-                resid_bps: resid0,
-            },
-            PathChoice {
-                path: mk(1),
-                resid_bps: resid1,
-            },
-        ]
+        [mk(0, resid0), mk(1, resid1)]
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     fn candidates(mr: &MultiRack, resid0: f64, resid1: f64) -> Vec<PathChoice> {
@@ -587,6 +608,52 @@ mod tests {
         a.place(p2, 100, &pair_candidates(&mr, 1, 6, 1e9, 1e9));
         a.drain(p2, 100);
         assert_eq!(a.active_pairs(), vec![p1]);
+    }
+
+    #[test]
+    fn single_trunk_fabric_yields_one_candidate_not_a_panic() {
+        // Regression: the candidate builder used to unwrap find_link for
+        // trunk index 1 and panicked on any non-dumbbell fabric.
+        let mr = build_multi_rack(&MultiRackParams {
+            trunk_count: 1,
+            ..MultiRackParams::default()
+        });
+        let cands = pair_candidates(&mr, 0, 5, 1e9, 1e9);
+        assert_eq!(cands.len(), 1);
+        let mut a = FlowAllocator::new();
+        assert!(matches!(
+            a.place((mr.servers[0], mr.servers[5]), 100, &cands),
+            Placement::Assign(_)
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_missing_and_discontinuous_hops() {
+        let mr = mr();
+        let t = &mr.topology;
+        // Parallel index past the trunk count: no such link.
+        assert!(PathChoice::try_new(t, &[(mr.tors[0], mr.tors[1], 9)], 1e9).is_none());
+        // Hops that do not chain: invalid path.
+        assert!(PathChoice::try_new(
+            t,
+            &[
+                (mr.servers[0], mr.tors[0], 0),
+                (mr.tors[1], mr.servers[5], 0),
+            ],
+            1e9,
+        )
+        .is_none());
+        // A well-formed hop list still resolves.
+        assert!(PathChoice::try_new(
+            t,
+            &[
+                (mr.servers[0], mr.tors[0], 0),
+                (mr.tors[0], mr.tors[1], 0),
+                (mr.tors[1], mr.servers[5], 0),
+            ],
+            1e9,
+        )
+        .is_some());
     }
 
     #[test]

@@ -65,16 +65,18 @@ impl MgmtNetConfig {
         self.loss_prob == 0.0 && self.dup_prob == 0.0 && self.jitter == SimDuration::ZERO
     }
 
-    /// Panics if probabilities are outside [0, 1).
+    /// Panics if probabilities are outside [0, 1]. `loss_prob == 1.0`
+    /// (a black-hole management network) is a valid chaos scenario: every
+    /// message exhausts its retries and the collector hears nothing.
     pub fn validate(&self) {
         assert!(
-            (0.0..1.0).contains(&self.loss_prob),
-            "loss_prob must be in [0, 1), got {}",
+            (0.0..=1.0).contains(&self.loss_prob),
+            "loss_prob must be in [0, 1], got {}",
             self.loss_prob
         );
         assert!(
-            (0.0..1.0).contains(&self.dup_prob),
-            "dup_prob must be in [0, 1), got {}",
+            (0.0..=1.0).contains(&self.dup_prob),
+            "dup_prob must be in [0, 1], got {}",
             self.dup_prob
         );
     }
@@ -289,11 +291,30 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "loss_prob")]
-    fn certain_loss_is_rejected() {
+    fn out_of_range_loss_is_rejected() {
         let cfg = MgmtNetConfig {
-            loss_prob: 1.0,
+            loss_prob: 1.5,
             ..Default::default()
         };
         MgmtNet::new(cfg, rng(1));
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        let cfg = MgmtNetConfig {
+            loss_prob: 1.0,
+            max_retries: 3,
+            ..Default::default()
+        };
+        let mut net = MgmtNet::new(cfg, rng(5));
+        for s in 0..20u64 {
+            assert!(net
+                .transmit(SimTime::from_secs(s), SimDuration::from_millis(1))
+                .is_empty());
+        }
+        assert_eq!(net.stats.messages_lost, 20);
+        assert_eq!(net.stats.deliveries, 0);
+        // Every message burned its full retry budget.
+        assert_eq!(net.stats.transmissions_lost, 20 * 4);
     }
 }

@@ -21,6 +21,7 @@ use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
 use pythia_netsim::{CumulativeCurve, LinkId, NodeId, Topology};
 use pythia_openflow::{Controller, FlowMatch, PendingRule};
+use pythia_trace::{AllocOutcome, Component, Trace, TraceEvent};
 
 use crate::allocator::{FlowAllocator, PathChoice, Placement};
 use crate::collector::{AggregatedDemand, Collector};
@@ -113,6 +114,9 @@ pub struct PythiaStats {
     pub rules_reinstalled: u64,
     /// Controller restart resyncs performed.
     pub controller_resyncs: u64,
+    /// Placement requests with no candidate path (degraded fabric) —
+    /// the pair rides default ECMP instead of a pinned route.
+    pub demands_no_path: u64,
 }
 
 /// The complete Pythia deployment over one cluster.
@@ -134,6 +138,8 @@ pub struct PythiaSystem {
     /// Per-link background/residual capacity, updated incrementally by
     /// [`PythiaSystem::set_background`] so path scoring is O(1) per link.
     residuals: ResidualTable,
+    /// Flight-recorder handle (off by default).
+    trace: Trace,
     /// Aggregate statistics for reporting.
     pub stats: PythiaStats,
 }
@@ -158,8 +164,15 @@ impl PythiaSystem {
             rack_counted: std::collections::BTreeMap::new(),
             controller_up: true,
             residuals: ResidualTable::new(topo),
+            trace: Trace::off(),
             stats: PythiaStats::default(),
         }
+    }
+
+    /// Attach a flight-recorder handle (the engine hands out clones of
+    /// its per-run recorder).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The configuration in force.
@@ -202,9 +215,30 @@ impl PythiaSystem {
         match inst.on_spill(now, job, map, data) {
             Ok(msg) => {
                 self.stats.predictions_sent += 1;
-                Some((msg, now + self.cfg.mgmt_latency))
+                let deliver_at = now + self.cfg.mgmt_latency;
+                self.trace
+                    .record(Component::Instrument, || TraceEvent::SpillDecode {
+                        job,
+                        map,
+                        server,
+                        predicted_bytes: msg.total_bytes(),
+                    });
+                self.trace
+                    .record(Component::Instrument, || TraceEvent::PredictionEmit {
+                        job,
+                        map,
+                        server,
+                        deliver_at,
+                    });
+                Some((msg, deliver_at))
             }
-            Err(_) => None,
+            Err(_) => {
+                self.trace
+                    .record(Component::Collector, || TraceEvent::PredictionDrop {
+                        reason: "corrupt-index",
+                    });
+                None
+            }
         }
     }
 
@@ -217,7 +251,48 @@ impl PythiaSystem {
         msg: &PredictionMsg,
         controller: &mut Controller,
     ) -> Vec<PendingRule> {
+        // Counter snapshots let the recorder classify what the collector
+        // did with this delivery without touching its internals.
+        let snap = self.trace.is_enabled().then(|| {
+            (
+                self.collector.duplicates_dropped,
+                self.collector.malformed_dropped,
+                self.collector.parked(),
+            )
+        });
         let outcome = self.collector.on_prediction(now, msg);
+        if let Some((dups, malformed, parked)) = snap {
+            if self.collector.duplicates_dropped > dups {
+                self.trace
+                    .record(Component::Collector, || TraceEvent::PredictionDedup {
+                        job: msg.job,
+                        map: msg.map,
+                    });
+            }
+            if self.collector.malformed_dropped > malformed {
+                self.trace
+                    .record(Component::Collector, || TraceEvent::PredictionDrop {
+                        reason: "malformed",
+                    });
+            }
+            if !outcome.retracted.is_empty() {
+                self.trace
+                    .record(Component::Collector, || TraceEvent::PredictionRetract {
+                        job: msg.job,
+                        map: msg.map,
+                        withdrawn: outcome.retracted.len() as u32,
+                    });
+            }
+            let parked_now = self.collector.parked();
+            if parked_now > parked {
+                self.trace
+                    .record(Component::Collector, || TraceEvent::CollectorPark {
+                        job: msg.job,
+                        map: msg.map,
+                        entries: (parked_now - parked) as u32,
+                    });
+            }
+        }
         // A re-executed map retracts its stale volumes before the new
         // prediction is placed.
         for &(pair, bytes) in &outcome.retracted {
@@ -238,9 +313,21 @@ impl PythiaSystem {
         server: ServerId,
         controller: &mut Controller,
     ) -> Vec<PendingRule> {
+        let parked_before = self.trace.is_enabled().then(|| self.collector.parked());
         let demands = self
             .collector
             .on_reducer_location(now, job, reducer, server);
+        if let Some(before) = parked_before {
+            let released = before.saturating_sub(self.collector.parked());
+            if released > 0 {
+                self.trace
+                    .record(Component::Collector, || TraceEvent::CollectorUnpark {
+                        job,
+                        reducer,
+                        entries: released as u32,
+                    });
+            }
+        }
         self.handle_demands(&demands, controller)
     }
 
@@ -372,6 +459,15 @@ impl PythiaSystem {
         controller: &mut Controller,
     ) -> Vec<PendingRule> {
         let mut rules = Vec::new();
+        let _span = self.trace.span("first_fit_place");
+        for d in demands {
+            self.trace
+                .record(Component::Collector, || TraceEvent::CollectorAggregate {
+                    src: d.src,
+                    dst: d.dst,
+                    added_bytes: d.added_bytes,
+                });
+        }
         // Largest demand first: first-fit-decreasing.
         let mut sorted: Vec<&AggregatedDemand> = demands.iter().collect();
         sorted.sort_by(|a, b| {
@@ -410,6 +506,18 @@ impl PythiaSystem {
             {
                 Placement::Assign(path) => {
                     self.stats.paths_assigned += 1;
+                    if self.trace.wants(Component::Allocator) {
+                        let resid_bps = self.residuals.path_residual_bps(&path);
+                        self.trace
+                            .record(Component::Allocator, || TraceEvent::AllocPlace {
+                                src: d.src,
+                                dst: d.dst,
+                                bytes: d.added_bytes,
+                                outcome: AllocOutcome::Assign,
+                                links: path.links().to_vec(),
+                                resid_bps,
+                            });
+                    }
                     if self.cfg.aggregation == AggregationPolicy::RackPair {
                         self.pin_rack(rack_key, (d.src, d.dst), &path, controller);
                     }
@@ -426,7 +534,32 @@ impl PythiaSystem {
                         self.stats.demands_deferred += 1;
                     }
                 }
-                Placement::Keep | Placement::NoPath => {}
+                Placement::Keep => {
+                    self.trace
+                        .record(Component::Allocator, || TraceEvent::AllocPlace {
+                            src: d.src,
+                            dst: d.dst,
+                            bytes: d.added_bytes,
+                            outcome: AllocOutcome::Keep,
+                            links: Vec::new(),
+                            resid_bps: 0.0,
+                        });
+                }
+                Placement::NoPath => {
+                    // Degraded fabric: no candidate path. The pair keeps
+                    // riding default ECMP; count it instead of panicking
+                    // anywhere downstream.
+                    self.stats.demands_no_path += 1;
+                    self.trace
+                        .record(Component::Allocator, || TraceEvent::AllocPlace {
+                            src: d.src,
+                            dst: d.dst,
+                            bytes: d.added_bytes,
+                            outcome: AllocOutcome::NoPath,
+                            links: Vec::new(),
+                            resid_bps: 0.0,
+                        });
+                }
             }
         }
         rules

@@ -1,0 +1,401 @@
+//! Typed flight-recorder events.
+//!
+//! One variant per stage of the prediction→rule→flow chain, plus the
+//! chaos events that disturb it. Every event carries the ids needed to
+//! re-join the chain offline (server pair, job/map/reducer, link), so a
+//! recorded run can be turned into a per-pair *latency budget*:
+//! prediction emit → collector aggregate → allocation → rule active →
+//! flow arrival.
+
+use pythia_des::{SimDuration, SimTime};
+use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
+use pythia_netsim::{FlowId, LinkId, NodeId};
+
+/// The subsystem an event originates from — the unit of filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// The Hadoop runtime simulator (map/reduce phase transitions).
+    Hadoop,
+    /// Per-server instrumentation middleware (index-file decode).
+    Instrument,
+    /// The prediction collector (aggregate, park/unpark, dedup).
+    Collector,
+    /// The predictive flow allocator (placement decisions).
+    Allocator,
+    /// The SDN controller (rule issue, path compute spans).
+    Controller,
+    /// Switch dataplane (rule active, TCAM rejects).
+    Dataplane,
+    /// The flow-level network simulator (flow start/finish).
+    NetSim,
+    /// The cluster engine itself (link faults, controller outages).
+    Engine,
+}
+
+/// All components, in declaration order (stable export order).
+pub const COMPONENTS: [Component; 8] = [
+    Component::Hadoop,
+    Component::Instrument,
+    Component::Collector,
+    Component::Allocator,
+    Component::Controller,
+    Component::Dataplane,
+    Component::NetSim,
+    Component::Engine,
+];
+
+impl Component {
+    /// Stable lower-case name used in exports and filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Hadoop => "hadoop",
+            Component::Instrument => "instrument",
+            Component::Collector => "collector",
+            Component::Allocator => "allocator",
+            Component::Controller => "controller",
+            Component::Dataplane => "dataplane",
+            Component::NetSim => "netsim",
+            Component::Engine => "engine",
+        }
+    }
+
+    /// Bit position in a component filter mask.
+    pub fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+
+    /// Parse a [`Component::name`] back (exports, CLI filters).
+    pub fn from_name(s: &str) -> Option<Component> {
+        COMPONENTS.iter().copied().find(|c| c.name() == s)
+    }
+}
+
+/// How an allocation request resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// The pair was idle: a path was chosen and rules are due.
+    Assign,
+    /// The pair was active: demand stacked on the installed path.
+    Keep,
+    /// No candidate path existed (degraded/partitioned fabric).
+    NoPath,
+}
+
+impl AllocOutcome {
+    /// Stable lower-case label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocOutcome::Assign => "assign",
+            AllocOutcome::Keep => "keep",
+            AllocOutcome::NoPath => "no_path",
+        }
+    }
+}
+
+/// One typed flight-recorder event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A map task finished (its spill index is now on disk).
+    MapFinish {
+        /// Job the task belongs to.
+        job: JobId,
+        /// The finished map task.
+        map: MapTaskId,
+    },
+    /// The instrumentation decoded a spill index file.
+    SpillDecode {
+        /// Job the spill belongs to.
+        job: JobId,
+        /// Map task that produced it.
+        map: MapTaskId,
+        /// Server whose middleware decoded it.
+        server: ServerId,
+        /// Total predicted bytes across reducers (wire estimate).
+        predicted_bytes: u64,
+    },
+    /// A prediction message was emitted toward the collector.
+    PredictionEmit {
+        /// Job of the prediction.
+        job: JobId,
+        /// Map task predicted.
+        map: MapTaskId,
+        /// Emitting server.
+        server: ServerId,
+        /// When the management network is expected to deliver it.
+        deliver_at: SimTime,
+    },
+    /// The management network carried one prediction message.
+    PredictionWire {
+        /// Copies that will reach the collector (dups > 1, loss = 0).
+        copies: u32,
+        /// Transmissions lost and retried/abandoned for this message.
+        lost: u32,
+    },
+    /// A prediction was dropped before ingestion (corrupt index file,
+    /// malformed server id).
+    PredictionDrop {
+        /// Static reason label (`corrupt-index`, `malformed`).
+        reason: &'static str,
+    },
+    /// The collector dropped a duplicate delivery (idempotency key hit).
+    PredictionDedup {
+        /// Job of the duplicate.
+        job: JobId,
+        /// Map task of the duplicate.
+        map: MapTaskId,
+    },
+    /// A re-executed map task retracted its stale prediction.
+    PredictionRetract {
+        /// Job of the retraction.
+        job: JobId,
+        /// The re-executed map task.
+        map: MapTaskId,
+        /// Server-pair volumes withdrawn from the allocator.
+        withdrawn: u32,
+    },
+    /// The collector aggregated new demand onto a server pair.
+    CollectorAggregate {
+        /// Mapper-side node.
+        src: NodeId,
+        /// Reducer-side node.
+        dst: NodeId,
+        /// Newly predicted wire bytes.
+        added_bytes: u64,
+    },
+    /// Per-reducer entries were parked (reducer location unknown).
+    CollectorPark {
+        /// Job of the parked entries.
+        job: JobId,
+        /// Map task the entries came from.
+        map: MapTaskId,
+        /// Entries parked by this message.
+        entries: u32,
+    },
+    /// A reducer launch resolved parked entries.
+    CollectorUnpark {
+        /// Job of the reducer.
+        job: JobId,
+        /// The launched reducer.
+        reducer: ReducerId,
+        /// Demand increments released downstream.
+        entries: u32,
+    },
+    /// The allocator resolved a placement request.
+    AllocPlace {
+        /// Mapper-side node.
+        src: NodeId,
+        /// Reducer-side node.
+        dst: NodeId,
+        /// Demand bytes placed.
+        bytes: u64,
+        /// How the request resolved.
+        outcome: AllocOutcome,
+        /// Links of the chosen path (empty for Keep/NoPath).
+        links: Vec<LinkId>,
+        /// Residual (background-free) bandwidth of the chosen path,
+        /// bits/sec (0 when no path was chosen).
+        resid_bps: f64,
+    },
+    /// The controller issued a rule toward a switch.
+    RuleIssue {
+        /// Switch to program.
+        switch: NodeId,
+        /// Matched source host (None = wildcard).
+        src: Option<NodeId>,
+        /// Matched destination host (None = wildcard).
+        dst: Option<NodeId>,
+        /// Hardware install latency until the rule is active.
+        delay: SimDuration,
+    },
+    /// A rule install was lost on the switch control channel.
+    RuleFail {
+        /// The switch whose install was lost.
+        switch: NodeId,
+    },
+    /// A rule install stalled past its firmware timeout.
+    RuleTimeout {
+        /// The switch whose install stalled.
+        switch: NodeId,
+    },
+    /// A rule became active in a switch TCAM.
+    RuleActive {
+        /// The programmed switch.
+        switch: NodeId,
+        /// Matched source host (None = wildcard).
+        src: Option<NodeId>,
+        /// Matched destination host (None = wildcard).
+        dst: Option<NodeId>,
+        /// The pinned output link.
+        out_link: LinkId,
+    },
+    /// A rule was rejected by a full TCAM (flow degrades to ECMP).
+    RuleTcamReject {
+        /// The switch that rejected it.
+        switch: NodeId,
+    },
+    /// A shuffle flow entered the network.
+    FlowStart {
+        /// Network flow id.
+        flow: FlowId,
+        /// Source host.
+        src: NodeId,
+        /// Destination host.
+        dst: NodeId,
+        /// Wire bytes to move.
+        bytes: u64,
+    },
+    /// A shuffle flow completed.
+    FlowFinish {
+        /// Network flow id.
+        flow: FlowId,
+        /// Source host.
+        src: NodeId,
+        /// Destination host.
+        dst: NodeId,
+    },
+    /// A shuffle fetch had no route (degraded fabric); it was parked for
+    /// retry on the next topology recovery.
+    FlowUnroutable {
+        /// Source host.
+        src: NodeId,
+        /// Destination host.
+        dst: NodeId,
+    },
+    /// A directed link failed or recovered.
+    LinkState {
+        /// The affected link.
+        link: LinkId,
+        /// True on recovery, false on failure.
+        up: bool,
+    },
+    /// The SDN controller crashed or restarted.
+    ControllerState {
+        /// True on restart, false on crash.
+        up: bool,
+    },
+    /// A controller restart resynced the rule set from collector state.
+    ControllerResync {
+        /// Rules re-issued by the resync.
+        rules: u32,
+    },
+    /// A control-plane operation completed (recorded only when span
+    /// events are enabled; wall-clock, hence non-deterministic).
+    Span {
+        /// Operation label (`path_compute`, `first_fit_place`, …).
+        name: &'static str,
+        /// Wall-clock nanoseconds the operation took.
+        wall_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The component this event belongs to.
+    pub fn component(&self) -> Component {
+        match self {
+            TraceEvent::MapFinish { .. } => Component::Hadoop,
+            TraceEvent::SpillDecode { .. }
+            | TraceEvent::PredictionEmit { .. }
+            | TraceEvent::PredictionWire { .. } => Component::Instrument,
+            TraceEvent::PredictionDrop { .. }
+            | TraceEvent::PredictionDedup { .. }
+            | TraceEvent::PredictionRetract { .. }
+            | TraceEvent::CollectorAggregate { .. }
+            | TraceEvent::CollectorPark { .. }
+            | TraceEvent::CollectorUnpark { .. } => Component::Collector,
+            TraceEvent::AllocPlace { .. } => Component::Allocator,
+            TraceEvent::RuleIssue { .. }
+            | TraceEvent::RuleFail { .. }
+            | TraceEvent::RuleTimeout { .. } => Component::Controller,
+            TraceEvent::RuleActive { .. } | TraceEvent::RuleTcamReject { .. } => {
+                Component::Dataplane
+            }
+            TraceEvent::FlowStart { .. }
+            | TraceEvent::FlowFinish { .. }
+            | TraceEvent::FlowUnroutable { .. } => Component::NetSim,
+            TraceEvent::LinkState { .. }
+            | TraceEvent::ControllerState { .. }
+            | TraceEvent::ControllerResync { .. }
+            | TraceEvent::Span { .. } => Component::Engine,
+        }
+    }
+
+    /// Stable snake_case event name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::MapFinish { .. } => "map_finish",
+            TraceEvent::SpillDecode { .. } => "spill_decode",
+            TraceEvent::PredictionEmit { .. } => "prediction_emit",
+            TraceEvent::PredictionWire { .. } => "prediction_wire",
+            TraceEvent::PredictionDrop { .. } => "prediction_drop",
+            TraceEvent::PredictionDedup { .. } => "prediction_dedup",
+            TraceEvent::PredictionRetract { .. } => "prediction_retract",
+            TraceEvent::CollectorAggregate { .. } => "collector_aggregate",
+            TraceEvent::CollectorPark { .. } => "collector_park",
+            TraceEvent::CollectorUnpark { .. } => "collector_unpark",
+            TraceEvent::AllocPlace { .. } => "alloc_place",
+            TraceEvent::RuleIssue { .. } => "rule_issue",
+            TraceEvent::RuleFail { .. } => "rule_fail",
+            TraceEvent::RuleTimeout { .. } => "rule_timeout",
+            TraceEvent::RuleActive { .. } => "rule_active",
+            TraceEvent::RuleTcamReject { .. } => "rule_tcam_reject",
+            TraceEvent::FlowStart { .. } => "flow_start",
+            TraceEvent::FlowFinish { .. } => "flow_finish",
+            TraceEvent::FlowUnroutable { .. } => "flow_unroutable",
+            TraceEvent::LinkState { .. } => "link_state",
+            TraceEvent::ControllerState { .. } => "controller_state",
+            TraceEvent::ControllerResync { .. } => "controller_resync",
+            TraceEvent::Span { .. } => "span",
+        }
+    }
+}
+
+/// An event plus its sim-time stamp and a per-run sequence number that
+/// keeps ordering stable within one timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// When the event happened, in simulated time.
+    pub t: SimTime,
+    /// Monotone per-run sequence number.
+    pub seq: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_bits_are_distinct() {
+        let mut seen = 0u16;
+        for c in COMPONENTS {
+            assert_eq!(seen & c.bit(), 0, "duplicate bit for {c:?}");
+            seen |= c.bit();
+        }
+    }
+
+    #[test]
+    fn component_names_roundtrip() {
+        for c in COMPONENTS {
+            assert_eq!(Component::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Component::from_name("nope"), None);
+    }
+
+    #[test]
+    fn events_map_to_expected_components() {
+        let e = TraceEvent::MapFinish {
+            job: JobId(0),
+            map: MapTaskId(1),
+        };
+        assert_eq!(e.component(), Component::Hadoop);
+        assert_eq!(e.name(), "map_finish");
+        let e = TraceEvent::RuleActive {
+            switch: NodeId(9),
+            src: None,
+            dst: None,
+            out_link: LinkId(2),
+        };
+        assert_eq!(e.component(), Component::Dataplane);
+    }
+}
