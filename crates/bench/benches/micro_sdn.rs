@@ -102,18 +102,12 @@ fn dataplane_resolution(c: &mut Criterion) {
     let mut g = c.benchmark_group("dataplane");
     let ruled = FiveTuple::tcp(mr.servers[0], mr.servers[5], 40000, 50060);
     let unruled = FiveTuple::tcp(mr.servers[0], mr.servers[6], 40000, 50060);
-    let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
+
     g.bench_function("resolve_ruled_path", |b| {
-        b.iter(|| {
-            dp.resolve_path(&mr.topology, &ruled, &ecmp, &cands)
-                .unwrap()
-        })
+        b.iter(|| dp.resolve_path(&mr.topology, &ruled, &ecmp, &nh).unwrap())
     });
     g.bench_function("resolve_default_ecmp_path", |b| {
-        b.iter(|| {
-            dp.resolve_path(&mr.topology, &unruled, &ecmp, &cands)
-                .unwrap()
-        })
+        b.iter(|| dp.resolve_path(&mr.topology, &unruled, &ecmp, &nh).unwrap())
     });
     g.bench_function("ecmp_hash_choose", |b| {
         let candidates = nh.candidates(mr.tors[0], mr.servers[5]).to_vec();

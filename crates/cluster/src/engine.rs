@@ -19,6 +19,7 @@
 //! like hardware that matches packets, not flows.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use pythia_baselines::{EcmpForwarding, HederaScheduler};
 use pythia_core::{overhead, MgmtNet, PredictionMsg, PythiaSystem};
@@ -46,10 +47,19 @@ enum Event {
     /// The projected earliest flow completion (content-free: the top-of-
     /// loop advance does the work).
     FlowCheck,
-    PredictionDeliver(PredictionMsg),
+    /// A prediction copy arriving off the management network. `Rc` so the
+    /// lossy channel's duplicate deliveries share one heap message
+    /// instead of deep-cloning the server list per copy.
+    PredictionDeliver(Rc<PredictionMsg>),
     RuleActive {
         switch: NodeId,
         rule: FlowRule,
+        /// Controller-connection epoch the install was issued under. A
+        /// crash bumps the engine's epoch, so in-flight installs from
+        /// before the crash are recognized as dead at dispatch and
+        /// skipped — O(1) per crash instead of cancel-draining a handle
+        /// list.
+        generation: u64,
     },
     HederaTick,
     LinkLoadSample,
@@ -71,6 +81,29 @@ enum Event {
     AgentRespill,
     /// Periodic TTL sweep over parked collector entries.
     ParkedSweep,
+}
+
+/// Flight-recorder span name for each event type, so the histogram
+/// registry attributes dispatch cost per handler.
+fn event_span_name(ev: &Event) -> &'static str {
+    match ev {
+        Event::JobStart(..) => "ev_job_start",
+        Event::MapFinish(..) => "ev_map_finish",
+        Event::ReducerStart(..) => "ev_reducer_start",
+        Event::SortFinish(..) => "ev_sort_finish",
+        Event::ReducerFinish(..) => "ev_reducer_finish",
+        Event::FlowCheck => "ev_flow_check",
+        Event::PredictionDeliver(..) => "ev_prediction_deliver",
+        Event::RuleActive { .. } => "ev_rule_active",
+        Event::HederaTick => "ev_hedera_tick",
+        Event::LinkLoadSample => "ev_link_load_sample",
+        Event::ProbeSample => "ev_probe_sample",
+        Event::BackgroundChange => "ev_background_change",
+        Event::LinkState { .. } => "ev_link_state",
+        Event::ControllerState { .. } => "ev_controller_state",
+        Event::AgentRespill => "ev_agent_respill",
+        Event::ParkedSweep => "ev_parked_sweep",
+    }
 }
 
 /// Metadata the engine keeps per in-flight fetch (Hadoop drops its own
@@ -177,10 +210,23 @@ struct Engine<'a> {
     controller_down_total: SimDuration,
     /// Controller crash events survived.
     controller_outages_seen: u64,
-    /// In-flight `RuleActive` events — cancelled when the controller
-    /// crashes (an install that has not landed dies with the connection).
-    pending_rule_events: Vec<EventId>,
+    /// Controller-connection epoch. Bumped on every crash; `RuleActive`
+    /// events stamped with an older generation are dead (the install
+    /// died with the connection) and skipped at dispatch.
+    rule_generation: u64,
     net_dirty: bool,
+    /// Dispatch-loop scratch: flows completed by the pre-event advance.
+    /// Owned by the engine so steady-state dispatch allocates nothing.
+    completed_scratch: Vec<FlowId>,
+    /// Dispatch-loop scratch for Hadoop event batches.
+    hadoop_scratch: Vec<HadoopEvent>,
+    /// Dispatch-loop scratch: in-flight flows a rule or link event must
+    /// re-resolve.
+    candidates_scratch: Vec<(FlowId, FiveTuple)>,
+    /// In-flight fetch flows by server pair, each list in flow-id order.
+    /// Lets `on_rule_active` re-resolve exactly the flows a server-pair
+    /// rule can match instead of scanning every flow in the network.
+    flows_of_pair: BTreeMap<(NodeId, NodeId), Vec<FlowId>>,
 }
 
 impl<'a> Engine<'a> {
@@ -192,6 +238,11 @@ impl<'a> Engine<'a> {
         let mr = cfg.topology.build();
         let rngs = RngFactory::new(cfg.seed);
         let mut net = FlowNet::new(mr.topology.clone());
+        // Only server-sourced (shuffle) traffic is observed — the probe
+        // watches servers and flow traces cover fetches only — so skip
+        // per-advance byte integration for everything else (the CBR
+        // background keeps its rates; its byte counters are never read).
+        net.meter_sources_only(mr.servers.iter().copied());
 
         // Background load emulating over-subscription (§V-A): one CBR
         // stream per trunk cable, grouped by direction so the fluctuating
@@ -309,8 +360,12 @@ impl<'a> Engine<'a> {
             controller_down_since: None,
             controller_down_total: SimDuration::ZERO,
             controller_outages_seen: 0,
-            pending_rule_events: Vec::new(),
+            rule_generation: 0,
             net_dirty: false,
+            completed_scratch: Vec::new(),
+            hadoop_scratch: Vec::new(),
+            candidates_scratch: Vec::new(),
+            flows_of_pair: BTreeMap::new(),
             mr,
         }
     }
@@ -384,6 +439,14 @@ impl<'a> Engine<'a> {
         self.finish_round();
 
         while let Some((now, _, ev)) = self.queue.pop() {
+            // Installs issued before a controller crash died with the
+            // connection: drop them before they count as processed, the
+            // same way a lazily-cancelled queue entry never surfaces.
+            if let Event::RuleActive { generation, .. } = ev {
+                if generation != self.rule_generation {
+                    continue;
+                }
+            }
             self.flight.set_now(now);
             self.events_processed += 1;
             assert!(
@@ -396,18 +459,29 @@ impl<'a> Engine<'a> {
                 "watchdog: simulated time budget exhausted at {now}"
             );
             // 1. Integrate the network up to now; handle completions.
-            let completed = self.net.advance_to(now);
-            for fid in completed {
-                self.on_flow_complete(now, fid);
+            {
+                let _span = self.flight.span("ev_advance_net");
+                let mut completed = std::mem::take(&mut self.completed_scratch);
+                completed.clear();
+                completed.extend_from_slice(self.net.advance_to(now));
+                for &fid in &completed {
+                    self.on_flow_complete(now, fid);
+                }
+                completed.clear();
+                self.completed_scratch = completed;
             }
-            // 2. The event itself.
+            // 2. The event itself, timed per handler so the span
+            // histograms attribute dispatch cost by event type.
+            let span = self.flight.span(event_span_name(&ev));
             match ev {
                 Event::JobStart(j) => {
                     let slot = &mut self.jobs[j.0 as usize];
                     debug_assert!(!slot.started);
                     slot.started = true;
-                    let evts = slot.sim.start(now);
-                    self.apply_hadoop_events(now, j, evts);
+                    let mut evts = std::mem::take(&mut self.hadoop_scratch);
+                    slot.sim.start_into(now, &mut evts);
+                    self.apply_hadoop_events(now, j, &mut evts);
+                    self.hadoop_scratch = evts;
                 }
                 Event::MapFinish(j, m) => {
                     self.flight
@@ -415,27 +489,43 @@ impl<'a> Engine<'a> {
                             job: j,
                             map: m,
                         });
-                    let evts = self.jobs[j.0 as usize].sim.map_finished(now, m);
-                    self.apply_hadoop_events(now, j, evts);
+                    let mut evts = std::mem::take(&mut self.hadoop_scratch);
+                    self.jobs[j.0 as usize]
+                        .sim
+                        .map_finished_into(now, m, &mut evts);
+                    self.apply_hadoop_events(now, j, &mut evts);
+                    self.hadoop_scratch = evts;
                 }
                 Event::ReducerStart(j, r) => {
-                    let evts = self.jobs[j.0 as usize].sim.reducer_started(now, r);
-                    self.apply_hadoop_events(now, j, evts);
+                    let mut evts = std::mem::take(&mut self.hadoop_scratch);
+                    self.jobs[j.0 as usize]
+                        .sim
+                        .reducer_started_into(now, r, &mut evts);
+                    self.apply_hadoop_events(now, j, &mut evts);
+                    self.hadoop_scratch = evts;
                 }
                 Event::SortFinish(j, r) => {
-                    let evts = self.jobs[j.0 as usize].sim.sort_finished(now, r);
-                    self.apply_hadoop_events(now, j, evts);
+                    let mut evts = std::mem::take(&mut self.hadoop_scratch);
+                    self.jobs[j.0 as usize]
+                        .sim
+                        .sort_finished_into(now, r, &mut evts);
+                    self.apply_hadoop_events(now, j, &mut evts);
+                    self.hadoop_scratch = evts;
                 }
                 Event::ReducerFinish(j, r) => {
-                    let evts = self.jobs[j.0 as usize].sim.reducer_finished(now, r);
-                    self.apply_hadoop_events(now, j, evts);
+                    let mut evts = std::mem::take(&mut self.hadoop_scratch);
+                    self.jobs[j.0 as usize]
+                        .sim
+                        .reducer_finished_into(now, r, &mut evts);
+                    self.apply_hadoop_events(now, j, &mut evts);
+                    self.hadoop_scratch = evts;
                 }
                 Event::FlowCheck => {
                     // Work done by the advance above.
                     self.flowcheck = None;
                 }
                 Event::PredictionDeliver(msg) => self.on_prediction(now, &msg),
-                Event::RuleActive { switch, rule } => self.on_rule_active(switch, rule),
+                Event::RuleActive { switch, rule, .. } => self.on_rule_active(switch, rule),
                 Event::HederaTick => self.on_hedera_tick(now),
                 Event::LinkLoadSample => self.on_link_load_sample(now),
                 Event::ProbeSample => {
@@ -451,6 +541,7 @@ impl<'a> Engine<'a> {
                 Event::AgentRespill => self.on_agent_respill(now),
                 Event::ParkedSweep => self.on_parked_sweep(now),
             }
+            drop(span);
             if self.all_done() {
                 // Final probe point at job end, then stop: only unbounded
                 // background flows remain.
@@ -473,24 +564,32 @@ impl<'a> Engine<'a> {
     /// Recompute rates and reschedule the completion probe after any flow
     /// mutation.
     fn finish_round(&mut self) {
+        let _span = self.flight.span("finish_round");
         if self.net_dirty {
-            self.net.recompute();
+            {
+                let _span = self.flight.span("net_recompute");
+                self.net.recompute();
+            }
             self.net_dirty = false;
             if let Some(h) = self.flowcheck.take() {
                 self.queue.cancel(h);
             }
+            let _span = self.flight.span("net_next_completion");
             if let Some((t, _)) = self.net.next_completion() {
                 self.flowcheck = Some(self.queue.push(t, Event::FlowCheck));
             }
         } else if self.flowcheck.is_none() {
+            let _span = self.flight.span("net_next_completion");
             if let Some((t, _)) = self.net.next_completion() {
                 self.flowcheck = Some(self.queue.push(t, Event::FlowCheck));
             }
         }
     }
 
-    fn apply_hadoop_events(&mut self, now: SimTime, job: JobId, evts: Vec<HadoopEvent>) {
-        for e in evts {
+    /// Act on a batch of Hadoop outputs, draining `evts` so the caller
+    /// can hand the (engine-owned) buffer back for reuse.
+    fn apply_hadoop_events(&mut self, now: SimTime, job: JobId, evts: &mut Vec<HadoopEvent>) {
+        for e in evts.drain(..) {
             match e {
                 HadoopEvent::MapFinishAt { map, at } => {
                     self.queue.push(at, Event::MapFinish(job, map));
@@ -565,12 +664,9 @@ impl<'a> Engine<'a> {
             self.wire_seed ^ pythia_des::splitmix64(job.0 as u64),
         );
         let tuple = FiveTuple::tcp(src_node, dst_node, src_port, dst_port);
-        let nh = &self.nexthops;
         let resolved =
             self.dataplane
-                .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
-                    nh.candidates(n, d).to_vec()
-                });
+                .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &self.nexthops);
         let Ok(path) = resolved else {
             // Degraded fabric (e.g. every trunk cable down): no route
             // exists right now. Parking the fetch and retrying it on the
@@ -607,6 +703,12 @@ impl<'a> Engine<'a> {
                 bytes: wire_bytes,
             });
         self.fetch_of_flow.insert(fid, (job, fetch));
+        // Flow ids are allocated monotonically, so appending keeps each
+        // pair list in flow-id order.
+        self.flows_of_pair
+            .entry((src_node, dst_node))
+            .or_default()
+            .push(fid);
         self.info_of_fetch.insert(
             (job, fetch),
             FetchInfo {
@@ -645,6 +747,7 @@ impl<'a> Engine<'a> {
     }
 
     fn on_flow_complete(&mut self, now: SimTime, fid: FlowId) {
+        let _span = self.flight.span("flow_complete");
         let report = self.net.remove_flow(fid);
         self.net_dirty = true;
         self.trace.push(ShuffleFlowRecord::from_report(
@@ -661,17 +764,29 @@ impl<'a> Engine<'a> {
             .info_of_fetch
             .remove(&(job, fetch))
             .expect("unknown fetch");
+        let src_node = self.mr.servers[info.src.0 as usize];
+        let dst_node = self.mr.servers[info.dst.0 as usize];
+        if let Some(fids) = self.flows_of_pair.get_mut(&(src_node, dst_node)) {
+            // Order-preserving removal keeps the list flow-id sorted.
+            if let Some(pos) = fids.iter().position(|&f| f == fid) {
+                fids.remove(pos);
+            }
+        }
         self.flight
             .record(Component::NetSim, || TraceEvent::FlowFinish {
                 flow: fid,
-                src: self.mr.servers[info.src.0 as usize],
-                dst: self.mr.servers[info.dst.0 as usize],
+                src: src_node,
+                dst: dst_node,
             });
         if let Some(py) = self.pythia.as_mut() {
             py.on_fetch_completed(job, info.map, info.reducer, info.src, info.dst);
         }
-        let evts = self.jobs[job.0 as usize].sim.fetch_completed(now, fetch);
-        self.apply_hadoop_events(now, job, evts);
+        let mut evts = std::mem::take(&mut self.hadoop_scratch);
+        self.jobs[job.0 as usize]
+            .sim
+            .fetch_completed_into(now, fetch, &mut evts);
+        self.apply_hadoop_events(now, job, &mut evts);
+        self.hadoop_scratch = evts;
     }
 
     fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) {
@@ -701,26 +816,23 @@ impl<'a> Engine<'a> {
                 copies,
                 lost,
             });
+        let msg = Rc::new(msg);
         for at in deliveries {
-            self.queue.push(at, Event::PredictionDeliver(msg.clone()));
+            self.queue
+                .push(at, Event::PredictionDeliver(Rc::clone(&msg)));
         }
     }
 
     fn schedule_rules(&mut self, now: SimTime, rules: Vec<pythia_openflow::PendingRule>) {
         for p in rules {
-            let id = self.queue.push(
+            self.queue.push(
                 now + p.delay,
                 Event::RuleActive {
                     switch: p.switch,
                     rule: p.rule,
+                    generation: self.rule_generation,
                 },
             );
-            self.pending_rule_events.push(id);
-        }
-        // Shed handles of installs that already landed.
-        if self.pending_rule_events.len() > 64 {
-            let queue = &self.queue;
-            self.pending_rule_events.retain(|&id| queue.is_pending(id));
         }
     }
 
@@ -745,24 +857,41 @@ impl<'a> Engine<'a> {
                 });
         }
         // A newly active rule redirects matching *in-flight* flows too —
-        // hardware matches packets, not flows.
-        let matching: Vec<(FlowId, FiveTuple)> = self
-            .net
-            .flows()
-            .filter(|(_, f)| {
-                f.spec.size_bytes.is_some()
-                    && !f.is_complete()
-                    && rule.matcher.matches(&f.spec.tuple)
-            })
-            .map(|(id, f)| (id, f.spec.tuple))
-            .collect();
-        for (fid, tuple) in matching {
-            let nh = &self.nexthops;
+        // hardware matches packets, not flows. Pythia installs
+        // server-pair rules, so the pair index hands back exactly the
+        // flows the matcher can hit; the full scan remains only for
+        // wildcard matchers no current controller emits.
+        let mut matching = std::mem::take(&mut self.candidates_scratch);
+        matching.clear();
+        match (rule.matcher.src, rule.matcher.dst) {
+            (Some(src), Some(dst)) => {
+                if let Some(fids) = self.flows_of_pair.get(&(src, dst)) {
+                    // Lists are in flow-id order, matching the id-ordered
+                    // full scan this replaces.
+                    matching.extend(fids.iter().filter_map(|&fid| {
+                        let f = self.net.flow(fid)?;
+                        (!f.is_complete() && rule.matcher.matches(&f.spec.tuple))
+                            .then_some((fid, f.spec.tuple))
+                    }));
+                }
+            }
+            _ => {
+                matching.extend(
+                    self.net
+                        .flows()
+                        .filter(|(_, f)| {
+                            f.spec.size_bytes.is_some()
+                                && !f.is_complete()
+                                && rule.matcher.matches(&f.spec.tuple)
+                        })
+                        .map(|(id, f)| (id, f.spec.tuple)),
+                );
+            }
+        }
+        for &(fid, tuple) in &matching {
             if let Ok(path) =
                 self.dataplane
-                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
-                        nh.candidates(n, d).to_vec()
-                    })
+                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &self.nexthops)
             {
                 if path.links() != self.net.flow(fid).unwrap().path.links() {
                     self.net.reroute_flow(fid, path);
@@ -770,6 +899,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        matching.clear();
+        self.candidates_scratch = matching;
     }
 
     /// The SDN controller crashed or came back. Installed rules survive a
@@ -801,10 +932,10 @@ impl<'a> Engine<'a> {
             self.controller_outages_seen += 1;
             self.controller_down_since = Some(now);
             // An install that has not reached its switch dies with the
-            // controller connection.
-            for id in self.pending_rule_events.drain(..) {
-                self.queue.cancel(id);
-            }
+            // controller connection: bump the epoch so every in-flight
+            // `RuleActive` is recognized as stale at dispatch. O(1) per
+            // crash, no handle bookkeeping on the install hot path.
+            self.rule_generation += 1;
             if let Some(py) = self.pythia.as_mut() {
                 py.set_controller_down();
             }
@@ -820,7 +951,9 @@ impl<'a> Engine<'a> {
         }
         for i in 0..self.jobs.len() {
             let job = JobId(i as u32);
-            for e in self.jobs[i].sim.respill_completed() {
+            let mut evts = std::mem::take(&mut self.hadoop_scratch);
+            self.jobs[i].sim.respill_completed_into(&mut evts);
+            for e in evts.drain(..) {
                 if let HadoopEvent::SpillIndex { map, server, data } = e {
                     let sent = self
                         .pythia
@@ -831,6 +964,7 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+            self.hadoop_scratch = evts;
         }
     }
 
@@ -857,8 +991,10 @@ impl<'a> Engine<'a> {
             return;
         }
         if let Some(mut hedera) = self.hedera.take() {
-            let bg = self.background_bps.clone();
-            let reroutes = hedera.rebalance(&self.net, &mut self.controller, &move |l: LinkId| {
+            // Borrowed view: the scheduler only reads the background
+            // table during the call, so no per-tick clone.
+            let bg = &self.background_bps;
+            let reroutes = hedera.rebalance(&self.net, &mut self.controller, &|l: LinkId| {
                 bg[l.0 as usize]
             });
             for r in reroutes {
@@ -963,27 +1099,46 @@ impl<'a> Engine<'a> {
         // Routing protocol reconvergence for default (ECMP) forwarding.
         self.nexthops = EcmpNextHops::compute_avoiding(&self.mr.topology, &self.down_links);
         // Re-resolve in-flight flows touching a changed link (on failure)
-        // or all flows (on recovery ECMP may spread them back).
-        let affected: Vec<(FlowId, FiveTuple)> = self
-            .net
-            .flows()
-            .filter(|(_, f)| f.spec.size_bytes.is_some() && !f.is_complete())
-            .filter(|(_, f)| up || f.path.links().iter().any(|l| self.down_links.contains(l)))
-            .map(|(id, f)| (id, f.spec.tuple))
-            .collect();
-        for (fid, tuple) in affected {
-            let nh = &self.nexthops;
+        // or all flows (on recovery ECMP may spread them back). The fetch
+        // registry (flow-id ordered) and the per-link incidence lists
+        // replace the old full-flow scan: cost is O(fetches touched), not
+        // O(all flows).
+        let mut affected = std::mem::take(&mut self.candidates_scratch);
+        affected.clear();
+        if up {
+            // Every in-flight fetch, in flow-id order.
+            affected.extend(self.fetch_of_flow.keys().map(|&fid| {
+                let f = self.net.flow(fid).unwrap();
+                (fid, f.spec.tuple)
+            }));
+        } else {
+            // Only fetches whose current path crosses a dead link. The
+            // union over an unordered set is sorted + deduplicated, so
+            // downstream work runs in flow-id order like the scan it
+            // replaces.
+            for &l in &self.down_links {
+                for fid in self.net.flows_on_link(l) {
+                    if self.fetch_of_flow.contains_key(&fid) {
+                        let tuple = self.net.flow(fid).unwrap().spec.tuple;
+                        affected.push((fid, tuple));
+                    }
+                }
+            }
+            affected.sort_unstable_by_key(|&(fid, _)| fid);
+            affected.dedup_by_key(|&mut (fid, _)| fid);
+        }
+        for &(fid, tuple) in &affected {
             if let Ok(path) =
                 self.dataplane
-                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &|n, d| {
-                        nh.candidates(n, d).to_vec()
-                    })
+                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &self.nexthops)
             {
                 if path.links() != self.net.flow(fid).unwrap().path.links() {
                     self.net.reroute_flow(fid, path);
                 }
             }
         }
+        affected.clear();
+        self.candidates_scratch = affected;
         // A recovery may give parked (unroutable) fetches a route again.
         if up && !self.parked_fetches.is_empty() {
             self.retry_parked_fetches(now);
@@ -1092,6 +1247,23 @@ impl<'a> Engine<'a> {
             degradation.rules_reinstalled = py.stats.rules_reinstalled;
             degradation.demands_no_path = py.stats.demands_no_path;
         }
+        // Engine-health counters for the flight recorder: where the event
+        // queue and the rate solver actually spent their work.
+        self.flight
+            .count("eventq_dead_shed", self.queue.dead_shed());
+        self.flight
+            .count("eventq_compactions", self.queue.compactions());
+        let ns = self.net.stats();
+        self.flight.count("net_recomputes", ns.recomputes);
+        self.flight.count("net_region_links", ns.region_links);
+        self.flight.count("net_region_flows", ns.region_flows);
+        self.flight
+            .count("net_advance_flow_steps", ns.advance_flow_steps);
+        self.flight.count("net_heap_pushes", ns.heap_pushes);
+        self.flight
+            .count("net_heap_compactions", ns.heap_compactions);
+        self.flight
+            .count("net_cbr_flow_updates", ns.cbr_flow_updates);
         let trace_stats = self.flight.stats();
         let trace_events = self.flight.take_events();
         MultiRunReport {

@@ -1,0 +1,131 @@
+//! Pins the optimized engine to the pre-index behavior, bit for bit.
+//!
+//! The secondary indexes (server-pair → flows, link → flows), the layered
+//! CBR background solve, metered byte integration, and the reusable
+//! dispatch scratch buffers are all *pure caches*: they must not change a
+//! single event, rate, curve point, or trace record. These fingerprints
+//! were captured from the pre-optimization engine on the chaos harness
+//! scenarios (controller outage + lossy management network + agent
+//! respill) and on a clean fat-tree run; the optimized engine must
+//! reproduce them exactly — including the full flight-recorder event
+//! stream and every report artifact that feeds the CSVs.
+
+use pythia_cluster::{run_scenario, ControllerOutage, RunReport, ScenarioConfig, SchedulerKind};
+use pythia_core::MgmtNetConfig;
+use pythia_des::SimDuration;
+use pythia_hadoop::{DurationModel, JobSpec};
+use pythia_netsim::FatTreeParams;
+use pythia_trace::TraceConfig;
+use pythia_workloads::SkewModel;
+
+const MB: u64 = 1_000_000;
+
+fn job(maps: usize, reducers: usize) -> JobSpec {
+    JobSpec {
+        name: "equiv".into(),
+        num_maps: maps,
+        num_reducers: reducers,
+        input_bytes: maps as u64 * 64 * MB,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1),
+        sort_duration: DurationModel::rate(SimDuration::from_millis(500), 500.0 * MB as f64, 0.1),
+        reduce_duration: DurationModel::rate(SimDuration::from_millis(500), 200.0 * MB as f64, 0.1),
+        partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(reducers, 0.1, 99),
+    }
+}
+
+/// The chaos harness's reference fault schedule (see `chaos.rs`), with the
+/// flight recorder on so the trace event stream is part of the pin.
+fn chaos_cfg(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(20)
+        .with_seed(seed)
+        .with_trace(TraceConfig::enabled());
+    cfg.pythia.mgmtnet = MgmtNetConfig {
+        loss_prob: 0.2,
+        dup_prob: 0.1,
+        jitter: SimDuration::from_millis(20),
+        retry_timeout: SimDuration::from_millis(50),
+        max_retries: 4,
+    };
+    cfg.pythia.parked_ttl = Some(SimDuration::from_secs(60));
+    cfg.controller.install_fail_prob = 0.1;
+    cfg.controller_outages = vec![ControllerOutage {
+        down_at: SimDuration::from_secs(3),
+        up_at: SimDuration::from_secs(10),
+    }];
+    cfg.agent_respill_at = vec![SimDuration::from_secs(12)];
+    cfg
+}
+
+/// FNV-1a over a string: a stable, dependency-free content hash.
+fn fnv(h: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// Everything observable about a run, collapsed to one comparable line:
+/// headline numbers plus content hashes of the trace stream, the per-flow
+/// NetFlow records, the measured/predicted curves, and the timeline.
+fn fingerprint(r: &RunReport) -> String {
+    let mut trace = 0xcbf29ce484222325u64;
+    for ev in &r.trace_events {
+        fnv(&mut trace, &format!("{ev:?}"));
+    }
+    let mut artifacts = 0xcbf29ce484222325u64;
+    fnv(&mut artifacts, &format!("{:?}", r.flow_trace));
+    fnv(&mut artifacts, &format!("{:?}", r.measured_curves));
+    fnv(&mut artifacts, &format!("{:?}", r.predicted_curves));
+    fnv(&mut artifacts, &format!("{:?}", r.spills_per_server));
+    fnv(&mut artifacts, &format!("{:?}", r.timeline));
+    format!(
+        "t={} ev={} rules={} flows={} outages={} tr={}#{trace:016x} art={artifacts:016x}",
+        r.completion(),
+        r.events_processed,
+        r.rules_installed,
+        r.flow_trace.len(),
+        r.degradation.controller_outages,
+        r.trace_events.len(),
+    )
+}
+
+#[test]
+fn chaos_seed_runs_match_pre_index_engine() {
+    let expected = [
+        (
+            42u64,
+            "t=24.002518s ev=615 rules=95 flows=288 outages=1 tr=1301#b00276ca694404bb art=21e3649ba5b3f3b5",
+        ),
+        (
+            7u64,
+            "t=26.868063s ev=623 rules=96 flows=288 outages=1 tr=1297#831f15cc5ed57458 art=1883d39a31c33813",
+        ),
+    ];
+    for (seed, want) in expected {
+        let r = run_scenario(job(40, 8), &chaos_cfg(seed));
+        let got = fingerprint(&r);
+        assert_eq!(got, want, "chaos seed {seed}");
+    }
+}
+
+#[test]
+fn clean_fat_tree_run_matches_pre_index_engine() {
+    let cfg = ScenarioConfig::default()
+        .with_topology(FatTreeParams {
+            k: 4,
+            ..FatTreeParams::default()
+        })
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(5)
+        .with_trace(TraceConfig::enabled());
+    let r = run_scenario(job(24, 6), &cfg);
+    assert_eq!(
+        fingerprint(&r),
+        "t=12.841055s ev=640 rules=402 flows=132 outages=0 \
+         tr=1374#57166f972557e4b3 art=45eda6ecb74fa3b9"
+    );
+}

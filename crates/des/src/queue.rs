@@ -55,7 +55,13 @@ pub struct EventQueue<E> {
     /// Live event ids. Removed on pop or cancel.
     live: HashMap<EventId, SimTime>,
     next_seq: u64,
+    /// Dead entries still physically in the heap.
     cancelled: u64,
+    /// Dead entries physically removed over the queue's lifetime (lazy
+    /// pops plus compaction sweeps).
+    dead_shed: u64,
+    /// Eager compaction sweeps performed.
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,6 +78,8 @@ impl<E> EventQueue<E> {
             live: HashMap::new(),
             next_seq: 0,
             cancelled: 0,
+            dead_shed: 0,
+            compactions: 0,
         }
     }
 
@@ -94,15 +102,36 @@ impl<E> EventQueue<E> {
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. had not fired and had not already been
     /// cancelled).
+    ///
+    /// Cancellation stays O(1): the heap entry is left in place and
+    /// skipped on pop. When dead entries outnumber live ones the heap is
+    /// compacted eagerly, so workloads that cancel almost everything they
+    /// schedule (stale completion estimates, crashed-controller installs)
+    /// keep the heap at O(live) instead of O(ever scheduled). Each sweep
+    /// removes more entries than survive it, so its cost amortizes into
+    /// the cancellations that triggered it: amortized O(1) per cancel.
     pub fn cancel(&mut self, id: EventId) -> bool {
         match self.live.entry(id) {
             Entry::Occupied(e) => {
                 e.remove();
                 self.cancelled += 1;
+                if self.cancelled as usize > self.live.len() && self.heap.len() > 64 {
+                    self.compact();
+                }
                 true
             }
             Entry::Vacant(_) => false,
         }
+    }
+
+    /// Rebuild the heap from its live entries only.
+    fn compact(&mut self) {
+        self.compactions += 1;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| self.live.contains_key(&e.id));
+        self.dead_shed += self.cancelled;
+        self.cancelled = 0;
+        self.heap = BinaryHeap::from(entries);
     }
 
     /// True if `id` is scheduled and not cancelled.
@@ -117,6 +146,7 @@ impl<E> EventQueue<E> {
                 return Some((entry.time, entry.id, entry.payload));
             }
             self.cancelled -= 1;
+            self.dead_shed += 1;
         }
         None
     }
@@ -130,6 +160,7 @@ impl<E> EventQueue<E> {
             }
             self.heap.pop();
             self.cancelled -= 1;
+            self.dead_shed += 1;
         }
         None
     }
@@ -148,6 +179,27 @@ impl<E> EventQueue<E> {
     /// Exposed for engine-health assertions in tests.
     pub fn heap_len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Fraction of physical heap entries that are dead (cancelled but not
+    /// yet removed), in `[0, 1]`. An engine-health signal: stays below
+    /// 1/2 by construction thanks to eager compaction.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.heap.is_empty() {
+            return 0.0;
+        }
+        self.cancelled as f64 / self.heap.len() as f64
+    }
+
+    /// Total dead entries physically removed so far (lazy pops plus
+    /// compaction sweeps).
+    pub fn dead_shed(&self) -> u64 {
+        self.dead_shed
+    }
+
+    /// Eager compaction sweeps performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 
@@ -223,6 +275,56 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_heavy_workload_keeps_heap_near_live() {
+        // Schedule far-future events and cancel almost all of them, the
+        // way the engine cancels stale completion estimates. The physical
+        // heap must track O(live), not O(ever scheduled).
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..10_000u64 {
+            ids.push(q.push(t(1_000 + i), i));
+        }
+        // Keep every 100th event; cancel the rest.
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 100 != 0 {
+                assert!(q.cancel(id));
+            }
+            // Invariant holds continuously, not just at the end: dead
+            // entries never outnumber live ones once past the small-heap
+            // threshold.
+            if q.heap_len() > 64 {
+                assert!(
+                    q.dead_fraction() <= 0.5 + 1e-9,
+                    "dead fraction {} with heap_len {}",
+                    q.dead_fraction(),
+                    q.heap_len()
+                );
+            }
+        }
+        assert_eq!(q.len(), 100);
+        assert!(
+            q.heap_len() <= 2 * q.len().max(64),
+            "heap_len {} for {} live events",
+            q.heap_len(),
+            q.len()
+        );
+        assert!(q.compactions() > 0, "compaction never triggered");
+        // Everything shed somewhere: lazily or by compaction.
+        assert_eq!(q.dead_shed() + q.cancelled, 9_900);
+        // Survivors still pop in order despite the rebuilds.
+        let mut prev = None;
+        let mut popped = 0;
+        while let Some((time, _, _)) = q.pop() {
+            if let Some(p) = prev {
+                assert!(time >= p);
+            }
+            prev = Some(time);
+            popped += 1;
+        }
+        assert_eq!(popped, 100);
     }
 
     #[test]

@@ -315,20 +315,26 @@ impl MapReduceSim {
     /// observational — no Hadoop state changes; downstream consumers must
     /// deduplicate (the Pythia collector keys by `(job, map)`).
     pub fn respill_completed(&self) -> Vec<HadoopEvent> {
-        self.done_order
-            .iter()
-            .map(|&m| {
-                let parts = self.map_partitions[m.0 as usize]
-                    .as_ref()
-                    .expect("completed map has partition sizes");
-                let index = IndexFile::from_partition_sizes(parts, 1.0);
-                HadoopEvent::SpillIndex {
-                    map: m,
-                    server: self.map_server[m.0 as usize],
-                    data: index.encode(),
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.respill_completed_into(&mut out);
+        out
+    }
+
+    /// [`Self::respill_completed`] into a caller-owned buffer, so a hot
+    /// dispatch loop can reuse its scratch allocation. Appends; does not
+    /// clear.
+    pub fn respill_completed_into(&self, out: &mut Vec<HadoopEvent>) {
+        for &m in &self.done_order {
+            let parts = self.map_partitions[m.0 as usize]
+                .as_ref()
+                .expect("completed map has partition sizes");
+            let index = IndexFile::from_partition_sizes(parts, 1.0);
+            out.push(HadoopEvent::SpillIndex {
+                map: m,
+                server: self.map_server[m.0 as usize],
+                data: index.encode(),
+            });
+        }
     }
 
     /// Metadata of an in-flight fetch.
@@ -351,13 +357,19 @@ impl MapReduceSim {
     /// Begin the job: fill every map slot, and launch reducers right away
     /// if slow-start is zero.
     pub fn start(&mut self, now: SimTime) -> Vec<HadoopEvent> {
+        let mut out = Vec::new();
+        self.start_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::start`] into a caller-owned buffer. Appends; does not
+    /// clear.
+    pub fn start_into(&mut self, now: SimTime, out: &mut Vec<HadoopEvent>) {
         assert!(!self.started, "job already started");
         self.started = true;
         self.timeline.job_start = now;
-        let mut out = Vec::new();
-        self.fill_map_slots(now, &mut out);
-        self.maybe_launch_reducers(now, &mut out);
-        out
+        self.fill_map_slots(now, out);
+        self.maybe_launch_reducers(now, out);
     }
 
     fn fill_map_slots(&mut self, now: SimTime, out: &mut Vec<HadoopEvent>) {
@@ -409,6 +421,14 @@ impl MapReduceSim {
 
     /// Input: the map-finish timer fired.
     pub fn map_finished(&mut self, now: SimTime, m: MapTaskId) -> Vec<HadoopEvent> {
+        let mut out = Vec::new();
+        self.map_finished_into(now, m, &mut out);
+        out
+    }
+
+    /// [`Self::map_finished`] into a caller-owned buffer. Appends; does
+    /// not clear.
+    pub fn map_finished_into(&mut self, now: SimTime, m: MapTaskId, out: &mut Vec<HadoopEvent>) {
         let idx = m.0 as usize;
         assert_eq!(
             self.map_state[idx],
@@ -423,8 +443,6 @@ impl MapReduceSim {
         if let Some((_, span)) = self.timeline.maps.get_mut(&m) {
             span.end = now;
         }
-
-        let mut out = Vec::new();
 
         // Spill: compute partition sizes, write the index file.
         let parts = self.spec.partitioner.partition(
@@ -442,16 +460,14 @@ impl MapReduceSim {
 
         // Free the slot and start the next pending map.
         *self.running_maps_per_server.get_mut(&server).unwrap() -= 1;
-        self.fill_map_slots(now, &mut out);
+        self.fill_map_slots(now, out);
 
         // Announce the new output to every already-launched copier, then
         // run the slow-start check: a reducer launched *by this very
         // completion* replays the full done_order (which now includes this
         // map), so announcing first avoids double-announcing it.
-        self.announce_to_copiers(now, m, &mut out);
-        self.maybe_launch_reducers(now, &mut out);
-
-        out
+        self.announce_to_copiers(now, m, out);
+        self.maybe_launch_reducers(now, out);
     }
 
     fn slowstart_reached(&self) -> bool {
@@ -512,6 +528,13 @@ impl MapReduceSim {
     /// Input: the reduce task's JVM is up; start shuffling.
     pub fn reducer_started(&mut self, now: SimTime, r: ReducerId) -> Vec<HadoopEvent> {
         let mut out = Vec::new();
+        self.reducer_started_into(now, r, &mut out);
+        out
+    }
+
+    /// [`Self::reducer_started`] into a caller-owned buffer. Appends;
+    /// does not clear.
+    pub fn reducer_started_into(&mut self, now: SimTime, r: ReducerId, out: &mut Vec<HadoopEvent>) {
         let idx = r.0 as usize;
         assert_eq!(
             self.reducer_state[idx],
@@ -549,12 +572,11 @@ impl MapReduceSim {
         self.copiers.insert(r, copier);
         for (rr, reqs) in requests {
             for req in reqs {
-                self.emit_fetch(now, rr, req, &mut out);
+                self.emit_fetch(now, rr, req, out);
             }
         }
         // All maps might already be done and all partitions empty/local.
-        self.check_shuffle_barrier(now, r, &mut out);
-        out
+        self.check_shuffle_barrier(now, r, out);
     }
 
     fn announce_to_copiers(&mut self, now: SimTime, m: MapTaskId, out: &mut Vec<HadoopEvent>) {
@@ -619,23 +641,34 @@ impl MapReduceSim {
 
     /// Input: a shuffle flow finished on the network.
     pub fn fetch_completed(&mut self, now: SimTime, fetch: FetchId) -> Vec<HadoopEvent> {
+        let mut out = Vec::new();
+        self.fetch_completed_into(now, fetch, &mut out);
+        out
+    }
+
+    /// [`Self::fetch_completed`] into a caller-owned buffer. Appends;
+    /// does not clear.
+    pub fn fetch_completed_into(
+        &mut self,
+        now: SimTime,
+        fetch: FetchId,
+        out: &mut Vec<HadoopEvent>,
+    ) {
         let meta = self
             .fetches
             .remove(&fetch)
             .expect("completion of unknown fetch");
         let r = meta.reducer;
         self.timeline.last_fetch_end = Some(now);
-        let mut out = Vec::new();
         let reqs = self
             .copiers
             .get_mut(&r)
             .unwrap()
             .fetch_completed(meta.src, meta.bytes);
         for req in reqs {
-            self.emit_fetch(now, r, req, &mut out);
+            self.emit_fetch(now, r, req, out);
         }
-        self.check_shuffle_barrier(now, r, &mut out);
-        out
+        self.check_shuffle_barrier(now, r, out);
     }
 
     fn check_shuffle_barrier(&mut self, now: SimTime, r: ReducerId, out: &mut Vec<HadoopEvent>) {
@@ -669,6 +702,14 @@ impl MapReduceSim {
 
     /// Input: the sort timer fired.
     pub fn sort_finished(&mut self, now: SimTime, r: ReducerId) -> Vec<HadoopEvent> {
+        let mut out = Vec::new();
+        self.sort_finished_into(now, r, &mut out);
+        out
+    }
+
+    /// [`Self::sort_finished`] into a caller-owned buffer. Appends; does
+    /// not clear.
+    pub fn sort_finished_into(&mut self, now: SimTime, r: ReducerId, out: &mut Vec<HadoopEvent>) {
         let idx = r.0 as usize;
         assert_eq!(self.reducer_state[idx], ReducerState::Sorting);
         self.reducer_state[idx] = ReducerState::Reducing;
@@ -676,16 +717,29 @@ impl MapReduceSim {
         tl.sort_end = Some(now);
         let total = tl.local_bytes + tl.remote_bytes;
         let dur = self.spec.reduce_duration.sample(total, &mut self.rng);
-        vec![HadoopEvent::ReducerFinishAt {
+        out.push(HadoopEvent::ReducerFinishAt {
             reducer: r,
             at: now + dur,
-        }]
+        });
     }
 
     // ----------------------------------------------------- reducer finished
 
     /// Input: the reduce+write timer fired.
     pub fn reducer_finished(&mut self, now: SimTime, r: ReducerId) -> Vec<HadoopEvent> {
+        let mut out = Vec::new();
+        self.reducer_finished_into(now, r, &mut out);
+        out
+    }
+
+    /// [`Self::reducer_finished`] into a caller-owned buffer. Appends;
+    /// does not clear.
+    pub fn reducer_finished_into(
+        &mut self,
+        now: SimTime,
+        r: ReducerId,
+        out: &mut Vec<HadoopEvent>,
+    ) {
         let idx = r.0 as usize;
         assert_eq!(self.reducer_state[idx], ReducerState::Reducing);
         self.reducer_state[idx] = ReducerState::Done;
@@ -693,15 +747,13 @@ impl MapReduceSim {
         let server = self.reducer_server[idx];
         self.timeline.reducers.get_mut(&r).unwrap().finished_at = Some(now);
         *self.running_reducers_per_server.get_mut(&server).unwrap() -= 1;
-        let mut out = Vec::new();
         // Slot freed: launch any reducer still waiting for a slot.
-        self.launch_pending_reducers(now, &mut out);
+        self.launch_pending_reducers(now, out);
         if self.finished_reducers == self.spec.num_reducers {
             self.job_done = true;
             self.timeline.job_end = Some(now);
             out.push(HadoopEvent::JobCompleted { at: now });
         }
-        out
     }
 }
 

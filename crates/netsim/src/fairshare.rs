@@ -176,10 +176,14 @@ pub struct FairShareWorkspace {
     // Per-solve inputs, staged by the caller.
     caps: Vec<f64>,
     cbr_requested: Vec<f64>,
+    pre_load: Vec<f64>,
     flow_off: Vec<u32>,
     flow_links: Vec<u32>,
     /// Requested CBR rate per flow; negative ⇒ adaptive.
     flow_cbr: Vec<f64>,
+    /// How many staged flows are CBR; lets adaptive-only solves (the
+    /// common regional case) skip the CBR clamp pass entirely.
+    n_cbr: usize,
     // Outputs.
     rates: Vec<f64>,
     link_load: Vec<f64>,
@@ -190,9 +194,12 @@ pub struct FairShareWorkspace {
     adj_off: Vec<u32>,
     adj: Vec<u32>,
     cursor: Vec<u32>,
-    live: Vec<u32>,
     saturated: Vec<u32>,
     frozen: Vec<bool>,
+    /// Cached equal-split share per live link (`residual / count`),
+    /// refreshed only when freezing touches the link — the filling
+    /// rounds' min/saturation scans then run division-free.
+    share: Vec<f64>,
 }
 
 impl FairShareWorkspace {
@@ -208,16 +215,28 @@ impl FairShareWorkspace {
         self.caps.resize(n_links, 0.0);
         self.cbr_requested.clear();
         self.cbr_requested.resize(n_links, 0.0);
+        self.pre_load.clear();
+        self.pre_load.resize(n_links, 0.0);
         self.flow_off.clear();
         self.flow_off.push(0);
         self.flow_links.clear();
         self.flow_cbr.clear();
+        self.n_cbr = 0;
     }
 
     /// Describe link `l` (a local index in `0..n_links`).
     pub fn set_link(&mut self, l: usize, capacity_bps: f64, cbr_requested_bps: f64) {
         self.caps[l] = capacity_bps;
         self.cbr_requested[l] = cbr_requested_bps;
+    }
+
+    /// Pre-commit `load_bps` on link `l` before the solve: the committed
+    /// rate of flows solved *outside* this workspace (the layered CBR
+    /// background pass). The load seeds `link_load_bps` and shrinks the
+    /// residual available to the staged adaptive flows, exactly as if
+    /// those flows had been staged and frozen first.
+    pub fn preload_link(&mut self, l: usize, load_bps: f64) {
+        self.pre_load[l] = load_bps;
     }
 
     /// Add a flow crossing the given local links. Returns its index in
@@ -230,6 +249,9 @@ impl FairShareWorkspace {
         self.flow_links.extend(links);
         self.flow_off.push(self.flow_links.len() as u32);
         self.flow_cbr.push(cbr_rate_bps.unwrap_or(-1.0));
+        if cbr_rate_bps.is_some() {
+            self.n_cbr += 1;
+        }
         idx
     }
 
@@ -254,9 +276,11 @@ impl FairShareWorkspace {
         let FairShareWorkspace {
             caps,
             cbr_requested,
+            pre_load,
             flow_off,
             flow_links,
             flow_cbr,
+            n_cbr,
             rates,
             link_load,
             scale,
@@ -265,9 +289,9 @@ impl FairShareWorkspace {
             adj_off,
             adj,
             cursor,
-            live,
             saturated,
             frozen,
+            share,
         } = self;
         let n_links = caps.len();
         let n_flows = flow_cbr.len();
@@ -276,35 +300,36 @@ impl FairShareWorkspace {
         rates.clear();
         rates.resize(n_flows, 0.0);
         link_load.clear();
-        link_load.resize(n_links, 0.0);
+        link_load.extend_from_slice(pre_load);
 
         // --- Pass 1: CBR flows ------------------------------------------
-        scale.clear();
-        for l in 0..n_links {
-            let cap = CBR_SHARE_LIMIT * caps[l];
-            let req = cbr_requested[l];
-            scale.push(if req > cap { cap / req } else { 1.0 });
-        }
-        for f in 0..n_flows {
-            let r = flow_cbr[f];
-            if r >= 0.0 {
-                let links = &flow_links[flow_off[f] as usize..flow_off[f + 1] as usize];
-                let k = links
-                    .iter()
-                    .map(|&l| scale[l as usize])
-                    .fold(1.0f64, f64::min);
-                rates[f] = r * k;
-                for &l in links {
-                    link_load[l as usize] += rates[f];
+        // Skipped wholesale when no CBR flow is staged (every regional
+        // recompute: the layered background pass keeps CBR flows out of
+        // the adaptive region entirely).
+        if *n_cbr > 0 {
+            scale.clear();
+            for l in 0..n_links {
+                let cap = CBR_SHARE_LIMIT * caps[l];
+                let req = cbr_requested[l];
+                scale.push(if req > cap { cap / req } else { 1.0 });
+            }
+            for f in 0..n_flows {
+                let r = flow_cbr[f];
+                if r >= 0.0 {
+                    let links = &flow_links[flow_off[f] as usize..flow_off[f + 1] as usize];
+                    let k = links
+                        .iter()
+                        .map(|&l| scale[l as usize])
+                        .fold(1.0f64, f64::min);
+                    rates[f] = r * k;
+                    for &l in links {
+                        link_load[l as usize] += rates[f];
+                    }
                 }
             }
         }
 
         // --- Pass 2: adaptive flows (progressive filling) ---------------
-        residual.clear();
-        for l in 0..n_links {
-            residual.push((caps[l] - link_load[l]).max(0.0));
-        }
         count.clear();
         count.resize(n_links, 0);
         frozen.clear();
@@ -323,14 +348,25 @@ impl FairShareWorkspace {
             }
         }
 
-        // CSR link → adaptive-flow adjacency.
+        // One fused pass per link: residual, the CSR link→flow adjacency
+        // offsets, and the cached equal-split share. Links carrying no
+        // unfrozen flow hold `∞` so the dense round scans below skip them
+        // without a separate liveness structure.
+        residual.clear();
         adj_off.clear();
         adj_off.push(0);
-        for l in 0..n_links {
-            adj_off.push(adj_off[l] + count[l]);
-        }
         cursor.clear();
-        cursor.extend_from_slice(&adj_off[..n_links]);
+        share.clear();
+        share.resize(n_links, f64::INFINITY);
+        for l in 0..n_links {
+            residual.push((caps[l] - link_load[l]).max(0.0));
+            let c = count[l];
+            adj_off.push(adj_off[l] + c);
+            cursor.push(adj_off[l]);
+            if c > 0 {
+                share[l] = residual[l] / c as f64;
+            }
+        }
         adj.clear();
         adj.resize(adj_off[n_links] as usize, 0);
         for (f, &is_frozen) in frozen.iter().enumerate() {
@@ -343,30 +379,24 @@ impl FairShareWorkspace {
             }
         }
 
-        live.clear();
-        for (l, &c) in count.iter().enumerate() {
-            if c > 0 {
-                live.push(l as u32);
-            }
-        }
-
         while n_unfrozen > 0 {
             // Bottleneck share over links that still carry unfrozen flows.
-            live.retain(|&l| count[l as usize] > 0);
+            // Shares are cached and refreshed at freeze time (identical
+            // `residual / count` inputs, so identical values; `∞` once the
+            // link has no unfrozen flow left), so both scans are dense,
+            // branch-free sweeps the compiler vectorizes.
             let mut min_share = f64::INFINITY;
-            for &l in live.iter() {
-                let share = residual[l as usize] / count[l as usize] as f64;
-                if share < min_share {
-                    min_share = share;
-                }
+            for &s in share.iter() {
+                min_share = min_share.min(s);
             }
             debug_assert!(min_share.is_finite());
             // Same tie tolerance as the reference implementation.
             let eps = min_share * 1e-9 + 1e-6;
+            let cutoff = min_share + eps;
             saturated.clear();
-            for &l in live.iter() {
-                if residual[l as usize] / count[l as usize] as f64 <= min_share + eps {
-                    saturated.push(l);
+            for (l, &s) in share.iter().enumerate() {
+                if s <= cutoff {
+                    saturated.push(l as u32);
                 }
             }
             // Freeze every flow crossing a saturated link, walking the
@@ -387,6 +417,11 @@ impl FairShareWorkspace {
                         residual[l2] = (residual[l2] - min_share).max(0.0);
                         count[l2] -= 1;
                         link_load[l2] += min_share;
+                        share[l2] = if count[l2] > 0 {
+                            residual[l2] / count[l2] as f64
+                        } else {
+                            f64::INFINITY
+                        };
                     }
                 }
             }

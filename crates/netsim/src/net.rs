@@ -26,14 +26,25 @@
 //! Completion lookup is indexed: a lazy-deletion binary heap keyed by
 //! projected completion time holds one entry per (flow, rate-change), and
 //! entries are invalidated by a per-flow rate epoch. [`FlowNet::advance_to`]
-//! touches only flows with a nonzero allocated rate.
+//! touches only *metered* flows with a nonzero allocated rate (see
+//! [`FlowNet::meter_sources_only`]).
+//!
+//! # Layered CBR solve
+//!
+//! CBR (background) flows don't compete — their rates depend only on
+//! requested rates and link capacities (the clamp), never on adaptive
+//! traffic. They are therefore solved in their own layer, refreshed only
+//! when a CBR input changes, and handed to the adaptive region solve as
+//! pre-committed per-link load. A recompute triggered by adaptive churn
+//! (the common case: a shuffle fetch starting or finishing) never touches
+//! a background flow at all.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use pythia_des::{SimDuration, SimTime};
 
-use crate::fairshare::{max_min_fair, Allocation, FairShareWorkspace, FlowPath};
+use crate::fairshare::{max_min_fair, Allocation, FairShareWorkspace, FlowPath, CBR_SHARE_LIMIT};
 use crate::flow::{FlowId, FlowKind, FlowSpec};
 use crate::routing::Path;
 use crate::topology::{LinkId, NodeId, Topology};
@@ -85,16 +96,14 @@ const NONE_U32: u32 = u32::MAX;
 struct FlowSlot {
     id: FlowId,
     flow: ActiveFlow,
-    /// Interned link indices of `flow.path`, computed once per (re)route.
-    links: Vec<u32>,
-    /// Position of this flow's entry in `link_flows[links[k]]`; parallel
-    /// to `links`, valid while `linked`.
-    link_pos: Vec<u32>,
     /// Whether the flow currently contributes load (present in the
     /// flow–link incidence lists). Completed flows are unlinked.
     linked: bool,
     /// Index into `FlowNet::active`, or `NONE_U32`.
     active_pos: u32,
+    /// Whether this flow's byte counters are observable (bounded, or
+    /// sourced at a metered node). Unmetered flows are never integrated.
+    metered: bool,
     /// Bumped whenever `rate_bps` changes; completion-heap entries carry
     /// the epoch they were projected under and die with it.
     rate_epoch: u64,
@@ -106,6 +115,184 @@ struct FlowSlot {
 struct LinkEntry {
     slot: u32,
     k: u32,
+}
+
+/// Per-link incidence lists packed into one arena.
+///
+/// Region discovery walks the lists of every link it pulls in — with one
+/// heap `Vec` per link those walks were a cache miss per link. Here every
+/// list lives in a segment of a single backing vector (the whole working
+/// set is a few tens of KB, so it stays cache-resident), and a full
+/// segment is migrated to a doubled one at the tail on overflow. The old
+/// segment is abandoned, which is fine: a link only migrates when it
+/// exceeds its historical peak, so the backing length is bounded by a
+/// small multiple of peak total incidence, independent of run length.
+///
+/// `push` appends and `swap_remove` backfills with the last element —
+/// bit-for-bit the order semantics the per-link `Vec`s had, which matters
+/// because list order feeds region discovery order and therefore the
+/// order flows enter the advance set.
+struct LinkLists {
+    data: Vec<LinkEntry>,
+    off: Vec<u32>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+}
+
+impl LinkLists {
+    fn new(n_links: usize) -> Self {
+        LinkLists {
+            data: Vec::new(),
+            off: vec![0; n_links],
+            len: vec![0; n_links],
+            cap: vec![0; n_links],
+        }
+    }
+
+    fn list(&self, l: usize) -> &[LinkEntry] {
+        let off = self.off[l] as usize;
+        &self.data[off..off + self.len[l] as usize]
+    }
+
+    fn get(&self, l: usize, pos: usize) -> LinkEntry {
+        debug_assert!((pos as u32) < self.len[l]);
+        self.data[self.off[l] as usize + pos]
+    }
+
+    /// Append an entry to `l`'s list; returns its position.
+    fn push(&mut self, l: usize, e: LinkEntry) -> u32 {
+        if self.len[l] == self.cap[l] {
+            let new_cap = (self.cap[l] * 2).max(4);
+            let new_off = self.data.len() as u32;
+            let old = self.off[l] as usize;
+            self.data.reserve(new_cap as usize);
+            for i in 0..self.len[l] as usize {
+                let e = self.data[old + i];
+                self.data.push(e);
+            }
+            self.data.resize(
+                new_off as usize + new_cap as usize,
+                LinkEntry { slot: 0, k: 0 },
+            );
+            self.off[l] = new_off;
+            self.cap[l] = new_cap;
+        }
+        let pos = self.len[l];
+        self.data[self.off[l] as usize + pos as usize] = e;
+        self.len[l] += 1;
+        pos
+    }
+
+    /// Remove the entry at `pos`, backfilling with the last entry.
+    /// Returns the backfilled entry if one was moved into `pos`.
+    fn swap_remove(&mut self, l: usize, pos: usize) -> Option<LinkEntry> {
+        let off = self.off[l] as usize;
+        let last = self.len[l] as usize - 1;
+        debug_assert!(pos <= last);
+        self.data[off + pos] = self.data[off + last];
+        self.len[l] -= 1;
+        (pos < last).then(|| self.data[off + pos])
+    }
+}
+
+/// Per-slot interned path links and incidence positions, packed into one
+/// arena (same rationale as [`LinkLists`]: region discovery and solve
+/// staging walk a flow's links for every region flow, and per-slot heap
+/// `Vec`s made each walk a cache miss into the large `FlowSlot`).
+///
+/// `links[off[s]..off[s]+len[s]]` are slot `s`'s interned link indices in
+/// path-hop order; `pos` is the parallel position of each hop's entry in
+/// `link_flows` (valid while the slot is linked). Segments are replaced
+/// wholesale on (re)route; a segment that outgrows its capacity migrates
+/// to the tail and the old one is abandoned, bounded as in `LinkLists`.
+struct SlotHops {
+    links: Vec<u32>,
+    pos: Vec<u32>,
+    off: Vec<u32>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+}
+
+impl SlotHops {
+    fn new() -> Self {
+        SlotHops {
+            links: Vec::new(),
+            pos: Vec::new(),
+            off: Vec::new(),
+            len: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    /// Replace slot `s`'s hop list with `path_links`, resetting every
+    /// incidence position to `NONE_U32`.
+    fn set(&mut self, s: usize, path_links: &[LinkId]) {
+        if self.off.len() <= s {
+            self.off.resize(s + 1, 0);
+            self.len.resize(s + 1, 0);
+            self.cap.resize(s + 1, 0);
+        }
+        let n = path_links.len();
+        if n as u32 > self.cap[s] {
+            let new_cap = (n as u32).next_power_of_two().max(4);
+            self.off[s] = self.links.len() as u32;
+            self.links.resize(self.links.len() + new_cap as usize, 0);
+            self.pos.resize(self.pos.len() + new_cap as usize, 0);
+            self.cap[s] = new_cap;
+        }
+        let off = self.off[s] as usize;
+        for (k, l) in path_links.iter().enumerate() {
+            self.links[off + k] = l.0;
+            self.pos[off + k] = NONE_U32;
+        }
+        self.len[s] = n as u32;
+    }
+
+    /// Slot `s`'s interned links, in path-hop order.
+    fn links(&self, s: u32) -> &[u32] {
+        let off = self.off[s as usize] as usize;
+        &self.links[off..off + self.len[s as usize] as usize]
+    }
+
+    fn n(&self, s: u32) -> usize {
+        self.len[s as usize] as usize
+    }
+
+    fn link(&self, s: u32, k: usize) -> u32 {
+        debug_assert!(k < self.n(s));
+        self.links[self.off[s as usize] as usize + k]
+    }
+
+    fn pos(&self, s: u32, k: usize) -> u32 {
+        debug_assert!(k < self.n(s));
+        self.pos[self.off[s as usize] as usize + k]
+    }
+
+    fn set_pos(&mut self, s: u32, k: usize, v: u32) {
+        debug_assert!(k < self.n(s));
+        self.pos[self.off[s as usize] as usize + k] = v;
+    }
+}
+
+/// Monotone work counters of the incremental rate engine — evidence for
+/// per-event complexity budgets (how much of the network each recompute
+/// and advance actually touched).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Recomputes that had dirty links to solve.
+    pub recomputes: u64,
+    /// Links pulled into dirty regions, summed over all recomputes.
+    pub region_links: u64,
+    /// Flows pulled into dirty regions, summed over all recomputes.
+    pub region_flows: u64,
+    /// Flow integrations performed across all `advance_to` calls.
+    pub advance_flow_steps: u64,
+    /// Completion-heap entries pushed.
+    pub heap_pushes: u64,
+    /// Eager completion-heap compactions.
+    pub heap_compactions: u64,
+    /// CBR flow rate refreshes performed by the layered background pass.
+    pub cbr_flow_updates: u64,
 }
 
 /// The live network. See module docs for the driving contract.
@@ -131,12 +318,37 @@ pub struct FlowNet {
     /// Links whose allocation inputs changed since the last recompute.
     dirty_links: Vec<u32>,
     link_dirty: Vec<bool>,
-    /// Per-link incidence lists of the flows currently consuming it.
-    link_flows: Vec<Vec<LinkEntry>>,
+    /// Per-link incidence lists of the *adaptive* flows consuming it.
+    /// CBR (background) flows live in `link_cbr_flows`: region discovery
+    /// walks only adaptive incidence, and the CBR layer only CBR
+    /// incidence, so neither pays to skip the other's entries.
+    link_flows: LinkLists,
+    /// Per-link incidence lists of the CBR flows crossing it.
+    link_cbr_flows: LinkLists,
+    /// Per-slot interned path links and incidence positions.
+    slot_hops: SlotHops,
     /// Aggregate requested CBR rate per link, maintained incrementally so
     /// background-traffic redraws never re-derive it from the flow set.
     cbr_requested_bps: Vec<f64>,
     ws: FairShareWorkspace,
+
+    // --- layered CBR (background) solve ---
+    /// Links whose CBR inputs (capacity or requested aggregate) changed.
+    cbr_dirty_links: Vec<u32>,
+    cbr_link_dirty: Vec<bool>,
+    /// CBR share clamp per link (≤ 1.0), refreshed lazily.
+    cbr_scale: Vec<f64>,
+    /// Post-clamp committed CBR rate per link — the adaptive solve's
+    /// pre-committed load.
+    cbr_load_bps: Vec<f64>,
+    /// Scratch: CBR slots touched by the current layer refresh.
+    cbr_touched: Vec<u32>,
+    cbr_touched_mark: Vec<bool>,
+    /// Scratch: links whose committed CBR load must be re-summed.
+    cbr_stale_loads: Vec<u32>,
+    cbr_load_stale: Vec<bool>,
+    /// Nodes whose sourced bytes are observable; `None` ⇒ all of them.
+    metered_nodes: Option<Vec<bool>>,
     // Region-discovery scratch (cleared after each recompute).
     link_in_region: Vec<bool>,
     flow_in_region: Vec<bool>,
@@ -148,9 +360,13 @@ pub struct FlowNet {
     /// Lazy-deletion min-heap of projected completions:
     /// `(time, flow id, rate_epoch at projection)`.
     heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
-    /// Slots with a nonzero allocated rate — the only flows
+    /// Metered slots with a nonzero allocated rate — the only flows
     /// [`FlowNet::advance_to`] must integrate.
     active: Vec<u32>,
+    /// Reusable output buffers of [`FlowNet::advance_to`].
+    advance_completed_slots: Vec<u32>,
+    advance_completed: Vec<FlowId>,
+    stats: NetStats,
 }
 
 impl FlowNet {
@@ -171,9 +387,20 @@ impl FlowNet {
             rates_dirty: false,
             dirty_links: Vec::new(),
             link_dirty: vec![false; n_links],
-            link_flows: vec![Vec::new(); n_links],
+            link_flows: LinkLists::new(n_links),
+            link_cbr_flows: LinkLists::new(n_links),
+            slot_hops: SlotHops::new(),
             cbr_requested_bps: vec![0.0; n_links],
             ws: FairShareWorkspace::new(),
+            cbr_dirty_links: Vec::new(),
+            cbr_link_dirty: vec![false; n_links],
+            cbr_scale: vec![1.0; n_links],
+            cbr_load_bps: vec![0.0; n_links],
+            cbr_touched: Vec::new(),
+            cbr_touched_mark: Vec::new(),
+            cbr_stale_loads: Vec::new(),
+            cbr_load_stale: vec![false; n_links],
+            metered_nodes: None,
             link_in_region: vec![false; n_links],
             flow_in_region: Vec::new(),
             link_local: vec![NONE_U32; n_links],
@@ -181,7 +408,40 @@ impl FlowNet {
             region_slots: Vec::new(),
             heap: BinaryHeap::new(),
             active: Vec::new(),
+            advance_completed_slots: Vec::new(),
+            advance_completed: Vec::new(),
+            stats: NetStats::default(),
         }
+    }
+
+    /// Restrict byte metering to flows sourced at `nodes` (bounded flows
+    /// are always metered — completion detection needs their bytes).
+    ///
+    /// Unmetered flows still get fair-share rates and consume capacity,
+    /// but [`FlowNet::advance_to`] skips them: their `transferred_bytes`
+    /// stay zero and their source's [`FlowNet::cum_tx_bytes`] counter
+    /// never moves. Call this when only some sources are observed (e.g.
+    /// NetFlow probes on servers while unbounded background streams load
+    /// switch-to-switch trunks) so the per-event integration cost is
+    /// O(observable flows), not O(all flows).
+    ///
+    /// # Panics
+    /// Panics if any flow was already started.
+    pub fn meter_sources_only(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        assert!(
+            self.index.is_empty(),
+            "meter_sources_only must be called before flows start"
+        );
+        let mut metered = vec![false; self.topo.num_nodes()];
+        for n in nodes {
+            metered[n.0 as usize] = true;
+        }
+        self.metered_nodes = Some(metered);
+    }
+
+    /// Monotone work counters of the incremental engine.
+    pub fn stats(&self) -> NetStats {
+        self.stats
     }
 
     /// This network's topology view (capacities reflect degradations).
@@ -224,20 +484,24 @@ impl FlowNet {
 
     /// Integrate byte counters up to `t`. Returns the bounded flows that
     /// reached zero remaining bytes during this advance (they stay in the
-    /// network until [`FlowNet::remove_flow`]).
+    /// network until [`FlowNet::remove_flow`]). The returned slice lives
+    /// in a buffer reused across calls — copy it out before advancing
+    /// again.
     ///
     /// # Panics
     /// Panics if `t` is in the past or if rates are stale (a flow was added
     /// or removed without a subsequent [`FlowNet::recompute`]).
-    pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowId> {
+    pub fn advance_to(&mut self, t: SimTime) -> &[FlowId] {
         assert!(t >= self.now, "advance_to({t}) before now ({})", self.now);
         assert!(
             !self.rates_dirty || self.index.is_empty(),
             "advance_to with stale rates: call recompute() after mutating flows"
         );
         let dt = (t - self.now).as_secs_f64();
-        let mut completed_slots: Vec<u32> = Vec::new();
+        let mut completed_slots = std::mem::take(&mut self.advance_completed_slots);
+        completed_slots.clear();
         if dt > 0.0 {
+            self.stats.advance_flow_steps += self.active.len() as u64;
             for i in 0..self.active.len() {
                 let slot = self.active[i];
                 let st = self.slots[slot as usize].as_mut().expect("live slot");
@@ -261,13 +525,30 @@ impl FlowNet {
             }
         }
         self.now = t;
-        let mut completed: Vec<FlowId> = Vec::with_capacity(completed_slots.len());
-        for slot in completed_slots {
+        let mut completed = std::mem::take(&mut self.advance_completed);
+        completed.clear();
+        for &slot in &completed_slots {
             completed.push(self.slot(slot).id);
+        }
+        for &slot in &completed_slots {
             self.on_flow_completed(slot);
         }
         completed.sort_unstable();
-        completed
+        self.advance_completed_slots = completed_slots;
+        self.advance_completed = completed;
+        &self.advance_completed
+    }
+
+    /// The flows currently riding `link` (live, linked flows only; each
+    /// appears once), in incidence-list order. A reverse index for
+    /// fault handlers: collect, sort, and you have every flow a link
+    /// event can possibly touch without scanning the whole flow table.
+    pub fn flows_on_link(&self, link: LinkId) -> impl Iterator<Item = FlowId> + '_ {
+        self.link_flows
+            .list(link.0 as usize)
+            .iter()
+            .chain(self.link_cbr_flows.list(link.0 as usize))
+            .map(move |e| self.slot(e.slot).id)
     }
 
     /// A flow just drained its byte budget: it stops consuming bandwidth
@@ -289,8 +570,11 @@ impl FlowNet {
         assert_eq!(path.dst(), spec.tuple.dst, "path/spec destination mismatch");
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        let links: Vec<u32> = path.links().iter().map(|l| l.0).collect();
-        let n = links.len();
+        let metered = spec.size_bytes.is_some()
+            || self
+                .metered_nodes
+                .as_ref()
+                .is_none_or(|m| m[spec.tuple.src.0 as usize]);
         let flow = ActiveFlow {
             remaining_bytes: spec.size_bytes.map(|b| b as f64),
             transferred_bytes: 0.0,
@@ -303,12 +587,13 @@ impl FlowNet {
         let slot = self.alloc_slot(FlowSlot {
             id,
             flow,
-            link_pos: vec![NONE_U32; n],
-            links,
             linked: false,
             active_pos: NONE_U32,
+            metered,
             rate_epoch: 0,
         });
+        let st = self.slots[slot as usize].as_ref().expect("live slot");
+        self.slot_hops.set(slot as usize, st.flow.path.links());
         self.index.insert(id, slot);
         if !complete {
             self.link_flow(slot);
@@ -339,12 +624,9 @@ impl FlowNet {
             self.mark_flow_links_dirty(slot);
             self.unlink_flow(slot);
         }
+        self.slot_hops.set(slot as usize, path.links());
         let complete = {
             let st = self.slot_mut(slot);
-            st.links.clear();
-            st.links.extend(path.links().iter().map(|l| l.0));
-            st.link_pos.clear();
-            st.link_pos.resize(st.links.len(), NONE_U32);
             st.flow.path = path;
             st.flow.is_complete()
         };
@@ -359,6 +641,8 @@ impl FlowNet {
     /// fault model). Rates become stale.
     pub fn set_link_capacity(&mut self, link: LinkId, capacity_bps: f64) {
         self.topo.set_link_capacity(link, capacity_bps);
+        // Capacity feeds both layers: the CBR clamp and the adaptive solve.
+        self.mark_link_cbr_dirty(link.0);
         self.mark_link_dirty(link.0);
         self.rates_dirty = true;
     }
@@ -378,13 +662,12 @@ impl FlowNet {
             FlowKind::Adaptive => panic!("set_cbr_rate on adaptive flow"),
         };
         if st.linked {
-            let links = std::mem::take(&mut st.links);
-            for &l in &links {
+            for k in 0..self.slot_hops.n(slot) {
+                let l = self.slot_hops.link(slot, k);
                 let agg = &mut self.cbr_requested_bps[l as usize];
                 *agg = (*agg - old + new).max(0.0);
-                self.mark_link_dirty(l);
+                self.mark_link_cbr_dirty(l);
             }
-            self.slot_mut(slot).links = links;
         }
         self.rates_dirty = true;
     }
@@ -410,16 +693,136 @@ impl FlowNet {
         }
     }
 
+    /// Refresh the CBR (background) layer: per-link clamp scales, per-flow
+    /// clamped rates, and the per-link committed CBR load the adaptive
+    /// solve pre-commits. Runs only over links whose CBR inputs changed
+    /// and the CBR flows crossing them; every refreshed link is handed to
+    /// the adaptive layer as dirty (its residual may have moved).
+    ///
+    /// The arithmetic — `scale = min(1, limit·cap / requested)` per link,
+    /// `rate = requested · min(scale over links)` per flow — is exactly
+    /// the reference allocator's pass 1, so solving this layer separately
+    /// reproduces the joint solve bit for bit when links don't share
+    /// multi-link CBR flows (the background model uses one single-trunk
+    /// flow per link), and to a few ULPs otherwise.
+    fn recompute_cbr_layer(&mut self) {
+        if self.cbr_dirty_links.is_empty() {
+            return;
+        }
+        if self.cbr_touched_mark.len() < self.slots.len() {
+            self.cbr_touched_mark.resize(self.slots.len(), false);
+        }
+        // Phase 1: refresh clamp scales on dirty links; collect the CBR
+        // flows crossing them.
+        let mut dirty = std::mem::take(&mut self.cbr_dirty_links);
+        for &l in &dirty {
+            let li = l as usize;
+            self.cbr_link_dirty[li] = false;
+            let cap = CBR_SHARE_LIMIT * self.topo.link(LinkId(l)).capacity_bps;
+            let req = self.cbr_requested_bps[li];
+            self.cbr_scale[li] = if req > cap { cap / req } else { 1.0 };
+            self.mark_link_dirty(l);
+            if !self.cbr_load_stale[li] {
+                self.cbr_load_stale[li] = true;
+                self.cbr_stale_loads.push(l);
+            }
+            for ei in 0..self.link_cbr_flows.len[li] as usize {
+                let e = self.link_cbr_flows.get(li, ei);
+                if !self.cbr_touched_mark[e.slot as usize] {
+                    self.cbr_touched_mark[e.slot as usize] = true;
+                    self.cbr_touched.push(e.slot);
+                }
+            }
+        }
+        dirty.clear();
+        self.cbr_dirty_links = dirty;
+
+        // Phase 2: re-clamp every touched flow (all scales are fresh by
+        // now) and propagate: its links feed the adaptive layer and need
+        // their committed CBR load re-summed.
+        let touched = std::mem::take(&mut self.cbr_touched);
+        let now = self.now;
+        for &slot in &touched {
+            self.cbr_touched_mark[slot as usize] = false;
+            let st = self.slots[slot as usize].as_mut().expect("live slot");
+            let r = match st.flow.spec.kind {
+                FlowKind::Cbr { rate_bps } => rate_bps,
+                FlowKind::Adaptive => unreachable!("adaptive flow in CBR layer"),
+            };
+            let mut k = 1.0f64;
+            for &l in self.slot_hops.links(slot) {
+                k = k.min(self.cbr_scale[l as usize]);
+                if !self.link_dirty[l as usize] {
+                    self.link_dirty[l as usize] = true;
+                    self.dirty_links.push(l);
+                }
+                if !self.cbr_load_stale[l as usize] {
+                    self.cbr_load_stale[l as usize] = true;
+                    self.cbr_stale_loads.push(l);
+                }
+            }
+            let rate = r * k;
+            self.stats.cbr_flow_updates += 1;
+            let st = self.slots[slot as usize].as_mut().expect("live slot");
+            let entry = if rate == st.flow.rate_bps {
+                None
+            } else {
+                st.flow.rate_bps = rate;
+                st.rate_epoch += 1;
+                match st.flow.remaining_bytes {
+                    Some(rem) if rem > 0.0 && rate > 0.0 => {
+                        let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, rate);
+                        Some(Some((now + d, st.id.0, st.rate_epoch)))
+                    }
+                    _ => Some(None),
+                }
+            };
+            if let Some(entry) = entry {
+                if rate > 0.0 {
+                    self.activate(slot);
+                } else {
+                    self.deactivate(slot);
+                }
+                if let Some(e) = entry {
+                    self.stats.heap_pushes += 1;
+                    self.heap.push(Reverse(e));
+                }
+            }
+        }
+        let mut touched = touched;
+        touched.clear();
+        self.cbr_touched = touched;
+
+        // Phase 3: re-sum committed CBR load on every stale link, walking
+        // its incidence list in order (deterministic summation).
+        let stale = std::mem::take(&mut self.cbr_stale_loads);
+        for &l in &stale {
+            self.cbr_load_stale[l as usize] = false;
+            let mut sum = 0.0;
+            for e in self.link_cbr_flows.list(l as usize) {
+                sum += self.slots[e.slot as usize]
+                    .as_ref()
+                    .expect("live slot")
+                    .flow
+                    .rate_bps;
+            }
+            self.cbr_load_bps[l as usize] = sum;
+        }
+        let mut stale = stale;
+        stale.clear();
+        self.cbr_stale_loads = stale;
+    }
+
     /// Recompute max-min fair rates for every flow sharing a component of
     /// the flow–link graph with a dirtied link. With no dirty links this
     /// is O(1) (rates cannot have changed).
     pub fn recompute(&mut self) {
         self.epoch += 1;
         self.rates_dirty = false;
+        self.recompute_cbr_layer();
         if self.dirty_links.is_empty() {
             return;
         }
-
         // --- Region discovery: BFS over the bipartite flow–link sharing
         // graph, seeded at the dirty links. Any flow crossing a region
         // link pulls all of its links into the region, so the region is a
@@ -437,15 +840,17 @@ impl FlowNet {
         while qi < self.region_links.len() {
             let l = self.region_links[qi] as usize;
             qi += 1;
-            for ei in 0..self.link_flows[l].len() {
-                let slot = self.link_flows[l][ei].slot;
+            for ei in 0..self.link_flows.len[l] as usize {
+                // Only adaptive incidence lives here; CBR flows are solved
+                // by the layered background pass and the adaptive region
+                // sees them only as pre-committed link load.
+                let slot = self.link_flows.get(l, ei).slot;
                 if self.flow_in_region[slot as usize] {
                     continue;
                 }
                 self.flow_in_region[slot as usize] = true;
                 self.region_slots.push(slot);
-                for ki in 0..self.slot(slot).links.len() {
-                    let l2 = self.slot(slot).links[ki];
+                for &l2 in self.slot_hops.links(slot) {
                     if !self.link_in_region[l2 as usize] {
                         self.link_in_region[l2 as usize] = true;
                         self.region_links.push(l2);
@@ -454,24 +859,26 @@ impl FlowNet {
             }
         }
 
-        // --- Solve the region in local index space.
+        self.stats.recomputes += 1;
+        self.stats.region_links += self.region_links.len() as u64;
+        self.stats.region_flows += self.region_slots.len() as u64;
+
+        // --- Solve the region in local index space. Only adaptive flows
+        // are staged; the CBR layer's committed load is pre-committed on
+        // each link, exactly as the joint solve's pass 1 would have left
+        // it.
         self.ws.begin(self.region_links.len());
         for (li, &l) in self.region_links.iter().enumerate() {
             self.link_local[l as usize] = li as u32;
-            self.ws.set_link(
-                li,
-                self.topo.link(LinkId(l)).capacity_bps,
-                self.cbr_requested_bps[l as usize],
-            );
+            self.ws
+                .set_link(li, self.topo.link(LinkId(l)).capacity_bps, 0.0);
+            self.ws.preload_link(li, self.cbr_load_bps[l as usize]);
         }
         for &slot in &self.region_slots {
-            let st = self.slots[slot as usize].as_ref().expect("live slot");
-            let cbr = match st.flow.spec.kind {
-                FlowKind::Adaptive => None,
-                FlowKind::Cbr { rate_bps } => Some(rate_bps),
-            };
+            debug_assert!(matches!(self.slot(slot).flow.spec.kind, FlowKind::Adaptive));
+            let hops = self.slot_hops.links(slot);
             self.ws
-                .add_flow(st.links.iter().map(|&l| self.link_local[l as usize]), cbr);
+                .add_flow(hops.iter().map(|&l| self.link_local[l as usize]), None);
         }
         self.ws.solve();
 
@@ -506,6 +913,7 @@ impl FlowNet {
                     self.deactivate(slot);
                 }
                 if let Some(e) = entry {
+                    self.stats.heap_pushes += 1;
                     self.heap.push(Reverse(e));
                 }
             }
@@ -529,6 +937,7 @@ impl FlowNet {
     /// Recompute rates for the whole network regardless of what is dirty.
     pub fn full_recompute(&mut self) {
         for l in 0..self.topo.num_links() as u32 {
+            self.mark_link_cbr_dirty(l);
             self.mark_link_dirty(l);
         }
         self.recompute();
@@ -581,6 +990,7 @@ impl FlowNet {
 
     /// Drop dead heap entries eagerly; keeps the heap O(live flows).
     fn compact_heap(&mut self) {
+        self.stats.heap_compactions += 1;
         let mut entries = std::mem::take(&mut self.heap).into_vec();
         entries.retain(|&Reverse((_, id, fe))| {
             self.index
@@ -641,12 +1051,27 @@ impl FlowNet {
         }
     }
 
-    fn mark_flow_links_dirty(&mut self, slot: u32) {
-        let links = std::mem::take(&mut self.slot_mut(slot).links);
-        for &l in &links {
-            self.mark_link_dirty(l);
+    fn mark_link_cbr_dirty(&mut self, l: u32) {
+        if !self.cbr_link_dirty[l as usize] {
+            self.cbr_link_dirty[l as usize] = true;
+            self.cbr_dirty_links.push(l);
         }
-        self.slot_mut(slot).links = links;
+    }
+
+    /// Mark every link of the flow dirty in the layer that owns it: CBR
+    /// mutations go through the background layer (which re-dirties the
+    /// links for the adaptive layer after refreshing clamps and loads),
+    /// adaptive mutations straight to the region solver.
+    fn mark_flow_links_dirty(&mut self, slot: u32) {
+        let cbr = matches!(self.slot(slot).flow.spec.kind, FlowKind::Cbr { .. });
+        for k in 0..self.slot_hops.n(slot) {
+            let l = self.slot_hops.link(slot, k);
+            if cbr {
+                self.mark_link_cbr_dirty(l);
+            } else {
+                self.mark_link_dirty(l);
+            }
+        }
     }
 
     /// Add the flow to the incidence lists and CBR aggregates.
@@ -654,23 +1079,21 @@ impl FlowNet {
         let st = self.slot_mut(slot);
         debug_assert!(!st.linked);
         st.linked = true;
-        let links = std::mem::take(&mut st.links);
-        let mut link_pos = std::mem::take(&mut st.link_pos);
         let cbr = match st.flow.spec.kind {
             FlowKind::Cbr { rate_bps } => rate_bps,
             FlowKind::Adaptive => -1.0,
         };
-        for (k, &l) in links.iter().enumerate() {
-            let lf = &mut self.link_flows[l as usize];
-            link_pos[k] = lf.len() as u32;
-            lf.push(LinkEntry { slot, k: k as u32 });
-            if cbr >= 0.0 {
+        for k in 0..self.slot_hops.n(slot) {
+            let l = self.slot_hops.link(slot, k);
+            let e = LinkEntry { slot, k: k as u32 };
+            let pos = if cbr >= 0.0 {
                 self.cbr_requested_bps[l as usize] += cbr;
-            }
+                self.link_cbr_flows.push(l as usize, e)
+            } else {
+                self.link_flows.push(l as usize, e)
+            };
+            self.slot_hops.set_pos(slot, k, pos);
         }
-        let st = self.slot_mut(slot);
-        st.links = links;
-        st.link_pos = link_pos;
     }
 
     /// Remove the flow from the incidence lists and CBR aggregates.
@@ -678,42 +1101,35 @@ impl FlowNet {
         let st = self.slot_mut(slot);
         debug_assert!(st.linked);
         st.linked = false;
-        let links = std::mem::take(&mut st.links);
-        let mut link_pos = std::mem::take(&mut st.link_pos);
         let cbr = match st.flow.spec.kind {
             FlowKind::Cbr { rate_bps } => rate_bps,
             FlowKind::Adaptive => -1.0,
         };
-        for (k, &l) in links.iter().enumerate() {
-            let lf = &mut self.link_flows[l as usize];
-            let pos = link_pos[k] as usize;
-            lf.swap_remove(pos);
-            if pos < lf.len() {
-                let moved = lf[pos];
-                if moved.slot == slot {
-                    // A later hop of this same flow was moved (paths never
-                    // repeat links, but stay safe): its position lives in
-                    // the vector we took out.
-                    link_pos[moved.k as usize] = pos as u32;
-                } else {
-                    self.slots[moved.slot as usize]
-                        .as_mut()
-                        .expect("live slot")
-                        .link_pos[moved.k as usize] = pos as u32;
-                }
-            }
-            if cbr >= 0.0 {
+        for k in 0..self.slot_hops.n(slot) {
+            let l = self.slot_hops.link(slot, k);
+            let pos = self.slot_hops.pos(slot, k) as usize;
+            let lists = if cbr >= 0.0 {
                 let agg = &mut self.cbr_requested_bps[l as usize];
                 *agg = (*agg - cbr).max(0.0);
+                &mut self.link_cbr_flows
+            } else {
+                &mut self.link_flows
+            };
+            if let Some(moved) = lists.swap_remove(l as usize, pos) {
+                self.slot_hops
+                    .set_pos(moved.slot, moved.k as usize, pos as u32);
             }
         }
-        let st = self.slot_mut(slot);
-        st.links = links;
-        st.link_pos = link_pos;
     }
 
     fn activate(&mut self, slot: u32) {
-        if self.slot(slot).active_pos == NONE_U32 {
+        let st = self.slot(slot);
+        if !st.metered {
+            // Nothing observes this flow's bytes: keep it out of the
+            // advance hot set entirely.
+            return;
+        }
+        if st.active_pos == NONE_U32 {
             self.slot_mut(slot).active_pos = self.active.len() as u32;
             self.active.push(slot);
         }

@@ -9,8 +9,6 @@
 //! [`NetFlowProbe::sample`] periodically (and at flow events), and the
 //! probe appends `(t, cumulative bytes)` points per source node.
 
-use std::collections::BTreeMap;
-
 use pythia_des::SimTime;
 
 use crate::net::FlowNet;
@@ -75,38 +73,54 @@ impl CumulativeCurve {
 }
 
 /// Collector of per-source cumulative traffic curves.
+///
+/// Curves live in a dense vector parallel to the (sorted) watch list, so
+/// the periodic [`NetFlowProbe::sample`] tick is a straight zip over two
+/// vectors — no tree lookups, no allocation after construction (beyond
+/// the amortized curve-point appends themselves).
 #[derive(Debug, Default)]
 pub struct NetFlowProbe {
-    curves: BTreeMap<NodeId, CumulativeCurve>,
+    /// Watched nodes, sorted by id and deduplicated; `curves[i]` is the
+    /// curve of `watched[i]`.
     watched: Vec<NodeId>,
+    curves: Vec<CumulativeCurve>,
 }
 
 impl NetFlowProbe {
     /// Probe the given source nodes (typically all Hadoop servers).
-    pub fn new(watched: Vec<NodeId>) -> Self {
-        NetFlowProbe {
-            curves: BTreeMap::new(),
-            watched,
-        }
+    pub fn new(mut watched: Vec<NodeId>) -> Self {
+        watched.sort_unstable();
+        watched.dedup();
+        let curves = vec![CumulativeCurve::default(); watched.len()];
+        NetFlowProbe { watched, curves }
     }
 
     /// Record the current cumulative tx counters of every watched node.
     pub fn sample(&mut self, net: &FlowNet) {
         let t = net.now();
-        for &node in &self.watched {
-            let bytes = net.cum_tx_bytes(node);
-            self.curves.entry(node).or_default().push(t, bytes);
+        for (&node, curve) in self.watched.iter().zip(self.curves.iter_mut()) {
+            curve.push(t, net.cum_tx_bytes(node));
         }
     }
 
     /// The curve recorded for `node`, if it was watched and sampled.
     pub fn curve(&self, node: NodeId) -> Option<&CumulativeCurve> {
-        self.curves.get(&node)
+        let i = self.watched.binary_search(&node).ok()?;
+        let c = &self.curves[i];
+        if c.is_empty() {
+            None
+        } else {
+            Some(c)
+        }
     }
 
     /// All recorded curves, in node order.
     pub fn curves(&self) -> impl Iterator<Item = (NodeId, &CumulativeCurve)> {
-        self.curves.iter().map(|(&n, c)| (n, c))
+        self.watched
+            .iter()
+            .zip(self.curves.iter())
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(&n, c)| (n, c))
     }
 }
 

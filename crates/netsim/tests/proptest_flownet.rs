@@ -68,7 +68,7 @@ fn execute(plans: &[FlowPlan]) -> (Vec<(f64, SimTime, SimTime)>, f64) {
             (_, Some((d, _))) => (d, false),
             (None, None) => break,
         };
-        let completed = net.advance_to(t);
+        let completed = net.advance_to(t).to_vec();
         for fid in completed {
             let rep = net.remove_flow(fid);
             let idx = id_of[&fid];

@@ -152,7 +152,8 @@ impl Driver {
 
     /// Advance to `t`, removing any flows that complete on the way.
     fn advance(&mut self, t: SimTime) {
-        for id in self.net.advance_to(t) {
+        let done = self.net.advance_to(t).to_vec();
+        for id in done {
             self.remove(id);
         }
     }

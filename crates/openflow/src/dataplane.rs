@@ -24,6 +24,24 @@ pub trait DefaultForwarding {
     fn choose(&self, node: NodeId, tuple: &FiveTuple, candidates: &[LinkId]) -> LinkId;
 }
 
+/// Supplies the equal-cost candidate links out of `node` toward `dst`.
+///
+/// Borrowed on purpose: path resolution runs on the engine's hot dispatch
+/// path, and a `Fn(..) -> Vec<LinkId>` adapter would heap-allocate a
+/// fresh candidate list per hop. [`crate::EcmpNextHops`] implements this
+/// directly over its precomputed tables.
+pub trait CandidateLinks {
+    /// Equal-cost next-hop links at `node` toward `dst`; empty when the
+    /// node has no route.
+    fn candidates(&self, node: NodeId, dst: NodeId) -> &[LinkId];
+}
+
+impl<T: CandidateLinks + ?Sized> CandidateLinks for &T {
+    fn candidates(&self, node: NodeId, dst: NodeId) -> &[LinkId] {
+        (**self).candidates(node, dst)
+    }
+}
+
 /// Why a flow could not be routed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResolveError {
@@ -117,7 +135,7 @@ impl Dataplane {
     ) -> Result<Path, ResolveError>
     where
         D: DefaultForwarding + ?Sized,
-        C: Fn(NodeId, NodeId) -> Vec<LinkId>,
+        C: CandidateLinks + ?Sized,
     {
         let mut links = Vec::new();
         let mut node = tuple.src;
@@ -154,13 +172,13 @@ impl Dataplane {
     ) -> Result<LinkId, ResolveError>
     where
         D: DefaultForwarding + ?Sized,
-        C: Fn(NodeId, NodeId) -> Vec<LinkId>,
+        C: CandidateLinks + ?Sized,
     {
-        let cands = candidates_for(node, tuple.dst);
+        let cands = candidates_for.candidates(node, tuple.dst);
         if cands.is_empty() {
             return Err(ResolveError::NoRoute { at: node });
         }
-        Ok(default.choose(node, tuple, &cands))
+        Ok(default.choose(node, tuple, cands))
     }
 }
 
@@ -189,9 +207,8 @@ mod tests {
     fn default_forwarding_resolves_cross_rack() {
         let (mr, mut dp, nh) = setup();
         let t = FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060);
-        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
         let p = dp
-            .resolve_path(&mr.topology, &t, &FirstCandidate, &cands)
+            .resolve_path(&mr.topology, &t, &FirstCandidate, &nh)
             .unwrap();
         assert_eq!(p.src(), mr.servers[0]);
         assert_eq!(p.dst(), mr.servers[7]);
@@ -215,16 +232,11 @@ mod tests {
             },
         )
         .unwrap();
-        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
-        let p = dp
-            .resolve_path(topo, &tuple, &FirstCandidate, &cands)
-            .unwrap();
+        let p = dp.resolve_path(topo, &tuple, &FirstCandidate, &nh).unwrap();
         assert!(p.contains_link(trunk1));
         // A different pair still takes the default trunk.
         let other = FiveTuple::tcp(mr.servers[1], mr.servers[7], 40000, 50060);
-        let p2 = dp
-            .resolve_path(topo, &other, &FirstCandidate, &cands)
-            .unwrap();
+        let p2 = dp.resolve_path(topo, &other, &FirstCandidate, &nh).unwrap();
         assert!(!p2.contains_link(trunk1));
     }
 
@@ -246,10 +258,7 @@ mod tests {
             proto: Protocol::Udp,
             ..FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060)
         };
-        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
-        let p = dp
-            .resolve_path(topo, &udp, &FirstCandidate, &cands)
-            .unwrap();
+        let p = dp.resolve_path(topo, &udp, &FirstCandidate, &nh).unwrap();
         assert!(!p.contains_link(trunk1));
     }
 
@@ -279,9 +288,8 @@ mod tests {
         )
         .unwrap();
         let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[7], 40000, 50060);
-        let cands = |n: NodeId, d: NodeId| nh.candidates(n, d).to_vec();
         let err = dp
-            .resolve_path(topo, &tuple, &FirstCandidate, &cands)
+            .resolve_path(topo, &tuple, &FirstCandidate, &nh)
             .unwrap_err();
         assert!(matches!(err, ResolveError::ForwardingLoop { .. }));
     }

@@ -49,6 +49,16 @@ pub struct FlowTable {
     pub lookups: u64,
     /// Lookups that matched no rule.
     pub misses: u64,
+    /// Lookup accelerator, rebuilt lazily after mutations: positions of
+    /// exact endpoint-pair rules keyed and sorted by `(src, dst)`, plus
+    /// positions of every other (wildcarded-endpoint) rule. A rule whose
+    /// matcher pins both endpoints can only ever match that one pair, so
+    /// `pair_index` range + `wild_index` is a superset of the matching
+    /// rules for any tuple; the winner under the total `(priority, seq)`
+    /// order is the same one the full scan would pick.
+    pair_index: Vec<(u32, u32, u32)>,
+    wild_index: Vec<u32>,
+    index_dirty: bool,
 }
 
 impl FlowTable {
@@ -62,7 +72,23 @@ impl FlowTable {
             next_seq: 0,
             lookups: 0,
             misses: 0,
+            pair_index: Vec::new(),
+            wild_index: Vec::new(),
+            index_dirty: false,
         }
+    }
+
+    fn rebuild_index(&mut self) {
+        self.pair_index.clear();
+        self.wild_index.clear();
+        for (pos, e) in self.entries.iter().enumerate() {
+            match (e.rule.matcher.src, e.rule.matcher.dst) {
+                (Some(s), Some(d)) => self.pair_index.push((s.0, d.0, pos as u32)),
+                _ => self.wild_index.push(pos as u32),
+            }
+        }
+        self.pair_index.sort_unstable();
+        self.index_dirty = false;
     }
 
     /// Rules currently installed.
@@ -94,6 +120,8 @@ impl FlowTable {
             .iter_mut()
             .find(|e| e.rule.matcher == rule.matcher && e.rule.priority == rule.priority)
         {
+            // In-place replace: the matcher (and thus the index) is
+            // unchanged; only the action differs.
             e.rule = rule;
             return Ok(());
         }
@@ -105,6 +133,19 @@ impl FlowTable {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.entries.push(Entry { rule, seq });
+        if !self.index_dirty {
+            // Incremental index insert; a full (lazy) rebuild is only ever
+            // needed after removals shift entry positions.
+            let pos = (self.entries.len() - 1) as u32;
+            match (rule.matcher.src, rule.matcher.dst) {
+                (Some(s), Some(d)) => {
+                    let key = (s.0, d.0, pos);
+                    let at = self.pair_index.partition_point(|&e| e < key);
+                    self.pair_index.insert(at, key);
+                }
+                _ => self.wild_index.push(pos),
+            }
+        }
         Ok(())
     }
 
@@ -113,16 +154,33 @@ impl FlowTable {
     pub fn remove(&mut self, matcher: &FlowMatch) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.rule.matcher != *matcher);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.index_dirty = true;
+        }
+        removed
     }
 
     /// Highest-priority rule matching `tuple` (ties broken by earliest
     /// installation).
     pub fn lookup(&mut self, tuple: &FiveTuple) -> Option<FlowRule> {
         self.lookups += 1;
-        let hit = self
-            .entries
+        if self.index_dirty {
+            self.rebuild_index();
+        }
+        // Candidates: rules pinning exactly this endpoint pair, plus every
+        // rule with a wildcarded endpoint. `(priority, seq)` is a total
+        // order (seqs are unique), so the max over this superset is
+        // exactly the full scan's winner.
+        let key = (tuple.src.0, tuple.dst.0);
+        let start = self.pair_index.partition_point(|&(s, d, _)| (s, d) < key);
+        let pair = self.pair_index[start..]
             .iter()
+            .take_while(|&&(s, d, _)| (s, d) == key)
+            .map(|&(_, _, pos)| pos);
+        let hit = pair
+            .chain(self.wild_index.iter().copied())
+            .map(|pos| &self.entries[pos as usize])
             .filter(|e| e.rule.matcher.matches(tuple))
             .max_by(|a, b| {
                 a.rule

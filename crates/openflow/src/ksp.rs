@@ -240,6 +240,12 @@ impl EcmpNextHops {
     }
 }
 
+impl crate::dataplane::CandidateLinks for EcmpNextHops {
+    fn candidates(&self, node: NodeId, dst: NodeId) -> &[LinkId] {
+        EcmpNextHops::candidates(self, node, dst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

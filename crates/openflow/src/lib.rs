@@ -24,7 +24,7 @@ pub mod match_fields;
 pub mod structural;
 
 pub use controller::{Controller, ControllerConfig, ControllerStats, PendingRule};
-pub use dataplane::{Dataplane, DefaultForwarding, ResolveError};
+pub use dataplane::{CandidateLinks, Dataplane, DefaultForwarding, ResolveError};
 pub use flow_table::{FlowRule, FlowTable, TableError};
 pub use ksp::{k_shortest_paths, k_shortest_paths_avoiding, shortest_path, EcmpNextHops};
 pub use match_fields::FlowMatch;

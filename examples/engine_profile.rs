@@ -1,0 +1,70 @@
+//! Per-handler dispatch-cost profile of the cluster engine.
+//!
+//! Runs the 60 GB sort on a fat-tree k=8 with the flight recorder
+//! enabled and prints every `ev_*` span histogram: how many times each
+//! event type fired, total wall time, and mean/max per event. This is the
+//! attribution tool behind DESIGN.md §5g's per-event complexity budget —
+//! run it after touching the engine to see where dispatch time goes.
+//!
+//! ```text
+//! cargo run --release --example engine_profile            # pythia
+//! cargo run --release --example engine_profile -- ecmp    # baseline
+//! cargo run --release --example engine_profile -- hedera
+//! ```
+
+use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::netsim::FatTreeParams;
+use pythia_repro::trace::TraceConfig;
+use pythia_repro::workloads::{SortWorkload, Workload};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("ecmp") => SchedulerKind::Ecmp,
+        Some("hedera") => SchedulerKind::Hedera,
+        _ => SchedulerKind::Pythia,
+    };
+    let cfg = ScenarioConfig::default()
+        .with_topology(FatTreeParams {
+            k: 8,
+            ..FatTreeParams::default()
+        })
+        .with_scheduler(kind)
+        .with_oversubscription(10)
+        .with_seed(7)
+        .with_trace(TraceConfig::enabled());
+
+    let start = std::time::Instant::now();
+    let r = run_scenario(SortWorkload::paper_60gb().job(), &cfg);
+    let wall = start.elapsed();
+    println!(
+        "60 GB sort / fat-tree k=8 / {}: {} events in {:.1} ms wall \
+         ({:.0} events/sec), completion {:.1}s",
+        kind.label(),
+        r.events_processed,
+        wall.as_secs_f64() * 1e3,
+        r.events_processed as f64 / wall.as_secs_f64(),
+        r.completion().as_secs_f64()
+    );
+
+    println!(
+        "{:<24} {:>9} {:>12} {:>10} {:>10}",
+        "span", "count", "total ms", "mean us", "max us"
+    );
+    let mut rows: Vec<_> = r.trace_stats.spans.iter().collect();
+    rows.sort_by_key(|&(_, h)| std::cmp::Reverse(h.total_wall_ns));
+    for (name, h) in rows {
+        println!(
+            "{:<24} {:>9} {:>12.3} {:>10.2} {:>10.2}",
+            name,
+            h.count,
+            h.total_wall_ns as f64 / 1e6,
+            h.total_wall_ns as f64 / h.count.max(1) as f64 / 1e3,
+            h.max_wall_ns as f64 / 1e3,
+        );
+    }
+    for (name, v) in &r.trace_stats.counters {
+        if *v > 0 {
+            println!("counter {name}: {v}");
+        }
+    }
+}

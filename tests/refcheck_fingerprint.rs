@@ -5,9 +5,10 @@
 //! values were produced by the eager pre-refactor control plane; the
 //! lazy one must reproduce them byte-for-byte.
 
-use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::cluster::{run_multi_scenario, run_scenario, ScenarioConfig, SchedulerKind};
 use pythia_repro::des::SimDuration;
 use pythia_repro::hadoop::{DurationModel, JobSpec};
+use pythia_repro::netsim::FatTreeParams;
 use pythia_repro::workloads::SkewModel;
 
 const MB: u64 = 1_000_000;
@@ -54,4 +55,47 @@ fn reference_fingerprints_are_stable() {
         assert_eq!(r.rules_installed, rules, "{label}");
         assert_eq!(r.flow_trace.len(), flows, "{label}");
     }
+}
+
+/// Concurrent shuffles on a fat-tree: two staggered jobs at k=4. Pins the
+/// multi-job scheduling path (shared flow network, interleaved fetch
+/// waves) that the single-job fingerprints above never exercise.
+#[test]
+fn fat_tree_multi_job_fingerprint_is_stable() {
+    let half = || {
+        let mut j = ref_job();
+        j.num_maps = 20;
+        j.input_bytes = 20 * 64 * MB;
+        j
+    };
+    let jobs = vec![
+        (half(), SimDuration::ZERO),
+        (half(), SimDuration::from_secs(4)),
+    ];
+    let cfg = ScenarioConfig::default()
+        .with_topology(FatTreeParams {
+            k: 4,
+            ..FatTreeParams::default()
+        })
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(42);
+    let r = run_multi_scenario(jobs, &cfg);
+    let completions: Vec<String> = r
+        .jobs
+        .iter()
+        .map(|j| format!("{}", j.completion()))
+        .collect();
+    let got = format!(
+        "makespan={} ev={} rules={} flows={} completions={completions:?}",
+        r.makespan(),
+        r.events_processed,
+        r.rules_installed,
+        r.flow_trace.len(),
+    );
+    assert_eq!(
+        got,
+        "makespan=14.832763s ev=1553 rules=1072 flows=296 \
+         completions=[\"10.864249s\", \"10.832763s\"]"
+    );
 }
