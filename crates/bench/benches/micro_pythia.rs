@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pythia_core::collector::Collector;
-use pythia_core::{FlowAllocator, Instrumentation, PathChoice};
+use pythia_core::{FlowAllocator, Instrumentation};
 use pythia_des::SimTime;
 use pythia_hadoop::{IndexFile, JobId, MapTaskId, ReducerId, ServerId};
 use pythia_netsim::{build_multi_rack, MultiRackParams, Path};
@@ -70,17 +70,13 @@ fn allocator_placement(c: &mut Criterion) {
             let mut a = FlowAllocator::new();
             for s in 0..5 {
                 for d in 5..10 {
-                    let cands = vec![
-                        PathChoice {
-                            path: mk_path(s, d, 0),
-                            resid_bps: 1e9,
-                        },
-                        PathChoice {
-                            path: mk_path(s, d, 1),
-                            resid_bps: 1e9,
-                        },
-                    ];
-                    a.place((mr.servers[s], mr.servers[d]), 100_000_000, &cands);
+                    let paths = vec![mk_path(s, d, 0), mk_path(s, d, 1)];
+                    a.place(
+                        (mr.servers[s], mr.servers[d]),
+                        100_000_000,
+                        &paths,
+                        &[1e9, 1e9],
+                    );
                 }
             }
             a
@@ -89,31 +85,12 @@ fn allocator_placement(c: &mut Criterion) {
     g.bench_function("reassign_under_background_shift", |b| {
         let mut a = FlowAllocator::new();
         let pair = (mr.servers[0], mr.servers[5]);
-        let cands_even = vec![
-            PathChoice {
-                path: mk_path(0, 5, 0),
-                resid_bps: 1e9,
-            },
-            PathChoice {
-                path: mk_path(0, 5, 1),
-                resid_bps: 1e9,
-            },
-        ];
-        a.place(pair, 100_000_000, &cands_even);
-        let cands_skew = vec![
-            PathChoice {
-                path: mk_path(0, 5, 0),
-                resid_bps: 0.05e9,
-            },
-            PathChoice {
-                path: mk_path(0, 5, 1),
-                resid_bps: 0.95e9,
-            },
-        ];
+        let paths = vec![mk_path(0, 5, 0), mk_path(0, 5, 1)];
+        a.place(pair, 100_000_000, &paths, &[1e9, 1e9]);
         b.iter(|| {
             // Alternate so the reassign actually evaluates both ways.
-            a.reassign(pair, &cands_skew, 1.5);
-            a.reassign(pair, &cands_even, 1.5)
+            a.reassign(pair, &paths, &[0.05e9, 0.95e9], 1.5);
+            a.reassign(pair, &paths, &[1e9, 1e9], 1.5)
         })
     });
     g.finish();

@@ -30,7 +30,7 @@ use pythia_netsim::{
     background_flows, redraw_group_rates, BackgroundProfile, FiveTuple, FlowId, FlowNet, FlowSpec,
     LinkId, MultiRack, NetFlowProbe, NodeId, Path,
 };
-use pythia_openflow::{Controller, Dataplane, EcmpNextHops, FlowRule};
+use pythia_openflow::{Controller, Dataplane, EcmpNextHops, FlowRule, ResolveError};
 use pythia_trace::{Component, Trace, TraceEvent};
 
 use crate::config::{ScenarioConfig, SchedulerKind};
@@ -116,6 +116,16 @@ struct FetchInfo {
     dst: ServerId,
 }
 
+/// A memoized pair→path resolution. Invalidated per pair when a rule for
+/// that pair lands (a server-pair rule cannot change any other pair's
+/// resolution), and globally — via the engine's routing epoch — on ECMP
+/// reconvergence or wildcard rule changes.
+#[derive(Debug, Clone)]
+struct CachedPath {
+    routing_epoch: u64,
+    path: Path,
+}
+
 /// A shuffle fetch that had no route when it tried to start (degraded
 /// fabric, e.g. every trunk cable down). Parked and retried on the next
 /// topology recovery instead of crashing the run.
@@ -178,7 +188,10 @@ struct Engine<'a> {
     /// service would report net of Pythia's own shuffle traffic.
     background_bps: Vec<f64>,
     queue: EventQueue<Event>,
-    flowcheck: Option<EventId>,
+    /// The scheduled completion-probe event and the time it fires at, so
+    /// an unchanged projection is left in place instead of the
+    /// cancel-and-repush churn every round.
+    flowcheck: Option<(EventId, SimTime)>,
     fetch_of_flow: BTreeMap<FlowId, (JobId, FetchId)>,
     info_of_fetch: BTreeMap<(JobId, FetchId), FetchInfo>,
     probe: NetFlowProbe,
@@ -215,6 +228,24 @@ struct Engine<'a> {
     /// died with the connection) and skipped at dispatch.
     rule_generation: u64,
     net_dirty: bool,
+    /// When the network first became dirty since the last solve (relaxed
+    /// mode): bounds how long a deferred recompute may let stale rates
+    /// ride.
+    net_dirty_since: Option<SimTime>,
+    /// Accumulated estimate of the relative rate error the deferred
+    /// mutations have left behind (relaxed mode only): ~1/N per
+    /// single-flow change among N concurrent fetches, 1.0 for structural
+    /// shifts. A solve is forced once this crosses
+    /// `cfg.relaxed_defer_frac`.
+    net_dirty_weight: f64,
+    /// Pair→path resolution memo (see [`CachedPath`]). Pythia installs
+    /// pair-level rules and ECMP only consults the full 5-tuple where
+    /// several equal-cost hops exist, so most resolutions are pair-pure
+    /// and repeat across the many fetches of a server pair.
+    path_cache: std::collections::HashMap<(NodeId, NodeId), CachedPath>,
+    /// Bumped whenever default (ECMP) forwarding reconverges; invalidates
+    /// the path cache alongside the dataplane rule epoch.
+    routing_epoch: u64,
     /// Dispatch-loop scratch: flows completed by the pre-event advance.
     /// Owned by the engine so steady-state dispatch allocates nothing.
     completed_scratch: Vec<FlowId>,
@@ -243,6 +274,20 @@ impl<'a> Engine<'a> {
         // per-advance byte integration for everything else (the CBR
         // background keeps its rates; its byte counters are never read).
         net.meter_sources_only(mr.servers.iter().copied());
+        if cfg.relaxed_order {
+            // Must precede the first start_flow: the accounting scheme is
+            // fixed for the lifetime of the net.
+            net.set_relaxed_order(true);
+            let workers = if cfg.solver_workers == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(8)
+            } else {
+                cfg.solver_workers
+            };
+            net.set_solver_workers(workers);
+        }
 
         // Background load emulating over-subscription (§V-A): one CBR
         // stream per trunk cable, grouped by direction so the fluctuating
@@ -362,6 +407,10 @@ impl<'a> Engine<'a> {
             controller_outages_seen: 0,
             rule_generation: 0,
             net_dirty: false,
+            net_dirty_since: None,
+            net_dirty_weight: 0.0,
+            path_cache: std::collections::HashMap::new(),
+            routing_epoch: 0,
             completed_scratch: Vec::new(),
             hadoop_scratch: Vec::new(),
             candidates_scratch: Vec::new(),
@@ -436,7 +485,7 @@ impl<'a> Engine<'a> {
             let at = self.jobs[i].start_at;
             self.queue.push(at, Event::JobStart(job));
         }
-        self.finish_round();
+        self.finish_round(SimTime::ZERO);
 
         while let Some((now, _, ev)) = self.queue.pop() {
             // Installs issued before a controller crash died with the
@@ -551,7 +600,7 @@ impl<'a> Engine<'a> {
                 self.probe.sample(&self.net);
                 break;
             }
-            self.finish_round();
+            self.finish_round(now);
         }
 
         assert!(
@@ -563,27 +612,120 @@ impl<'a> Engine<'a> {
 
     /// Recompute rates and reschedule the completion probe after any flow
     /// mutation.
-    fn finish_round(&mut self) {
+    fn finish_round(&mut self, now: SimTime) {
         let _span = self.flight.span("finish_round");
+        if self.net.relaxed_order() {
+            self.finish_round_relaxed(now);
+            return;
+        }
         if self.net_dirty {
             {
                 let _span = self.flight.span("net_recompute");
                 self.net.recompute();
             }
             self.net_dirty = false;
-            if let Some(h) = self.flowcheck.take() {
+            self.net_dirty_weight = 0.0;
+            if let Some((h, _)) = self.flowcheck.take() {
                 self.queue.cancel(h);
             }
             let _span = self.flight.span("net_next_completion");
             if let Some((t, _)) = self.net.next_completion() {
-                self.flowcheck = Some(self.queue.push(t, Event::FlowCheck));
+                self.flowcheck = Some((self.queue.push(t, Event::FlowCheck), t));
             }
         } else if self.flowcheck.is_none() {
             let _span = self.flight.span("net_next_completion");
             if let Some((t, _)) = self.net.next_completion() {
-                self.flowcheck = Some(self.queue.push(t, Event::FlowCheck));
+                self.flowcheck = Some((self.queue.push(t, Event::FlowCheck), t));
             }
         }
+    }
+
+    /// Relaxed-mode round finish. Two deviations from the exact path,
+    /// both invisible within the documented tolerance: the rate solve is
+    /// deferred while the staleness it would leave behind (next event
+    /// time minus first-dirty time) stays under the deferral budget,
+    /// collapsing bursts of rule installs into one solve; and the
+    /// completion probe is rescheduled only when its projection actually
+    /// moved, eliminating the cancel-and-repush churn every round.
+    ///
+    /// The budget is perturbation-weighted, not purely time-based: each
+    /// deferred mutation carries an estimate of the relative rate error
+    /// it leaves behind (removing or adding one of N fair-sharing
+    /// transfers shifts its neighbors' rates by ~1/N; a background
+    /// redraw or link fault reshapes everything and weighs 1.0), and the
+    /// solve fires once the accumulated weight crosses
+    /// `cfg.relaxed_defer_frac` — or the wall-clock window crosses
+    /// `cfg.relaxed_defer_max`, whichever is first. A sparse scenario
+    /// (few concurrent flows, every completion a large rate shift)
+    /// therefore solves nearly eagerly and tracks the exact path within
+    /// the published tolerance, while a dense shuffle (hundreds of
+    /// concurrent flows, each mutation a sub-percent nudge) collapses
+    /// dozens of mutations into one solve.
+    fn finish_round_relaxed(&mut self, now: SimTime) {
+        if self.net_dirty {
+            let since = *self.net_dirty_since.get_or_insert(now);
+            let defer = self.net_dirty_weight < self.cfg.relaxed_defer_frac
+                && self
+                    .queue
+                    .peek_time()
+                    .is_some_and(|t| t.saturating_since(since) <= self.cfg.relaxed_defer_max);
+            if !defer {
+                let _span = self.flight.span("net_recompute");
+                self.net.recompute();
+                self.net_dirty = false;
+                self.net_dirty_since = None;
+                self.net_dirty_weight = 0.0;
+            }
+        }
+        let _span = self.flight.span("net_next_completion");
+        let next = self.net.next_completion().map(|(t, _)| t);
+        match (next, self.flowcheck) {
+            (Some(t), Some((_, th))) if t == th => {}
+            (Some(t), prev) => {
+                if let Some((h, _)) = prev {
+                    self.queue.cancel(h);
+                }
+                self.flowcheck = Some((self.queue.push(t, Event::FlowCheck), t));
+            }
+            (None, Some((h, _))) => {
+                self.queue.cancel(h);
+                self.flowcheck = None;
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// Force a deferred rate solve before a handler reads rates or loads
+    /// off the network. Relaxed mode only: the exact path solves eagerly
+    /// in `finish_round` and must never recompute here — an extra solve
+    /// at a read point would reorder byte accumulation and break the
+    /// byte-identical fingerprints.
+    fn sync_rates_for_read(&mut self) {
+        if self.net.relaxed_order() && self.net_dirty {
+            let _span = self.flight.span("net_recompute");
+            self.net.recompute();
+            self.net_dirty = false;
+            self.net_dirty_since = None;
+            self.net_dirty_weight = 0.0;
+        }
+    }
+
+    /// Mark the network dirty from a single-flow mutation: one of the
+    /// in-flight fetches started, completed, or moved, nudging its
+    /// fair-share neighbors' rates by roughly one part in the concurrent
+    /// fetch count.
+    fn dirty_net_flow(&mut self) {
+        self.net_dirty = true;
+        self.net_dirty_weight += 1.0 / self.fetch_of_flow.len().max(1) as f64;
+    }
+
+    /// Mark the network dirty from a structural change (background
+    /// redraw, link fault, routing reconvergence): rates shift
+    /// everywhere, so a relaxed solve must not be deferred past the next
+    /// event.
+    fn dirty_net_all(&mut self) {
+        self.net_dirty = true;
+        self.net_dirty_weight += 1.0;
     }
 
     /// Act on a batch of Hadoop outputs, draining `evts` so the caller
@@ -639,6 +781,38 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Resolve the path a fetch tuple takes through the flow tables,
+    /// memoized per (src, dst) pair. Resolutions that depended on nothing
+    /// beyond the pair (no port-matching rule, no multi-candidate ECMP
+    /// choice) are cached until a rule install targets the pair or an
+    /// ECMP reconvergence bumps the routing epoch.
+    fn resolve_fetch_path(&mut self, tuple: &FiveTuple) -> Result<Path, ResolveError> {
+        let key = (tuple.src, tuple.dst);
+        if let Some(c) = self.path_cache.get(&key) {
+            if c.routing_epoch == self.routing_epoch {
+                return Ok(c.path.clone());
+            }
+        }
+        let mut tuple_sensitive = false;
+        let path = self.dataplane.resolve_path_tracked(
+            &self.mr.topology,
+            tuple,
+            &self.ecmp,
+            &self.nexthops,
+            &mut tuple_sensitive,
+        )?;
+        if !tuple_sensitive {
+            self.path_cache.insert(
+                key,
+                CachedPath {
+                    routing_epoch: self.routing_epoch,
+                    path: path.clone(),
+                },
+            );
+        }
+        Ok(path)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn start_fetch_flow(
         &mut self,
@@ -664,9 +838,7 @@ impl<'a> Engine<'a> {
             self.wire_seed ^ pythia_des::splitmix64(job.0 as u64),
         );
         let tuple = FiveTuple::tcp(src_node, dst_node, src_port, dst_port);
-        let resolved =
-            self.dataplane
-                .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &self.nexthops);
+        let resolved = self.resolve_fetch_path(&tuple);
         let Ok(path) = resolved else {
             // Degraded fabric (e.g. every trunk cable down): no route
             // exists right now. Parking the fetch and retrying it on the
@@ -694,7 +866,7 @@ impl<'a> Engine<'a> {
         let fid = self
             .net
             .start_flow(FlowSpec::tcp_transfer(tuple, wire_bytes), path);
-        self.net_dirty = true;
+        self.dirty_net_flow();
         self.flight
             .record(Component::NetSim, || TraceEvent::FlowStart {
                 flow: fid,
@@ -749,13 +921,20 @@ impl<'a> Engine<'a> {
     fn on_flow_complete(&mut self, now: SimTime, fid: FlowId) {
         let _span = self.flight.span("flow_complete");
         let report = self.net.remove_flow(fid);
-        self.net_dirty = true;
+        self.dirty_net_flow();
         self.trace.push(ShuffleFlowRecord::from_report(
             &report,
             &self.mr.trunk_links,
         ));
-        // Crisp measured curves: sample at every completion.
-        self.probe.sample(&self.net);
+        // Crisp measured curves: sample at every completion. Relaxed mode
+        // touches only the completing flow's own source curve — every
+        // other watched counter is analytic and can be read at the next
+        // periodic tick instead.
+        if self.net.relaxed_order() {
+            self.probe.sample_node(&self.net, report.spec.tuple.src);
+        } else {
+            self.probe.sample(&self.net);
+        }
         let (job, fetch) = self
             .fetch_of_flow
             .remove(&fid)
@@ -837,6 +1016,18 @@ impl<'a> Engine<'a> {
     }
 
     fn on_rule_active(&mut self, switch: NodeId, rule: FlowRule) {
+        // A rule matching an explicit (src, dst) pair can only change that
+        // pair's resolution; wildcard matchers (none of our controllers
+        // emit them) invalidate everything via the routing epoch.
+        match (rule.matcher.src, rule.matcher.dst) {
+            (Some(src), Some(dst)) => {
+                self.path_cache.remove(&(src, dst));
+            }
+            _ => {
+                self.path_cache.clear();
+                self.routing_epoch += 1;
+            }
+        }
         // TCAM overflow: the rule is simply not installed; traffic keeps
         // using the default (ECMP) path — graceful degradation, not an
         // error.
@@ -889,13 +1080,10 @@ impl<'a> Engine<'a> {
             }
         }
         for &(fid, tuple) in &matching {
-            if let Ok(path) =
-                self.dataplane
-                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &self.nexthops)
-            {
+            if let Ok(path) = self.resolve_fetch_path(&tuple) {
                 if path.links() != self.net.flow(fid).unwrap().path.links() {
                     self.net.reroute_flow(fid, path);
-                    self.net_dirty = true;
+                    self.dirty_net_flow();
                 }
             }
         }
@@ -981,6 +1169,8 @@ impl<'a> Engine<'a> {
     }
 
     fn on_hedera_tick(&mut self, now: SimTime) {
+        // Hedera's rebalance plans from current flow rates and loads.
+        self.sync_rates_for_read();
         if !self.controller_up {
             // Hedera polls flow stats through the controller: a downed
             // controller means no reroutes this tick.
@@ -1001,7 +1191,7 @@ impl<'a> Engine<'a> {
                 // Skip flows that completed during this tick's planning.
                 if self.net.flow(r.flow).is_some() {
                     self.net.reroute_flow(r.flow, r.path);
-                    self.net_dirty = true;
+                    self.dirty_net_flow();
                 }
             }
             self.hedera = Some(hedera);
@@ -1042,7 +1232,7 @@ impl<'a> Engine<'a> {
                     self.background_bps[link.0 as usize] = rate;
                 }
             }
-            self.net_dirty = true;
+            self.dirty_net_all();
             // Pythia's link-load service sees the shift: one O(links)
             // residual refresh, then re-place active pairs whose path
             // collapsed using table lookups only.
@@ -1095,9 +1285,10 @@ impl<'a> Engine<'a> {
             }
             self.controller.on_link_state(l, up);
         }
-        self.net_dirty = true;
+        self.dirty_net_all();
         // Routing protocol reconvergence for default (ECMP) forwarding.
         self.nexthops = EcmpNextHops::compute_avoiding(&self.mr.topology, &self.down_links);
+        self.routing_epoch += 1;
         // Re-resolve in-flight flows touching a changed link (on failure)
         // or all flows (on recovery ECMP may spread them back). The fetch
         // registry (flow-id ordered) and the per-link incidence lists
@@ -1128,10 +1319,7 @@ impl<'a> Engine<'a> {
             affected.dedup_by_key(|&mut (fid, _)| fid);
         }
         for &(fid, tuple) in &affected {
-            if let Ok(path) =
-                self.dataplane
-                    .resolve_path(&self.mr.topology, &tuple, &self.ecmp, &self.nexthops)
-            {
+            if let Ok(path) = self.resolve_fetch_path(&tuple) {
                 if path.links() != self.net.flow(fid).unwrap().path.links() {
                     self.net.reroute_flow(fid, path);
                 }
@@ -1174,6 +1362,8 @@ impl<'a> Engine<'a> {
     }
 
     fn on_link_load_sample(&mut self, now: SimTime) {
+        // The controller samples real link loads: settle deferred solves.
+        self.sync_rates_for_read();
         for (l, _) in self.mr.topology.links() {
             self.controller
                 .observe_link_load(l, self.net.link_load_bps(l));

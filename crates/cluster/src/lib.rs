@@ -37,7 +37,12 @@
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod tolerance;
 
-pub use config::{ControllerOutage, LinkFault, ScenarioConfig, SchedulerKind};
+pub use config::{
+    ControllerOutage, LinkFault, ScenarioConfig, SchedulerKind, RELAXED_ABS_EPS_SECS,
+    RELAXED_COMPLETION_EPS, RELAXED_CURVE_EPS,
+};
 pub use engine::{run_multi_scenario, run_scenario};
 pub use report::{JobOutcome, MultiRunReport, RunReport};
+pub use tolerance::{compare_conservation, compare_tolerance, ToleranceReport};

@@ -9,6 +9,12 @@
 //! respill) and on a clean fat-tree run; the optimized engine must
 //! reproduce them exactly — including the full flight-recorder event
 //! stream and every report artifact that feeds the CSVs.
+//!
+//! Every scenario pins `.with_relaxed_order(false)`: these fingerprints
+//! define the exact accounting path, which must stay byte-identical no
+//! matter which solver the `relaxed-order` cargo feature selects by
+//! default. The relaxed solver is held to the tolerance bounds in
+//! `tests/relaxed_tolerance.rs` at the workspace root instead.
 
 use pythia_cluster::{run_scenario, ControllerOutage, RunReport, ScenarioConfig, SchedulerKind};
 use pythia_core::MgmtNetConfig;
@@ -41,7 +47,8 @@ fn chaos_cfg(seed: u64) -> ScenarioConfig {
         .with_scheduler(SchedulerKind::Pythia)
         .with_oversubscription(20)
         .with_seed(seed)
-        .with_trace(TraceConfig::enabled());
+        .with_trace(TraceConfig::enabled())
+        .with_relaxed_order(false);
     cfg.pythia.mgmtnet = MgmtNetConfig {
         loss_prob: 0.2,
         dup_prob: 0.1,
@@ -121,7 +128,8 @@ fn clean_fat_tree_run_matches_pre_index_engine() {
         .with_scheduler(SchedulerKind::Pythia)
         .with_oversubscription(10)
         .with_seed(5)
-        .with_trace(TraceConfig::enabled());
+        .with_trace(TraceConfig::enabled())
+        .with_relaxed_order(false);
     let r = run_scenario(job(24, 6), &cfg);
     assert_eq!(
         fingerprint(&r),

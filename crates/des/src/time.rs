@@ -90,6 +90,15 @@ impl SimTime {
         SimDuration(self.0 - earlier.0)
     }
 
+    /// Addition clamped at [`SimTime::MAX`]. Completion projections from
+    /// near-zero rates (a flow admitted onto a degraded 1 bps link) can
+    /// exceed the representable horizon; a clamped projection is as good
+    /// as any other unreachable instant, since it is superseded the
+    /// moment the flow's rate changes.
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
     /// The later of two instants.
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))

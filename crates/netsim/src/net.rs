@@ -38,6 +38,31 @@
 //! pre-committed per-link load. A recompute triggered by adaptive churn
 //! (the common case: a shuffle fetch starting or finishing) never touches
 //! a background flow at all.
+//!
+//! # Relaxed-order mode
+//!
+//! [`FlowNet::set_relaxed_order`] switches byte accounting from eager
+//! per-advance integration to *lazy integration at observation points*:
+//! each flow carries a `(rate, since)` segment and each source node a
+//! `(committed, rate_sum, since)` accumulator, folded analytically only
+//! when a rate changes, a completion fires, or a counter is read. This
+//! removes the order dependence that pinned the exact engine's region
+//! walk (bytes no longer accumulate in BFS discovery order), which buys
+//! three things:
+//!
+//! * **O(touched) advancement** — [`FlowNet::advance_to`] pops only due
+//!   completion projections instead of integrating every active flow;
+//! * **deferred solves** — mutators assign feasible provisional rates
+//!   (new flows get their path's residual capacity), so a driver may
+//!   batch several mutations before one [`FlowNet::recompute`];
+//! * **component-parallel solves** — the dirty set is split into
+//!   connected components solved independently (optionally on scoped
+//!   worker threads); rates are written back in canonical flow-id order,
+//!   so results are bitwise identical for *any* worker count.
+//!
+//! Relaxed results match the exact path within a small relative
+//! tolerance (see `examples/refcheck.rs --tolerance`), not byte for
+//! byte; with the mode off, the exact path is untouched.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -107,6 +132,10 @@ struct FlowSlot {
     /// Bumped whenever `rate_bps` changes; completion-heap entries carry
     /// the epoch they were projected under and die with it.
     rate_epoch: u64,
+    /// Relaxed mode: the instant `remaining`/`transferred` were last
+    /// folded to; the flow's rate has been constant since. Unused (and
+    /// never read) by the exact path.
+    since: SimTime,
 }
 
 /// One incidence-list entry: flow `slot` crosses this link as its `k`-th
@@ -293,6 +322,9 @@ pub struct NetStats {
     pub heap_compactions: u64,
     /// CBR flow rate refreshes performed by the layered background pass.
     pub cbr_flow_updates: u64,
+    /// Connected components solved, summed over all recomputes
+    /// (relaxed-order mode; the exact path solves one joint region).
+    pub components: u64,
 }
 
 /// The live network. See module docs for the driving contract.
@@ -367,7 +399,40 @@ pub struct FlowNet {
     advance_completed_slots: Vec<u32>,
     advance_completed: Vec<FlowId>,
     stats: NetStats,
+
+    // --- relaxed-order mode (lazy byte integration, component solves) ---
+    /// Whether lazy, order-independent accounting is enabled.
+    relaxed: bool,
+    /// Worker threads for component solves (≥ 1; 1 ⇒ always sequential).
+    solver_workers: usize,
+    /// Per-worker solve workspaces, kept across recomputes.
+    worker_ws: Vec<FairShareWorkspace>,
+    /// Per-node lazy rate sum of metered flows sourced there (bits/sec).
+    /// `cum_tx_bytes[n]` holds the *committed* bytes as of `node_since[n]`;
+    /// the live counter is `committed + rate_sum · (now − since) / 8`.
+    node_rate_bps: Vec<f64>,
+    node_since: Vec<SimTime>,
+    /// Component boundaries as exclusive prefix ends into
+    /// (`region_links`, `region_slots`), one entry per component.
+    comp_bounds: Vec<(u32, u32)>,
+    /// Canonical write-back order: (flow id, region slot index).
+    canon: Vec<(u64, u32)>,
+    /// Solved rates / link loads, indexed like region_slots / region_links.
+    rates_scratch: Vec<f64>,
+    loads_scratch: Vec<f64>,
 }
+
+/// Shared read-only inputs of a relaxed-mode component solve.
+struct SolveInputs<'a> {
+    topo: &'a Topology,
+    cbr_load_bps: &'a [f64],
+    slot_hops: &'a SlotHops,
+    link_local: &'a [u32],
+}
+
+/// Components smaller than this (in flows, summed over the whole region)
+/// are never worth a thread spawn; solve sequentially.
+const PAR_FLOWS_CUTOFF: usize = 256;
 
 impl FlowNet {
     /// An empty network over `topo`, at time zero.
@@ -411,7 +476,42 @@ impl FlowNet {
             advance_completed_slots: Vec::new(),
             advance_completed: Vec::new(),
             stats: NetStats::default(),
+            relaxed: false,
+            solver_workers: 1,
+            worker_ws: Vec::new(),
+            node_rate_bps: vec![0.0; n_nodes],
+            node_since: vec![SimTime::ZERO; n_nodes],
+            comp_bounds: Vec::new(),
+            canon: Vec::new(),
+            rates_scratch: Vec::new(),
+            loads_scratch: Vec::new(),
         }
+    }
+
+    /// Enable lazy, order-independent byte accounting (see module docs).
+    /// Completion times and curve samples then match the exact path to a
+    /// small relative tolerance rather than byte for byte.
+    ///
+    /// # Panics
+    /// Panics if any flow was already started.
+    pub fn set_relaxed_order(&mut self, on: bool) {
+        assert!(
+            self.index.is_empty(),
+            "set_relaxed_order must be called before flows start"
+        );
+        self.relaxed = on;
+    }
+
+    /// Whether relaxed-order accounting is enabled.
+    pub fn relaxed_order(&self) -> bool {
+        self.relaxed
+    }
+
+    /// Worker threads for relaxed-mode component solves. Results are
+    /// bitwise identical for any count (canonical write-back order);
+    /// `1` keeps every solve on the calling thread.
+    pub fn set_solver_workers(&mut self, n: usize) {
+        self.solver_workers = n.max(1);
     }
 
     /// Restrict byte metering to flows sourced at `nodes` (bounded flows
@@ -482,6 +582,169 @@ impl FlowNet {
         self.index.iter().map(|(&id, &s)| (id, &self.slot(s).flow))
     }
 
+    // --- relaxed-order fold discipline ----------------------------------
+    //
+    // Every metered flow's bytes are a piecewise-linear function of time:
+    // constant rate since the last fold. The same holds per source node
+    // for the sum over its flows. The invariants:
+    //
+    //  * fold_node(src, t) must run before any change to the rate sum at
+    //    `src` and before fold_slot of a flow sourced there;
+    //  * a flow's rate only changes through relaxed_apply_rate (which
+    //    folds first), so `rate · (t − since)` is always exact;
+    //  * a bounded flow clamps at its remaining bytes; the node
+    //    accumulator integrated the full rate over the interval, so the
+    //    clamp excess is subtracted from the committed counter.
+
+    /// Commit `node`'s lazy byte integral up to `t` (relaxed mode).
+    fn fold_node(&mut self, node: usize, t: SimTime) {
+        let dt = t.saturating_since(self.node_since[node]).as_secs_f64();
+        if dt > 0.0 {
+            self.cum_tx_bytes[node] += self.node_rate_bps[node] * dt / 8.0;
+        }
+        self.node_since[node] = t;
+    }
+
+    /// Commit a flow's lazy byte integral up to `t` (relaxed mode). The
+    /// source node must already be folded to `t`.
+    fn fold_slot(&mut self, slot: u32, t: SimTime) {
+        let st = self.slots[slot as usize].as_mut().expect("live slot");
+        let src = st.flow.spec.tuple.src.0 as usize;
+        let dt = t.saturating_since(st.since).as_secs_f64();
+        st.since = t;
+        if !st.metered || st.flow.rate_bps <= 0.0 || dt <= 0.0 {
+            return;
+        }
+        let raw = st.flow.rate_bps * dt / 8.0;
+        let moved = match &mut st.flow.remaining_bytes {
+            Some(rem) if *rem <= 0.0 => 0.0,
+            Some(rem) => {
+                let m = raw.min(*rem);
+                *rem -= m;
+                if *rem <= 0.0 {
+                    *rem = 0.0;
+                }
+                m
+            }
+            None => raw,
+        };
+        st.flow.transferred_bytes += moved;
+        let excess = raw - moved;
+        if excess > 0.0 {
+            // The node integral counted the full rate over the interval;
+            // take the clamped part back out.
+            self.cum_tx_bytes[src] -= excess;
+        }
+    }
+
+    /// Relaxed-mode rate assignment: fold the flow (and its source's
+    /// accumulator) to `now`, set the rate, maintain the node rate sum,
+    /// bump the epoch, and (re)project completion. Link loads are *not*
+    /// touched — each caller settles them (the solve write-back installs
+    /// workspace loads wholesale; mutators adjust incrementally).
+    fn relaxed_apply_rate(&mut self, slot: u32, rate: f64) {
+        let now = self.now;
+        let (src, metered, old) = {
+            let st = self.slot(slot);
+            (
+                st.flow.spec.tuple.src.0 as usize,
+                st.metered,
+                st.flow.rate_bps,
+            )
+        };
+        if metered {
+            self.fold_node(src, now);
+        }
+        self.fold_slot(slot, now);
+        if metered {
+            self.node_rate_bps[src] = (self.node_rate_bps[src] - old + rate).max(0.0);
+        }
+        let st = self.slots[slot as usize].as_mut().expect("live slot");
+        st.flow.rate_bps = rate;
+        st.rate_epoch += 1;
+        let entry = match st.flow.remaining_bytes {
+            Some(rem) if rem > 0.0 && rate > 0.0 => {
+                // Saturating: a provisional admission onto a degraded
+                // (1 bps) link projects past the representable horizon.
+                let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, rate);
+                Some((now.saturating_add(d), st.id.0, st.rate_epoch))
+            }
+            Some(rem) if rem <= 0.0 => {
+                // Drained at the fold (ceil projections run a hair long):
+                // leave an immediate entry so the next advance reaps it.
+                Some((now, st.id.0, st.rate_epoch))
+            }
+            _ => None,
+        };
+        if rate > 0.0 {
+            self.activate(slot);
+        } else {
+            self.deactivate(slot);
+        }
+        if let Some(e) = entry {
+            self.stats.heap_pushes += 1;
+            self.heap.push(Reverse(e));
+        }
+    }
+
+    /// Relaxed advance: no per-flow integration — pop every completion
+    /// projection due by `t`, fold just those flows, and re-project the
+    /// rare byte-ceil undershoot strictly later.
+    fn advance_to_relaxed(&mut self, t: SimTime) -> &[FlowId] {
+        let mut completed_slots = std::mem::take(&mut self.advance_completed_slots);
+        completed_slots.clear();
+        self.now = t;
+        while let Some(&Reverse((pt, id, fe))) = self.heap.peek() {
+            if pt > t {
+                break;
+            }
+            self.heap.pop();
+            let Some(&slot) = self.index.get(&FlowId(id)) else {
+                continue;
+            };
+            let (valid, src, metered) = {
+                let st = self.slot(slot);
+                (
+                    st.rate_epoch == fe,
+                    st.flow.spec.tuple.src.0 as usize,
+                    st.metered,
+                )
+            };
+            if !valid {
+                continue;
+            }
+            self.stats.advance_flow_steps += 1;
+            if metered {
+                self.fold_node(src, t);
+            }
+            self.fold_slot(slot, t);
+            let st = self.slot(slot);
+            match st.flow.remaining_bytes {
+                Some(rem) if rem <= 0.0 => completed_slots.push(slot),
+                Some(rem) if st.flow.rate_bps > 0.0 => {
+                    // Undershoot: the ceil projection rounded long and an
+                    // earlier advance folded past part of the interval.
+                    let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, st.flow.rate_bps);
+                    self.stats.heap_pushes += 1;
+                    self.heap.push(Reverse((t.saturating_add(d), id, fe)));
+                }
+                _ => {}
+            }
+        }
+        let mut completed = std::mem::take(&mut self.advance_completed);
+        completed.clear();
+        for &slot in &completed_slots {
+            completed.push(self.slot(slot).id);
+        }
+        for &slot in &completed_slots {
+            self.on_flow_completed(slot);
+        }
+        completed.sort_unstable();
+        self.advance_completed_slots = completed_slots;
+        self.advance_completed = completed;
+        &self.advance_completed
+    }
+
     /// Integrate byte counters up to `t`. Returns the bounded flows that
     /// reached zero remaining bytes during this advance (they stay in the
     /// network until [`FlowNet::remove_flow`]). The returned slice lives
@@ -493,6 +756,9 @@ impl FlowNet {
     /// or removed without a subsequent [`FlowNet::recompute`]).
     pub fn advance_to(&mut self, t: SimTime) -> &[FlowId] {
         assert!(t >= self.now, "advance_to({t}) before now ({})", self.now);
+        if self.relaxed {
+            return self.advance_to_relaxed(t);
+        }
         assert!(
             !self.rates_dirty || self.index.is_empty(),
             "advance_to with stale rates: call recompute() after mutating flows"
@@ -555,6 +821,28 @@ impl FlowNet {
     /// immediately, frees its share for the next recompute, and leaves the
     /// hot advance/completion structures.
     fn on_flow_completed(&mut self, slot: u32) {
+        if self.relaxed {
+            // The flow is already folded (completion came from a fold);
+            // retire its rate from the lazy node sum and the link loads.
+            let (rate, src, metered) = {
+                let st = self.slot(slot);
+                (
+                    st.flow.rate_bps,
+                    st.flow.spec.tuple.src.0 as usize,
+                    st.metered,
+                )
+            };
+            if rate > 0.0 {
+                if metered {
+                    self.fold_node(src, self.now);
+                    self.node_rate_bps[src] = (self.node_rate_bps[src] - rate).max(0.0);
+                }
+                for k in 0..self.slot_hops.n(slot) {
+                    let l = self.slot_hops.link(slot, k) as usize;
+                    self.link_load_bps[l] = (self.link_load_bps[l] - rate).max(0.0);
+                }
+            }
+        }
         self.mark_flow_links_dirty(slot);
         self.unlink_flow(slot);
         self.deactivate(slot);
@@ -591,13 +879,37 @@ impl FlowNet {
             active_pos: NONE_U32,
             metered,
             rate_epoch: 0,
+            since: self.now,
         });
         let st = self.slots[slot as usize].as_ref().expect("live slot");
+        let adaptive = matches!(st.flow.spec.kind, FlowKind::Adaptive);
         self.slot_hops.set(slot as usize, st.flow.path.links());
         self.index.insert(id, slot);
         if !complete {
             self.link_flow(slot);
             self.mark_flow_links_dirty(slot);
+            if self.relaxed && adaptive {
+                // Provisional admission at the path's residual capacity:
+                // keeps every link feasible and every flow progressing
+                // between deferred solves; the next solve levels it to
+                // the fair share. (CBR rates come from the CBR layer.)
+                let mut r0 = f64::INFINITY;
+                for k in 0..self.slot_hops.n(slot) {
+                    let l = self.slot_hops.link(slot, k) as usize;
+                    let cap = self.topo.link(LinkId(l as u32)).capacity_bps;
+                    r0 = r0.min((cap - self.link_load_bps[l]).max(0.0));
+                }
+                if !r0.is_finite() {
+                    r0 = 0.0;
+                }
+                if r0 > 0.0 {
+                    for k in 0..self.slot_hops.n(slot) {
+                        let l = self.slot_hops.link(slot, k) as usize;
+                        self.link_load_bps[l] += r0;
+                    }
+                }
+                self.relaxed_apply_rate(slot, r0);
+            }
         }
         self.rates_dirty = true;
         id
@@ -620,8 +932,17 @@ impl FlowNet {
                 "path/spec destination mismatch"
             );
         }
+        let rate = self.slot(slot).flow.rate_bps;
         if self.slot(slot).linked {
             self.mark_flow_links_dirty(slot);
+            if self.relaxed && rate > 0.0 {
+                // The flow keeps its rate across the move (the next solve
+                // re-levels it); shift its committed load to the new path.
+                for k in 0..self.slot_hops.n(slot) {
+                    let l = self.slot_hops.link(slot, k) as usize;
+                    self.link_load_bps[l] = (self.link_load_bps[l] - rate).max(0.0);
+                }
+            }
             self.unlink_flow(slot);
         }
         self.slot_hops.set(slot as usize, path.links());
@@ -633,6 +954,12 @@ impl FlowNet {
         if !complete {
             self.link_flow(slot);
             self.mark_flow_links_dirty(slot);
+            if self.relaxed && rate > 0.0 {
+                for k in 0..self.slot_hops.n(slot) {
+                    let l = self.slot_hops.link(slot, k) as usize;
+                    self.link_load_bps[l] += rate;
+                }
+            }
         }
         self.rates_dirty = true;
     }
@@ -675,6 +1002,35 @@ impl FlowNet {
     /// Remove a flow (completed or aborted) and return its accounting.
     pub fn remove_flow(&mut self, id: FlowId) -> FlowReport {
         let slot = self.index.remove(&id).expect("remove of unknown flow");
+        if self.relaxed {
+            // Settle lazy accounting so the report is exact as of now, and
+            // retire an aborted flow's rate (completed flows are already
+            // at rate zero and unlinked).
+            let (rate, src, metered, linked) = {
+                let st = self.slot(slot);
+                (
+                    st.flow.rate_bps,
+                    st.flow.spec.tuple.src.0 as usize,
+                    st.metered,
+                    st.linked,
+                )
+            };
+            if metered {
+                self.fold_node(src, self.now);
+            }
+            self.fold_slot(slot, self.now);
+            if rate > 0.0 {
+                if metered {
+                    self.node_rate_bps[src] = (self.node_rate_bps[src] - rate).max(0.0);
+                }
+                if linked {
+                    for k in 0..self.slot_hops.n(slot) {
+                        let l = self.slot_hops.link(slot, k) as usize;
+                        self.link_load_bps[l] = (self.link_load_bps[l] - rate).max(0.0);
+                    }
+                }
+            }
+        }
         if self.slot(slot).linked {
             self.mark_flow_links_dirty(slot);
             self.unlink_flow(slot);
@@ -763,6 +1119,14 @@ impl FlowNet {
             }
             let rate = r * k;
             self.stats.cbr_flow_updates += 1;
+            if self.relaxed {
+                // Same write-back semantics, via the lazy-accounting rate
+                // assignment (fold, node rate sum, epoch, projection).
+                if rate != self.slot(slot).flow.rate_bps {
+                    self.relaxed_apply_rate(slot, rate);
+                }
+                continue;
+            }
             let st = self.slots[slot as usize].as_mut().expect("live slot");
             let entry = if rate == st.flow.rate_bps {
                 None
@@ -817,6 +1181,9 @@ impl FlowNet {
     /// the flow–link graph with a dirtied link. With no dirty links this
     /// is O(1) (rates cannot have changed).
     pub fn recompute(&mut self) {
+        if self.relaxed {
+            return self.recompute_relaxed();
+        }
         self.epoch += 1;
         self.rates_dirty = false;
         self.recompute_cbr_layer();
@@ -934,6 +1301,252 @@ impl FlowNet {
         self.assert_matches_reference();
     }
 
+    /// Relaxed-mode recompute: split the dirty set into its connected
+    /// components, solve each independently (on scoped worker threads when
+    /// the region is big enough), and write rates back in canonical
+    /// flow-id order so the result is bitwise identical for any worker
+    /// count and any discovery order.
+    fn recompute_relaxed(&mut self) {
+        self.epoch += 1;
+        self.rates_dirty = false;
+        self.recompute_cbr_layer();
+        if self.dirty_links.is_empty() {
+            return;
+        }
+        // --- Component discovery: one BFS per still-unvisited dirty seed.
+        // Each BFS exhausts exactly one connected component of the
+        // flow–link sharing graph, laid out contiguously in the region
+        // buffers with its exclusive end recorded in `comp_bounds`.
+        self.region_links.clear();
+        self.region_slots.clear();
+        self.comp_bounds.clear();
+        let dirty = std::mem::take(&mut self.dirty_links);
+        for &l in &dirty {
+            self.link_dirty[l as usize] = false;
+        }
+        for &seed in &dirty {
+            if self.link_in_region[seed as usize] {
+                continue;
+            }
+            let mut qi = self.region_links.len();
+            self.link_in_region[seed as usize] = true;
+            self.region_links.push(seed);
+            while qi < self.region_links.len() {
+                let l = self.region_links[qi] as usize;
+                qi += 1;
+                for ei in 0..self.link_flows.len[l] as usize {
+                    let slot = self.link_flows.get(l, ei).slot;
+                    if self.flow_in_region[slot as usize] {
+                        continue;
+                    }
+                    self.flow_in_region[slot as usize] = true;
+                    self.region_slots.push(slot);
+                    for &l2 in self.slot_hops.links(slot) {
+                        if !self.link_in_region[l2 as usize] {
+                            self.link_in_region[l2 as usize] = true;
+                            self.region_links.push(l2);
+                        }
+                    }
+                }
+            }
+            self.comp_bounds.push((
+                self.region_links.len() as u32,
+                self.region_slots.len() as u32,
+            ));
+        }
+        let mut dirty = dirty;
+        dirty.clear();
+        self.dirty_links = dirty;
+
+        self.stats.recomputes += 1;
+        self.stats.region_links += self.region_links.len() as u64;
+        self.stats.region_flows += self.region_slots.len() as u64;
+        self.stats.components += self.comp_bounds.len() as u64;
+
+        // Local link indices are component-relative: each component is
+        // staged into its own workspace.
+        {
+            let mut base = 0usize;
+            let mut ci = 0usize;
+            for (li, &l) in self.region_links.iter().enumerate() {
+                while li as u32 >= self.comp_bounds[ci].0 {
+                    base = self.comp_bounds[ci].0 as usize;
+                    ci += 1;
+                }
+                self.link_local[l as usize] = (li - base) as u32;
+            }
+        }
+        self.rates_scratch.clear();
+        self.rates_scratch.resize(self.region_slots.len(), 0.0);
+        self.loads_scratch.clear();
+        self.loads_scratch.resize(self.region_links.len(), 0.0);
+
+        let n_workers = self.solver_workers.min(self.comp_bounds.len());
+        if n_workers > 1 && self.region_slots.len() >= PAR_FLOWS_CUTOFF {
+            self.solve_components_parallel(n_workers);
+        } else {
+            let inputs = SolveInputs {
+                topo: &self.topo,
+                cbr_load_bps: &self.cbr_load_bps,
+                slot_hops: &self.slot_hops,
+                link_local: &self.link_local,
+            };
+            let (mut pl, mut ps) = (0usize, 0usize);
+            for &(le, se) in &self.comp_bounds {
+                let (le, se) = (le as usize, se as usize);
+                Self::solve_component(
+                    &mut self.ws,
+                    &inputs,
+                    &self.region_links[pl..le],
+                    &self.region_slots[ps..se],
+                    &mut self.rates_scratch[ps..se],
+                    &mut self.loads_scratch[pl..le],
+                );
+                pl = le;
+                ps = se;
+            }
+        }
+
+        // --- Canonical write-back: flow-id order, independent of both
+        // component discovery order and worker layout (the node rate sums
+        // are floating-point accumulations, so the fold order must be
+        // pinned for run-to-run determinism).
+        self.canon.clear();
+        for (fi, &slot) in self.region_slots.iter().enumerate() {
+            self.canon.push((self.slot(slot).id.0, fi as u32));
+        }
+        self.canon.sort_unstable();
+        let canon = std::mem::take(&mut self.canon);
+        for &(_, fi) in &canon {
+            let slot = self.region_slots[fi as usize];
+            let rate = self.rates_scratch[fi as usize];
+            if rate != self.slot(slot).flow.rate_bps {
+                self.relaxed_apply_rate(slot, rate);
+            }
+        }
+        self.canon = canon;
+        for (li, &l) in self.region_links.iter().enumerate() {
+            self.link_load_bps[l as usize] = self.loads_scratch[li];
+        }
+
+        // --- Reset region marks for the next recompute.
+        for &l in &self.region_links {
+            self.link_in_region[l as usize] = false;
+        }
+        for &slot in &self.region_slots {
+            self.flow_in_region[slot as usize] = false;
+        }
+
+        #[cfg(debug_assertions)]
+        self.assert_matches_reference();
+    }
+
+    /// Solve the discovered components on scoped worker threads: a greedy
+    /// contiguous partition balanced by flow count, one workspace per
+    /// worker, disjoint slices of the result buffers.
+    fn solve_components_parallel(&mut self, n_workers: usize) {
+        if self.worker_ws.len() < n_workers {
+            self.worker_ws
+                .resize_with(n_workers, FairShareWorkspace::new);
+        }
+        let total = self.region_slots.len();
+        let target = total.div_ceil(n_workers).max(1);
+        let mut parts: Vec<(usize, usize)> = Vec::with_capacity(n_workers);
+        {
+            let mut c0 = 0usize;
+            let mut flows_base = 0u32;
+            for (ci, &(_, se)) in self.comp_bounds.iter().enumerate() {
+                if (se - flows_base) as usize >= target || ci + 1 == self.comp_bounds.len() {
+                    parts.push((c0, ci + 1));
+                    c0 = ci + 1;
+                    flows_base = se;
+                }
+            }
+        }
+        let inputs = SolveInputs {
+            topo: &self.topo,
+            cbr_load_bps: &self.cbr_load_bps,
+            slot_hops: &self.slot_hops,
+            link_local: &self.link_local,
+        };
+        let comp_bounds: &[(u32, u32)] = &self.comp_bounds;
+        let region_links: &[u32] = &self.region_links;
+        let region_slots: &[u32] = &self.region_slots;
+        let mut rates_rest: &mut [f64] = &mut self.rates_scratch;
+        let mut loads_rest: &mut [f64] = &mut self.loads_scratch;
+        std::thread::scope(|scope| {
+            let inputs = &inputs;
+            let mut links_off = 0usize;
+            let mut slots_off = 0usize;
+            for (ws, &(c0, c1)) in self.worker_ws.iter_mut().zip(&parts) {
+                let l_end = comp_bounds[c1 - 1].0 as usize;
+                let s_end = comp_bounds[c1 - 1].1 as usize;
+                let links_w = &region_links[links_off..l_end];
+                let slots_w = &region_slots[slots_off..s_end];
+                let (rates_w, rr) = std::mem::take(&mut rates_rest).split_at_mut(s_end - slots_off);
+                rates_rest = rr;
+                let (loads_w, lr) = std::mem::take(&mut loads_rest).split_at_mut(l_end - links_off);
+                loads_rest = lr;
+                let bounds_w = &comp_bounds[c0..c1];
+                let (mut pl, mut ps) = (links_off as u32, slots_off as u32);
+                links_off = l_end;
+                slots_off = s_end;
+                scope.spawn(move || {
+                    let (mut ol, mut os) = (0usize, 0usize);
+                    for &(le, se) in bounds_w {
+                        let nl = (le - pl) as usize;
+                        let ns = (se - ps) as usize;
+                        Self::solve_component(
+                            ws,
+                            inputs,
+                            &links_w[ol..ol + nl],
+                            &slots_w[os..os + ns],
+                            &mut rates_w[os..os + ns],
+                            &mut loads_w[ol..ol + nl],
+                        );
+                        ol += nl;
+                        os += ns;
+                        pl = le;
+                        ps = se;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Stage and solve one connected component in `ws`; rates and link
+    /// loads land in the component's slices of the scratch buffers.
+    fn solve_component(
+        ws: &mut FairShareWorkspace,
+        inp: &SolveInputs<'_>,
+        links: &[u32],
+        slots: &[u32],
+        rates_out: &mut [f64],
+        loads_out: &mut [f64],
+    ) {
+        ws.begin(links.len());
+        for (li, &l) in links.iter().enumerate() {
+            ws.set_link(li, inp.topo.link(LinkId(l)).capacity_bps, 0.0);
+            ws.preload_link(li, inp.cbr_load_bps[l as usize]);
+        }
+        for &slot in slots {
+            ws.add_flow(
+                inp.slot_hops
+                    .links(slot)
+                    .iter()
+                    .map(|&l| inp.link_local[l as usize]),
+                None,
+            );
+        }
+        ws.solve();
+        for (fi, r) in rates_out.iter_mut().enumerate() {
+            *r = ws.rate_bps(fi);
+        }
+        for (li, ld) in loads_out.iter_mut().enumerate() {
+            *ld = ws.link_load_bps(li);
+        }
+    }
+
     /// Recompute rates for the whole network regardless of what is dirty.
     pub fn full_recompute(&mut self) {
         for l in 0..self.topo.num_links() as u32 {
@@ -949,8 +1562,12 @@ impl FlowNet {
     /// lazily; takes `&mut self` for exactly that reason.
     ///
     /// # Panics
-    /// Panics if rates are stale.
+    /// Panics if rates are stale (exact mode; relaxed projections are
+    /// always valid under the current — possibly provisional — rates).
     pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        if self.relaxed {
+            return self.next_completion_relaxed();
+        }
         assert!(!self.rates_dirty, "next_completion with stale rates");
         if self.heap.len() > 64 && self.heap.len() > 4 * self.index.len() {
             self.compact_heap();
@@ -981,6 +1598,67 @@ impl FlowNet {
                 self.heap.pop();
                 let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, rate);
                 self.heap.push(Reverse((self.now + d, id, fe)));
+                continue;
+            }
+            return Some((t, fid));
+        }
+        None
+    }
+
+    /// Relaxed variant: a flow drained by an out-of-advance fold keeps an
+    /// immediate entry (returned clamped to `now` so the driver reaps it
+    /// on its next advance), and stale byte-ceil projections fold the flow
+    /// before re-projecting.
+    fn next_completion_relaxed(&mut self) -> Option<(SimTime, FlowId)> {
+        if self.heap.len() > 64 && self.heap.len() > 4 * self.index.len() {
+            self.compact_heap();
+        }
+        while let Some(&Reverse((t, id, fe))) = self.heap.peek() {
+            let fid = FlowId(id);
+            let Some(&slot) = self.index.get(&fid) else {
+                self.heap.pop();
+                continue;
+            };
+            let (epoch_ok, rem, rate, src, metered) = {
+                let st = self.slot(slot);
+                (
+                    st.rate_epoch == fe,
+                    st.flow.remaining_bytes,
+                    st.flow.rate_bps,
+                    st.flow.spec.tuple.src.0 as usize,
+                    st.metered,
+                )
+            };
+            let Some(rem) = rem.filter(|_| epoch_ok) else {
+                self.heap.pop();
+                continue;
+            };
+            if rem <= 0.0 {
+                return Some((t.max(self.now), fid));
+            }
+            if rate <= 0.0 {
+                self.heap.pop();
+                continue;
+            }
+            if t <= self.now {
+                self.heap.pop();
+                if metered {
+                    self.fold_node(src, self.now);
+                }
+                self.fold_slot(slot, self.now);
+                let rem = self
+                    .slot(slot)
+                    .flow
+                    .remaining_bytes
+                    .expect("bounded flow stays bounded");
+                self.stats.heap_pushes += 1;
+                if rem <= 0.0 {
+                    self.heap.push(Reverse((self.now, id, fe)));
+                    return Some((self.now, fid));
+                }
+                let d = SimDuration::for_bytes_at_rate(rem.ceil() as u64, rate);
+                self.heap
+                    .push(Reverse((self.now.saturating_add(d), id, fe)));
                 continue;
             }
             return Some((t, fid));
@@ -1024,11 +1702,19 @@ impl FlowNet {
     }
 
     /// Cumulative bytes sourced by `node` since the start of the run.
+    /// In relaxed mode the counter is evaluated analytically from the
+    /// node's committed bytes plus its lazy rate-sum segment — reading it
+    /// never forces a fold.
     pub fn cum_tx_bytes(&self, node: NodeId) -> f64 {
-        self.cum_tx_bytes
-            .get(node.0 as usize)
-            .copied()
-            .unwrap_or(0.0)
+        let i = node.0 as usize;
+        let Some(&committed) = self.cum_tx_bytes.get(i) else {
+            return 0.0;
+        };
+        if !self.relaxed {
+            return committed;
+        }
+        let dt = self.now.saturating_since(self.node_since[i]).as_secs_f64();
+        committed + self.node_rate_bps[i] * dt / 8.0
     }
 
     // --- incidence-list and hot-set maintenance -------------------------
@@ -1424,6 +2110,145 @@ mod tests {
         net.assert_matches_reference();
         net.full_recompute();
         net.assert_matches_reference();
+    }
+
+    /// Drive exact and relaxed nets through the same churn (start, share,
+    /// complete, remove) with a solve after every mutation: rates are then
+    /// identical, so completions and byte counters must agree to rounding.
+    #[test]
+    fn relaxed_matches_exact_through_churn() {
+        let mr = small();
+        let mut exact = FlowNet::new(mr.topology.clone());
+        let mut relaxed = FlowNet::new(mr.topology.clone());
+        relaxed.set_relaxed_order(true);
+        for net in [&mut exact, &mut relaxed] {
+            let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+            let t2 = FiveTuple::tcp(mr.servers[0], mr.servers[3], 40001, 50060);
+            net.start_flow(
+                FlowSpec::tcp_transfer(t1, 62_500_000),
+                cross_rack_path(&mr, 0, 2, 0),
+            );
+            net.start_flow(
+                FlowSpec::tcp_transfer(t2, 125_000_000),
+                cross_rack_path(&mr, 0, 3, 1),
+            );
+            net.recompute();
+        }
+        while let Some((te, fe)) = exact.next_completion() {
+            let (tr, fr) = relaxed.next_completion().unwrap();
+            assert_eq!(fe, fr);
+            let dt = (te.as_secs_f64() - tr.as_secs_f64()).abs();
+            assert!(dt <= 1e-6 * te.as_secs_f64().max(1.0), "dt {dt}");
+            let t = te.max(tr);
+            let de: Vec<FlowId> = exact.advance_to(t).to_vec();
+            let dr: Vec<FlowId> = relaxed.advance_to(t).to_vec();
+            assert_eq!(de, dr);
+            let ce = exact.cum_tx_bytes(mr.servers[0]);
+            let cr = relaxed.cum_tx_bytes(mr.servers[0]);
+            assert!((ce - cr).abs() <= 8.0, "cum {ce} vs {cr}");
+            for id in de {
+                let re = exact.remove_flow(id);
+                let rr = relaxed.remove_flow(id);
+                assert!((re.transferred_bytes - rr.transferred_bytes).abs() <= 8.0);
+                assert_eq!(re.ended_at, t);
+                assert_eq!(rr.ended_at, t);
+            }
+            exact.recompute();
+            relaxed.recompute();
+        }
+        assert!(relaxed.next_completion().is_none());
+    }
+
+    /// Many disjoint rack-local components, solved sequentially and with
+    /// 4 workers: the canonical write-back makes the results — rates,
+    /// loads, byte counters — bitwise identical.
+    #[test]
+    fn parallel_component_solve_is_worker_count_invariant() {
+        let build = |workers: usize| {
+            let mr = build_multi_rack(&MultiRackParams {
+                racks: 8,
+                servers_per_rack: 40,
+                nic_bps: 1e9,
+                trunk_count: 2,
+                trunk_bps: 1e9,
+            });
+            let t = &mr.topology;
+            let mut net = FlowNet::new(t.clone());
+            net.set_relaxed_order(true);
+            net.set_solver_workers(workers);
+            // 320 rack-local flows in 8+ disjoint components — well past
+            // the sequential cutoff.
+            for (i, &s) in mr.servers.iter().enumerate() {
+                let rack = t.node(s).rack().unwrap() as usize;
+                let up = t.find_link(s, mr.tors[rack], 0).unwrap();
+                let tuple = FiveTuple::tcp(s, mr.tors[rack], 40000 + i as u16, 50060);
+                net.start_flow(
+                    FlowSpec::tcp_transfer(tuple, 10_000_000 + (i as u64) * 1000),
+                    Path::new(t, vec![up]).unwrap(),
+                );
+            }
+            net.recompute();
+            net.advance_to(SimTime::from_millis(10));
+            (mr, net)
+        };
+        let (mr, mut seq) = build(1);
+        let (_, mut par) = build(4);
+        let rates_seq: Vec<f64> = seq.flows().map(|(_, f)| f.rate_bps).collect();
+        let rates_par: Vec<f64> = par.flows().map(|(_, f)| f.rate_bps).collect();
+        assert_eq!(rates_seq, rates_par);
+        for &s in &mr.servers {
+            assert_eq!(seq.cum_tx_bytes(s).to_bits(), par.cum_tx_bytes(s).to_bits());
+        }
+        let (ts, fs) = seq.next_completion().unwrap();
+        let (tp, fp) = par.next_completion().unwrap();
+        assert_eq!((ts, fs), (tp, fp));
+    }
+
+    /// A relaxed flow whose bytes drain at a fold outside `advance_to`
+    /// (rate raised mid-flight, shortening the true completion past the
+    /// old ceil projection) must still be reaped by the next advance.
+    #[test]
+    fn relaxed_fold_drain_is_reaped() {
+        let mr = small();
+        let t = &mr.topology;
+        let mut net = FlowNet::new(t.clone());
+        net.set_relaxed_order(true);
+        let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        let t2 = FiveTuple::tcp(mr.servers[0], mr.servers[3], 40001, 50060);
+        let f1 = net.start_flow(
+            FlowSpec::tcp_transfer(t1, 62_500_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        let f2 = net.start_flow(
+            FlowSpec::tcp_transfer(t2, 125_000_000),
+            cross_rack_path(&mr, 0, 3, 1),
+        );
+        net.recompute();
+        // Both at 500 Mb/s; f1 projects at 1 s. Advance almost there,
+        // then remove f2 — f1's rate doubles at the solve's fold point.
+        net.advance_to(SimTime::from_millis(999));
+        net.remove_flow(f2);
+        net.recompute();
+        let (tc, fc) = net.next_completion().unwrap();
+        assert_eq!(fc, f1);
+        assert!(tc > SimTime::from_millis(999) && tc <= SimTime::from_secs(1));
+        let done = net.advance_to(tc).to_vec();
+        assert_eq!(done, vec![f1]);
+        let rep = net.remove_flow(f1);
+        assert!((rep.transferred_bytes - 62_500_000.0).abs() <= 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before flows start")]
+    fn relaxed_toggle_rejected_after_flows() {
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        net.start_flow(
+            FlowSpec::tcp_transfer(tuple, 1000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        net.set_relaxed_order(true);
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub enum ResolveError {
 #[derive(Debug)]
 pub struct Dataplane {
     tables: BTreeMap<NodeId, FlowTable>,
+    /// Bumped on any rule mutation; memoized resolutions carry the epoch
+    /// they were computed under and die with it.
+    epoch: u64,
 }
 
 impl Dataplane {
@@ -72,7 +75,12 @@ impl Dataplane {
             .filter(|(_, n)| !n.is_server())
             .map(|(id, _)| (id, FlowTable::new(tcam_capacity)))
             .collect();
-        Dataplane { tables }
+        Dataplane { tables, epoch: 0 }
+    }
+
+    /// The current rule epoch; changes whenever any table may have changed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The flow table of `switch`, if it is a switch.
@@ -80,13 +88,16 @@ impl Dataplane {
         self.tables.get(&switch)
     }
 
-    /// Mutable access to a switch's flow table.
+    /// Mutable access to a switch's flow table. Conservatively bumps the
+    /// rule epoch (the caller may mutate through it).
     pub fn table_mut(&mut self, switch: NodeId) -> Option<&mut FlowTable> {
+        self.epoch += 1;
         self.tables.get_mut(&switch)
     }
 
     /// Install `rule` on `switch`.
     pub fn install(&mut self, switch: NodeId, rule: FlowRule) -> Result<(), TableError> {
+        self.epoch += 1;
         self.tables
             .get_mut(&switch)
             .expect("install on non-switch node")
@@ -96,6 +107,7 @@ impl Dataplane {
     /// Remove rules matching `matcher` from every switch. Returns the
     /// total number removed.
     pub fn remove_everywhere(&mut self, matcher: &FlowMatch) -> usize {
+        self.epoch += 1;
         self.tables.values_mut().map(|t| t.remove(matcher)).sum()
     }
 
@@ -103,6 +115,7 @@ impl Dataplane {
     /// failure the controller flushes now-dead forwarding state). Returns
     /// the number removed.
     pub fn remove_rules_via(&mut self, link: LinkId) -> usize {
+        self.epoch += 1;
         let mut removed = 0;
         for t in self.tables.values_mut() {
             let dead: Vec<crate::match_fields::FlowMatch> = t
@@ -137,6 +150,28 @@ impl Dataplane {
         D: DefaultForwarding + ?Sized,
         C: CandidateLinks + ?Sized,
     {
+        let mut tuple_sensitive = false;
+        self.resolve_path_tracked(topo, tuple, default, candidates_for, &mut tuple_sensitive)
+    }
+
+    /// [`Dataplane::resolve_path`], additionally reporting whether the
+    /// resolution depended on anything beyond the (src, dst) pair: a
+    /// default-forwarding choice over multiple candidates (ECMP hashes
+    /// the full tuple) or a rule matching on ports. When it did not,
+    /// the result can be memoized per pair until the rule epoch or the
+    /// candidate tables change.
+    pub fn resolve_path_tracked<D, C>(
+        &mut self,
+        topo: &Topology,
+        tuple: &FiveTuple,
+        default: &D,
+        candidates_for: &C,
+        tuple_sensitive: &mut bool,
+    ) -> Result<Path, ResolveError>
+    where
+        D: DefaultForwarding + ?Sized,
+        C: CandidateLinks + ?Sized,
+    {
         let mut links = Vec::new();
         let mut node = tuple.src;
         let mut hops = 0usize;
@@ -148,13 +183,20 @@ impl Dataplane {
             hops += 1;
             let out = if let Some(table) = self.tables.get_mut(&node) {
                 match table.lookup(tuple) {
-                    Some(rule) => rule.out_link,
-                    None => self.default_choice(node, tuple, default, candidates_for)?,
+                    Some(rule) => {
+                        if rule.matcher.src_port.is_some() || rule.matcher.dst_port.is_some() {
+                            *tuple_sensitive = true;
+                        }
+                        rule.out_link
+                    }
+                    None => {
+                        self.default_choice(node, tuple, default, candidates_for, tuple_sensitive)?
+                    }
                 }
             } else {
                 // Hosts have no tables; they default-forward (single NIC in
                 // our topologies, but the policy decides if multi-homed).
-                self.default_choice(node, tuple, default, candidates_for)?
+                self.default_choice(node, tuple, default, candidates_for, tuple_sensitive)?
             };
             debug_assert_eq!(topo.link(out).src, node, "rule outputs a foreign link");
             links.push(out);
@@ -169,6 +211,7 @@ impl Dataplane {
         tuple: &FiveTuple,
         default: &D,
         candidates_for: &C,
+        tuple_sensitive: &mut bool,
     ) -> Result<LinkId, ResolveError>
     where
         D: DefaultForwarding + ?Sized,
@@ -177,6 +220,10 @@ impl Dataplane {
         let cands = candidates_for.candidates(node, tuple.dst);
         if cands.is_empty() {
             return Err(ResolveError::NoRoute { at: node });
+        }
+        if cands.len() > 1 {
+            // A real choice: the policy may hash the full 5-tuple.
+            *tuple_sensitive = true;
         }
         Ok(default.choose(node, tuple, cands))
     }

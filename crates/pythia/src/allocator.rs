@@ -20,38 +20,28 @@
 //! §VI) enters through the demand volumes themselves: pairs feeding
 //! heavily-loaded reducers carry more outstanding bytes, and the packer
 //! sizes their share of the fabric accordingly.
+//!
+//! Candidates are passed as two parallel slices — `paths: &[Path]`
+//! (typically borrowed straight from the controller's memoized k-shortest
+//! set) and `resids: &[f64]` — so the steady-state control loop never
+//! clones a `Path` just to score it; the allocator clones only the path
+//! it actually assigns.
 
 use std::collections::BTreeMap;
 
 use pythia_netsim::{LinkId, NodeId, Path, Topology};
 
-/// A candidate path with its residual (background-free) bandwidth.
-#[derive(Debug, Clone)]
-pub struct PathChoice {
-    /// The candidate path.
-    pub path: Path,
-    /// min over links of (capacity − background traffic), bits/sec.
-    pub resid_bps: f64,
-}
-
-impl PathChoice {
-    /// Build a candidate by resolving each `(src, dst, parallel_index)`
-    /// hop against the topology. Returns `None` when any hop has no link
-    /// at the requested index or the sequence is not a valid path — a
-    /// degraded or non-dumbbell fabric then simply offers fewer
-    /// candidates (down to [`Placement::NoPath`]) instead of panicking.
-    pub fn try_new(
-        topo: &Topology,
-        hops: &[(NodeId, NodeId, usize)],
-        resid_bps: f64,
-    ) -> Option<PathChoice> {
-        let links: Option<Vec<LinkId>> = hops
-            .iter()
-            .map(|&(a, b, k)| topo.find_link(a, b, k))
-            .collect();
-        let path = Path::new(topo, links?).ok()?;
-        Some(PathChoice { path, resid_bps })
-    }
+/// Resolve each `(src, dst, parallel_index)` hop against the topology
+/// into a candidate [`Path`]. Returns `None` when any hop has no link at
+/// the requested index or the sequence is not a valid path — a degraded
+/// or non-dumbbell fabric then simply offers fewer candidates (down to
+/// [`Placement::NoPath`]) instead of panicking.
+pub fn resolve_hops(topo: &Topology, hops: &[(NodeId, NodeId, usize)]) -> Option<Path> {
+    let links: Option<Vec<LinkId>> = hops
+        .iter()
+        .map(|&(a, b, k)| topo.find_link(a, b, k))
+        .collect();
+    Path::new(topo, links?).ok()
 }
 
 /// Result of placing demand for a pair.
@@ -77,10 +67,14 @@ struct Assignment {
 #[derive(Debug, Default)]
 pub struct FlowAllocator {
     assignments: BTreeMap<(NodeId, NodeId), Assignment>,
-    /// Outstanding predicted bytes planned per link.
-    planned_link_bytes: BTreeMap<LinkId, u64>,
+    /// Outstanding predicted bytes planned per link, dense-indexed by
+    /// `LinkId` and grown lazily (links never planned onto stay absent).
+    planned_link_bytes: Vec<u64>,
     /// Active pairs assigned per link (the size-blind load signal).
-    planned_link_pairs: BTreeMap<LinkId, u64>,
+    planned_link_pairs: Vec<u64>,
+    /// Links shared by every candidate, rebuilt per score; kept here so
+    /// the steady-state control loop does not allocate.
+    common_scratch: Vec<LinkId>,
     /// When false, placement ignores predicted volumes (FlowComb-like
     /// mode): load is counted in *pairs*, not bytes.
     size_blind: bool,
@@ -88,6 +82,30 @@ pub struct FlowAllocator {
     pub placements: u64,
     /// Demands stacked onto an already-active pair (no rule churn).
     pub keeps: u64,
+}
+
+/// `table[link] += v`, growing the table on first touch of a link.
+fn table_add(table: &mut Vec<u64>, links: &[LinkId], v: u64) {
+    for &l in links {
+        let i = l.0 as usize;
+        if i >= table.len() {
+            table.resize(i + 1, 0);
+        }
+        table[i] += v;
+    }
+}
+
+/// `table[link] -= v`, saturating; links never grown read as zero.
+fn table_sub(table: &mut [u64], links: &[LinkId], v: u64) {
+    for &l in links {
+        if let Some(s) = table.get_mut(l.0 as usize) {
+            *s = s.saturating_sub(v);
+        }
+    }
+}
+
+fn table_get(table: &[u64], l: LinkId) -> u64 {
+    table.get(l.0 as usize).copied().unwrap_or(0)
 }
 
 impl FlowAllocator {
@@ -110,9 +128,9 @@ impl FlowAllocator {
     /// transfer size when size-blind).
     fn link_load_metric(&self, l: LinkId) -> u64 {
         if self.size_blind {
-            self.planned_link_pairs.get(&l).copied().unwrap_or(0)
+            table_get(&self.planned_link_pairs, l)
         } else {
-            self.planned_link_bytes.get(&l).copied().unwrap_or(0)
+            table_get(&self.planned_link_bytes, l)
         }
     }
 
@@ -126,13 +144,16 @@ impl FlowAllocator {
     }
 
     /// Add `bytes` of predicted demand for `pair`, choosing a path if the
-    /// pair is idle.
+    /// pair is idle. `resids[i]` is candidate `paths[i]`'s residual
+    /// (background-free) bandwidth in bits/sec.
     pub fn place(
         &mut self,
         pair: (NodeId, NodeId),
         bytes: u64,
-        candidates: &[PathChoice],
+        paths: &[Path],
+        resids: &[f64],
     ) -> Placement {
+        debug_assert_eq!(paths.len(), resids.len());
         if bytes == 0 {
             return Placement::Keep;
         }
@@ -140,60 +161,61 @@ impl FlowAllocator {
             if a.outstanding > 0 {
                 // Active pair: stack the demand on the installed path.
                 a.outstanding += bytes;
-                let path = a.path.clone();
-                self.add_planned(&path, bytes);
+                table_add(&mut self.planned_link_bytes, a.path.links(), bytes);
                 self.keeps += 1;
                 return Placement::Keep;
             }
         }
-        if candidates.is_empty() {
+        if paths.is_empty() {
             return Placement::NoPath;
         }
         // Links shared by every candidate (the NIC access legs) carry the
         // transfer no matter what we choose; only the distinctive links
         // (the trunk choice) may enter the score, or a loaded shared leg
         // masks the difference and every tie falls onto the first trunk.
-        let common: Vec<LinkId> = candidates[0]
-            .path
-            .links()
-            .iter()
-            .copied()
-            .filter(|&l| candidates.iter().all(|c| c.path.contains_link(l)))
-            .collect();
+        let mut common = std::mem::take(&mut self.common_scratch);
+        common.clear();
+        common.extend(
+            paths[0]
+                .links()
+                .iter()
+                .copied()
+                .filter(|&l| paths.iter().all(|p| p.contains_link(l))),
+        );
         // Pick the path finishing this transfer earliest over the links
         // the decision actually controls.
         let mut best: Option<(f64, usize)> = None;
-        for (i, c) in candidates.iter().enumerate() {
-            if c.resid_bps <= 0.0 {
+        for (i, p) in paths.iter().enumerate() {
+            if resids[i] <= 0.0 {
                 continue;
             }
-            let planned = c
-                .path
+            let planned = p
                 .links()
                 .iter()
                 .filter(|l| !common.contains(l))
                 .map(|l| self.link_load_metric(*l))
                 .max()
                 .unwrap_or(0);
-            let eta = (planned + self.demand_metric(bytes)) as f64 * 8.0 / c.resid_bps;
+            let eta = (planned + self.demand_metric(bytes)) as f64 * 8.0 / resids[i];
             if best.map(|(b, _)| eta < b).unwrap_or(true) {
                 best = Some((eta, i));
             }
         }
+        self.common_scratch = common;
         // All candidates fully saturated by background: fall back to the
         // raw highest-residual path (index 0 if every residual is zero).
         let idx = match best {
             Some((_, i)) => i,
-            None => candidates
+            None => resids
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.resid_bps.total_cmp(&b.1.resid_bps))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap(),
         };
-        let path = candidates[idx].path.clone();
-        self.add_planned(&path, bytes);
-        self.add_pair_count(&path);
+        let path = paths[idx].clone();
+        table_add(&mut self.planned_link_bytes, path.links(), bytes);
+        table_add(&mut self.planned_link_pairs, path.links(), 1);
         self.assignments.insert(
             pair,
             Assignment {
@@ -213,30 +235,33 @@ impl FlowAllocator {
     pub fn reassign(
         &mut self,
         pair: (NodeId, NodeId),
-        candidates: &[PathChoice],
+        paths: &[Path],
+        resids: &[f64],
         improvement: f64,
     ) -> Option<Path> {
         assert!(improvement >= 1.0);
-        let (current, outstanding) = {
-            let a = self.assignments.get(&pair)?;
-            if a.outstanding == 0 {
-                return None;
-            }
-            (a.path.clone(), a.outstanding)
+        debug_assert_eq!(paths.len(), resids.len());
+        let outstanding = match self.assignments.get(&pair) {
+            Some(a) if a.outstanding > 0 => a.outstanding,
+            _ => return None,
         };
         // Score without this pair's own planned bytes.
-        self.remove_planned(&current, outstanding);
-        let common: Vec<LinkId> = if candidates.is_empty() {
-            Vec::new()
-        } else {
-            candidates[0]
-                .path
-                .links()
-                .iter()
-                .copied()
-                .filter(|&l| candidates.iter().all(|c| c.path.contains_link(l)))
-                .collect()
-        };
+        {
+            let a = &self.assignments[&pair];
+            table_sub(&mut self.planned_link_bytes, a.path.links(), outstanding);
+        }
+        let mut common = std::mem::take(&mut self.common_scratch);
+        common.clear();
+        if let Some(first) = paths.first() {
+            common.extend(
+                first
+                    .links()
+                    .iter()
+                    .copied()
+                    .filter(|&l| paths.iter().all(|p| p.contains_link(l))),
+            );
+        }
+        let current = &self.assignments[&pair].path;
         let eta = |path: &Path, resid: f64| -> f64 {
             if resid <= 0.0 {
                 return f64::INFINITY;
@@ -250,41 +275,42 @@ impl FlowAllocator {
                 .unwrap_or(0);
             (planned + self.demand_metric(outstanding)) as f64 * 8.0 / resid
         };
-        let current_eta = candidates
+        let current_eta = paths
             .iter()
-            .find(|c| c.path.links() == current.links())
-            .map(|c| eta(&current, c.resid_bps))
+            .zip(resids)
+            .find(|(p, _)| p.links() == current.links())
+            .map(|(_, &r)| eta(current, r))
             .unwrap_or(f64::INFINITY);
-        let best = candidates
+        let best = paths
             .iter()
-            .map(|c| (eta(&c.path, c.resid_bps), c))
+            .zip(resids)
+            .map(|(p, &r)| (eta(p, r), p))
             .min_by(|a, b| a.0.total_cmp(&b.0));
         let moved = match best {
-            Some((best_eta, c))
-                if c.path.links() != current.links()
+            Some((best_eta, p))
+                if p.links() != current.links()
                     && best_eta.is_finite()
                     && best_eta * improvement < current_eta =>
             {
-                Some(c.path.clone())
+                Some(p.clone())
             }
             _ => None,
         };
+        self.common_scratch = common;
         match &moved {
             Some(path) => {
-                self.add_planned(path, outstanding);
-                self.remove_pair_count(&current);
-                self.add_pair_count(path);
-                self.assignments.insert(
-                    pair,
-                    Assignment {
-                        path: path.clone(),
-                        outstanding,
-                    },
-                );
+                table_add(&mut self.planned_link_bytes, path.links(), outstanding);
+                {
+                    let a = &self.assignments[&pair];
+                    table_sub(&mut self.planned_link_pairs, a.path.links(), 1);
+                }
+                table_add(&mut self.planned_link_pairs, path.links(), 1);
+                self.assignments.get_mut(&pair).unwrap().path = path.clone();
                 self.placements += 1;
             }
             None => {
-                self.add_planned(&current, outstanding);
+                let a = &self.assignments[&pair];
+                table_add(&mut self.planned_link_bytes, a.path.links(), outstanding);
             }
         }
         moved
@@ -292,11 +318,21 @@ impl FlowAllocator {
 
     /// Active pairs (outstanding > 0), in deterministic order.
     pub fn active_pairs(&self) -> Vec<(NodeId, NodeId)> {
-        self.assignments
-            .iter()
-            .filter(|(_, a)| a.outstanding > 0)
-            .map(|(&p, _)| p)
-            .collect()
+        let mut out = Vec::new();
+        self.active_pairs_into(&mut out);
+        out
+    }
+
+    /// [`FlowAllocator::active_pairs`] into a caller-owned buffer, so the
+    /// periodic reassignment sweep can reuse one allocation.
+    pub fn active_pairs_into(&self, out: &mut Vec<(NodeId, NodeId)>) {
+        out.clear();
+        out.extend(
+            self.assignments
+                .iter()
+                .filter(|(_, a)| a.outstanding > 0)
+                .map(|(&p, _)| p),
+        );
     }
 
     /// A fetch belonging to `pair` completed; remove its predicted bytes
@@ -305,11 +341,9 @@ impl FlowAllocator {
         if let Some(a) = self.assignments.get_mut(&pair) {
             let drained = bytes.min(a.outstanding);
             a.outstanding -= drained;
-            let went_idle = a.outstanding == 0;
-            let path = a.path.clone();
-            self.remove_planned(&path, drained);
-            if went_idle {
-                self.remove_pair_count(&path);
+            table_sub(&mut self.planned_link_bytes, a.path.links(), drained);
+            if a.outstanding == 0 {
+                table_sub(&mut self.planned_link_pairs, a.path.links(), 1);
             }
         }
     }
@@ -317,10 +351,9 @@ impl FlowAllocator {
     /// Forget a pair entirely (job teardown).
     pub fn remove_pair(&mut self, pair: (NodeId, NodeId)) {
         if let Some(a) = self.assignments.remove(&pair) {
-            let path = a.path.clone();
-            self.remove_planned(&path, a.outstanding);
+            table_sub(&mut self.planned_link_bytes, a.path.links(), a.outstanding);
             if a.outstanding > 0 {
-                self.remove_pair_count(&path);
+                table_sub(&mut self.planned_link_pairs, a.path.links(), 1);
             }
         }
     }
@@ -342,40 +375,14 @@ impl FlowAllocator {
     pub fn path_planned_bytes(&self, path: &Path) -> u64 {
         path.links()
             .iter()
-            .map(|l| self.planned_link_bytes.get(l).copied().unwrap_or(0))
+            .map(|&l| table_get(&self.planned_link_bytes, l))
             .max()
             .unwrap_or(0)
     }
 
     /// Outstanding predicted bytes currently planned across `link`.
     pub fn planned_bytes_on_link(&self, link: LinkId) -> u64 {
-        self.planned_link_bytes.get(&link).copied().unwrap_or(0)
-    }
-
-    fn add_planned(&mut self, path: &Path, bytes: u64) {
-        for &l in path.links() {
-            *self.planned_link_bytes.entry(l).or_insert(0) += bytes;
-        }
-    }
-
-    fn remove_planned(&mut self, path: &Path, bytes: u64) {
-        for &l in path.links() {
-            let v = self.planned_link_bytes.entry(l).or_insert(0);
-            *v = v.saturating_sub(bytes);
-        }
-    }
-
-    fn add_pair_count(&mut self, path: &Path) {
-        for &l in path.links() {
-            *self.planned_link_pairs.entry(l).or_insert(0) += 1;
-        }
-    }
-
-    fn remove_pair_count(&mut self, path: &Path) {
-        for &l in path.links() {
-            let v = self.planned_link_pairs.entry(l).or_insert(0);
-            *v = v.saturating_sub(1);
-        }
+        table_get(&self.planned_link_bytes, link)
     }
 }
 
@@ -385,34 +392,39 @@ mod tests {
     use pythia_netsim::{build_multi_rack, MultiRack, MultiRackParams};
 
     /// Up to two candidate cross-rack paths (one per trunk) for a server
-    /// pair. Trunks absent from the fabric (degraded or single-trunk
-    /// topologies) yield fewer candidates rather than a panic.
+    /// pair, as parallel `(paths, resids)` slices. Trunks absent from the
+    /// fabric (degraded or single-trunk topologies) yield fewer
+    /// candidates rather than a panic.
     fn pair_candidates(
         mr: &MultiRack,
         src: usize,
         dst: usize,
         resid0: f64,
         resid1: f64,
-    ) -> Vec<PathChoice> {
+    ) -> (Vec<Path>, Vec<f64>) {
         let t = &mr.topology;
-        let mk = |trunk: usize, resid: f64| {
-            PathChoice::try_new(
+        let mk = |trunk: usize| {
+            resolve_hops(
                 t,
                 &[
                     (mr.servers[src], mr.tors[0], 0),
                     (mr.tors[0], mr.tors[1], trunk),
                     (mr.tors[1], mr.servers[dst], 0),
                 ],
-                resid,
             )
         };
-        [mk(0, resid0), mk(1, resid1)]
-            .into_iter()
-            .flatten()
-            .collect()
+        let mut paths = Vec::new();
+        let mut resids = Vec::new();
+        for (p, r) in [(mk(0), resid0), (mk(1), resid1)] {
+            if let Some(p) = p {
+                paths.push(p);
+                resids.push(r);
+            }
+        }
+        (paths, resids)
     }
 
-    fn candidates(mr: &MultiRack, resid0: f64, resid1: f64) -> Vec<PathChoice> {
+    fn candidates(mr: &MultiRack, resid0: f64, resid1: f64) -> (Vec<Path>, Vec<f64>) {
         pair_candidates(mr, 0, 5, resid0, resid1)
     }
 
@@ -428,9 +440,9 @@ mod tests {
     fn picks_highest_available_bandwidth_when_plan_empty() {
         let mr = mr();
         let mut a = FlowAllocator::new();
-        let cands = candidates(&mr, 1e9, 5e9);
-        match a.place(pair(&mr), 1_000_000, &cands) {
-            Placement::Assign(p) => assert_eq!(p.links(), cands[1].path.links()),
+        let (paths, resids) = candidates(&mr, 1e9, 5e9);
+        match a.place(pair(&mr), 1_000_000, &paths, &resids) {
+            Placement::Assign(p) => assert_eq!(p.links(), paths[1].links()),
             other => panic!("expected Assign, got {other:?}"),
         }
     }
@@ -443,14 +455,12 @@ mod tests {
         // (each pair has its own NIC legs; only the trunks are shared).
         let p1 = (mr.servers[0], mr.servers[5]);
         let p2 = (mr.servers[1], mr.servers[6]);
-        let Placement::Assign(path1) =
-            a.place(p1, 100_000_000, &pair_candidates(&mr, 0, 5, 1e9, 1e9))
-        else {
+        let (paths1, resids1) = pair_candidates(&mr, 0, 5, 1e9, 1e9);
+        let Placement::Assign(path1) = a.place(p1, 100_000_000, &paths1, &resids1) else {
             panic!()
         };
-        let Placement::Assign(path2) =
-            a.place(p2, 100_000_000, &pair_candidates(&mr, 1, 6, 1e9, 1e9))
-        else {
+        let (paths2, resids2) = pair_candidates(&mr, 1, 6, 1e9, 1e9);
+        let Placement::Assign(path2) = a.place(p2, 100_000_000, &paths2, &resids2) else {
             panic!()
         };
         assert_ne!(
@@ -465,25 +475,20 @@ mod tests {
         let mr = mr();
         let mut a = FlowAllocator::new();
         // Big transfer lands on some trunk.
-        a.place(
-            (mr.servers[0], mr.servers[5]),
-            800_000_000,
-            &pair_candidates(&mr, 0, 5, 1e9, 1e9),
-        );
+        let (paths, resids) = pair_candidates(&mr, 0, 5, 1e9, 1e9);
+        a.place((mr.servers[0], mr.servers[5]), 800_000_000, &paths, &resids);
         // Two small ones should both prefer the other trunk (planned load
         // 800 MB vs 0/100 MB at the shared bottleneck).
-        let Placement::Assign(p2) = a.place(
-            (mr.servers[1], mr.servers[6]),
-            100_000_000,
-            &pair_candidates(&mr, 1, 6, 1e9, 1e9),
-        ) else {
+        let (paths, resids) = pair_candidates(&mr, 1, 6, 1e9, 1e9);
+        let Placement::Assign(p2) =
+            a.place((mr.servers[1], mr.servers[6]), 100_000_000, &paths, &resids)
+        else {
             panic!()
         };
-        let Placement::Assign(p3) = a.place(
-            (mr.servers[2], mr.servers[7]),
-            100_000_000,
-            &pair_candidates(&mr, 2, 7, 1e9, 1e9),
-        ) else {
+        let (paths, resids) = pair_candidates(&mr, 2, 7, 1e9, 1e9);
+        let Placement::Assign(p3) =
+            a.place((mr.servers[2], mr.servers[7]), 100_000_000, &paths, &resids)
+        else {
             panic!()
         };
         assert_eq!(p2.links()[1], p3.links()[1]);
@@ -499,10 +504,13 @@ mod tests {
     fn active_pair_keeps_its_path() {
         let mr = mr();
         let mut a = FlowAllocator::new();
-        let cands = candidates(&mr, 1e9, 1e9);
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
         let p = pair(&mr);
-        assert!(matches!(a.place(p, 100, &cands), Placement::Assign(_)));
-        assert_eq!(a.place(p, 200, &cands), Placement::Keep);
+        assert!(matches!(
+            a.place(p, 100, &paths, &resids),
+            Placement::Assign(_)
+        ));
+        assert_eq!(a.place(p, 200, &paths, &resids), Placement::Keep);
         assert_eq!(a.outstanding(p), 300);
     }
 
@@ -510,22 +518,25 @@ mod tests {
     fn drained_pair_can_be_reassigned() {
         let mr = mr();
         let mut a = FlowAllocator::new();
-        let cands = candidates(&mr, 1e9, 1e9);
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
         let p = pair(&mr);
-        a.place(p, 100, &cands);
+        a.place(p, 100, &paths, &resids);
         a.drain(p, 100);
         assert_eq!(a.outstanding(p), 0);
         // Now idle: a new demand re-places (possibly on a new path).
-        assert!(matches!(a.place(p, 50, &cands), Placement::Assign(_)));
+        assert!(matches!(
+            a.place(p, 50, &paths, &resids),
+            Placement::Assign(_)
+        ));
     }
 
     #[test]
     fn drain_clears_planned_link_bytes() {
         let mr = mr();
         let mut a = FlowAllocator::new();
-        let cands = candidates(&mr, 1e9, 1e9);
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
         let p = pair(&mr);
-        let Placement::Assign(path) = a.place(p, 500, &cands) else {
+        let Placement::Assign(path) = a.place(p, 500, &paths, &resids) else {
             panic!()
         };
         let trunk = path.links()[1];
@@ -538,9 +549,9 @@ mod tests {
     fn zero_residual_falls_back_not_crashes() {
         let mr = mr();
         let mut a = FlowAllocator::new();
-        let cands = candidates(&mr, 0.0, 0.0);
+        let (paths, resids) = candidates(&mr, 0.0, 0.0);
         assert!(matches!(
-            a.place(pair(&mr), 100, &cands),
+            a.place(pair(&mr), 100, &paths, &resids),
             Placement::Assign(_)
         ));
     }
@@ -549,7 +560,7 @@ mod tests {
     fn no_candidates_reports_no_path() {
         let mr = mr();
         let mut a = FlowAllocator::new();
-        assert_eq!(a.place(pair(&mr), 100, &[]), Placement::NoPath);
+        assert_eq!(a.place(pair(&mr), 100, &[], &[]), Placement::NoPath);
     }
 
     #[test]
@@ -559,16 +570,17 @@ mod tests {
         let p = pair(&mr);
         // Placed when both trunks were free; trunk of the chosen path then
         // collapses to 50 Mb/s while the other has 950 Mb/s.
-        let Placement::Assign(path0) = a.place(p, 1_000_000, &candidates(&mr, 1e9, 1e9)) else {
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
+        let Placement::Assign(path0) = a.place(p, 1_000_000, &paths, &resids) else {
             panic!()
         };
-        let on_first = path0.links() == candidates(&mr, 1.0, 2.0)[0].path.links();
-        let cands = if on_first {
+        let on_first = path0.links() == paths[0].links();
+        let (paths, resids) = if on_first {
             candidates(&mr, 0.05e9, 0.95e9)
         } else {
             candidates(&mr, 0.95e9, 0.05e9)
         };
-        let moved = a.reassign(p, &cands, 1.5).expect("must move");
+        let moved = a.reassign(p, &paths, &resids, 1.5).expect("must move");
         assert_ne!(moved.links()[1], path0.links()[1]);
         // Planned bytes follow the move.
         assert_eq!(a.planned_bytes_on_link(path0.links()[1]), 0);
@@ -580,10 +592,13 @@ mod tests {
         let mr = mr();
         let mut a = FlowAllocator::new();
         let p = pair(&mr);
-        a.place(p, 1_000_000, &candidates(&mr, 1e9, 1e9));
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
+        a.place(p, 1_000_000, &paths, &resids);
         // 20% better alternative: below the 1.5x bar, stay put.
-        let moved = a.reassign(p, &candidates(&mr, 1e9, 1.2e9), 1.5);
-        let moved2 = a.reassign(p, &candidates(&mr, 1.2e9, 1e9), 1.5);
+        let (paths, resids) = candidates(&mr, 1e9, 1.2e9);
+        let moved = a.reassign(p, &paths, &resids, 1.5);
+        let (paths, resids) = candidates(&mr, 1.2e9, 1e9);
+        let moved2 = a.reassign(p, &paths, &resids, 1.5);
         assert!(moved.is_none() || moved2.is_none());
     }
 
@@ -592,10 +607,12 @@ mod tests {
         let mr = mr();
         let mut a = FlowAllocator::new();
         let p = pair(&mr);
-        assert!(a.reassign(p, &candidates(&mr, 1e9, 1e9), 1.5).is_none());
-        a.place(p, 100, &candidates(&mr, 1e9, 1e9));
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
+        assert!(a.reassign(p, &paths, &resids, 1.5).is_none());
+        a.place(p, 100, &paths, &resids);
         a.drain(p, 100);
-        assert!(a.reassign(p, &candidates(&mr, 0.01e9, 1e9), 1.5).is_none());
+        let (paths, resids) = candidates(&mr, 0.01e9, 1e9);
+        assert!(a.reassign(p, &paths, &resids, 1.5).is_none());
     }
 
     #[test]
@@ -604,8 +621,10 @@ mod tests {
         let mut a = FlowAllocator::new();
         let p1 = (mr.servers[0], mr.servers[5]);
         let p2 = (mr.servers[1], mr.servers[6]);
-        a.place(p1, 100, &pair_candidates(&mr, 0, 5, 1e9, 1e9));
-        a.place(p2, 100, &pair_candidates(&mr, 1, 6, 1e9, 1e9));
+        let (paths, resids) = pair_candidates(&mr, 0, 5, 1e9, 1e9);
+        a.place(p1, 100, &paths, &resids);
+        let (paths, resids) = pair_candidates(&mr, 1, 6, 1e9, 1e9);
+        a.place(p2, 100, &paths, &resids);
         a.drain(p2, 100);
         assert_eq!(a.active_pairs(), vec![p1]);
     }
@@ -618,40 +637,38 @@ mod tests {
             trunk_count: 1,
             ..MultiRackParams::default()
         });
-        let cands = pair_candidates(&mr, 0, 5, 1e9, 1e9);
-        assert_eq!(cands.len(), 1);
+        let (paths, resids) = pair_candidates(&mr, 0, 5, 1e9, 1e9);
+        assert_eq!(paths.len(), 1);
         let mut a = FlowAllocator::new();
         assert!(matches!(
-            a.place((mr.servers[0], mr.servers[5]), 100, &cands),
+            a.place((mr.servers[0], mr.servers[5]), 100, &paths, &resids),
             Placement::Assign(_)
         ));
     }
 
     #[test]
-    fn try_new_rejects_missing_and_discontinuous_hops() {
+    fn resolve_hops_rejects_missing_and_discontinuous_hops() {
         let mr = mr();
         let t = &mr.topology;
         // Parallel index past the trunk count: no such link.
-        assert!(PathChoice::try_new(t, &[(mr.tors[0], mr.tors[1], 9)], 1e9).is_none());
+        assert!(resolve_hops(t, &[(mr.tors[0], mr.tors[1], 9)]).is_none());
         // Hops that do not chain: invalid path.
-        assert!(PathChoice::try_new(
+        assert!(resolve_hops(
             t,
             &[
                 (mr.servers[0], mr.tors[0], 0),
                 (mr.tors[1], mr.servers[5], 0),
             ],
-            1e9,
         )
         .is_none());
         // A well-formed hop list still resolves.
-        assert!(PathChoice::try_new(
+        assert!(resolve_hops(
             t,
             &[
                 (mr.servers[0], mr.tors[0], 0),
                 (mr.tors[0], mr.tors[1], 0),
                 (mr.tors[1], mr.servers[5], 0),
             ],
-            1e9,
         )
         .is_some());
     }
@@ -660,8 +677,8 @@ mod tests {
     fn zero_bytes_is_a_noop() {
         let mr = mr();
         let mut a = FlowAllocator::new();
-        let cands = candidates(&mr, 1e9, 1e9);
-        assert_eq!(a.place(pair(&mr), 0, &cands), Placement::Keep);
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
+        assert_eq!(a.place(pair(&mr), 0, &paths, &resids), Placement::Keep);
         assert_eq!(a.outstanding(pair(&mr)), 0);
     }
 }

@@ -50,7 +50,7 @@ pub mod overhead;
 pub mod residual;
 pub mod scheduler;
 
-pub use allocator::{FlowAllocator, PathChoice, Placement};
+pub use allocator::{resolve_hops, FlowAllocator, Placement};
 pub use collector::{AggregatedDemand, Collector, PredictionOutcome, UnknownServer};
 pub use instrument::{Instrumentation, PredictionMsg};
 pub use mgmtnet::{MgmtNet, MgmtNetConfig, MgmtNetStats};

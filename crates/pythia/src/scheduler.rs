@@ -19,11 +19,11 @@
 
 use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
-use pythia_netsim::{CumulativeCurve, LinkId, NodeId, Topology};
+use pythia_netsim::{CumulativeCurve, LinkId, NodeId, Path, Topology};
 use pythia_openflow::{Controller, FlowMatch, PendingRule};
 use pythia_trace::{AllocOutcome, Component, Trace, TraceEvent};
 
-use crate::allocator::{FlowAllocator, PathChoice, Placement};
+use crate::allocator::{FlowAllocator, Placement};
 use crate::collector::{AggregatedDemand, Collector};
 use crate::instrument::{Instrumentation, PredictionMsg};
 use crate::mgmtnet::MgmtNetConfig;
@@ -138,6 +138,17 @@ pub struct PythiaSystem {
     /// Per-link background/residual capacity, updated incrementally by
     /// [`PythiaSystem::set_background`] so path scoring is O(1) per link.
     residuals: ResidualTable,
+    /// Scratch: active pairs snapshot for the periodic reassignment
+    /// sweep. Reused so the steady-state control loop does not allocate.
+    active_scratch: Vec<(NodeId, NodeId)>,
+    /// Scratch: per-candidate residual bandwidths, parallel to the
+    /// controller's memoized path slice.
+    resid_scratch: Vec<f64>,
+    /// Scratch: candidate paths narrowed to a pinned rack trunk
+    /// (RackPair aggregation only).
+    pin_paths: Vec<Path>,
+    /// Scratch: residuals parallel to `pin_paths`.
+    pin_resids: Vec<f64>,
     /// Flight-recorder handle (off by default).
     trace: Trace,
     /// Aggregate statistics for reporting.
@@ -164,6 +175,10 @@ impl PythiaSystem {
             rack_counted: std::collections::BTreeMap::new(),
             controller_up: true,
             residuals: ResidualTable::new(topo),
+            active_scratch: Vec::new(),
+            resid_scratch: Vec::new(),
+            pin_paths: Vec::new(),
+            pin_resids: Vec::new(),
             trace: Trace::off(),
             stats: PythiaStats::default(),
         }
@@ -346,17 +361,23 @@ impl PythiaSystem {
             return Vec::new();
         }
         let mut rules = Vec::new();
-        for pair in self.allocator.active_pairs() {
-            let candidates: Vec<PathChoice> = controller
-                .paths(pair.0, pair.1)
-                .iter()
-                .map(|p| PathChoice {
-                    path: p.clone(),
-                    resid_bps: self.residuals.path_residual_bps(p),
-                })
-                .collect();
+        // Candidate paths are borrowed straight from the controller's
+        // memoized k-shortest sets; only residuals are recomputed, into a
+        // reused scratch buffer. The allocator clones a path only when a
+        // pair actually moves.
+        let mut pairs = std::mem::take(&mut self.active_scratch);
+        self.allocator.active_pairs_into(&mut pairs);
+        for &pair in &pairs {
+            let paths = controller.paths(pair.0, pair.1);
+            self.resid_scratch.clear();
+            for p in paths {
+                self.resid_scratch.push(self.residuals.path_residual_bps(p));
+            }
             // 1.5× hysteresis: move only for a clear win.
-            if let Some(path) = self.allocator.reassign(pair, &candidates, 1.5) {
+            if let Some(path) = self
+                .allocator
+                .reassign(pair, paths, &self.resid_scratch, 1.5)
+            {
                 self.stats.paths_assigned += 1;
                 let matcher = FlowMatch::server_pair(pair.0, pair.1);
                 let pending = controller.install_path(matcher, &path, self.cfg.rule_priority);
@@ -364,6 +385,7 @@ impl PythiaSystem {
                 rules.extend(pending);
             }
         }
+        self.active_scratch = pairs;
         rules
     }
 
@@ -477,32 +499,37 @@ impl PythiaSystem {
         });
         for d in sorted {
             self.stats.demands_aggregated += 1;
-            let mut candidates: Vec<PathChoice> = controller
-                .paths(d.src, d.dst)
-                .iter()
-                .map(|p| PathChoice {
-                    path: p.clone(),
-                    resid_bps: self.residuals.path_residual_bps(p),
-                })
-                .collect();
+            let rack_key = self.rack_key(controller, d.src, d.dst);
+            let all = controller.paths(d.src, d.dst);
+            self.resid_scratch.clear();
+            for p in all {
+                self.resid_scratch.push(self.residuals.path_residual_bps(p));
+            }
             // Rack aggregation: once a trunk is pinned for this rack pair,
             // every further server pair between the racks must follow it.
-            let rack_key = self.rack_key(controller, d.src, d.dst);
+            // Only that (narrowing) case copies candidates; the common
+            // path borrows them from the controller's memoized set.
+            let mut paths: &[Path] = all;
+            let mut resids: &[f64] = &self.resid_scratch;
             if self.cfg.aggregation == AggregationPolicy::RackPair {
                 if let Some(&(trunk, _)) = rack_key.and_then(|k| self.rack_trunk.get(&k)) {
-                    let pinned: Vec<PathChoice> = candidates
-                        .iter()
-                        .filter(|c| c.path.contains_link(trunk))
-                        .cloned()
-                        .collect();
-                    if !pinned.is_empty() {
-                        candidates = pinned;
+                    self.pin_paths.clear();
+                    self.pin_resids.clear();
+                    for (p, &r) in all.iter().zip(&self.resid_scratch) {
+                        if p.contains_link(trunk) {
+                            self.pin_paths.push(p.clone());
+                            self.pin_resids.push(r);
+                        }
+                    }
+                    if !self.pin_paths.is_empty() {
+                        paths = &self.pin_paths;
+                        resids = &self.pin_resids;
                     }
                 }
             }
             match self
                 .allocator
-                .place((d.src, d.dst), d.added_bytes, &candidates)
+                .place((d.src, d.dst), d.added_bytes, paths, resids)
             {
                 Placement::Assign(path) => {
                     self.stats.paths_assigned += 1;

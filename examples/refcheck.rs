@@ -1,44 +1,49 @@
 //! Prints fingerprint numbers of a deterministic Pythia run (used to
 //! verify refactors keep the fault-free path bit-identical).
+//!
+//! With `--tolerance`, each scenario is additionally run with the
+//! relaxed-order solver and compared against the exact run within the
+//! published epsilon bounds (completion times and probe curves); the
+//! process exits non-zero if any bound is violated.
 
-use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::cluster::{
+    compare_conservation, compare_tolerance, run_scenario, ScenarioConfig, SchedulerKind,
+};
 use pythia_repro::des::SimDuration;
 use pythia_repro::hadoop::{DurationModel, JobSpec};
 use pythia_repro::workloads::SkewModel;
 
 const MB: u64 = 1_000_000;
 
+fn ref_job() -> JobSpec {
+    JobSpec {
+        name: "ref".into(),
+        num_maps: 40,
+        num_reducers: 8,
+        input_bytes: 40 * 64 * MB,
+        map_output_ratio: 1.0,
+        map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1),
+        sort_duration: DurationModel::rate(SimDuration::from_millis(500), 500.0 * MB as f64, 0.1),
+        reduce_duration: DurationModel::rate(SimDuration::from_millis(500), 200.0 * MB as f64, 0.1),
+        partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(8, 0.1, 99),
+    }
+}
+
 fn main() {
+    let tolerance = std::env::args().any(|a| a == "--tolerance");
+    let mut failed = false;
     for (kind, ratio, seed) in [
         (SchedulerKind::Pythia, 20, 42),
         (SchedulerKind::Pythia, 10, 7),
         (SchedulerKind::Ecmp, 20, 42),
         (SchedulerKind::Hedera, 10, 1),
     ] {
-        let job = JobSpec {
-            name: "ref".into(),
-            num_maps: 40,
-            num_reducers: 8,
-            input_bytes: 40 * 64 * MB,
-            map_output_ratio: 1.0,
-            map_duration: DurationModel::rate(SimDuration::from_secs(1), 50.0 * MB as f64, 0.1),
-            sort_duration: DurationModel::rate(
-                SimDuration::from_millis(500),
-                500.0 * MB as f64,
-                0.1,
-            ),
-            reduce_duration: DurationModel::rate(
-                SimDuration::from_millis(500),
-                200.0 * MB as f64,
-                0.1,
-            ),
-            partitioner: SkewModel::Zipf { s: 0.8 }.partitioner(8, 0.1, 99),
-        };
         let cfg = ScenarioConfig::default()
             .with_scheduler(kind)
             .with_oversubscription(ratio)
-            .with_seed(seed);
-        let r = run_scenario(job, &cfg);
+            .with_seed(seed)
+            .with_relaxed_order(false);
+        let r = run_scenario(ref_job(), &cfg);
         println!(
             "{:?} ratio={} seed={} completion={} events={} rules={} flows={}",
             kind,
@@ -49,5 +54,31 @@ fn main() {
             r.rules_installed,
             r.flow_trace.len()
         );
+        if tolerance {
+            let relaxed = run_scenario(ref_job(), &cfg.clone().with_relaxed_order(true));
+            // Pythia routes by (src, dst) pair rules and self-corrects, so
+            // its relaxed drift is held to the epsilon bounds. The
+            // hash-routed baselines rehash on any completion-order flip
+            // (ephemeral ports are schedule-dependent) and are only
+            // required to conserve flows and bytes.
+            let tol = match kind {
+                SchedulerKind::Pythia => compare_tolerance(&r, &relaxed),
+                _ => compare_conservation(&r, &relaxed),
+            };
+            println!(
+                "  relaxed: completion={} events={} | {}",
+                relaxed.completion(),
+                relaxed.events_processed,
+                tol.summary()
+            );
+            for v in &tol.violations {
+                eprintln!("  VIOLATION: {v}");
+            }
+            failed |= !tol.within_bounds();
+        }
+    }
+    if failed {
+        eprintln!("tolerance refcheck FAILED");
+        std::process::exit(1);
     }
 }

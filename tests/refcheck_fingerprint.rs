@@ -4,6 +4,12 @@
 //! cannot silently drift the fault-free simulation path. These exact
 //! values were produced by the eager pre-refactor control plane; the
 //! lazy one must reproduce them byte-for-byte.
+//!
+//! Every scenario pins `.with_relaxed_order(false)`: these fingerprints
+//! define the exact accounting path, which must stay byte-identical no
+//! matter which solver the `relaxed-order` cargo feature selects by
+//! default. The relaxed solver is held to the tolerance bounds in
+//! `tests/relaxed_tolerance.rs` instead.
 
 use pythia_repro::cluster::{run_multi_scenario, run_scenario, ScenarioConfig, SchedulerKind};
 use pythia_repro::des::SimDuration;
@@ -47,7 +53,8 @@ fn reference_fingerprints_are_stable() {
         let cfg = ScenarioConfig::default()
             .with_scheduler(kind)
             .with_oversubscription(ratio)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_relaxed_order(false);
         let r = run_scenario(ref_job(), &cfg);
         let label = format!("{kind:?} ratio={ratio} seed={seed}");
         assert_eq!(format!("{}", r.completion()), completion, "{label}");
@@ -79,7 +86,8 @@ fn fat_tree_multi_job_fingerprint_is_stable() {
         })
         .with_scheduler(SchedulerKind::Pythia)
         .with_oversubscription(10)
-        .with_seed(42);
+        .with_seed(42)
+        .with_relaxed_order(false);
     let r = run_multi_scenario(jobs, &cfg);
     let completions: Vec<String> = r
         .jobs
