@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use pythia_des::SimDuration;
 use pythia_netsim::{FlowId, FlowKind, FlowNet, LinkId, NodeId, Path};
 use pythia_openflow::Controller;
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 /// Hedera-style scheduler configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +70,21 @@ impl HederaScheduler {
             rounds: 0,
             reroutes_issued: 0,
         }
+    }
+
+    /// Serialize the round counters (the config is scenario wiring; the
+    /// placement itself is stateless — each round rebuilds its plan from
+    /// the live network).
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        self.rounds.put(w);
+        self.reroutes_issued.put(w);
+    }
+
+    /// Restore the round counters.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        self.rounds = u64::get(r)?;
+        self.reroutes_issued = u64::get(r)?;
+        Ok(())
     }
 
     /// One control round: detect elephants from current rates and

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use pythia_netsim::{FiveTuple, LinkId, NodeId};
 use pythia_openflow::DefaultForwarding;
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 /// Arrival-order round-robin spreading.
 #[derive(Debug, Default)]
@@ -18,6 +19,20 @@ impl RoundRobinForwarding {
     /// A fresh policy with its counter at zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Serialize the arrival counter. The counter is ambient forwarding
+    /// state: the n-th resolution takes candidate `n % k`, so a resume
+    /// that reset it would route future flows differently from the
+    /// uninterrupted run.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        self.counter.load(Ordering::Relaxed).put(w);
+    }
+
+    /// Restore the arrival counter.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        self.counter.store(u64::get(r)?, Ordering::Relaxed);
+        Ok(())
     }
 }
 

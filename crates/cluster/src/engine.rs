@@ -31,10 +31,15 @@ use pythia_netsim::{
     LinkId, MultiRack, NetFlowProbe, NodeId, Path,
 };
 use pythia_openflow::{Controller, Dataplane, EcmpNextHops, FlowRule, ResolveError};
+use pythia_snapshot::shell::{load_checkpoint, store_checkpoint, Manifest};
+use pythia_snapshot::{
+    crc32, Persist, Reader, SectionReader, SectionWriter, SnapshotError, Writer, SNAPSHOT_VERSION,
+};
 use pythia_trace::{Component, Trace, TraceEvent};
 
 use crate::config::{ScenarioConfig, SchedulerKind};
 use crate::report::{JobOutcome, MultiRunReport, RunReport};
+use crate::snapshot::{config_hash, CheckpointPolicy};
 
 /// Engine events.
 #[derive(Debug)]
@@ -142,6 +147,201 @@ struct ParkedFetch {
     dst_port: u16,
 }
 
+/// Queued events ride inside checkpoints verbatim — times, FIFO sequence
+/// numbers and payloads — so a resumed run pops them in exactly the order
+/// the interrupted run would have.
+impl Persist for Event {
+    fn put(&self, w: &mut SectionWriter) {
+        match self {
+            Event::JobStart(j) => {
+                0u8.put(w);
+                j.put(w);
+            }
+            Event::MapFinish(j, m) => {
+                1u8.put(w);
+                j.put(w);
+                m.put(w);
+            }
+            Event::ReducerStart(j, r) => {
+                2u8.put(w);
+                j.put(w);
+                r.put(w);
+            }
+            Event::SortFinish(j, r) => {
+                3u8.put(w);
+                j.put(w);
+                r.put(w);
+            }
+            Event::ReducerFinish(j, r) => {
+                4u8.put(w);
+                j.put(w);
+                r.put(w);
+            }
+            Event::FlowCheck => 5u8.put(w),
+            // The shared Rc is flattened: duplicate deliveries of one
+            // message serialize the same payload and restore as separate
+            // allocations — identical semantics, slightly more memory.
+            Event::PredictionDeliver(msg) => {
+                6u8.put(w);
+                msg.as_ref().put(w);
+            }
+            Event::RuleActive {
+                switch,
+                rule,
+                generation,
+            } => {
+                7u8.put(w);
+                switch.put(w);
+                rule.put(w);
+                generation.put(w);
+            }
+            Event::HederaTick => 8u8.put(w),
+            Event::LinkLoadSample => 9u8.put(w),
+            Event::ProbeSample => 10u8.put(w),
+            Event::BackgroundChange => 11u8.put(w),
+            Event::LinkState { trunk_cable, up } => {
+                12u8.put(w);
+                trunk_cable.put(w);
+                up.put(w);
+            }
+            Event::ControllerState { up } => {
+                13u8.put(w);
+                up.put(w);
+            }
+            Event::AgentRespill => 14u8.put(w),
+            Event::ParkedSweep => 15u8.put(w),
+        }
+    }
+
+    fn get(r: &mut SectionReader) -> Result<Event, SnapshotError> {
+        Ok(match u8::get(r)? {
+            0 => Event::JobStart(JobId::get(r)?),
+            1 => Event::MapFinish(JobId::get(r)?, MapTaskId::get(r)?),
+            2 => Event::ReducerStart(JobId::get(r)?, ReducerId::get(r)?),
+            3 => Event::SortFinish(JobId::get(r)?, ReducerId::get(r)?),
+            4 => Event::ReducerFinish(JobId::get(r)?, ReducerId::get(r)?),
+            5 => Event::FlowCheck,
+            6 => Event::PredictionDeliver(Rc::new(PredictionMsg::get(r)?)),
+            7 => Event::RuleActive {
+                switch: NodeId::get(r)?,
+                rule: FlowRule::get(r)?,
+                generation: u64::get(r)?,
+            },
+            8 => Event::HederaTick,
+            9 => Event::LinkLoadSample,
+            10 => Event::ProbeSample,
+            11 => Event::BackgroundChange,
+            12 => Event::LinkState {
+                trunk_cable: usize::get(r)?,
+                up: bool::get(r)?,
+            },
+            13 => Event::ControllerState { up: bool::get(r)? },
+            14 => Event::AgentRespill,
+            15 => Event::ParkedSweep,
+            t => return Err(r.malformed(format!("unknown event tag {t}"))),
+        })
+    }
+}
+
+impl Persist for FetchInfo {
+    fn put(&self, w: &mut SectionWriter) {
+        self.map.put(w);
+        self.reducer.put(w);
+        self.src.put(w);
+        self.dst.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<FetchInfo, SnapshotError> {
+        Ok(FetchInfo {
+            map: MapTaskId::get(r)?,
+            reducer: ReducerId::get(r)?,
+            src: ServerId::get(r)?,
+            dst: ServerId::get(r)?,
+        })
+    }
+}
+
+impl Persist for ParkedFetch {
+    fn put(&self, w: &mut SectionWriter) {
+        self.job.put(w);
+        self.fetch.put(w);
+        self.map.put(w);
+        self.reducer.put(w);
+        self.src.put(w);
+        self.dst.put(w);
+        self.app_bytes.put(w);
+        self.src_port.put(w);
+        self.dst_port.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<ParkedFetch, SnapshotError> {
+        Ok(ParkedFetch {
+            job: JobId::get(r)?,
+            fetch: FetchId::get(r)?,
+            map: MapTaskId::get(r)?,
+            reducer: ReducerId::get(r)?,
+            src: ServerId::get(r)?,
+            dst: ServerId::get(r)?,
+            app_bytes: u64::get(r)?,
+            src_port: u16::get(r)?,
+            dst_port: u16::get(r)?,
+        })
+    }
+}
+
+/// Range-check a deserialized event payload against the running scenario
+/// so a snapshot that decodes but references entities the scenario does
+/// not have surfaces as a typed restore error, never an index panic at
+/// dispatch.
+fn validate_event(
+    ev: &Event,
+    n_jobs: usize,
+    n_nodes: usize,
+    n_links: usize,
+    n_servers: usize,
+    n_cables: usize,
+) -> Result<(), String> {
+    let job_ok = |j: JobId| -> Result<(), String> {
+        if (j.0 as usize) < n_jobs {
+            Ok(())
+        } else {
+            Err(format!("event job {} out of range", j.0))
+        }
+    };
+    match ev {
+        Event::JobStart(j)
+        | Event::MapFinish(j, _)
+        | Event::ReducerStart(j, _)
+        | Event::SortFinish(j, _)
+        | Event::ReducerFinish(j, _) => job_ok(*j)?,
+        Event::PredictionDeliver(m) => {
+            job_ok(m.job)?;
+            if m.src_server.0 as usize >= n_servers {
+                return Err(format!(
+                    "prediction source server {} out of range",
+                    m.src_server.0
+                ));
+            }
+        }
+        Event::RuleActive { switch, rule, .. } => {
+            if switch.0 as usize >= n_nodes {
+                return Err(format!("rule switch {} out of range", switch.0));
+            }
+            if rule.out_link.0 as usize >= n_links {
+                return Err(format!("rule out-link {} out of range", rule.out_link.0));
+            }
+            for n in [rule.matcher.src, rule.matcher.dst].into_iter().flatten() {
+                if n.0 as usize >= n_nodes {
+                    return Err(format!("rule matcher node {} out of range", n.0));
+                }
+            }
+        }
+        Event::LinkState { trunk_cable, .. } if *trunk_cable >= n_cables => {
+            return Err(format!("trunk cable {trunk_cable} out of range"));
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 /// Run one scenario to job completion.
 pub fn run_scenario(job: pythia_hadoop::JobSpec, cfg: &ScenarioConfig) -> RunReport {
     let multi = run_multi_scenario(vec![(job, pythia_des::SimDuration::ZERO)], cfg);
@@ -157,6 +357,162 @@ pub fn run_multi_scenario(
     cfg: &ScenarioConfig,
 ) -> MultiRunReport {
     Engine::new(jobs, cfg).run()
+}
+
+/// Run several jobs with periodic crash-durable checkpoints written per
+/// `policy`. A `kill -9` at any instant leaves the last good checkpoint
+/// intact in `policy.dir`; [`resume_multi_scenario`] picks it up. On the
+/// exact solver path the checkpointing run is byte-identical to an
+/// uncheckpointed one.
+pub fn run_multi_scenario_checkpointed(
+    jobs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+    cfg: &ScenarioConfig,
+    policy: &CheckpointPolicy,
+) -> Result<MultiRunReport, SnapshotError> {
+    let mut e = Engine::new(jobs, cfg);
+    e.kickoff();
+    let cp = CheckpointRuntime::new(policy, config_hash(cfg), 0, SimTime::ZERO);
+    match e.run_loop(Some(cp), None)? {
+        LoopOutcome::Done(r) => Ok(*r),
+        LoopOutcome::Captured(..) => unreachable!("no capture point requested"),
+    }
+}
+
+/// Resume the latest checkpoint in `dir` and run to completion. The
+/// manifest's configuration hash must match `cfg` (a resume under a
+/// different scenario is [`SnapshotError::ConfigMismatch`]); `jobs` must
+/// be the same job list the checkpointed run was started with. Pass a
+/// `policy` to keep checkpointing after the resume.
+pub fn resume_multi_scenario(
+    jobs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+    cfg: &ScenarioConfig,
+    dir: &std::path::Path,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<MultiRunReport, SnapshotError> {
+    let (manifest, bytes) = load_checkpoint(dir)?;
+    let found = config_hash(cfg);
+    if manifest.config_hash != found {
+        return Err(SnapshotError::ConfigMismatch {
+            expected: manifest.config_hash,
+            found,
+        });
+    }
+    let mut e = Engine::new(jobs, cfg);
+    let now = e.restore_from_bytes(&bytes, false)?;
+    let cp = policy.map(|p| {
+        let mut rt = CheckpointRuntime::new(p, found, e.events_processed, now);
+        rt.last_file = Some(manifest.snapshot_file.clone());
+        rt
+    });
+    match e.run_loop(cp, None)? {
+        LoopOutcome::Done(r) => Ok(*r),
+        LoopOutcome::Captured(..) => unreachable!("no capture point requested"),
+    }
+}
+
+/// Resume directly from in-memory snapshot bytes (no manifest, no
+/// config-hash gate — the caller vouches that `cfg` and `jobs` match the
+/// scenario the snapshot was taken under; every structural mismatch still
+/// surfaces as a typed error from the section restores).
+pub fn resume_multi_from_bytes(
+    jobs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+    cfg: &ScenarioConfig,
+    bytes: &[u8],
+) -> Result<MultiRunReport, SnapshotError> {
+    let mut e = Engine::new(jobs, cfg);
+    e.restore_from_bytes(bytes, false)?;
+    match e.run_loop(None, None)? {
+        LoopOutcome::Done(r) => Ok(*r),
+        LoopOutcome::Captured(..) => unreachable!("no capture point requested"),
+    }
+}
+
+/// Fork: resume `bytes` under a (possibly) different chaos schedule.
+/// The warm-up the snapshot captured is shared; the queued chaos events
+/// (link faults, controller outages, agent respills) are dropped and
+/// re-scheduled from `cfg`. Every chaos instant in `cfg` must lie
+/// strictly after the fork point, else [`SnapshotError::Fork`]. All
+/// non-chaos configuration must match the snapshotted run (see
+/// [`crate::snapshot::fork_config_hash`]).
+pub fn fork_multi_scenario(
+    jobs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+    cfg: &ScenarioConfig,
+    bytes: &[u8],
+) -> Result<MultiRunReport, SnapshotError> {
+    let mut e = Engine::new(jobs, cfg);
+    e.restore_from_bytes(bytes, true)?;
+    match e.run_loop(None, None)? {
+        LoopOutcome::Done(r) => Ok(*r),
+        LoopOutcome::Captured(..) => unreachable!("no capture point requested"),
+    }
+}
+
+/// Run until `after_events` events have been processed and return the
+/// snapshot taken there — the shared warm-up for fork-based chaos sweeps.
+/// [`SnapshotError::Fork`] if the run completes first.
+pub fn capture_multi_snapshot(
+    jobs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+    cfg: &ScenarioConfig,
+    after_events: u64,
+) -> Result<Vec<u8>, SnapshotError> {
+    let mut e = Engine::new(jobs, cfg);
+    e.kickoff();
+    match e.run_loop(None, Some(after_events))? {
+        LoopOutcome::Captured(bytes) => Ok(bytes),
+        LoopOutcome::Done(r) => Err(SnapshotError::Fork {
+            detail: format!(
+                "run completed after {} events, before the requested fork point {after_events}",
+                r.events_processed
+            ),
+        }),
+    }
+}
+
+/// Live checkpointing state for one run.
+struct CheckpointRuntime<'p> {
+    policy: &'p CheckpointPolicy,
+    cfg_hash: u64,
+    events_at_last: u64,
+    next_sim: Option<SimTime>,
+    last_file: Option<String>,
+}
+
+impl<'p> CheckpointRuntime<'p> {
+    fn new(policy: &'p CheckpointPolicy, cfg_hash: u64, events_now: u64, now: SimTime) -> Self {
+        CheckpointRuntime {
+            policy,
+            cfg_hash,
+            events_at_last: events_now,
+            next_sim: policy.every_sim_time.map(|d| now + d),
+            last_file: None,
+        }
+    }
+
+    fn due(&self, events: u64, now: SimTime) -> bool {
+        self.policy
+            .every_events
+            .is_some_and(|n| events - self.events_at_last >= n)
+            || self.next_sim.is_some_and(|t| now >= t)
+    }
+}
+
+/// What `run_loop` produced: a finished report, or — in capture mode — a
+/// snapshot taken at the requested event count.
+enum LoopOutcome {
+    Done(Box<MultiRunReport>),
+    Captured(Vec<u8>),
+}
+
+/// Worker-thread count for the relaxed-order solver.
+fn solver_workers(cfg: &ScenarioConfig) -> usize {
+    if cfg.solver_workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        cfg.solver_workers
+    }
 }
 
 /// A trunk-direction background group: (per-cable capacity, member CBR
@@ -278,15 +634,7 @@ impl<'a> Engine<'a> {
             // Must precede the first start_flow: the accounting scheme is
             // fixed for the lifetime of the net.
             net.set_relaxed_order(true);
-            let workers = if cfg.solver_workers == 0 {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .min(8)
-            } else {
-                cfg.solver_workers
-            };
-            net.set_solver_workers(workers);
+            net.set_solver_workers(solver_workers(cfg));
         }
 
         // Background load emulating over-subscription (§V-A): one CBR
@@ -428,6 +776,16 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> MultiRunReport {
+        self.kickoff();
+        match self.run_loop(None, None) {
+            Ok(LoopOutcome::Done(report)) => *report,
+            // With no checkpoint policy and no capture point the loop can
+            // neither fail nor stop early.
+            Ok(LoopOutcome::Captured(..)) | Err(_) => unreachable!("plain run cannot checkpoint"),
+        }
+    }
+
+    fn kickoff(&mut self) {
         // Kick off: periodic samplers, Hedera ticks, the job itself.
         self.probe.sample(&self.net);
         self.queue
@@ -486,7 +844,13 @@ impl<'a> Engine<'a> {
             self.queue.push(at, Event::JobStart(job));
         }
         self.finish_round(SimTime::ZERO);
+    }
 
+    fn run_loop(
+        mut self,
+        mut checkpoint: Option<CheckpointRuntime<'_>>,
+        capture_at: Option<u64>,
+    ) -> Result<LoopOutcome, SnapshotError> {
         while let Some((now, _, ev)) = self.queue.pop() {
             // Installs issued before a controller crash died with the
             // connection: drop them before they count as processed, the
@@ -494,6 +858,13 @@ impl<'a> Engine<'a> {
             if let Event::RuleActive { generation, .. } = ev {
                 if generation != self.rule_generation {
                     continue;
+                }
+            }
+            if let Some(cp) = checkpoint.as_ref() {
+                if cp.policy.die_at_event == Some(self.events_processed + 1) {
+                    // Crash injection: die with no unwinding, exactly as
+                    // a `kill -9` landing mid-dispatch would.
+                    std::process::abort();
                 }
             }
             self.flight.set_now(now);
@@ -601,13 +972,524 @@ impl<'a> Engine<'a> {
                 break;
             }
             self.finish_round(now);
+            // Checkpoints land here — after the event's effects and the
+            // rate solve — so the snapshot is of a settled simulation.
+            if let Some(cp) = checkpoint.as_mut() {
+                if cp.due(self.events_processed, now) {
+                    self.write_checkpoint(now, cp)?;
+                }
+            }
+            if capture_at.is_some_and(|n| self.events_processed >= n) {
+                return Ok(LoopOutcome::Captured(self.snapshot_bytes(now)));
+            }
         }
 
         assert!(
             self.all_done(),
             "event queue drained before job completion — lost event?"
         );
-        self.build_report()
+        Ok(LoopOutcome::Done(Box::new(self.build_report())))
+    }
+
+    /// Serialize the whole engine — queue, network, dataplane, controller,
+    /// every job's Hadoop state, and the scheduler under test — into one
+    /// versioned snapshot. `now` is the checkpoint instant (the time of
+    /// the event just dispatched).
+    ///
+    /// Relaxed mode settles any deferred rate solve first (a solve is
+    /// always legal, and [`pythia_netsim::FlowNet`] refuses to serialize
+    /// stale rates). The exact path is already solved at every checkpoint
+    /// site and recomputes nothing, so a checkpointing run stays
+    /// byte-identical to an uncheckpointed one.
+    fn snapshot_bytes(&mut self, now: SimTime) -> Vec<u8> {
+        self.sync_rates_for_read();
+        let _span = self.flight.span("checkpoint");
+        let mut w = Writer::new();
+        w.section("engine", |s| {
+            now.put(s);
+            self.events_processed.put(s);
+            self.rules_installed.put(s);
+            self.tcam_rejected.put(s);
+            self.flows_unroutable.put(s);
+            self.rule_generation.put(s);
+            self.controller_up.put(s);
+            self.controller_down_since.put(s);
+            self.controller_down_total.put(s);
+            self.controller_outages_seen.put(s);
+            self.flowcheck.put(s);
+            self.background_bps.put(s);
+            // The down set is unordered in memory; serialize sorted so
+            // identical states write identical bytes.
+            let mut down: Vec<LinkId> = self.down_links.iter().copied().collect();
+            down.sort_unstable();
+            down.put(s);
+            self.parked_fetches.put(s);
+            self.fetch_of_flow.put(s);
+            self.info_of_fetch.put(s);
+            pythia_des::put_rng(s, &self.bg_rng);
+        });
+        w.section("queue", |s| {
+            self.queue.next_seq().put(s);
+            let entries = self.queue.live_entries();
+            (entries.len() as u64).put(s);
+            for (t, seq, ev) in entries {
+                t.put(s);
+                seq.put(s);
+                ev.put(s);
+            }
+        });
+        w.section("net", |s| self.net.put_state(s));
+        w.section("dataplane", |s| self.dataplane.put_state(s));
+        w.section("controller", |s| self.controller.put_state(s));
+        w.section("jobs", |s| {
+            (self.jobs.len() as u64).put(s);
+            for j in &self.jobs {
+                j.name.put(s);
+                j.start_at.put(s);
+                j.started.put(s);
+                j.sim.put_state(s);
+            }
+        });
+        if let Some(py) = &self.pythia {
+            w.section("pythia", |s| py.put_state(s));
+        }
+        if let Some(m) = &self.mgmt {
+            w.section("mgmt", |s| m.put_state(s));
+        }
+        if let Some(h) = &self.hedera {
+            w.section("hedera", |s| h.put_state(s));
+        }
+        w.section("probe", |s| self.probe.put(s));
+        w.section("flowtrace", |s| self.trace.put(s));
+        w.finish()
+    }
+
+    /// Write one checkpoint: snapshot bytes, atomic snapshot file, then
+    /// the manifest — in that order, so the manifest never names a file
+    /// that is not fully on disk.
+    fn write_checkpoint(
+        &mut self,
+        now: SimTime,
+        cp: &mut CheckpointRuntime<'_>,
+    ) -> Result<(), SnapshotError> {
+        let bytes = self.snapshot_bytes(now);
+        let file = format!("snap-{:012}.pysnap", self.events_processed);
+        let manifest = Manifest {
+            snapshot_file: file.clone(),
+            version: SNAPSHOT_VERSION,
+            config_hash: cp.cfg_hash,
+            events: self.events_processed,
+            sim_nanos: now.as_nanos(),
+            bytes: bytes.len() as u64,
+            crc32: crc32(&bytes),
+        };
+        store_checkpoint(&cp.policy.dir, &manifest, &bytes)?;
+        if !cp.policy.retain_all {
+            if let Some(prev) = cp.last_file.take() {
+                if prev != file {
+                    // Best-effort: a leftover old snapshot is harmless —
+                    // the manifest no longer points at it.
+                    let _ = std::fs::remove_file(cp.policy.dir.join(prev));
+                }
+            }
+        }
+        cp.last_file = Some(file);
+        cp.events_at_last = self.events_processed;
+        cp.next_sim = cp.policy.every_sim_time.map(|d| now + d);
+        Ok(())
+    }
+
+    /// Overlay a snapshot onto this freshly constructed engine. Every
+    /// cross-reference is validated against the running scenario — a
+    /// snapshot from a different cluster, job list, or solver mode is a
+    /// typed error, never a panic. On error the engine is in a partially
+    /// restored state and must be discarded (every caller does).
+    ///
+    /// With `fork`, the queued chaos events (link faults, controller
+    /// outages, agent respills) are dropped and re-scheduled from this
+    /// engine's configuration; each must lie strictly after the snapshot
+    /// instant.
+    ///
+    /// Returns the snapshot instant.
+    fn restore_from_bytes(&mut self, bytes: &[u8], fork: bool) -> Result<SimTime, SnapshotError> {
+        let n_links = self.mr.topology.num_links();
+        let n_nodes = self.mr.topology.num_nodes();
+        let n_servers = self.mr.servers.len();
+        let n_jobs = self.jobs.len();
+        let n_cables = self.mr.trunk_links.len() / 2;
+        let malformed = |section: &str, detail: String| SnapshotError::Malformed {
+            section: section.into(),
+            detail,
+        };
+
+        let mut rd = Reader::new(bytes)?;
+        let mut s = rd.section("engine")?;
+        let now = SimTime::get(&mut s)?;
+        let events_processed = u64::get(&mut s)?;
+        let rules_installed = u64::get(&mut s)?;
+        let tcam_rejected = u64::get(&mut s)?;
+        let flows_unroutable = u64::get(&mut s)?;
+        let rule_generation = u64::get(&mut s)?;
+        let controller_up = bool::get(&mut s)?;
+        let controller_down_since = Option::<SimTime>::get(&mut s)?;
+        let controller_down_total = SimDuration::get(&mut s)?;
+        let controller_outages_seen = u64::get(&mut s)?;
+        let flowcheck = Option::<(EventId, SimTime)>::get(&mut s)?;
+        let background_bps = Vec::<f64>::get(&mut s)?;
+        if background_bps.len() != n_links {
+            return Err(s.malformed(format!(
+                "background table covers {} links, topology has {n_links}",
+                background_bps.len()
+            )));
+        }
+        for (i, &b) in background_bps.iter().enumerate() {
+            if !b.is_finite() || b < 0.0 {
+                return Err(s.malformed(format!("background load {b} on link {i} invalid")));
+            }
+        }
+        let down_vec = Vec::<LinkId>::get(&mut s)?;
+        for win in down_vec.windows(2) {
+            if win[1] <= win[0] {
+                return Err(s.malformed("down-link list not strictly ascending".to_string()));
+            }
+        }
+        if let Some(l) = down_vec.iter().find(|l| l.0 as usize >= n_links) {
+            return Err(s.malformed(format!("down link {} out of range", l.0)));
+        }
+        let parked_fetches = Vec::<ParkedFetch>::get(&mut s)?;
+        for p in &parked_fetches {
+            if p.job.0 as usize >= n_jobs
+                || p.src.0 as usize >= n_servers
+                || p.dst.0 as usize >= n_servers
+            {
+                return Err(s.malformed(format!(
+                    "parked fetch references job {} / servers {},{} outside the scenario",
+                    p.job.0, p.src.0, p.dst.0
+                )));
+            }
+        }
+        let fetch_of_flow = <BTreeMap<FlowId, (JobId, FetchId)> as Persist>::get(&mut s)?;
+        let info_of_fetch = <BTreeMap<(JobId, FetchId), FetchInfo> as Persist>::get(&mut s)?;
+        if info_of_fetch.len() != fetch_of_flow.len() {
+            return Err(s.malformed(format!(
+                "{} in-flight flows but {} fetch records",
+                fetch_of_flow.len(),
+                info_of_fetch.len()
+            )));
+        }
+        {
+            let mut seen = std::collections::BTreeSet::new();
+            for &(job, fetch) in fetch_of_flow.values() {
+                if job.0 as usize >= n_jobs {
+                    return Err(s.malformed(format!("in-flight job {} out of range", job.0)));
+                }
+                if !info_of_fetch.contains_key(&(job, fetch)) || !seen.insert((job, fetch)) {
+                    return Err(s.malformed(format!(
+                        "in-flight fetch ({}, {}) has no unique fetch record",
+                        job.0, fetch.0
+                    )));
+                }
+            }
+        }
+        for info in info_of_fetch.values() {
+            if info.src.0 as usize >= n_servers || info.dst.0 as usize >= n_servers {
+                return Err(s.malformed(format!(
+                    "fetch record references servers {},{} outside the scenario",
+                    info.src.0, info.dst.0
+                )));
+            }
+        }
+        let bg_rng = pythia_des::get_rng(&mut s)?;
+        s.finish()?;
+
+        let mut s = rd.section("queue")?;
+        let next_seq = u64::get(&mut s)?;
+        let n_events = u64::get(&mut s)? as usize;
+        if n_events > s.remaining() {
+            return Err(s.malformed("event count exceeds section size".to_string()));
+        }
+        let mut entries: Vec<(SimTime, u64, Event)> = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let t = SimTime::get(&mut s)?;
+            let seq = u64::get(&mut s)?;
+            let ev = Event::get(&mut s)?;
+            validate_event(&ev, n_jobs, n_nodes, n_links, n_servers, n_cables)
+                .map_err(|d| s.malformed(d))?;
+            entries.push((t, seq, ev));
+        }
+        s.finish()?;
+        if fork {
+            entries.retain(|(_, _, ev)| {
+                !matches!(
+                    ev,
+                    Event::LinkState { .. } | Event::ControllerState { .. } | Event::AgentRespill
+                )
+            });
+        }
+        // The flowcheck handle must agree with the queue: exactly one
+        // live FlowCheck at its recorded time when armed, none otherwise.
+        let flowchecks: Vec<SimTime> = entries
+            .iter()
+            .filter(|(_, _, ev)| matches!(ev, Event::FlowCheck))
+            .map(|&(t, _, _)| t)
+            .collect();
+        match flowcheck {
+            Some((_, t)) if flowchecks != vec![t] => {
+                return Err(malformed(
+                    "queue",
+                    format!("completion probe armed at {t} but queue disagrees"),
+                ));
+            }
+            None if !flowchecks.is_empty() => {
+                return Err(malformed(
+                    "queue",
+                    "completion probe queued but not armed".to_string(),
+                ));
+            }
+            _ => {}
+        }
+        let mut queue =
+            EventQueue::from_entries(entries, next_seq).map_err(|d| malformed("queue", d))?;
+
+        let mut s = rd.section("net")?;
+        let mut net = FlowNet::get_state(self.mr.topology.clone(), &mut s)?;
+        s.finish()?;
+        if net.relaxed_order() != self.cfg.relaxed_order {
+            return Err(malformed(
+                "net",
+                format!(
+                    "snapshot used the {} rate solver, the scenario uses the {} one",
+                    if net.relaxed_order() {
+                        "relaxed-order"
+                    } else {
+                        "exact"
+                    },
+                    if self.cfg.relaxed_order {
+                        "relaxed-order"
+                    } else {
+                        "exact"
+                    },
+                ),
+            ));
+        }
+        if self.cfg.relaxed_order {
+            // The worker pool is a runtime resource, not state.
+            net.set_solver_workers(solver_workers(self.cfg));
+        }
+        for fid in fetch_of_flow.keys() {
+            if net.flow(*fid).is_none() {
+                return Err(malformed(
+                    "net",
+                    format!("in-flight fetch flow {fid} missing from the network"),
+                ));
+            }
+        }
+        // The background groups are rebuilt from configuration (same
+        // deterministic construction order, so the same flow ids); the
+        // snapshot must actually contain those CBR flows.
+        for (_, members) in &self.bg_groups {
+            for &(_, fid) in members {
+                let ok = net
+                    .flow(fid)
+                    .is_some_and(|f| matches!(f.spec.kind, pythia_netsim::FlowKind::Cbr { .. }));
+                if !ok {
+                    return Err(malformed(
+                        "net",
+                        format!("background flow {fid} missing from the network"),
+                    ));
+                }
+            }
+        }
+
+        let mut s = rd.section("dataplane")?;
+        let dataplane = Dataplane::get_state(&self.mr.topology, &mut s)?;
+        s.finish()?;
+
+        let mut s = rd.section("controller")?;
+        self.controller.restore_state(&mut s)?;
+        s.finish()?;
+
+        let mut s = rd.section("jobs")?;
+        let n = u64::get(&mut s)? as usize;
+        if n != n_jobs {
+            return Err(s.malformed(format!("snapshot has {n} jobs, scenario has {n_jobs}")));
+        }
+        for slot in &mut self.jobs {
+            let name = String::get(&mut s)?;
+            if name != slot.name {
+                return Err(SnapshotError::Malformed {
+                    section: "jobs".into(),
+                    detail: format!("snapshot job `{name}`, scenario job `{}`", slot.name),
+                });
+            }
+            let start_at = SimTime::get(&mut s)?;
+            if start_at != slot.start_at {
+                return Err(SnapshotError::Malformed {
+                    section: "jobs".into(),
+                    detail: format!(
+                        "job `{name}` starts at {start_at} in the snapshot, {} in the scenario",
+                        slot.start_at
+                    ),
+                });
+            }
+            slot.started = bool::get(&mut s)?;
+            slot.sim.restore_state(&mut s)?;
+        }
+        s.finish()?;
+
+        if let Some(mut py) = self.pythia.take() {
+            let mut s = rd.section("pythia")?;
+            py.restore_state(&self.mr.topology, &mut s)?;
+            s.finish()?;
+            self.pythia = Some(py);
+        }
+        if let Some(m) = self.mgmt.as_mut() {
+            let mut s = rd.section("mgmt")?;
+            m.restore_state(&mut s)?;
+            s.finish()?;
+        }
+        if let Some(h) = self.hedera.as_mut() {
+            let mut s = rd.section("hedera")?;
+            h.restore_state(&mut s)?;
+            s.finish()?;
+        }
+        let mut s = rd.section("probe")?;
+        let probe = NetFlowProbe::get(&mut s)?;
+        s.finish()?;
+        let mut s = rd.section("flowtrace")?;
+        let trace = FlowTrace::get(&mut s)?;
+        s.finish()?;
+        if !rd.at_end() {
+            return Err(malformed(
+                "trailer",
+                "trailing bytes after the final section".to_string(),
+            ));
+        }
+
+        if fork {
+            self.push_fork_chaos(&mut queue, now)?;
+        }
+
+        // Commit. From here on the engine *is* the snapshot.
+        self.queue = queue;
+        self.flowcheck = flowcheck;
+        self.net = net;
+        self.dataplane = dataplane;
+        self.probe = probe;
+        self.trace = trace;
+        self.bg_rng = bg_rng;
+        self.background_bps = background_bps;
+        self.down_links = down_vec.into_iter().collect();
+        self.parked_fetches = parked_fetches;
+        self.fetch_of_flow = fetch_of_flow;
+        self.info_of_fetch = info_of_fetch;
+        self.events_processed = events_processed;
+        self.rules_installed = rules_installed;
+        self.tcam_rejected = tcam_rejected;
+        self.flows_unroutable = flows_unroutable;
+        self.rule_generation = rule_generation;
+        self.controller_up = controller_up;
+        self.controller_down_since = controller_down_since;
+        self.controller_down_total = controller_down_total;
+        self.controller_outages_seen = controller_outages_seen;
+        // The network was solved when serialized; the resolution memo is
+        // cold but provably reconstructible (it is only a cache); default
+        // forwarding reconverges from the restored down set.
+        self.net_dirty = false;
+        self.net_dirty_since = None;
+        self.net_dirty_weight = 0.0;
+        self.path_cache.clear();
+        self.routing_epoch = 0;
+        self.nexthops = EcmpNextHops::compute_avoiding(&self.mr.topology, &self.down_links);
+        self.flows_of_pair.clear();
+        for &fid in self.fetch_of_flow.keys() {
+            let f = self.net.flow(fid).expect("validated above");
+            // BTreeMap iteration is ascending, so each pair list comes
+            // out in flow-id order, matching the live engine's invariant.
+            self.flows_of_pair
+                .entry((f.spec.tuple.src, f.spec.tuple.dst))
+                .or_default()
+                .push(fid);
+        }
+
+        // Resume-safety cross-check: restoring must be a fixed point of
+        // snapshotting. Any ambient state that failed to round-trip —
+        // a missed field, an order-scrambling container — shows up here
+        // as a byte difference, in debug builds, on every resume.
+        #[cfg(debug_assertions)]
+        if !fork {
+            let again = self.snapshot_bytes(now);
+            assert!(
+                again == bytes,
+                "snapshot → restore → snapshot is not byte-identical \
+                 ({} vs {} bytes)",
+                again.len(),
+                bytes.len()
+            );
+        }
+        Ok(now)
+    }
+
+    /// Schedule this configuration's chaos events onto a forked queue.
+    /// Each must lie strictly after the fork instant `now` — chaos in the
+    /// shared warm-up cannot be re-written after the fact.
+    fn push_fork_chaos(
+        &self,
+        queue: &mut EventQueue<Event>,
+        now: SimTime,
+    ) -> Result<(), SnapshotError> {
+        let n_cables = self.mr.trunk_links.len() / 2;
+        let after = |what: &str, at: SimTime| -> Result<SimTime, SnapshotError> {
+            if at <= now {
+                return Err(SnapshotError::Fork {
+                    detail: format!("{what} at {at} is not after the fork point {now}"),
+                });
+            }
+            Ok(at)
+        };
+        for (i, f) in self.cfg.link_faults.iter().enumerate() {
+            if f.trunk_cable >= n_cables {
+                return Err(SnapshotError::Fork {
+                    detail: format!(
+                        "link fault #{i} names trunk cable {} of {n_cables}",
+                        f.trunk_cable
+                    ),
+                });
+            }
+            queue.push(
+                after("link fault", SimTime::ZERO + f.fail_at)?,
+                Event::LinkState {
+                    trunk_cable: f.trunk_cable,
+                    up: false,
+                },
+            );
+            if let Some(at) = f.restore_at {
+                queue.push(
+                    after("link restore", SimTime::ZERO + at)?,
+                    Event::LinkState {
+                        trunk_cable: f.trunk_cable,
+                        up: true,
+                    },
+                );
+            }
+        }
+        for o in &self.cfg.controller_outages {
+            queue.push(
+                after("controller outage", SimTime::ZERO + o.down_at)?,
+                Event::ControllerState { up: false },
+            );
+            queue.push(
+                after("controller recovery", SimTime::ZERO + o.up_at)?,
+                Event::ControllerState { up: true },
+            );
+        }
+        for &at in &self.cfg.agent_respill_at {
+            queue.push(
+                after("agent respill", SimTime::ZERO + at)?,
+                Event::AgentRespill,
+            );
+        }
+        Ok(())
     }
 
     /// Recompute rates and reschedule the completion probe after any flow

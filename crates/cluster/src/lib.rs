@@ -37,12 +37,18 @@
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod snapshot;
 pub mod tolerance;
 
 pub use config::{
     ControllerOutage, LinkFault, ScenarioConfig, SchedulerKind, RELAXED_ABS_EPS_SECS,
     RELAXED_COMPLETION_EPS, RELAXED_CURVE_EPS,
 };
-pub use engine::{run_multi_scenario, run_scenario};
+pub use engine::{
+    capture_multi_snapshot, fork_multi_scenario, resume_multi_from_bytes, resume_multi_scenario,
+    run_multi_scenario, run_multi_scenario_checkpointed, run_scenario,
+};
+pub use pythia_snapshot::SnapshotError;
 pub use report::{JobOutcome, MultiRunReport, RunReport};
+pub use snapshot::{config_hash, fork_config_hash, CheckpointPolicy};
 pub use tolerance::{compare_conservation, compare_tolerance, ToleranceReport};

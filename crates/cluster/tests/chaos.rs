@@ -137,6 +137,36 @@ fn chaos_is_deterministic() {
     assert_ne!(a.completion(), c.completion());
 }
 
+/// A checkpoint taken in the middle of the fault battery — lossy mgmt
+/// net mid-retry, parked fetches, an outage scheduled or in flight —
+/// must restore to a run indistinguishable from the uninterrupted one:
+/// every DegradationReport counter and the MgmtNet retry state survive
+/// the round trip. Pinned to the exact solver path so the assertion is
+/// full equality in both feature states.
+#[test]
+fn chaos_survives_mid_run_checkpoint_restore() {
+    use pythia_cluster::{capture_multi_snapshot, resume_multi_from_bytes};
+
+    let cfg = chaos_cfg(SchedulerKind::Pythia, 7).with_relaxed_order(false);
+    let jobs = || vec![(job(40, 8), SimDuration::ZERO)];
+
+    let full = pythia_cluster::run_multi_scenario(jobs(), &cfg);
+    let mid = full.events_processed / 2;
+    let snap = capture_multi_snapshot(jobs(), &cfg, mid).expect("mid-chaos capture");
+    let resumed = resume_multi_from_bytes(jobs(), &cfg, &snap).expect("mid-chaos resume");
+
+    assert_eq!(full.events_processed, resumed.events_processed);
+    assert_eq!(full.rules_installed, resumed.rules_installed);
+    assert_eq!(full.makespan(), resumed.makespan());
+    // Every fault counter — losses, retries exhausted, dedups, parked
+    // expiries, outage bookkeeping — must match the uninterrupted run.
+    assert_eq!(full.degradation, resumed.degradation);
+    // And the run really was chaotic: the snapshot carried live retry
+    // state, not a quiet simulation.
+    assert!(resumed.degradation.prediction_transmissions_lost > 0);
+    assert_eq!(resumed.degradation.controller_outages, 1);
+}
+
 #[test]
 fn chaos_jct_bounded_between_clean_pythia_and_ecmp() {
     // Mean over seeds: individual runs vary with ECMP hash luck.
@@ -245,5 +275,21 @@ proptest! {
         let local: u64 = r.timeline.reducers.values().map(|t| t.local_bytes).sum();
         prop_assert_eq!(remote + local, job_bytes);
         prop_assert_eq!(r.degradation.controller_outages, 1);
+
+        // Mid-run checkpoint+restore leg under the same randomized fault
+        // schedule (exact solver pinned so the comparison is equality):
+        // every degradation counter and the MgmtNet retry state must
+        // survive the round trip — the resumed run is indistinguishable.
+        let exact_cfg = cfg.with_relaxed_order(false);
+        let jobs = || vec![(job(16, 4), SimDuration::ZERO)];
+        let full = pythia_cluster::run_multi_scenario(jobs(), &exact_cfg);
+        let snap = pythia_cluster::capture_multi_snapshot(
+            jobs(), &exact_cfg, (full.events_processed / 2).max(1),
+        ).unwrap();
+        let resumed =
+            pythia_cluster::resume_multi_from_bytes(jobs(), &exact_cfg, &snap).unwrap();
+        prop_assert_eq!(full.events_processed, resumed.events_processed);
+        prop_assert_eq!(full.makespan(), resumed.makespan());
+        prop_assert_eq!(&full.degradation, &resumed.degradation);
     }
 }

@@ -33,10 +33,12 @@
 //! # let _ = early;
 //! ```
 
+pub mod persist;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use persist::{get_rng, put_rng};
 pub use queue::{EventId, EventQueue};
 pub use rng::{fnv1a64, splitmix64, RngFactory};
 pub use time::{SimDuration, SimTime};

@@ -201,6 +201,67 @@ impl<E> EventQueue<E> {
     pub fn compactions(&self) -> u64 {
         self.compactions
     }
+
+    /// Live entries as `(time, sequence, payload)` in sequence order, for
+    /// checkpointing. Dead (cancelled) entries are not included: lazy
+    /// deletion is semantically invisible, so a restored queue simply
+    /// starts compacted.
+    pub fn live_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|e| self.live.contains_key(&e.id))
+            .map(|e| (e.time, e.seq, &e.payload))
+            .collect();
+        out.sort_unstable_by_key(|&(_, seq, _)| seq);
+        out
+    }
+
+    /// The next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuild a queue from checkpointed entries. Sequence numbers are
+    /// preserved, so FIFO tie-breaking — and therefore pop order — is
+    /// identical to the queue that was snapshotted, and outstanding
+    /// [`EventId`] handles stay valid.
+    ///
+    /// Returns a description of the violation (for the caller to wrap in
+    /// its own error type) if a sequence repeats or is not below
+    /// `next_seq`.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (SimTime, u64, E)>,
+        next_seq: u64,
+    ) -> Result<Self, String> {
+        let mut q = EventQueue::new();
+        for (time, seq, payload) in entries {
+            if seq >= next_seq {
+                return Err(format!("event seq {seq} >= next_seq {next_seq}"));
+            }
+            let id = EventId(seq);
+            if q.live.insert(id, time).is_some() {
+                return Err(format!("duplicate event seq {seq}"));
+            }
+            q.heap.push(HeapEntry {
+                time,
+                seq,
+                id,
+                payload,
+            });
+        }
+        q.next_seq = next_seq;
+        Ok(q)
+    }
+}
+
+impl pythia_snapshot::Persist for EventId {
+    fn put(&self, w: &mut pythia_snapshot::SectionWriter) {
+        self.0.put(w);
+    }
+    fn get(r: &mut pythia_snapshot::SectionReader) -> Result<Self, pythia_snapshot::SnapshotError> {
+        Ok(EventId(u64::get(r)?))
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +386,40 @@ mod tests {
             popped += 1;
         }
         assert_eq!(popped, 100);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_order_and_handles() {
+        let mut q = EventQueue::new();
+        let _a = q.push(t(10), "a");
+        let b = q.push(t(5), "b");
+        let c = q.push(t(5), "c"); // same time: FIFO after b
+        let dead = q.push(t(1), "dead");
+        q.cancel(dead);
+        let entries: Vec<(SimTime, u64, &str)> = q
+            .live_entries()
+            .into_iter()
+            .map(|(time, seq, &p)| (time, seq, p))
+            .collect();
+        let mut restored = EventQueue::from_entries(entries, q.next_seq()).unwrap();
+        assert_eq!(restored.len(), 3);
+        // The pre-snapshot handle still cancels the right entry.
+        assert!(restored.cancel(c));
+        assert_eq!(restored.pop().unwrap().2, "b");
+        assert_eq!(restored.pop().unwrap().2, "a");
+        assert!(restored.pop().is_none());
+        // New pushes continue the sequence without colliding.
+        let mut again = EventQueue::from_entries(vec![(t(5), 1u64, "b")], q.next_seq()).unwrap();
+        let fresh = again.push(t(5), "later");
+        assert!(fresh != b, "restored queue reissued a live seq");
+        assert_eq!(again.pop().unwrap().2, "b");
+        assert_eq!(again.pop().unwrap().2, "later");
+    }
+
+    #[test]
+    fn restore_rejects_bad_seqs() {
+        assert!(EventQueue::from_entries(vec![(t(1), 5u64, ())], 5).is_err());
+        assert!(EventQueue::from_entries(vec![(t(1), 0u64, ()), (t(2), 0u64, ())], 3).is_err());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use std::path::Path;
 
 use pythia_experiments::{
-    ablation, chaos, fig1, fig3, fig4, fig5, leadtime, multijob, overhead, scale, spectrum,
-    timeliness, FigureScale,
+    ablation, chaos, fig1, fig3, fig4, fig5, forksweep, leadtime, multijob, overhead, scale,
+    spectrum, timeliness, FigureScale,
 };
 
 fn main() {
@@ -119,6 +119,11 @@ fn main() {
     let ch = chaos::run(&fig_scale);
     println!("{}", ch.render());
     ch.csv().write_to(&out.join("chaos.csv")).unwrap();
+
+    println!("== Extension: fork-based chaos sweep ==");
+    let fs = forksweep::run(&fig_scale);
+    println!("{}", fs.render());
+    fs.csv().write_to(&out.join("forksweep.csv")).unwrap();
 
     println!("== Extension: control-plane scale sweep ==");
     let sc = scale::run(&fig_scale);

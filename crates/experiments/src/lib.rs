@@ -13,6 +13,9 @@
 //!   diversity;
 //! * [`chaos`] — control-plane fault tolerance: JCT and degradation
 //!   counters under a lossy management network and controller outage;
+//! * [`forksweep`] — fork-based chaos sweep: one warm-up snapshot shared
+//!   across every fault schedule, verified observably identical to the
+//!   cold starts;
 //! * [`leadtime`] — the Fig-5 latency budget decomposed per server pair
 //!   from a flight-recorded sort (prediction → rule → flow deltas);
 //! * [`scale`] — control-plane scale sweep over fat-tree fabrics:
@@ -31,6 +34,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod figures;
+pub mod forksweep;
 pub mod leadtime;
 pub mod multijob;
 pub mod overhead;

@@ -10,6 +10,8 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
+
 use crate::ids::{MapTaskId, ServerId};
 
 /// A fetch the copier wants to start now.
@@ -151,6 +153,65 @@ impl Copier {
     /// Announced outputs waiting for a slot or a free host.
     pub fn queued(&self) -> usize {
         self.pending.len()
+    }
+}
+
+/// The pending queue round-trips in announcement order (FIFO position
+/// decides which fetch a freed slot starts next).
+impl Persist for Copier {
+    fn put(&self, w: &mut SectionWriter) {
+        (self.parallel_copies as u64).put(w);
+        self.own_server.put(w);
+        self.pending.iter().copied().collect::<Vec<_>>().put(w);
+        self.announced.put(w);
+        self.busy_hosts.put(w);
+        (self.in_flight as u64).put(w);
+        (self.fetched_maps as u64).put(w);
+        (self.total_maps as u64).put(w);
+        self.local_bytes.put(w);
+        self.remote_bytes.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        let parallel_copies = u64::get(r)? as usize;
+        if parallel_copies == 0 {
+            return Err(r.malformed("copier with zero parallel copies"));
+        }
+        let own_server = ServerId::get(r)?;
+        let pending: VecDeque<FetchRequest> = Vec::<FetchRequest>::get(r)?.into();
+        let announced = <BTreeSet<MapTaskId> as Persist>::get(r)?;
+        let busy_hosts = <BTreeSet<ServerId> as Persist>::get(r)?;
+        let in_flight = u64::get(r)? as usize;
+        let fetched_maps = u64::get(r)? as usize;
+        let total_maps = u64::get(r)? as usize;
+        if in_flight > parallel_copies {
+            return Err(r.malformed("copier in_flight exceeds parallel_copies"));
+        }
+        if busy_hosts.len() != in_flight {
+            return Err(r.malformed("copier busy-host count != in-flight count"));
+        }
+        if fetched_maps > total_maps || total_maps == 0 {
+            return Err(r.malformed("copier fetched/total map counts inconsistent"));
+        }
+        for req in &pending {
+            if !announced.contains(&req.map) {
+                return Err(r.malformed("pending fetch for unannounced map"));
+            }
+            if req.bytes == 0 || req.src_server == own_server {
+                return Err(r.malformed("pending fetch that should have completed instantly"));
+            }
+        }
+        Ok(Copier {
+            parallel_copies,
+            own_server,
+            pending,
+            announced,
+            busy_hosts,
+            in_flight,
+            fetched_maps,
+            total_maps,
+            local_bytes: u64::get(r)?,
+            remote_bytes: u64::get(r)?,
+        })
     }
 }
 

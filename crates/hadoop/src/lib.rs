@@ -20,6 +20,7 @@ pub mod copier;
 pub mod ids;
 pub mod index_file;
 pub mod job;
+pub mod persist;
 pub mod sim;
 
 pub use config::HadoopConfig;

@@ -1,0 +1,121 @@
+//! [`Persist`] impls for the MapReduce domain's value types.
+//!
+//! The stateful machines ([`crate::sim::MapReduceSim`], [`crate::Copier`])
+//! keep their serialization next to their private fields; only the plain
+//! identifier/record types live here.
+
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
+
+use crate::copier::FetchRequest;
+use crate::ids::{FetchId, JobId, MapTaskId, ReducerId, ServerId};
+use crate::sim::{FetchMeta, ReducerTimeline, TaskSpan, Timeline};
+
+macro_rules! id_persist {
+    ($ty:ident, $raw:ty) => {
+        impl Persist for $ty {
+            fn put(&self, w: &mut SectionWriter) {
+                self.0.put(w);
+            }
+            fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+                Ok($ty(<$raw>::get(r)?))
+            }
+        }
+    };
+}
+
+id_persist!(JobId, u32);
+id_persist!(ServerId, u32);
+id_persist!(MapTaskId, u32);
+id_persist!(ReducerId, u32);
+id_persist!(FetchId, u64);
+
+impl Persist for FetchRequest {
+    fn put(&self, w: &mut SectionWriter) {
+        self.map.put(w);
+        self.src_server.put(w);
+        self.bytes.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FetchRequest {
+            map: MapTaskId::get(r)?,
+            src_server: ServerId::get(r)?,
+            bytes: u64::get(r)?,
+        })
+    }
+}
+
+impl Persist for FetchMeta {
+    fn put(&self, w: &mut SectionWriter) {
+        self.map.put(w);
+        self.reducer.put(w);
+        self.src.put(w);
+        self.dst.put(w);
+        self.bytes.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FetchMeta {
+            map: MapTaskId::get(r)?,
+            reducer: ReducerId::get(r)?,
+            src: ServerId::get(r)?,
+            dst: ServerId::get(r)?,
+            bytes: u64::get(r)?,
+        })
+    }
+}
+
+impl Persist for TaskSpan {
+    fn put(&self, w: &mut SectionWriter) {
+        self.start.put(w);
+        self.end.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(TaskSpan {
+            start: Persist::get(r)?,
+            end: Persist::get(r)?,
+        })
+    }
+}
+
+impl Persist for ReducerTimeline {
+    fn put(&self, w: &mut SectionWriter) {
+        self.server.put(w);
+        self.launched_at.put(w);
+        self.shuffle_end.put(w);
+        self.sort_end.put(w);
+        self.finished_at.put(w);
+        self.local_bytes.put(w);
+        self.remote_bytes.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(ReducerTimeline {
+            server: ServerId::get(r)?,
+            launched_at: Persist::get(r)?,
+            shuffle_end: Persist::get(r)?,
+            sort_end: Persist::get(r)?,
+            finished_at: Persist::get(r)?,
+            local_bytes: u64::get(r)?,
+            remote_bytes: u64::get(r)?,
+        })
+    }
+}
+
+impl Persist for Timeline {
+    fn put(&self, w: &mut SectionWriter) {
+        self.job_start.put(w);
+        self.job_end.put(w);
+        self.maps.put(w);
+        self.reducers.put(w);
+        self.first_fetch_at.put(w);
+        self.last_fetch_end.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(Timeline {
+            job_start: Persist::get(r)?,
+            job_end: Persist::get(r)?,
+            maps: Persist::get(r)?,
+            reducers: Persist::get(r)?,
+            first_fetch_at: Persist::get(r)?,
+            last_fetch_end: Persist::get(r)?,
+        })
+    }
+}

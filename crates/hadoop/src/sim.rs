@@ -20,7 +20,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
-use pythia_des::{RngFactory, SimTime};
+use pythia_des::{get_rng, put_rng, RngFactory, SimTime};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 use rand::rngs::SmallRng;
 
 use crate::config::HadoopConfig;
@@ -755,6 +756,202 @@ impl MapReduceSim {
             out.push(HadoopEvent::JobCompleted { at: now });
         }
     }
+
+    // ------------------------------------------------------------- snapshot
+
+    /// Serialize the runtime's mutable state. Config, job spec, and server
+    /// list are *not* written: they derive from the scenario, and the
+    /// restore path rebuilds the sim from them before overlaying this
+    /// state (the partitioner is a trait object and can't round-trip
+    /// through bytes anyway).
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        self.map_state.put(w);
+        self.map_server.put(w);
+        self.pending_maps.iter().copied().collect::<Vec<_>>().put(w);
+        self.running_maps_per_server
+            .iter()
+            .map(|(&s, &n)| (s, n as u64))
+            .collect::<BTreeMap<_, _>>()
+            .put(w);
+        (self.completed_maps as u64).put(w);
+        self.done_order.put(w);
+        self.map_partitions.put(w);
+        self.reducer_state.put(w);
+        self.reducer_server.put(w);
+        self.copiers.put(w);
+        self.reducers_launched.put(w);
+        self.pending_reducers
+            .iter()
+            .copied()
+            .collect::<Vec<_>>()
+            .put(w);
+        self.running_reducers_per_server
+            .iter()
+            .map(|(&s, &n)| (s, n as u64))
+            .collect::<BTreeMap<_, _>>()
+            .put(w);
+        (self.finished_reducers as u64).put(w);
+        self.fetches.put(w);
+        self.next_fetch_id.put(w);
+        self.next_ephemeral_port.put(w);
+        put_rng(w, &self.rng);
+        self.timeline.put(w);
+        self.started.put(w);
+        self.job_done.put(w);
+    }
+
+    /// Overlay state from [`MapReduceSim::put_state`] bytes onto this
+    /// freshly-built sim (same config, spec, and servers as at snapshot
+    /// time), validating sizes and cross-references against the spec.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        let num_maps = self.spec.num_maps;
+        let num_reducers = self.spec.num_reducers;
+        let map_state = Vec::<MapState>::get(r)?;
+        let map_server = Vec::<ServerId>::get(r)?;
+        if map_state.len() != num_maps || map_server.len() != num_maps {
+            return Err(r.malformed("map table lengths != spec.num_maps"));
+        }
+        let pending_maps: VecDeque<MapTaskId> = Vec::<MapTaskId>::get(r)?.into();
+        let running_maps = <BTreeMap<ServerId, u64> as Persist>::get(r)?;
+        let completed_maps = u64::get(r)? as usize;
+        let done_order = Vec::<MapTaskId>::get(r)?;
+        let map_partitions = Vec::<Option<Vec<u64>>>::get(r)?;
+        if map_partitions.len() != num_maps {
+            return Err(r.malformed("partition table length != spec.num_maps"));
+        }
+        if done_order.len() != completed_maps {
+            return Err(r.malformed("done_order length != completed_maps"));
+        }
+        for &m in pending_maps.iter().chain(done_order.iter()) {
+            if m.0 as usize >= num_maps {
+                return Err(r.malformed(format!("map id {m} out of range")));
+            }
+        }
+        for (i, p) in map_partitions.iter().enumerate() {
+            let done = map_state[i] == MapState::Done;
+            match p {
+                Some(parts) if parts.len() != num_reducers => {
+                    return Err(r.malformed("partition row length != spec.num_reducers"));
+                }
+                Some(_) if !done => {
+                    return Err(r.malformed("partition sizes for an unfinished map"));
+                }
+                None if done => {
+                    return Err(r.malformed("completed map missing partition sizes"));
+                }
+                _ => {}
+            }
+        }
+        let reducer_state = Vec::<ReducerState>::get(r)?;
+        let reducer_server = Vec::<ServerId>::get(r)?;
+        if reducer_state.len() != num_reducers || reducer_server.len() != num_reducers {
+            return Err(r.malformed("reducer table lengths != spec.num_reducers"));
+        }
+        let copiers = <BTreeMap<ReducerId, Copier> as Persist>::get(r)?;
+        for &rr in copiers.keys() {
+            if rr.0 as usize >= num_reducers {
+                return Err(r.malformed(format!("copier for unknown reducer {rr}")));
+            }
+        }
+        let reducers_launched = bool::get(r)?;
+        let pending_reducers: VecDeque<ReducerId> = Vec::<ReducerId>::get(r)?.into();
+        let running_reducers = <BTreeMap<ServerId, u64> as Persist>::get(r)?;
+        let finished_reducers = u64::get(r)? as usize;
+        let fetches = <BTreeMap<FetchId, FetchMeta> as Persist>::get(r)?;
+        let next_fetch_id = u64::get(r)?;
+        for (&f, meta) in &fetches {
+            if f.0 >= next_fetch_id {
+                return Err(r.malformed(format!("fetch id {f} >= next_fetch_id")));
+            }
+            if meta.map.0 as usize >= num_maps || meta.reducer.0 as usize >= num_reducers {
+                return Err(r.malformed("in-flight fetch references unknown task"));
+            }
+        }
+        let next_ephemeral_port = <BTreeMap<ServerId, u16> as Persist>::get(r)?;
+        let rng = get_rng(r)?;
+        let timeline = Timeline::get(r)?;
+        let started = bool::get(r)?;
+        let job_done = bool::get(r)?;
+        let server_set: std::collections::BTreeSet<ServerId> =
+            self.servers.iter().copied().collect();
+        for map in [&running_maps, &running_reducers] {
+            if !map.keys().all(|s| server_set.contains(s)) {
+                return Err(r.malformed("slot table references unknown server"));
+            }
+        }
+        self.map_state = map_state;
+        self.map_server = map_server;
+        self.pending_maps = pending_maps;
+        self.running_maps_per_server = running_maps
+            .into_iter()
+            .map(|(s, n)| (s, n as usize))
+            .collect();
+        self.completed_maps = completed_maps;
+        self.done_order = done_order;
+        self.map_partitions = map_partitions;
+        self.reducer_state = reducer_state;
+        self.reducer_server = reducer_server;
+        self.copiers = copiers;
+        self.reducers_launched = reducers_launched;
+        self.pending_reducers = pending_reducers;
+        self.running_reducers_per_server = running_reducers
+            .into_iter()
+            .map(|(s, n)| (s, n as usize))
+            .collect();
+        self.finished_reducers = finished_reducers;
+        self.fetches = fetches;
+        self.next_fetch_id = next_fetch_id;
+        self.next_ephemeral_port = next_ephemeral_port;
+        self.rng = rng;
+        self.timeline = timeline;
+        self.started = started;
+        self.job_done = job_done;
+        Ok(())
+    }
+}
+
+impl Persist for MapState {
+    fn put(&self, w: &mut SectionWriter) {
+        let tag: u8 = match self {
+            MapState::Pending => 0,
+            MapState::Running => 1,
+            MapState::Done => 2,
+        };
+        tag.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        match u8::get(r)? {
+            0 => Ok(MapState::Pending),
+            1 => Ok(MapState::Running),
+            2 => Ok(MapState::Done),
+            t => Err(r.malformed(format!("unknown map state tag {t}"))),
+        }
+    }
+}
+
+impl Persist for ReducerState {
+    fn put(&self, w: &mut SectionWriter) {
+        let tag: u8 = match self {
+            ReducerState::NotLaunched => 0,
+            ReducerState::Scheduled => 1,
+            ReducerState::Shuffling => 2,
+            ReducerState::Sorting => 3,
+            ReducerState::Reducing => 4,
+            ReducerState::Done => 5,
+        };
+        tag.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        match u8::get(r)? {
+            0 => Ok(ReducerState::NotLaunched),
+            1 => Ok(ReducerState::Scheduled),
+            2 => Ok(ReducerState::Shuffling),
+            3 => Ok(ReducerState::Sorting),
+            4 => Ok(ReducerState::Reducing),
+            5 => Ok(ReducerState::Done),
+            t => Err(r.malformed(format!("unknown reducer state tag {t}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -989,6 +1186,129 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn snapshot_mid_shuffle_resumes_identically() {
+        use pythia_des::EventQueue;
+        #[derive(Debug, Clone)]
+        enum Ev {
+            MapDone(MapTaskId),
+            ReducerStart(ReducerId),
+            FetchDone(FetchId),
+            SortDone(ReducerId),
+            ReduceDone(ReducerId),
+        }
+        let fetch_delay = SimDuration::from_millis(100);
+        let mk = || MapReduceSim::new(cfg(), spec(6, 2), servers(3), &RngFactory::new(11));
+        let handle = |evts: Vec<HadoopEvent>, q: &mut EventQueue<Ev>, now: SimTime| {
+            for e in evts {
+                match e {
+                    HadoopEvent::MapFinishAt { map, at } => {
+                        q.push(at, Ev::MapDone(map));
+                    }
+                    HadoopEvent::ReducerLaunchAt { reducer, at } => {
+                        q.push(at, Ev::ReducerStart(reducer));
+                    }
+                    HadoopEvent::FetchStart { fetch, .. } => {
+                        q.push(now + fetch_delay, Ev::FetchDone(fetch));
+                    }
+                    HadoopEvent::SortFinishAt { reducer, at } => {
+                        q.push(at, Ev::SortDone(reducer));
+                    }
+                    HadoopEvent::ReducerFinishAt { reducer, at } => {
+                        q.push(at, Ev::ReduceDone(reducer));
+                    }
+                    _ => {}
+                }
+            }
+        };
+        let dispatch = |sim: &mut MapReduceSim, now: SimTime, ev: Ev| match ev {
+            Ev::MapDone(m) => sim.map_finished(now, m),
+            Ev::ReducerStart(r) => sim.reducer_started(now, r),
+            Ev::FetchDone(f) => sim.fetch_completed(now, f),
+            Ev::SortDone(r) => sim.sort_finished(now, r),
+            Ev::ReduceDone(r) => sim.reducer_finished(now, r),
+        };
+        let snap = |sim: &MapReduceSim| {
+            let mut w = pythia_snapshot::Writer::new();
+            w.section("mr", |s| sim.put_state(s));
+            w.finish()
+        };
+
+        let mut sim = mk();
+        let mut q = EventQueue::new();
+        handle(sim.start(SimTime::ZERO), &mut q, SimTime::ZERO);
+        // Run up to mid-shuffle: stop once fetches are in flight.
+        let mut steps = 0;
+        while sim.fetches.is_empty() || steps < 9 {
+            let (now, _, ev) = q.pop().expect("ran dry before mid-shuffle");
+            steps += 1;
+            let evts = dispatch(&mut sim, now, ev);
+            handle(evts, &mut q, now);
+        }
+        assert!(!sim.fetches.is_empty(), "want in-flight fetches");
+
+        // Snapshot the sim plus the outstanding timer/fetch events.
+        let bytes = snap(&sim);
+        let entries: Vec<(SimTime, u64, Ev)> = q
+            .live_entries()
+            .into_iter()
+            .map(|(t, s, e)| (t, s, e.clone()))
+            .collect();
+        let mut sim2 = mk();
+        let mut sec = pythia_snapshot::Reader::new(&bytes)
+            .unwrap()
+            .section("mr")
+            .unwrap();
+        sim2.restore_state(&mut sec).unwrap();
+        sec.finish().unwrap();
+        assert_eq!(snap(&sim2), bytes, "restore must re-snapshot identically");
+        let mut q2 = EventQueue::from_entries(entries, q.next_seq()).unwrap();
+
+        // Drive both copies to completion in lock-step: identical outputs.
+        loop {
+            let a = q.pop();
+            let b = q2.pop();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "event streams diverged");
+            let Some((now, _, ev)) = a else { break };
+            let (now2, _, ev2) = b.unwrap();
+            let ea = dispatch(&mut sim, now, ev);
+            let eb = dispatch(&mut sim2, now2, ev2);
+            assert_eq!(format!("{ea:?}"), format!("{eb:?}"), "outputs diverged");
+            handle(ea, &mut q, now);
+            handle(eb, &mut q2, now2);
+        }
+        assert!(sim.is_done() && sim2.is_done());
+        assert_eq!(
+            format!("{:?}", sim.timeline),
+            format!("{:?}", sim2.timeline),
+            "timelines diverged"
+        );
+    }
+
+    #[test]
+    fn corrupt_copier_state_is_a_typed_error() {
+        let mut sim = MapReduceSim::new(cfg(), spec(3, 2), servers(3), &RngFactory::new(1));
+        let evts = sim.start(SimTime::ZERO);
+        for e in evts {
+            if let HadoopEvent::MapFinishAt { map, at } = e {
+                sim.map_finished(at, map);
+            }
+        }
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("mr", |s| sim.put_state(s));
+        let good = w.finish();
+        // A sim with a smaller spec must reject the foreign state.
+        let mut other = MapReduceSim::new(cfg(), spec(2, 1), servers(3), &RngFactory::new(1));
+        let mut sec = pythia_snapshot::Reader::new(&good)
+            .unwrap()
+            .section("mr")
+            .unwrap();
+        match other.restore_state(&mut sec) {
+            Err(SnapshotError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use pythia_des::SimTime;
 use pythia_netsim::{FlowReport, LinkId, NodeId, Topology};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 /// One completed shuffle flow.
 #[derive(Debug, Clone)]
@@ -189,6 +190,42 @@ impl FlowTrace {
         let _ = topo;
         self.records.iter().all(|r| {
             r.trunk_link.is_none() || trunk_links.iter().any(|t| t.0 == r.trunk_link.unwrap())
+        })
+    }
+}
+
+impl Persist for ShuffleFlowRecord {
+    fn put(&self, w: &mut SectionWriter) {
+        self.src_node.put(w);
+        self.dst_node.put(w);
+        self.src_port.put(w);
+        self.dst_port.put(w);
+        self.bytes.put(w);
+        self.start_secs.put(w);
+        self.end_secs.put(w);
+        self.trunk_link.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(ShuffleFlowRecord {
+            src_node: u32::get(r)?,
+            dst_node: u32::get(r)?,
+            src_port: u16::get(r)?,
+            dst_port: u16::get(r)?,
+            bytes: f64::get(r)?,
+            start_secs: f64::get(r)?,
+            end_secs: f64::get(r)?,
+            trunk_link: Option::<u32>::get(r)?,
+        })
+    }
+}
+
+impl Persist for FlowTrace {
+    fn put(&self, w: &mut SectionWriter) {
+        self.records.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FlowTrace {
+            records: Vec::<ShuffleFlowRecord>::get(r)?,
         })
     }
 }

@@ -46,6 +46,7 @@ pub mod background;
 pub mod fairshare;
 pub mod flow;
 pub mod net;
+pub mod persist;
 pub mod probe;
 pub mod routing;
 pub mod topology;

@@ -68,6 +68,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use pythia_des::{SimDuration, SimTime};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 use crate::fairshare::{max_min_fair, Allocation, FairShareWorkspace, FlowPath, CBR_SHARE_LIMIT};
 use crate::flow::{FlowId, FlowKind, FlowSpec};
@@ -1834,6 +1835,282 @@ impl FlowNet {
         }
     }
 
+    // --- checkpoint / restore -------------------------------------------
+
+    /// Serialize the complete network state into an open snapshot section.
+    ///
+    /// Everything observable is written verbatim — float tables are
+    /// incrementally maintained accumulations, so re-deriving them would
+    /// change bits — and everything order-sensitive keeps its exact order:
+    /// per-link incidence lists (region discovery order), the `active`
+    /// hot set (exact-mode integration order), the free-slot stack
+    /// (future slot assignment), and the completion heap as a full
+    /// multiset *including dead entries* (its length gates compaction).
+    ///
+    /// # Panics
+    /// Panics if rates are stale — checkpoint only a solved network.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        assert!(
+            !self.rates_dirty && self.dirty_links.is_empty() && self.cbr_dirty_links.is_empty(),
+            "put_state requires a solved network: call recompute() first"
+        );
+        self.now.put(w);
+        self.epoch.put(w);
+        self.next_id.put(w);
+        self.relaxed.put(w);
+        let n_links = self.topo.num_links();
+        (n_links as u64).put(w);
+        for l in 0..n_links {
+            self.topo.link(LinkId(l as u32)).capacity_bps.put(w);
+        }
+        (self.slots.len() as u64).put(w);
+        for st in &self.slots {
+            match st {
+                None => false.put(w),
+                Some(st) => {
+                    true.put(w);
+                    st.id.put(w);
+                    st.flow.spec.put(w);
+                    crate::persist::put_path(w, &st.flow.path);
+                    st.flow.remaining_bytes.put(w);
+                    st.flow.transferred_bytes.put(w);
+                    st.flow.rate_bps.put(w);
+                    st.flow.started_at.put(w);
+                    st.linked.put(w);
+                    st.metered.put(w);
+                    st.rate_epoch.put(w);
+                    st.since.put(w);
+                }
+            }
+        }
+        self.free_slots.put(w);
+        self.link_load_bps.put(w);
+        self.cum_tx_bytes.put(w);
+        self.cbr_requested_bps.put(w);
+        self.cbr_scale.put(w);
+        self.cbr_load_bps.put(w);
+        self.metered_nodes.put(w);
+        self.node_rate_bps.put(w);
+        self.node_since.put(w);
+        for l in 0..n_links {
+            for lists in [&self.link_flows, &self.link_cbr_flows] {
+                let list = lists.list(l);
+                (list.len() as u64).put(w);
+                for e in list {
+                    e.slot.put(w);
+                    e.k.put(w);
+                }
+            }
+        }
+        let mut heap: Vec<(SimTime, u64, u64)> = self.heap.iter().map(|&Reverse(e)| e).collect();
+        heap.sort_unstable();
+        heap.put(w);
+        self.active.put(w);
+        self.stats.put(w);
+    }
+
+    /// Rebuild a network from a section written by [`FlowNet::put_state`].
+    ///
+    /// `topo` is the *pristine* topology (as built from configuration);
+    /// degraded capacities are restored from the snapshot on top of it.
+    /// Every cross-reference in the snapshot is validated — a corrupt
+    /// section yields a typed error, never a panic — and the arenas
+    /// ([`LinkLists`], [`SlotHops`]) are rebuilt from the serialized
+    /// logical list orders, so a re-snapshot of the result is
+    /// byte-identical to the input.
+    pub fn get_state(topo: Topology, r: &mut SectionReader) -> Result<FlowNet, SnapshotError> {
+        let mut net = FlowNet::new(topo);
+        net.now = SimTime::get(r)?;
+        net.epoch = u64::get(r)?;
+        net.next_id = u64::get(r)?;
+        net.relaxed = bool::get(r)?;
+        let n_links = net.topo.num_links();
+        let n_nodes = net.topo.num_nodes();
+        if u64::get(r)? as usize != n_links {
+            return Err(r.malformed("link count does not match topology"));
+        }
+        for l in 0..n_links {
+            let cap = f64::get(r)?;
+            if !cap.is_finite() || cap < 0.0 {
+                return Err(r.malformed(format!("link {l} capacity {cap} invalid")));
+            }
+            net.topo.set_link_capacity(LinkId(l as u32), cap);
+        }
+        let n_slots = u64::get(r)? as usize;
+        if n_slots > r.remaining() {
+            return Err(r.malformed("slot count exceeds section size"));
+        }
+        net.slots = Vec::with_capacity(n_slots);
+        for s in 0..n_slots {
+            if !bool::get(r)? {
+                net.slots.push(None);
+                continue;
+            }
+            let id = FlowId::get(r)?;
+            let spec = FlowSpec::get(r)?;
+            let n_hops = u64::get(r)? as usize;
+            if n_hops > r.remaining() / 4 {
+                return Err(r.malformed("path length exceeds section size"));
+            }
+            let mut links = Vec::with_capacity(n_hops);
+            for _ in 0..n_hops {
+                let l = u32::get(r)?;
+                if l as usize >= n_links {
+                    return Err(r.malformed(format!("path link {l} out of range")));
+                }
+                links.push(LinkId(l));
+            }
+            let path = Path::new(&net.topo, links)
+                .map_err(|e| r.malformed(format!("flow {id} path invalid: {e:?}")))?;
+            if path.src() != spec.tuple.src || path.dst() != spec.tuple.dst {
+                return Err(r.malformed(format!("flow {id} path/spec endpoint mismatch")));
+            }
+            let flow = ActiveFlow {
+                spec,
+                path,
+                remaining_bytes: Option::<f64>::get(r)?,
+                transferred_bytes: f64::get(r)?,
+                rate_bps: f64::get(r)?,
+                started_at: SimTime::get(r)?,
+            };
+            if !flow.rate_bps.is_finite() || flow.rate_bps < 0.0 {
+                return Err(r.malformed(format!("flow {id} rate {} invalid", flow.rate_bps)));
+            }
+            if id.0 >= net.next_id {
+                return Err(r.malformed(format!("flow {id} at or past next_id")));
+            }
+            let st = FlowSlot {
+                id,
+                flow,
+                linked: bool::get(r)?,
+                active_pos: NONE_U32,
+                metered: bool::get(r)?,
+                rate_epoch: u64::get(r)?,
+                since: SimTime::get(r)?,
+            };
+            if net.index.insert(id, s as u32).is_some() {
+                return Err(r.malformed(format!("duplicate flow id {id}")));
+            }
+            net.slots.push(Some(st));
+        }
+        net.flow_in_region = vec![false; n_slots];
+        net.free_slots = Vec::<u32>::get(r)?;
+        {
+            let mut seen = vec![false; n_slots];
+            for &s in &net.free_slots {
+                let live = net.slots.get(s as usize).map(|o| o.is_some());
+                if live != Some(false) || std::mem::replace(&mut seen[s as usize], true) {
+                    return Err(r.malformed("free-slot list inconsistent with slot table"));
+                }
+            }
+            let holes = net.slots.iter().filter(|s| s.is_none()).count();
+            if holes != net.free_slots.len() {
+                return Err(r.malformed("slot hole not on the free list"));
+            }
+        }
+        net.link_load_bps = Vec::<f64>::get(r)?;
+        net.cum_tx_bytes = Vec::<f64>::get(r)?;
+        net.cbr_requested_bps = Vec::<f64>::get(r)?;
+        net.cbr_scale = Vec::<f64>::get(r)?;
+        net.cbr_load_bps = Vec::<f64>::get(r)?;
+        net.metered_nodes = Option::<Vec<bool>>::get(r)?;
+        net.node_rate_bps = Vec::<f64>::get(r)?;
+        net.node_since = Vec::<SimTime>::get(r)?;
+        for (name, len, want) in [
+            ("link_load_bps", net.link_load_bps.len(), n_links),
+            ("cbr_requested_bps", net.cbr_requested_bps.len(), n_links),
+            ("cbr_scale", net.cbr_scale.len(), n_links),
+            ("cbr_load_bps", net.cbr_load_bps.len(), n_links),
+            ("cum_tx_bytes", net.cum_tx_bytes.len(), n_nodes),
+            ("node_rate_bps", net.node_rate_bps.len(), n_nodes),
+            ("node_since", net.node_since.len(), n_nodes),
+            (
+                "metered_nodes",
+                net.metered_nodes.as_ref().map_or(n_nodes, |m| m.len()),
+                n_nodes,
+            ),
+        ] {
+            if len != want {
+                return Err(r.malformed(format!("{name} length {len}, want {want}")));
+            }
+        }
+        for s in 0..n_slots {
+            // Two-phase to appease the borrow checker: clone the hop list,
+            // then intern it.
+            let hops: Option<Vec<LinkId>> = net.slots[s]
+                .as_ref()
+                .map(|st| st.flow.path.links().to_vec());
+            if let Some(hops) = hops {
+                net.slot_hops.set(s, &hops);
+            }
+        }
+        for l in 0..n_links {
+            for cbr_list in [false, true] {
+                let n = u64::get(r)? as usize;
+                if n > r.remaining() / 8 {
+                    return Err(r.malformed("incidence list exceeds section size"));
+                }
+                for _ in 0..n {
+                    let slot = u32::get(r)?;
+                    let k = u32::get(r)?;
+                    let (linked, is_cbr) = net
+                        .slots
+                        .get(slot as usize)
+                        .and_then(|o| o.as_ref())
+                        .map(|st| (st.linked, matches!(st.flow.spec.kind, FlowKind::Cbr { .. })))
+                        .ok_or_else(|| r.malformed("incidence entry references dead slot"))?;
+                    if !linked || is_cbr != cbr_list {
+                        return Err(r.malformed("incidence entry in wrong list"));
+                    }
+                    if k as usize >= net.slot_hops.n(slot)
+                        || net.slot_hops.link(slot, k as usize) != l as u32
+                    {
+                        return Err(r.malformed("incidence entry does not match flow path"));
+                    }
+                    if net.slot_hops.pos(slot, k as usize) != NONE_U32 {
+                        return Err(r.malformed("duplicate incidence entry"));
+                    }
+                    let e = LinkEntry { slot, k };
+                    let pos = if cbr_list {
+                        net.link_cbr_flows.push(l, e)
+                    } else {
+                        net.link_flows.push(l, e)
+                    };
+                    net.slot_hops.set_pos(slot, k as usize, pos);
+                }
+            }
+        }
+        for s in 0..n_slots {
+            let Some(st) = &net.slots[s] else { continue };
+            if !st.linked {
+                continue;
+            }
+            for k in 0..net.slot_hops.n(s as u32) {
+                if net.slot_hops.pos(s as u32, k) == NONE_U32 {
+                    return Err(r.malformed("linked flow missing an incidence entry"));
+                }
+            }
+        }
+        let heap = Vec::<(SimTime, u64, u64)>::get(r)?;
+        net.heap = heap.into_iter().map(Reverse).collect();
+        let active = Vec::<u32>::get(r)?;
+        for (i, &s) in active.iter().enumerate() {
+            let st = net
+                .slots
+                .get_mut(s as usize)
+                .and_then(|o| o.as_mut())
+                .ok_or_else(|| r.malformed("active entry references dead slot"))?;
+            if !st.metered || st.active_pos != NONE_U32 {
+                return Err(r.malformed("active entry invalid or duplicated"));
+            }
+            st.active_pos = i as u32;
+        }
+        net.active = active;
+        net.stats = NetStats::get(r)?;
+        net.rates_dirty = false;
+        Ok(net)
+    }
+
     // --- reference cross-check ------------------------------------------
 
     /// Solve the whole network with the retained reference allocator
@@ -2249,6 +2526,124 @@ mod tests {
             cross_rack_path(&mr, 0, 2, 0),
         );
         net.set_relaxed_order(true);
+    }
+
+    /// Checkpoint a mid-run network (degraded link, live + completed
+    /// flows, CBR background), restore it into a pristine topology, and
+    /// check: the re-snapshot is byte-identical and both copies finish
+    /// the run with bitwise-equal byte counters.
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        use pythia_snapshot::{Reader, Writer};
+        for relaxed in [false, true] {
+            let mr = small();
+            let t = &mr.topology;
+            let mut net = FlowNet::new(t.clone());
+            if relaxed {
+                net.set_relaxed_order(relaxed);
+            }
+            // CBR background on trunk 1, plus two competing transfers.
+            let trunk1 = t.find_link(mr.tors[0], mr.tors[1], 1).unwrap();
+            net.start_flow(
+                FlowSpec::cbr(FiveTuple::udp(mr.tors[0], mr.tors[1], 1, 2), 0.4e9),
+                Path::new(t, vec![trunk1]).unwrap(),
+            );
+            let t1 = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+            let t2 = FiveTuple::tcp(mr.servers[0], mr.servers[3], 40001, 50060);
+            net.start_flow(
+                FlowSpec::tcp_transfer(t1, 62_500_000),
+                cross_rack_path(&mr, 0, 2, 0),
+            );
+            net.start_flow(
+                FlowSpec::tcp_transfer(t2, 125_000_000),
+                cross_rack_path(&mr, 0, 3, 1),
+            );
+            net.recompute();
+            net.advance_to(SimTime::from_millis(300));
+            // A degradation that must survive the round trip.
+            let trunk0 = t.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+            net.set_link_capacity(trunk0, 0.5e9);
+            net.recompute();
+            net.advance_to(SimTime::from_millis(400));
+
+            let mut w = Writer::new();
+            w.section("net", |s| net.put_state(s));
+            let bytes = w.finish();
+            let mut sec = Reader::new(&bytes).unwrap().section("net").unwrap();
+            let mut restored = FlowNet::get_state(mr.topology.clone(), &mut sec).unwrap();
+            sec.finish().unwrap();
+            assert_eq!(restored.relaxed_order(), relaxed);
+            assert_eq!(
+                restored.topology().link(trunk0).capacity_bps,
+                0.5e9,
+                "degraded capacity must survive restore"
+            );
+            let mut w2 = Writer::new();
+            w2.section("net", |s| restored.put_state(s));
+            assert_eq!(bytes, w2.finish(), "re-snapshot must be byte-identical");
+
+            // Drive both to completion in lock-step.
+            loop {
+                let a = net.next_completion();
+                let b = restored.next_completion();
+                assert_eq!(a, b);
+                let Some((tc, _)) = a else { break };
+                let da: Vec<FlowId> = net.advance_to(tc).to_vec();
+                let db: Vec<FlowId> = restored.advance_to(tc).to_vec();
+                assert_eq!(da, db);
+                for id in da {
+                    let ra = net.remove_flow(id);
+                    let rb = restored.remove_flow(id);
+                    assert_eq!(
+                        ra.transferred_bytes.to_bits(),
+                        rb.transferred_bytes.to_bits()
+                    );
+                    assert_eq!(ra.ended_at, rb.ended_at);
+                }
+                net.recompute();
+                restored.recompute();
+                assert_eq!(net.epoch(), restored.epoch());
+            }
+            for &s in &mr.servers {
+                assert_eq!(
+                    net.cum_tx_bytes(s).to_bits(),
+                    restored.cum_tx_bytes(s).to_bits()
+                );
+            }
+        }
+    }
+
+    /// A snapshot whose cross-references were damaged must surface a
+    /// typed error from restore, never a panic.
+    #[test]
+    fn corrupt_state_is_a_typed_error() {
+        use pythia_snapshot::{Reader, SnapshotError, Writer};
+        let mr = small();
+        let mut net = FlowNet::new(mr.topology.clone());
+        let tuple = FiveTuple::tcp(mr.servers[0], mr.servers[2], 40000, 50060);
+        net.start_flow(
+            FlowSpec::tcp_transfer(tuple, 125_000_000),
+            cross_rack_path(&mr, 0, 2, 0),
+        );
+        net.recompute();
+        let mut w = Writer::new();
+        w.section("net", |s| net.put_state(s));
+        let good = w.finish();
+        // Restoring against a *different* topology (wrong link count)
+        // must fail with Malformed, not index out of bounds.
+        let tiny = build_multi_rack(&MultiRackParams {
+            racks: 2,
+            servers_per_rack: 1,
+            nic_bps: 1e9,
+            trunk_count: 1,
+            trunk_bps: 1e9,
+        });
+        let mut sec = Reader::new(&good).unwrap().section("net").unwrap();
+        let err = match FlowNet::get_state(tiny.topology.clone(), &mut sec) {
+            Err(e) => e,
+            Ok(_) => panic!("restore against wrong topology must fail"),
+        };
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err}");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! [`Persist`] impls for the simulator's value types.
+//!
+//! [`Path`] is deliberately absent: rebuilding one requires the topology
+//! (link ids must be validated against it), so paths are serialized as
+//! raw link-id vectors and revalidated by [`crate::net::FlowNet`]'s
+//! restore path.
+
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
+
+use crate::flow::{FiveTuple, FlowId, FlowKind, FlowSpec, Protocol};
+use crate::net::NetStats;
+use crate::routing::Path;
+use crate::topology::{LinkId, NodeId, Topology};
+
+impl Persist for NodeId {
+    fn put(&self, w: &mut SectionWriter) {
+        self.0.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(NodeId(u32::get(r)?))
+    }
+}
+
+impl Persist for LinkId {
+    fn put(&self, w: &mut SectionWriter) {
+        self.0.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(LinkId(u32::get(r)?))
+    }
+}
+
+impl Persist for FlowId {
+    fn put(&self, w: &mut SectionWriter) {
+        self.0.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FlowId(u64::get(r)?))
+    }
+}
+
+impl Persist for Protocol {
+    fn put(&self, w: &mut SectionWriter) {
+        let tag: u8 = match self {
+            Protocol::Tcp => 0,
+            Protocol::Udp => 1,
+        };
+        tag.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        match u8::get(r)? {
+            0 => Ok(Protocol::Tcp),
+            1 => Ok(Protocol::Udp),
+            t => Err(r.malformed(format!("unknown protocol tag {t}"))),
+        }
+    }
+}
+
+impl Persist for FiveTuple {
+    fn put(&self, w: &mut SectionWriter) {
+        self.src.put(w);
+        self.dst.put(w);
+        self.src_port.put(w);
+        self.dst_port.put(w);
+        self.proto.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FiveTuple {
+            src: NodeId::get(r)?,
+            dst: NodeId::get(r)?,
+            src_port: u16::get(r)?,
+            dst_port: u16::get(r)?,
+            proto: Protocol::get(r)?,
+        })
+    }
+}
+
+impl Persist for FlowKind {
+    fn put(&self, w: &mut SectionWriter) {
+        match self {
+            FlowKind::Adaptive => 0u8.put(w),
+            FlowKind::Cbr { rate_bps } => {
+                1u8.put(w);
+                rate_bps.put(w);
+            }
+        }
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        match u8::get(r)? {
+            0 => Ok(FlowKind::Adaptive),
+            1 => Ok(FlowKind::Cbr {
+                rate_bps: f64::get(r)?,
+            }),
+            t => Err(r.malformed(format!("unknown flow kind tag {t}"))),
+        }
+    }
+}
+
+impl Persist for FlowSpec {
+    fn put(&self, w: &mut SectionWriter) {
+        self.tuple.put(w);
+        self.size_bytes.put(w);
+        self.kind.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FlowSpec {
+            tuple: FiveTuple::get(r)?,
+            size_bytes: Option::<u64>::get(r)?,
+            kind: FlowKind::get(r)?,
+        })
+    }
+}
+
+impl Persist for NetStats {
+    fn put(&self, w: &mut SectionWriter) {
+        self.recomputes.put(w);
+        self.region_links.put(w);
+        self.region_flows.put(w);
+        self.advance_flow_steps.put(w);
+        self.heap_pushes.put(w);
+        self.heap_compactions.put(w);
+        self.cbr_flow_updates.put(w);
+        self.components.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(NetStats {
+            recomputes: u64::get(r)?,
+            region_links: u64::get(r)?,
+            region_flows: u64::get(r)?,
+            advance_flow_steps: u64::get(r)?,
+            heap_pushes: u64::get(r)?,
+            heap_compactions: u64::get(r)?,
+            cbr_flow_updates: u64::get(r)?,
+            components: u64::get(r)?,
+        })
+    }
+}
+
+/// Serialize a path as its raw link-id sequence.
+pub fn put_path(w: &mut SectionWriter, path: &Path) {
+    (path.links().len() as u64).put(w);
+    for l in path.links() {
+        l.0.put(w);
+    }
+}
+
+/// Read a path serialized by [`put_path`], revalidating every link id
+/// against `topo` and the path's continuity/loop-freedom invariants.
+pub fn get_path(topo: &Topology, r: &mut SectionReader) -> Result<Path, SnapshotError> {
+    let n = u64::get(r)? as usize;
+    if n > topo.num_links() {
+        return Err(r.malformed(format!("path of {n} hops exceeds topology link count")));
+    }
+    let mut links = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = u32::get(r)?;
+        if raw as usize >= topo.num_links() {
+            return Err(r.malformed(format!("path link id {raw} out of range")));
+        }
+        links.push(LinkId(raw));
+    }
+    Path::new(topo, links).map_err(|e| r.malformed(format!("invalid path: {e:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_snapshot::{Reader, Writer};
+
+    #[test]
+    fn value_types_round_trip() {
+        let spec = FlowSpec {
+            tuple: FiveTuple::tcp(NodeId(3), NodeId(9), 40000, 50060),
+            size_bytes: Some(1 << 30),
+            kind: FlowKind::Adaptive,
+        };
+        let cbr = FlowSpec::cbr(FiveTuple::udp(NodeId(1), NodeId(2), 7, 8), 0.35e9);
+        let stats = NetStats {
+            recomputes: 1,
+            region_links: 2,
+            region_flows: 3,
+            advance_flow_steps: 4,
+            heap_pushes: 5,
+            heap_compactions: 6,
+            cbr_flow_updates: 7,
+            components: 8,
+        };
+        let mut w = Writer::new();
+        w.section("v", |s| {
+            s.put(&spec);
+            s.put(&cbr);
+            s.put(&stats);
+            s.put(&FlowId(42));
+            s.put(&LinkId(17));
+        });
+        let bytes = w.finish();
+        let mut s = Reader::new(&bytes).unwrap().section("v").unwrap();
+        let spec2 = s.get::<FlowSpec>().unwrap();
+        assert_eq!(spec2.tuple, spec.tuple);
+        assert_eq!(spec2.size_bytes, spec.size_bytes);
+        assert_eq!(spec2.kind, spec.kind);
+        let cbr2 = s.get::<FlowSpec>().unwrap();
+        assert_eq!(cbr2.kind, cbr.kind);
+        assert_eq!(s.get::<NetStats>().unwrap(), stats);
+        assert_eq!(s.get::<FlowId>().unwrap(), FlowId(42));
+        assert_eq!(s.get::<LinkId>().unwrap(), LinkId(17));
+        s.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_tags_are_typed_errors() {
+        let mut w = Writer::new();
+        w.section("v", |s| s.put(&7u8));
+        let bytes = w.finish();
+        let mut s = Reader::new(&bytes).unwrap().section("v").unwrap();
+        let err = s.get::<Protocol>().unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err}");
+    }
+}

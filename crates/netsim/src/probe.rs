@@ -10,6 +10,7 @@
 //! probe appends `(t, cumulative bytes)` points per source node.
 
 use pythia_des::SimTime;
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 use crate::net::FlowNet;
 use crate::topology::NodeId;
@@ -133,6 +134,43 @@ impl NetFlowProbe {
             .zip(self.curves.iter())
             .filter(|(_, c)| !c.is_empty())
             .map(|(&n, c)| (n, c))
+    }
+}
+
+impl Persist for CumulativeCurve {
+    fn put(&self, w: &mut SectionWriter) {
+        self.points.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        let points = Vec::<(SimTime, f64)>::get(r)?;
+        for win in points.windows(2) {
+            if win[1].0 < win[0].0 {
+                return Err(r.malformed("curve points out of time order"));
+            }
+        }
+        Ok(CumulativeCurve { points })
+    }
+}
+
+impl Persist for NetFlowProbe {
+    fn put(&self, w: &mut SectionWriter) {
+        self.watched.put(w);
+        (self.curves.len() as u64).put(w);
+        for c in &self.curves {
+            c.put(w);
+        }
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        let watched = Vec::<NodeId>::get(r)?;
+        let n = u64::get(r)? as usize;
+        if n != watched.len() {
+            return Err(r.malformed("probe curve count != watch list length"));
+        }
+        let mut curves = Vec::with_capacity(n);
+        for _ in 0..n {
+            curves.push(CumulativeCurve::get(r)?);
+        }
+        Ok(NetFlowProbe { watched, curves })
     }
 }
 

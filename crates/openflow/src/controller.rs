@@ -15,10 +15,12 @@
 //!   with a hardware programming latency in the 3–5 ms/flow budget the
 //!   paper measures for contemporary switches (§V-C).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
-use pythia_des::{RngFactory, SimDuration};
+use pythia_des::{get_rng, put_rng, RngFactory, SimDuration};
+use pythia_netsim::persist::{get_path, put_path};
 use pythia_netsim::{ClosStructure, LinkId, NodeId, Path, Topology};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 use pythia_trace::{Component, Trace, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -371,6 +373,150 @@ impl Controller {
         }
         out
     }
+
+    /// Serialize the controller's mutable state. Config, topology, server
+    /// list, Clos metadata, and the trace handle are reconstructed by the
+    /// restore path (they derive from the scenario), so only the memo
+    /// caches, link state, EWMA table, RNG stream, and stats go to bytes.
+    /// The path cache and reverse index are serialized verbatim — lazy
+    /// fill order determines cache contents, so recomputing them on
+    /// restore would diverge from the uninterrupted run.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        (self.path_cache.len() as u64).put(w);
+        for (&(src, dst), paths) in &self.path_cache {
+            src.put(w);
+            dst.put(w);
+            (paths.len() as u64).put(w);
+            for p in paths {
+                put_path(w, p);
+            }
+        }
+        self.link_pairs.put(w);
+        self.avoided_pairs.put(w);
+        // HashSet iteration order is not deterministic; canonicalize.
+        let mut down: Vec<LinkId> = self.down_links.iter().copied().collect();
+        down.sort_unstable();
+        down.put(w);
+        self.load_ewma_bps.put(w);
+        put_rng(w, &self.rng);
+        self.stats.put(w);
+    }
+
+    /// Overwrite this (freshly built) controller's mutable state from
+    /// [`Controller::put_state`] bytes, validating every path and index
+    /// entry against the topology.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        let n_nodes = self.topo.num_nodes();
+        let n_links = self.topo.num_links();
+        let pairs = u64::get(r)? as usize;
+        let mut cache: BTreeMap<(NodeId, NodeId), Vec<Path>> = BTreeMap::new();
+        for _ in 0..pairs {
+            let src = NodeId::get(r)?;
+            let dst = NodeId::get(r)?;
+            if src.0 as usize >= n_nodes || dst.0 as usize >= n_nodes {
+                return Err(r.malformed("cached pair references unknown node"));
+            }
+            let k = u64::get(r)? as usize;
+            let mut paths = Vec::with_capacity(k);
+            for _ in 0..k {
+                let p = get_path(&self.topo, r)?;
+                if p.src() != src || p.dst() != dst {
+                    return Err(r.malformed("cached path endpoints disagree with its pair key"));
+                }
+                paths.push(p);
+            }
+            if cache.insert((src, dst), paths).is_some() {
+                return Err(r.malformed("duplicate pair in path cache"));
+            }
+        }
+        let link_pairs = Vec::<Vec<(NodeId, NodeId)>>::get(r)?;
+        if link_pairs.len() != n_links {
+            return Err(r.malformed("reverse index length != link count"));
+        }
+        let mut indexed: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+        for (l, pairs) in link_pairs.iter().enumerate() {
+            for &(s, d) in pairs {
+                if s.0 as usize >= n_nodes || d.0 as usize >= n_nodes {
+                    return Err(r.malformed("reverse index references unknown node"));
+                }
+                indexed.insert((l as u32, s.0, d.0));
+            }
+        }
+        // The index tolerates stale entries but never missing ones: every
+        // cached pair must be registered under every link it traverses,
+        // or a later link-down would fail to evict it.
+        for (&(s, d), paths) in &cache {
+            for p in paths {
+                for &l in p.links() {
+                    if !indexed.contains(&(l.0, s.0, d.0)) {
+                        return Err(r.malformed(format!(
+                            "cached pair ({}, {}) missing from reverse index of link {}",
+                            s.0, d.0, l.0
+                        )));
+                    }
+                }
+            }
+        }
+        let avoided_pairs = Vec::<(NodeId, NodeId)>::get(r)?;
+        for &(s, d) in &avoided_pairs {
+            if s.0 as usize >= n_nodes || d.0 as usize >= n_nodes {
+                return Err(r.malformed("avoided pair references unknown node"));
+            }
+        }
+        let down = Vec::<LinkId>::get(r)?;
+        for win in down.windows(2) {
+            if win[1] <= win[0] {
+                return Err(r.malformed("down-link set not sorted/unique"));
+            }
+        }
+        let mut down_links = HashSet::with_capacity(down.len());
+        for &l in &down {
+            if l.0 as usize >= n_links {
+                return Err(r.malformed(format!("down link {} out of range", l.0)));
+            }
+            down_links.insert(l);
+        }
+        let load_ewma_bps = Vec::<f64>::get(r)?;
+        if load_ewma_bps.len() != n_links {
+            return Err(r.malformed("EWMA table length != link count"));
+        }
+        for &v in &load_ewma_bps {
+            if !v.is_finite() || v < 0.0 {
+                return Err(r.malformed("non-finite or negative EWMA load"));
+            }
+        }
+        let rng = get_rng(r)?;
+        let stats = ControllerStats::get(r)?;
+        self.path_cache = cache;
+        self.link_pairs = link_pairs;
+        self.avoided_pairs = avoided_pairs;
+        self.down_links = down_links;
+        self.load_ewma_bps = load_ewma_bps;
+        self.rng = rng;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
+impl Persist for ControllerStats {
+    fn put(&self, w: &mut SectionWriter) {
+        self.rules_issued.put(w);
+        self.path_cache_recomputes.put(w);
+        self.path_cache_invalidations.put(w);
+        self.load_updates.put(w);
+        self.rules_failed.put(w);
+        self.rules_timed_out.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(ControllerStats {
+            rules_issued: u64::get(r)?,
+            path_cache_recomputes: u64::get(r)?,
+            path_cache_invalidations: u64::get(r)?,
+            load_updates: u64::get(r)?,
+            rules_failed: u64::get(r)?,
+            rules_timed_out: u64::get(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -594,6 +740,91 @@ mod tests {
                 .map(|p| p.delay)
                 .collect();
             assert_eq!(da, db, "zero probs must not consume extra randomness");
+        }
+    }
+
+    fn controller_state_bytes(c: &Controller) -> Vec<u8> {
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("controller", |s| c.put_state(s));
+        w.finish()
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let (mr, mut c) = controller();
+        // Dirty every piece of mutable state: memo fills, an EWMA sample,
+        // RNG draws, a link-down with its invalidations.
+        c.paths(mr.servers[0], mr.servers[5]);
+        c.paths(mr.servers[3], mr.servers[8]);
+        c.observe_link_load(LinkId(0), 0.4e9);
+        let m = FlowMatch::server_pair(mr.servers[0], mr.servers[5]);
+        let p = c.paths(mr.servers[0], mr.servers[5])[0].clone();
+        c.install_path(m, &p, 10);
+        let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        c.on_link_state(trunk0, false);
+        c.paths(mr.servers[1], mr.servers[6]); // computed under avoidance
+
+        let bytes = controller_state_bytes(&c);
+        let (_, mut r) = controller(); // fresh, same config/seed
+        let mut sec = pythia_snapshot::Reader::new(&bytes)
+            .unwrap()
+            .section("controller")
+            .unwrap();
+        r.restore_state(&mut sec).unwrap();
+        sec.finish().unwrap();
+
+        // Snapshot of the restored controller is byte-identical.
+        assert_eq!(controller_state_bytes(&r), bytes);
+        // Future behavior matches: an uncached pair computes the same
+        // paths, and the install-latency RNG stream continues in step.
+        for ctl in [&mut c, &mut r] {
+            ctl.paths(mr.servers[2], mr.servers[9]);
+        }
+        assert_eq!(
+            c.paths(mr.servers[2], mr.servers[9])
+                .iter()
+                .map(|p| p.links().to_vec())
+                .collect::<Vec<_>>(),
+            r.paths(mr.servers[2], mr.servers[9])
+                .iter()
+                .map(|p| p.links().to_vec())
+                .collect::<Vec<_>>(),
+        );
+        let da: Vec<_> = c.install_path(m, &p, 10).iter().map(|x| x.delay).collect();
+        let db: Vec<_> = r.install_path(m, &p, 10).iter().map(|x| x.delay).collect();
+        assert_eq!(da, db, "RNG stream must resume mid-sequence");
+        assert_eq!(c.stats.rules_issued, r.stats.rules_issued);
+        // Link-up invalidation still works through the restored indices.
+        c.on_link_state(trunk0, true);
+        r.on_link_state(trunk0, true);
+        assert_eq!(
+            c.stats.path_cache_invalidations,
+            r.stats.path_cache_invalidations
+        );
+    }
+
+    #[test]
+    fn tampered_reverse_index_is_a_typed_error() {
+        let (mr, mut c) = controller();
+        c.paths(mr.servers[0], mr.servers[5]);
+        let bytes = controller_state_bytes(&c);
+        // Rebuild the section with an emptied reverse index: restore must
+        // reject a cached pair that no link-down could ever evict.
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("controller", |s| {
+            c.link_pairs.iter_mut().for_each(Vec::clear);
+            c.put_state(s);
+        });
+        let broken = w.finish();
+        assert_ne!(broken, bytes);
+        let (_, mut r) = controller();
+        let mut sec = pythia_snapshot::Reader::new(&broken)
+            .unwrap()
+            .section("controller")
+            .unwrap();
+        match r.restore_state(&mut sec) {
+            Err(SnapshotError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
         }
     }
 }

@@ -9,6 +9,7 @@
 //! flow-aggregation design is motivated by (§IV).
 
 use pythia_netsim::{FiveTuple, LinkId};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 use crate::match_fields::FlowMatch;
 
@@ -198,6 +199,81 @@ impl FlowTable {
     /// Iterate over installed rules (no particular order guarantees).
     pub fn rules(&self) -> impl Iterator<Item = &FlowRule> {
         self.entries.iter().map(|e| &e.rule)
+    }
+}
+
+impl Persist for FlowRule {
+    fn put(&self, w: &mut SectionWriter) {
+        self.matcher.put(w);
+        self.priority.put(w);
+        self.out_link.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FlowRule {
+            matcher: FlowMatch::get(r)?,
+            priority: u16::get(r)?,
+            out_link: LinkId::get(r)?,
+        })
+    }
+}
+
+/// Entries round-trip verbatim in installation order (`seq` decides
+/// lookup tie-breaks, so it must survive); the lookup accelerator is
+/// rebuilt lazily on the first post-restore lookup rather than
+/// serialized.
+impl Persist for FlowTable {
+    fn put(&self, w: &mut SectionWriter) {
+        (self.capacity as u64).put(w);
+        self.next_seq.put(w);
+        self.lookups.put(w);
+        self.misses.put(w);
+        (self.entries.len() as u64).put(w);
+        for e in &self.entries {
+            e.rule.put(w);
+            e.seq.put(w);
+        }
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        let capacity = u64::get(r)? as usize;
+        if capacity == 0 {
+            return Err(r.malformed("flow table capacity 0"));
+        }
+        let next_seq = u64::get(r)?;
+        let lookups = u64::get(r)?;
+        let misses = u64::get(r)?;
+        let n = u64::get(r)? as usize;
+        if n > capacity {
+            return Err(r.malformed(format!("{n} rules exceed table capacity {capacity}")));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut seqs = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let rule = FlowRule::get(r)?;
+            let seq = u64::get(r)?;
+            if seq >= next_seq {
+                return Err(r.malformed(format!("rule seq {seq} >= next_seq {next_seq}")));
+            }
+            if !seqs.insert(seq) {
+                return Err(r.malformed(format!("duplicate rule seq {seq}")));
+            }
+            if entries
+                .iter()
+                .any(|e: &Entry| e.rule.matcher == rule.matcher && e.rule.priority == rule.priority)
+            {
+                return Err(r.malformed("duplicate (matcher, priority) rule"));
+            }
+            entries.push(Entry { rule, seq });
+        }
+        Ok(FlowTable {
+            entries,
+            capacity,
+            next_seq,
+            lookups,
+            misses,
+            pair_index: Vec::new(),
+            wild_index: Vec::new(),
+            index_dirty: true,
+        })
     }
 }
 

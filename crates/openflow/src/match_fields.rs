@@ -7,6 +7,7 @@
 //! 5-tuple rules are the degenerate case with every field set.
 
 use pythia_netsim::{FiveTuple, NodeId, Protocol};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 /// A match over the 5-tuple; `None` fields are wildcards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,6 +78,25 @@ impl FlowMatch {
     /// True when no field is wildcarded.
     pub fn is_exact(&self) -> bool {
         self.wildcard_count() == 0
+    }
+}
+
+impl Persist for FlowMatch {
+    fn put(&self, w: &mut SectionWriter) {
+        self.src.put(w);
+        self.dst.put(w);
+        self.src_port.put(w);
+        self.dst_port.put(w);
+        self.proto.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(FlowMatch {
+            src: Option::<NodeId>::get(r)?,
+            dst: Option::<NodeId>::get(r)?,
+            src_port: Option::<u16>::get(r)?,
+            dst_port: Option::<u16>::get(r)?,
+            proto: Option::<Protocol>::get(r)?,
+        })
     }
 }
 

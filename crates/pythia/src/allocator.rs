@@ -29,7 +29,9 @@
 
 use std::collections::BTreeMap;
 
+use pythia_netsim::persist::{get_path, put_path};
 use pythia_netsim::{LinkId, NodeId, Path, Topology};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 /// Resolve each `(src, dst, parallel_index)` hop against the topology
 /// into a candidate [`Path`]. Returns `None` when any hop has no link at
@@ -369,6 +371,73 @@ impl FlowAllocator {
             .get(&pair)
             .map(|a| a.outstanding)
             .unwrap_or(0)
+    }
+
+    /// Serialize the full plan. The per-link tables are written verbatim
+    /// rather than recomputed from assignments: drains saturate and the
+    /// pair table decrements only when a pair idles, so the tables carry
+    /// history the assignments alone cannot reproduce.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        self.size_blind.put(w);
+        (self.assignments.len() as u64).put(w);
+        for (&(src, dst), a) in &self.assignments {
+            src.put(w);
+            dst.put(w);
+            put_path(w, &a.path);
+            a.outstanding.put(w);
+        }
+        self.planned_link_bytes.put(w);
+        self.planned_link_pairs.put(w);
+        self.placements.put(w);
+        self.keeps.put(w);
+    }
+
+    /// Restore the plan onto a freshly constructed allocator of the same
+    /// mode, re-validating every assigned path against `topo`.
+    pub fn restore_state(
+        &mut self,
+        topo: &Topology,
+        r: &mut SectionReader,
+    ) -> Result<(), SnapshotError> {
+        let size_blind = bool::get(r)?;
+        if size_blind != self.size_blind {
+            return Err(r.malformed("allocator mode (size-aware/size-blind) differs"));
+        }
+        let n = u64::get(r)? as usize;
+        let mut assignments = BTreeMap::new();
+        for _ in 0..n {
+            let src = NodeId::get(r)?;
+            let dst = NodeId::get(r)?;
+            let path = get_path(topo, r)?;
+            let outstanding = u64::get(r)?;
+            let links = path.links();
+            if links.is_empty() {
+                return Err(r.malformed("assignment with an empty path"));
+            }
+            if topo.link(links[0]).src != src || topo.link(links[links.len() - 1]).dst != dst {
+                return Err(r.malformed(format!("assigned path does not join pair {src}->{dst}")));
+            }
+            if assignments
+                .insert((src, dst), Assignment { path, outstanding })
+                .is_some()
+            {
+                return Err(r.malformed(format!("duplicate assignment for pair {src}->{dst}")));
+            }
+        }
+        let planned_link_bytes = Vec::<u64>::get(r)?;
+        let planned_link_pairs = Vec::<u64>::get(r)?;
+        if planned_link_bytes.len() > topo.num_links()
+            || planned_link_pairs.len() > topo.num_links()
+        {
+            return Err(r.malformed("planned-link table larger than the topology"));
+        }
+        self.assignments = assignments;
+        self.planned_link_bytes = planned_link_bytes;
+        self.planned_link_pairs = planned_link_pairs;
+        self.common_scratch.clear();
+        self.placements = u64::get(r)?;
+        self.keeps = u64::get(r)?;
+        Ok(())
     }
 
     /// Planned bytes at the path's most-loaded link.

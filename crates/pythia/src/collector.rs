@@ -30,6 +30,7 @@ use std::fmt;
 use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
 use pythia_netsim::{CumulativeCurve, NodeId};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 use crate::instrument::PredictionMsg;
 
@@ -391,6 +392,134 @@ impl Collector {
     pub fn predicted_curve(&self, node: NodeId) -> Option<&CumulativeCurve> {
         self.predicted_curves.get(&node).map(|(_, c)| c)
     }
+
+    /// Serialize the collector's mutable state. The server map is written
+    /// too so a resume against a different scenario is a typed error, not
+    /// silent misrouting. Parked entries keep their order — resolution
+    /// order decides demand order at reducer launch.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        self.server_nodes.put(w);
+        self.reducer_loc.put(w);
+        self.pending.put(w);
+        self.predicted_fetch.put(w);
+        self.latest_src.put(w);
+        self.outstanding.put(w);
+        self.predicted_curves.put(w);
+        self.predictions_received.put(w);
+        self.entries_parked.put(w);
+        self.duplicates_dropped.put(w);
+        self.retractions.put(w);
+        self.parked_expired.put(w);
+        self.malformed_dropped.put(w);
+    }
+
+    /// Overlay state from a snapshot onto a freshly constructed collector.
+    /// Validates internal invariants (server/node ids in range, parked
+    /// entries genuinely unresolved, no zero outstanding entries) before
+    /// committing anything.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        let server_nodes = Vec::<NodeId>::get(r)?;
+        if server_nodes != self.server_nodes {
+            return Err(r.malformed("collector server map differs from the running scenario"));
+        }
+        let n_servers = server_nodes.len();
+        let node_set: std::collections::BTreeSet<NodeId> = server_nodes.iter().copied().collect();
+        let reducer_loc = <BTreeMap<(JobId, ReducerId), ServerId> as Persist>::get(r)?;
+        for loc in reducer_loc.values() {
+            if loc.0 as usize >= n_servers {
+                return Err(r.malformed(format!("reducer location {loc} out of range")));
+            }
+        }
+        let pending = Vec::<PendingEntry>::get(r)?;
+        for e in &pending {
+            if e.src.0 as usize >= n_servers {
+                return Err(r.malformed(format!("parked entry src {} out of range", e.src)));
+            }
+            if reducer_loc.contains_key(&(e.job, e.reducer)) {
+                return Err(r.malformed("parked entry for a reducer with a known location"));
+            }
+        }
+        let predicted_fetch =
+            <BTreeMap<(JobId, MapTaskId, ReducerId), CommittedFetch> as Persist>::get(r)?;
+        for c in predicted_fetch.values() {
+            if !node_set.contains(&c.src) || !node_set.contains(&c.dst) {
+                return Err(r.malformed("committed fetch references a non-server node"));
+            }
+        }
+        let latest_src = <BTreeMap<(JobId, MapTaskId), ServerId> as Persist>::get(r)?;
+        for s in latest_src.values() {
+            if s.0 as usize >= n_servers {
+                return Err(r.malformed(format!("latest-src server {s} out of range")));
+            }
+        }
+        let outstanding = <BTreeMap<(NodeId, NodeId), u64> as Persist>::get(r)?;
+        for (&(src, dst), &v) in &outstanding {
+            if v == 0 {
+                return Err(r.malformed("zero outstanding entry (should be removed)"));
+            }
+            if !node_set.contains(&src) || !node_set.contains(&dst) {
+                return Err(r.malformed("outstanding pair references a non-server node"));
+            }
+        }
+        let predicted_curves = <BTreeMap<NodeId, (f64, CumulativeCurve)> as Persist>::get(r)?;
+        for (node, (total, _)) in &predicted_curves {
+            if !node_set.contains(node) {
+                return Err(r.malformed("predicted curve for a non-server node"));
+            }
+            if !total.is_finite() || *total < 0.0 {
+                return Err(r.malformed(format!("predicted-curve total {total} not a valid sum")));
+            }
+        }
+        self.reducer_loc = reducer_loc;
+        self.pending = pending;
+        self.predicted_fetch = predicted_fetch;
+        self.latest_src = latest_src;
+        self.outstanding = outstanding;
+        self.predicted_curves = predicted_curves;
+        self.predictions_received = u64::get(r)?;
+        self.entries_parked = u64::get(r)?;
+        self.duplicates_dropped = u64::get(r)?;
+        self.retractions = u64::get(r)?;
+        self.parked_expired = u64::get(r)?;
+        self.malformed_dropped = u64::get(r)?;
+        Ok(())
+    }
+}
+
+impl Persist for PendingEntry {
+    fn put(&self, w: &mut SectionWriter) {
+        self.job.put(w);
+        self.map.put(w);
+        self.src.put(w);
+        self.reducer.put(w);
+        self.bytes.put(w);
+        self.parked_at.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(PendingEntry {
+            job: JobId::get(r)?,
+            map: MapTaskId::get(r)?,
+            src: ServerId::get(r)?,
+            reducer: ReducerId::get(r)?,
+            bytes: u64::get(r)?,
+            parked_at: SimTime::get(r)?,
+        })
+    }
+}
+
+impl Persist for CommittedFetch {
+    fn put(&self, w: &mut SectionWriter) {
+        self.bytes.put(w);
+        self.src.put(w);
+        self.dst.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(CommittedFetch {
+            bytes: u64::get(r)?,
+            src: NodeId::get(r)?,
+            dst: NodeId::get(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -648,5 +777,109 @@ mod tests {
             ServerId(1),
         );
         assert_eq!(c.outstanding_pairs(), vec![((NodeId(12), NodeId(11)), 300)]);
+    }
+
+    fn snapshot(c: &Collector) -> Vec<u8> {
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("collector", |s| c.put_state(s));
+        w.finish()
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let mut c = collector();
+        // Committed demand, a parked entry, a duplicate, and a retraction:
+        // every aggregate the collector keeps is non-trivial.
+        c.on_reducer_location(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(1));
+        c.on_prediction(SimTime::from_secs(1), &msg(0, 0, vec![500], 1));
+        c.on_prediction(SimTime::from_secs(2), &msg(0, 0, vec![500], 2));
+        c.on_prediction(SimTime::from_secs(3), &msg(1, 2, vec![300], 3));
+        c.on_prediction(SimTime::from_secs(4), &msg(2, 0, vec![0, 700], 4)); // parks reducer 1
+        c.on_prediction(SimTime::from_secs(5), &msg(1, 3, vec![300], 5)); // re-execution
+
+        let bytes = snapshot(&c);
+        let mut c2 = collector();
+        let mut sec = pythia_snapshot::Reader::new(&bytes)
+            .unwrap()
+            .section("collector")
+            .unwrap();
+        c2.restore_state(&mut sec).unwrap();
+        sec.finish().unwrap();
+
+        // Re-snapshot is byte-identical; counters and aggregates survive.
+        assert_eq!(snapshot(&c2), bytes);
+        assert_eq!(c2.duplicates_dropped, 1);
+        assert_eq!(c2.retractions, 1);
+        assert_eq!(c2.parked(), 1);
+        assert_eq!(c2.outstanding_pairs(), c.outstanding_pairs());
+        // Both resume identically: the parked entry resolves the same way.
+        let at = SimTime::from_secs(6);
+        let d1 = c.on_reducer_location(at, JobId(0), ReducerId(1), ServerId(2));
+        let d2 = c2.on_reducer_location(at, JobId(0), ReducerId(1), ServerId(2));
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 1);
+        assert_eq!(
+            c.predicted_curve(NodeId(10)).unwrap().value_at(at),
+            c2.predicted_curve(NodeId(10)).unwrap().value_at(at),
+        );
+    }
+
+    #[test]
+    fn restore_against_different_cluster_is_a_typed_error() {
+        let mut c = collector();
+        c.on_prediction(SimTime::ZERO, &msg(0, 0, vec![500], 0));
+        let bytes = snapshot(&c);
+        // A cluster with a different server map must refuse the snapshot.
+        let mut other = Collector::new((0..4).map(|i| NodeId(20 + i)).collect());
+        let mut sec = pythia_snapshot::Reader::new(&bytes)
+            .unwrap()
+            .section("collector")
+            .unwrap();
+        match other.restore_state(&mut sec) {
+            Err(pythia_snapshot::SnapshotError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parked_entry_with_known_location_is_a_typed_error() {
+        // Hand-craft an impossible state: an entry parked for a reducer
+        // whose location the same snapshot claims to know. A live
+        // collector resolves such entries immediately, so this can only
+        // come from corruption — restore must reject it.
+        let server_nodes: Vec<NodeId> = (0..4).map(|i| NodeId(10 + i)).collect();
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("collector", |s| {
+            server_nodes.put(s);
+            let mut loc = BTreeMap::new();
+            loc.insert((JobId(0), ReducerId(0)), ServerId(1));
+            loc.put(s);
+            vec![PendingEntry {
+                job: JobId(0),
+                map: MapTaskId(0),
+                src: ServerId(0),
+                reducer: ReducerId(0),
+                bytes: 500,
+                parked_at: SimTime::ZERO,
+            }]
+            .put(s);
+            BTreeMap::<(JobId, MapTaskId, ReducerId), CommittedFetch>::new().put(s);
+            BTreeMap::<(JobId, MapTaskId), ServerId>::new().put(s);
+            BTreeMap::<(NodeId, NodeId), u64>::new().put(s);
+            BTreeMap::<NodeId, (f64, CumulativeCurve)>::new().put(s);
+            for _ in 0..6 {
+                0u64.put(s);
+            }
+        });
+        let bytes = w.finish();
+        let mut c = collector();
+        let mut sec = pythia_snapshot::Reader::new(&bytes)
+            .unwrap()
+            .section("collector")
+            .unwrap();
+        match c.restore_state(&mut sec) {
+            Err(pythia_snapshot::SnapshotError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 }

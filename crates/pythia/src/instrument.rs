@@ -15,6 +15,7 @@
 
 use pythia_des::SimTime;
 use pythia_hadoop::{IndexError, IndexFile, JobId, MapTaskId, ServerId};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 use crate::overhead::predicted_wire_bytes;
 
@@ -42,6 +43,27 @@ impl PredictionMsg {
     }
 }
 
+/// Predictions ride inside checkpointed in-flight events (a message can
+/// be on the management network when the snapshot is cut).
+impl Persist for PredictionMsg {
+    fn put(&self, w: &mut SectionWriter) {
+        self.job.put(w);
+        self.map.put(w);
+        self.src_server.put(w);
+        self.per_reducer_bytes.put(w);
+        self.predicted_at.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(PredictionMsg {
+            job: JobId::get(r)?,
+            map: MapTaskId::get(r)?,
+            src_server: ServerId::get(r)?,
+            per_reducer_bytes: Vec::<u64>::get(r)?,
+            predicted_at: SimTime::get(r)?,
+        })
+    }
+}
+
 /// Per-server middleware state: decode spills, count work done (for the
 /// §V-C overhead model).
 #[derive(Debug)]
@@ -66,6 +88,28 @@ impl Instrumentation {
     /// The server this middleware watches.
     pub fn server(&self) -> ServerId {
         self.server
+    }
+
+    /// Serialize the decode counters (the server id is scenario
+    /// configuration and is validated, not restored).
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        self.server.put(w);
+        self.spills_decoded.put(w);
+        self.index_bytes_parsed.put(w);
+    }
+
+    /// Restore the decode counters onto a freshly constructed middleware.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        let server = ServerId::get(r)?;
+        if server != self.server {
+            return Err(r.malformed(format!(
+                "instrumentation snapshot for {server}, restoring onto {}",
+                self.server
+            )));
+        }
+        self.spills_decoded = u64::get(r)?;
+        self.index_bytes_parsed = u64::get(r)?;
+        Ok(())
     }
 
     /// Filesystem notification: a spill index for `map` appeared. Decode

@@ -20,7 +20,8 @@
 //! fixed one-way latency, consumes **no randomness**, and is bit-identical
 //! to the historical fault-free path.
 
-use pythia_des::{SimDuration, SimTime};
+use pythia_des::{get_rng, put_rng, SimDuration, SimTime};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -99,6 +100,25 @@ pub struct MgmtNetStats {
     pub messages_lost: u64,
 }
 
+impl Persist for MgmtNetStats {
+    fn put(&self, w: &mut SectionWriter) {
+        self.messages_sent.put(w);
+        self.deliveries.put(w);
+        self.transmissions_lost.put(w);
+        self.duplicates_delivered.put(w);
+        self.messages_lost.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(MgmtNetStats {
+            messages_sent: u64::get(r)?,
+            deliveries: u64::get(r)?,
+            transmissions_lost: u64::get(r)?,
+            duplicates_delivered: u64::get(r)?,
+            messages_lost: u64::get(r)?,
+        })
+    }
+}
+
 /// The agent → collector channel: loss, duplication, jitter, retries.
 #[derive(Debug)]
 pub struct MgmtNet {
@@ -163,6 +183,24 @@ impl MgmtNet {
             timeout = timeout + timeout; // exponential backoff
         }
         arrivals
+    }
+
+    /// Serialize the channel's RNG position and degradation counters (the
+    /// fault model itself is scenario configuration). Retry state needs no
+    /// section of its own: the stop-and-wait loop runs to completion
+    /// inside [`MgmtNet::transmit`], so between events the only mutable
+    /// state is the RNG and the stats.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        put_rng(w, &self.rng);
+        self.stats.put(w);
+    }
+
+    /// Restore RNG position and counters onto a freshly constructed
+    /// channel with the same fault model.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        self.rng = get_rng(r)?;
+        self.stats = MgmtNetStats::get(r)?;
+        Ok(())
     }
 
     fn bernoulli(&mut self, p: f64) -> bool {
@@ -297,6 +335,41 @@ mod tests {
             ..Default::default()
         };
         MgmtNet::new(cfg, rng(1));
+    }
+
+    #[test]
+    fn state_round_trip_continues_rng_sequence() {
+        let cfg = MgmtNetConfig {
+            loss_prob: 0.3,
+            dup_prob: 0.2,
+            jitter: SimDuration::from_millis(10),
+            ..Default::default()
+        };
+        let mut a = MgmtNet::new(cfg.clone(), rng(7));
+        for s in 0..25u64 {
+            a.transmit(SimTime::from_secs(s), SimDuration::from_millis(1));
+        }
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("mgmt", |s| a.put_state(s));
+        let bytes = w.finish();
+        // Restore onto a channel seeded differently: the snapshot's RNG
+        // position wins, so both continue the same jittered sequence.
+        let mut b = MgmtNet::new(cfg, rng(99));
+        let mut sec = pythia_snapshot::Reader::new(&bytes)
+            .unwrap()
+            .section("mgmt")
+            .unwrap();
+        b.restore_state(&mut sec).unwrap();
+        sec.finish().unwrap();
+        assert_eq!(a.stats, b.stats);
+        for s in 25..60u64 {
+            let t = SimTime::from_secs(s);
+            assert_eq!(
+                a.transmit(t, SimDuration::from_millis(1)),
+                b.transmit(t, SimDuration::from_millis(1))
+            );
+        }
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

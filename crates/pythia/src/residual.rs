@@ -10,6 +10,7 @@
 //! min — O(1) per link, no callbacks.
 
 use pythia_netsim::{LinkId, Path, Topology};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 
 /// Per-link background load and residual capacity, kept in sync so
 /// residual reads never recompute.
@@ -59,6 +60,31 @@ impl ResidualTable {
     /// Residual capacity on `link`: `(capacity − background).max(0)`.
     pub fn residual_bps(&self, link: LinkId) -> f64 {
         self.residual[link.0 as usize]
+    }
+
+    /// Serialize the background vector; capacities and residuals are
+    /// derived (bit-exactly, via the same `max(0.0)` update) on restore.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        self.background.put(w);
+    }
+
+    /// Restore background loads onto a table built for the same topology.
+    pub fn restore_state(&mut self, r: &mut SectionReader) -> Result<(), SnapshotError> {
+        let background = Vec::<f64>::get(r)?;
+        if background.len() != self.capacity.len() {
+            return Err(r.malformed(format!(
+                "background vector for {} links, topology has {}",
+                background.len(),
+                self.capacity.len()
+            )));
+        }
+        for (i, &bps) in background.iter().enumerate() {
+            if !bps.is_finite() || bps < 0.0 {
+                return Err(r.malformed(format!("background load {bps} on link {i}")));
+            }
+        }
+        self.set_background_from(&background);
+        Ok(())
     }
 
     /// Bottleneck residual along `path` (min over its links).

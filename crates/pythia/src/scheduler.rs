@@ -21,6 +21,7 @@ use pythia_des::{SimDuration, SimTime};
 use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
 use pythia_netsim::{CumulativeCurve, LinkId, NodeId, Path, Topology};
 use pythia_openflow::{Controller, FlowMatch, PendingRule};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
 use pythia_trace::{AllocOutcome, Component, Trace, TraceEvent};
 
 use crate::allocator::{FlowAllocator, Placement};
@@ -117,6 +118,31 @@ pub struct PythiaStats {
     /// Placement requests with no candidate path (degraded fabric) —
     /// the pair rides default ECMP instead of a pinned route.
     pub demands_no_path: u64,
+}
+
+impl Persist for PythiaStats {
+    fn put(&self, w: &mut SectionWriter) {
+        self.predictions_sent.put(w);
+        self.demands_aggregated.put(w);
+        self.paths_assigned.put(w);
+        self.rules_issued.put(w);
+        self.demands_deferred.put(w);
+        self.rules_reinstalled.put(w);
+        self.controller_resyncs.put(w);
+        self.demands_no_path.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        Ok(PythiaStats {
+            predictions_sent: u64::get(r)?,
+            demands_aggregated: u64::get(r)?,
+            paths_assigned: u64::get(r)?,
+            rules_issued: u64::get(r)?,
+            demands_deferred: u64::get(r)?,
+            rules_reinstalled: u64::get(r)?,
+            controller_resyncs: u64::get(r)?,
+            demands_no_path: u64::get(r)?,
+        })
+    }
 }
 
 /// The complete Pythia deployment over one cluster.
@@ -473,6 +499,73 @@ impl PythiaSystem {
     /// volumes).
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// Serialize every stateful sub-component: per-server middleware
+    /// counters, the collector, the allocator plan, rack-aggregation pins,
+    /// controller reachability, the residual table, and the run stats.
+    /// The config and the trace handle are scenario wiring, not state.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        (self.instruments.len() as u64).put(w);
+        for inst in &self.instruments {
+            inst.put_state(w);
+        }
+        self.collector.put_state(w);
+        self.allocator.put_state(w);
+        self.rack_trunk.put(w);
+        self.rack_counted.put(w);
+        self.controller_up.put(w);
+        self.residuals.put_state(w);
+        self.stats.put(w);
+    }
+
+    /// Restore onto a freshly constructed system for the same scenario
+    /// (same config, topology, and server map — mismatches surface as
+    /// typed errors from the sub-restores).
+    pub fn restore_state(
+        &mut self,
+        topo: &Topology,
+        r: &mut SectionReader,
+    ) -> Result<(), SnapshotError> {
+        let n = u64::get(r)? as usize;
+        if n != self.instruments.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n} instrumented servers, scenario has {}",
+                self.instruments.len()
+            )));
+        }
+        for inst in &mut self.instruments {
+            inst.restore_state(r)?;
+        }
+        self.collector.restore_state(r)?;
+        self.allocator.restore_state(topo, r)?;
+        let rack_trunk =
+            <std::collections::BTreeMap<(u32, u32), (LinkId, u64)> as Persist>::get(r)?;
+        for &(link, count) in rack_trunk.values() {
+            if link.0 as usize >= topo.num_links() {
+                return Err(r.malformed(format!("rack trunk {link} out of range")));
+            }
+            if count == 0 {
+                return Err(r.malformed("rack trunk pinned with zero riders"));
+            }
+        }
+        let rack_counted =
+            <std::collections::BTreeMap<(NodeId, NodeId), (u32, u32)> as Persist>::get(r)?;
+        for key in rack_counted.values() {
+            if !rack_trunk.contains_key(key) {
+                return Err(r.malformed("server pair counted against an unpinned rack pair"));
+            }
+        }
+        self.rack_trunk = rack_trunk;
+        self.rack_counted = rack_counted;
+        self.controller_up = bool::get(r)?;
+        self.residuals.restore_state(r)?;
+        self.stats = PythiaStats::get(r)?;
+        self.active_scratch.clear();
+        self.resid_scratch.clear();
+        self.pin_paths.clear();
+        self.pin_resids.clear();
+        Ok(())
     }
 
     fn handle_demands(
@@ -940,6 +1033,112 @@ mod tests {
             .rule
             .out_link;
         assert_ne!(t1, t2);
+    }
+
+    fn snap(py: &PythiaSystem) -> Vec<u8> {
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("pythia", |s| py.put_state(s));
+        w.finish()
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let (mr, mut ctl, mut py) = setup();
+        // Exercise every aggregate: a committed placement, a parked
+        // prediction, background load, and run counters.
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl);
+        let trunk0 = mr.topology.find_link(mr.tors[0], mr.tors[1], 0).unwrap();
+        py.set_background(trunk0, 2e9);
+        let index = IndexFile::from_partition_sizes(&[40_000_000], 1.0);
+        let (m1, a1) = py
+            .on_spill(
+                SimTime::ZERO,
+                JobId(0),
+                MapTaskId(0),
+                ServerId(0),
+                &index.encode(),
+            )
+            .unwrap();
+        py.on_prediction_delivered(a1, &m1, &mut ctl);
+        let parked = IndexFile::from_partition_sizes(&[0, 25_000_000], 1.0);
+        let (m2, a2) = py
+            .on_spill(
+                SimTime::from_secs(1),
+                JobId(0),
+                MapTaskId(1),
+                ServerId(1),
+                &parked.encode(),
+            )
+            .unwrap();
+        py.on_prediction_delivered(a2, &m2, &mut ctl);
+        assert_eq!(py.parked_predictions(), 1);
+
+        // Snapshot Pythia and the controller; restore both onto fresh
+        // instances of the same scenario.
+        let mut w = pythia_snapshot::Writer::new();
+        w.section("pythia", |s| py.put_state(s));
+        w.section("controller", |s| ctl.put_state(s));
+        let bytes = w.finish();
+        let mut py2 = PythiaSystem::new(PythiaConfig::default(), &mr.topology, mr.servers.clone());
+        let mut ctl2 = Controller::new(
+            mr.topology.clone(),
+            ControllerConfig::default(),
+            &RngFactory::new(3),
+        );
+        let mut rd = pythia_snapshot::Reader::new(&bytes).unwrap();
+        let mut sec = rd.section("pythia").unwrap();
+        py2.restore_state(&mr.topology, &mut sec).unwrap();
+        sec.finish().unwrap();
+        let mut sec = rd.section("controller").unwrap();
+        ctl2.restore_state(&mut sec).unwrap();
+        sec.finish().unwrap();
+
+        // Re-snapshot is byte-identical and both halves continue in
+        // lock-step: the parked prediction resolves into the same rules.
+        assert_eq!(snap(&py2), snap(&py));
+        let at = SimTime::from_secs(2);
+        let r1 = py.on_reducer_launched(at, JobId(0), ReducerId(1), ServerId(6), &mut ctl);
+        let r2 = py2.on_reducer_launched(at, JobId(0), ReducerId(1), ServerId(6), &mut ctl2);
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+        assert!(!r1.is_empty());
+        // Draining a fetch keeps them in lock-step too.
+        py.on_fetch_completed(
+            JobId(0),
+            MapTaskId(0),
+            ReducerId(0),
+            ServerId(0),
+            ServerId(5),
+        );
+        py2.on_fetch_completed(
+            JobId(0),
+            MapTaskId(0),
+            ReducerId(0),
+            ServerId(0),
+            ServerId(5),
+        );
+        assert_eq!(
+            py.outstanding(mr.servers[0], mr.servers[5]),
+            py2.outstanding(mr.servers[0], mr.servers[5])
+        );
+        assert_eq!(snap(&py2), snap(&py));
+    }
+
+    #[test]
+    fn restore_onto_smaller_cluster_is_a_typed_error() {
+        let (mr, mut ctl, mut py) = setup();
+        py.on_reducer_launched(SimTime::ZERO, JobId(0), ReducerId(0), ServerId(5), &mut ctl);
+        let bytes = snap(&py);
+        let mut small = PythiaSystem::new(
+            PythiaConfig::default(),
+            &mr.topology,
+            mr.servers[..4].to_vec(),
+        );
+        let mut rd = pythia_snapshot::Reader::new(&bytes).unwrap();
+        let mut sec = rd.section("pythia").unwrap();
+        match small.restore_state(&mr.topology, &mut sec) {
+            Err(pythia_snapshot::SnapshotError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

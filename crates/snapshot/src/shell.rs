@@ -1,0 +1,229 @@
+//! The imperative checkpoint shell: atomic snapshot files and the
+//! manifest that names the last good one.
+//!
+//! The pure core serializes state to bytes; this module is the only
+//! place those bytes touch the filesystem. Both the snapshot and the
+//! manifest are written to a temporary name and renamed into place, so a
+//! `kill -9` at any instant leaves either the previous checkpoint or the
+//! new one — never a torn file. The manifest is re-read and validated on
+//! resume; a manifest pointing at a missing or corrupt snapshot is a
+//! typed error, not a panic (the dead-letter stance: a poisoned resume
+//! is reported, the artifacts are left in place for inspection).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::SnapshotError;
+
+/// Name of the manifest file inside a checkpoint directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Metadata describing the latest good checkpoint in a directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// File name (relative to the checkpoint directory) of the snapshot.
+    pub snapshot_file: String,
+    /// Snapshot format version ([`crate::SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Hash of the scenario configuration the snapshot was taken under.
+    pub config_hash: u64,
+    /// Events processed when the snapshot was taken.
+    pub events: u64,
+    /// Simulated time (nanoseconds) when the snapshot was taken.
+    pub sim_nanos: u64,
+    /// Snapshot size in bytes (sanity check against truncation).
+    pub bytes: u64,
+    /// CRC32 of the whole snapshot file.
+    pub crc32: u32,
+}
+
+impl Manifest {
+    fn to_text(&self) -> String {
+        format!(
+            "snapshot_file={}\nversion={}\nconfig_hash={:#018x}\nevents={}\n\
+             sim_nanos={}\nbytes={}\ncrc32={:#010x}\n",
+            self.snapshot_file,
+            self.version,
+            self.config_hash,
+            self.events,
+            self.sim_nanos,
+            self.bytes,
+            self.crc32,
+        )
+    }
+
+    fn from_text(text: &str) -> Result<Manifest, SnapshotError> {
+        let mut fields = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if let Some((k, v)) = line.split_once('=') {
+                fields.insert(k.trim().to_string(), v.trim().to_string());
+            }
+        }
+        let get = |k: &str| -> Result<&String, SnapshotError> {
+            fields.get(k).ok_or_else(|| SnapshotError::Malformed {
+                section: "manifest".into(),
+                detail: format!("missing field `{k}`"),
+            })
+        };
+        let parse_u64 = |k: &str| -> Result<u64, SnapshotError> {
+            let raw = get(k)?;
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                raw.parse()
+            };
+            parsed.map_err(|_| SnapshotError::Malformed {
+                section: "manifest".into(),
+                detail: format!("bad value for `{k}`: {raw}"),
+            })
+        };
+        Ok(Manifest {
+            snapshot_file: get("snapshot_file")?.clone(),
+            version: parse_u64("version")? as u32,
+            config_hash: parse_u64("config_hash")?,
+            events: parse_u64("events")?,
+            sim_nanos: parse_u64("sim_nanos")?,
+            bytes: parse_u64("bytes")?,
+            crc32: parse_u64("crc32")? as u32,
+        })
+    }
+}
+
+/// Write `bytes` to `path` atomically: a temp file in the same directory,
+/// fsync'd, then renamed into place.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        ".{}.tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "snapshot".into())
+    ));
+    {
+        use std::io::Write;
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Persist one checkpoint into `dir`: the snapshot file, then the
+/// manifest pointing at it — both atomically, manifest last, so the
+/// manifest never names a file that is not fully on disk.
+pub fn store_checkpoint(
+    dir: &Path,
+    manifest: &Manifest,
+    snapshot: &[u8],
+) -> Result<(), SnapshotError> {
+    write_atomic(&dir.join(&manifest.snapshot_file), snapshot)?;
+    write_atomic(&dir.join(MANIFEST_NAME), manifest.to_text().as_bytes())?;
+    Ok(())
+}
+
+/// Read the manifest in `dir`.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, SnapshotError> {
+    let text = fs::read_to_string(dir.join(MANIFEST_NAME))?;
+    Manifest::from_text(&text)
+}
+
+/// Load the checkpoint the manifest in `dir` points at, verifying size
+/// and whole-file CRC before handing the bytes back.
+pub fn load_checkpoint(dir: &Path) -> Result<(Manifest, Vec<u8>), SnapshotError> {
+    let manifest = read_manifest(dir)?;
+    let path: PathBuf = dir.join(&manifest.snapshot_file);
+    let bytes = fs::read(&path)?;
+    if bytes.len() as u64 != manifest.bytes {
+        return Err(SnapshotError::Truncated {
+            section: format!("file {}", manifest.snapshot_file),
+        });
+    }
+    if crate::crc32(&bytes) != manifest.crc32 {
+        return Err(SnapshotError::Checksum {
+            section: format!("file {}", manifest.snapshot_file),
+        });
+    }
+    Ok((manifest, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("pythia-snap-shell-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn manifest_for(bytes: &[u8]) -> Manifest {
+        Manifest {
+            snapshot_file: "snap-000042.pysnap".into(),
+            version: crate::SNAPSHOT_VERSION,
+            config_hash: 0xabcd_ef01_2345_6789,
+            events: 42,
+            sim_nanos: 1_500_000_000,
+            bytes: bytes.len() as u64,
+            crc32: crate::crc32(bytes),
+        }
+    }
+
+    #[test]
+    fn manifest_text_round_trip() {
+        let m = manifest_for(b"hello");
+        let back = Manifest::from_text(&m.to_text()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn store_then_load() {
+        let dir = tmpdir("store");
+        let payload = b"snapshot payload".to_vec();
+        let m = manifest_for(&payload);
+        store_checkpoint(&dir, &m, &payload).unwrap();
+        let (back, bytes) = load_checkpoint(&dir).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(bytes, payload);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_snapshot_detected() {
+        let dir = tmpdir("torn");
+        let payload = b"snapshot payload".to_vec();
+        let m = manifest_for(&payload);
+        store_checkpoint(&dir, &m, &payload).unwrap();
+        // Truncate the snapshot file behind the manifest's back.
+        fs::write(dir.join(&m.snapshot_file), &payload[..4]).unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        // Same length, different bytes: CRC catches it.
+        let mut flipped = payload.clone();
+        flipped[0] ^= 0x80;
+        fs::write(dir.join(&m.snapshot_file), &flipped).unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir),
+            Err(SnapshotError::Checksum { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_io_error() {
+        let dir = tmpdir("missing");
+        assert!(matches!(read_manifest(&dir), Err(SnapshotError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_manifest_field_is_malformed() {
+        let err = Manifest::from_text("snapshot_file=x\nversion=zzz\n").unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }));
+    }
+}

@@ -1,0 +1,109 @@
+//! Snapshot budget guard: checkpointing must stay cheap on a big fabric.
+//!
+//! Runs a 60 GB Sort on a k=8 fat-tree (128 servers), measures the
+//! mid-run snapshot size and the wall-clock overhead of an aggressive
+//! checkpoint cadence over a plain run, and enforces ceilings on both.
+//! Exit status 1 on any breach — wire it into CI next to `refcheck`.
+//!
+//! ```text
+//! cargo run --release --example snapshot_budget
+//! ```
+
+use std::time::Instant;
+
+use pythia_repro::cluster::{
+    capture_multi_snapshot, run_multi_scenario, run_multi_scenario_checkpointed, CheckpointPolicy,
+    ScenarioConfig, SchedulerKind,
+};
+use pythia_repro::des::SimDuration;
+use pythia_repro::hadoop::JobSpec;
+use pythia_repro::netsim::FatTreeParams;
+use pythia_repro::workloads::{SortWorkload, Workload};
+
+/// Snapshot size ceiling. A mid-shuffle k=8 snapshot measures well under
+/// a quarter of this; the headroom absorbs queue-depth variance without
+/// letting the format regress to "accidentally serialized the topology
+/// per flow" territory.
+const MAX_SNAPSHOT_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Wall-clock ceiling for the checkpointing run relative to the plain
+/// run (with a constant slack for the file I/O of ~20 checkpoints).
+const MAX_OVERHEAD_FACTOR: f64 = 2.0;
+const SLACK_SECS: f64 = 2.0;
+
+fn sixty_gb_sort() -> JobSpec {
+    let mut w = SortWorkload::paper_240gb();
+    w.input_bytes /= 4; // 240 GB -> 60 GB
+    w.job()
+}
+
+fn main() {
+    let cfg = ScenarioConfig::default()
+        .with_topology(FatTreeParams {
+            k: 8,
+            ..FatTreeParams::default()
+        })
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(10)
+        .with_seed(1);
+    let jobs = || vec![(sixty_gb_sort(), SimDuration::ZERO)];
+
+    let t0 = Instant::now();
+    let plain = run_multi_scenario(jobs(), &cfg);
+    let plain_wall = t0.elapsed().as_secs_f64();
+    println!(
+        "plain run:        {:.2}s wall, {} events, makespan {}",
+        plain_wall,
+        plain.events_processed,
+        plain.makespan()
+    );
+
+    // Mid-run snapshot size (the deepest point of the shuffle is the
+    // worst case for queue depth and in-flight flow state).
+    let snap =
+        capture_multi_snapshot(jobs(), &cfg, plain.events_processed / 2).expect("mid-run capture");
+    println!(
+        "snapshot size:    {} bytes ({:.2} MiB) at event {}",
+        snap.len(),
+        snap.len() as f64 / (1024.0 * 1024.0),
+        plain.events_processed / 2
+    );
+
+    // Aggressive cadence: ~20 checkpoints across the run, pruned as they
+    // are superseded — the steady-state disk cost is one snapshot.
+    let dir = std::env::temp_dir().join(format!("pythia-snap-budget-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy::new(&dir).every_events((plain.events_processed / 20).max(1));
+    let t1 = Instant::now();
+    let checkpointed =
+        run_multi_scenario_checkpointed(jobs(), &cfg, &policy).expect("checkpointed run");
+    let ck_wall = t1.elapsed().as_secs_f64();
+    println!(
+        "checkpointed run: {:.2}s wall ({:.2}x plain), makespan {}",
+        ck_wall,
+        ck_wall / plain_wall,
+        checkpointed.makespan()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut failed = false;
+    if snap.len() as u64 > MAX_SNAPSHOT_BYTES {
+        eprintln!(
+            "BUDGET BREACH: snapshot {} bytes > ceiling {} bytes",
+            snap.len(),
+            MAX_SNAPSHOT_BYTES
+        );
+        failed = true;
+    }
+    if ck_wall > plain_wall * MAX_OVERHEAD_FACTOR + SLACK_SECS {
+        eprintln!(
+            "BUDGET BREACH: checkpointed wall {ck_wall:.2}s > \
+             {MAX_OVERHEAD_FACTOR:.1}x plain ({plain_wall:.2}s) + {SLACK_SECS:.0}s"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("snapshot budget: OK");
+}

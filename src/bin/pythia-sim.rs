@@ -7,10 +7,19 @@
 //!
 //! Prints the job report, the trunk balance, and (with `--seqdiag`) the
 //! Figure 1a-style sequence diagram.
+//!
+//! Crash durability: `--checkpoint-every-events` / `--checkpoint-every-secs`
+//! write periodic snapshots into `--checkpoint-dir`; after a `kill -9`,
+//! the same command line plus `--resume` picks the run back up from the
+//! last good checkpoint and finishes it with the identical fingerprint.
 
 use std::process::exit;
 
-use pythia_repro::cluster::{run_scenario, ScenarioConfig, SchedulerKind};
+use pythia_repro::cluster::{
+    resume_multi_scenario, run_multi_scenario_checkpointed, run_scenario, CheckpointPolicy,
+    RunReport, ScenarioConfig, SchedulerKind,
+};
+use pythia_repro::des::SimDuration;
 use pythia_repro::hadoop::JobSpec;
 use pythia_repro::metrics::{render_seqdiag, SeqDiagramOptions};
 use pythia_repro::workloads::{
@@ -24,6 +33,12 @@ struct Args {
     seed: u64,
     scale: f64,
     seqdiag: bool,
+    checkpoint_dir: String,
+    checkpoint_every_events: Option<u64>,
+    checkpoint_every_secs: Option<f64>,
+    resume: bool,
+    die_at_event: Option<u64>,
+    retain_snapshots: bool,
 }
 
 fn usage() -> ! {
@@ -36,7 +51,16 @@ fn usage() -> ! {
          \x20            [--ratio N]      over-subscription 1:N (default 10)\n\
          \x20            [--seed S]       master seed (default 1)\n\
          \x20            [--scale F]      fraction of paper input size (default 0.1)\n\
-         \x20            [--seqdiag]      print the sequence diagram\n"
+         \x20            [--seqdiag]      print the sequence diagram\n\
+         \n\
+         CRASH DURABILITY:\n\
+         \x20            [--checkpoint-dir DIR]           snapshot directory\n\
+         \x20                                             (default .pythia-checkpoints)\n\
+         \x20            [--checkpoint-every-events N]    checkpoint every N events\n\
+         \x20            [--checkpoint-every-secs F]      checkpoint every F sim-seconds\n\
+         \x20            [--resume]       resume the latest checkpoint in the dir\n\
+         \x20            [--die-at-event N]  abort() before event N (crash drills)\n\
+         \x20            [--retain-snapshots]  keep superseded snapshot files\n"
     );
     exit(2);
 }
@@ -49,6 +73,12 @@ fn parse_args() -> Args {
         seed: 1,
         scale: 0.1,
         seqdiag: false,
+        checkpoint_dir: ".pythia-checkpoints".into(),
+        checkpoint_every_events: None,
+        checkpoint_every_secs: None,
+        resume: false,
+        die_at_event: None,
+        retain_snapshots: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +105,27 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
             "--seqdiag" => args.seqdiag = true,
+            "--checkpoint-dir" => args.checkpoint_dir = value("--checkpoint-dir"),
+            "--checkpoint-every-events" => {
+                args.checkpoint_every_events = Some(
+                    value("--checkpoint-every-events")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--checkpoint-every-secs" => {
+                args.checkpoint_every_secs = Some(
+                    value("--checkpoint-every-secs")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--resume" => args.resume = true,
+            "--die-at-event" => {
+                args.die_at_event =
+                    Some(value("--die-at-event").parse().unwrap_or_else(|_| usage()))
+            }
+            "--retain-snapshots" => args.retain_snapshots = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -118,6 +169,51 @@ fn job_for(workload: &str, scale: f64) -> JobSpec {
     }
 }
 
+/// Dispatch between the plain run, the checkpointing run, and a resume,
+/// exiting with a readable message on any typed snapshot error.
+fn run_with_durability(args: &Args, job: JobSpec, cfg: &ScenarioConfig) -> RunReport {
+    let wants_checkpoints =
+        args.checkpoint_every_events.is_some() || args.checkpoint_every_secs.is_some();
+    if !args.resume && !wants_checkpoints && args.die_at_event.is_none() {
+        return run_scenario(job, cfg);
+    }
+
+    let mut policy = CheckpointPolicy::new(&args.checkpoint_dir);
+    if let Some(n) = args.checkpoint_every_events {
+        policy = policy.every_events(n);
+    }
+    if let Some(s) = args.checkpoint_every_secs {
+        policy = policy.every_sim_time(SimDuration::from_secs_f64(s));
+    }
+    if let Some(n) = args.die_at_event {
+        policy = policy.die_at_event(n);
+    }
+    if args.retain_snapshots {
+        policy = policy.retain_all();
+    }
+
+    let jobs = vec![(job, SimDuration::ZERO)];
+    let result = if args.resume {
+        println!("resuming from {} …\n", args.checkpoint_dir);
+        resume_multi_scenario(jobs, cfg, std::path::Path::new(&args.checkpoint_dir), {
+            if wants_checkpoints || args.die_at_event.is_some() {
+                Some(&policy)
+            } else {
+                None
+            }
+        })
+    } else {
+        run_multi_scenario_checkpointed(jobs, cfg, &policy)
+    };
+    match result {
+        Ok(multi) => multi.into_single(),
+        Err(e) => {
+            eprintln!("snapshot error: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let job = job_for(&args.workload, args.scale);
@@ -135,7 +231,7 @@ fn main() {
         .with_scheduler(args.scheduler)
         .with_oversubscription(args.ratio)
         .with_seed(args.seed);
-    let report = run_scenario(job, &cfg);
+    let report = run_with_durability(&args, job, &cfg);
     let jr = report.job_report();
     println!("completion:        {:>9.1} s", jr.completion_secs);
     println!("map phase end:     {:>9.1} s", jr.map_phase_end_secs);
@@ -157,6 +253,13 @@ fn main() {
         report.trunk_imbalance()
     );
     println!("engine events:     {:>9}", report.events_processed);
+    // CRC32 over the full report rendering: two runs printing the same
+    // fingerprint were observably identical (used by the kill-and-resume
+    // drill to compare an interrupted run against an uninterrupted one).
+    println!(
+        "fingerprint:        {:08x}",
+        pythia_repro::snapshot::crc32(format!("{report:?}").as_bytes())
+    );
     if args.seqdiag {
         println!(
             "\n{}",

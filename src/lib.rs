@@ -16,5 +16,6 @@ pub use pythia_hadoop as hadoop;
 pub use pythia_metrics as metrics;
 pub use pythia_netsim as netsim;
 pub use pythia_openflow as openflow;
+pub use pythia_snapshot as snapshot;
 pub use pythia_trace as trace;
 pub use pythia_workloads as workloads;

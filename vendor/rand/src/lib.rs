@@ -178,6 +178,22 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's full internal state, for checkpointing. Paired
+        /// with [`SmallRng::from_state`], restores the exact stream
+        /// position — resumed runs draw the same sequence the
+        /// uninterrupted run would have.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator at an exact stream position previously
+        /// captured with [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl Rng for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
