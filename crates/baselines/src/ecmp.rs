@@ -28,15 +28,36 @@ impl EcmpForwarding {
 
     /// The hash value this switch computes for a tuple.
     pub fn hash_at(&self, node: NodeId, tuple: &FiveTuple) -> u64 {
-        let h = fnv1a64(&tuple.to_bytes());
-        splitmix64(h ^ self.salt ^ ((node.0 as u64) << 32))
+        splitmix64(self.hash_key(tuple) ^ self.salt ^ ((node.0 as u64) << 32))
+    }
+
+    /// The node-independent FNV digest of the tuple — the part of
+    /// [`EcmpForwarding::hash_at`] every switch on a path shares. The
+    /// resolver computes it once per path and salts it per hop.
+    pub fn hash_key(&self, tuple: &FiveTuple) -> u64 {
+        fnv1a64(&tuple.to_bytes())
     }
 }
 
 impl DefaultForwarding for EcmpForwarding {
     fn choose(&self, node: NodeId, tuple: &FiveTuple, candidates: &[LinkId]) -> LinkId {
+        let key = self.hash_key(tuple);
+        self.choose_keyed(node, key, tuple, candidates)
+    }
+
+    fn tuple_key(&self, tuple: &FiveTuple) -> u64 {
+        self.hash_key(tuple)
+    }
+
+    fn choose_keyed(
+        &self,
+        node: NodeId,
+        key: u64,
+        _tuple: &FiveTuple,
+        candidates: &[LinkId],
+    ) -> LinkId {
         debug_assert!(!candidates.is_empty());
-        let h = self.hash_at(node, tuple);
+        let h = splitmix64(key ^ self.salt ^ ((node.0 as u64) << 32));
         candidates[(h % candidates.len() as u64) as usize]
     }
 }
@@ -99,6 +120,25 @@ mod tests {
         let e = EcmpForwarding::new(0);
         let c = [LinkId(9)];
         assert_eq!(e.choose(NodeId(0), &tuple(1), &c), LinkId(9));
+    }
+
+    #[test]
+    fn keyed_choice_matches_unkeyed() {
+        // The memoized path (tuple_key once, choose_keyed per hop) must be
+        // bit-identical to the classic per-hop choose — refcheck pins on it.
+        let e = EcmpForwarding::new(0xD00D);
+        let c = [LinkId(0), LinkId(1), LinkId(2)];
+        for sp in 0..500u16 {
+            for node in [NodeId(0), NodeId(5), NodeId(77)] {
+                let t = tuple(40000u16.wrapping_add(sp));
+                let key = e.tuple_key(&t);
+                assert_eq!(e.choose(node, &t, &c), e.choose_keyed(node, key, &t, &c));
+                assert_eq!(
+                    e.hash_at(node, &t),
+                    pythia_des::splitmix64(key ^ e.salt ^ ((node.0 as u64) << 32))
+                );
+            }
+        }
     }
 
     #[test]

@@ -117,6 +117,23 @@ pub struct ScenarioConfig {
     /// (relaxed mode only). Larger values collapse more solver work but
     /// let stale rates ride longer, loosening the achieved tolerance.
     pub relaxed_defer_max: SimDuration,
+    /// Stream jobs through the engine (fleet mode): job state is
+    /// materialized at its `JobStart` event and retired — heavy Hadoop
+    /// simulation state dropped, the timeline kept for reporting — at
+    /// completion, so a long arrival trace holds memory proportional to
+    /// *concurrent* jobs, not total jobs. Off (the default) preserves the
+    /// historical construct-everything-up-front behaviour byte-for-byte.
+    pub stream_jobs: bool,
+    /// Shard the Pythia collector/allocator per pod: predictions from a
+    /// server aggregate in its pod's shard (pod-local state, no
+    /// fleet-wide scans per prediction). `1` (the default) is exactly the
+    /// historical single collector — byte-identical fingerprints.
+    pub collector_shards: usize,
+    /// Batch Pythia rule installs per pod per epoch: placements buffer
+    /// and one batched install per pod goes to the switches each epoch,
+    /// instead of a per-prediction install stream. `None` (the default)
+    /// keeps per-prediction installs.
+    pub install_epoch: Option<SimDuration>,
     /// Perturbation budget for deferred solves (relaxed mode only): each
     /// deferred mutation is weighted by the relative rate error it is
     /// estimated to leave behind (~1/N for one of N concurrent fetches
@@ -172,6 +189,9 @@ impl Default for ScenarioConfig {
             max_events: 50_000_000,
             relaxed_order: cfg!(feature = "relaxed-order"),
             solver_workers: 0,
+            stream_jobs: false,
+            collector_shards: 1,
+            install_epoch: None,
             relaxed_defer_max: SimDuration::from_millis(1000),
             relaxed_defer_frac: 0.25,
         }
@@ -182,6 +202,28 @@ impl ScenarioConfig {
     /// Set the flow scheduler.
     pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
         self.scheduler = s;
+        self
+    }
+
+    /// Stream jobs through the engine (fleet mode): lazy materialization
+    /// at `JobStart`, retirement at completion.
+    pub fn with_stream_jobs(mut self, on: bool) -> Self {
+        self.stream_jobs = on;
+        self
+    }
+
+    /// Shard the Pythia collector per pod (`1` = the historical single
+    /// collector).
+    pub fn with_collector_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one collector shard");
+        self.collector_shards = shards;
+        self
+    }
+
+    /// Batch Pythia rule installs per pod on this epoch period.
+    pub fn with_install_epoch(mut self, epoch: SimDuration) -> Self {
+        assert!(epoch > SimDuration::ZERO, "install epoch must be positive");
+        self.install_epoch = Some(epoch);
         self
     }
 

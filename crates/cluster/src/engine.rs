@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use pythia_baselines::{EcmpForwarding, HederaScheduler};
-use pythia_core::{overhead, MgmtNet, PredictionMsg, PythiaSystem};
+use pythia_core::{overhead, MgmtNet, PredictionMsg, ShardedPythia};
 use pythia_des::{EventId, EventQueue, RngFactory, SimDuration, SimTime};
 use pythia_hadoop::{FetchId, HadoopEvent, JobId, MapReduceSim, MapTaskId, ReducerId, ServerId};
 use pythia_metrics::{DegradationReport, FlowTrace, ShuffleFlowRecord};
@@ -65,7 +65,16 @@ enum Event {
         /// skipped — O(1) per crash instead of cancel-draining a handle
         /// list.
         generation: u64,
+        /// Tenant (job) the rule was issued on behalf of, for per-tenant
+        /// install accounting; [`SYSTEM_TENANT`] for rules derived from
+        /// fabric events (background shifts, controller resyncs) rather
+        /// than one job's predictions.
+        tenant: u32,
     },
+    /// Drain the per-pod buffered rule installs (epoch-batched install
+    /// mode): one batched push per pod per epoch instead of a controller
+    /// round-trip per prediction.
+    EpochFlush,
     HederaTick,
     LinkLoadSample,
     ProbeSample,
@@ -108,8 +117,13 @@ fn event_span_name(ev: &Event) -> &'static str {
         Event::ControllerState { .. } => "ev_controller_state",
         Event::AgentRespill => "ev_agent_respill",
         Event::ParkedSweep => "ev_parked_sweep",
+        Event::EpochFlush => "ev_epoch_flush",
     }
 }
+
+/// Tenant id used for rules not attributable to a single job (controller
+/// resyncs, background re-placements).
+const SYSTEM_TENANT: u32 = u32::MAX;
 
 /// Metadata the engine keeps per in-flight fetch (Hadoop drops its own
 /// copy when the fetch completes, but Pythia's drain needs it after).
@@ -189,11 +203,13 @@ impl Persist for Event {
                 switch,
                 rule,
                 generation,
+                tenant,
             } => {
                 7u8.put(w);
                 switch.put(w);
                 rule.put(w);
                 generation.put(w);
+                tenant.put(w);
             }
             Event::HederaTick => 8u8.put(w),
             Event::LinkLoadSample => 9u8.put(w),
@@ -210,6 +226,7 @@ impl Persist for Event {
             }
             Event::AgentRespill => 14u8.put(w),
             Event::ParkedSweep => 15u8.put(w),
+            Event::EpochFlush => 16u8.put(w),
         }
     }
 
@@ -226,6 +243,7 @@ impl Persist for Event {
                 switch: NodeId::get(r)?,
                 rule: FlowRule::get(r)?,
                 generation: u64::get(r)?,
+                tenant: u32::get(r)?,
             },
             8 => Event::HederaTick,
             9 => Event::LinkLoadSample,
@@ -238,6 +256,7 @@ impl Persist for Event {
             13 => Event::ControllerState { up: bool::get(r)? },
             14 => Event::AgentRespill,
             15 => Event::ParkedSweep,
+            16 => Event::EpochFlush,
             t => return Err(r.malformed(format!("unknown event tag {t}"))),
         })
     }
@@ -321,7 +340,12 @@ fn validate_event(
                 ));
             }
         }
-        Event::RuleActive { switch, rule, .. } => {
+        Event::RuleActive {
+            switch,
+            rule,
+            tenant,
+            ..
+        } => {
             if switch.0 as usize >= n_nodes {
                 return Err(format!("rule switch {} out of range", switch.0));
             }
@@ -332,6 +356,9 @@ fn validate_event(
                 if n.0 as usize >= n_nodes {
                     return Err(format!("rule matcher node {} out of range", n.0));
                 }
+            }
+            if *tenant != SYSTEM_TENANT && *tenant as usize >= n_jobs {
+                return Err(format!("rule tenant {tenant} out of range"));
             }
         }
         Event::LinkState { trunk_cable, .. } if *trunk_cable >= n_cables => {
@@ -520,11 +547,58 @@ fn solver_workers(cfg: &ScenarioConfig) -> usize {
 type BgGroup = (f64, Vec<(LinkId, FlowId)>);
 
 /// One job being driven by the engine.
+///
+/// In the classic (non-streaming) mode `sim` is constructed eagerly at
+/// engine build and lives for the whole run. With
+/// [`ScenarioConfig::stream_jobs`] the slot is a small state machine:
+/// the spec waits in `spec` until the `JobStart` event materializes the
+/// simulator (deterministically — the per-job RNG seed depends only on
+/// the scenario seed and the job index), and job completion retires the
+/// simulator again, keeping only the timeline for the final report. A
+/// day-long arrival trace then holds Hadoop state for the jobs currently
+/// *running*, not for every job that ever ran.
 struct JobSlot {
-    sim: MapReduceSim,
+    /// Deferred spec (streaming mode, before `JobStart`).
+    spec: Option<pythia_hadoop::JobSpec>,
+    /// The live simulator (always present in eager mode; present between
+    /// materialization and retirement in streaming mode).
+    sim: Option<MapReduceSim>,
+    /// Timeline kept after a streamed job retires its simulator.
+    timeline: Option<pythia_hadoop::Timeline>,
     name: String,
     start_at: SimTime,
     started: bool,
+    /// Set when the job's `JobCompleted` event was processed; drives the
+    /// O(1) `jobs_remaining` counter that replaced the fleet-wide
+    /// `all_done` scan.
+    done: bool,
+}
+
+/// A rule install parked in the per-pod epoch buffer (epoch-batched
+/// install mode): everything needed to emit the `RuleActive` at flush.
+#[derive(Debug, Clone)]
+struct BufferedRule {
+    switch: NodeId,
+    rule: FlowRule,
+    delay: SimDuration,
+    tenant: u32,
+}
+
+impl Persist for BufferedRule {
+    fn put(&self, w: &mut SectionWriter) {
+        self.switch.put(w);
+        self.rule.put(w);
+        self.delay.put(w);
+        self.tenant.put(w);
+    }
+    fn get(r: &mut SectionReader) -> Result<BufferedRule, SnapshotError> {
+        Ok(BufferedRule {
+            switch: NodeId::get(r)?,
+            rule: FlowRule::get(r)?,
+            delay: SimDuration::get(r)?,
+            tenant: u32::get(r)?,
+        })
+    }
 }
 
 struct Engine<'a> {
@@ -536,7 +610,17 @@ struct Engine<'a> {
     nexthops: EcmpNextHops,
     ecmp: EcmpForwarding,
     jobs: Vec<JobSlot>,
-    pythia: Option<PythiaSystem>,
+    /// Jobs whose `JobCompleted` has not yet been processed. Checked
+    /// after every event, so it must be O(1) — a fleet run cannot afford
+    /// the former O(jobs) `is_done` scan per event.
+    jobs_remaining: usize,
+    /// Hadoop server ids (0..n), kept for streaming-mode materialization.
+    server_ids: Vec<ServerId>,
+    /// Pod (fat-tree) or rack (leaf fabrics) of every node; `u32::MAX`
+    /// for core switches, which belong to no pod. Drives collector
+    /// sharding and per-pod install batching.
+    pod_of_node: Vec<u32>,
+    pythia: Option<ShardedPythia>,
     /// The agent → collector management-network channel (Pythia only).
     mgmt: Option<MgmtNet>,
     hedera: Option<HederaScheduler>,
@@ -614,6 +698,19 @@ struct Engine<'a> {
     /// Lets `on_rule_active` re-resolve exactly the flows a server-pair
     /// rule can match instead of scanning every flow in the network.
     flows_of_pair: BTreeMap<(NodeId, NodeId), Vec<FlowId>>,
+    /// Epoch-batched install buffers, keyed by pod of the target switch
+    /// (`u32::MAX` = the shared core bucket). Empty unless
+    /// `cfg.install_epoch` is set.
+    epoch_buf: BTreeMap<u32, Vec<BufferedRule>>,
+    /// Non-empty per-pod batches flushed over the run.
+    epoch_batches: u64,
+    /// Per-tenant rule accounting (index = job id): rules issued by the
+    /// control plane, rules that landed in a TCAM, installs rejected by
+    /// a full TCAM. System-attributed rules (resyncs, background
+    /// re-placements) are counted in the engine-wide totals only.
+    tenant_rules_issued: Vec<u64>,
+    tenant_rules_installed: Vec<u64>,
+    tenant_tcam_rejected: Vec<u64>,
 }
 
 impl<'a> Engine<'a> {
@@ -680,23 +777,79 @@ impl<'a> Engine<'a> {
         let jobs: Vec<JobSlot> = job_specs
             .into_iter()
             .enumerate()
-            .map(|(i, (spec, offset))| JobSlot {
-                name: spec.name.clone(),
-                sim: MapReduceSim::new(
-                    cfg.hadoop.clone(),
+            .map(|(i, (spec, offset))| {
+                let name = spec.name.clone();
+                // Streaming mode defers construction to the JobStart
+                // event; the per-job RNG seed depends only on (scenario
+                // seed, job index), so the deferred build is bit-identical
+                // to the eager one.
+                let (spec, sim) = if cfg.stream_jobs {
+                    (Some(spec), None)
+                } else {
+                    (
+                        None,
+                        Some(MapReduceSim::new(
+                            cfg.hadoop.clone(),
+                            spec,
+                            servers.clone(),
+                            &RngFactory::new(pythia_des::splitmix64(cfg.seed ^ (i as u64) << 17)),
+                        )),
+                    )
+                };
+                JobSlot {
                     spec,
-                    servers.clone(),
-                    &RngFactory::new(pythia_des::splitmix64(cfg.seed ^ (i as u64) << 17)),
-                ),
-                start_at: SimTime::ZERO + offset,
-                started: false,
+                    sim,
+                    timeline: None,
+                    name,
+                    start_at: SimTime::ZERO + offset,
+                    started: false,
+                    done: false,
+                }
             })
+            .collect();
+        let jobs_remaining = jobs.len();
+
+        // Pod (or rack) of every node: the locality domain collector
+        // sharding and per-pod install batching key on. Fat-trees walk the
+        // Clos structure (server → edge → pod, aggs via the pod listing);
+        // leaf fabrics use the rack id; core switches belong to no pod.
+        let mut pod_of_node = vec![u32::MAX; mr.topology.num_nodes()];
+        if let Some(clos) = &mr.clos {
+            for &srv in &mr.servers {
+                if let Some((edge, _)) = clos.host_up(srv) {
+                    if let Some(pod) = clos.pod_of_edge(edge) {
+                        pod_of_node[srv.0 as usize] = pod;
+                        pod_of_node[edge.0 as usize] = pod;
+                    }
+                }
+            }
+            for pod in 0..clos.k() {
+                for &agg in clos.aggs_of_pod(pod) {
+                    pod_of_node[agg.0 as usize] = pod;
+                }
+            }
+        } else {
+            for (n, node) in mr.topology.nodes() {
+                if let Some(rack) = node.rack() {
+                    pod_of_node[n.0 as usize] = rack;
+                }
+            }
+        }
+        let pod_of_server: Vec<u32> = mr
+            .servers
+            .iter()
+            .map(|&n| pod_of_node[n.0 as usize])
             .collect();
 
         let pythia = match cfg.scheduler {
             SchedulerKind::Pythia => {
-                let mut py =
-                    PythiaSystem::new(cfg.pythia.clone(), &mr.topology, mr.servers.clone());
+                let mut py = ShardedPythia::new(
+                    cfg.pythia.clone(),
+                    &mr.topology,
+                    mr.servers.clone(),
+                    pod_of_server,
+                    cfg.collector_shards,
+                );
                 py.set_trace(flight.clone());
                 // Seed the residual table with the static CBR background.
                 py.set_background_from(&background_bps);
@@ -717,6 +870,7 @@ impl<'a> Engine<'a> {
         };
 
         let probe = NetFlowProbe::new(mr.servers.clone());
+        let n_jobs_total = jobs.len();
 
         Engine {
             cfg,
@@ -726,6 +880,9 @@ impl<'a> Engine<'a> {
             nexthops,
             ecmp,
             jobs,
+            jobs_remaining,
+            server_ids: servers,
+            pod_of_node,
             pythia,
             mgmt,
             hedera,
@@ -763,12 +920,29 @@ impl<'a> Engine<'a> {
             hadoop_scratch: Vec::new(),
             candidates_scratch: Vec::new(),
             flows_of_pair: BTreeMap::new(),
+            epoch_buf: BTreeMap::new(),
+            epoch_batches: 0,
+            tenant_rules_issued: vec![0; n_jobs_total],
+            tenant_rules_installed: vec![0; n_jobs_total],
+            tenant_tcam_rejected: vec![0; n_jobs_total],
             mr,
         }
     }
 
+    /// O(1): the per-event completion check (this runs after *every*
+    /// dispatched event — an O(jobs) scan here capped fleet throughput).
     fn all_done(&self) -> bool {
-        self.jobs.iter().all(|j| j.sim.is_done())
+        self.jobs_remaining == 0
+    }
+
+    /// The live simulator of job `j`. Panics if the job has not been
+    /// materialized yet or already retired — the per-job events the
+    /// engine dispatches only exist while the simulator does.
+    fn sim_mut(&mut self, j: JobId) -> &mut MapReduceSim {
+        self.jobs[j.0 as usize]
+            .sim
+            .as_mut()
+            .expect("event for a job with no live simulator")
     }
 
     fn node_of(&self, s: ServerId) -> NodeId {
@@ -830,6 +1004,9 @@ impl<'a> Engine<'a> {
         if self.pythia.is_some() {
             if let Some(ttl) = self.cfg.pythia.parked_ttl {
                 self.queue.push(SimTime::ZERO + ttl, Event::ParkedSweep);
+            }
+            if let Some(epoch) = self.cfg.install_epoch {
+                self.queue.push(SimTime::ZERO + epoch, Event::EpochFlush);
             }
         }
         if let BackgroundProfile::Fluctuating { .. } = self.cfg.background {
@@ -898,8 +1075,21 @@ impl<'a> Engine<'a> {
                     let slot = &mut self.jobs[j.0 as usize];
                     debug_assert!(!slot.started);
                     slot.started = true;
+                    // Streaming mode: the job enters the loop here — the
+                    // simulator is built on arrival, not at engine
+                    // construction, with the same (seed, index) RNG.
+                    if let Some(spec) = slot.spec.take() {
+                        slot.sim = Some(MapReduceSim::new(
+                            self.cfg.hadoop.clone(),
+                            spec,
+                            self.server_ids.clone(),
+                            &RngFactory::new(pythia_des::splitmix64(
+                                self.cfg.seed ^ (j.0 as u64) << 17,
+                            )),
+                        ));
+                    }
                     let mut evts = std::mem::take(&mut self.hadoop_scratch);
-                    slot.sim.start_into(now, &mut evts);
+                    self.sim_mut(j).start_into(now, &mut evts);
                     self.apply_hadoop_events(now, j, &mut evts);
                     self.hadoop_scratch = evts;
                 }
@@ -910,33 +1100,25 @@ impl<'a> Engine<'a> {
                             map: m,
                         });
                     let mut evts = std::mem::take(&mut self.hadoop_scratch);
-                    self.jobs[j.0 as usize]
-                        .sim
-                        .map_finished_into(now, m, &mut evts);
+                    self.sim_mut(j).map_finished_into(now, m, &mut evts);
                     self.apply_hadoop_events(now, j, &mut evts);
                     self.hadoop_scratch = evts;
                 }
                 Event::ReducerStart(j, r) => {
                     let mut evts = std::mem::take(&mut self.hadoop_scratch);
-                    self.jobs[j.0 as usize]
-                        .sim
-                        .reducer_started_into(now, r, &mut evts);
+                    self.sim_mut(j).reducer_started_into(now, r, &mut evts);
                     self.apply_hadoop_events(now, j, &mut evts);
                     self.hadoop_scratch = evts;
                 }
                 Event::SortFinish(j, r) => {
                     let mut evts = std::mem::take(&mut self.hadoop_scratch);
-                    self.jobs[j.0 as usize]
-                        .sim
-                        .sort_finished_into(now, r, &mut evts);
+                    self.sim_mut(j).sort_finished_into(now, r, &mut evts);
                     self.apply_hadoop_events(now, j, &mut evts);
                     self.hadoop_scratch = evts;
                 }
                 Event::ReducerFinish(j, r) => {
                     let mut evts = std::mem::take(&mut self.hadoop_scratch);
-                    self.jobs[j.0 as usize]
-                        .sim
-                        .reducer_finished_into(now, r, &mut evts);
+                    self.sim_mut(j).reducer_finished_into(now, r, &mut evts);
                     self.apply_hadoop_events(now, j, &mut evts);
                     self.hadoop_scratch = evts;
                 }
@@ -945,7 +1127,13 @@ impl<'a> Engine<'a> {
                     self.flowcheck = None;
                 }
                 Event::PredictionDeliver(msg) => self.on_prediction(now, &msg),
-                Event::RuleActive { switch, rule, .. } => self.on_rule_active(switch, rule),
+                Event::RuleActive {
+                    switch,
+                    rule,
+                    tenant,
+                    ..
+                } => self.on_rule_active(switch, rule, tenant),
+                Event::EpochFlush => self.on_epoch_flush(now),
                 Event::HederaTick => self.on_hedera_tick(now),
                 Event::LinkLoadSample => self.on_link_load_sample(now),
                 Event::ProbeSample => {
@@ -1027,6 +1215,11 @@ impl<'a> Engine<'a> {
             self.fetch_of_flow.put(s);
             self.info_of_fetch.put(s);
             pythia_des::put_rng(s, &self.bg_rng);
+            self.epoch_batches.put(s);
+            self.epoch_buf.put(s);
+            self.tenant_rules_issued.put(s);
+            self.tenant_rules_installed.put(s);
+            self.tenant_tcam_rejected.put(s);
         });
         w.section("queue", |s| {
             self.queue.next_seq().put(s);
@@ -1047,7 +1240,19 @@ impl<'a> Engine<'a> {
                 j.name.put(s);
                 j.start_at.put(s);
                 j.started.put(s);
-                j.sim.put_state(s);
+                // Slot state tag: 0 = pending (streaming, not started),
+                // 1 = live simulator, 2 = retired (timeline only).
+                match (&j.sim, &j.timeline) {
+                    (Some(sim), _) => {
+                        1u8.put(s);
+                        sim.put_state(s);
+                    }
+                    (None, Some(tl)) => {
+                        2u8.put(s);
+                        tl.put(s);
+                    }
+                    (None, None) => 0u8.put(s),
+                }
             }
         });
         if let Some(py) = &self.pythia {
@@ -1200,6 +1405,37 @@ impl<'a> Engine<'a> {
             }
         }
         let bg_rng = pythia_des::get_rng(&mut s)?;
+        let epoch_batches = u64::get(&mut s)?;
+        let epoch_buf = <BTreeMap<u32, Vec<BufferedRule>> as Persist>::get(&mut s)?;
+        for rules in epoch_buf.values() {
+            for b in rules {
+                if b.switch.0 as usize >= n_nodes {
+                    return Err(
+                        s.malformed(format!("buffered rule switch {} out of range", b.switch.0))
+                    );
+                }
+                if b.tenant != SYSTEM_TENANT && b.tenant as usize >= n_jobs {
+                    return Err(
+                        s.malformed(format!("buffered rule tenant {} out of range", b.tenant))
+                    );
+                }
+            }
+        }
+        let tenant_rules_issued = Vec::<u64>::get(&mut s)?;
+        let tenant_rules_installed = Vec::<u64>::get(&mut s)?;
+        let tenant_tcam_rejected = Vec::<u64>::get(&mut s)?;
+        for (what, v) in [
+            ("issued", &tenant_rules_issued),
+            ("installed", &tenant_rules_installed),
+            ("tcam-rejected", &tenant_tcam_rejected),
+        ] {
+            if v.len() != n_jobs {
+                return Err(s.malformed(format!(
+                    "tenant {what} table covers {} jobs, scenario has {n_jobs}",
+                    v.len()
+                )));
+            }
+        }
         s.finish()?;
 
         let mut s = rd.section("queue")?;
@@ -1314,7 +1550,10 @@ impl<'a> Engine<'a> {
         if n != n_jobs {
             return Err(s.malformed(format!("snapshot has {n} jobs, scenario has {n_jobs}")));
         }
-        for slot in &mut self.jobs {
+        let cfg_hadoop = self.cfg.hadoop.clone();
+        let cfg_seed = self.cfg.seed;
+        let server_ids = self.server_ids.clone();
+        for (i, slot) in self.jobs.iter_mut().enumerate() {
             let name = String::get(&mut s)?;
             if name != slot.name {
                 return Err(SnapshotError::Malformed {
@@ -1333,9 +1572,53 @@ impl<'a> Engine<'a> {
                 });
             }
             slot.started = bool::get(&mut s)?;
-            slot.sim.restore_state(&mut s)?;
+            match u8::get(&mut s)? {
+                // Pending (streaming): the fresh slot already holds the
+                // spec; nothing was serialized.
+                0 => {
+                    if slot.spec.is_none() && slot.sim.is_none() {
+                        return Err(s.malformed(format!(
+                            "job `{name}` is pending in the snapshot but the scenario \
+                             does not stream jobs"
+                        )));
+                    }
+                    slot.done = false;
+                }
+                // Live simulator. A streaming-mode fresh engine has not
+                // materialized it yet: build it exactly as JobStart would
+                // (same seed derivation), then overlay the state.
+                1 => {
+                    if slot.sim.is_none() {
+                        let spec = slot
+                            .spec
+                            .take()
+                            .ok_or_else(|| s.malformed(format!("job `{name}` restored twice")))?;
+                        slot.sim = Some(MapReduceSim::new(
+                            cfg_hadoop.clone(),
+                            spec,
+                            server_ids.clone(),
+                            &RngFactory::new(pythia_des::splitmix64(cfg_seed ^ (i as u64) << 17)),
+                        ));
+                    }
+                    let sim = slot.sim.as_mut().expect("just materialized");
+                    sim.restore_state(&mut s)?;
+                    slot.done = sim.is_done();
+                    slot.timeline = None;
+                }
+                // Retired (streaming): only the timeline survives.
+                2 => {
+                    slot.spec = None;
+                    slot.sim = None;
+                    slot.timeline = Some(pythia_hadoop::Timeline::get(&mut s)?);
+                    slot.done = true;
+                }
+                t => {
+                    return Err(s.malformed(format!("unknown job-slot state tag {t}")));
+                }
+            }
         }
         s.finish()?;
+        self.jobs_remaining = self.jobs.iter().filter(|j| !j.done).count();
 
         if let Some(mut py) = self.pythia.take() {
             let mut s = rd.section("pythia")?;
@@ -1387,6 +1670,11 @@ impl<'a> Engine<'a> {
         self.rules_installed = rules_installed;
         self.tcam_rejected = tcam_rejected;
         self.flows_unroutable = flows_unroutable;
+        self.epoch_batches = epoch_batches;
+        self.epoch_buf = epoch_buf;
+        self.tenant_rules_issued = tenant_rules_issued;
+        self.tenant_rules_installed = tenant_rules_installed;
+        self.tenant_tcam_rejected = tenant_tcam_rejected;
         self.rule_generation = rule_generation;
         self.controller_up = controller_up;
         self.controller_down_since = controller_down_since;
@@ -1635,7 +1923,7 @@ impl<'a> Engine<'a> {
                         let rules =
                             py.on_reducer_launched(now, job, reducer, server, &mut self.controller);
                         self.pythia = Some(py);
-                        self.schedule_rules(now, rules);
+                        self.schedule_rules(now, rules, job.0);
                     }
                 }
                 HadoopEvent::FetchStart {
@@ -1658,7 +1946,20 @@ impl<'a> Engine<'a> {
                 HadoopEvent::ReducerFinishAt { reducer, at } => {
                     self.queue.push(at, Event::ReducerFinish(job, reducer));
                 }
-                HadoopEvent::JobCompleted { .. } => {}
+                HadoopEvent::JobCompleted { .. } => {
+                    let slot = &mut self.jobs[job.0 as usize];
+                    if !slot.done {
+                        slot.done = true;
+                        self.jobs_remaining -= 1;
+                        // Streaming mode: the job leaves the loop — drop
+                        // its simulator, keep the timeline for the report.
+                        if self.cfg.stream_jobs {
+                            if let Some(sim) = slot.sim.take() {
+                                slot.timeline = Some(sim.timeline);
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -1843,8 +2144,7 @@ impl<'a> Engine<'a> {
             py.on_fetch_completed(job, info.map, info.reducer, info.src, info.dst);
         }
         let mut evts = std::mem::take(&mut self.hadoop_scratch);
-        self.jobs[job.0 as usize]
-            .sim
+        self.sim_mut(job)
             .fetch_completed_into(now, fetch, &mut evts);
         self.apply_hadoop_events(now, job, &mut evts);
         self.hadoop_scratch = evts;
@@ -1854,7 +2154,7 @@ impl<'a> Engine<'a> {
         if let Some(mut py) = self.pythia.take() {
             let rules = py.on_prediction_delivered(now, msg, &mut self.controller);
             self.pythia = Some(py);
-            self.schedule_rules(now, rules);
+            self.schedule_rules(now, rules, msg.job.0);
         }
     }
 
@@ -1884,7 +2184,32 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn schedule_rules(&mut self, now: SimTime, rules: Vec<pythia_openflow::PendingRule>) {
+    /// Issue a batch of pending rules on behalf of `tenant`
+    /// ([`SYSTEM_TENANT`] for fabric-driven rules). Per-prediction mode
+    /// schedules each install directly; epoch-batched mode parks the
+    /// rules in the per-pod buffer the next `EpochFlush` drains — one
+    /// batched controller push per pod per epoch.
+    fn schedule_rules(
+        &mut self,
+        now: SimTime,
+        rules: Vec<pythia_openflow::PendingRule>,
+        tenant: u32,
+    ) {
+        if (tenant as usize) < self.tenant_rules_issued.len() {
+            self.tenant_rules_issued[tenant as usize] += rules.len() as u64;
+        }
+        if self.cfg.install_epoch.is_some() {
+            for p in rules {
+                let pod = self.pod_of_node[p.switch.0 as usize];
+                self.epoch_buf.entry(pod).or_default().push(BufferedRule {
+                    switch: p.switch,
+                    rule: p.rule,
+                    delay: p.delay,
+                    tenant,
+                });
+            }
+            return;
+        }
         for p in rules {
             self.queue.push(
                 now + p.delay,
@@ -1892,12 +2217,44 @@ impl<'a> Engine<'a> {
                     switch: p.switch,
                     rule: p.rule,
                     generation: self.rule_generation,
+                    tenant,
                 },
             );
         }
     }
 
-    fn on_rule_active(&mut self, switch: NodeId, rule: FlowRule) {
+    /// Drain the per-pod install buffers (epoch-batched mode): every pod
+    /// with buffered rules gets one batched install this epoch, rules in
+    /// arrival order within the batch. Install latency still applies per
+    /// rule — batching amortizes controller round-trips, not switch
+    /// programming time.
+    fn on_epoch_flush(&mut self, now: SimTime) {
+        let buf = std::mem::take(&mut self.epoch_buf);
+        for (_pod, rules) in buf {
+            if rules.is_empty() {
+                continue;
+            }
+            self.epoch_batches += 1;
+            for b in rules {
+                self.queue.push(
+                    now + b.delay,
+                    Event::RuleActive {
+                        switch: b.switch,
+                        rule: b.rule,
+                        generation: self.rule_generation,
+                        tenant: b.tenant,
+                    },
+                );
+            }
+        }
+        if !self.all_done() {
+            if let Some(epoch) = self.cfg.install_epoch {
+                self.queue.push(now + epoch, Event::EpochFlush);
+            }
+        }
+    }
+
+    fn on_rule_active(&mut self, switch: NodeId, rule: FlowRule, tenant: u32) {
         // A rule matching an explicit (src, dst) pair can only change that
         // pair's resolution; wildcard matchers (none of our controllers
         // emit them) invalidate everything via the routing epoch.
@@ -1915,6 +2272,9 @@ impl<'a> Engine<'a> {
         // error.
         if self.dataplane.install(switch, rule).is_ok() {
             self.rules_installed += 1;
+            if (tenant as usize) < self.tenant_rules_installed.len() {
+                self.tenant_rules_installed[tenant as usize] += 1;
+            }
             self.flight
                 .record(Component::Dataplane, || TraceEvent::RuleActive {
                     switch,
@@ -1924,6 +2284,9 @@ impl<'a> Engine<'a> {
                 });
         } else {
             self.tcam_rejected += 1;
+            if (tenant as usize) < self.tenant_tcam_rejected.len() {
+                self.tenant_tcam_rejected[tenant as usize] += 1;
+            }
             self.flight
                 .record(Component::Dataplane, || TraceEvent::RuleTcamReject {
                     switch,
@@ -1996,7 +2359,7 @@ impl<'a> Engine<'a> {
                     .record(Component::Engine, || TraceEvent::ControllerResync {
                         rules: rules.len() as u32,
                     });
-                self.schedule_rules(now, rules);
+                self.schedule_rules(now, rules, SYSTEM_TENANT);
             }
         } else {
             self.controller_outages_seen += 1;
@@ -2006,6 +2369,9 @@ impl<'a> Engine<'a> {
             // `RuleActive` is recognized as stale at dispatch. O(1) per
             // crash, no handle bookkeeping on the install hot path.
             self.rule_generation += 1;
+            // Epoch-batched installs not yet pushed die the same death —
+            // the restart resync re-derives every surviving rule.
+            self.epoch_buf.clear();
             if let Some(py) = self.pythia.as_mut() {
                 py.set_controller_down();
             }
@@ -2022,7 +2388,14 @@ impl<'a> Engine<'a> {
         for i in 0..self.jobs.len() {
             let job = JobId(i as u32);
             let mut evts = std::mem::take(&mut self.hadoop_scratch);
-            self.jobs[i].sim.respill_completed_into(&mut evts);
+            // Streamed jobs that have not started (no spill indices on
+            // disk yet) or already retired (their reducers are done; a
+            // replay would be deduped anyway) have no simulator to replay.
+            let Some(sim) = self.jobs[i].sim.as_mut() else {
+                self.hadoop_scratch = evts;
+                continue;
+            };
+            sim.respill_completed_into(&mut evts);
             for e in evts.drain(..) {
                 if let HadoopEvent::SpillIndex { map, server, data } = e {
                     let sent = self
@@ -2122,7 +2495,7 @@ impl<'a> Engine<'a> {
                 py.set_background_from(&self.background_bps);
                 let rules = py.on_background_update(now, &mut self.controller);
                 self.pythia = Some(py);
-                self.schedule_rules(now, rules);
+                self.schedule_rules(now, rules, SYSTEM_TENANT);
             }
         }
         if !self.all_done() {
@@ -2218,7 +2591,7 @@ impl<'a> Engine<'a> {
             py.set_background_from(&self.background_bps);
             let rules = py.on_background_update(now, &mut self.controller);
             self.pythia = Some(py);
-            self.schedule_rules(now, rules);
+            self.schedule_rules(now, rules, SYSTEM_TENANT);
         }
         // On restore, the fluctuating profile re-populates the cable on
         // its next redraw; static profiles restore immediately.
@@ -2273,7 +2646,11 @@ impl<'a> Engine<'a> {
                 .mr
                 .servers
                 .iter()
-                .filter_map(|&n| py.predicted_curve(n).map(|c| (n, c.clone())))
+                .enumerate()
+                .filter_map(|(i, &n)| {
+                    py.predicted_curve(ServerId(i as u32), n)
+                        .map(|c| (n, c.clone()))
+                })
                 .collect(),
             None => BTreeMap::new(),
         };
@@ -2283,7 +2660,7 @@ impl<'a> Engine<'a> {
                 .collect(),
             None => vec![0; self.mr.servers.len()],
         };
-        let jobs = self
+        let jobs: Vec<JobOutcome> = self
             .jobs
             .iter()
             .enumerate()
@@ -2291,7 +2668,33 @@ impl<'a> Engine<'a> {
                 job: JobId(i as u32),
                 name: j.name.clone(),
                 started_at: j.start_at,
-                timeline: j.sim.timeline.clone(),
+                // Live slots report straight from the simulator; retired
+                // (streamed) slots kept their timeline at retirement.
+                timeline: j
+                    .sim
+                    .as_ref()
+                    .map(|s| s.timeline.clone())
+                    .or_else(|| j.timeline.clone())
+                    .expect("report built before job materialized"),
+            })
+            .collect();
+        let tenant_usage: Vec<pythia_metrics::TenantUsage> = jobs
+            .iter()
+            .map(|j| {
+                let i = j.job.0 as usize;
+                pythia_metrics::TenantUsage {
+                    job: j.job.0,
+                    name: j.name.clone(),
+                    completion_secs: j
+                        .timeline
+                        .completion()
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(f64::NAN),
+                    slowdown: None,
+                    rules_issued: self.tenant_rules_issued[i],
+                    rules_installed: self.tenant_rules_installed[i],
+                    tcam_rejected: self.tenant_tcam_rejected[i],
+                }
             })
             .collect();
         let mut degradation = DegradationReport {
@@ -2310,14 +2713,15 @@ impl<'a> Engine<'a> {
             degradation.predictions_lost = m.stats.messages_lost;
         }
         if let Some(py) = &self.pythia {
-            let c = py.collector();
+            let c = py.collector_totals();
             degradation.predictions_deduped = c.duplicates_dropped;
             degradation.predictions_retracted = c.retractions;
             degradation.predictions_malformed = c.malformed_dropped;
             degradation.parked_expired = c.parked_expired;
-            degradation.demands_deferred = py.stats.demands_deferred;
-            degradation.rules_reinstalled = py.stats.rules_reinstalled;
-            degradation.demands_no_path = py.stats.demands_no_path;
+            let stats = py.stats();
+            degradation.demands_deferred = stats.demands_deferred;
+            degradation.rules_reinstalled = stats.rules_reinstalled;
+            degradation.demands_no_path = stats.demands_no_path;
         }
         // Engine-health counters for the flight recorder: where the event
         // queue and the rate solver actually spent their work.
@@ -2350,6 +2754,8 @@ impl<'a> Engine<'a> {
             events_processed: self.events_processed,
             rules_installed: self.rules_installed,
             hedera_reroutes: self.hedera.as_ref().map(|h| h.reroutes_issued).unwrap_or(0),
+            epoch_batches: self.epoch_batches,
+            tenant_usage,
             degradation,
             trunk_links: self.mr.trunk_links.clone(),
             trunk_groups,

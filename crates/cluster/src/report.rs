@@ -55,6 +55,13 @@ pub struct MultiRunReport {
     pub rules_installed: u64,
     /// Reroutes issued by the Hedera baseline (0 otherwise).
     pub hedera_reroutes: u64,
+    /// Non-empty per-pod install batches flushed (epoch-batched install
+    /// mode; 0 under per-prediction installs).
+    pub epoch_batches: u64,
+    /// Per-tenant control-plane footprint (rules issued/installed, TCAM
+    /// rejections, completion), in job order. Feed to
+    /// [`MultiRunReport::fairness`] for the fleet-level summary.
+    pub tenant_usage: Vec<pythia_metrics::TenantUsage>,
     /// Control-plane faults absorbed during the run (all-zeros —
     /// [`DegradationReport::is_clean`] — on a fault-free scenario).
     pub degradation: DegradationReport,
@@ -71,6 +78,14 @@ pub struct MultiRunReport {
 }
 
 impl MultiRunReport {
+    /// Fleet-level fairness summary over the run's tenants (rule-install
+    /// shares, Jain indices, TCAM contention). Pass the result through
+    /// [`pythia_metrics::FairnessReport::with_isolated`] to add
+    /// slowdown-vs-isolated once per-job baselines exist.
+    pub fn fairness(&self) -> pythia_metrics::FairnessReport {
+        pythia_metrics::FairnessReport::from_tenants(self.tenant_usage.clone())
+    }
+
     /// End of the last job, from t = 0.
     pub fn makespan(&self) -> SimDuration {
         self.jobs

@@ -389,6 +389,41 @@ mod tests {
     }
 
     #[test]
+    fn continuous_arrival_churn_stays_flat() {
+        // A streaming fleet runs the queue at steady state for millions of
+        // events: every arrival schedules work plus a completion estimate,
+        // the estimate goes stale and is cancelled, work fires. Memory
+        // must stay proportional to the *concurrent* population, not to
+        // the total ever streamed — the heap may not creep run-long.
+        let mut q = EventQueue::new();
+        let mut stale = std::collections::VecDeque::new();
+        let mut max_heap = 0usize;
+        let mut max_live = 0usize;
+        for i in 0..200_000u64 {
+            q.push(t(i + 10), i);
+            stale.push_back(q.push(t(i + 500), i));
+            // The estimate from ~50 arrivals ago is now stale.
+            if stale.len() > 50 {
+                let dead = stale.pop_front().unwrap();
+                assert!(q.cancel(dead));
+            }
+            // Steady state: drain as fast as work arrives.
+            q.pop();
+            max_heap = max_heap.max(q.heap_len());
+            max_live = max_live.max(q.len());
+        }
+        // ~100 concurrent entries; the physical heap must stay within a
+        // small constant of that forever, despite 400k pushes.
+        assert!(max_live < 200, "live population drifted: {max_live}");
+        assert!(
+            max_heap <= 4 * max_live.max(64),
+            "heap crept to {max_heap} entries for at most {max_live} live \
+             ones over a 400k-push stream"
+        );
+        assert!(q.dead_fraction() <= 0.5 + 1e-9);
+    }
+
+    #[test]
     fn checkpoint_round_trip_preserves_order_and_handles() {
         let mut q = EventQueue::new();
         let _a = q.push(t(10), "a");

@@ -10,7 +10,7 @@
 use std::path::Path;
 
 use pythia_experiments::{
-    ablation, chaos, fig1, fig3, fig4, fig5, forksweep, leadtime, multijob, overhead, scale,
+    ablation, chaos, fig1, fig3, fig4, fig5, fleet, forksweep, leadtime, multijob, overhead, scale,
     spectrum, timeliness, FigureScale,
 };
 
@@ -124,6 +124,11 @@ fn main() {
     let fs = forksweep::run(&fig_scale);
     println!("{}", fs.render());
     fs.csv().write_to(&out.join("forksweep.csv")).unwrap();
+
+    println!("== Extension: multi-tenant fleet fairness ==");
+    let fl = fleet::run(&fig_scale);
+    println!("{}", fl.render());
+    fl.csv().write_to(&out.join("fleet.csv")).unwrap();
 
     println!("== Extension: control-plane scale sweep ==");
     let sc = scale::run(&fig_scale);

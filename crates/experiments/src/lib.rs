@@ -21,6 +21,9 @@
 //! * [`scale`] — control-plane scale sweep over fat-tree fabrics:
 //!   eager vs. structural path-table construction plus end-to-end Sort
 //!   runs (cap the fabric size with `SCALE_SERVERS`).
+//! * [`fleet`] — multi-tenant fleet fairness: streamed tenants vs
+//!   isolated baselines (slowdown, rule-install share, TCAM contention,
+//!   Jain indices).
 //!
 //! Each module exposes `run(&FigureScale)`; `FigureScale::default()` is
 //! paper scale, `::quick()` a CI-sized smoke, `::bench()` the Criterion
@@ -34,6 +37,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod figures;
+pub mod fleet;
 pub mod forksweep;
 pub mod leadtime;
 pub mod multijob;

@@ -1,0 +1,179 @@
+//! Per-tenant fairness and isolation metrics for multi-tenant fleets.
+//!
+//! A shared datacenter runs many jobs against one control plane and one
+//! TCAM budget. Each run reports a [`TenantUsage`] per job — completion
+//! time, rule-install footprint, TCAM rejections — and
+//! [`FairnessReport`] condenses them into the questions a fleet operator
+//! asks: how even is the rule-install share across tenants (Jain's
+//! fairness index), who got starved of TCAM space, and — when an
+//! isolated-run baseline is available — how much each tenant slowed down
+//! by sharing the fabric.
+
+/// One tenant's (job's) control-plane and completion footprint in a
+/// shared run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantUsage {
+    /// Job index within the run.
+    pub job: u32,
+    /// Workload name.
+    pub name: String,
+    /// Completion time in the shared run, seconds (NaN if unfinished).
+    pub completion_secs: f64,
+    /// Completion relative to this tenant running alone (1.0 = no
+    /// interference). `None` until an isolated baseline is supplied via
+    /// [`FairnessReport::with_isolated`].
+    pub slowdown: Option<f64>,
+    /// Rules the control plane issued on this tenant's behalf.
+    pub rules_issued: u64,
+    /// Rule installs that landed in a TCAM for this tenant.
+    pub rules_installed: u64,
+    /// Installs rejected because a switch TCAM was full — the tenant's
+    /// traffic rode default ECMP instead.
+    pub tcam_rejected: u64,
+}
+
+impl TenantUsage {
+    /// This tenant's share of all tenant-attributed installed rules.
+    pub fn rule_share(&self, total_installed: u64) -> f64 {
+        if total_installed == 0 {
+            0.0
+        } else {
+            self.rules_installed as f64 / total_installed as f64
+        }
+    }
+}
+
+/// Fleet-level fairness summary over every tenant of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Per-tenant usage, job order.
+    pub tenants: Vec<TenantUsage>,
+    /// Jain's fairness index over per-tenant installed-rule counts
+    /// (1.0 = perfectly even, 1/n = one tenant holds everything).
+    /// `None` when no tenant installed any rule (e.g. ECMP runs).
+    pub rule_share_jain: Option<f64>,
+    /// Jain's fairness index over per-tenant slowdowns; `None` until
+    /// isolated baselines are supplied.
+    pub slowdown_jain: Option<f64>,
+    /// Total TCAM rejections across tenants.
+    pub tcam_rejected_total: u64,
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`. `None` for an empty or
+/// all-zero population.
+pub fn jain_index(xs: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut n = 0usize;
+    let (mut sum, mut sq) = (0.0, 0.0);
+    for x in xs {
+        n += 1;
+        sum += x;
+        sq += x * x;
+    }
+    if n == 0 || sq == 0.0 {
+        None
+    } else {
+        Some(sum * sum / (n as f64 * sq))
+    }
+}
+
+impl FairnessReport {
+    /// Build the summary from per-tenant usage rows.
+    pub fn from_tenants(tenants: Vec<TenantUsage>) -> FairnessReport {
+        let rule_share_jain = jain_index(tenants.iter().map(|t| t.rules_installed as f64));
+        let slowdown_jain = if tenants.iter().all(|t| t.slowdown.is_some()) {
+            jain_index(tenants.iter().filter_map(|t| t.slowdown))
+        } else {
+            None
+        };
+        let tcam_rejected_total = tenants.iter().map(|t| t.tcam_rejected).sum();
+        FairnessReport {
+            tenants,
+            rule_share_jain,
+            slowdown_jain,
+            tcam_rejected_total,
+        }
+    }
+
+    /// Attach isolated-run completion baselines (seconds, job order —
+    /// shorter than `tenants` leaves the tail without slowdowns) and
+    /// recompute the slowdown statistics. Slowdown is shared-completion /
+    /// isolated-completion, so 1.0 means sharing cost the tenant nothing.
+    pub fn with_isolated(mut self, isolated_secs: &[f64]) -> FairnessReport {
+        for (t, &iso) in self.tenants.iter_mut().zip(isolated_secs) {
+            if iso > 0.0 && t.completion_secs.is_finite() {
+                t.slowdown = Some(t.completion_secs / iso);
+            }
+        }
+        FairnessReport::from_tenants(self.tenants)
+    }
+
+    /// Total installed rules across tenants (the denominator of
+    /// [`TenantUsage::rule_share`]).
+    pub fn total_installed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.rules_installed).sum()
+    }
+
+    /// Worst (largest) slowdown across tenants, if baselines were given.
+    pub fn max_slowdown(&self) -> Option<f64> {
+        self.tenants
+            .iter()
+            .filter_map(|t| t.slowdown)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(job: u32, installed: u64, rejected: u64, secs: f64) -> TenantUsage {
+        TenantUsage {
+            job,
+            name: format!("job-{job}"),
+            completion_secs: secs,
+            slowdown: None,
+            rules_issued: installed + rejected,
+            rules_installed: installed,
+            tcam_rejected: rejected,
+        }
+    }
+
+    #[test]
+    fn jain_even_is_one() {
+        let j = jain_index([4.0, 4.0, 4.0, 4.0]).unwrap();
+        assert!((j - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_hog_is_one_over_n() {
+        let j = jain_index([8.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate_is_none() {
+        assert_eq!(jain_index([]), None);
+        assert_eq!(jain_index([0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn report_aggregates_and_shares() {
+        let r =
+            FairnessReport::from_tenants(vec![tenant(0, 30, 2, 100.0), tenant(1, 10, 6, 200.0)]);
+        assert_eq!(r.total_installed(), 40);
+        assert_eq!(r.tcam_rejected_total, 8);
+        assert!((r.tenants[0].rule_share(r.total_installed()) - 0.75).abs() < 1e-12);
+        assert!(r.rule_share_jain.unwrap() < 1.0);
+        assert_eq!(r.slowdown_jain, None);
+    }
+
+    #[test]
+    fn isolated_baseline_yields_slowdowns() {
+        let r = FairnessReport::from_tenants(vec![tenant(0, 1, 0, 150.0), tenant(1, 1, 0, 80.0)])
+            .with_isolated(&[100.0, 80.0]);
+        assert!((r.tenants[0].slowdown.unwrap() - 1.5).abs() < 1e-12);
+        assert!((r.tenants[1].slowdown.unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(r.max_slowdown(), Some(1.5));
+        assert!(r.slowdown_jain.is_some());
+    }
+}

@@ -10,6 +10,9 @@
 //!   (horizontal lead) and accuracy (over-estimation, never-lags);
 //! * [`degradation`] — control-plane fault and graceful-degradation
 //!   counters (chaos experiments);
+//! * [`fairness`] — per-tenant fairness/isolation metrics for
+//!   multi-tenant fleet runs (slowdown vs isolated, rule-install share,
+//!   TCAM contention);
 //! * [`leadtime`] — per-server-pair latency budget joined from
 //!   flight-recorder events (prediction → rule → flow deltas);
 //! * [`seqdiag`] — ASCII sequence diagrams (Figure 1a);
@@ -17,6 +20,7 @@
 
 pub mod csv;
 pub mod degradation;
+pub mod fairness;
 pub mod flowtrace;
 pub mod jobstats;
 pub mod leadtime;
@@ -26,6 +30,7 @@ pub mod summary;
 
 pub use csv::CsvTable;
 pub use degradation::DegradationReport;
+pub use fairness::{jain_index, FairnessReport, TenantUsage};
 pub use flowtrace::{FlowTrace, ShuffleFlowRecord};
 pub use jobstats::JobReport;
 pub use leadtime::{LeadTimeReport, PairLeadTime};

@@ -23,6 +23,28 @@ pub trait DefaultForwarding {
     /// Pick one of `candidates` (guaranteed non-empty, all equal-cost
     /// toward the destination) for `tuple` at `node`.
     fn choose(&self, node: NodeId, tuple: &FiveTuple, candidates: &[LinkId]) -> LinkId;
+
+    /// The node-independent part of this policy's per-flow hash, computed
+    /// once per path resolution instead of once per hop. Policies that do
+    /// not hash the tuple leave the default (0, unused).
+    fn tuple_key(&self, tuple: &FiveTuple) -> u64 {
+        let _ = tuple;
+        0
+    }
+
+    /// [`DefaultForwarding::choose`] given the precomputed
+    /// [`DefaultForwarding::tuple_key`]. Must return exactly what `choose`
+    /// would; the default delegates to it, ignoring the key.
+    fn choose_keyed(
+        &self,
+        node: NodeId,
+        key: u64,
+        tuple: &FiveTuple,
+        candidates: &[LinkId],
+    ) -> LinkId {
+        let _ = key;
+        self.choose(node, tuple, candidates)
+    }
 }
 
 /// Supplies the equal-cost candidate links out of `node` toward `dst`.
@@ -177,6 +199,9 @@ impl Dataplane {
         let mut node = tuple.src;
         let mut hops = 0usize;
         let max_hops = topo.num_nodes(); // any simple path is shorter
+                                         // Serialize + hash the tuple once; every hop salts this key instead
+                                         // of re-deriving it from the tuple bytes.
+        let key = default.tuple_key(tuple);
         while node != tuple.dst {
             if hops >= max_hops {
                 return Err(ResolveError::ForwardingLoop { at: node });
@@ -190,14 +215,19 @@ impl Dataplane {
                         }
                         rule.out_link
                     }
-                    None => {
-                        self.default_choice(node, tuple, default, candidates_for, tuple_sensitive)?
-                    }
+                    None => self.default_choice(
+                        node,
+                        key,
+                        tuple,
+                        default,
+                        candidates_for,
+                        tuple_sensitive,
+                    )?,
                 }
             } else {
                 // Hosts have no tables; they default-forward (single NIC in
                 // our topologies, but the policy decides if multi-homed).
-                self.default_choice(node, tuple, default, candidates_for, tuple_sensitive)?
+                self.default_choice(node, key, tuple, default, candidates_for, tuple_sensitive)?
             };
             debug_assert_eq!(topo.link(out).src, node, "rule outputs a foreign link");
             links.push(out);
@@ -252,6 +282,7 @@ impl Dataplane {
     fn default_choice<D, C>(
         &self,
         node: NodeId,
+        key: u64,
         tuple: &FiveTuple,
         default: &D,
         candidates_for: &C,
@@ -269,7 +300,7 @@ impl Dataplane {
             // A real choice: the policy may hash the full 5-tuple.
             *tuple_sensitive = true;
         }
-        Ok(default.choose(node, tuple, cands))
+        Ok(default.choose_keyed(node, key, tuple, cands))
     }
 }
 

@@ -49,6 +49,7 @@ pub mod middleware_cost;
 pub mod overhead;
 pub mod residual;
 pub mod scheduler;
+pub mod shard;
 
 pub use allocator::{resolve_hops, FlowAllocator, Placement};
 pub use collector::{AggregatedDemand, Collector, PredictionOutcome, UnknownServer};
@@ -57,3 +58,4 @@ pub use mgmtnet::{MgmtNet, MgmtNetConfig, MgmtNetStats};
 pub use middleware_cost::MiddlewareCostModel;
 pub use residual::ResidualTable;
 pub use scheduler::{AggregationPolicy, AllocationMode, PythiaConfig, PythiaStats, PythiaSystem};
+pub use shard::{CollectorTotals, ShardedPythia};

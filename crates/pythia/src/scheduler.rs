@@ -98,7 +98,7 @@ impl Default for PythiaConfig {
 }
 
 /// Aggregate statistics for reporting.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PythiaStats {
     /// Prediction messages emitted by the instrumentation.
     pub predictions_sent: u64,

@@ -1,0 +1,359 @@
+//! Per-pod sharding of the Pythia control plane.
+//!
+//! A single [`PythiaSystem`] aggregates every prediction in the fleet
+//! through one collector and one allocator. That is faithful to the
+//! paper's 10-server testbed, but on a 1024-server Clos the collector
+//! becomes a serialization point: every spill, every reducer launch and
+//! every fetch completion funnels through one component whose working
+//! set spans the whole fabric.
+//!
+//! [`ShardedPythia`] splits the control plane by *pod* (the natural
+//! fault/locality domain of a fat-tree; rack for leaf fabrics). Each
+//! shard is a complete `PythiaSystem` over the full topology, but only
+//! ever sees the predictions whose **source server** lives in its pods —
+//! so its collector maps, parked-prediction sets and allocator plans
+//! stay pod-sized. Under the default `ServerPair` aggregation every
+//! prediction for a pair originates at the pair's source server, so a
+//! pair's entire lifecycle (prediction → park → demand → placement →
+//! drain) is owned by exactly one shard and no cross-shard merge is
+//! needed.
+//!
+//! Routing summary:
+//!
+//! * **routed by source pod** — `on_spill`, `on_prediction_delivered`,
+//!   `on_fetch_completed`, `predicted_curve`, `spills_decoded`;
+//! * **broadcast** — `on_reducer_launched` (a job's maps span pods, so
+//!   every shard must learn reducer locations to un-park its own
+//!   predictions), `on_background_update`, controller up/down/restart,
+//!   background refreshes, trace handles;
+//! * **aggregated** — `stats()`, collector degradation counters,
+//!   `expire_parked`.
+//!
+//! Each shard keeps its own residual table; placements made by one shard
+//! are not visible in another's residuals (background load, which is
+//! broadcast, is). That is the deliberate trade-off of sharding — the
+//! same one a per-pod controller deployment would make — and with
+//! `shards == 1` it vanishes: every call degenerates to a direct
+//! delegation, byte-identical to the unsharded system.
+
+use crate::instrument::PredictionMsg;
+use crate::scheduler::{PythiaConfig, PythiaStats, PythiaSystem};
+use pythia_des::SimTime;
+use pythia_hadoop::{JobId, MapTaskId, ReducerId, ServerId};
+use pythia_netsim::{CumulativeCurve, NodeId, Topology};
+use pythia_openflow::{Controller, PendingRule};
+use pythia_snapshot::{Persist, SectionReader, SectionWriter, SnapshotError};
+use pythia_trace::Trace;
+
+/// Aggregated collector degradation counters across every shard
+/// (mirrors the per-collector public fields the engine reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorTotals {
+    /// Duplicate prediction deliveries dropped.
+    pub duplicates_dropped: u64,
+    /// Map re-execution retractions applied.
+    pub retractions: u64,
+    /// Malformed prediction payloads dropped.
+    pub malformed_dropped: u64,
+    /// Parked predictions expired by the TTL sweep.
+    pub parked_expired: u64,
+}
+
+/// Pod-sharded Pythia control plane: `shards[pod % n]` owns every
+/// prediction whose source server lives in that pod.
+///
+/// With one shard this is a zero-cost wrapper around [`PythiaSystem`]
+/// (same call sequence, same state, same rule streams).
+pub struct ShardedPythia {
+    shards: Vec<PythiaSystem>,
+    /// `pod_of_server[s]` — pod (or rack) index of Hadoop server `s`.
+    pod_of_server: Vec<u32>,
+}
+
+impl ShardedPythia {
+    /// Build `num_shards` complete Pythia systems over the same fabric.
+    /// `pod_of_server[i]` assigns Hadoop server `i` to its pod; servers
+    /// route to `shards[pod % num_shards]`.
+    pub fn new(
+        cfg: PythiaConfig,
+        topo: &Topology,
+        server_nodes: Vec<NodeId>,
+        pod_of_server: Vec<u32>,
+        num_shards: usize,
+    ) -> Self {
+        assert!(num_shards >= 1, "at least one collector shard");
+        assert_eq!(
+            pod_of_server.len(),
+            server_nodes.len(),
+            "one pod id per server"
+        );
+        let shards = (0..num_shards)
+            .map(|_| PythiaSystem::new(cfg.clone(), topo, server_nodes.clone()))
+            .collect();
+        ShardedPythia {
+            shards,
+            pod_of_server,
+        }
+    }
+
+    /// Number of shards in force.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index owning `server`'s predictions.
+    pub fn shard_of(&self, server: ServerId) -> usize {
+        self.pod_of_server[server.0 as usize] as usize % self.shards.len()
+    }
+
+    /// Attach a flight-recorder handle to every shard.
+    pub fn set_trace(&mut self, trace: Trace) {
+        for sh in &mut self.shards {
+            sh.set_trace(trace.clone());
+        }
+    }
+
+    /// Bulk background refresh, broadcast so every shard's path scoring
+    /// sees the same fabric load.
+    pub fn set_background_from(&mut self, loads: &[f64]) {
+        for sh in &mut self.shards {
+            sh.set_background_from(loads);
+        }
+    }
+
+    /// Spill-index hook, routed to the source server's shard.
+    pub fn on_spill(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        map: MapTaskId,
+        server: ServerId,
+        data: &[u8],
+    ) -> Option<(PredictionMsg, SimTime)> {
+        let s = self.shard_of(server);
+        self.shards[s].on_spill(now, job, map, server, data)
+    }
+
+    /// Prediction arrival at the collector, routed by the message's
+    /// source server (the same shard its `on_spill` ran in).
+    pub fn on_prediction_delivered(
+        &mut self,
+        now: SimTime,
+        msg: &PredictionMsg,
+        controller: &mut Controller,
+    ) -> Vec<PendingRule> {
+        let s = self.shard_of(msg.src_server);
+        self.shards[s].on_prediction_delivered(now, msg, controller)
+    }
+
+    /// Reducer placement, broadcast: parked predictions for this job may
+    /// sit in any shard whose pods ran the job's maps. Rule batches are
+    /// concatenated in shard order (deterministic).
+    pub fn on_reducer_launched(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        reducer: ReducerId,
+        server: ServerId,
+        controller: &mut Controller,
+    ) -> Vec<PendingRule> {
+        let mut rules = Vec::new();
+        for sh in &mut self.shards {
+            rules.extend(sh.on_reducer_launched(now, job, reducer, server, controller));
+        }
+        rules
+    }
+
+    /// Fetch completion, routed by the fetch's source server.
+    pub fn on_fetch_completed(
+        &mut self,
+        job: JobId,
+        map: MapTaskId,
+        reducer: ReducerId,
+        src: ServerId,
+        dst: ServerId,
+    ) {
+        let s = self.shard_of(src);
+        self.shards[s].on_fetch_completed(job, map, reducer, src, dst);
+    }
+
+    /// Link-load refresh + re-placement sweep, broadcast; each shard
+    /// re-evaluates only its own placements.
+    pub fn on_background_update(
+        &mut self,
+        now: SimTime,
+        controller: &mut Controller,
+    ) -> Vec<PendingRule> {
+        let mut rules = Vec::new();
+        for sh in &mut self.shards {
+            rules.extend(sh.on_background_update(now, controller));
+        }
+        rules
+    }
+
+    /// The SDN controller crashed — every shard stops issuing rules.
+    pub fn set_controller_down(&mut self) {
+        for sh in &mut self.shards {
+            sh.set_controller_down();
+        }
+    }
+
+    /// Whether rule installation is currently possible.
+    pub fn controller_is_up(&self) -> bool {
+        self.shards[0].controller_is_up()
+    }
+
+    /// Controller restart resync, broadcast; each shard re-derives the
+    /// rules for the pairs it owns.
+    pub fn on_controller_restart(
+        &mut self,
+        now: SimTime,
+        controller: &mut Controller,
+    ) -> Vec<PendingRule> {
+        let mut rules = Vec::new();
+        for sh in &mut self.shards {
+            rules.extend(sh.on_controller_restart(now, controller));
+        }
+        rules
+    }
+
+    /// TTL sweep over parked predictions in every shard; total expired.
+    pub fn expire_parked(&mut self, now: SimTime) -> usize {
+        self.shards.iter_mut().map(|sh| sh.expire_parked(now)).sum()
+    }
+
+    /// Predicted cumulative remote-traffic curve for server `server`
+    /// hosted on `node`, read from the shard that owns its predictions.
+    pub fn predicted_curve(&self, server: ServerId, node: NodeId) -> Option<&CumulativeCurve> {
+        self.shards[self.shard_of(server)].predicted_curve(node)
+    }
+
+    /// Per-server spill-decode count, read from the owning shard.
+    pub fn spills_decoded(&self, server: ServerId) -> u64 {
+        self.shards[self.shard_of(server)].spills_decoded(server)
+    }
+
+    /// Parked (unknown-reducer) prediction entries, fleet-wide.
+    pub fn parked_predictions(&self) -> usize {
+        self.shards.iter().map(|sh| sh.parked_predictions()).sum()
+    }
+
+    /// Run statistics summed across shards.
+    pub fn stats(&self) -> PythiaStats {
+        let mut total = PythiaStats::default();
+        for sh in &self.shards {
+            let s = &sh.stats;
+            total.predictions_sent += s.predictions_sent;
+            total.demands_aggregated += s.demands_aggregated;
+            total.paths_assigned += s.paths_assigned;
+            total.rules_issued += s.rules_issued;
+            total.demands_deferred += s.demands_deferred;
+            total.rules_reinstalled += s.rules_reinstalled;
+            total.controller_resyncs += s.controller_resyncs;
+            total.demands_no_path += s.demands_no_path;
+        }
+        total
+    }
+
+    /// Collector degradation counters summed across shards.
+    pub fn collector_totals(&self) -> CollectorTotals {
+        let mut t = CollectorTotals::default();
+        for sh in &self.shards {
+            let c = sh.collector();
+            t.duplicates_dropped += c.duplicates_dropped;
+            t.retractions += c.retractions;
+            t.malformed_dropped += c.malformed_dropped;
+            t.parked_expired += c.parked_expired;
+        }
+        t
+    }
+
+    /// Direct access to a shard (tests/diagnostics).
+    pub fn shard(&self, i: usize) -> &PythiaSystem {
+        &self.shards[i]
+    }
+
+    /// Serialize every shard, count-prefixed. Pod assignment is scenario
+    /// wiring (recomputed from the topology at construction), not state.
+    pub fn put_state(&self, w: &mut SectionWriter) {
+        (self.shards.len() as u64).put(w);
+        for sh in &self.shards {
+            sh.put_state(w);
+        }
+    }
+
+    /// Restore onto a freshly constructed sharded system for the same
+    /// scenario (shard-count mismatches surface as typed errors).
+    pub fn restore_state(
+        &mut self,
+        topo: &Topology,
+        r: &mut SectionReader,
+    ) -> Result<(), SnapshotError> {
+        let n = u64::get(r)? as usize;
+        if n != self.shards.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n} collector shards, scenario has {}",
+                self.shards.len()
+            )));
+        }
+        for sh in &mut self.shards {
+            sh.restore_state(topo, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_netsim::{build_multi_rack, MultiRackParams};
+
+    fn rig(num_shards: usize) -> (ShardedPythia, Controller) {
+        let mr = build_multi_rack(&MultiRackParams::default());
+        let pods: Vec<u32> = mr
+            .servers
+            .iter()
+            .map(|&n| mr.topology.node(n).rack().unwrap_or(0))
+            .collect();
+        let sys = ShardedPythia::new(
+            PythiaConfig::default(),
+            &mr.topology,
+            mr.servers.clone(),
+            pods,
+            num_shards,
+        );
+        let ctl = Controller::new(
+            mr.topology.clone(),
+            pythia_openflow::ControllerConfig::default(),
+            &pythia_des::RngFactory::new(7),
+        );
+        (sys, ctl)
+    }
+
+    #[test]
+    fn shard_routing_follows_pods() {
+        let (sys, _) = rig(2);
+        // Default multi-rack: 2 racks x 5 servers, rack-major order.
+        assert_eq!(sys.shard_of(ServerId(0)), 0);
+        assert_eq!(sys.shard_of(ServerId(4)), 0);
+        assert_eq!(sys.shard_of(ServerId(5)), 1);
+        assert_eq!(sys.shard_of(ServerId(9)), 1);
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let (sys, _) = rig(1);
+        for s in 0..10u32 {
+            assert_eq!(sys.shard_of(ServerId(s)), 0);
+        }
+    }
+
+    #[test]
+    fn stats_and_totals_aggregate_over_shards() {
+        let (sys, _) = rig(3);
+        assert_eq!(sys.num_shards(), 3);
+        assert_eq!(sys.stats(), PythiaStats::default());
+        assert_eq!(sys.collector_totals(), CollectorTotals::default());
+        assert_eq!(sys.parked_predictions(), 0);
+    }
+}

@@ -54,12 +54,14 @@ impl Default for ComputeProfile {
 }
 
 impl ComputeProfile {
-    fn map_model(&self) -> DurationModel {
+    /// Map-task duration model derived from this profile.
+    pub fn map_model(&self) -> DurationModel {
         DurationModel::rate(self.map_base, self.map_bytes_per_sec, self.jitter_frac)
             .with_stragglers(self.straggler_prob, self.straggler_factor)
     }
 
-    fn sort_model(&self) -> DurationModel {
+    /// Reducer merge-sort duration model derived from this profile.
+    pub fn sort_model(&self) -> DurationModel {
         DurationModel::rate(
             SimDuration::from_millis(500),
             self.sort_bytes_per_sec,
@@ -67,7 +69,8 @@ impl ComputeProfile {
         )
     }
 
-    fn reduce_model(&self) -> DurationModel {
+    /// Reduce-function duration model derived from this profile.
+    pub fn reduce_model(&self) -> DurationModel {
         DurationModel::rate(
             SimDuration::from_millis(500),
             self.reduce_bytes_per_sec,

@@ -18,10 +18,12 @@
 //! job.validate().unwrap();
 //! ```
 
+pub mod fleet;
 pub mod hibench;
 pub mod skew;
 pub mod zipf;
 
+pub use fleet::{ArrivalProcess, FleetProfile, FleetSlot, FleetSpec};
 pub use hibench::{
     ComputeProfile, NutchWorkload, SortWorkload, TeraSortWorkload, WordCountWorkload, Workload,
 };
