@@ -18,8 +18,10 @@
 //! mid-flow re-resolves and reroutes the matching in-flight flows, exactly
 //! like hardware that matches packets, not flows.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use pythia_baselines::{EcmpForwarding, HederaScheduler};
 use pythia_core::{overhead, MgmtNet, PredictionMsg, ShardedPythia};
@@ -28,7 +30,7 @@ use pythia_hadoop::{FetchId, HadoopEvent, JobId, MapReduceSim, MapTaskId, Reduce
 use pythia_metrics::{DegradationReport, FlowTrace, ShuffleFlowRecord};
 use pythia_netsim::{
     background_flows, redraw_group_rates, BackgroundProfile, FiveTuple, FlowId, FlowNet, FlowSpec,
-    LinkId, MultiRack, NetFlowProbe, NodeId, Path,
+    LinkId, MultiRack, NetFlowProbe, NodeId, Path, Topology,
 };
 use pythia_openflow::{Controller, Dataplane, EcmpNextHops, FlowRule, ResolveError};
 use pythia_snapshot::shell::{load_checkpoint, store_checkpoint, Manifest};
@@ -39,6 +41,7 @@ use pythia_trace::{Component, Trace, TraceEvent};
 
 use crate::config::{ScenarioConfig, SchedulerKind};
 use crate::report::{JobOutcome, MultiRunReport, RunReport};
+use crate::service::{self, ControlMsg, SYSTEM_TENANT};
 use crate::snapshot::{config_hash, CheckpointPolicy};
 
 /// Engine events.
@@ -52,10 +55,12 @@ enum Event {
     /// The projected earliest flow completion (content-free: the top-of-
     /// loop advance does the work).
     FlowCheck,
-    /// A prediction copy arriving off the management network. `Rc` so the
-    /// lossy channel's duplicate deliveries share one heap message
-    /// instead of deep-cloning the server list per copy.
-    PredictionDeliver(Rc<PredictionMsg>),
+    /// A prediction copy arriving off the management network. `Arc` so
+    /// the lossy channel's duplicate deliveries share one heap message
+    /// instead of deep-cloning the server list per copy, and so the
+    /// delivery converts into a [`ControlMsg`] (which must be `Send` for
+    /// the daemon's cross-thread ingest) without a deep clone.
+    PredictionDeliver(Arc<PredictionMsg>),
     RuleActive {
         switch: NodeId,
         rule: FlowRule,
@@ -120,10 +125,6 @@ fn event_span_name(ev: &Event) -> &'static str {
         Event::EpochFlush => "ev_epoch_flush",
     }
 }
-
-/// Tenant id used for rules not attributable to a single job (controller
-/// resyncs, background re-placements).
-const SYSTEM_TENANT: u32 = u32::MAX;
 
 /// Metadata the engine keeps per in-flight fetch (Hadoop drops its own
 /// copy when the fetch completes, but Pythia's drain needs it after).
@@ -192,7 +193,7 @@ impl Persist for Event {
                 r.put(w);
             }
             Event::FlowCheck => 5u8.put(w),
-            // The shared Rc is flattened: duplicate deliveries of one
+            // The shared Arc is flattened: duplicate deliveries of one
             // message serialize the same payload and restore as separate
             // allocations — identical semantics, slightly more memory.
             Event::PredictionDeliver(msg) => {
@@ -238,7 +239,7 @@ impl Persist for Event {
             3 => Event::SortFinish(JobId::get(r)?, ReducerId::get(r)?),
             4 => Event::ReducerFinish(JobId::get(r)?, ReducerId::get(r)?),
             5 => Event::FlowCheck,
-            6 => Event::PredictionDeliver(Rc::new(PredictionMsg::get(r)?)),
+            6 => Event::PredictionDeliver(Arc::new(PredictionMsg::get(r)?)),
             7 => Event::RuleActive {
                 switch: NodeId::get(r)?,
                 rule: FlowRule::get(r)?,
@@ -384,6 +385,39 @@ pub fn run_multi_scenario(
     cfg: &ScenarioConfig,
 ) -> MultiRunReport {
     Engine::new(jobs, cfg).run()
+}
+
+/// Shared append-only log of dispatched control messages (see
+/// [`run_multi_scenario_tapped`]).
+type ControlTap = Rc<RefCell<Vec<(SimTime, ControlMsg)>>>;
+
+/// Run several jobs while recording every control-plane message the
+/// engine dispatched into the Pythia pipeline, with the sim time it was
+/// dispatched at — the stream a live `pythia-daemon` replays to
+/// reproduce the batch run's rule installs byte for byte (the daemon
+/// equivalence test). The tap changes no engine behavior; the report is
+/// identical to [`run_multi_scenario`]'s.
+pub fn run_multi_scenario_tapped(
+    jobs: Vec<(pythia_hadoop::JobSpec, pythia_des::SimDuration)>,
+    cfg: &ScenarioConfig,
+) -> (MultiRunReport, Vec<(SimTime, ControlMsg)>) {
+    let tap = Rc::new(RefCell::new(Vec::new()));
+    let mut e = Engine::new(jobs, cfg);
+    e.control_tap = Some(Rc::clone(&tap));
+    let report = e.run();
+    let msgs = Rc::try_unwrap(tap)
+        .expect("engine dropped its tap handle")
+        .into_inner();
+    (report, msgs)
+}
+
+/// Single-job convenience wrapper over [`run_multi_scenario_tapped`].
+pub fn run_scenario_tapped(
+    job: pythia_hadoop::JobSpec,
+    cfg: &ScenarioConfig,
+) -> (RunReport, Vec<(SimTime, ControlMsg)>) {
+    let (multi, msgs) = run_multi_scenario_tapped(vec![(job, pythia_des::SimDuration::ZERO)], cfg);
+    (multi.into_single(), msgs)
 }
 
 /// Run several jobs with periodic crash-durable checkpoints written per
@@ -546,6 +580,64 @@ fn solver_workers(cfg: &ScenarioConfig) -> usize {
 /// flow ids ordered like the group's links).
 type BgGroup = (f64, Vec<(LinkId, FlowId)>);
 
+/// What installing the over-subscription background produced: the static
+/// per-link load, the per-direction trunk groups, and how many entries
+/// were skipped because they formed no valid path.
+struct BackgroundInstall {
+    background_bps: Vec<f64>,
+    groups: Vec<BgGroup>,
+    skipped: u64,
+}
+
+/// Install the background CBR flows (§V-A) into the network, grouped by
+/// trunk direction so the fluctuating profile can redistribute load
+/// within each group. An entry that cannot form a valid path — a
+/// degenerate or degraded fabric handing back an empty or discontinuous
+/// link list — is skipped and counted instead of panicking: the run
+/// proceeds without that load, the same graceful degradation as
+/// unroutable fetches.
+fn install_background_flows(
+    net: &mut FlowNet,
+    topo: &Topology,
+    flows: Vec<(FlowSpec, Vec<LinkId>)>,
+) -> BackgroundInstall {
+    let mut background_bps = vec![0.0; topo.num_links()];
+    let mut group_map: BTreeMap<(NodeId, NodeId), BgGroup> = BTreeMap::new();
+    let mut skipped = 0u64;
+    for (spec, links) in flows {
+        let Some(&link) = links.first() else {
+            skipped += 1;
+            continue;
+        };
+        let (src, dst, cap) = {
+            let l = topo.link(link);
+            (l.src, l.dst, l.capacity_bps)
+        };
+        let Ok(path) = Path::new(topo, links) else {
+            skipped += 1;
+            continue;
+        };
+        // Rates accumulate only for flows that actually install, so a
+        // skipped entry contributes no phantom background load.
+        if let pythia_netsim::FlowKind::Cbr { rate_bps } = spec.kind {
+            for &l in path.links() {
+                background_bps[l.0 as usize] += rate_bps;
+            }
+        }
+        let fid = net.start_flow(spec, path);
+        group_map
+            .entry((src, dst))
+            .or_insert((cap, Vec::new()))
+            .1
+            .push((link, fid));
+    }
+    BackgroundInstall {
+        background_bps,
+        groups: group_map.into_values().collect(),
+        skipped,
+    }
+}
+
 /// One job being driven by the engine.
 ///
 /// In the classic (non-streaming) mode `sim` is constructed eagerly at
@@ -653,6 +745,15 @@ struct Engine<'a> {
     parked_fetches: Vec<ParkedFetch>,
     /// Total unroutable-fetch parkings over the run.
     flows_unroutable: u64,
+    /// Background CBR flows skipped at construction because their trunk
+    /// entry formed no valid path. Construction-derived — a restore
+    /// rebuilds it identically from the same config — so not persisted.
+    background_flows_skipped: u64,
+    /// When set, every control-plane message dispatched into the Pythia
+    /// pipeline is appended here with its sim time — the stream a live
+    /// daemon replays for the equivalence test. Observation only (never
+    /// read back), so not persisted; tapped runs are not checkpointed.
+    control_tap: Option<ControlTap>,
     /// The flight recorder (off unless the scenario enables it).
     flight: Trace,
     /// Whether the SDN controller is reachable.
@@ -737,28 +838,14 @@ impl<'a> Engine<'a> {
         // Background load emulating over-subscription (§V-A): one CBR
         // stream per trunk cable, grouped by direction so the fluctuating
         // profile can redistribute load within each group.
-        let mut background_bps = vec![0.0; mr.topology.num_links()];
-        let mut group_map: BTreeMap<(NodeId, NodeId), BgGroup> = BTreeMap::new();
-        for (spec, links) in background_flows(&mr.topology, &mr.trunk_links, cfg.oversubscription) {
-            if let pythia_netsim::FlowKind::Cbr { rate_bps } = spec.kind {
-                for &l in &links {
-                    background_bps[l.0 as usize] += rate_bps;
-                }
-            }
-            let link = links[0];
-            let (src, dst, cap) = {
-                let l = mr.topology.link(link);
-                (l.src, l.dst, l.capacity_bps)
-            };
-            let path = Path::new(&mr.topology, links).expect("bad background path");
-            let fid = net.start_flow(spec, path);
-            group_map
-                .entry((src, dst))
-                .or_insert((cap, Vec::new()))
-                .1
-                .push((link, fid));
-        }
-        let bg_groups: Vec<BgGroup> = group_map.into_values().collect();
+        let bg = install_background_flows(
+            &mut net,
+            &mr.topology,
+            background_flows(&mr.topology, &mr.trunk_links, cfg.oversubscription),
+        );
+        let background_bps = bg.background_bps;
+        let bg_groups = bg.groups;
+        let background_flows_skipped = bg.skipped;
         net.recompute();
 
         let flight = Trace::new(&cfg.trace);
@@ -810,31 +897,9 @@ impl<'a> Engine<'a> {
         let jobs_remaining = jobs.len();
 
         // Pod (or rack) of every node: the locality domain collector
-        // sharding and per-pod install batching key on. Fat-trees walk the
-        // Clos structure (server → edge → pod, aggs via the pod listing);
-        // leaf fabrics use the rack id; core switches belong to no pod.
-        let mut pod_of_node = vec![u32::MAX; mr.topology.num_nodes()];
-        if let Some(clos) = &mr.clos {
-            for &srv in &mr.servers {
-                if let Some((edge, _)) = clos.host_up(srv) {
-                    if let Some(pod) = clos.pod_of_edge(edge) {
-                        pod_of_node[srv.0 as usize] = pod;
-                        pod_of_node[edge.0 as usize] = pod;
-                    }
-                }
-            }
-            for pod in 0..clos.k() {
-                for &agg in clos.aggs_of_pod(pod) {
-                    pod_of_node[agg.0 as usize] = pod;
-                }
-            }
-        } else {
-            for (n, node) in mr.topology.nodes() {
-                if let Some(rack) = node.rack() {
-                    pod_of_node[n.0 as usize] = rack;
-                }
-            }
-        }
+        // sharding and per-pod install batching key on. Shared with the
+        // daemon's service core — both sides must agree byte for byte.
+        let pod_of_node = service::pod_of_nodes(&mr);
         let pod_of_server: Vec<u32> = mr
             .servers
             .iter()
@@ -905,6 +970,8 @@ impl<'a> Engine<'a> {
             tcam_rejected: 0,
             parked_fetches: Vec::new(),
             flows_unroutable: 0,
+            background_flows_skipped,
+            control_tap: None,
             flight,
             controller_up: true,
             controller_down_since: None,
@@ -1126,7 +1193,9 @@ impl<'a> Engine<'a> {
                     // Work done by the advance above.
                     self.flowcheck = None;
                 }
-                Event::PredictionDeliver(msg) => self.on_prediction(now, &msg),
+                Event::PredictionDeliver(msg) => {
+                    self.control(now, ControlMsg::Prediction(msg));
+                }
                 Event::RuleActive {
                     switch,
                     rule,
@@ -1919,12 +1988,14 @@ impl<'a> Engine<'a> {
                     self.queue.push(at, Event::ReducerStart(job, reducer));
                 }
                 HadoopEvent::ReducerLaunched { reducer, server } => {
-                    if let Some(mut py) = self.pythia.take() {
-                        let rules =
-                            py.on_reducer_launched(now, job, reducer, server, &mut self.controller);
-                        self.pythia = Some(py);
-                        self.schedule_rules(now, rules, job.0);
-                    }
+                    self.control(
+                        now,
+                        ControlMsg::ReducerLaunched {
+                            job,
+                            reducer,
+                            server,
+                        },
+                    );
                 }
                 HadoopEvent::FetchStart {
                     fetch,
@@ -2140,9 +2211,16 @@ impl<'a> Engine<'a> {
                 src: src_node,
                 dst: dst_node,
             });
-        if let Some(py) = self.pythia.as_mut() {
-            py.on_fetch_completed(job, info.map, info.reducer, info.src, info.dst);
-        }
+        self.control(
+            now,
+            ControlMsg::FetchCompleted {
+                job,
+                map: info.map,
+                reducer: info.reducer,
+                src: info.src,
+                dst: info.dst,
+            },
+        );
         let mut evts = std::mem::take(&mut self.hadoop_scratch);
         self.sim_mut(job)
             .fetch_completed_into(now, fetch, &mut evts);
@@ -2150,11 +2228,43 @@ impl<'a> Engine<'a> {
         self.hadoop_scratch = evts;
     }
 
-    fn on_prediction(&mut self, now: SimTime, msg: &PredictionMsg) {
-        if let Some(mut py) = self.pythia.take() {
-            let rules = py.on_prediction_delivered(now, msg, &mut self.controller);
-            self.pythia = Some(py);
-            self.schedule_rules(now, rules, msg.job.0);
+    /// Dispatch one control-plane message into the shared service
+    /// pipeline ([`service::dispatch_control`]) and return the rules it
+    /// provoked. No-op (empty) when the scenario runs no Pythia — the
+    /// same guard every former `if let Some(py)` site had. Tapped runs
+    /// record the message first, so a daemon can replay the identical
+    /// stream.
+    fn control_rules(
+        &mut self,
+        now: SimTime,
+        msg: &ControlMsg,
+    ) -> Vec<pythia_openflow::PendingRule> {
+        let Some(mut py) = self.pythia.take() else {
+            return Vec::new();
+        };
+        if let Some(tap) = &self.control_tap {
+            tap.borrow_mut().push((now, msg.clone()));
+        }
+        let rules = service::dispatch_control(&mut py, &mut self.controller, now, msg);
+        self.pythia = Some(py);
+        rules
+    }
+
+    /// Dispatch one control-plane message and schedule whatever rules it
+    /// produced under the message's tenant.
+    fn control(&mut self, now: SimTime, msg: ControlMsg) {
+        let tenant = service::tenant_of(&msg);
+        let rules = self.control_rules(now, &msg);
+        self.schedule_rules(now, rules, tenant);
+    }
+
+    /// Background load changed: refresh the Pythia residual table and
+    /// re-place active pairs whose path collapsed (one `BackgroundUpdate`
+    /// control message).
+    fn control_background_update(&mut self, now: SimTime) {
+        if self.pythia.is_some() {
+            let loads: Arc<[f64]> = Arc::from(self.background_bps.as_slice());
+            self.control(now, ControlMsg::BackgroundUpdate { loads });
         }
     }
 
@@ -2177,10 +2287,10 @@ impl<'a> Engine<'a> {
                 copies,
                 lost,
             });
-        let msg = Rc::new(msg);
+        let msg = Arc::new(msg);
         for at in deliveries {
             self.queue
-                .push(at, Event::PredictionDeliver(Rc::clone(&msg)));
+                .push(at, Event::PredictionDeliver(Arc::clone(&msg)));
         }
     }
 
@@ -2352,9 +2462,8 @@ impl<'a> Engine<'a> {
             if let Some(since) = self.controller_down_since.take() {
                 self.controller_down_total += now.saturating_since(since);
             }
-            if let Some(mut py) = self.pythia.take() {
-                let rules = py.on_controller_restart(now, &mut self.controller);
-                self.pythia = Some(py);
+            if self.pythia.is_some() {
+                let rules = self.control_rules(now, &ControlMsg::ControllerRestart);
                 self.flight
                     .record(Component::Engine, || TraceEvent::ControllerResync {
                         rules: rules.len() as u32,
@@ -2372,9 +2481,7 @@ impl<'a> Engine<'a> {
             // Epoch-batched installs not yet pushed die the same death —
             // the restart resync re-derives every surviving rule.
             self.epoch_buf.clear();
-            if let Some(py) = self.pythia.as_mut() {
-                py.set_controller_down();
-            }
+            self.control(now, ControlMsg::ControllerDown);
         }
     }
 
@@ -2413,9 +2520,7 @@ impl<'a> Engine<'a> {
 
     /// TTL sweep over parked (unknown-reducer) collector entries.
     fn on_parked_sweep(&mut self, now: SimTime) {
-        if let Some(py) = self.pythia.as_mut() {
-            py.expire_parked(now);
-        }
+        self.control(now, ControlMsg::ExpireParked);
         if !self.all_done() {
             if let Some(ttl) = self.cfg.pythia.parked_ttl {
                 self.queue.push(now + ttl, Event::ParkedSweep);
@@ -2491,12 +2596,7 @@ impl<'a> Engine<'a> {
             // Pythia's link-load service sees the shift: one O(links)
             // residual refresh, then re-place active pairs whose path
             // collapsed using table lookups only.
-            if let Some(mut py) = self.pythia.take() {
-                py.set_background_from(&self.background_bps);
-                let rules = py.on_background_update(now, &mut self.controller);
-                self.pythia = Some(py);
-                self.schedule_rules(now, rules, SYSTEM_TENANT);
-            }
+            self.control_background_update(now);
         }
         if !self.all_done() {
             self.queue.push(
@@ -2538,7 +2638,15 @@ impl<'a> Engine<'a> {
                 }
                 self.dataplane.remove_rules_via(l);
             }
-            self.controller.on_link_state(l, up);
+            // The controller's routing-graph update flows through the
+            // control-plane service on Pythia runs (so a daemon replay
+            // keeps identical controller state); other schedulers poke
+            // the controller directly, as before.
+            if self.pythia.is_some() {
+                self.control(now, ControlMsg::LinkState { link: l, up });
+            } else {
+                self.controller.on_link_state(l, up);
+            }
         }
         self.dirty_net_all();
         // Routing protocol reconvergence for default (ECMP) forwarding.
@@ -2587,12 +2695,7 @@ impl<'a> Engine<'a> {
             self.retry_parked_fetches(now);
         }
         // Pythia re-places active pairs on the updated path cache.
-        if let Some(mut py) = self.pythia.take() {
-            py.set_background_from(&self.background_bps);
-            let rules = py.on_background_update(now, &mut self.controller);
-            self.pythia = Some(py);
-            self.schedule_rules(now, rules, SYSTEM_TENANT);
-        }
+        self.control_background_update(now);
         // On restore, the fluctuating profile re-populates the cable on
         // its next redraw; static profiles restore immediately.
         if up {
@@ -2609,8 +2712,9 @@ impl<'a> Engine<'a> {
                 // The restore changed background after the re-place above
                 // (kept in that order deliberately); sync the residual
                 // table so later placements see the restored load.
-                if let Some(py) = self.pythia.as_mut() {
-                    py.set_background_from(&self.background_bps);
+                if self.pythia.is_some() {
+                    let loads: Arc<[f64]> = Arc::from(self.background_bps.as_slice());
+                    self.control(now, ControlMsg::BackgroundRefresh { loads });
                 }
             }
         }
@@ -2619,9 +2723,19 @@ impl<'a> Engine<'a> {
     fn on_link_load_sample(&mut self, now: SimTime) {
         // The controller samples real link loads: settle deferred solves.
         self.sync_rates_for_read();
-        for (l, _) in self.mr.topology.links() {
-            self.controller
-                .observe_link_load(l, self.net.link_load_bps(l));
+        if self.pythia.is_some() {
+            // Pythia runs ship the sample through the control-plane
+            // service as one dense telemetry message, so a daemon replay
+            // evolves identical controller load state.
+            let loads: Arc<[f64]> = (0..self.mr.topology.num_links())
+                .map(|i| self.net.link_load_bps(LinkId(i as u32)))
+                .collect();
+            self.control(now, ControlMsg::LinkLoads { loads });
+        } else {
+            for (l, _) in self.mr.topology.links() {
+                self.controller
+                    .observe_link_load(l, self.net.link_load_bps(l));
+            }
         }
         if !self.all_done() {
             self.queue
@@ -2704,6 +2818,7 @@ impl<'a> Engine<'a> {
             controller_outages: self.controller_outages_seen,
             controller_down_secs: self.controller_down_total.as_secs_f64(),
             flows_unroutable: self.flows_unroutable,
+            background_flows_skipped: self.background_flows_skipped,
             ..Default::default()
         };
         if let Some(m) = &self.mgmt {
@@ -2762,5 +2877,44 @@ impl<'a> Engine<'a> {
             trace_events,
             trace_stats,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_netsim::TopologyBuilder;
+
+    /// Regression for the former `expect("bad background path")` at
+    /// engine construction: a background entry that forms no valid path
+    /// (a degraded or degenerate fabric handing back an empty or
+    /// discontinuous link list) must be skipped and counted in the
+    /// degradation report, not panic the run before it starts.
+    #[test]
+    fn degenerate_background_entry_is_skipped_not_panicking() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_server("s0", 0);
+        let s1 = b.add_server("s1", 1);
+        let t0 = b.add_tor_switch("tor0", 0);
+        let t1 = b.add_tor_switch("tor1", 1);
+        let (s0_up, _) = b.add_duplex(s0, t0, 1e9);
+        b.add_duplex(s1, t1, 1e9);
+        let (trunk_up, _) = b.add_duplex(t0, t1, 1e9);
+        let topo = b.build();
+        let mut net = FlowNet::new(topo.clone());
+
+        let cbr = |sport: u16| FlowSpec::cbr(FiveTuple::udp(t0, t1, sport, 5001), 1e8);
+        let good = (cbr(1), vec![trunk_up]);
+        // trunk_up ends at tor1 but s0_up starts at s0: discontinuous.
+        let discontinuous = (cbr(2), vec![trunk_up, s0_up]);
+        let empty = (cbr(3), vec![]);
+
+        let r = install_background_flows(&mut net, &topo, vec![good, discontinuous, empty]);
+        assert_eq!(r.skipped, 2);
+        assert_eq!(r.groups.len(), 1, "only the valid entry installed");
+        assert_eq!(r.groups[0].1.len(), 1);
+        assert!(r.background_bps[trunk_up.0 as usize] > 0.0);
+        // Skipped entries leave no phantom load behind.
+        assert_eq!(r.background_bps[s0_up.0 as usize], 0.0);
     }
 }

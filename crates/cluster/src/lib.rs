@@ -37,6 +37,7 @@
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod service;
 pub mod snapshot;
 pub mod tolerance;
 
@@ -46,9 +47,13 @@ pub use config::{
 };
 pub use engine::{
     capture_multi_snapshot, fork_multi_scenario, resume_multi_from_bytes, resume_multi_scenario,
-    run_multi_scenario, run_multi_scenario_checkpointed, run_scenario,
+    run_multi_scenario, run_multi_scenario_checkpointed, run_multi_scenario_tapped, run_scenario,
+    run_scenario_tapped,
 };
 pub use pythia_snapshot::SnapshotError;
 pub use report::{JobOutcome, MultiRunReport, RunReport};
+pub use service::{
+    dispatch_control, tenant_of, ControlMsg, ServiceCore, ServiceError, SYSTEM_TENANT,
+};
 pub use snapshot::{config_hash, fork_config_hash, CheckpointPolicy};
 pub use tolerance::{compare_conservation, compare_tolerance, ToleranceReport};

@@ -1,0 +1,123 @@
+//! The queryable install archive a [`RecordingBackend`] produces.
+//!
+//! Joins the daemon's install log against the service core's native
+//! trace (collector aggregates, allocator placements) to answer the
+//! paper's Figure 5 question live: for each server pair, how long before
+//! its shuffle finished was its rule in the fabric?
+//!
+//! [`RecordingBackend`]: crate::backend::RecordingBackend
+
+use pythia_des::SimTime;
+use pythia_metrics::{LeadTimeReport, PairLeadTime};
+use pythia_netsim::NodeId;
+use pythia_trace::TimedEvent;
+
+use crate::backend::InstallRecord;
+
+/// An immutable, time-ordered archive of everything the daemon
+/// installed, plus the trace context needed to compute lead times.
+#[derive(Debug)]
+pub struct InstallArchive {
+    events: Vec<TimedEvent>,
+    records: Vec<InstallRecord>,
+}
+
+impl InstallArchive {
+    /// Build from `(t, seq)`-sorted events and the raw install log.
+    pub(crate) fn new(events: Vec<TimedEvent>, records: Vec<InstallRecord>) -> InstallArchive {
+        InstallArchive { events, records }
+    }
+
+    /// The merged, time-ordered event stream.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// The raw install log, issue order.
+    pub fn records(&self) -> &[InstallRecord] {
+        &self.records
+    }
+
+    /// When (if ever) a rule for `(src, dst)` became active.
+    pub fn rule_active_at(&self, src: NodeId, dst: NodeId) -> Option<SimTime> {
+        self.records
+            .iter()
+            .find(|r| r.rule.matcher.src == Some(src) && r.rule.matcher.dst == Some(dst))
+            .map(|r| r.due)
+    }
+
+    /// The full prediction-vs-traffic lead-time join (Figure 5, live).
+    pub fn lead_times(&self) -> LeadTimeReport {
+        LeadTimeReport::from_events(&self.events)
+    }
+
+    /// One pair's lead-time row, if the pair ever aggregated demand.
+    pub fn pair_lead(&self, src: NodeId, dst: NodeId) -> Option<PairLeadTime> {
+        self.lead_times()
+            .pairs
+            .into_iter()
+            .find(|p| p.src == src && p.dst == dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_trace::TraceEvent;
+
+    #[test]
+    fn empty_archive_has_no_pairs() {
+        let a = InstallArchive::new(Vec::new(), Vec::new());
+        assert!(a.events().is_empty());
+        assert!(a.records().is_empty());
+        assert!(a.lead_times().pairs.is_empty());
+        assert!(a.pair_lead(NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn pair_lead_joins_aggregate_rule_and_finish() {
+        let src = NodeId(0);
+        let dst = NodeId(1);
+        let ev = |t_ms: u64, seq: u64, event: TraceEvent| TimedEvent {
+            t: SimTime::from_millis(t_ms),
+            seq,
+            event,
+        };
+        let events = vec![
+            ev(
+                10,
+                1,
+                TraceEvent::CollectorAggregate {
+                    src,
+                    dst,
+                    added_bytes: 64 << 20,
+                },
+            ),
+            ev(
+                15,
+                2,
+                TraceEvent::RuleActive {
+                    switch: NodeId(9),
+                    src: Some(src),
+                    dst: Some(dst),
+                    out_link: pythia_netsim::LinkId(3),
+                },
+            ),
+            ev(
+                500,
+                3,
+                TraceEvent::FlowFinish {
+                    flow: pythia_netsim::FlowId(1),
+                    src,
+                    dst,
+                },
+            ),
+        ];
+        let a = InstallArchive::new(events, Vec::new());
+        let pair = a.pair_lead(src, dst).expect("pair aggregated");
+        let lead = pair.lead().expect("both endpoints known");
+        // demand final at 10 ms, traffic done at 500 ms → 490 ms lead.
+        assert_eq!(lead, pythia_des::SimDuration::from_millis(490));
+        assert!(a.pair_lead(dst, src).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Wall-clock ingest→install latency histogram.
+//!
+//! Log2-bucketed over nanoseconds: 64 buckets cover 1 ns to ~584 years
+//! with constant memory and O(1) record, which is what a hot ingest loop
+//! can afford. Quantiles are read from the bucket boundaries, so a
+//! reported p99 is an upper bound accurate to a factor of two — plenty
+//! for the "is the daemon keeping up" question, and honest about being
+//! a histogram rather than a reservoir.
+
+use std::time::Duration;
+
+/// Fixed-memory latency histogram with power-of-two buckets.
+///
+/// Bucket `i` holds samples with `2^(i-1) <= ns < 2^i` (bucket 0 holds
+/// exact zeros). The maximum is tracked exactly so the top quantile
+/// never over-reports past the worst observed sample.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let idx = match ns.checked_ilog2() {
+            Some(b) => (b as usize + 1).min(63),
+            None => 0,
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact worst sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound, clamped
+    /// to the exact maximum. Zero duration for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Upper bound of bucket idx: 2^idx - 1 (bucket 0 is zero).
+                let upper = if idx == 0 { 0 } else { (1u64 << idx) - 1 };
+                return Duration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Median latency upper bound.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// Tail latency upper bound.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p99(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300, 400, 1_000_000] {
+            h.record(Duration::from_nanos(ns));
+        }
+        assert_eq!(h.count(), 5);
+        // p50 falls in the 256..512 bucket; the bound must cover 300 ns
+        // but stay within 2x of it.
+        let p50 = h.p50().as_nanos() as u64;
+        assert!((300..=511).contains(&p50), "p50 bound {p50}");
+        // p99 lands in the outlier's bucket, clamped to the exact max.
+        assert_eq!(h.p99(), Duration::from_nanos(1_000_000));
+        assert_eq!(h.max(), Duration::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn zero_samples_use_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::ZERO);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p99(), Duration::ZERO);
+    }
+}

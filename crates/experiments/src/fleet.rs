@@ -31,8 +31,9 @@ pub struct FleetRow {
     pub isolated_secs: f64,
     /// `shared / isolated` (1.0 = sharing cost nothing).
     pub slowdown: f64,
-    /// Share of all tenant-attributed installed rules.
-    pub rule_share: f64,
+    /// Share of all tenant-attributed installed rules; `None` when the
+    /// fleet installed no rules at all (the share is undefined, not 0/0).
+    pub rule_share: Option<f64>,
     /// Installs this tenant lost to full TCAMs.
     pub tcam_rejected: u64,
 }
@@ -58,15 +59,13 @@ impl FleetReport {
              job  name          shared [s]  isolated [s]  slowdown  rule share  tcam rej\n",
         );
         for r in &self.rows {
+            let share = match r.rule_share {
+                Some(s) => format!("{:.1}%", s * 100.0),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:<3}  {:<12}  {:>10.1}  {:>12.1}  {:>7.2}x  {:>9.1}%  {:>8}\n",
-                r.job,
-                r.name,
-                r.shared_secs,
-                r.isolated_secs,
-                r.slowdown,
-                r.rule_share * 100.0,
-                r.tcam_rejected,
+                "{:<3}  {:<12}  {:>10.1}  {:>12.1}  {:>7.2}x  {:>10}  {:>8}\n",
+                r.job, r.name, r.shared_secs, r.isolated_secs, r.slowdown, share, r.tcam_rejected,
             ));
         }
         out.push_str(&format!(
@@ -99,7 +98,7 @@ impl FleetReport {
                 format!("{:.3}", r.shared_secs),
                 format!("{:.3}", r.isolated_secs),
                 format!("{:.4}", r.slowdown),
-                format!("{:.6}", r.rule_share),
+                r.rule_share.map_or(String::new(), |s| format!("{s:.6}")),
                 r.tcam_rejected.to_string(),
             ]);
         }
@@ -184,6 +183,10 @@ mod tests {
                 row.name,
                 row.slowdown
             );
+            // A Pythia fleet installs rules, so every share is defined —
+            // and the Option guard means it can never be NaN.
+            let share = row.rule_share.expect("pythia fleet installs rules");
+            assert!(share.is_finite() && (0.0..=1.0).contains(&share));
         }
         assert!(r.fairness.rule_share_jain.is_some());
         assert!(r.fairness.slowdown_jain.is_some());

@@ -48,6 +48,11 @@ pub struct DegradationReport {
     /// Shuffle fetches with no route at start time, parked until the
     /// next topology recovery instead of crashing the run.
     pub flows_unroutable: u64,
+    /// Background (over-subscription) CBR flows skipped at engine
+    /// construction because their trunk entry formed no valid path
+    /// (degenerate fabric) — the run proceeds without that load instead
+    /// of panicking.
+    pub background_flows_skipped: u64,
 }
 
 impl DegradationReport {
@@ -101,8 +106,9 @@ impl fmt::Display for DegradationReport {
         )?;
         write!(
             f,
-            "fabric: {} demands with no path, {} fetches parked unroutable",
-            self.demands_no_path, self.flows_unroutable,
+            "fabric: {} demands with no path, {} fetches parked unroutable, \
+             {} background flows skipped",
+            self.demands_no_path, self.flows_unroutable, self.background_flows_skipped,
         )
     }
 }
@@ -156,6 +162,10 @@ mod tests {
             },
             DegradationReport {
                 flows_unroutable: 1,
+                ..Default::default()
+            },
+            DegradationReport {
+                background_flows_skipped: 1,
                 ..Default::default()
             },
         ] {

@@ -34,11 +34,13 @@ pub struct TenantUsage {
 
 impl TenantUsage {
     /// This tenant's share of all tenant-attributed installed rules.
-    pub fn rule_share(&self, total_installed: u64) -> f64 {
+    /// `None` when no rules were installed at all (all-TCAM-full or
+    /// pure-ECMP deferral) — a share of nothing is undefined, not 0/0.
+    pub fn rule_share(&self, total_installed: u64) -> Option<f64> {
         if total_installed == 0 {
-            0.0
+            None
         } else {
-            self.rules_installed as f64 / total_installed as f64
+            Some(self.rules_installed as f64 / total_installed as f64)
         }
     }
 }
@@ -162,9 +164,20 @@ mod tests {
             FairnessReport::from_tenants(vec![tenant(0, 30, 2, 100.0), tenant(1, 10, 6, 200.0)]);
         assert_eq!(r.total_installed(), 40);
         assert_eq!(r.tcam_rejected_total, 8);
-        assert!((r.tenants[0].rule_share(r.total_installed()) - 0.75).abs() < 1e-12);
+        assert!((r.tenants[0].rule_share(r.total_installed()).unwrap() - 0.75).abs() < 1e-12);
         assert!(r.rule_share_jain.unwrap() < 1.0);
         assert_eq!(r.slowdown_jain, None);
+    }
+
+    #[test]
+    fn zero_installed_rule_share_is_none_not_nan() {
+        // A fleet where no rules landed (all-TCAM-full, or every tenant
+        // deferred to ECMP) must not produce NaN shares or a NaN Jain
+        // index — both are `None`.
+        let r = FairnessReport::from_tenants(vec![tenant(0, 0, 5, 100.0), tenant(1, 0, 3, 90.0)]);
+        assert_eq!(r.total_installed(), 0);
+        assert_eq!(r.tenants[0].rule_share(r.total_installed()), None);
+        assert_eq!(r.rule_share_jain, None);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! write periodic snapshots into `--checkpoint-dir`; after a `kill -9`,
 //! the same command line plus `--resume` picks the run back up from the
 //! last good checkpoint and finishes it with the identical fingerprint.
+//!
+//! `pythia-sim serve` runs the live control-plane daemon instead of a
+//! batch simulation: a deterministic synthetic prediction stream is fed
+//! through the threaded daemon and the ingest→install throughput and
+//! latency are printed (machine-parsed by CI against `BENCH_daemon.json`).
 
 use std::process::exit;
 
@@ -19,6 +24,7 @@ use pythia_repro::cluster::{
     resume_multi_scenario, run_multi_scenario_checkpointed, run_scenario, CheckpointPolicy,
     RunReport, ScenarioConfig, SchedulerKind,
 };
+use pythia_repro::daemon::{synthetic_stream, DaemonHandle};
 use pythia_repro::des::SimDuration;
 use pythia_repro::hadoop::JobSpec;
 use pythia_repro::metrics::{render_seqdiag, SeqDiagramOptions};
@@ -41,6 +47,33 @@ struct Args {
     retain_snapshots: bool,
 }
 
+/// Flag values the parser accepts but the program cannot honor. Typed so
+/// tests (and scripts) get a stable, greppable message on stderr and a
+/// clean exit 2 instead of a downstream panic or a silent no-op policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// A count/interval flag was given as zero, which would mean
+    /// "never" where the flag promises "every …" (or an unusable
+    /// zero-capacity daemon).
+    ZeroFlag { flag: &'static str },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::ZeroFlag { flag } => {
+                write!(f, "{flag} must be greater than zero")
+            }
+        }
+    }
+}
+
+/// Print the typed error and exit 2 (same contract as `usage()`).
+fn reject(err: CliError) -> ! {
+    eprintln!("error: {err}");
+    exit(2);
+}
+
 fn usage() -> ! {
     eprintln!(
         "pythia-sim — simulate one MapReduce job on the Pythia testbed\n\
@@ -60,7 +93,13 @@ fn usage() -> ! {
          \x20            [--checkpoint-every-secs F]      checkpoint every F sim-seconds\n\
          \x20            [--resume]       resume the latest checkpoint in the dir\n\
          \x20            [--die-at-event N]  abort() before event N (crash drills)\n\
-         \x20            [--retain-snapshots]  keep superseded snapshot files\n"
+         \x20            [--retain-snapshots]  keep superseded snapshot files\n\
+         \n\
+         LIVE DAEMON:\n\
+         \x20 pythia-sim serve [--predictions N]     synthetic predictions to ingest\n\
+         \x20                                        (default 200000)\n\
+         \x20                  [--queue-capacity N]  bounded ingest queue (default 65536)\n\
+         \x20                  [--ratio N] [--seed S]\n"
     );
     exit(2);
 }
@@ -136,6 +175,18 @@ fn parse_args() -> Args {
     if !(0.0..=1.0).contains(&args.scale) || args.scale <= 0.0 {
         eprintln!("--scale must be in (0, 1]");
         usage();
+    }
+    // "Checkpoint every 0 events/seconds" would silently mean "never";
+    // refuse it instead of handing the run a policy it cannot honor.
+    if args.checkpoint_every_events == Some(0) {
+        reject(CliError::ZeroFlag {
+            flag: "--checkpoint-every-events",
+        });
+    }
+    if args.checkpoint_every_secs.is_some_and(|s| s <= 0.0) {
+        reject(CliError::ZeroFlag {
+            flag: "--checkpoint-every-secs",
+        });
     }
     args
 }
@@ -214,7 +265,95 @@ fn run_with_durability(args: &Args, job: JobSpec, cfg: &ScenarioConfig) -> RunRe
     }
 }
 
+/// `pythia-sim serve`: run the threaded control-plane daemon against a
+/// deterministic synthetic prediction stream and print throughput plus
+/// ingest→install latency. The stable `daemon:` line is machine-parsed
+/// by CI against `BENCH_daemon.json`.
+fn serve_main() -> ! {
+    let mut predictions: usize = 200_000;
+    let mut queue_capacity: usize = 65_536;
+    let mut ratio: u32 = 10;
+    let mut seed: u64 = 1;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--predictions" => {
+                predictions = value("--predictions").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-capacity" => {
+                queue_capacity = value("--queue-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--ratio" | "-r" => ratio = value("--ratio").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if predictions == 0 {
+        reject(CliError::ZeroFlag {
+            flag: "--predictions",
+        });
+    }
+    if queue_capacity == 0 {
+        reject(CliError::ZeroFlag {
+            flag: "--queue-capacity",
+        });
+    }
+
+    let cfg = ScenarioConfig::default()
+        .with_scheduler(SchedulerKind::Pythia)
+        .with_oversubscription(ratio)
+        .with_seed(seed);
+    let stream = synthetic_stream(&cfg, predictions);
+    println!(
+        "serving {} predictions (queue capacity {}, ratio 1:{}, seed {}) …",
+        predictions, queue_capacity, ratio, seed
+    );
+    let handle = match DaemonHandle::spawn_sim(&cfg, queue_capacity) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("daemon error: {e}");
+            exit(1);
+        }
+    };
+    let start = std::time::Instant::now();
+    for (t, m) in stream {
+        handle.ingest_blocking(t, m);
+    }
+    let report = handle.shutdown();
+    let elapsed = start.elapsed();
+    let per_hour = predictions as f64 / elapsed.as_secs_f64() * 3600.0;
+    println!(
+        "daemon: backend={} ingested={} shed={} installed={} tcam_rejected={} \
+         elapsed={:.3}s throughput={:.0} predictions/hour p50={}ns p99={}ns",
+        report.backend,
+        report.stats.ingested,
+        report.stats.shed,
+        report.installed,
+        report.tcam_rejected,
+        elapsed.as_secs_f64(),
+        per_hour,
+        report.p50.as_nanos(),
+        report.p99.as_nanos(),
+    );
+    exit(0);
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        serve_main();
+    }
     let args = parse_args();
     let job = job_for(&args.workload, args.scale);
     println!(

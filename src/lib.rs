@@ -10,6 +10,7 @@
 pub use pythia_baselines as baselines;
 pub use pythia_cluster as cluster;
 pub use pythia_core as pythia;
+pub use pythia_daemon as daemon;
 pub use pythia_des as des;
 pub use pythia_experiments as experiments;
 pub use pythia_hadoop as hadoop;
