@@ -1,0 +1,22 @@
+//! Fixed-work session calibration row (see `pythia_experiments::calibrate`
+//! and the drift policy in `BENCH_HOST.json`).
+//!
+//! The `calibration/fixed_work` row times a deterministic splitmix64
+//! mixing loop whose instruction stream never changes, so its
+//! `ns_per_iter` tracks only the host's effective speed. CI floor checks
+//! divide this session's measurement by `calibration.reference_ns` in
+//! `BENCH_HOST.json` to get the session factor that scales the
+//! events-per-second floors. Run with `BENCH_JSON=<file> cargo bench -p
+//! pythia-bench --bench calibration` for the machine-readable line.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_experiments::calibrate::{fixed_work, FIXED_WORK_ITERS};
+
+fn calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    g.bench_function("fixed_work", |b| b.iter(|| fixed_work(FIXED_WORK_ITERS)));
+    g.finish();
+}
+
+criterion_group!(benches, calibration);
+criterion_main!(benches);

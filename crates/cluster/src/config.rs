@@ -146,6 +146,17 @@ pub struct ScenarioConfig {
     /// calibrated against the default value via the deterministic
     /// tolerance refcheck — raise it only with that gate green.
     pub relaxed_defer_frac: f64,
+    /// Wave-batch fetch starts: fetches fired by one Hadoop output batch
+    /// (a shuffle wave — dozens per reducer launch) are drained through
+    /// one batched fast path, amortizing per-fetch overhead (span and
+    /// trace plumbing, per-fetch seed mixing, path-cache probes) across
+    /// the wave. Byte-identical to the per-fetch path in exact mode —
+    /// fetch starts push no events and draw no randomness, so deferring
+    /// them to the end of their Hadoop batch preserves queue sequencing,
+    /// RNG draw order, and flow-id assignment exactly; a batch of one is
+    /// the historical path. On by default; `false` keeps the per-fetch
+    /// code path (the wave-equivalence proptest sweeps both).
+    pub wave_batch: bool,
 }
 
 /// Relative tolerance on per-flow completion times in relaxed-order mode
@@ -194,6 +205,7 @@ impl Default for ScenarioConfig {
             install_epoch: None,
             relaxed_defer_max: SimDuration::from_millis(1000),
             relaxed_defer_frac: 0.25,
+            wave_batch: true,
         }
     }
 }
@@ -256,6 +268,14 @@ impl ScenarioConfig {
     /// path with `false`, overriding the `relaxed-order` cargo feature).
     pub fn with_relaxed_order(mut self, on: bool) -> Self {
         self.relaxed_order = on;
+        self
+    }
+
+    /// Wave-batch fetch starts (`true`, the default) or keep the
+    /// historical per-fetch start path (`false`) — the two are
+    /// byte-identical in exact mode; the equivalence proptest pins it.
+    pub fn with_wave_batch(mut self, on: bool) -> Self {
+        self.wave_batch = on;
         self
     }
 }

@@ -162,6 +162,24 @@ struct ParkedFetch {
     dst_port: u16,
 }
 
+/// One fetch of a buffered shuffle wave: everything `start_fetch_flow`
+/// needs, queued while the rest of the Hadoop output batch drains so the
+/// whole wave starts through one amortized pass (`start_fetch_wave`).
+/// Fetch starts push no events and draw no randomness, so the deferral
+/// is invisible to queue sequencing and RNG order — the wave path is
+/// byte-identical to starting each fetch in place.
+#[derive(Debug, Clone, Copy)]
+struct WaveFetch {
+    fetch: FetchId,
+    map: MapTaskId,
+    reducer: ReducerId,
+    src: ServerId,
+    dst: ServerId,
+    app_bytes: u64,
+    src_port: u16,
+    dst_port: u16,
+}
+
 /// Queued events ride inside checkpoints verbatim — times, FIFO sequence
 /// numbers and payloads — so a resumed run pops them in exactly the order
 /// the interrupted run would have.
@@ -792,6 +810,17 @@ struct Engine<'a> {
     completed_scratch: Vec<FlowId>,
     /// Dispatch-loop scratch for Hadoop event batches.
     hadoop_scratch: Vec<HadoopEvent>,
+    /// Wave buffer: fetch starts of the Hadoop batch currently draining,
+    /// deferred to one `start_fetch_wave` pass at the end of the batch.
+    /// Always empty between events (checkpoints assert it), so it is
+    /// scratch, not persisted state.
+    wave_scratch: Vec<WaveFetch>,
+    /// Relaxed mode: whether the completion projection may have moved
+    /// since the last `finish_round_relaxed` peek. Any flow mutation or
+    /// solve sets it; quiet rounds (the overwhelmingly common
+    /// rule-activation ticks) skip the completion-heap peek entirely.
+    /// Derived state — reset to `true` on restore, never persisted.
+    projection_dirty: bool,
     /// Dispatch-loop scratch: in-flight flows a rule or link event must
     /// re-resolve.
     candidates_scratch: Vec<(FlowId, FiveTuple)>,
@@ -861,6 +890,12 @@ impl<'a> Engine<'a> {
         let ecmp = EcmpForwarding::new(pythia_des::splitmix64(cfg.seed ^ 0xec3b));
 
         let servers: Vec<ServerId> = (0..mr.servers.len() as u32).map(ServerId).collect();
+        // Scenario-known shuffle size: at most one cross-network fetch per
+        // (map, reducer) pair per job. Sizes the probe curve buffers.
+        let total_fetches: usize = job_specs
+            .iter()
+            .map(|(s, _)| s.num_maps.saturating_mul(s.num_reducers))
+            .sum();
         let jobs: Vec<JobSlot> = job_specs
             .into_iter()
             .enumerate()
@@ -934,7 +969,13 @@ impl<'a> Engine<'a> {
             _ => None,
         };
 
-        let probe = NetFlowProbe::new(mr.servers.clone());
+        let mut probe = NetFlowProbe::new(mr.servers.clone());
+        // Pre-size each curve from the known fetch count: delta-encoded
+        // pushes retain at most one point per completion wave a node
+        // sources (fetches spread ~evenly across servers) plus the
+        // periodic ticks — so steady-state sampling never reallocates
+        // (pinned by the counting-allocator guard).
+        probe.reserve(total_fetches / mr.servers.len().max(1) + 64);
         let n_jobs_total = jobs.len();
 
         Engine {
@@ -985,6 +1026,8 @@ impl<'a> Engine<'a> {
             routing_epoch: 0,
             completed_scratch: Vec::new(),
             hadoop_scratch: Vec::new(),
+            wave_scratch: Vec::new(),
+            projection_dirty: true,
             candidates_scratch: Vec::new(),
             flows_of_pair: BTreeMap::new(),
             epoch_buf: BTreeMap::new(),
@@ -1128,11 +1171,24 @@ impl<'a> Engine<'a> {
                 let mut completed = std::mem::take(&mut self.completed_scratch);
                 completed.clear();
                 completed.extend_from_slice(self.net.advance_to(now));
+                let any_completed = !completed.is_empty();
                 for &fid in &completed {
                     self.on_flow_complete(now, fid);
                 }
                 completed.clear();
                 self.completed_scratch = completed;
+                // Crisp measured curves, one sweep per completion batch:
+                // every counter is already integrated to `now` before the
+                // first completion processes, and neither flow removal nor
+                // the follow-up fetch starts move a cum-tx counter, so the
+                // k per-completion sweeps this replaces all read identical
+                // values — one sweep records the same curves. Relaxed mode
+                // touches only each completing flow's own source curve
+                // (inside `on_flow_complete`); every other watched counter
+                // is analytic and read at the next periodic tick.
+                if any_completed && !self.net.relaxed_order() {
+                    self.probe.sample(&self.net);
+                }
             }
             // 2. The event itself, timed per handler so the span
             // histograms attribute dispatch cost by event type.
@@ -1190,8 +1246,12 @@ impl<'a> Engine<'a> {
                     self.hadoop_scratch = evts;
                 }
                 Event::FlowCheck => {
-                    // Work done by the advance above.
+                    // Work done by the advance above. Clearing the handle
+                    // changes what the relaxed round-finish must compare
+                    // against, so the projection must be re-peeked even if
+                    // the advance completed nothing (a lazily-stale check).
                     self.flowcheck = None;
+                    self.projection_dirty = true;
                 }
                 Event::PredictionDeliver(msg) => {
                     self.control(now, ControlMsg::Prediction(msg));
@@ -1259,6 +1319,13 @@ impl<'a> Engine<'a> {
     /// site and recomputes nothing, so a checkpointing run stays
     /// byte-identical to an uncheckpointed one.
     fn snapshot_bytes(&mut self, now: SimTime) -> Vec<u8> {
+        // Checkpoints land between events, and every Hadoop batch drains
+        // its fetch wave before its handler returns — a wave is never
+        // in flight here, so the buffer is scratch, not state.
+        debug_assert!(
+            self.wave_scratch.is_empty(),
+            "checkpoint with a fetch wave in flight"
+        );
         self.sync_rates_for_read();
         let _span = self.flight.span("checkpoint");
         let mut w = Writer::new();
@@ -1755,6 +1822,11 @@ impl<'a> Engine<'a> {
         self.net_dirty = false;
         self.net_dirty_since = None;
         self.net_dirty_weight = 0.0;
+        // Derived, not persisted: force one fresh projection peek. The
+        // restored flowcheck already matches the solved heap, so the peek
+        // is a no-op match — byte-identical resume.
+        self.projection_dirty = true;
+        self.wave_scratch.clear();
         self.path_cache.clear();
         self.routing_epoch = 0;
         self.nexthops = EcmpNextHops::compute_avoiding(&self.mr.topology, &self.down_links);
@@ -1914,8 +1986,18 @@ impl<'a> Engine<'a> {
                 self.net_dirty = false;
                 self.net_dirty_since = None;
                 self.net_dirty_weight = 0.0;
+                self.projection_dirty = true;
             }
         }
+        // Quiet round: no solve and no flow add/remove since the last
+        // peek, so the completion heap is untouched and the projection
+        // still matches the scheduled flowcheck — skip the peek. Rule
+        // activations that move nothing (the bulk of all events) take
+        // this path.
+        if !self.projection_dirty {
+            return;
+        }
+        self.projection_dirty = false;
         let _span = self.flight.span("net_next_completion");
         let next = self.net.next_completion().map(|(t, _)| t);
         match (next, self.flowcheck) {
@@ -1946,6 +2028,7 @@ impl<'a> Engine<'a> {
             self.net_dirty = false;
             self.net_dirty_since = None;
             self.net_dirty_weight = 0.0;
+            self.projection_dirty = true;
         }
     }
 
@@ -1956,6 +2039,7 @@ impl<'a> Engine<'a> {
     fn dirty_net_flow(&mut self) {
         self.net_dirty = true;
         self.net_dirty_weight += 1.0 / self.fetch_of_flow.len().max(1) as f64;
+        self.projection_dirty = true;
     }
 
     /// Mark the network dirty from a structural change (background
@@ -1965,6 +2049,7 @@ impl<'a> Engine<'a> {
     fn dirty_net_all(&mut self) {
         self.net_dirty = true;
         self.net_dirty_weight += 1.0;
+        self.projection_dirty = true;
     }
 
     /// Act on a batch of Hadoop outputs, draining `evts` so the caller
@@ -2007,9 +2092,24 @@ impl<'a> Engine<'a> {
                     src_port,
                     dst_port,
                 } => {
-                    self.start_fetch_flow(
-                        now, job, fetch, map, reducer, src, dst, bytes, src_port, dst_port,
-                    );
+                    let wf = WaveFetch {
+                        fetch,
+                        map,
+                        reducer,
+                        src,
+                        dst,
+                        app_bytes: bytes,
+                        src_port,
+                        dst_port,
+                    };
+                    if self.cfg.wave_batch {
+                        // Defer to the end of this Hadoop batch: the whole
+                        // shuffle wave starts through one amortized pass.
+                        self.wave_scratch.push(wf);
+                    } else {
+                        let seed = self.wire_seed ^ pythia_des::splitmix64(job.0 as u64);
+                        self.start_one_fetch(now, job, seed, wf);
+                    }
                 }
                 HadoopEvent::SortFinishAt { reducer, at } => {
                     self.queue.push(at, Event::SortFinish(job, reducer));
@@ -2033,6 +2133,27 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        if !self.wave_scratch.is_empty() {
+            self.start_fetch_wave(now, job);
+        }
+    }
+
+    /// Start every buffered fetch of the wave (one Hadoop output batch,
+    /// one job) through a single amortized pass: one flight span covers
+    /// the wave, the per-job wire seed is mixed once, and each start
+    /// rides the pair→path memo its wave predecessors just warmed.
+    /// Per-fetch effects — flow-id assignment, dirty weights, index
+    /// inserts, flight records — run in arrival order, so the wave is
+    /// byte-identical to starting each fetch in place (fetch starts push
+    /// no events and draw no randomness; see [`WaveFetch`]).
+    fn start_fetch_wave(&mut self, now: SimTime, job: JobId) {
+        let _span = self.flight.span("fetch_wave");
+        let mut wave = std::mem::take(&mut self.wave_scratch);
+        let job_seed = self.wire_seed ^ pythia_des::splitmix64(job.0 as u64);
+        for f in wave.drain(..) {
+            self.start_one_fetch(now, job, job_seed, f);
+        }
+        self.wave_scratch = wave;
     }
 
     /// Resolve the path a fetch tuple takes through the flow tables,
@@ -2067,30 +2188,25 @@ impl<'a> Engine<'a> {
         Ok(path)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn start_fetch_flow(
-        &mut self,
-        now: SimTime,
-        job: JobId,
-        fetch: FetchId,
-        map: MapTaskId,
-        reducer: ReducerId,
-        src: ServerId,
-        dst: ServerId,
-        app_bytes: u64,
-        src_port: u16,
-        dst_port: u16,
-    ) {
+    /// Start one fetch flow. `job_seed` is the per-job wire-overhead seed
+    /// (`wire_seed ^ splitmix64(job)`), mixed once per wave by the
+    /// batched caller instead of once per fetch.
+    fn start_one_fetch(&mut self, now: SimTime, job: JobId, job_seed: u64, f: WaveFetch) {
+        let WaveFetch {
+            fetch,
+            map,
+            reducer,
+            src,
+            dst,
+            app_bytes,
+            src_port,
+            dst_port,
+        } = f;
         let src_node = self.node_of(src);
         let dst_node = self.node_of(dst);
         debug_assert_ne!(src_node, dst_node, "local fetches bypass the network");
         // What actually crosses the wire: payload + real protocol overhead.
-        let wire_bytes = overhead::actual_wire_bytes(
-            app_bytes,
-            map.0,
-            reducer.0,
-            self.wire_seed ^ pythia_des::splitmix64(job.0 as u64),
-        );
+        let wire_bytes = overhead::actual_wire_bytes(app_bytes, map.0, reducer.0, job_seed);
         let tuple = FiveTuple::tcp(src_node, dst_node, src_port, dst_port);
         let resolved = self.resolve_fetch_path(&tuple);
         let Ok(path) = resolved else {
@@ -2154,17 +2270,21 @@ impl<'a> Engine<'a> {
         for p in parked {
             // A retry that parks again does not recount as a new fault.
             let before = self.flows_unroutable;
-            self.start_fetch_flow(
+            let seed = self.wire_seed ^ pythia_des::splitmix64(p.job.0 as u64);
+            self.start_one_fetch(
                 now,
                 p.job,
-                p.fetch,
-                p.map,
-                p.reducer,
-                p.src,
-                p.dst,
-                p.app_bytes,
-                p.src_port,
-                p.dst_port,
+                seed,
+                WaveFetch {
+                    fetch: p.fetch,
+                    map: p.map,
+                    reducer: p.reducer,
+                    src: p.src,
+                    dst: p.dst,
+                    app_bytes: p.app_bytes,
+                    src_port: p.src_port,
+                    dst_port: p.dst_port,
+                },
             );
             if self.flows_unroutable > before {
                 self.flows_unroutable = before;
@@ -2180,14 +2300,13 @@ impl<'a> Engine<'a> {
             &report,
             &self.mr.trunk_links,
         ));
-        // Crisp measured curves: sample at every completion. Relaxed mode
-        // touches only the completing flow's own source curve — every
-        // other watched counter is analytic and can be read at the next
-        // periodic tick instead.
+        // Crisp measured curves: relaxed mode samples the completing
+        // flow's own source curve here (a same-timestamp wave coalesces
+        // into one point via the delta-encoded push); exact mode sweeps
+        // all counters once per completion batch, in the dispatch loop's
+        // advance block.
         if self.net.relaxed_order() {
             self.probe.sample_node(&self.net, report.spec.tuple.src);
-        } else {
-            self.probe.sample(&self.net);
         }
         let (job, fetch) = self
             .fetch_of_flow

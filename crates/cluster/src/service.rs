@@ -315,6 +315,30 @@ impl ServiceCore {
         self.trace.set_now(now);
         dispatch_control(&mut self.pythia, &mut self.controller, now, msg)
     }
+
+    /// Dispatch a time-ordered message batch — the shape a socket
+    /// transport hands a live daemon, and what the engine's wave-batched
+    /// fetch chain produces. `sink` sees every message *after* dispatch
+    /// with the rules it provoked, so per-message attribution (tenants,
+    /// backends, latency stamps) is preserved while the trace clock is
+    /// stamped once per distinct timestamp instead of once per message.
+    /// Message-by-message equivalent to calling [`ServiceCore::dispatch`]
+    /// in a loop.
+    pub fn dispatch_batch<I, F>(&mut self, msgs: I, mut sink: F)
+    where
+        I: IntoIterator<Item = (SimTime, ControlMsg)>,
+        F: FnMut(SimTime, &ControlMsg, Vec<PendingRule>),
+    {
+        let mut stamped: Option<SimTime> = None;
+        for (at, msg) in msgs {
+            if stamped != Some(at) {
+                self.trace.set_now(at);
+                stamped = Some(at);
+            }
+            let rules = dispatch_control(&mut self.pythia, &mut self.controller, at, &msg);
+            sink(at, &msg, rules);
+        }
+    }
 }
 
 #[cfg(test)]

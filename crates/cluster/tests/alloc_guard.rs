@@ -4,9 +4,10 @@
 //! its counter:
 //!
 //! 1. **Zero steady-state allocation** in the component hot loops: a
-//!    warmed-up [`FlowNet`] advance → mutate → recompute cycle and a
-//!    warmed-up [`EventQueue`] push → cancel → pop cycle must perform
-//!    exactly zero heap allocations.
+//!    warmed-up [`FlowNet`] advance → mutate → recompute cycle, a
+//!    pre-sized NetFlow probe sampling cycle, and a warmed-up
+//!    [`EventQueue`] push → cancel → pop cycle must perform exactly zero
+//!    heap allocations.
 //! 2. **Bounded allocations per event** for the full engine: a complete
 //!    fat-tree run must stay under a per-event allocation budget, so an
 //!    accidental O(all flows) collection creeping back into a dispatch
@@ -146,7 +147,31 @@ fn hot_loops_allocation_budget() {
         "FlowNet advance/mutate/recompute cycle allocated in steady state"
     );
 
-    // ---- 1b. EventQueue steady state: zero allocations. ----------------
+    // ---- 1b. NetFlow probe steady state: zero allocations. -------------
+    // Pre-sized curves (the engine reserves from the scenario's fetch
+    // count at construction) must absorb periodic and per-completion
+    // samples without ever growing.
+    let mut probe = pythia_netsim::NetFlowProbe::new(mr.servers.clone());
+    probe.reserve(256);
+    for round in 150..160 {
+        net_cycle(&mut net, &cbrs, round);
+        probe.sample(&net);
+    }
+    let before = allocs();
+    for round in 160..260 {
+        net_cycle(&mut net, &cbrs, round);
+        probe.sample(&net);
+        for &s in &mr.servers[..4] {
+            probe.sample_node(&net, s);
+        }
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "pre-sized NetFlowProbe sampling allocated in steady state"
+    );
+
+    // ---- 1c. EventQueue steady state: zero allocations. ----------------
     let mut q: EventQueue<u32> = EventQueue::new();
     for i in 0..200 {
         queue_cycle(&mut q, i * 100);

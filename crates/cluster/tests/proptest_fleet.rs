@@ -112,6 +112,38 @@ proptest! {
         prop_assert_eq!(fingerprint(&a), fingerprint(&b));
     }
 
+    /// Wave-batched fetch starts (the control-plane fast path, on by
+    /// default) are byte-identical to one-at-a-time starts in exact
+    /// mode: draining a reducer's whole fetch wave through the engine as
+    /// one batch must not change a single completion, event, rule, or
+    /// traced flow. Holds under both cargo feature states — `cfg_of`
+    /// pins the exact solver at runtime.
+    #[test]
+    fn wave_batching_is_byte_identical(s in scn()) {
+        let a = run_multi_scenario(fleet_of(&s).jobs(), &cfg_of(&s));
+        let b = run_multi_scenario(fleet_of(&s).jobs(), &cfg_of(&s).with_wave_batch(false));
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// Checkpoints under wave batching land on wave boundaries (the
+    /// engine drains every deferred fetch inside the dispatch that
+    /// collected it), so a snapshot of a wave-batched run must resume to
+    /// the same fingerprint a never-interrupted *per-event* run
+    /// produces: batching survives the crash/resume path too.
+    #[test]
+    fn wave_batched_checkpoint_resumes_to_per_event_fingerprint(
+        s in scn(), frac in 0.1f64..0.9
+    ) {
+        let cfg_wave = cfg_of(&s);
+        let flat = run_multi_scenario(fleet_of(&s).jobs(), &cfg_of(&s).with_wave_batch(false));
+        let cut = ((flat.events_processed as f64 * frac) as u64).max(1);
+        let bytes = capture_multi_snapshot(fleet_of(&s).jobs(), &cfg_wave, cut)
+            .expect("capture point inside the run");
+        let resumed = resume_multi_from_bytes(fleet_of(&s).jobs(), &cfg_wave, &bytes)
+            .expect("resume from wave-batched snapshot");
+        prop_assert_eq!(fingerprint(&flat), fingerprint(&resumed));
+    }
+
     /// A snapshot taken mid-trace and resumed must be indistinguishable
     /// from the run that was never interrupted.
     #[test]

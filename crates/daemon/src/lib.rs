@@ -64,6 +64,9 @@ pub struct Daemon<B: InstallBackend> {
     stats: DaemonStats,
     hist: LatencyHistogram,
     now: SimTime,
+    /// Scratch: enqueue instants of the batch being pumped, reused so
+    /// the drain loop does not allocate per pump.
+    lat_scratch: Vec<Instant>,
 }
 
 impl<B: InstallBackend> Daemon<B> {
@@ -83,6 +86,7 @@ impl<B: InstallBackend> Daemon<B> {
             stats: DaemonStats::default(),
             hist: LatencyHistogram::new(),
             now: SimTime::ZERO,
+            lat_scratch: Vec::new(),
         })
     }
 
@@ -108,19 +112,37 @@ impl<B: InstallBackend> Daemon<B> {
 
     /// Dispatch every queued message: service core → rules → backend.
     /// Returns how many messages were processed.
+    ///
+    /// The whole queue drains through one
+    /// [`pythia_cluster::ServiceCore::dispatch_batch`] call — the batch
+    /// path a socket transport would feed — while the per-message sink
+    /// keeps tenant attribution, backend installs, and latency stamps
+    /// exactly as the one-at-a-time loop produced them.
     pub fn pump(&mut self) -> usize {
-        let mut n = 0;
-        while let Some((at, enqueued, msg)) = self.queue.pop_front() {
-            let tenant = tenant_of(&msg);
-            let rules = self.core.dispatch(at, &msg);
-            self.stats.rules_emitted += rules.len() as u64;
-            self.backend.install(at, tenant, &rules);
-            self.backend.observe(at, &msg);
-            self.hist.record(enqueued.elapsed());
-            self.stats.processed += 1;
-            self.now = self.now.max(at);
-            n += 1;
+        if self.queue.is_empty() {
+            return 0;
         }
+        let mut latencies = std::mem::take(&mut self.lat_scratch);
+        latencies.clear();
+        latencies.extend(self.queue.iter().map(|&(_, enq, _)| enq));
+        let batch: Vec<(SimTime, ControlMsg)> =
+            self.queue.drain(..).map(|(at, _, msg)| (at, msg)).collect();
+        let n = batch.len();
+        let backend = &mut self.backend;
+        let stats = &mut self.stats;
+        let hist = &mut self.hist;
+        let now = &mut self.now;
+        let mut i = 0;
+        self.core.dispatch_batch(batch, |at, msg, rules| {
+            stats.rules_emitted += rules.len() as u64;
+            backend.install(at, tenant_of(msg), &rules);
+            backend.observe(at, msg);
+            hist.record(latencies[i].elapsed());
+            i += 1;
+            stats.processed += 1;
+            *now = (*now).max(at);
+        });
+        self.lat_scratch = latencies;
         n
     }
 

@@ -1,0 +1,129 @@
+//! Fixed-work session calibration for a drifting benchmark host.
+//!
+//! The benchmark box exposes a single shared vCPU whose effective speed
+//! drifts between (and within) sessions — see `BENCH_HOST.json`. Raw
+//! events-per-second floors therefore cannot distinguish "the code got
+//! slower" from "the box got slower". This module provides the fixed
+//! reference workload both CI and the smoke tests time alongside the
+//! real benchmark: a deterministic [splitmix64] mixing loop whose
+//! instruction stream never changes, so its measured duration tracks
+//! only the host. Dividing a session's measured reference time by the
+//! recorded baseline (`calibration.reference_ns` in `BENCH_HOST.json`)
+//! yields the **session factor** used to scale throughput floors.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::time::Instant;
+
+/// Iterations of the mixing loop per measurement. Sized so one
+/// measurement takes tens of milliseconds on the reference host — long
+/// enough to average over scheduler jitter, short enough to run three
+/// repetitions in every CI smoke step.
+pub const FIXED_WORK_ITERS: u64 = 20_000_000;
+
+/// One splitmix64 step: advance the state and return the mixed output.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run the fixed workload once and return the folded output (callers
+/// must consume it so the loop cannot be optimized away).
+pub fn fixed_work(iters: u64) -> u64 {
+    let mut state = 0x5eed_5eed_5eed_5eedu64;
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc ^= splitmix64(&mut state);
+    }
+    acc
+}
+
+/// Time the fixed workload, taking the fastest of `reps` repetitions
+/// (contention on a shared box only ever adds time, so the minimum is
+/// the least-noisy estimate). Returns nanoseconds.
+pub fn fixed_work_ns(reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let out = fixed_work(FIXED_WORK_ITERS);
+        let ns = t0.elapsed().as_nanos() as f64;
+        std::hint::black_box(out);
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// The session factor against a recorded reference: how many times
+/// slower this session's host is than the one the floors were measured
+/// on. Clamped to `[0.5, 3.0]` — a session more than 3× slower than
+/// reference is too degraded to excuse a throughput miss (the run should
+/// be treated as failed/noisy), and a session faster than 2× reference
+/// still has to clear half the floor.
+pub fn session_factor(measured_ns: f64, reference_ns: f64) -> f64 {
+    assert!(reference_ns > 0.0 && measured_ns > 0.0);
+    (measured_ns / reference_ns).clamp(0.5, 3.0)
+}
+
+/// Read `"reference_ns": <value>` out of a `BENCH_HOST.json`-style file
+/// without a JSON dependency (the workspace vendors no serde). Returns
+/// `None` when the file or key is missing — callers then fall back to an
+/// unscaled (factor 1.0) comparison rather than failing.
+pub fn reference_ns_from(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"reference_ns\":";
+    let start = text.find(key)? + key.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '-' | '+')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Measure this session and return the floor-scaling factor against the
+/// `reference_ns` recorded in `host_json` (see [`session_factor`]);
+/// `1.0` when the file or key is absent.
+pub fn measured_session_factor(host_json: &str) -> f64 {
+    match reference_ns_from(host_json) {
+        Some(reference) => session_factor(fixed_work_ns(3), reference),
+        None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_work_is_deterministic() {
+        assert_eq!(fixed_work(1000), fixed_work(1000));
+        assert_ne!(fixed_work(1000), fixed_work(1001));
+    }
+
+    #[test]
+    fn factor_clamps() {
+        assert_eq!(session_factor(1.0, 1.0), 1.0);
+        assert_eq!(session_factor(10.0, 1.0), 3.0);
+        assert_eq!(session_factor(1.0, 10.0), 0.5);
+        assert!((session_factor(3.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_parses_from_host_json() {
+        let dir = std::env::temp_dir().join("pythia-calibrate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("host.json");
+        std::fs::write(
+            &p,
+            "{\n  \"calibration\": {\n    \"reference_ns\": 12345678.5,\n    \"reps\": 3\n  }\n}",
+        )
+        .unwrap();
+        assert_eq!(reference_ns_from(p.to_str().unwrap()), Some(12345678.5));
+        assert_eq!(reference_ns_from("/nonexistent/host.json"), None);
+    }
+}

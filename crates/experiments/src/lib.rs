@@ -25,12 +25,17 @@
 //!   isolated baselines (slowdown, rule-install share, TCAM contention,
 //!   Jain indices).
 //!
+//! [`calibrate`] is not an experiment but the fixed-work session
+//! calibration every throughput floor check runs alongside the real
+//! benchmark (drift context: `BENCH_HOST.json`).
+//!
 //! Each module exposes `run(&FigureScale)`; `FigureScale::default()` is
 //! paper scale, `::quick()` a CI-sized smoke, `::bench()` the Criterion
 //! size. The `run_all` binary executes everything and writes CSVs under
 //! `results/`.
 
 pub mod ablation;
+pub mod calibrate;
 pub mod chaos;
 pub mod fig1;
 pub mod fig3;

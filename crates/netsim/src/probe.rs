@@ -26,12 +26,34 @@ impl CumulativeCurve {
     /// is a few bytes: relaxed-order accounting projects completions a
     /// byte-ceil long and takes the clamped excess back out at the fold,
     /// so a counter sampled in between can dip by that much.
+    ///
+    /// Samples are delta-encoded: a push that repeats the last value is
+    /// elided (the step curve is unchanged between the two times), and a
+    /// re-sample at the last point's timestamp overwrites it (the old
+    /// dense representation kept both and every reader took the last of
+    /// duplicate timestamps — see [`CumulativeCurve::value_at`]). Both
+    /// rules leave `value_at`/`total`/`time_to_reach` observations exactly
+    /// as a dense append would; a curve's first sample is always kept so
+    /// an idle source still records a curve.
     pub fn push(&mut self, t: SimTime, bytes: f64) {
-        if let Some(&(lt, lb)) = self.points.last() {
-            debug_assert!(t >= lt, "curve points must be time-ordered");
-            debug_assert!(bytes + 4.0 >= lb, "cumulative curve must be monotone");
+        if let Some(last) = self.points.last_mut() {
+            debug_assert!(t >= last.0, "curve points must be time-ordered");
+            debug_assert!(bytes + 4.0 >= last.1, "cumulative curve must be monotone");
+            if bytes == last.1 {
+                return;
+            }
+            if t == last.0 {
+                last.1 = bytes;
+                return;
+            }
         }
         self.points.push((t, bytes));
+    }
+
+    /// Pre-size the backing buffer for `additional` further samples, so a
+    /// scenario with a known fetch count appends without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.points.reserve(additional);
     }
 
     /// The raw `(time, cumulative bytes)` samples.
@@ -99,6 +121,16 @@ impl NetFlowProbe {
         NetFlowProbe { watched, curves }
     }
 
+    /// Pre-size every curve for about `per_node` further samples (see
+    /// [`CumulativeCurve::reserve`]) — called once at engine construction
+    /// with the scenario's known per-server fetch count so steady-state
+    /// sampling never reallocates.
+    pub fn reserve(&mut self, per_node: usize) {
+        for c in &mut self.curves {
+            c.reserve(per_node);
+        }
+    }
+
     /// Record the current cumulative tx counters of every watched node.
     pub fn sample(&mut self, net: &FlowNet) {
         let t = net.now();
@@ -109,7 +141,9 @@ impl NetFlowProbe {
 
     /// Record the current counter of `node` alone (no-op if unwatched).
     /// Event-driven sampling: a flow completion touches only its own
-    /// source's curve instead of every watched server's.
+    /// source's curve instead of every watched server's. A wave of
+    /// completions at one timestamp collapses into a single point per
+    /// node via the delta-encoded [`CumulativeCurve::push`].
     pub fn sample_node(&mut self, net: &FlowNet, node: NodeId) {
         if let Ok(i) = self.watched.binary_search(&node) {
             self.curves[i].push(net.now(), net.cum_tx_bytes(node));
@@ -203,6 +237,24 @@ mod tests {
         c.push(SimTime::from_secs(1), 10.0);
         c.push(SimTime::from_secs(1), 20.0);
         assert_eq!(c.value_at(SimTime::from_secs(1)), 20.0);
+    }
+
+    #[test]
+    fn delta_encoding_preserves_observations() {
+        let mut c = CumulativeCurve::default();
+        c.push(SimTime::ZERO, 0.0);
+        // Flat re-sample: the step curve is unchanged, point elided.
+        c.push(SimTime::from_secs(1), 0.0);
+        assert_eq!(c.points().len(), 1);
+        assert_eq!(c.value_at(SimTime::from_secs(1)), 0.0);
+        c.push(SimTime::from_secs(2), 50.0);
+        // Same-instant re-sample: overwrite, matching the old take-last
+        // read semantics for duplicate timestamps.
+        c.push(SimTime::from_secs(2), 75.0);
+        assert_eq!(c.points().len(), 2);
+        assert_eq!(c.value_at(SimTime::from_secs(2)), 75.0);
+        assert_eq!(c.total(), 75.0);
+        assert_eq!(c.time_to_reach(50.0), Some(SimTime::from_secs(2)));
     }
 
     #[test]

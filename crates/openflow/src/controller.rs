@@ -114,6 +114,13 @@ pub struct Controller {
     /// expose better paths for them, so they are all invalidated then.
     avoided_pairs: Vec<(NodeId, NodeId)>,
     down_links: HashSet<LinkId>,
+    /// Bumped whenever cached paths may change under a caller's feet —
+    /// topology events and snapshot restores, not lazy first-use fills
+    /// (a first fill creates the pair, so no caller can hold stale
+    /// geometry for it). Invalidation key for the allocator's placement
+    /// candidate cache: same epoch ⇒ the paths of every already-seen
+    /// pair are unchanged.
+    paths_epoch: u64,
     load_ewma_bps: Vec<f64>,
     rng: SmallRng,
     trace: Trace,
@@ -153,6 +160,7 @@ impl Controller {
             link_pairs: vec![Vec::new(); n_links],
             avoided_pairs: Vec::new(),
             down_links: HashSet::new(),
+            paths_epoch: 0,
             load_ewma_bps: vec![0.0; n_links],
             rng: rngs.stream("controller-install-latency"),
             trace: Trace::off(),
@@ -244,6 +252,12 @@ impl Controller {
         self.path_cache.len()
     }
 
+    /// Monotone path-set generation: unchanged epoch ⇒ every pair served
+    /// by [`Controller::paths`] before still has the same path list.
+    pub fn paths_epoch(&self) -> u64 {
+        self.paths_epoch
+    }
+
     /// Topology-change event: link went down/up. Unlike a full rebuild,
     /// only the affected pairs are evicted: on link-down, the pairs whose
     /// cached paths traverse the link (reverse index); on link-up, the
@@ -257,6 +271,7 @@ impl Controller {
         if !changed {
             return;
         }
+        self.paths_epoch += 1;
         let _span = self.trace.span("cache_invalidate");
         if up {
             for pair in std::mem::take(&mut self.avoided_pairs) {
@@ -494,6 +509,9 @@ impl Controller {
         self.load_ewma_bps = load_ewma_bps;
         self.rng = rng;
         self.stats = stats;
+        // The restored cache is a wholesale replacement: any geometry a
+        // caller derived from the pre-restore paths is void.
+        self.paths_epoch += 1;
         Ok(())
     }
 }

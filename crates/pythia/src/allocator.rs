@@ -65,6 +65,33 @@ struct Assignment {
     outstanding: u64,
 }
 
+/// Cached per-pair candidate geometry: the partition of each candidate's
+/// links into shared (every candidate crosses them — the NIC access legs)
+/// and distinctive (the trunk choice the placement actually controls).
+/// Pure path-set derived data, so it stays valid while the caller's
+/// `paths_epoch` — bumped by the controller on any path-set invalidation
+/// — is unchanged; repeat placements on an unchanged fabric then skip the
+/// O(k²·hops) common-link scan of a full `place()`.
+#[derive(Debug, Clone)]
+struct CandGeometry {
+    paths_epoch: u64,
+    n_paths: usize,
+    /// Candidate `i`'s distinctive links are
+    /// `links[offsets[i]..offsets[i+1]]`, in path order — the score
+    /// domain of `place`. One flat buffer plus an offset table (instead
+    /// of k nested vectors) so epoch refreshes rewrite in place without
+    /// touching the heap.
+    offsets: Vec<u32>,
+    links: Vec<LinkId>,
+}
+
+impl CandGeometry {
+    /// Links of candidate `i` that *not* every candidate crosses.
+    fn distinct(&self, i: usize) -> &[LinkId] {
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// The allocator: pair → path assignments plus per-link planned volume.
 #[derive(Debug, Default)]
 pub struct FlowAllocator {
@@ -77,6 +104,10 @@ pub struct FlowAllocator {
     /// Links shared by every candidate, rebuilt per score; kept here so
     /// the steady-state control loop does not allocate.
     common_scratch: Vec<LinkId>,
+    /// Per-pair candidate geometry memo for the epoch-keyed fast path
+    /// (see [`CandGeometry`]). Bypassed entirely by the plain
+    /// [`FlowAllocator::place`]/[`FlowAllocator::reassign`] calls.
+    cand_cache: BTreeMap<(NodeId, NodeId), CandGeometry>,
     /// When false, placement ignores predicted volumes (FlowComb-like
     /// mode): load is counted in *pairs*, not bytes.
     size_blind: bool,
@@ -145,6 +176,32 @@ impl FlowAllocator {
         }
     }
 
+    /// Stack `bytes` of demand onto `pair` *if it resolves without a
+    /// path decision*: an active pair absorbs the demand onto its
+    /// installed path (exactly [`Placement::Keep`]), and a zero-byte
+    /// demand is a no-op Keep. Returns `false` when the pair is idle or
+    /// new — the caller must then gather candidates and [`place`]. This
+    /// is the demand-stream fast path: the overwhelmingly common repeat
+    /// demand on an unchanged assignment skips candidate-path resolution
+    /// and residual reads entirely, with mutations bit-identical to the
+    /// Keep branch of a full [`place`] call.
+    ///
+    /// [`place`]: FlowAllocator::place
+    pub fn stack_demand(&mut self, pair: (NodeId, NodeId), bytes: u64) -> bool {
+        if bytes == 0 {
+            return true;
+        }
+        if let Some(a) = self.assignments.get_mut(&pair) {
+            if a.outstanding > 0 {
+                a.outstanding += bytes;
+                table_add(&mut self.planned_link_bytes, a.path.links(), bytes);
+                self.keeps += 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Add `bytes` of predicted demand for `pair`, choosing a path if the
     /// pair is idle. `resids[i]` is candidate `paths[i]`'s residual
     /// (background-free) bandwidth in bits/sec.
@@ -154,6 +211,67 @@ impl FlowAllocator {
         bytes: u64,
         paths: &[Path],
         resids: &[f64],
+    ) -> Placement {
+        self.place_impl(pair, bytes, paths, resids, None)
+    }
+
+    /// [`FlowAllocator::place`] through the epoch-keyed fast path: the
+    /// pair's candidate geometry (common/distinct link partition) is
+    /// served from a per-pair memo while `paths_epoch` — the controller's
+    /// path-set invalidation counter — is unchanged, skipping the full
+    /// candidate scan setup on every repeat placement against an
+    /// unchanged fabric. Decisions are bit-identical to [`place`]: the
+    /// cached geometry is exactly what the scan would recompute.
+    ///
+    /// [`place`]: FlowAllocator::place
+    pub fn place_epoch(
+        &mut self,
+        pair: (NodeId, NodeId),
+        bytes: u64,
+        paths: &[Path],
+        resids: &[f64],
+        paths_epoch: u64,
+    ) -> Placement {
+        self.place_impl(pair, bytes, paths, resids, Some(paths_epoch))
+    }
+
+    /// Refresh the pair's geometry memo if stale. Only called on the
+    /// epoch-keyed path.
+    fn refresh_geometry(&mut self, pair: (NodeId, NodeId), paths: &[Path], paths_epoch: u64) {
+        let g = self.cand_cache.entry(pair).or_insert_with(|| CandGeometry {
+            // Unreachable candidate count, so a fresh entry always takes
+            // the refill below (epochs count up from zero).
+            paths_epoch: 0,
+            n_paths: usize::MAX,
+            offsets: Vec::new(),
+            links: Vec::new(),
+        });
+        if g.paths_epoch == paths_epoch && g.n_paths == paths.len() {
+            return;
+        }
+        g.links.clear();
+        g.offsets.clear();
+        g.offsets.push(0);
+        for p in paths {
+            g.links.extend(
+                p.links()
+                    .iter()
+                    .copied()
+                    .filter(|&l| !paths.iter().all(|q| q.contains_link(l))),
+            );
+            g.offsets.push(g.links.len() as u32);
+        }
+        g.paths_epoch = paths_epoch;
+        g.n_paths = paths.len();
+    }
+
+    fn place_impl(
+        &mut self,
+        pair: (NodeId, NodeId),
+        bytes: u64,
+        paths: &[Path],
+        resids: &[f64],
+        paths_epoch: Option<u64>,
     ) -> Placement {
         debug_assert_eq!(paths.len(), resids.len());
         if bytes == 0 {
@@ -171,39 +289,63 @@ impl FlowAllocator {
         if paths.is_empty() {
             return Placement::NoPath;
         }
+        if let Some(epoch) = paths_epoch {
+            self.refresh_geometry(pair, paths, epoch);
+        }
         // Links shared by every candidate (the NIC access legs) carry the
         // transfer no matter what we choose; only the distinctive links
         // (the trunk choice) may enter the score, or a loaded shared leg
         // masks the difference and every tie falls onto the first trunk.
-        let mut common = std::mem::take(&mut self.common_scratch);
-        common.clear();
-        common.extend(
-            paths[0]
-                .links()
-                .iter()
-                .copied()
-                .filter(|&l| paths.iter().all(|p| p.contains_link(l))),
-        );
         // Pick the path finishing this transfer earliest over the links
         // the decision actually controls.
         let mut best: Option<(f64, usize)> = None;
-        for (i, p) in paths.iter().enumerate() {
-            if resids[i] <= 0.0 {
-                continue;
+        if paths_epoch.is_some() {
+            // Fast path: the distinctive-link partition comes from the
+            // memo just refreshed above.
+            let g = &self.cand_cache[&pair];
+            for (i, _) in paths.iter().enumerate() {
+                if resids[i] <= 0.0 {
+                    continue;
+                }
+                let planned = g
+                    .distinct(i)
+                    .iter()
+                    .map(|&l| self.link_load_metric(l))
+                    .max()
+                    .unwrap_or(0);
+                let eta = (planned + self.demand_metric(bytes)) as f64 * 8.0 / resids[i];
+                if best.map(|(b, _)| eta < b).unwrap_or(true) {
+                    best = Some((eta, i));
+                }
             }
-            let planned = p
-                .links()
-                .iter()
-                .filter(|l| !common.contains(l))
-                .map(|l| self.link_load_metric(*l))
-                .max()
-                .unwrap_or(0);
-            let eta = (planned + self.demand_metric(bytes)) as f64 * 8.0 / resids[i];
-            if best.map(|(b, _)| eta < b).unwrap_or(true) {
-                best = Some((eta, i));
+        } else {
+            let mut common = std::mem::take(&mut self.common_scratch);
+            common.clear();
+            common.extend(
+                paths[0]
+                    .links()
+                    .iter()
+                    .copied()
+                    .filter(|&l| paths.iter().all(|p| p.contains_link(l))),
+            );
+            for (i, p) in paths.iter().enumerate() {
+                if resids[i] <= 0.0 {
+                    continue;
+                }
+                let planned = p
+                    .links()
+                    .iter()
+                    .filter(|l| !common.contains(l))
+                    .map(|l| self.link_load_metric(*l))
+                    .max()
+                    .unwrap_or(0);
+                let eta = (planned + self.demand_metric(bytes)) as f64 * 8.0 / resids[i];
+                if best.map(|(b, _)| eta < b).unwrap_or(true) {
+                    best = Some((eta, i));
+                }
             }
+            self.common_scratch = common;
         }
-        self.common_scratch = common;
         // All candidates fully saturated by background: fall back to the
         // raw highest-residual path (index 0 if every residual is zero).
         let idx = match best {
@@ -241,6 +383,31 @@ impl FlowAllocator {
         resids: &[f64],
         improvement: f64,
     ) -> Option<Path> {
+        self.reassign_impl(pair, paths, resids, improvement, None)
+    }
+
+    /// [`FlowAllocator::reassign`] through the epoch-keyed fast path —
+    /// same geometry memo as [`FlowAllocator::place_epoch`], same
+    /// bit-identical decisions.
+    pub fn reassign_epoch(
+        &mut self,
+        pair: (NodeId, NodeId),
+        paths: &[Path],
+        resids: &[f64],
+        improvement: f64,
+        paths_epoch: u64,
+    ) -> Option<Path> {
+        self.reassign_impl(pair, paths, resids, improvement, Some(paths_epoch))
+    }
+
+    fn reassign_impl(
+        &mut self,
+        pair: (NodeId, NodeId),
+        paths: &[Path],
+        resids: &[f64],
+        improvement: f64,
+        paths_epoch: Option<u64>,
+    ) -> Option<Path> {
         assert!(improvement >= 1.0);
         debug_assert_eq!(paths.len(), resids.len());
         let outstanding = match self.assignments.get(&pair) {
@@ -252,41 +419,62 @@ impl FlowAllocator {
             let a = &self.assignments[&pair];
             table_sub(&mut self.planned_link_bytes, a.path.links(), outstanding);
         }
+        if let Some(epoch) = paths_epoch {
+            if !paths.is_empty() {
+                self.refresh_geometry(pair, paths, epoch);
+            }
+        }
         let mut common = std::mem::take(&mut self.common_scratch);
         common.clear();
-        if let Some(first) = paths.first() {
-            common.extend(
-                first
-                    .links()
-                    .iter()
-                    .copied()
-                    .filter(|&l| paths.iter().all(|p| p.contains_link(l))),
-            );
+        if paths_epoch.is_none() {
+            if let Some(first) = paths.first() {
+                common.extend(
+                    first
+                        .links()
+                        .iter()
+                        .copied()
+                        .filter(|&l| paths.iter().all(|p| p.contains_link(l))),
+                );
+            }
         }
+        let geometry = paths_epoch.and_then(|_| self.cand_cache.get(&pair));
         let current = &self.assignments[&pair].path;
-        let eta = |path: &Path, resid: f64| -> f64 {
+        // `i` is the candidate's index (its distinctive links in the
+        // memo); the slow path filters against `common` instead —
+        // identical link sets either way.
+        let eta = |i: usize, path: &Path, resid: f64| -> f64 {
             if resid <= 0.0 {
                 return f64::INFINITY;
             }
-            let planned = path
-                .links()
-                .iter()
-                .filter(|l| !common.contains(l))
-                .map(|l| self.link_load_metric(*l))
-                .max()
-                .unwrap_or(0);
+            let planned = match geometry {
+                Some(g) => g
+                    .distinct(i)
+                    .iter()
+                    .map(|&l| self.link_load_metric(l))
+                    .max()
+                    .unwrap_or(0),
+                None => path
+                    .links()
+                    .iter()
+                    .filter(|l| !common.contains(l))
+                    .map(|l| self.link_load_metric(*l))
+                    .max()
+                    .unwrap_or(0),
+            };
             (planned + self.demand_metric(outstanding)) as f64 * 8.0 / resid
         };
         let current_eta = paths
             .iter()
             .zip(resids)
-            .find(|(p, _)| p.links() == current.links())
-            .map(|(_, &r)| eta(current, r))
+            .enumerate()
+            .find(|(_, (p, _))| p.links() == current.links())
+            .map(|(i, (p, &r))| eta(i, p, r))
             .unwrap_or(f64::INFINITY);
         let best = paths
             .iter()
             .zip(resids)
-            .map(|(p, &r)| (eta(p, r), p))
+            .enumerate()
+            .map(|(i, (p, &r))| (eta(i, p, r), p))
             .min_by(|a, b| a.0.total_cmp(&b.0));
         let moved = match best {
             Some((best_eta, p))
@@ -358,6 +546,7 @@ impl FlowAllocator {
                 table_sub(&mut self.planned_link_pairs, a.path.links(), 1);
             }
         }
+        self.cand_cache.remove(&pair);
     }
 
     /// Current path assignment of a pair, if any.
@@ -435,6 +624,9 @@ impl FlowAllocator {
         self.planned_link_bytes = planned_link_bytes;
         self.planned_link_pairs = planned_link_pairs;
         self.common_scratch.clear();
+        // Geometry memo is a cache keyed by the caller's epoch counters,
+        // which restart from zero after a restore — drop it cold.
+        self.cand_cache.clear();
         self.placements = u64::get(r)?;
         self.keeps = u64::get(r)?;
         Ok(())
@@ -740,6 +932,55 @@ mod tests {
             ],
         )
         .is_some());
+    }
+
+    #[test]
+    fn epoch_fast_path_matches_plain_place() {
+        let mr = mr();
+        // Two allocators fed an identical demand stream, one through the
+        // epoch-keyed geometry memo: every decision must be identical.
+        let mut plain = FlowAllocator::new();
+        let mut fast = FlowAllocator::new();
+        let demands = [
+            (0usize, 5usize, 800_000_000u64),
+            (1, 6, 100_000_000),
+            (2, 7, 100_000_000),
+            (1, 6, 50_000_000),
+            (0, 5, 25_000_000),
+        ];
+        for &(s, d, bytes) in &demands {
+            let (paths, resids) = pair_candidates(&mr, s, d, 1e9, 1e9);
+            let p = (mr.servers[s], mr.servers[d]);
+            assert_eq!(
+                plain.place(p, bytes, &paths, &resids),
+                fast.place_epoch(p, bytes, &paths, &resids, 7)
+            );
+        }
+        // The reassignment sweep agrees too.
+        let p = (mr.servers[1], mr.servers[6]);
+        let (paths, resids) = pair_candidates(&mr, 1, 6, 0.05e9, 0.95e9);
+        assert_eq!(
+            plain.reassign(p, &paths, &resids, 1.5),
+            fast.reassign_epoch(p, &paths, &resids, 1.5, 7)
+        );
+    }
+
+    #[test]
+    fn epoch_bump_refreshes_geometry() {
+        // The memo must not serve geometry computed for an older path set.
+        let mr = mr();
+        let mut a = FlowAllocator::new();
+        let p = pair(&mr);
+        let (paths, resids) = candidates(&mr, 1e9, 1e9);
+        a.place_epoch(p, 100, &paths, &resids, 1);
+        a.drain(p, 100);
+        // New epoch, one candidate: geometry rebuilds and the only path
+        // wins (stale two-candidate geometry would index out of bounds).
+        let single = vec![paths[1].clone()];
+        match a.place_epoch(p, 100, &single, &resids[1..2], 2) {
+            Placement::Assign(got) => assert_eq!(got.links(), paths[1].links()),
+            other => panic!("expected Assign, got {other:?}"),
+        }
     }
 
     #[test]

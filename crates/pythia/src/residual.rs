@@ -19,6 +19,11 @@ pub struct ResidualTable {
     capacity: Vec<f64>,
     background: Vec<f64>,
     residual: Vec<f64>,
+    /// Bumped on every background write — the invalidation key for
+    /// anything caching values derived from residuals (the placement
+    /// candidate cache keys on it). Same-epoch reads are guaranteed
+    /// bit-identical to a fresh recompute.
+    epoch: u64,
 }
 
 impl ResidualTable {
@@ -32,6 +37,7 @@ impl ResidualTable {
             background: vec![0.0; capacity.len()],
             capacity,
             residual,
+            epoch: 0,
         }
     }
 
@@ -40,6 +46,7 @@ impl ResidualTable {
         let i = link.0 as usize;
         self.background[i] = bps;
         self.residual[i] = (self.capacity[i] - bps).max(0.0);
+        self.epoch += 1;
     }
 
     /// Bulk refresh from a full per-link load vector (the engine's
@@ -50,6 +57,12 @@ impl ResidualTable {
             self.background[i] = bps;
             self.residual[i] = (self.capacity[i] - bps).max(0.0);
         }
+        self.epoch += 1;
+    }
+
+    /// Monotone write counter: unchanged epoch ⇒ unchanged residuals.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Current background load on `link` (bits/sec).

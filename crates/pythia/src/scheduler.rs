@@ -393,16 +393,20 @@ impl PythiaSystem {
         // pair actually moves.
         let mut pairs = std::mem::take(&mut self.active_scratch);
         self.allocator.active_pairs_into(&mut pairs);
+        let paths_epoch = controller.paths_epoch();
         for &pair in &pairs {
             let paths = controller.paths(pair.0, pair.1);
             self.resid_scratch.clear();
             for p in paths {
                 self.resid_scratch.push(self.residuals.path_residual_bps(p));
             }
-            // 1.5× hysteresis: move only for a clear win.
-            if let Some(path) = self
-                .allocator
-                .reassign(pair, paths, &self.resid_scratch, 1.5)
+            // 1.5× hysteresis: move only for a clear win. The epoch-keyed
+            // entry point reuses the pair's memoized candidate geometry
+            // across sweeps (the path sets are stable between topology
+            // events, so the memo hits on every sweep after the first).
+            if let Some(path) =
+                self.allocator
+                    .reassign_epoch(pair, paths, &self.resid_scratch, 1.5, paths_epoch)
             {
                 self.stats.paths_assigned += 1;
                 let matcher = FlowMatch::server_pair(pair.0, pair.1);
@@ -590,25 +594,53 @@ impl PythiaSystem {
                 .cmp(&a.added_bytes)
                 .then_with(|| (a.src, a.dst).cmp(&(b.src, b.dst)))
         });
+        let paths_epoch = controller.paths_epoch();
         for d in sorted {
             self.stats.demands_aggregated += 1;
+            // Fast path: the overwhelming majority of demands stack onto
+            // a pair that already holds an assignment with outstanding
+            // volume. The allocator absorbs those with mutations
+            // bit-identical to the Keep branch of a full placement, so
+            // the candidate-path lookup and per-path residual scan are
+            // skipped entirely.
+            if self.allocator.stack_demand((d.src, d.dst), d.added_bytes) {
+                self.trace
+                    .record(Component::Allocator, || TraceEvent::AllocPlace {
+                        src: d.src,
+                        dst: d.dst,
+                        bytes: d.added_bytes,
+                        outcome: AllocOutcome::Keep,
+                        links: Vec::new(),
+                        resid_bps: 0.0,
+                    });
+                continue;
+            }
             let rack_key = self.rack_key(controller, d.src, d.dst);
             let all = controller.paths(d.src, d.dst);
+            let mut paths: &[Path] = all;
             self.resid_scratch.clear();
             for p in all {
                 self.resid_scratch.push(self.residuals.path_residual_bps(p));
+            }
+            let mut resids: &[f64] = &self.resid_scratch;
+            // ServerPair aggregation (the deployed configuration) hands
+            // the controller's path epoch to the allocator so it can
+            // reuse the pair's memoized candidate geometry — bit-identical
+            // to a fresh scan while the epoch holds. RackPair narrows the
+            // candidate set below, so it stays on the plain entry point.
+            let mut epoch = None;
+            if self.cfg.aggregation != AggregationPolicy::RackPair {
+                epoch = Some(paths_epoch);
             }
             // Rack aggregation: once a trunk is pinned for this rack pair,
             // every further server pair between the racks must follow it.
             // Only that (narrowing) case copies candidates; the common
             // path borrows them from the controller's memoized set.
-            let mut paths: &[Path] = all;
-            let mut resids: &[f64] = &self.resid_scratch;
             if self.cfg.aggregation == AggregationPolicy::RackPair {
                 if let Some(&(trunk, _)) = rack_key.and_then(|k| self.rack_trunk.get(&k)) {
                     self.pin_paths.clear();
                     self.pin_resids.clear();
-                    for (p, &r) in all.iter().zip(&self.resid_scratch) {
+                    for (p, &r) in all.iter().zip(resids) {
                         if p.contains_link(trunk) {
                             self.pin_paths.push(p.clone());
                             self.pin_resids.push(r);
@@ -620,10 +652,16 @@ impl PythiaSystem {
                     }
                 }
             }
-            match self
-                .allocator
-                .place((d.src, d.dst), d.added_bytes, paths, resids)
-            {
+            let placement = match epoch {
+                Some(pe) => {
+                    self.allocator
+                        .place_epoch((d.src, d.dst), d.added_bytes, paths, resids, pe)
+                }
+                None => self
+                    .allocator
+                    .place((d.src, d.dst), d.added_bytes, paths, resids),
+            };
+            match placement {
                 Placement::Assign(path) => {
                     self.stats.paths_assigned += 1;
                     if self.trace.wants(Component::Allocator) {
